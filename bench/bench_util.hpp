@@ -1,0 +1,130 @@
+// Shared plumbing for the figure-reproduction benches: a federation
+// builder over the synthetic datasets, series collection, and uniform
+// reporting (aligned table to stdout + CSV written beside the binary).
+//
+// Every bench accepts environment overrides so a quick smoke run and a
+// full-fidelity run use the same binary:
+//   FIFL_BENCH_ROUNDS  — override the round count
+//   FIFL_BENCH_SCALE   — multiply worker-shard sizes (default 1.0)
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fifl.hpp"
+#include "data/synthetic.hpp"
+#include "fl/simulator.hpp"
+#include "nn/models.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+namespace fifl::bench {
+
+inline std::size_t env_rounds(std::size_t fallback) {
+  return static_cast<std::size_t>(util::env_int("FIFL_BENCH_ROUNDS",
+                                                static_cast<std::int64_t>(fallback)));
+}
+
+inline double env_scale() { return util::env_double("FIFL_BENCH_SCALE", 1.0); }
+
+inline std::size_t scaled(std::size_t n) {
+  return static_cast<std::size_t>(static_cast<double>(n) * env_scale());
+}
+
+/// The two model/data stacks of the paper's Sec. 5.3 experiments.
+enum class Stack { kLenetMnist, kResnetCifar };
+
+struct FederationSpec {
+  Stack stack = Stack::kLenetMnist;
+  std::size_t workers = 10;
+  std::size_t samples_per_worker = 400;
+  std::size_t test_samples = 600;
+  std::size_t batch_size = 32;
+  double learning_rate = 0.05;
+  std::uint64_t seed = 2021;
+  /// Optional dataset-hardness overrides (<0 keeps the stack's default).
+  /// Raising noise/overlap slows convergence, which some figures need so
+  /// the gradient signal stays alive over the full horizon.
+  double data_noise = -1.0;
+  double class_overlap = -1.0;
+};
+
+struct Federation {
+  std::unique_ptr<fl::Simulator> sim;
+  std::size_t parameter_count = 0;
+};
+
+/// Builds a simulator over the requested stack; `behaviours` defines the
+/// worker mix (size must equal spec.workers).
+inline Federation make_federation(const FederationSpec& spec,
+                                  std::vector<fl::BehaviourPtr> behaviours) {
+  data::SyntheticSpec data_spec =
+      spec.stack == Stack::kLenetMnist
+          ? data::mnist_like(spec.workers * scaled(spec.samples_per_worker),
+                             spec.seed)
+          : data::cifar_like(spec.workers * scaled(spec.samples_per_worker),
+                             spec.seed);
+  if (spec.data_noise >= 0.0) data_spec.noise = spec.data_noise;
+  if (spec.class_overlap >= 0.0) data_spec.class_overlap = spec.class_overlap;
+  auto split = data::make_synthetic_split(data_spec, spec.test_samples);
+
+  fl::ModelFactory factory;
+  if (spec.stack == Stack::kLenetMnist) {
+    factory = [](util::Rng& rng) {
+      return nn::make_lenet({.channels = 1, .image_size = 28, .classes = 10}, rng);
+    };
+  } else {
+    factory = [](util::Rng& rng) {
+      return nn::make_mini_resnet({.channels = 3, .image_size = 32, .classes = 10},
+                                  rng);
+    };
+  }
+
+  fl::SimulatorConfig sim_cfg;
+  sim_cfg.batch_size = spec.batch_size;
+  sim_cfg.learning_rate = spec.learning_rate;
+  sim_cfg.global_learning_rate = spec.learning_rate;
+  sim_cfg.seed = spec.seed;
+
+  util::Rng rng(spec.seed ^ 0x5eedull);
+  Federation fed;
+  fed.sim = std::make_unique<fl::Simulator>(
+      sim_cfg, factory,
+      fl::make_worker_setups(split.train, std::move(behaviours), rng),
+      split.test);
+  fed.parameter_count = fed.sim->parameter_count();
+  return fed;
+}
+
+inline std::vector<fl::BehaviourPtr> honest_behaviours(std::size_t n) {
+  std::vector<fl::BehaviourPtr> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::make_unique<fl::HonestBehaviour>());
+  }
+  return out;
+}
+
+/// Print the table and drop a CSV next to the working directory.
+inline void report(const std::string& title, const util::Table& table,
+                   const std::string& csv_name) {
+  std::printf("\n== %s ==\n", title.c_str());
+  table.print(std::cout);
+  try {
+    table.write_csv(csv_name);
+    std::printf("(series written to %s)\n", csv_name.c_str());
+  } catch (const std::exception& e) {
+    std::printf("(could not write %s: %s)\n", csv_name.c_str(), e.what());
+  }
+}
+
+/// Banner stating what the paper reports for this figure so the console
+/// output reads as a paper-vs-measured comparison.
+inline void paper_note(const std::string& text) {
+  std::printf("paper: %s\n", text.c_str());
+}
+
+}  // namespace fifl::bench

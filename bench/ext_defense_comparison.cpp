@@ -1,0 +1,105 @@
+// Extension bench (DESIGN.md ablations): FIFL's detection-based
+// aggregation vs. the Byzantine-robust literature it cites — FedAvg
+// (undefended), Krum, multi-Krum, coordinate median, trimmed mean — on
+// identical federated rounds with 3 strong sign-flippers among 10 workers.
+// Reports final accuracy and per-round aggregation latency; also notes
+// which defenses yield per-worker verdicts usable by an incentive layer
+// (only FIFL does).
+#include "bench_util.hpp"
+
+#include "core/defenses.hpp"
+#include "nn/loss.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace fifl;
+  const std::size_t rounds = bench::env_rounds(15);
+  const std::size_t honest = 7, attackers = 3;
+
+  struct Row {
+    std::string name;
+    double accuracy = 0.0;
+    double loss = 0.0;
+    bool crashed = false;
+    double ms_per_aggregate = 0.0;
+    bool per_worker_verdicts = false;
+  };
+  std::vector<Row> rows;
+
+  auto defenses =
+      core::standard_defenses(honest + attackers, attackers,
+                              core::DetectionConfig{.threshold = 0.0});
+  // Zeno needs a loss oracle (exact validation inference — the cost FIFL's
+  // Taylor score avoids); build it over a probe model + small val batch.
+  {
+    auto val = data::make_synthetic(data::mnist_like(64, 99));
+    util::Rng zrng(7);
+    auto probe = std::make_shared<std::unique_ptr<nn::Sequential>>(
+        nn::make_lenet({.channels = 1, .image_size = 28, .classes = 10}, zrng));
+    auto images = std::make_shared<tensor::Tensor>(val.images.clone());
+    auto labels = std::make_shared<std::vector<std::int32_t>>(val.labels);
+    core::ZenoAggregator::LossOracle oracle =
+        [probe, images, labels](std::span<const float> params) {
+          (*probe)->load_parameters(params);
+          nn::SoftmaxCrossEntropy loss;
+          return loss.forward((*probe)->forward(*images), *labels);
+        };
+    defenses.push_back(std::make_unique<core::ZenoAggregator>(
+        attackers, 1e-4, std::move(oracle)));
+  }
+  for (const auto& defense : defenses) {
+    bench::FederationSpec spec;
+    spec.stack = bench::Stack::kLenetMnist;
+    spec.workers = honest + attackers;
+    spec.samples_per_worker = 300;
+    spec.test_samples = 400;
+    auto behaviours = bench::honest_behaviours(honest);
+    for (std::size_t a = 0; a < attackers; ++a) {
+      behaviours.push_back(std::make_unique<fl::SignFlipBehaviour>(8.0));
+    }
+    auto fed = bench::make_federation(spec, std::move(behaviours));
+
+    double agg_seconds = 0.0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const auto uploads = fed.sim->collect_uploads();
+      util::Timer timer;
+      if (auto* zeno = dynamic_cast<core::ZenoAggregator*>(defense.get())) {
+        zeno->set_parameters(fed.sim->global_model().flatten_parameters());
+      }
+      const fl::Gradient robust = defense->aggregate(uploads);
+      agg_seconds += timer.seconds();
+      // Apply θ ← θ − η·G̃ through the simulator's accept-mask path by
+      // reusing its learning rate on the robust gradient.
+      std::vector<float> params = fed.sim->global_model().flatten_parameters();
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        params[i] -= 0.05f * robust[i];
+      }
+      fed.sim->global_model().load_parameters(params);
+    }
+    Row row;
+    row.name = defense->name();
+    row.crashed = fed.sim->model_crashed();
+    const auto eval = fed.sim->evaluate();
+    row.accuracy = eval.accuracy;
+    row.loss = eval.loss;
+    row.ms_per_aggregate = agg_seconds / static_cast<double>(rounds) * 1e3;
+    row.per_worker_verdicts = row.name == "FIFL-detect";
+    rows.push_back(row);
+  }
+
+  util::Table table({"defense", "final ACC", "final loss", "crashed",
+                     "aggregate ms/round", "per-worker verdicts"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, util::format_double(row.accuracy, 3),
+                   util::format_double(row.loss, 3), row.crashed ? "NaN" : "no",
+                   util::format_double(row.ms_per_aggregate, 2),
+                   row.per_worker_verdicts ? "yes" : "no"});
+  }
+  bench::paper_note(
+      "Extension: robust baselines also survive the attack, but only "
+      "FIFL's detection yields the per-worker accept/reject outcomes the "
+      "reputation and incentive modules are built on.");
+  bench::report("Extension: defense comparison under sign-flip attack", table,
+                "ext_defenses.csv");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Extension ablation (DESIGN.md): the time-decay factor γ of Eq. 10
+// controls a responsiveness/stability trade-off. For each γ we measure
+// (a) how many rounds a reformed attacker needs to recover to R >= 0.9
+//     after switching from always-evil to always-honest,
+// (b) how far a single betrayal drops a fully-trusted worker, and
+// (c) the steady-state fluctuation (stddev) of an honest worker's
+//     reputation under 5% channel-loss noise.
+#include "bench_util.hpp"
+
+#include "core/reputation.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace fifl;
+  const std::vector<double> gammas{0.02, 0.05, 0.1, 0.2, 0.4, 0.8};
+
+  util::Table table({"gamma", "recovery rounds (evil->honest, R>=0.9)",
+                     "drop after one betrayal", "steady-state stddev"});
+  for (double gamma : gammas) {
+    // (a) recovery time.
+    core::ReputationModule recovery({.gamma = gamma, .initial = 0.0});
+    recovery.resize(1);
+    for (int round = 0; round < 100; ++round) {
+      recovery.record(0, core::Event::kNegative);
+    }
+    std::size_t rounds_to_recover = 0;
+    while (recovery.reputation(0) < 0.9 && rounds_to_recover < 1000) {
+      recovery.record(0, core::Event::kPositive);
+      ++rounds_to_recover;
+    }
+
+    // (b) single-betrayal drop from full trust.
+    core::ReputationModule betrayal({.gamma = gamma, .initial = 1.0});
+    betrayal.resize(1);
+    betrayal.record(0, core::Event::kNegative);
+    const double drop = 1.0 - betrayal.reputation(0);
+
+    // (c) steady-state fluctuation of an honest worker whose detections
+    // occasionally read negative (5% — mis-scores under channel noise).
+    core::ReputationModule steady({.gamma = gamma, .initial = 1.0});
+    steady.resize(1);
+    util::Rng rng(static_cast<std::uint64_t>(gamma * 1000) + 3);
+    util::RunningStat stat;
+    for (int round = 0; round < 2000; ++round) {
+      steady.record(0, rng.bernoulli(0.05) ? core::Event::kNegative
+                                           : core::Event::kPositive);
+      if (round >= 200) stat.add(steady.reputation(0));
+    }
+
+    table.add_row({util::format_double(gamma, 2),
+                   std::to_string(rounds_to_recover),
+                   util::format_double(drop, 3),
+                   util::format_double(stat.stddev(), 4)});
+  }
+
+  bench::paper_note(
+      "Ablation: small γ is stable but slow to react (long recovery, tiny "
+      "betrayal penalty); large γ reacts instantly but jitters. The "
+      "paper's γ=0.1 sits at the knee.");
+  bench::report("Extension: time-decay factor sensitivity", table,
+                "ext_gamma.csv");
+  return 0;
+}

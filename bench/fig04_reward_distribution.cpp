@@ -1,0 +1,62 @@
+// Figure 4 (Sec. 5.2.1): (a) reward distribution across worker-quality
+// groups per incentive mechanism, (b) attractiveness (relative reward
+// proportion) per group. 20 workers, n_i ~ U[1, 10000], 10 quality
+// groups, averaged over repeated trials.
+#include "bench_util.hpp"
+#include "market/market_sim.hpp"
+
+int main() {
+  using namespace fifl;
+  market::MarketConfig cfg;
+  cfg.workers = 20;
+  cfg.trials = static_cast<std::size_t>(util::env_int("FIFL_BENCH_TRIALS", 100));
+  cfg.seed = 2021;
+  const market::MarketSimulator sim(cfg);
+  const market::MarketResult r = sim.run_reliable();
+
+  std::vector<std::string> headers{"samples"};
+  for (const auto& name : r.mechanisms) headers.push_back(name);
+
+  util::Table rewards(headers);
+  util::Table attract(headers);
+  for (std::size_t g = 0; g < 10; ++g) {
+    std::vector<std::string> row_r, row_a;
+    const std::string label =
+        std::to_string(g * 1000) + "-" + std::to_string((g + 1) * 1000);
+    row_r.push_back(label);
+    row_a.push_back(label);
+    for (std::size_t m = 0; m < r.mechanisms.size(); ++m) {
+      row_r.push_back(util::format_double(r.reward_by_group[m][g], 4));
+      row_a.push_back(util::format_double(r.attractiveness_by_group[m][g], 4));
+    }
+    rewards.add_row(row_r);
+    attract.add_row(row_a);
+  }
+
+  bench::paper_note(
+      "Fig 4a: Equal pays flat; Union & FIFL favour high-quality workers; "
+      "FIFL spends the least on low-quality and the most on high-quality.");
+  bench::report("Figure 4(a): mean reward share by quality group", rewards,
+                "fig04a_rewards.csv");
+
+  bench::paper_note(
+      "Fig 4b: Equal most attractive to <1000-sample workers (39.7% there); "
+      "FIFL most attractive to >9000-sample workers (27.1%, Union 25.9%, "
+      "Shapley 17.4%, Equal 14.0%).");
+  bench::report("Figure 4(b): attractiveness by quality group", attract,
+                "fig04b_attractiveness.csv");
+
+  std::printf(
+      "\nmeasured: top-group attractiveness  FIFL=%.1f%%  Union=%.1f%%  "
+      "Shapley=%.1f%%  Individual=%.1f%%  Equal=%.1f%%\n",
+      100 * r.attractiveness_by_group[4][9], 100 * r.attractiveness_by_group[2][9],
+      100 * r.attractiveness_by_group[3][9], 100 * r.attractiveness_by_group[0][9],
+      100 * r.attractiveness_by_group[1][9]);
+  std::printf(
+      "measured: bottom-group attractiveness  Equal=%.1f%%  (others "
+      "FIFL=%.1f%% Union=%.1f%% Shapley=%.1f%% Individual=%.1f%%)\n",
+      100 * r.attractiveness_by_group[1][0], 100 * r.attractiveness_by_group[4][0],
+      100 * r.attractiveness_by_group[2][0], 100 * r.attractiveness_by_group[3][0],
+      100 * r.attractiveness_by_group[0][0]);
+  return 0;
+}

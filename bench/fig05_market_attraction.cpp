@@ -1,0 +1,33 @@
+// Figure 5 (Sec. 5.2.1): (a) percentage of data attracted by each
+// incentive mechanism under greedy probabilistic joining; (b) relative
+// system revenue vs. FIFL in the reliable federation.
+#include "bench_util.hpp"
+#include "market/market_sim.hpp"
+
+int main() {
+  using namespace fifl;
+  market::MarketConfig cfg;
+  cfg.workers = 20;
+  cfg.trials = static_cast<std::size_t>(util::env_int("FIFL_BENCH_TRIALS", 500));
+  cfg.seed = 2021;
+  const market::MarketSimulator sim(cfg);
+  const market::MarketResult r = sim.run_reliable();
+
+  util::Table table({"mechanism", "data share (%)", "revenue",
+                     "relative revenue vs FIFL"});
+  for (std::size_t m = 0; m < r.mechanisms.size(); ++m) {
+    table.add_row({r.mechanisms[m],
+                   util::format_double(100 * r.data_share[m], 2),
+                   util::format_double(r.revenue[m], 4),
+                   util::format_double(r.relative_revenue[m], 4)});
+  }
+
+  bench::paper_note(
+      "Fig 5a: data attracted — FIFL 23.1%, Union 22.6%, Shapley 19.0%, "
+      "Individual 18.1%, Equal 17.2%.");
+  bench::paper_note(
+      "Fig 5b: relative revenue — FIFL best; Union -0.2%, Equal -3.4%.");
+  bench::report("Figure 5: market attraction & reliable-federation revenue",
+                table, "fig05_market.csv");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 11 (Sec. 5.3.2): reputation tracks a worker's probability of
+// producing useful gradients. Four probabilistic sign-flip attackers with
+// p_a ∈ {0.2, 0.4, 0.6, 0.8} (trustworthiness 0.8..0.2) plus honest
+// workers; initial reputation 0 as in the paper. The reputation of each
+// attacker fluctuates around 1 − p_a (Theorem 1).
+//
+// Ablation (DESIGN.md): the same series under the plain windowed SLM
+// (no time decay) — it converges but stops reacting to current events.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace fifl;
+  const std::size_t rounds = bench::env_rounds(100);
+  const std::vector<double> p_attack{0.2, 0.4, 0.6, 0.8};
+
+  bench::FederationSpec spec;
+  spec.stack = bench::Stack::kLenetMnist;
+  spec.workers = 8;
+  spec.samples_per_worker = 200;
+  spec.test_samples = 100;
+  auto behaviours = bench::honest_behaviours(4);
+  for (double pa : p_attack) {
+    behaviours.push_back(std::make_unique<fl::ProbabilisticBehaviour>(
+        pa, std::make_unique<fl::SignFlipBehaviour>(6.0)));
+  }
+  auto fed = bench::make_federation(spec, std::move(behaviours));
+
+  core::FiflConfig cfg;
+  cfg.servers = 2;
+  cfg.record_to_ledger = false;
+  cfg.reputation.gamma = 0.1;
+  cfg.reputation.initial = 0.0;
+  core::FiflEngine decayed(cfg, fed.sim->worker_count(), fed.parameter_count);
+
+  // Windowed-SLM twin fed the same detection outcomes (ablation).
+  core::ReputationConfig slm_cfg = cfg.reputation;
+  slm_cfg.time_decay = false;
+  core::ReputationModule windowed(slm_cfg);
+  windowed.resize(fed.sim->worker_count());
+
+  std::vector<std::string> headers{"round"};
+  for (double pa : p_attack) {
+    headers.push_back("p_a=" + util::format_double(pa, 1) + " (decay)");
+  }
+  for (double pa : p_attack) {
+    headers.push_back("p_a=" + util::format_double(pa, 1) + " (SLM)");
+  }
+  util::Table table(headers);
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto uploads = fed.sim->collect_uploads();
+    const auto report = decayed.process_round(uploads);
+    fed.sim->apply_round(uploads, report.detection.accepted);
+    for (std::size_t i = 0; i < uploads.size(); ++i) {
+      const auto id = static_cast<chain::NodeId>(i);
+      if (report.detection.uncertain[i]) {
+        windowed.record(id, core::Event::kUncertain);
+      } else {
+        windowed.record(id, report.detection.accepted[i]
+                                ? core::Event::kPositive
+                                : core::Event::kNegative);
+      }
+    }
+    if ((r + 1) % 5 == 0 || r == 0) {
+      std::vector<std::string> row{std::to_string(r + 1)};
+      for (std::size_t k = 0; k < p_attack.size(); ++k) {
+        row.push_back(util::format_double(
+            decayed.reputation().reputation(static_cast<chain::NodeId>(4 + k)), 3));
+      }
+      for (std::size_t k = 0; k < p_attack.size(); ++k) {
+        row.push_back(util::format_double(
+            windowed.reputation(static_cast<chain::NodeId>(4 + k)), 3));
+      }
+      table.add_row(row);
+    }
+  }
+
+  bench::paper_note(
+      "Fig 11: each attacker's reputation fluctuates around its "
+      "trustworthiness 1-p_a (0.8/0.6/0.4/0.2) and stays sensitive to "
+      "current events (no convergence to a fixed value).");
+  bench::report("Figure 11: reputation vs attack probability", table,
+                "fig11_reputation.csv");
+
+  std::printf("\nmeasured final reputations (decay): ");
+  for (std::size_t k = 0; k < p_attack.size(); ++k) {
+    std::printf("p_a=%.1f -> %.3f (expect ~%.1f)  ", p_attack[k],
+                decayed.reputation().reputation(static_cast<chain::NodeId>(4 + k)),
+                1.0 - p_attack[k]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Audit-ledger substrate throughput: SHA-256 hashing, HMAC signing, block
+// sealing (one FIFL round's records), chain verification, and Merkle
+// proofs — establishes the audit layer is nowhere near the bottleneck
+// relative to model training.
+#include <benchmark/benchmark.h>
+
+#include "chain/ledger.hpp"
+
+namespace {
+
+using namespace fifl::chain;
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSign(benchmark::State& state) {
+  KeyRegistry registry(1);
+  registry.register_node(0);
+  const std::string message = "detection|42|7|0|0x1.8p+0";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.sign(0, message));
+  }
+}
+BENCHMARK(BM_HmacSign);
+
+void BM_SealRoundBlock(benchmark::State& state) {
+  // One block = 4 records per worker (detection/reputation/contribution/
+  // reward), N workers.
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  KeyRegistry registry(1);
+  for (NodeId n = 0; n <= workers; ++n) registry.register_node(n);
+  for (auto _ : state) {
+    Ledger ledger(&registry);
+    for (std::size_t w = 0; w < workers; ++w) {
+      const auto id = static_cast<NodeId>(w);
+      ledger.append(RecordKind::kDetection, 0, id, 0, 1.0);
+      ledger.append(RecordKind::kReputation, 0, id, 0, 0.5);
+      ledger.append(RecordKind::kContribution, 0, id, 0, 0.1);
+      ledger.append(RecordKind::kReward, 0, id, static_cast<NodeId>(workers), 0.1);
+    }
+    benchmark::DoNotOptimize(ledger.seal_block());
+  }
+}
+BENCHMARK(BM_SealRoundBlock)->Arg(10)->Arg(20)->Arg(100);
+
+void BM_VerifyChain(benchmark::State& state) {
+  const auto blocks = static_cast<std::size_t>(state.range(0));
+  KeyRegistry registry(1);
+  registry.register_node(0);
+  Ledger ledger(&registry);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (NodeId w = 0; w < 10; ++w) {
+      ledger.append(RecordKind::kReputation, b, w, 0, 0.5);
+    }
+    ledger.seal_block();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ledger.verify_chain());
+  }
+}
+BENCHMARK(BM_VerifyChain)->Arg(10)->Arg(100);
+
+void BM_MerkleProveAndVerify(benchmark::State& state) {
+  const auto leaves_n = static_cast<std::size_t>(state.range(0));
+  std::vector<Digest> leaves;
+  leaves.reserve(leaves_n);
+  for (std::size_t i = 0; i < leaves_n; ++i) {
+    leaves.push_back(sha256("leaf" + std::to_string(i)));
+  }
+  MerkleTree tree(leaves);
+  for (auto _ : state) {
+    const auto proof = tree.prove(leaves_n / 2);
+    benchmark::DoNotOptimize(
+        MerkleTree::verify(leaves[leaves_n / 2], proof, tree.root()));
+  }
+}
+BENCHMARK(BM_MerkleProveAndVerify)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Ablation bench (Sec. 4.1 claim): FIFL's Taylor first-order detection
+// score <G, G_i> costs one dot product per worker, while the exact Zeno
+// loss-difference score needs two full inference passes over a validation
+// batch. This bench measures both on the real LeNet stack.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "nn/loss.hpp"
+
+namespace {
+
+using namespace fifl;
+
+struct Fixture {
+  std::unique_ptr<nn::Sequential> model;
+  std::vector<float> params;
+  fl::Gradient gradient;
+  tensor::Tensor val_images;
+  std::vector<std::int32_t> val_labels;
+
+  Fixture() {
+    util::Rng rng(7);
+    model = nn::make_lenet({.channels = 1, .image_size = 28, .classes = 10}, rng);
+    params = model->flatten_parameters();
+    gradient = fl::Gradient(params.size());
+    for (std::size_t i = 0; i < gradient.size(); ++i) {
+      gradient[i] = static_cast<float>(rng.gaussian(0.0, 0.01));
+    }
+    auto ds = data::make_synthetic(data::mnist_like(64, 9));
+    val_images = ds.images.clone();
+    val_labels = ds.labels;
+  }
+
+  double loss_at(const std::vector<float>& p) {
+    model->load_parameters(p);
+    nn::SoftmaxCrossEntropy loss;
+    return loss.forward(model->forward(val_images), val_labels);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_ExactLossDifferenceScore(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    const double score = core::DetectionModule::exact_score(
+        f.params, f.gradient,
+        [&](const std::vector<float>& p) { return f.loss_at(p); });
+    benchmark::DoNotOptimize(score);
+  }
+}
+BENCHMARK(BM_ExactLossDifferenceScore)->Unit(benchmark::kMillisecond);
+
+void BM_TaylorInnerProductScore(benchmark::State& state) {
+  Fixture& f = fixture();
+  // Benchmark gradient = another gradient vector of the same size.
+  fl::Gradient bench_grad(f.gradient.size());
+  util::Rng rng(11);
+  for (std::size_t i = 0; i < bench_grad.size(); ++i) {
+    bench_grad[i] = static_cast<float>(rng.gaussian(0.0, 0.01));
+  }
+  fl::SlicePlan plan(f.gradient.size(), 2);
+  std::vector<std::vector<float>> bench_slices;
+  for (std::size_t j = 0; j < 2; ++j) {
+    auto view = plan.slice(bench_grad, j);
+    bench_slices.emplace_back(view.begin(), view.end());
+  }
+  core::DetectionModule det({.threshold = 0.0});
+  std::vector<fl::Upload> uploads(1);
+  uploads[0].worker = 0;
+  uploads[0].samples = 1;
+  uploads[0].gradient = f.gradient;
+  for (auto _ : state) {
+    const auto result = det.run(uploads, plan, bench_slices);
+    benchmark::DoNotOptimize(result.scores[0]);
+  }
+}
+BENCHMARK(BM_TaylorInnerProductScore)->Unit(benchmark::kMillisecond);
+
+// Score-normalisation variants (raw / cosine / projection) cost the same
+// dot product; this confirms the normalisation is free.
+void BM_ScoreKinds(benchmark::State& state) {
+  Fixture& f = fixture();
+  fl::SlicePlan plan(f.gradient.size(), 4);
+  std::vector<std::vector<float>> bench_slices;
+  for (std::size_t j = 0; j < 4; ++j) {
+    auto view = plan.slice(f.gradient, j);
+    bench_slices.emplace_back(view.begin(), view.end());
+  }
+  core::DetectionModule det(
+      {.threshold = 0.0,
+       .score = static_cast<core::ScoreKind>(state.range(0))});
+  std::vector<fl::Upload> uploads(8);
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    uploads[i].worker = static_cast<chain::NodeId>(i);
+    uploads[i].samples = 1;
+    uploads[i].gradient = f.gradient;
+  }
+  for (auto _ : state) {
+    const auto result = det.run(uploads, plan, bench_slices);
+    benchmark::DoNotOptimize(result.accepted);
+  }
+}
+BENCHMARK(BM_ScoreKinds)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace

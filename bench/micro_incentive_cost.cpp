@@ -1,0 +1,68 @@
+// Ablation bench (Sec. 2/5.1 claim): Shapley-style payoff division costs
+// O(2^N) subset evaluations while FIFL / Union / Individual / Equal are
+// linear in N — the practical reason the paper's gradient-based
+// contribution is "lightweight".
+#include <benchmark/benchmark.h>
+
+#include "market/baselines.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fifl::market;
+
+std::vector<double> make_samples(std::size_t n) {
+  fifl::util::Rng rng(42);
+  std::vector<double> samples(n);
+  for (auto& s : samples) s = rng.uniform(1.0, 10000.0);
+  return samples;
+}
+
+void BM_ShapleyExact(benchmark::State& state) {
+  const auto samples = make_samples(static_cast<std::size_t>(state.range(0)));
+  ShapleyIncentive mech(/*exact_limit=*/25, /*mc_permutations=*/1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.exact_weights(samples));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ShapleyExact)->DenseRange(6, 18, 4)->Complexity();
+
+void BM_ShapleyMonteCarlo(benchmark::State& state) {
+  const auto samples = make_samples(static_cast<std::size_t>(state.range(0)));
+  ShapleyIncentive mech(/*exact_limit=*/0, /*mc_permutations=*/2000, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.monte_carlo_weights(samples));
+  }
+}
+BENCHMARK(BM_ShapleyMonteCarlo)->DenseRange(6, 18, 4);
+
+void BM_Union(benchmark::State& state) {
+  const auto samples = make_samples(static_cast<std::size_t>(state.range(0)));
+  UnionIncentive mech;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.weights(samples, {}));
+  }
+}
+BENCHMARK(BM_Union)->DenseRange(6, 18, 4);
+
+void BM_Fifl(benchmark::State& state) {
+  const auto samples = make_samples(static_cast<std::size_t>(state.range(0)));
+  const std::vector<double> reputations(samples.size(), 1.0);
+  FiflIncentive mech;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.weights(samples, reputations));
+  }
+}
+BENCHMARK(BM_Fifl)->DenseRange(6, 18, 4);
+
+void BM_Individual(benchmark::State& state) {
+  const auto samples = make_samples(static_cast<std::size_t>(state.range(0)));
+  IndividualIncentive mech;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.weights(samples, {}));
+  }
+}
+BENCHMARK(BM_Individual)->DenseRange(6, 18, 4);
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Config-driven experiment runner: describe a federation in a small
+// key=value file, train it with the FederatedTrainer, and persist every
+// artefact — round history CSV, a model checkpoint, and the audit ledger
+// (binary + JSONL) — to an output directory.
+//
+//   ./build/examples/experiment_runner --config=examples/experiment.cfg
+//   ./build/examples/experiment_runner --rounds=20 --attackers=2 --out=/tmp/run
+//
+// Config keys (flags override file values):
+//   workers=10  attackers=2  attack=sign_flip  intensity=6.0  poison=0.5
+//   rounds=30   servers=2    participation=1.0  drop=0.0
+//   samples_per_worker=400   eval_every=5       out=fifl_run
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "chain/persistence.hpp"
+#include "core/trainer.hpp"
+#include "data/synthetic.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/models.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+using namespace fifl;
+
+util::Config load_config(int argc, char** argv) {
+  util::Config flags = util::Config::from_args(argc, argv);
+  if (const auto path = flags.get("config")) {
+    std::ifstream f(*path);
+    if (!f) {
+      throw std::runtime_error("cannot open config file: " + *path);
+    }
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    util::Config merged = util::Config::from_text(text);
+    for (const auto& [key, value] : flags.entries()) merged.set(key, value);
+    return merged;
+  }
+  return flags;
+}
+
+fl::BehaviourPtr make_attacker(const std::string& kind, double intensity,
+                               double poison) {
+  if (kind == "sign_flip") return std::make_unique<fl::SignFlipBehaviour>(intensity);
+  if (kind == "data_poison") return std::make_unique<fl::DataPoisonBehaviour>(poison);
+  if (kind == "free_rider") return std::make_unique<fl::FreeRiderBehaviour>();
+  if (kind == "noise") return std::make_unique<fl::GaussianNoiseBehaviour>(intensity);
+  throw std::runtime_error("unknown attack kind: " + kind);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Config cfg = load_config(argc, argv);
+
+  const auto workers = static_cast<std::size_t>(cfg.get_int("workers", 10));
+  const auto attackers = static_cast<std::size_t>(cfg.get_int("attackers", 2));
+  const std::string attack = cfg.get_or("attack", "sign_flip");
+  const double intensity = cfg.get_double("intensity", 6.0);
+  const double poison = cfg.get_double("poison", 0.5);
+  const auto rounds = static_cast<std::size_t>(cfg.get_int("rounds", 30));
+  const auto servers = static_cast<std::size_t>(cfg.get_int("servers", 2));
+  const auto spw = static_cast<std::size_t>(cfg.get_int("samples_per_worker", 400));
+  const std::string out_dir = cfg.get_or("out", "fifl_run");
+
+  if (attackers >= workers) {
+    std::fprintf(stderr, "error: attackers must be < workers\n");
+    return 2;
+  }
+  std::filesystem::create_directories(out_dir);
+
+  // --- federation ----------------------------------------------------------
+  auto split = data::make_synthetic_split(
+      data::mnist_like(workers * spw,
+                       static_cast<std::uint64_t>(cfg.get_int("seed", 2021))),
+      /*test_samples=*/600);
+  std::vector<fl::BehaviourPtr> behaviours;
+  for (std::size_t i = 0; i + attackers < workers; ++i) {
+    behaviours.push_back(std::make_unique<fl::HonestBehaviour>());
+  }
+  for (std::size_t i = 0; i < attackers; ++i) {
+    behaviours.push_back(make_attacker(attack, intensity, poison));
+  }
+  fl::SimulatorConfig sim_cfg;
+  sim_cfg.channel_drop_prob = cfg.get_double("drop", 0.0);
+  fl::ModelFactory factory = [](util::Rng& rng) {
+    return nn::make_lenet({.channels = 1, .image_size = 28, .classes = 10}, rng);
+  };
+  util::Rng rng(7);
+  fl::Simulator sim(sim_cfg, factory,
+                    fl::make_worker_setups(split.train, std::move(behaviours), rng),
+                    split.test);
+  core::FiflConfig engine_cfg;
+  engine_cfg.servers = servers;
+  core::FiflEngine engine(engine_cfg, sim.worker_count(), sim.parameter_count());
+
+  // --- train ---------------------------------------------------------------
+  core::TrainerConfig trainer_cfg;
+  trainer_cfg.eval_every = static_cast<std::size_t>(cfg.get_int("eval_every", 5));
+  trainer_cfg.participation = cfg.get_double("participation", 1.0);
+  core::FederatedTrainer trainer(&sim, &engine, trainer_cfg);
+  std::printf("running %zu rounds (%zu workers, %zu %s attackers) -> %s/\n",
+              rounds, workers, attackers, attack.c_str(), out_dir.c_str());
+  trainer.run(rounds, [](const core::RoundRecord& record) {
+    if (record.evaluated) {
+      std::printf("  round %3llu  acc=%.3f loss=%.3f  accepted=%zu rejected=%zu\n",
+                  static_cast<unsigned long long>(record.round), record.accuracy,
+                  record.loss, record.accepted, record.rejected);
+    }
+  });
+
+  // --- persist artefacts ---------------------------------------------------
+  trainer.history_table().write_csv(out_dir + "/history.csv");
+  nn::save_checkpoint(sim.global_model(), out_dir + "/model.ckpt", "final");
+  chain::export_ledger_file(engine.ledger(), out_dir + "/ledger.bin");
+  {
+    std::ofstream jsonl(out_dir + "/ledger.jsonl");
+    jsonl << chain::ledger_to_jsonl(engine.ledger());
+  }
+
+  const auto eval = trainer.final_evaluation();
+  std::printf("\nfinal accuracy %.3f, loss %.3f — artefacts in %s/ "
+              "(history.csv, model.ckpt, ledger.bin, ledger.jsonl)\n",
+              eval.accuracy, eval.loss, out_dir.c_str());
+  std::printf("ledger: %zu blocks, chain %s\n", engine.ledger().block_count(),
+              engine.ledger().verify_chain() ? "VALID" : "BROKEN");
+  return 0;
+}

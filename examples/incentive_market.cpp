@@ -1,0 +1,67 @@
+// Incentive-market explorer: compares all five payoff-sharing mechanisms
+// on a worker pool you control, in reliable and under-attack scenarios.
+//
+//   ./build/examples/incentive_market [--workers=20] [--trials=200]
+//                                     [--attack=0.385] [--unreliable=0.385]
+#include <cstdio>
+
+#include "market/market_sim.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fifl;
+  const util::Config cfg = util::Config::from_args(argc, argv);
+
+  market::MarketConfig market_cfg;
+  market_cfg.workers = static_cast<std::size_t>(cfg.get_int("workers", 20));
+  market_cfg.trials = static_cast<std::size_t>(cfg.get_int("trials", 200));
+  market_cfg.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 2021));
+  const double attack = cfg.get_double("attack", 0.385);
+  const double unreliable = cfg.get_double("unreliable", 0.385);
+
+  market::MarketSimulator sim(market_cfg);
+
+  std::printf("Worker market: %zu workers, n_i ~ U[%.0f, %.0f], %zu trials\n\n",
+              market_cfg.workers, market_cfg.min_samples, market_cfg.max_samples,
+              market_cfg.trials);
+
+  const market::MarketResult reliable = sim.run_reliable();
+  util::Table t1({"mechanism", "data attracted (%)", "revenue",
+                  "relative vs FIFL"});
+  for (std::size_t m = 0; m < reliable.mechanisms.size(); ++m) {
+    t1.add_row({reliable.mechanisms[m],
+                util::format_double(100 * reliable.data_share[m], 2),
+                util::format_double(reliable.revenue[m], 4),
+                util::format_double(reliable.relative_revenue[m], 4)});
+  }
+  std::printf("--- reliable federation ---\n%s\n", t1.to_text().c_str());
+
+  const market::MarketResult attacked = sim.run_under_attack(attack, unreliable);
+  util::Table t2({"mechanism", "data attracted (%)", "revenue",
+                  "relative vs FIFL"});
+  for (std::size_t m = 0; m < attacked.mechanisms.size(); ++m) {
+    t2.add_row({attacked.mechanisms[m],
+                util::format_double(100 * attacked.data_share[m], 2),
+                util::format_double(attacked.revenue[m], 4),
+                util::format_double(attacked.relative_revenue[m], 4)});
+  }
+  std::printf("--- unreliable federation (attack degree %.3f, %.1f%% unreliable) ---\n%s\n",
+              attack, 100 * unreliable, t2.to_text().c_str());
+
+  // Per-quality-group attractiveness (who would join where).
+  util::Table t3({"quality group", "Individual", "Equal", "Union", "Shapley",
+                  "FIFL"});
+  for (std::size_t g = 0; g < 10; ++g) {
+    std::vector<std::string> row{
+        std::to_string(g * 1000) + "-" + std::to_string((g + 1) * 1000)};
+    for (std::size_t m = 0; m < 5; ++m) {
+      row.push_back(
+          util::format_double(reliable.attractiveness_by_group[m][g], 3));
+    }
+    t3.add_row(row);
+  }
+  std::printf("--- attractiveness by quality group (reliable) ---\n%s",
+              t3.to_text().c_str());
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "chain/ledger.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fifl::chain {
+
+const char* record_kind_name(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kDetection: return "detection";
+    case RecordKind::kReputation: return "reputation";
+    case RecordKind::kContribution: return "contribution";
+    case RecordKind::kReward: return "reward";
+    case RecordKind::kServerSelection: return "server_selection";
+  }
+  return "?";
+}
+
+std::string AuditRecord::canonical_payload() const {
+  std::ostringstream os;
+  // Hex-exact double encoding so the payload is bit-stable across
+  // platforms and re-serialisation.
+  char value_hex[32];
+  std::snprintf(value_hex, sizeof value_hex, "%a", value);
+  os << record_kind_name(kind) << '|' << round << '|' << subject << '|'
+     << executor << '|' << value_hex;
+  return os.str();
+}
+
+Digest AuditRecord::digest() const {
+  Sha256 h;
+  h.update(canonical_payload());
+  h.update(std::span<const std::uint8_t>(signature.tag.data(),
+                                         signature.tag.size()));
+  return h.finish();
+}
+
+Digest Block::compute_hash() const {
+  Sha256 h;
+  std::ostringstream os;
+  os << index << '|';
+  h.update(os.str());
+  h.update(std::span<const std::uint8_t>(previous_hash.data(),
+                                         previous_hash.size()));
+  h.update(std::span<const std::uint8_t>(merkle_root.data(),
+                                         merkle_root.size()));
+  return h.finish();
+}
+
+Ledger::Ledger(const KeyRegistry* registry) : registry_(registry) {
+  if (!registry_) throw std::invalid_argument("Ledger: null registry");
+}
+
+const AuditRecord& Ledger::append(RecordKind kind, std::uint64_t round,
+                                  NodeId subject, NodeId executor,
+                                  double value) {
+  AuditRecord rec;
+  rec.kind = kind;
+  rec.round = round;
+  rec.subject = subject;
+  rec.executor = executor;
+  rec.value = value;
+  rec.signature = registry_->sign(executor, rec.canonical_payload());
+  pending_.push_back(rec);
+  return pending_.back();
+}
+
+std::uint64_t Ledger::seal_block() {
+  Block block;
+  block.index = blocks_.size();
+  if (!blocks_.empty()) {
+    block.previous_hash = blocks_.back().block_hash;
+  } else {
+    block.previous_hash.fill(0);
+  }
+  block.records = std::move(pending_);
+  pending_.clear();
+
+  std::vector<Digest> leaves;
+  leaves.reserve(block.records.size());
+  for (const auto& rec : block.records) leaves.push_back(rec.digest());
+  block.merkle_root = MerkleTree(std::move(leaves)).root();
+  block.block_hash = block.compute_hash();
+  blocks_.push_back(std::move(block));
+  return blocks_.back().index;
+}
+
+bool Ledger::verify_chain() const {
+  Digest prev{};
+  prev.fill(0);
+  for (const auto& block : blocks_) {
+    if (block.previous_hash != prev) return false;
+    std::vector<Digest> leaves;
+    leaves.reserve(block.records.size());
+    for (const auto& rec : block.records) {
+      if (!registry_->verify(rec.signature, rec.canonical_payload())) {
+        return false;
+      }
+      leaves.push_back(rec.digest());
+    }
+    if (MerkleTree(std::move(leaves)).root() != block.merkle_root) return false;
+    if (block.compute_hash() != block.block_hash) return false;
+    prev = block.block_hash;
+  }
+  return true;
+}
+
+std::vector<AuditRecord> Ledger::query(std::optional<RecordKind> kind,
+                                       std::optional<std::uint64_t> round,
+                                       std::optional<NodeId> subject) const {
+  std::vector<AuditRecord> out;
+  for (const auto& block : blocks_) {
+    for (const auto& rec : block.records) {
+      if (kind && rec.kind != *kind) continue;
+      if (round && rec.round != *round) continue;
+      if (subject && rec.subject != *subject) continue;
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::optional<AuditRecord> Ledger::latest(RecordKind kind,
+                                          NodeId subject) const {
+  std::optional<AuditRecord> out;
+  for (const auto& block : blocks_) {
+    for (const auto& rec : block.records) {
+      if (rec.kind == kind && rec.subject == subject) out = rec;
+    }
+  }
+  return out;
+}
+
+MerkleProof Ledger::prove_record(std::size_t block_index,
+                                 std::size_t record_index) const {
+  const Block& block = blocks_.at(block_index);
+  std::vector<Digest> leaves;
+  leaves.reserve(block.records.size());
+  for (const auto& rec : block.records) leaves.push_back(rec.digest());
+  return MerkleTree(std::move(leaves)).prove(record_index);
+}
+
+std::vector<NodeId> Ledger::audit_value(RecordKind kind, std::uint64_t round,
+                                        NodeId subject, double recomputed,
+                                        double tolerance) const {
+  std::vector<NodeId> deviating;
+  for (const auto& rec : query(kind, round, subject)) {
+    if (std::fabs(rec.value - recomputed) > tolerance) {
+      deviating.push_back(rec.executor);
+    }
+  }
+  return deviating;
+}
+
+}  // namespace fifl::chain

@@ -1,0 +1,60 @@
+#include "chain/merkle.hpp"
+
+#include <stdexcept>
+
+namespace fifl::chain {
+
+Digest MerkleTree::hash_pair(const Digest& left, const Digest& right) {
+  Sha256 h;
+  h.update(std::span<const std::uint8_t>(left.data(), left.size()));
+  h.update(std::span<const std::uint8_t>(right.data(), right.size()));
+  return h.finish();
+}
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves) : leaves_(leaves.size()) {
+  if (leaves.empty()) {
+    root_.fill(0);
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& below = levels_.back();
+    std::vector<Digest> level;
+    level.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      const Digest& left = below[i];
+      const Digest& right = (i + 1 < below.size()) ? below[i + 1] : below[i];
+      level.push_back(hash_pair(left, right));
+    }
+    levels_.push_back(std::move(level));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  if (index >= leaves_) throw std::out_of_range("MerkleTree::prove");
+  MerkleProof proof;
+  std::size_t pos = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    const std::size_t sibling = (pos % 2 == 0) ? pos + 1 : pos - 1;
+    MerkleProofStep step;
+    step.sibling_on_left = (pos % 2 == 1);
+    step.sibling = (sibling < level.size()) ? level[sibling] : level[pos];
+    proof.push_back(step);
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest& leaf, const MerkleProof& proof,
+                        const Digest& root) {
+  Digest acc = leaf;
+  for (const auto& step : proof) {
+    acc = step.sibling_on_left ? hash_pair(step.sibling, acc)
+                               : hash_pair(acc, step.sibling);
+  }
+  return acc == root;
+}
+
+}  // namespace fifl::chain

@@ -1,0 +1,43 @@
+// Merkle tree over record digests: each block commits to its records with
+// a Merkle root, and membership proofs let a worker audit "my reputation
+// record for round t is in the chain" without replaying the whole block.
+#pragma once
+
+#include <vector>
+
+#include "chain/sha256.hpp"
+
+namespace fifl::chain {
+
+struct MerkleProofStep {
+  Digest sibling{};
+  bool sibling_on_left = false;
+};
+
+using MerkleProof = std::vector<MerkleProofStep>;
+
+class MerkleTree {
+ public:
+  /// Builds a tree over leaf digests. Odd levels duplicate the last node
+  /// (Bitcoin-style). An empty tree has the all-zero root.
+  explicit MerkleTree(std::vector<Digest> leaves);
+
+  const Digest& root() const noexcept { return root_; }
+  std::size_t leaf_count() const noexcept { return leaves_; }
+
+  /// Membership proof for leaf `index`; throws std::out_of_range.
+  MerkleProof prove(std::size_t index) const;
+
+  /// Verifies that `leaf` at position `index` is under `root`.
+  static bool verify(const Digest& leaf, const MerkleProof& proof,
+                     const Digest& root);
+
+ private:
+  static Digest hash_pair(const Digest& left, const Digest& right);
+
+  std::vector<std::vector<Digest>> levels_;  // levels_[0] = leaves
+  Digest root_{};
+  std::size_t leaves_ = 0;
+};
+
+}  // namespace fifl::chain

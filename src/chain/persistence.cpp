@@ -1,0 +1,120 @@
+#include "chain/persistence.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace fifl::chain {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4c454447;  // "LEDG"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> export_ledger(const Ledger& ledger) {
+  util::ByteWriter writer;
+  writer.write_u32(kMagic);
+  writer.write_u32(kVersion);
+  writer.write_u64(ledger.block_count());
+  for (std::size_t b = 0; b < ledger.block_count(); ++b) {
+    const Block& block = ledger.block(b);
+    writer.write_u64(block.records.size());
+    for (const AuditRecord& rec : block.records) {
+      writer.write_u8(static_cast<std::uint8_t>(rec.kind));
+      writer.write_u64(rec.round);
+      writer.write_u32(rec.subject);
+      writer.write_u32(rec.executor);
+      writer.write_f64(rec.value);
+      writer.write_u32(rec.signature.signer);
+      writer.write_bytes(std::span<const std::uint8_t>(rec.signature.tag.data(),
+                                                       rec.signature.tag.size()));
+    }
+  }
+  return writer.take();
+}
+
+void export_ledger_file(const Ledger& ledger, const std::string& path) {
+  util::ByteWriter writer;
+  const auto bytes = export_ledger(ledger);
+  writer.write_bytes(bytes);
+  writer.save(path);
+}
+
+Ledger import_ledger(std::span<const std::uint8_t> bytes,
+                     const KeyRegistry* registry) {
+  util::ByteReader reader(bytes);
+  if (reader.read_u32() != kMagic) {
+    throw util::SerializeError("ledger import: bad magic");
+  }
+  if (reader.read_u32() != kVersion) {
+    throw util::SerializeError("ledger import: unsupported version");
+  }
+  Ledger ledger(registry);
+  const std::uint64_t blocks = reader.read_u64();
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::uint64_t records = reader.read_u64();
+    for (std::uint64_t r = 0; r < records; ++r) {
+      const auto kind = static_cast<RecordKind>(reader.read_u8());
+      if (kind > RecordKind::kServerSelection) {
+        throw util::SerializeError("ledger import: unknown record kind");
+      }
+      const std::uint64_t round = reader.read_u64();
+      const NodeId subject = reader.read_u32();
+      const NodeId executor = reader.read_u32();
+      const double value = reader.read_f64();
+      Signature sig;
+      sig.signer = reader.read_u32();
+      const auto tag = reader.read_bytes(sig.tag.size());
+      std::copy(tag.begin(), tag.end(), sig.tag.begin());
+
+      // Re-append via the signing path is impossible (we only have the
+      // tag), so rebuild the record and verify its signature explicitly.
+      AuditRecord rec;
+      rec.kind = kind;
+      rec.round = round;
+      rec.subject = subject;
+      rec.executor = executor;
+      rec.value = value;
+      rec.signature = sig;
+      if (!registry->verify(sig, rec.canonical_payload())) {
+        throw std::runtime_error("ledger import: record signature invalid");
+      }
+      // Append through the ledger's own signing (executor must be
+      // registered); the produced signature is identical because HMAC is
+      // deterministic — assert that as an integrity cross-check.
+      const AuditRecord& appended =
+          ledger.append(kind, round, subject, executor, value);
+      if (!(appended.signature == sig)) {
+        throw std::runtime_error("ledger import: signature mismatch");
+      }
+    }
+    ledger.seal_block();
+  }
+  if (!ledger.verify_chain()) {
+    throw std::runtime_error("ledger import: chain verification failed");
+  }
+  return ledger;
+}
+
+Ledger import_ledger_file(const std::string& path, const KeyRegistry* registry) {
+  const auto bytes = util::ByteReader::load(path);
+  return import_ledger(bytes, registry);
+}
+
+std::string ledger_to_jsonl(const Ledger& ledger) {
+  std::ostringstream os;
+  for (std::size_t b = 0; b < ledger.block_count(); ++b) {
+    const Block& block = ledger.block(b);
+    for (const AuditRecord& rec : block.records) {
+      os << "{\"block\":" << b << ",\"kind\":\"" << record_kind_name(rec.kind)
+         << "\",\"round\":" << rec.round << ",\"subject\":" << rec.subject
+         << ",\"executor\":" << rec.executor << ",\"value\":" << rec.value
+         << ",\"signer\":" << rec.signature.signer << ",\"tag\":\""
+         << to_hex(rec.signature.tag) << "\"}\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fifl::chain

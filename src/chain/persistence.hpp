@@ -1,0 +1,28 @@
+// Ledger persistence: export the sealed chain to bytes (or a file) and
+// re-import it later. Import re-derives Merkle roots and block hashes from
+// the imported records and refuses a chain that does not verify against
+// the given registry — a tampered export cannot be smuggled back in.
+#pragma once
+
+#include <string>
+
+#include "chain/ledger.hpp"
+
+namespace fifl::chain {
+
+/// Serialize all sealed blocks (pending records are not exported).
+std::vector<std::uint8_t> export_ledger(const Ledger& ledger);
+void export_ledger_file(const Ledger& ledger, const std::string& path);
+
+/// Rebuild a ledger from exported bytes. Throws util::SerializeError on a
+/// malformed stream and std::runtime_error if the rebuilt chain fails
+/// verification under `registry`.
+Ledger import_ledger(std::span<const std::uint8_t> bytes,
+                     const KeyRegistry* registry);
+Ledger import_ledger_file(const std::string& path, const KeyRegistry* registry);
+
+/// Human-auditable JSON-lines dump (one record per line) for external
+/// tooling; not meant for re-import.
+std::string ledger_to_jsonl(const Ledger& ledger);
+
+}  // namespace fifl::chain

@@ -1,0 +1,51 @@
+#include "chain/signature.hpp"
+
+#include <stdexcept>
+
+namespace fifl::chain {
+
+KeyRegistry::KeyRegistry(std::uint64_t seed) : seed_(seed) {}
+
+void KeyRegistry::register_node(NodeId node) { nodes_[node] = true; }
+
+bool KeyRegistry::is_registered(NodeId node) const {
+  return nodes_.contains(node);
+}
+
+Digest KeyRegistry::key_for(NodeId node) const {
+  // Secret key = SHA256(seed || node). Deterministic for reproducibility,
+  // but unknowable to other simulated nodes (they never see `seed_`).
+  std::string material = "fifl-key:";
+  material += std::to_string(seed_);
+  material += ':';
+  material += std::to_string(node);
+  return sha256(material);
+}
+
+Signature KeyRegistry::sign(NodeId node, const std::string& message) const {
+  if (!is_registered(node)) {
+    throw std::invalid_argument("KeyRegistry::sign: unregistered node");
+  }
+  const Digest key = key_for(node);
+  Signature sig;
+  sig.signer = node;
+  sig.tag = hmac_sha256(
+      std::span<const std::uint8_t>(key.data(), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(message.data()),
+          message.size()));
+  return sig;
+}
+
+bool KeyRegistry::verify(const Signature& sig, const std::string& message) const {
+  if (!is_registered(sig.signer)) return false;
+  const Digest key = key_for(sig.signer);
+  const Digest expected = hmac_sha256(
+      std::span<const std::uint8_t>(key.data(), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(message.data()),
+          message.size()));
+  return expected == sig.tag;
+}
+
+}  // namespace fifl::chain

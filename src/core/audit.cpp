@@ -1,0 +1,98 @@
+#include "core/audit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fifl::core {
+
+ServerSelector::ServerSelector(std::size_t cluster_size) : m_(cluster_size) {
+  if (cluster_size == 0) {
+    throw std::invalid_argument("ServerSelector: cluster_size must be >= 1");
+  }
+}
+
+namespace {
+std::vector<chain::NodeId> top_m(std::span<const double> scores, std::size_t m,
+                                 const std::set<chain::NodeId>& banned) {
+  std::vector<chain::NodeId> ids;
+  ids.reserve(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const auto id = static_cast<chain::NodeId>(i);
+    if (!banned.contains(id)) ids.push_back(id);
+  }
+  if (ids.size() < m) {
+    throw std::runtime_error("ServerSelector: not enough eligible candidates");
+  }
+  std::stable_sort(ids.begin(), ids.end(),
+                   [&](chain::NodeId a, chain::NodeId b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     return a < b;
+                   });
+  ids.resize(m);
+  // Deterministic slice assignment: slice j goes to the j-th lowest id of
+  // the selected set, so a stable cluster keeps stable slice ownership.
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+}  // namespace
+
+std::vector<chain::NodeId> ServerSelector::select_initial(
+    std::span<const double> verification_scores) const {
+  return top_m(verification_scores, m_, banned_);
+}
+
+std::vector<chain::NodeId> ServerSelector::select_by_reputation(
+    const ReputationModule& reputation, std::size_t workers) const {
+  std::vector<double> scores(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    scores[i] = reputation.reputation(static_cast<chain::NodeId>(i));
+  }
+  return top_m(scores, m_, banned_);
+}
+
+void ServerSelector::blacklist(chain::NodeId node) { banned_.insert(node); }
+
+bool ServerSelector::is_blacklisted(chain::NodeId node) const {
+  return banned_.contains(node);
+}
+
+AuditService::AuditService(const chain::Ledger* ledger, ServerSelector* selector)
+    : ledger_(ledger), selector_(selector) {
+  if (!ledger_ || !selector_) {
+    throw std::invalid_argument("AuditService: null ledger or selector");
+  }
+}
+
+std::vector<chain::NodeId> AuditService::audit_reputation(
+    chain::NodeId worker, std::uint64_t round, const ReputationConfig& config,
+    double tolerance) {
+  // Replay detection outcomes for this worker from the chain, in round
+  // order, to recompute what the reputation should have been.
+  ReputationModule replay(config);
+  replay.resize(worker + 1);
+  for (std::uint64_t r = 0; r <= round; ++r) {
+    const auto detections =
+        ledger_->query(chain::RecordKind::kDetection, r, worker);
+    if (detections.empty()) continue;
+    // Per-server detection records share one outcome value (the global
+    // r_i); value >= 0.5 encodes "accepted", < 0 encodes "uncertain".
+    const double v = detections.front().value;
+    if (v < 0.0) {
+      replay.record(worker, Event::kUncertain);
+    } else {
+      replay.record(worker, v >= 0.5 ? Event::kPositive : Event::kNegative);
+    }
+  }
+  return audit_value(chain::RecordKind::kReputation, round, worker,
+                     replay.reputation(worker), tolerance);
+}
+
+std::vector<chain::NodeId> AuditService::audit_value(
+    chain::RecordKind kind, std::uint64_t round, chain::NodeId worker,
+    double recomputed, double tolerance) {
+  auto cheats = ledger_->audit_value(kind, round, worker, recomputed, tolerance);
+  for (chain::NodeId server : cheats) selector_->blacklist(server);
+  return cheats;
+}
+
+}  // namespace fifl::core

@@ -1,0 +1,78 @@
+// Server-cluster reliability (Sec. 4.5): reputation-based server
+// (re-)selection and the blockchain audit that catches manipulating
+// servers.
+//
+// Selection: before training, candidates are ranked by a short
+// verification score (validation accuracy of a probe model); during
+// training, the task publisher re-selects the M highest-reputation devices
+// each round. Audit: a worker who suspects tampering asks the publisher to
+// recompute the value; every on-chain record that disagrees exposes its
+// signing server, which is then evicted from future selection.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "chain/ledger.hpp"
+#include "core/reputation.hpp"
+
+namespace fifl::core {
+
+class ServerSelector {
+ public:
+  explicit ServerSelector(std::size_t cluster_size);
+
+  std::size_t cluster_size() const noexcept { return m_; }
+
+  /// Initial selection: the M candidates with the highest verification
+  /// scores (e.g. probe-model validation accuracy). Ties break to the
+  /// lower id for determinism.
+  std::vector<chain::NodeId> select_initial(
+      std::span<const double> verification_scores) const;
+
+  /// Per-round re-selection: the M highest-reputation workers that are
+  /// not blacklisted.
+  std::vector<chain::NodeId> select_by_reputation(
+      const ReputationModule& reputation, std::size_t workers) const;
+
+  /// Permanently exclude a node (caught by the audit).
+  void blacklist(chain::NodeId node);
+  bool is_blacklisted(chain::NodeId node) const;
+  const std::set<chain::NodeId>& blacklisted() const noexcept { return banned_; }
+
+ private:
+  std::size_t m_;
+  std::set<chain::NodeId> banned_;
+};
+
+/// The Sec. 4.5 audit flow over a sealed Ledger.
+class AuditService {
+ public:
+  AuditService(const chain::Ledger* ledger, ServerSelector* selector);
+
+  /// Recomputes the expected reputation of `worker` at `round` by
+  /// replaying the on-chain detection records through a fresh
+  /// ReputationModule, compares it with the on-chain reputation record,
+  /// and blacklists every server whose record deviates. Returns the ids
+  /// of newly blacklisted servers (empty = chain is consistent).
+  std::vector<chain::NodeId> audit_reputation(chain::NodeId worker,
+                                              std::uint64_t round,
+                                              const ReputationConfig& config,
+                                              double tolerance = 1e-9);
+
+  /// Direct comparison audit for any record kind given an independently
+  /// recomputed value.
+  std::vector<chain::NodeId> audit_value(chain::RecordKind kind,
+                                         std::uint64_t round,
+                                         chain::NodeId worker,
+                                         double recomputed,
+                                         double tolerance = 1e-9);
+
+ private:
+  const chain::Ledger* ledger_;
+  ServerSelector* selector_;
+};
+
+}  // namespace fifl::core

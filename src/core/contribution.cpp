@@ -1,0 +1,78 @@
+#include "core/contribution.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace fifl::core {
+
+ContributionResult ContributionModule::run(
+    std::span<const fl::Upload> uploads,
+    const fl::Gradient& global_gradient) const {
+  ContributionResult result;
+  const std::size_t n = uploads.size();
+  result.distances.assign(n, std::numeric_limits<double>::quiet_NaN());
+  result.contributions.assign(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!uploads[i].arrived) continue;
+    if (uploads[i].gradient.size() != global_gradient.size()) {
+      throw std::invalid_argument("ContributionModule: gradient size mismatch");
+    }
+    double d = tensor::squared_distance(uploads[i].gradient.flat(),
+                                        global_gradient.flat());
+    if (!std::isfinite(d)) {
+      // A non-finite gradient is infinitely far from the global one.
+      d = std::numeric_limits<double>::infinity();
+    }
+    result.distances[i] = d;
+  }
+
+  if (config_.anchor == Anchor::kZeroGradient) {
+    result.threshold = global_gradient.squared_norm();  // Dis(G̃, 0)
+  } else {
+    if (config_.reference_worker >= n) {
+      throw std::invalid_argument("ContributionModule: reference worker out of range");
+    }
+    const double ref = result.distances[config_.reference_worker];
+    if (!std::isfinite(ref)) {
+      throw std::runtime_error(
+          "ContributionModule: reference worker's upload is unusable");
+    }
+    result.threshold = ref;
+  }
+
+  if (result.threshold <= 0.0) {
+    // Degenerate round (zero global gradient): nobody contributes.
+    for (auto& c : result.contributions) c = 0.0;
+    return result;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!uploads[i].arrived) continue;
+    if (std::isinf(result.distances[i])) {
+      result.contributions[i] = -std::numeric_limits<double>::infinity();
+      continue;
+    }
+    result.contributions[i] = 1.0 - result.distances[i] / result.threshold;
+  }
+  return result;
+}
+
+double ContributionModule::sliced_distance(const fl::Gradient& a,
+                                           const fl::Gradient& b,
+                                           const fl::SlicePlan& plan) {
+  if (a.size() != plan.gradient_size() || b.size() != plan.gradient_size()) {
+    throw std::invalid_argument("sliced_distance: size mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < plan.servers(); ++j) {
+    const auto sa = plan.slice(a, j);
+    const auto sb = plan.slice(b, j);
+    total += tensor::squared_distance(sa, sb);
+  }
+  return total;
+}
+
+}  // namespace fifl::core

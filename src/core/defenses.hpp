@@ -1,0 +1,144 @@
+// Byzantine-robust aggregation baselines (extension module).
+//
+// The paper positions FIFL's detection module against the Byzantine-
+// tolerant literature it cites — Krum [Blanchard et al., NIPS'17],
+// coordinate-wise median / trimmed mean [Yin et al.-style], and the
+// loss-based Zeno [Xie et al.]. We implement them behind one interface so
+// the ablation bench can race them against FIFL detection on identical
+// uploads: same inputs, who keeps the model alive, at what cost, and —
+// unlike FIFL — none of them yields per-worker assessments an incentive
+// mechanism could pay on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detection.hpp"
+#include "fl/worker.hpp"
+
+namespace fifl::core {
+
+class RobustAggregator {
+ public:
+  virtual ~RobustAggregator() = default;
+  virtual std::string name() const = 0;
+
+  /// Robust estimate of the true gradient from one round of uploads.
+  /// Uploads that did not arrive are ignored. Throws std::invalid_argument
+  /// if no usable upload exists.
+  virtual fl::Gradient aggregate(std::span<const fl::Upload> uploads) const = 0;
+};
+
+using AggregatorPtr = std::unique_ptr<RobustAggregator>;
+
+/// Plain FedAvg (Eq. 2): sample-count-weighted mean. The undefended
+/// baseline.
+class FedAvgAggregator final : public RobustAggregator {
+ public:
+  std::string name() const override { return "FedAvg"; }
+  fl::Gradient aggregate(std::span<const fl::Upload> uploads) const override;
+};
+
+/// Krum / multi-Krum: each gradient is scored by the sum of its squared
+/// distances to its n−f−2 nearest neighbours; the m lowest-scoring
+/// gradients are averaged (m = 1 is classic Krum).
+class KrumAggregator final : public RobustAggregator {
+ public:
+  /// `f` = assumed number of Byzantine workers; `m` = gradients kept.
+  KrumAggregator(std::size_t f, std::size_t m = 1);
+  std::string name() const override;
+  fl::Gradient aggregate(std::span<const fl::Upload> uploads) const override;
+
+  /// Krum scores (sum of the n−f−2 smallest squared distances) per
+  /// arrived upload index — exposed for tests.
+  std::vector<double> scores(std::span<const fl::Upload> uploads) const;
+
+ private:
+  std::size_t f_;
+  std::size_t m_;
+};
+
+/// Coordinate-wise median of the arrived gradients.
+class MedianAggregator final : public RobustAggregator {
+ public:
+  std::string name() const override { return "CoordMedian"; }
+  fl::Gradient aggregate(std::span<const fl::Upload> uploads) const override;
+};
+
+/// Coordinate-wise trimmed mean: drop the `trim` largest and smallest
+/// values per coordinate, average the rest.
+class TrimmedMeanAggregator final : public RobustAggregator {
+ public:
+  explicit TrimmedMeanAggregator(std::size_t trim);
+  std::string name() const override;
+  fl::Gradient aggregate(std::span<const fl::Upload> uploads) const override;
+
+ private:
+  std::size_t trim_;
+};
+
+/// FIFL's detection module as an aggregator: score against benchmark
+/// slices from the given server members, reject below-threshold uploads,
+/// weighted-average the rest (Eq. 2 + Eq. 7). The one defense here that
+/// also produces per-worker accept/reject outcomes for the incentive
+/// layer.
+class FiflDetectionAggregator final : public RobustAggregator {
+ public:
+  FiflDetectionAggregator(DetectionConfig config,
+                          std::vector<chain::NodeId> servers);
+  std::string name() const override { return "FIFL-detect"; }
+  fl::Gradient aggregate(std::span<const fl::Upload> uploads) const override;
+
+ private:
+  DetectionConfig config_;
+  std::vector<chain::NodeId> servers_;
+};
+
+/// Norm clipping: rescale every upload whose norm exceeds the median
+/// upload norm down to it, then FedAvg. The cheapest robust baseline —
+/// it bounds (but does not remove) a flipped gradient's influence.
+class NormClipAggregator final : public RobustAggregator {
+ public:
+  std::string name() const override { return "NormClip"; }
+  fl::Gradient aggregate(std::span<const fl::Upload> uploads) const override;
+};
+
+/// Zeno [Xie et al. '18] — the paper's Eq. 5 reference point: score each
+/// upload by the exact validation-loss decrease it would cause,
+/// S = L(θ) − L(θ − G_i) − ρ‖G_i‖², drop the `b` lowest-scoring uploads,
+/// average the rest. Needs the current parameters and a loss oracle; the
+/// expensive inference per worker per round is exactly what FIFL's Taylor
+/// approximation removes (micro_detection_cost quantifies the gap).
+class ZenoAggregator final : public RobustAggregator {
+ public:
+  using LossOracle = std::function<double(std::span<const float> params)>;
+
+  /// `b` = number of suspicious uploads removed each round; `rho` is the
+  /// regularisation weight on ‖G_i‖².
+  ZenoAggregator(std::size_t b, double rho, LossOracle loss);
+
+  std::string name() const override;
+  fl::Gradient aggregate(std::span<const fl::Upload> uploads) const override;
+
+  /// Must be called with the current global parameters before aggregate().
+  void set_parameters(std::vector<float> params);
+
+  /// Zeno scores per arrived upload (exposed for tests/benches).
+  std::vector<double> scores(std::span<const fl::Upload> uploads) const;
+
+ private:
+  std::size_t b_;
+  double rho_;
+  LossOracle loss_;
+  std::vector<float> params_;
+};
+
+/// All defenses configured for a federation of `workers` with up to `f`
+/// Byzantine members (FedAvg first, FIFL last).
+std::vector<AggregatorPtr> standard_defenses(std::size_t workers, std::size_t f,
+                                             DetectionConfig fifl_config = {});
+
+}  // namespace fifl::core

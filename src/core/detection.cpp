@@ -1,0 +1,122 @@
+#include "core/detection.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace fifl::core {
+
+DetectionResult DetectionModule::run(
+    std::span<const fl::Upload> uploads, const fl::SlicePlan& plan,
+    const std::vector<std::vector<float>>& benchmark) const {
+  if (benchmark.size() != plan.servers()) {
+    throw std::invalid_argument("DetectionModule: benchmark slice count mismatch");
+  }
+  const std::size_t n = uploads.size();
+  const std::size_t m = plan.servers();
+
+  DetectionResult result;
+  result.scores.assign(n, std::numeric_limits<double>::quiet_NaN());
+  result.accepted.assign(n, 0);
+  result.uncertain.assign(n, 0);
+  result.server_scores.assign(m, std::vector<double>(n, 0.0));
+
+  // Benchmark norm over all slices (for normalisation).
+  double bench_norm2 = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (benchmark[j].size() != plan.slice_size(j)) {
+      throw std::invalid_argument("DetectionModule: benchmark slice size mismatch");
+    }
+    for (float v : benchmark[j]) {
+      bench_norm2 += static_cast<double>(v) * static_cast<double>(v);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!uploads[i].arrived) {
+      result.uncertain[i] = 1;
+      continue;
+    }
+    if (uploads[i].gradient.size() != plan.gradient_size()) {
+      throw std::invalid_argument("DetectionModule: upload gradient size mismatch");
+    }
+    double raw = 0.0;
+    bool finite = true;
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto slice = plan.slice(uploads[i].gradient, j);
+      double sj = 0.0;
+      for (std::size_t k = 0; k < slice.size(); ++k) {
+        sj += static_cast<double>(benchmark[j][k]) * static_cast<double>(slice[k]);
+      }
+      result.server_scores[j][i] = sj;
+      raw += sj;
+      if (!std::isfinite(sj)) finite = false;
+    }
+    double score = raw;
+    if (config_.score == ScoreKind::kCosine) {
+      const double norm_i = uploads[i].gradient.norm();
+      const double denom = std::sqrt(bench_norm2) * norm_i;
+      score = (denom > 0.0 && std::isfinite(denom)) ? raw / denom : 0.0;
+    } else if (config_.score == ScoreKind::kProjection) {
+      score = bench_norm2 > 0.0 ? raw / bench_norm2 : 0.0;
+    }
+    if (!finite || !std::isfinite(score)) {
+      // A non-finite gradient is by definition harmful: reject outright.
+      result.scores[i] = -std::numeric_limits<double>::infinity();
+      result.accepted[i] = 0;
+      continue;
+    }
+    result.scores[i] = score;
+    result.accepted[i] = score >= config_.threshold ? 1 : 0;
+  }
+  return result;
+}
+
+DetectionResult DetectionModule::run(std::span<const fl::Upload> uploads,
+                                     const fl::ServerCluster& cluster) const {
+  return run(uploads, cluster.plan(), cluster.benchmark_slices(uploads));
+}
+
+DetectionMetrics evaluate_detection(const DetectionResult& result,
+                                    std::span<const fl::Upload> uploads) {
+  if (result.accepted.size() != uploads.size()) {
+    throw std::invalid_argument("evaluate_detection: size mismatch");
+  }
+  DetectionMetrics metrics;
+  std::size_t correct = 0, considered = 0;
+  std::size_t honest_accepted = 0, attacker_rejected = 0;
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    if (result.uncertain[i]) continue;
+    ++considered;
+    const bool attacker = uploads[i].ground_truth_attack;
+    if (attacker) {
+      ++metrics.attacker_total;
+      if (!result.accepted[i]) {
+        ++attacker_rejected;
+        ++correct;
+      }
+    } else {
+      ++metrics.honest_total;
+      if (result.accepted[i]) {
+        ++honest_accepted;
+        ++correct;
+      }
+    }
+  }
+  metrics.accuracy =
+      considered ? static_cast<double>(correct) / static_cast<double>(considered) : 0.0;
+  metrics.true_positive =
+      metrics.honest_total
+          ? static_cast<double>(honest_accepted) / static_cast<double>(metrics.honest_total)
+          : 0.0;
+  metrics.true_negative =
+      metrics.attacker_total
+          ? static_cast<double>(attacker_rejected) /
+                static_cast<double>(metrics.attacker_total)
+          : 0.0;
+  return metrics;
+}
+
+}  // namespace fifl::core

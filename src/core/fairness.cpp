@@ -1,0 +1,31 @@
+#include "core/fairness.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace fifl::core {
+
+double fairness_coefficient(std::span<const double> inputs,
+                            std::span<const double> rewards) {
+  return util::pearson(inputs, rewards);
+}
+
+double fairness_among_contributors(std::span<const double> contributions,
+                                   std::span<const double> rewards) {
+  if (contributions.size() != rewards.size()) {
+    throw std::invalid_argument("fairness_among_contributors: size mismatch");
+  }
+  std::vector<double> xs, ys;
+  for (std::size_t i = 0; i < contributions.size(); ++i) {
+    if (contributions[i] > 0.0) {
+      xs.push_back(contributions[i]);
+      ys.push_back(rewards[i]);
+    }
+  }
+  if (xs.size() < 2) return 1.0;  // degenerate: one contributor is trivially fair
+  return util::pearson(xs, ys);
+}
+
+}  // namespace fifl::core

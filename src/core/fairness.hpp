@@ -1,0 +1,20 @@
+// Fairness coefficient (Sec. 4.4, Eq. 16-17): the Pearson correlation
+// between what workers put in (contribution / reputation) and what they
+// get out (reward). Theorem 2 says this is exactly 1 for honest workers
+// under FIFL — verified by our property tests and the Fig. 4 bench.
+#pragma once
+
+#include <span>
+
+namespace fifl::core {
+
+/// C_s in Eq. 16 over any (input, reward) pairing; in [-1, 1].
+double fairness_coefficient(std::span<const double> inputs,
+                            std::span<const double> rewards);
+
+/// Fairness restricted to workers with positive contribution (the paper's
+/// honest-worker setting of Theorem 2).
+double fairness_among_contributors(std::span<const double> contributions,
+                                   std::span<const double> rewards);
+
+}  // namespace fifl::core

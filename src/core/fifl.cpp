@@ -1,0 +1,200 @@
+#include "core/fifl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fifl::core {
+
+FiflEngine::FiflEngine(FiflConfig config, std::size_t workers,
+                       std::size_t gradient_size)
+    : config_(config),
+      workers_(workers),
+      plan_(gradient_size, config.servers),
+      detection_(config.detection),
+      reputation_(config.reputation),
+      contribution_(config.contribution),
+      incentive_(config.incentive),
+      selector_(config.servers),
+      registry_(config.key_seed),
+      ledger_(&registry_) {
+  if (workers == 0) throw std::invalid_argument("FiflEngine: zero workers");
+  if (config.servers > workers) {
+    throw std::invalid_argument("FiflEngine: more servers than workers");
+  }
+  reputation_.resize(workers);
+  for (std::size_t i = 0; i <= workers; ++i) {
+    registry_.register_node(static_cast<chain::NodeId>(i));
+  }
+  members_.resize(config.servers);
+  for (std::size_t j = 0; j < config.servers; ++j) {
+    members_[j] = static_cast<chain::NodeId>(j);
+  }
+}
+
+void FiflEngine::initialize_servers(
+    std::span<const double> verification_scores) {
+  if (verification_scores.size() != workers_) {
+    throw std::invalid_argument("initialize_servers: score count mismatch");
+  }
+  members_ = selector_.select_initial(verification_scores);
+  if (config_.record_to_ledger) {
+    for (chain::NodeId member : members_) {
+      ledger_.append(chain::RecordKind::kServerSelection, round_, member,
+                     publisher(), 1.0);
+    }
+  }
+}
+
+std::vector<chain::NodeId> FiflEngine::effective_members(
+    std::span<const fl::Upload> uploads) const {
+  auto arrived = [&uploads](chain::NodeId id) {
+    for (const auto& u : uploads) {
+      if (u.worker == id) return u.arrived;
+    }
+    return false;
+  };
+  std::vector<chain::NodeId> effective = members_;
+  for (auto& member : effective) {
+    if (arrived(member)) continue;
+    // Substitute: highest-reputation arrived worker not already serving.
+    chain::NodeId best = member;
+    double best_rep = -std::numeric_limits<double>::infinity();
+    for (const auto& u : uploads) {
+      if (!u.arrived) continue;
+      if (std::find(effective.begin(), effective.end(), u.worker) !=
+          effective.end()) {
+        continue;
+      }
+      const double rep = reputation_.reputation(u.worker);
+      if (rep > best_rep) {
+        best_rep = rep;
+        best = u.worker;
+      }
+    }
+    if (best == member) {
+      throw std::runtime_error(
+          "FiflEngine: no arrived upload available to serve as benchmark");
+    }
+    member = best;
+  }
+  return effective;
+}
+
+RoundReport FiflEngine::process_round(std::span<const fl::Upload> uploads) {
+  if (uploads.size() != workers_) {
+    throw std::invalid_argument("FiflEngine: expected one upload per worker");
+  }
+  RoundReport report;
+  report.round = round_;
+
+  // --- 1. attack detection against the server benchmark slices -----------
+  std::vector<chain::NodeId> bench_members;
+  try {
+    bench_members = effective_members(uploads);
+  } catch (const std::runtime_error&) {
+    // No usable benchmark this round (e.g. the channel dropped every
+    // candidate): degrade gracefully — everything is an uncertain event,
+    // nothing is aggregated or paid.
+    report.degraded = true;
+    report.servers = members_;
+    const std::size_t n = uploads.size();
+    report.detection.scores.assign(n, std::numeric_limits<double>::quiet_NaN());
+    report.detection.accepted.assign(n, 0);
+    report.detection.uncertain.assign(n, 1);
+    report.detection.server_scores.assign(
+        plan_.servers(), std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      reputation_.record(static_cast<chain::NodeId>(i), Event::kUncertain);
+    }
+    report.reputations = reputation_.all_reputations();
+    report.reputations.resize(workers_);
+    report.global_gradient = fl::Gradient(plan_.gradient_size());
+    report.contribution.distances.assign(
+        n, std::numeric_limits<double>::quiet_NaN());
+    report.contribution.contributions.assign(n, 0.0);
+    report.rewards.assign(n, 0.0);
+    cumulative_.add_round(report.rewards);
+    if (config_.record_to_ledger) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ledger_.append(chain::RecordKind::kDetection, round_,
+                       static_cast<chain::NodeId>(i), publisher(), -1.0);
+      }
+      ledger_.seal_block();
+    }
+    ++round_;
+    return report;
+  }
+  fl::ServerCluster cluster(bench_members, plan_);
+  report.servers = bench_members;
+  report.detection = detection_.run(uploads, cluster);
+
+  // --- 2. reputation events ----------------------------------------------
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    const auto id = static_cast<chain::NodeId>(i);
+    if (report.detection.uncertain[i]) {
+      reputation_.record(id, Event::kUncertain);
+    } else {
+      reputation_.record(id, report.detection.accepted[i] ? Event::kPositive
+                                                          : Event::kNegative);
+    }
+  }
+  report.reputations = reputation_.all_reputations();
+  report.reputations.resize(workers_);
+
+  // --- 3. aggregation over accepted uploads (Eq. 2 with r_i mask) --------
+  report.global_gradient = fl::Gradient(plan_.gradient_size());
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    if (!uploads[i].arrived || !report.detection.accepted[i]) continue;
+    total_weight += static_cast<double>(uploads[i].samples);
+  }
+  if (total_weight > 0.0) {
+    for (std::size_t i = 0; i < uploads.size(); ++i) {
+      if (!uploads[i].arrived || !report.detection.accepted[i]) continue;
+      report.global_gradient.axpy(
+          static_cast<float>(static_cast<double>(uploads[i].samples) / total_weight),
+          uploads[i].gradient);
+    }
+  }
+
+  // --- 4. contribution (Eq. 13-14) ----------------------------------------
+  report.contribution = contribution_.run(uploads, report.global_gradient);
+
+  // --- 5. incentive (Eq. 15) ----------------------------------------------
+  report.rewards =
+      incentive_.rewards(report.reputations, report.contribution.contributions);
+  cumulative_.add_round(report.rewards);
+  report.fairness = fairness_among_contributors(
+      report.contribution.contributions, report.rewards);
+
+  // --- 6. audit trail ------------------------------------------------------
+  if (config_.record_to_ledger) {
+    const chain::NodeId leader = bench_members.front();
+    for (std::size_t i = 0; i < uploads.size(); ++i) {
+      const auto id = static_cast<chain::NodeId>(i);
+      // Detection outcome: 1 accepted, 0 rejected, -1 uncertain.
+      const double outcome = report.detection.uncertain[i]
+                                 ? -1.0
+                                 : static_cast<double>(report.detection.accepted[i]);
+      ledger_.append(chain::RecordKind::kDetection, round_, id, leader, outcome);
+      ledger_.append(chain::RecordKind::kReputation, round_, id, leader,
+                     report.reputations[i]);
+      ledger_.append(chain::RecordKind::kContribution, round_, id, leader,
+                     report.contribution.contributions[i]);
+      ledger_.append(chain::RecordKind::kReward, round_, id, publisher(),
+                     report.rewards[i]);
+    }
+    ledger_.seal_block();
+  }
+
+  // --- 7. reputation-based server re-selection for the next round --------
+  if (config_.reselect_servers) {
+    members_ = selector_.select_by_reputation(reputation_, workers_);
+  }
+  ++round_;
+  return report;
+}
+
+}  // namespace fifl::core

@@ -1,0 +1,110 @@
+// FiflEngine: the full per-round FIFL pipeline of Fig. 2 wired together.
+//
+//   uploads ──► attack detection (Sec. 4.1) ──► reputation update (4.2)
+//        └──► accepted-only aggregation (Eq. 2+7) ──► contribution (4.3)
+//                                 └──► incentive  I_i = R_i·C_i/ΣC⁺ (4.4)
+// with every intermediate value signed and sealed into the audit ledger
+// and the server cluster re-selected by reputation each round (4.5).
+//
+// The engine is deliberately independent of fl::Simulator: it consumes a
+// span of Uploads and returns the accept mask + aggregated gradient, so
+// callers can drive it from the simulator, from tests with synthetic
+// gradients, or from the market model.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "chain/ledger.hpp"
+#include "core/audit.hpp"
+#include "core/contribution.hpp"
+#include "core/detection.hpp"
+#include "core/fairness.hpp"
+#include "core/incentive.hpp"
+#include "core/reputation.hpp"
+#include "fl/topology.hpp"
+
+namespace fifl::core {
+
+struct FiflConfig {
+  DetectionConfig detection;
+  ReputationConfig reputation;
+  ContributionConfig contribution;
+  IncentiveConfig incentive;
+  std::size_t servers = 2;  // M (1 = centralized, N = decentralized)
+  bool reselect_servers = true;
+  bool record_to_ledger = true;
+  std::uint64_t key_seed = 0x51f7u;
+};
+
+struct RoundReport {
+  std::uint64_t round = 0;
+  std::vector<chain::NodeId> servers;  // cluster that served this round
+  /// True when no benchmark could be assembled (e.g. every candidate
+  /// upload was lost): detection was impossible, all events recorded as
+  /// uncertain, nothing aggregated, nobody paid.
+  bool degraded = false;
+  DetectionResult detection;
+  std::vector<double> reputations;     // R_i after this round's events
+  fl::Gradient global_gradient;        // G̃ over accepted uploads
+  ContributionResult contribution;
+  std::vector<double> rewards;         // I_i (negative = punishment)
+  double fairness = 0.0;               // C_s among positive contributors
+};
+
+class FiflEngine {
+ public:
+  FiflEngine(FiflConfig config, std::size_t workers, std::size_t gradient_size);
+
+  std::size_t workers() const noexcept { return workers_; }
+  const FiflConfig& config() const noexcept { return config_; }
+  const fl::SlicePlan& plan() const noexcept { return plan_; }
+  const std::vector<chain::NodeId>& server_members() const noexcept {
+    return members_;
+  }
+  /// The task publisher's node id (workers_, one past the last worker).
+  chain::NodeId publisher() const noexcept {
+    return static_cast<chain::NodeId>(workers_);
+  }
+
+  /// Initial server selection from pre-training verification scores
+  /// (Sec. 4.5). Without this call the cluster starts as workers 0..M-1.
+  void initialize_servers(std::span<const double> verification_scores);
+
+  /// Runs the full pipeline on one round of uploads (uploads.size() must
+  /// equal workers()).
+  RoundReport process_round(std::span<const fl::Upload> uploads);
+
+  ReputationModule& reputation() noexcept { return reputation_; }
+  const ReputationModule& reputation() const noexcept { return reputation_; }
+  const chain::Ledger& ledger() const noexcept { return ledger_; }
+  const chain::KeyRegistry& registry() const noexcept { return registry_; }
+  ServerSelector& selector() noexcept { return selector_; }
+  const CumulativeLedger& cumulative() const noexcept { return cumulative_; }
+  DetectionModule& detection() noexcept { return detection_; }
+
+ private:
+  /// Benchmark slice providers for this round: the cluster members, with
+  /// any member whose upload is missing/dropped replaced by the
+  /// highest-reputation arrived worker (keeps detection alive under
+  /// channel loss).
+  std::vector<chain::NodeId> effective_members(
+      std::span<const fl::Upload> uploads) const;
+
+  FiflConfig config_;
+  std::size_t workers_;
+  fl::SlicePlan plan_;
+  std::vector<chain::NodeId> members_;
+  DetectionModule detection_;
+  ReputationModule reputation_;
+  ContributionModule contribution_;
+  IncentiveModule incentive_;
+  ServerSelector selector_;
+  chain::KeyRegistry registry_;
+  chain::Ledger ledger_;
+  CumulativeLedger cumulative_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace fifl::core

@@ -1,0 +1,55 @@
+#include "core/incentive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fifl::core {
+
+IncentiveModule::IncentiveModule(IncentiveConfig config) : config_(config) {
+  if (config.reward_pool <= 0.0) {
+    throw std::invalid_argument("IncentiveModule: reward_pool must be > 0");
+  }
+  if (config.punishment_cap <= 0.0) {
+    throw std::invalid_argument("IncentiveModule: punishment_cap must be > 0");
+  }
+}
+
+std::vector<double> IncentiveModule::rewards(
+    std::span<const double> reputations,
+    std::span<const double> contributions) const {
+  if (reputations.size() != contributions.size()) {
+    throw std::invalid_argument("IncentiveModule: size mismatch");
+  }
+  const std::size_t n = reputations.size();
+  std::vector<double> out(n, 0.0);
+
+  double positive_total = 0.0;
+  for (double c : contributions) {
+    if (c > 0.0 && std::isfinite(c)) positive_total += c;
+  }
+  if (positive_total <= 0.0) return out;
+
+  const double floor = -config_.punishment_cap * config_.reward_pool;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double c = contributions[i];
+    if (c == 0.0 || std::isnan(c)) continue;
+    double share = reputations[i] * (c / positive_total) * config_.reward_pool;
+    if (!std::isfinite(share)) share = floor;  // -inf contribution
+    out[i] = std::max(share, floor);
+  }
+  return out;
+}
+
+void CumulativeLedger::add_round(std::span<const double> rewards) {
+  if (totals_.empty()) {
+    totals_.assign(rewards.size(), 0.0);
+  } else if (totals_.size() != rewards.size()) {
+    throw std::invalid_argument("CumulativeLedger: worker count changed");
+  }
+  for (std::size_t i = 0; i < rewards.size(); ++i) totals_[i] += rewards[i];
+  history_.push_back(totals_);
+  ++rounds_;
+}
+
+}  // namespace fifl::core

@@ -1,0 +1,59 @@
+// Incentive module (Sec. 4.4): the reward share of worker i is the product
+// of its reputation and its normalised contribution,
+//   I_i = R_i · C_i / Σ_{j: C_j > 0} C_j          (Eq. 15),
+// scaled by the round's reward pool I_sum. Positive C_i earns a reward;
+// negative C_i (worse than the b_h anchor) yields a punishment whose
+// magnitude grows with both the deviation and the worker's reputation
+// weighting. CumulativeLedger tracks per-worker totals across rounds for
+// the Fig. 13/14 series.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fifl::core {
+
+struct IncentiveConfig {
+  /// Total reward distributed per round (I_sum).
+  double reward_pool = 1.0;
+  /// Clamp punishments at -punishment_cap * reward_pool per round so a
+  /// single infinite-distance gradient cannot produce -inf bookkeeping.
+  double punishment_cap = 10.0;
+};
+
+class IncentiveModule {
+ public:
+  explicit IncentiveModule(IncentiveConfig config);
+
+  const IncentiveConfig& config() const noexcept { return config_; }
+
+  /// Eq. 15 for every worker. `reputations` and `contributions` must have
+  /// equal size. Returns per-worker rewards (negative = punishment). If no
+  /// worker has positive contribution, everyone gets 0.
+  std::vector<double> rewards(std::span<const double> reputations,
+                              std::span<const double> contributions) const;
+
+ private:
+  IncentiveConfig config_;
+};
+
+/// Accumulates per-worker rewards over rounds (Figs. 13-14 series).
+class CumulativeLedger {
+ public:
+  void add_round(std::span<const double> rewards);
+  std::size_t rounds() const noexcept { return rounds_; }
+  std::size_t workers() const noexcept { return totals_.size(); }
+  double total(std::size_t worker) const { return totals_.at(worker); }
+  const std::vector<double>& totals() const noexcept { return totals_; }
+  /// history()[t][i]: cumulative reward of worker i after round t.
+  const std::vector<std::vector<double>>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  std::size_t rounds_ = 0;
+  std::vector<double> totals_;
+  std::vector<std::vector<double>> history_;
+};
+
+}  // namespace fifl::core

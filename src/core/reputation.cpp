@@ -1,0 +1,77 @@
+#include "core/reputation.hpp"
+
+#include <stdexcept>
+
+namespace fifl::core {
+
+ReputationModule::ReputationModule(ReputationConfig config) : config_(config) {
+  if (config.gamma <= 0.0 || config.gamma >= 1.0) {
+    throw std::invalid_argument("ReputationModule: gamma must be in (0,1)");
+  }
+}
+
+void ReputationModule::resize(std::size_t workers) {
+  if (workers < decayed_.size()) return;
+  decayed_.resize(workers, config_.initial);
+  counts_.resize(workers);
+}
+
+void ReputationModule::record(chain::NodeId worker, Event event) {
+  if (worker >= decayed_.size()) resize(worker + 1);
+  Counts& counts = counts_[worker];
+  switch (event) {
+    case Event::kPositive:
+      ++counts.pos;
+      decayed_[worker] =
+          (1.0 - config_.gamma) * decayed_[worker] + config_.gamma * 1.0;
+      break;
+    case Event::kNegative:
+      ++counts.neg;
+      decayed_[worker] = (1.0 - config_.gamma) * decayed_[worker];
+      break;
+    case Event::kUncertain:
+      // Uncertain events carry no evidence about honesty: they only feed
+      // Su. The decayed estimate is left unchanged.
+      ++counts.unc;
+      break;
+  }
+}
+
+double ReputationModule::reputation(chain::NodeId worker) const {
+  if (worker >= decayed_.size()) return config_.initial;
+  return config_.time_decay ? decayed_[worker] : slm_reputation(worker);
+}
+
+std::vector<double> ReputationModule::all_reputations() const {
+  std::vector<double> out(decayed_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = reputation(static_cast<chain::NodeId>(i));
+  }
+  return out;
+}
+
+SlmTriple ReputationModule::slm(chain::NodeId worker) const {
+  SlmTriple triple;
+  if (worker >= counts_.size()) return triple;
+  const Counts& counts = counts_[worker];
+  const std::size_t events = counts.pos + counts.neg + counts.unc;
+  if (events == 0) return triple;
+  triple.uncertainty = static_cast<double>(counts.unc) / static_cast<double>(events);
+  const std::size_t decided = counts.pos + counts.neg;
+  if (decided > 0) {
+    triple.trust = (1.0 - triple.uncertainty) * static_cast<double>(counts.pos) /
+                   static_cast<double>(decided);
+    triple.distrust = (1.0 - triple.uncertainty) *
+                      static_cast<double>(counts.neg) /
+                      static_cast<double>(decided);
+  }
+  return triple;
+}
+
+double ReputationModule::slm_reputation(chain::NodeId worker) const {
+  const SlmTriple t = slm(worker);
+  return config_.alpha_trust * t.trust - config_.alpha_distrust * t.distrust -
+         config_.alpha_uncertain * t.uncertainty;
+}
+
+}  // namespace fifl::core

@@ -1,0 +1,74 @@
+// Reputation module (Sec. 4.2): subjective logic model (SLM) extended with
+// a time-decay factor.
+//
+// Events per worker per round: positive (r_i = 1 from detection), negative
+// (r_i = 0), or uncertain (transmission failure). The module maintains
+//  (a) the windowed SLM triple (St, Sn, Su) and reputation of Eq. 8-9, and
+//  (b) the time-decayed reputation of Eq. 10:
+//        R(t+1) = (1-γ)·R(t) + γ·r(t+1),
+// whose expectation converges to the worker's honesty probability 1-p
+// (Theorem 1) — our property tests check exactly that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/signature.hpp"
+
+namespace fifl::core {
+
+enum class Event : std::uint8_t { kPositive, kNegative, kUncertain };
+
+struct ReputationConfig {
+  double gamma = 0.1;          // time-decay factor γ in (0,1)
+  double alpha_trust = 1.0;    // α_t in Eq. 9
+  double alpha_distrust = 1.0; // α_n
+  double alpha_uncertain = 0.5;// α_u
+  double initial = 0.0;        // R(0)
+  bool time_decay = true;      // false => pure windowed SLM (ablation)
+};
+
+struct SlmTriple {
+  double trust = 0.0;       // St
+  double distrust = 0.0;    // Sn
+  double uncertainty = 0.0; // Su
+};
+
+class ReputationModule {
+ public:
+  explicit ReputationModule(ReputationConfig config);
+
+  const ReputationConfig& config() const noexcept { return config_; }
+
+  /// Grows internal state to cover worker ids [0, n).
+  void resize(std::size_t workers);
+  std::size_t size() const noexcept { return decayed_.size(); }
+
+  /// Record one detection outcome for a worker (Eq. 10 update, counters).
+  void record(chain::NodeId worker, Event event);
+
+  /// Current reputation R_i — time-decayed (Eq. 10) or windowed SLM
+  /// (Eq. 8-9) depending on config().time_decay.
+  double reputation(chain::NodeId worker) const;
+  std::vector<double> all_reputations() const;
+
+  /// The SLM triple over the full event history (Su = uncertain rate).
+  SlmTriple slm(chain::NodeId worker) const;
+  /// Windowed SLM reputation of Eq. 9 regardless of config().time_decay.
+  double slm_reputation(chain::NodeId worker) const;
+
+  std::size_t positives(chain::NodeId worker) const { return counts_.at(worker).pos; }
+  std::size_t negatives(chain::NodeId worker) const { return counts_.at(worker).neg; }
+  std::size_t uncertains(chain::NodeId worker) const { return counts_.at(worker).unc; }
+
+ private:
+  struct Counts {
+    std::size_t pos = 0, neg = 0, unc = 0;
+  };
+
+  ReputationConfig config_;
+  std::vector<double> decayed_;
+  std::vector<Counts> counts_;
+};
+
+}  // namespace fifl::core

@@ -1,0 +1,109 @@
+#include "core/trainer.hpp"
+
+#include <stdexcept>
+
+namespace fifl::core {
+
+FederatedTrainer::FederatedTrainer(fl::Simulator* simulator, FiflEngine* engine,
+                                   TrainerConfig config)
+    : simulator_(simulator), engine_(engine), config_(config),
+      participation_rng_(config.participation_seed) {
+  if (!simulator_) throw std::invalid_argument("FederatedTrainer: null simulator");
+  if (config.participation <= 0.0 || config.participation > 1.0) {
+    throw std::invalid_argument("FederatedTrainer: participation outside (0,1]");
+  }
+  if (engine_ && engine_->workers() != simulator_->worker_count()) {
+    throw std::invalid_argument(
+        "FederatedTrainer: engine/simulator worker count mismatch");
+  }
+}
+
+RoundRecord FederatedTrainer::execute_round() {
+  RoundRecord record;
+  std::vector<fl::Upload> uploads;
+  if (config_.participation >= 1.0) {
+    uploads = simulator_->collect_uploads();
+  } else {
+    const auto mask =
+        simulator_->sample_participants(config_.participation, participation_rng_);
+    uploads = simulator_->collect_uploads(mask);
+  }
+  record.round = simulator_->round() - 1;
+  if (engine_) {
+    const RoundReport report = engine_->process_round(uploads);
+    simulator_->apply_round(uploads, report.detection.accepted);
+    record.fairness = report.fairness;
+    record.degraded = report.degraded;
+    for (std::size_t i = 0; i < uploads.size(); ++i) {
+      if (report.detection.uncertain[i]) {
+        ++record.uncertain;
+      } else if (report.detection.accepted[i]) {
+        ++record.accepted;
+      } else {
+        ++record.rejected;
+      }
+    }
+  } else {
+    simulator_->apply_round(uploads);
+    for (const auto& upload : uploads) {
+      if (upload.arrived) {
+        ++record.accepted;
+      } else {
+        ++record.uncertain;
+      }
+    }
+  }
+  return record;
+}
+
+std::size_t FederatedTrainer::run(std::size_t rounds, const Observer& observer) {
+  std::size_t executed = 0;
+  for (; executed < rounds; ++executed) {
+    RoundRecord record = execute_round();
+    const bool eval_point =
+        config_.eval_every != 0 &&
+        (executed + 1) % config_.eval_every == 0;
+    if (eval_point || executed + 1 == rounds) {
+      last_eval_ = simulator_->evaluate();
+      record.evaluated = true;
+      record.accuracy = last_eval_->accuracy;
+      record.loss = last_eval_->loss;
+    }
+    history_.push_back(record);
+    if (observer) observer(history_.back());
+    if (config_.stop_on_crash && simulator_->model_crashed()) {
+      crashed_ = true;
+      ++executed;
+      break;
+    }
+    if (record.evaluated && config_.target_accuracy > 0.0 &&
+        record.accuracy >= config_.target_accuracy) {
+      ++executed;
+      break;
+    }
+  }
+  return executed;
+}
+
+fl::Evaluation FederatedTrainer::final_evaluation() {
+  if (!last_eval_) last_eval_ = simulator_->evaluate();
+  return *last_eval_;
+}
+
+util::Table FederatedTrainer::history_table() const {
+  util::Table table({"round", "accuracy", "loss", "accepted", "rejected",
+                     "uncertain", "fairness"});
+  for (const auto& record : history_) {
+    if (!record.evaluated) continue;
+    table.add_row({std::to_string(record.round),
+                   util::format_double(record.accuracy, 3),
+                   util::format_double(record.loss, 3),
+                   std::to_string(record.accepted),
+                   std::to_string(record.rejected),
+                   std::to_string(record.uncertain),
+                   util::format_double(record.fairness, 3)});
+  }
+  return table;
+}
+
+}  // namespace fifl::core

@@ -1,0 +1,76 @@
+// FederatedTrainer: the high-level loop that wires a fl::Simulator to a
+// FiflEngine (or plain FedAvg), with per-round history, evaluation
+// cadence, and an observer callback. Benches and applications share this
+// instead of re-writing the collect/process/apply dance.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/fifl.hpp"
+#include "fl/simulator.hpp"
+#include "util/table.hpp"
+
+namespace fifl::core {
+
+struct RoundRecord {
+  std::uint64_t round = 0;
+  bool evaluated = false;
+  double accuracy = 0.0;      // valid iff evaluated
+  double loss = 0.0;          // valid iff evaluated
+  std::size_t accepted = 0;   // uploads aggregated this round
+  std::size_t rejected = 0;
+  std::size_t uncertain = 0;  // channel losses
+  double fairness = 0.0;      // FIFL only
+  bool degraded = false;      // FIFL only: no benchmark available
+};
+
+struct TrainerConfig {
+  /// Evaluate test accuracy/loss every N rounds (0 = only at the end).
+  std::size_t eval_every = 5;
+  /// Stop early once test accuracy reaches this level (checked at
+  /// evaluation points; <= 0 disables).
+  double target_accuracy = 0.0;
+  /// Stop immediately if the global model's parameters go non-finite.
+  bool stop_on_crash = true;
+  /// Fraction of workers sampled per round (FedAvg's client sampling);
+  /// 1.0 = full participation. Absent workers surface as uncertain events.
+  double participation = 1.0;
+  std::uint64_t participation_seed = 0x9a37;
+};
+
+class FederatedTrainer {
+ public:
+  /// `engine == nullptr` trains plain FedAvg (accept everything arrived).
+  FederatedTrainer(fl::Simulator* simulator, FiflEngine* engine,
+                   TrainerConfig config = {});
+
+  using Observer = std::function<void(const RoundRecord&)>;
+
+  /// Runs up to `rounds` rounds; returns the number actually executed
+  /// (early stop on target accuracy or crash).
+  std::size_t run(std::size_t rounds, const Observer& observer = nullptr);
+
+  const std::vector<RoundRecord>& history() const noexcept { return history_; }
+  /// Last evaluation taken (runs one if none exists yet).
+  fl::Evaluation final_evaluation();
+  bool crashed() const noexcept { return crashed_; }
+
+  /// Rounds × (round, acc, loss, accepted, rejected, fairness) table of
+  /// the evaluated rounds.
+  util::Table history_table() const;
+
+ private:
+  RoundRecord execute_round();
+
+  fl::Simulator* simulator_;
+  FiflEngine* engine_;  // may be null (FedAvg)
+  TrainerConfig config_;
+  util::Rng participation_rng_;
+  std::vector<RoundRecord> history_;
+  std::optional<fl::Evaluation> last_eval_;
+  bool crashed_ = false;
+};
+
+}  // namespace fifl::core

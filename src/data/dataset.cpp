@@ -1,0 +1,86 @@
+#include "data/dataset.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace fifl::data {
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  validate();
+  const std::size_t c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  const std::size_t stride = c * h * w;
+  Dataset out;
+  out.classes = classes;
+  out.images = tensor::Tensor({indices.size(), c, h, w});
+  out.labels.reserve(indices.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const std::size_t i = indices[k];
+    if (i >= size()) throw std::out_of_range("Dataset::subset: index out of range");
+    const float* src = images.data() + i * stride;
+    float* dst = out.images.data() + k * stride;
+    for (std::size_t j = 0; j < stride; ++j) dst[j] = src[j];
+    out.labels.push_back(labels[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::take(std::size_t n) const {
+  n = std::min(n, size());
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  return subset(idx);
+}
+
+void Dataset::validate() const {
+  if (images.rank() != 4) {
+    throw std::invalid_argument("Dataset: images must be NCHW");
+  }
+  if (images.dim(0) != labels.size()) {
+    throw std::invalid_argument("Dataset: image/label count mismatch");
+  }
+  if (classes == 0) throw std::invalid_argument("Dataset: classes == 0");
+  for (std::int32_t label : labels) {
+    if (label < 0 || static_cast<std::size_t>(label) >= classes) {
+      throw std::invalid_argument("Dataset: label out of range");
+    }
+  }
+}
+
+BatchLoader::BatchLoader(const Dataset& dataset, std::size_t batch_size,
+                         util::Rng rng)
+    : dataset_(&dataset), batch_size_(batch_size), rng_(rng) {
+  if (batch_size_ == 0) throw std::invalid_argument("BatchLoader: batch_size 0");
+  order_.resize(dataset.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  start_epoch();
+}
+
+void BatchLoader::start_epoch() {
+  rng_.shuffle(order_.begin(), order_.size());
+  cursor_ = 0;
+}
+
+bool BatchLoader::next(Batch& out) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t n = std::min(batch_size_, order_.size() - cursor_);
+  const std::size_t c = dataset_->images.dim(1), h = dataset_->images.dim(2),
+                    w = dataset_->images.dim(3);
+  const std::size_t stride = c * h * w;
+  out.images = tensor::Tensor({n, c, h, w});
+  out.labels.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = order_[cursor_ + k];
+    const float* src = dataset_->images.data() + i * stride;
+    float* dst = out.images.data() + k * stride;
+    for (std::size_t j = 0; j < stride; ++j) dst[j] = src[j];
+    out.labels[k] = dataset_->labels[i];
+  }
+  cursor_ += n;
+  return true;
+}
+
+std::size_t BatchLoader::batches_per_epoch() const noexcept {
+  return (order_.size() + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace fifl::data

@@ -1,0 +1,60 @@
+// In-memory labelled image dataset plus batch iteration.
+//
+// Images are stored as one NCHW tensor; labels as int32 class indices.
+// Subsets materialise copies — worker shards in the FL simulator are
+// independent by design (each device owns its data).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::data {
+
+struct Dataset {
+  tensor::Tensor images;               // (N, C, H, W)
+  std::vector<std::int32_t> labels;    // N entries in [0, classes)
+  std::size_t classes = 0;
+
+  std::size_t size() const noexcept { return labels.size(); }
+  bool empty() const noexcept { return labels.empty(); }
+
+  /// Materialise the subset selected by `indices` (bounds-checked).
+  Dataset subset(std::span<const std::size_t> indices) const;
+  /// First `n` examples (n clamped to size()).
+  Dataset take(std::size_t n) const;
+  /// Validates internal consistency; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// One minibatch view materialised from a Dataset.
+struct Batch {
+  tensor::Tensor images;
+  std::vector<std::int32_t> labels;
+  std::size_t size() const noexcept { return labels.size(); }
+};
+
+/// Shuffling minibatch loader. Each epoch() reshuffles with its own Rng
+/// stream so runs are reproducible yet epochs differ.
+class BatchLoader {
+ public:
+  BatchLoader(const Dataset& dataset, std::size_t batch_size, util::Rng rng);
+
+  /// Starts a new epoch (reshuffles); resets the cursor.
+  void start_epoch();
+  /// Fetch the next batch; returns false at end of epoch.
+  bool next(Batch& out);
+  std::size_t batches_per_epoch() const noexcept;
+
+ private:
+  const Dataset* dataset_;
+  std::size_t batch_size_;
+  util::Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace fifl::data

@@ -1,0 +1,158 @@
+#include "data/idx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/serialize.hpp"
+
+namespace fifl::data {
+
+namespace {
+constexpr std::uint8_t kUbyteType = 0x08;
+
+std::uint32_t read_be32(util::ByteReader& reader) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | reader.read_u8();
+  }
+  return v;
+}
+
+void write_be32(util::ByteWriter& writer, std::uint32_t v) {
+  writer.write_u8(static_cast<std::uint8_t>(v >> 24));
+  writer.write_u8(static_cast<std::uint8_t>(v >> 16));
+  writer.write_u8(static_cast<std::uint8_t>(v >> 8));
+  writer.write_u8(static_cast<std::uint8_t>(v));
+}
+}  // namespace
+
+IdxArray parse_idx(std::span<const std::uint8_t> bytes) {
+  util::ByteReader reader(bytes);
+  if (reader.read_u8() != 0 || reader.read_u8() != 0) {
+    throw util::SerializeError("idx: bad magic prefix");
+  }
+  if (reader.read_u8() != kUbyteType) {
+    throw util::SerializeError("idx: only unsigned-byte payloads supported");
+  }
+  const std::uint8_t rank = reader.read_u8();
+  if (rank == 0 || rank > 4) {
+    throw util::SerializeError("idx: unsupported rank");
+  }
+  IdxArray array;
+  std::size_t total = 1;
+  for (std::uint8_t d = 0; d < rank; ++d) {
+    const std::uint32_t dim = read_be32(reader);
+    array.dims.push_back(dim);
+    total *= dim;
+  }
+  array.values = reader.read_bytes(total);
+  if (!reader.exhausted()) {
+    throw util::SerializeError("idx: trailing bytes after payload");
+  }
+  return array;
+}
+
+IdxArray load_idx(const std::string& path) {
+  return parse_idx(util::ByteReader::load(path));
+}
+
+std::vector<std::uint8_t> write_idx(const IdxArray& array) {
+  if (array.dims.empty() || array.dims.size() > 4) {
+    throw util::SerializeError("idx: unsupported rank for writing");
+  }
+  std::size_t total = 1;
+  for (std::size_t d : array.dims) total *= d;
+  if (total != array.values.size()) {
+    throw util::SerializeError("idx: dims/payload mismatch");
+  }
+  util::ByteWriter writer;
+  writer.write_u8(0);
+  writer.write_u8(0);
+  writer.write_u8(kUbyteType);
+  writer.write_u8(static_cast<std::uint8_t>(array.dims.size()));
+  for (std::size_t d : array.dims) {
+    write_be32(writer, static_cast<std::uint32_t>(d));
+  }
+  writer.write_bytes(array.values);
+  return writer.take();
+}
+
+void save_idx(const IdxArray& array, const std::string& path) {
+  util::ByteWriter writer;
+  writer.write_bytes(write_idx(array));
+  writer.save(path);
+}
+
+Dataset idx_to_dataset(const IdxArray& images, const IdxArray& labels,
+                       const IdxDatasetOptions& options) {
+  if (labels.dims.size() != 1) {
+    throw util::SerializeError("idx: labels must be rank 1");
+  }
+  std::size_t n, c, h, w;
+  if (images.dims.size() == 3) {
+    n = images.dims[0];
+    c = 1;
+    h = images.dims[1];
+    w = images.dims[2];
+  } else if (images.dims.size() == 4) {
+    n = images.dims[0];
+    c = images.dims[1];
+    h = images.dims[2];
+    w = images.dims[3];
+  } else {
+    throw util::SerializeError("idx: images must be rank 3 or 4");
+  }
+  if (labels.dims[0] != n) {
+    throw util::SerializeError("idx: image/label count mismatch");
+  }
+  Dataset ds;
+  ds.classes = options.classes;
+  ds.images = tensor::Tensor({n, c, h, w});
+  ds.labels.resize(n);
+  const auto inv_scale = 1.0 / options.scale;
+  for (std::size_t i = 0; i < images.values.size(); ++i) {
+    const double pixel = static_cast<double>(images.values[i]) / 255.0;
+    ds.images[i] = static_cast<float>((pixel - options.mean) * inv_scale);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.labels[i] = static_cast<std::int32_t>(labels.values[i]);
+  }
+  ds.validate();
+  return ds;
+}
+
+Dataset load_idx_dataset(const std::string& images_path,
+                         const std::string& labels_path,
+                         const IdxDatasetOptions& options) {
+  return idx_to_dataset(load_idx(images_path), load_idx(labels_path), options);
+}
+
+std::pair<IdxArray, IdxArray> dataset_to_idx(const Dataset& dataset,
+                                             const IdxDatasetOptions& options) {
+  dataset.validate();
+  IdxArray images;
+  const std::size_t n = dataset.images.dim(0), c = dataset.images.dim(1),
+                    h = dataset.images.dim(2), w = dataset.images.dim(3);
+  if (c == 1) {
+    images.dims = {n, h, w};
+  } else {
+    images.dims = {n, c, h, w};
+  }
+  images.values.resize(dataset.images.numel());
+  for (std::size_t i = 0; i < images.values.size(); ++i) {
+    const double pixel =
+        (static_cast<double>(dataset.images[i]) * options.scale + options.mean) *
+        255.0;
+    images.values[i] = static_cast<std::uint8_t>(
+        std::clamp(std::lround(pixel), 0L, 255L));
+  }
+  IdxArray labels;
+  labels.dims = {n};
+  labels.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels.values[i] = static_cast<std::uint8_t>(dataset.labels[i]);
+  }
+  return {std::move(images), std::move(labels)};
+}
+
+}  // namespace fifl::data

@@ -1,0 +1,61 @@
+// IDX file-format loader (the format MNIST/Fashion-MNIST ship in), so the
+// synthetic MNIST-S substitute can be swapped for the real dataset when
+// the ubyte files are available:
+//
+//   auto ds = data::load_idx_dataset("train-images-idx3-ubyte",
+//                                    "train-labels-idx1-ubyte");
+//
+// Implements the IDX subset those files use: magic 0x0000 08 <rank>,
+// unsigned-byte payload, big-endian dimension sizes. Pixels are scaled to
+// [0, 1] and standardised to roughly zero mean like the synthetic data.
+// Writers are provided too (used by tests, and handy for exporting
+// synthetic datasets to external tools).
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace fifl::data {
+
+/// Parsed IDX tensor of unsigned bytes.
+struct IdxArray {
+  std::vector<std::size_t> dims;
+  std::vector<std::uint8_t> values;
+
+  std::size_t count() const noexcept { return dims.empty() ? 0 : dims[0]; }
+};
+
+/// Parse IDX bytes; throws util::SerializeError on a malformed stream or
+/// a non-ubyte payload type.
+IdxArray parse_idx(std::span<const std::uint8_t> bytes);
+IdxArray load_idx(const std::string& path);
+
+/// Serialize an IDX array (ubyte payload).
+std::vector<std::uint8_t> write_idx(const IdxArray& array);
+void save_idx(const IdxArray& array, const std::string& path);
+
+/// Options for images -> Dataset conversion.
+struct IdxDatasetOptions {
+  std::size_t classes = 10;
+  /// Pixel transform: x/255, then (x - mean) / scale.
+  double mean = 0.5;
+  double scale = 0.5;
+};
+
+/// Combine an images IDX (rank 3: N x H x W, or rank 4: N x C x H x W)
+/// with a labels IDX (rank 1: N) into a Dataset.
+Dataset idx_to_dataset(const IdxArray& images, const IdxArray& labels,
+                       const IdxDatasetOptions& options = {});
+
+/// One-call loader for an images/labels file pair.
+Dataset load_idx_dataset(const std::string& images_path,
+                         const std::string& labels_path,
+                         const IdxDatasetOptions& options = {});
+
+/// Export a Dataset back to IDX pairs (quantising pixels to bytes via the
+/// inverse of the options transform, clamped to [0, 255]).
+std::pair<IdxArray, IdxArray> dataset_to_idx(const Dataset& dataset,
+                                             const IdxDatasetOptions& options = {});
+
+}  // namespace fifl::data

@@ -1,0 +1,46 @@
+#include "data/noise.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fifl::data {
+
+Dataset poison_labels(const Dataset& dataset, double p_d, util::Rng& rng) {
+  if (p_d < 0.0 || p_d > 1.0) {
+    throw std::invalid_argument("poison_labels: p_d outside [0,1]");
+  }
+  dataset.validate();
+  Dataset out = dataset;
+  if (p_d == 0.0 || dataset.empty() || dataset.classes < 2) return out;
+
+  const auto n_flip = static_cast<std::size_t>(
+      std::ceil(p_d * static_cast<double>(dataset.size())));
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order.begin(), order.size());
+
+  for (std::size_t k = 0; k < n_flip; ++k) {
+    const std::size_t i = order[k];
+    const auto old_label = static_cast<std::size_t>(out.labels[i]);
+    // Uniform over the other classes.
+    auto new_label = rng.below(dataset.classes - 1);
+    if (new_label >= old_label) ++new_label;
+    out.labels[i] = static_cast<std::int32_t>(new_label);
+  }
+  return out;
+}
+
+double label_disagreement(const Dataset& a, const Dataset& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("label_disagreement: size mismatch");
+  }
+  if (a.empty()) return 0.0;
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.labels[i] != b.labels[i]) ++diff;
+  }
+  return static_cast<double>(diff) / static_cast<double>(a.size());
+}
+
+}  // namespace fifl::data

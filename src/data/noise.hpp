@@ -1,0 +1,18 @@
+// Label corruption used to model the paper's data-poison workers: a
+// fraction p_d of a worker's labels is replaced by a uniformly random
+// *different* class (Sec. 5.1, "Data-poison workers").
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace fifl::data {
+
+/// Returns a copy of `dataset` with ceil(p_d * N) labels flipped to a
+/// random different class. p_d must be in [0, 1].
+Dataset poison_labels(const Dataset& dataset, double p_d, util::Rng& rng);
+
+/// Fraction of labels that differ between two same-sized datasets;
+/// diagnostic used in tests to verify the poisoning rate.
+double label_disagreement(const Dataset& a, const Dataset& b);
+
+}  // namespace fifl::data

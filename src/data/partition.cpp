@@ -1,0 +1,123 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fifl::data {
+
+std::vector<Dataset> partition_iid(const Dataset& dataset,
+                                   const std::vector<std::size_t>& shard_sizes,
+                                   util::Rng& rng) {
+  const std::size_t total =
+      std::accumulate(shard_sizes.begin(), shard_sizes.end(), std::size_t{0});
+  if (total > dataset.size()) {
+    throw std::invalid_argument("partition_iid: shards exceed dataset size");
+  }
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order.begin(), order.size());
+
+  std::vector<Dataset> shards;
+  shards.reserve(shard_sizes.size());
+  std::size_t cursor = 0;
+  for (std::size_t size : shard_sizes) {
+    std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(cursor),
+                                 order.begin() + static_cast<std::ptrdiff_t>(cursor + size));
+    shards.push_back(dataset.subset(idx));
+    cursor += size;
+  }
+  return shards;
+}
+
+std::vector<Dataset> partition_iid_equal(const Dataset& dataset,
+                                         std::size_t workers, util::Rng& rng) {
+  if (workers == 0) throw std::invalid_argument("partition_iid_equal: 0 workers");
+  const std::size_t per = dataset.size() / workers;
+  if (per == 0) {
+    throw std::invalid_argument("partition_iid_equal: dataset smaller than workers");
+  }
+  return partition_iid(dataset, std::vector<std::size_t>(workers, per), rng);
+}
+
+std::vector<Dataset> partition_dirichlet(const Dataset& dataset,
+                                         std::size_t workers, double alpha,
+                                         util::Rng& rng) {
+  if (workers == 0) throw std::invalid_argument("partition_dirichlet: 0 workers");
+  if (alpha <= 0.0) throw std::invalid_argument("partition_dirichlet: alpha <= 0");
+  dataset.validate();
+
+  // Bucket sample indices by class.
+  std::vector<std::vector<std::size_t>> by_class(dataset.classes);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[static_cast<std::size_t>(dataset.labels[i])].push_back(i);
+  }
+  for (auto& bucket : by_class) rng.shuffle(bucket.begin(), bucket.size());
+
+  // Gamma(alpha, 1) sampler (Marsaglia-Tsang for alpha >= 1, boost for < 1).
+  auto gamma_sample = [&rng](double a) {
+    double boost = 1.0;
+    if (a < 1.0) {
+      boost = std::pow(rng.uniform(), 1.0 / a);
+      a += 1.0;
+    }
+    const double d = a - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+      double x, v;
+      do {
+        x = rng.gaussian();
+        v = 1.0 + c * x;
+      } while (v <= 0.0);
+      v = v * v * v;
+      const double u = rng.uniform();
+      if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v;
+      if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+        return boost * d * v;
+      }
+    }
+  };
+
+  std::vector<std::vector<std::size_t>> assigned(workers);
+  for (std::size_t k = 0; k < dataset.classes; ++k) {
+    // Worker mixture over this class ~ Dirichlet(alpha).
+    std::vector<double> weights(workers);
+    double sum = 0.0;
+    for (auto& weight : weights) {
+      weight = gamma_sample(alpha);
+      sum += weight;
+    }
+    const auto& bucket = by_class[k];
+    std::size_t cursor = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const auto take = (w + 1 == workers)
+                            ? bucket.size() - cursor
+                            : static_cast<std::size_t>(std::floor(
+                                  weights[w] / sum * static_cast<double>(bucket.size())));
+      for (std::size_t j = 0; j < take && cursor < bucket.size(); ++j, ++cursor) {
+        assigned[w].push_back(bucket[cursor]);
+      }
+    }
+  }
+
+  // Guarantee non-empty shards by stealing from the largest.
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (!assigned[w].empty()) continue;
+    auto largest = std::max_element(
+        assigned.begin(), assigned.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    if (largest->size() <= 1) {
+      throw std::runtime_error("partition_dirichlet: not enough samples");
+    }
+    assigned[w].push_back(largest->back());
+    largest->pop_back();
+  }
+
+  std::vector<Dataset> shards;
+  shards.reserve(workers);
+  for (auto& idx : assigned) shards.push_back(dataset.subset(idx));
+  return shards;
+}
+
+}  // namespace fifl::data

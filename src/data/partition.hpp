@@ -1,0 +1,32 @@
+// Partitioners that shard a Dataset across N federated workers.
+//
+// iid: uniform random split with given (or equal) shard sizes — the
+// paper's main setting ("training data are uniformly distributed").
+// Dirichlet: label-skewed non-iid split (standard FL benchmark practice),
+// used by our extension experiments to show detection still separates
+// attackers from merely-non-iid honest workers.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace fifl::data {
+
+/// Random iid split into `shard_sizes[i]` examples per worker.
+/// The sizes must sum to at most dataset.size().
+std::vector<Dataset> partition_iid(const Dataset& dataset,
+                                   const std::vector<std::size_t>& shard_sizes,
+                                   util::Rng& rng);
+
+/// Equal-size iid split into `workers` shards (remainder dropped).
+std::vector<Dataset> partition_iid_equal(const Dataset& dataset,
+                                         std::size_t workers, util::Rng& rng);
+
+/// Label-skew split: each worker's class mixture ~ Dirichlet(alpha).
+/// Lower alpha = more skew. Every worker receives at least one sample.
+std::vector<Dataset> partition_dirichlet(const Dataset& dataset,
+                                         std::size_t workers, double alpha,
+                                         util::Rng& rng);
+
+}  // namespace fifl::data

@@ -1,0 +1,152 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fifl::data {
+
+namespace {
+
+/// One smooth prototype image per class, deterministic in (seed, class).
+std::vector<tensor::Tensor> make_prototypes(const SyntheticSpec& spec) {
+  util::Rng base_rng(spec.seed ^ 0x9e3779b9ull);
+  // Shared base pattern for class_overlap mixing.
+  util::Rng shared_rng(spec.seed * 0x2545F4914F6CDD1DULL + 7);
+  tensor::Tensor shared = tensor::Tensor::gaussian(
+      {spec.channels, spec.image_size, spec.image_size}, shared_rng);
+
+  std::vector<tensor::Tensor> protos;
+  protos.reserve(spec.classes);
+  for (std::size_t k = 0; k < spec.classes; ++k) {
+    util::Rng rng = base_rng.split(k + 1);
+    tensor::Tensor p = tensor::Tensor::gaussian(
+        {spec.channels, spec.image_size, spec.image_size}, rng);
+    // Blend toward the shared base to create class overlap.
+    if (spec.class_overlap > 0.0) {
+      const auto a = static_cast<float>(1.0 - spec.class_overlap);
+      const auto b = static_cast<float>(spec.class_overlap);
+      for (std::size_t i = 0; i < p.numel(); ++i) {
+        p[i] = a * p[i] + b * shared[i];
+      }
+    }
+    // Box-blur smoothing passes to get blob-like structure.
+    const std::size_t s = spec.image_size;
+    for (std::size_t pass = 0; pass < spec.smoothing; ++pass) {
+      tensor::Tensor q = p.clone();
+      for (std::size_t c = 0; c < spec.channels; ++c) {
+        for (std::size_t y = 0; y < s; ++y) {
+          for (std::size_t x = 0; x < s; ++x) {
+            float acc = 0.0f;
+            int cnt = 0;
+            for (int dy = -1; dy <= 1; ++dy) {
+              for (int dx = -1; dx <= 1; ++dx) {
+                const auto yy = static_cast<std::ptrdiff_t>(y) + dy;
+                const auto xx = static_cast<std::ptrdiff_t>(x) + dx;
+                if (yy < 0 || xx < 0 || yy >= static_cast<std::ptrdiff_t>(s) ||
+                    xx >= static_cast<std::ptrdiff_t>(s)) {
+                  continue;
+                }
+                acc += p[(c * s + static_cast<std::size_t>(yy)) * s +
+                         static_cast<std::size_t>(xx)];
+                ++cnt;
+              }
+            }
+            q[(c * s + y) * s + x] = acc / static_cast<float>(cnt);
+          }
+        }
+      }
+      p = std::move(q);
+    }
+    // Normalise prototype energy so classes are equally "bright".
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < p.numel(); ++i) {
+      norm2 += static_cast<double>(p[i]) * static_cast<double>(p[i]);
+    }
+    const auto scale = static_cast<float>(
+        std::sqrt(static_cast<double>(p.numel())) / (std::sqrt(norm2) + 1e-12));
+    for (std::size_t i = 0; i < p.numel(); ++i) p[i] *= scale;
+    protos.push_back(std::move(p));
+  }
+  return protos;
+}
+
+Dataset sample_from_prototypes(const SyntheticSpec& spec,
+                               const std::vector<tensor::Tensor>& protos,
+                               std::size_t samples, std::uint64_t draw_seed) {
+  Dataset ds;
+  ds.classes = spec.classes;
+  ds.images =
+      tensor::Tensor({samples, spec.channels, spec.image_size, spec.image_size});
+  ds.labels.resize(samples);
+
+  util::Rng rng(draw_seed);
+  const std::size_t pixels = spec.channels * spec.image_size * spec.image_size;
+  // Balanced labels, then shuffled.
+  std::vector<std::int32_t> labels(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    labels[i] = static_cast<std::int32_t>(i % spec.classes);
+  }
+  rng.shuffle(labels.begin(), labels.size());
+
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto k = static_cast<std::size_t>(labels[i]);
+    const tensor::Tensor& proto = protos[k];
+    float* dst = ds.images.data() + i * pixels;
+    for (std::size_t j = 0; j < pixels; ++j) {
+      dst[j] = proto[j] + static_cast<float>(rng.gaussian(0.0, spec.noise));
+    }
+    ds.labels[i] = labels[i];
+  }
+  return ds;
+}
+
+}  // namespace
+
+Dataset make_synthetic(const SyntheticSpec& spec) {
+  if (spec.classes == 0 || spec.samples == 0) {
+    throw std::invalid_argument("make_synthetic: zero classes or samples");
+  }
+  const auto protos = make_prototypes(spec);
+  return sample_from_prototypes(spec, protos, spec.samples,
+                                spec.seed * 0x9e3779b97f4a7c15ULL + 1);
+}
+
+SyntheticSpec mnist_like(std::size_t samples, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.samples = samples;
+  spec.classes = 10;
+  spec.channels = 1;
+  spec.image_size = 28;
+  spec.noise = 0.35;
+  spec.smoothing = 2;
+  spec.class_overlap = 0.0;
+  spec.seed = seed;
+  return spec;
+}
+
+SyntheticSpec cifar_like(std::size_t samples, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.samples = samples;
+  spec.classes = 10;
+  spec.channels = 3;
+  spec.image_size = 32;
+  spec.noise = 0.55;
+  spec.smoothing = 3;
+  spec.class_overlap = 0.35;
+  spec.seed = seed;
+  return spec;
+}
+
+TrainTestSplit make_synthetic_split(const SyntheticSpec& spec,
+                                    std::size_t test_samples) {
+  const auto protos = make_prototypes(spec);
+  TrainTestSplit split;
+  split.train = sample_from_prototypes(spec, protos, spec.samples,
+                                       spec.seed * 0x9e3779b97f4a7c15ULL + 1);
+  split.test = sample_from_prototypes(spec, protos, test_samples,
+                                      spec.seed * 0x9e3779b97f4a7c15ULL + 2);
+  return split;
+}
+
+}  // namespace fifl::data

@@ -1,0 +1,52 @@
+// Synthetic stand-ins for MNIST and CIFAR10 (offline environment — see
+// DESIGN.md substitution table).
+//
+// MNIST-S: each class k has a fixed prototype image (smooth random blob
+// pattern drawn once from a class-seeded stream); samples are the
+// prototype plus iid Gaussian pixel noise. Linearly separable enough for
+// LeNet to exceed 90% quickly, yet noisy enough that label corruption and
+// gradient attacks have the same qualitative effect as on MNIST.
+//
+// CIFAR-S: 3-channel 32x32 variant with higher noise, per-channel
+// prototypes, and mild inter-class prototype correlation, making it the
+// "harder dataset" the CIFAR figures need.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace fifl::data {
+
+struct SyntheticSpec {
+  std::size_t samples = 1000;
+  std::size_t classes = 10;
+  std::size_t channels = 1;
+  std::size_t image_size = 28;
+  /// Pixel noise stddev around the class prototype.
+  double noise = 0.35;
+  /// Smoothing passes applied to prototypes (higher = smoother blobs).
+  std::size_t smoothing = 2;
+  /// Mixing weight pulling prototypes toward a shared base pattern,
+  /// in [0,1); raises inter-class similarity (harder problem).
+  double class_overlap = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a dataset per `spec`; class proportions are balanced
+/// (remainders assigned round-robin) and sample order is shuffled.
+Dataset make_synthetic(const SyntheticSpec& spec);
+
+/// MNIST-like defaults: 1x28x28, 10 classes, light noise.
+SyntheticSpec mnist_like(std::size_t samples, std::uint64_t seed = 42);
+
+/// CIFAR10-like defaults: 3x32x32, 10 classes, heavier noise + overlap.
+SyntheticSpec cifar_like(std::size_t samples, std::uint64_t seed = 43);
+
+/// Train/test pair drawn from the same prototypes (disjoint noise draws).
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+TrainTestSplit make_synthetic_split(const SyntheticSpec& spec,
+                                    std::size_t test_samples);
+
+}  // namespace fifl::data

@@ -1,0 +1,138 @@
+#include "fl/attacks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "data/noise.hpp"
+
+namespace fifl::fl {
+
+SignFlipBehaviour::SignFlipBehaviour(double intensity) : intensity_(intensity) {
+  if (intensity <= 0.0) {
+    throw std::invalid_argument("SignFlipBehaviour: intensity must be > 0");
+  }
+}
+
+Gradient SignFlipBehaviour::transform(Gradient honest, util::Rng&) {
+  honest.scale(static_cast<float>(-intensity_));
+  return honest;
+}
+
+std::string SignFlipBehaviour::name() const {
+  return "sign_flip(p_s=" + std::to_string(intensity_) + ")";
+}
+
+DataPoisonBehaviour::DataPoisonBehaviour(double p_d) : p_d_(p_d) {
+  if (p_d < 0.0 || p_d > 1.0) {
+    throw std::invalid_argument("DataPoisonBehaviour: p_d outside [0,1]");
+  }
+}
+
+data::Dataset DataPoisonBehaviour::prepare_data(const data::Dataset& shard,
+                                                util::Rng& rng) {
+  return data::poison_labels(shard, p_d_, rng);
+}
+
+std::string DataPoisonBehaviour::name() const {
+  return "data_poison(p_d=" + std::to_string(p_d_) + ")";
+}
+
+FreeRiderBehaviour::FreeRiderBehaviour(double noise) : noise_(noise) {
+  if (noise < 0.0) throw std::invalid_argument("FreeRiderBehaviour: noise < 0");
+}
+
+Gradient FreeRiderBehaviour::transform(Gradient honest, util::Rng& rng) {
+  // `honest` is a zero gradient here (skips_training() == true); fill with
+  // the camouflage noise if requested.
+  if (noise_ > 0.0) {
+    for (std::size_t i = 0; i < honest.size(); ++i) {
+      honest[i] = static_cast<float>(rng.gaussian(0.0, noise_));
+    }
+  } else {
+    honest.zero();
+  }
+  return honest;
+}
+
+GaussianNoiseBehaviour::GaussianNoiseBehaviour(double sigma) : sigma_(sigma) {
+  if (sigma <= 0.0) {
+    throw std::invalid_argument("GaussianNoiseBehaviour: sigma must be > 0");
+  }
+}
+
+Gradient GaussianNoiseBehaviour::transform(Gradient honest, util::Rng& rng) {
+  for (std::size_t i = 0; i < honest.size(); ++i) {
+    honest[i] = static_cast<float>(rng.gaussian(0.0, sigma_));
+  }
+  return honest;
+}
+
+void sparsify_topk(Gradient& gradient, double keep_fraction) {
+  if (keep_fraction <= 0.0 || keep_fraction > 1.0) {
+    throw std::invalid_argument("sparsify_topk: keep_fraction outside (0,1]");
+  }
+  if (keep_fraction >= 1.0 || gradient.empty()) return;
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(keep_fraction *
+                                  static_cast<double>(gradient.size())));
+  std::vector<float> magnitudes(gradient.size());
+  for (std::size_t i = 0; i < gradient.size(); ++i) {
+    magnitudes[i] = std::abs(gradient[i]);
+  }
+  std::nth_element(magnitudes.begin(),
+                   magnitudes.begin() + static_cast<std::ptrdiff_t>(keep - 1),
+                   magnitudes.end(), std::greater<float>());
+  const float threshold = magnitudes[keep - 1];
+  // Zero strictly-below-threshold entries; ties keep slightly more than k,
+  // which is the usual (and harmless) top-k convention.
+  for (std::size_t i = 0; i < gradient.size(); ++i) {
+    if (std::abs(gradient[i]) < threshold) gradient[i] = 0.0f;
+  }
+}
+
+SparsifyingBehaviour::SparsifyingBehaviour(double keep_fraction)
+    : keep_(keep_fraction) {
+  if (keep_fraction <= 0.0 || keep_fraction > 1.0) {
+    throw std::invalid_argument("SparsifyingBehaviour: keep_fraction outside (0,1]");
+  }
+}
+
+Gradient SparsifyingBehaviour::transform(Gradient honest, util::Rng&) {
+  sparsify_topk(honest, keep_);
+  return honest;
+}
+
+std::string SparsifyingBehaviour::name() const {
+  return "sparsify(keep=" + std::to_string(keep_) + ")";
+}
+
+ProbabilisticBehaviour::ProbabilisticBehaviour(double p_attack,
+                                               BehaviourPtr inner)
+    : p_attack_(p_attack), inner_(std::move(inner)) {
+  if (p_attack < 0.0 || p_attack > 1.0) {
+    throw std::invalid_argument("ProbabilisticBehaviour: p_attack outside [0,1]");
+  }
+  if (!inner_) throw std::invalid_argument("ProbabilisticBehaviour: null inner");
+}
+
+data::Dataset ProbabilisticBehaviour::prepare_data(const data::Dataset& shard,
+                                                   util::Rng& rng) {
+  // Data corruption (if the inner attack uses it) is applied once at
+  // setup, matching how a device's local data is fixed across rounds.
+  return inner_->prepare_data(shard, rng);
+}
+
+Gradient ProbabilisticBehaviour::transform(Gradient honest, util::Rng& rng) {
+  attacked_ = rng.bernoulli(p_attack_);
+  if (!attacked_) return honest;
+  return inner_->transform(std::move(honest), rng);
+}
+
+std::string ProbabilisticBehaviour::name() const {
+  return "probabilistic(p_a=" + std::to_string(p_attack_) + ", " +
+         inner_->name() + ")";
+}
+
+}  // namespace fifl::fl

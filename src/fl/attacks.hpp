@@ -1,0 +1,150 @@
+// Worker behaviours: the honest baseline and the attacker models evaluated
+// in the paper (Sec. 5.1) plus two standard extras used in our extension
+// experiments.
+//
+//  - SignFlip (p_s): G -> -p_s * G                      [Zeno++ attack]
+//  - DataPoison (p_d): trains honestly on a label-corrupted shard
+//  - FreeRider: uploads a fabricated (zero or tiny-noise) gradient
+//  - GaussianNoise (sigma): uploads pure noise
+//  - Probabilistic (p_a): attacks with probability p_a per round, honest
+//    otherwise — the worker model behind the reputation figure (Fig. 11)
+//
+// A Behaviour transforms the honestly computed gradient (or replaces it);
+// DataPoison instead transforms the training data, so it hooks
+// prepare_data(). This split mirrors the paper's taxonomy: model-update
+// attacks vs. data attacks.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "fl/gradient.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::fl {
+
+class Behaviour {
+ public:
+  virtual ~Behaviour() = default;
+
+  /// Transform the worker's local shard before training (default: none).
+  virtual data::Dataset prepare_data(const data::Dataset& shard,
+                                     util::Rng& rng) {
+    (void)rng;
+    return shard;
+  }
+
+  /// Transform (or replace) the honestly computed gradient for upload.
+  virtual Gradient transform(Gradient honest, util::Rng& rng) {
+    (void)rng;
+    return honest;
+  }
+
+  /// True if this behaviour skips local training entirely (free-riders) —
+  /// the simulator then hands transform() a zero gradient.
+  virtual bool skips_training() const { return false; }
+
+  /// Whether this round's upload was malicious (for ground-truth
+  /// labelling of detection accuracy). Called after transform().
+  virtual bool attacked_last_round() const { return false; }
+
+  virtual std::string name() const = 0;
+};
+
+using BehaviourPtr = std::unique_ptr<Behaviour>;
+
+class HonestBehaviour final : public Behaviour {
+ public:
+  std::string name() const override { return "honest"; }
+};
+
+class SignFlipBehaviour final : public Behaviour {
+ public:
+  explicit SignFlipBehaviour(double intensity);
+  Gradient transform(Gradient honest, util::Rng& rng) override;
+  bool attacked_last_round() const override { return true; }
+  std::string name() const override;
+  double intensity() const noexcept { return intensity_; }
+
+ private:
+  double intensity_;
+};
+
+class DataPoisonBehaviour final : public Behaviour {
+ public:
+  explicit DataPoisonBehaviour(double p_d);
+  data::Dataset prepare_data(const data::Dataset& shard,
+                             util::Rng& rng) override;
+  bool attacked_last_round() const override { return p_d_ > 0.0; }
+  std::string name() const override;
+  double poison_rate() const noexcept { return p_d_; }
+
+ private:
+  double p_d_;
+};
+
+class FreeRiderBehaviour final : public Behaviour {
+ public:
+  /// `noise` > 0 uploads N(0, noise^2) entries instead of exact zeros
+  /// (a free-rider trying to look alive).
+  explicit FreeRiderBehaviour(double noise = 0.0);
+  Gradient transform(Gradient honest, util::Rng& rng) override;
+  bool skips_training() const override { return true; }
+  bool attacked_last_round() const override { return true; }
+  std::string name() const override { return "free_rider"; }
+
+ private:
+  double noise_;
+};
+
+class GaussianNoiseBehaviour final : public Behaviour {
+ public:
+  explicit GaussianNoiseBehaviour(double sigma);
+  Gradient transform(Gradient honest, util::Rng& rng) override;
+  bool attacked_last_round() const override { return true; }
+  std::string name() const override { return "gaussian_noise"; }
+
+ private:
+  double sigma_;
+};
+
+/// Top-k gradient sparsification (communication compression): keeps the
+/// `keep_fraction` largest-magnitude entries, zeroing the rest. Not an
+/// attack — an honest bandwidth-saving transform; exposed so the
+/// extension tests can check the assessment pipeline tolerates compressed
+/// honest uploads (and so compressed uploads are available to any
+/// behaviour via composition).
+void sparsify_topk(Gradient& gradient, double keep_fraction);
+
+/// Honest worker that sparsifies its upload to save bandwidth.
+class SparsifyingBehaviour final : public Behaviour {
+ public:
+  explicit SparsifyingBehaviour(double keep_fraction);
+  Gradient transform(Gradient honest, util::Rng& rng) override;
+  std::string name() const override;
+  double keep_fraction() const noexcept { return keep_; }
+
+ private:
+  double keep_;
+};
+
+/// Wraps an inner attack; each round flips a p_a-coin to decide whether to
+/// apply it. Used to emulate unstable attackers (Fig. 11).
+class ProbabilisticBehaviour final : public Behaviour {
+ public:
+  ProbabilisticBehaviour(double p_attack, BehaviourPtr inner);
+  data::Dataset prepare_data(const data::Dataset& shard,
+                             util::Rng& rng) override;
+  Gradient transform(Gradient honest, util::Rng& rng) override;
+  bool attacked_last_round() const override { return attacked_; }
+  std::string name() const override;
+  double attack_probability() const noexcept { return p_attack_; }
+
+ private:
+  double p_attack_;
+  BehaviourPtr inner_;
+  bool attacked_ = false;
+};
+
+}  // namespace fifl::fl

@@ -1,0 +1,23 @@
+#include "fl/channel.hpp"
+
+#include <stdexcept>
+
+namespace fifl::fl {
+
+Channel::Channel(double drop_prob, util::Rng rng)
+    : drop_prob_(drop_prob), rng_(rng) {
+  if (drop_prob < 0.0 || drop_prob >= 1.0) {
+    throw std::invalid_argument("Channel: drop_prob outside [0,1)");
+  }
+}
+
+void Channel::transmit(Upload& upload) {
+  ++transmitted_;
+  if (rng_.bernoulli(drop_prob_)) {
+    upload.arrived = false;
+    upload.gradient.zero();
+    ++dropped_;
+  }
+}
+
+}  // namespace fifl::fl

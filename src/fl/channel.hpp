@@ -1,0 +1,31 @@
+// Lossy uplink model. A dropped upload becomes an "uncertain event" in the
+// reputation module's subjective-logic triple (Su, Sec. 4.2); it is
+// excluded from aggregation and from positive/negative event counting.
+#pragma once
+
+#include "fl/worker.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::fl {
+
+class Channel {
+ public:
+  /// drop_prob: iid probability that any single upload is lost in transit.
+  explicit Channel(double drop_prob, util::Rng rng);
+
+  double drop_probability() const noexcept { return drop_prob_; }
+
+  /// Marks the upload dropped with probability drop_prob.
+  void transmit(Upload& upload);
+
+  std::size_t transmitted() const noexcept { return transmitted_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+
+ private:
+  double drop_prob_;
+  util::Rng rng_;
+  std::size_t transmitted_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace fifl::fl

@@ -1,0 +1,73 @@
+#include "fl/comm_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fifl::fl {
+
+namespace {
+void validate(const CommConfig& config) {
+  if (config.workers == 0 || config.gradient_size == 0 ||
+      config.bytes_per_scalar == 0) {
+    throw std::invalid_argument("CommConfig: zero workers/gradient/scalar size");
+  }
+  if (config.link_bytes_per_second <= 0.0) {
+    throw std::invalid_argument("CommConfig: non-positive bandwidth");
+  }
+}
+
+double seconds_for(std::size_t bytes, const CommConfig& config) {
+  return static_cast<double>(bytes) / config.link_bytes_per_second;
+}
+}  // namespace
+
+CommCost centralized_cost(const CommConfig& config) {
+  validate(config);
+  const std::size_t gradient_bytes =
+      config.gradient_size * config.bytes_per_scalar;
+  CommCost cost;
+  // N uploads + N downloads, all through the one server.
+  cost.total_bytes = 2 * config.workers * gradient_bytes;
+  cost.max_node_bytes = cost.total_bytes;  // the server touches every byte
+  cost.round_seconds = seconds_for(cost.max_node_bytes, config);
+  return cost;
+}
+
+CommCost decentralized_cost(const CommConfig& config) {
+  validate(config);
+  CommConfig mesh = config;
+  mesh.servers = config.workers;
+  return polycentric_cost(mesh);
+}
+
+CommCost polycentric_cost(const CommConfig& config) {
+  validate(config);
+  if (config.servers == 0 || config.servers > config.workers) {
+    throw std::invalid_argument("CommConfig: servers must be in [1, workers]");
+  }
+  const std::size_t gradient_bytes =
+      config.gradient_size * config.bytes_per_scalar;
+  const std::size_t slice_bytes =
+      (gradient_bytes + config.servers - 1) / config.servers;
+  CommCost cost;
+  // Every worker uploads M slices (= one full gradient split across
+  // servers) and downloads M aggregated slices.
+  cost.total_bytes = 2 * config.workers * config.servers * slice_bytes;
+  // Server j receives one slice from each of N workers and broadcasts the
+  // aggregated slice back: 2·N·(d/M) — the per-node bottleneck shrinks
+  // linearly in M, which is the paper's Sec. 3.2 point.
+  const std::size_t server_bytes = 2 * config.workers * slice_bytes;
+  // A worker moves 2·d in total regardless of M.
+  const std::size_t worker_bytes = 2 * config.servers * slice_bytes;
+  cost.max_node_bytes = std::max(server_bytes, worker_bytes);
+  cost.round_seconds = seconds_for(cost.max_node_bytes, config);
+  return cost;
+}
+
+std::string architecture_name(std::size_t servers, std::size_t workers) {
+  if (servers <= 1) return "centralized";
+  if (servers >= workers) return "decentralized";
+  return "polycentric(M=" + std::to_string(servers) + ")";
+}
+
+}  // namespace fifl::fl

@@ -1,0 +1,53 @@
+// Communication model for the three FL architectures of Sec. 3.2.
+//
+// The paper motivates the polycentric design with communication load: a
+// central server must receive N full gradients and broadcast one back
+// (bottleneck 2·N·d at one node), decentralized meshes shift load onto
+// every device, and polycentric splits the gradient into M slices so each
+// server only ever handles N slices of size d/M. This model computes, per
+// round, the total bytes moved and the *maximum per-node* load (the
+// bottleneck the paper cares about) plus an idealised wall-clock given a
+// per-link bandwidth — enough to regenerate the Sec. 3.2 comparison
+// quantitatively.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace fifl::fl {
+
+struct CommConfig {
+  std::size_t workers = 10;        // N
+  std::size_t servers = 2;         // M (polycentric only)
+  std::size_t gradient_size = 1;   // d, scalars
+  std::size_t bytes_per_scalar = 4;
+  /// Per-link bandwidth used for the idealised round time.
+  double link_bytes_per_second = 12.5e6;  // 100 Mbit/s
+};
+
+struct CommCost {
+  /// Total bytes crossing the network in one round (uploads + downloads).
+  std::size_t total_bytes = 0;
+  /// Bytes handled by the busiest single node — the bottleneck.
+  std::size_t max_node_bytes = 0;
+  /// Idealised round time: every node sends/receives over its own link in
+  /// parallel, so the bottleneck node sets the pace.
+  double round_seconds = 0.0;
+};
+
+/// Centralized (M = 1): the server receives N gradients and broadcasts N
+/// copies of the aggregate.
+CommCost centralized_cost(const CommConfig& config);
+
+/// Decentralized (M = N): every worker serves one 1/N slice — all-to-all
+/// slice exchange, perfectly balanced.
+CommCost decentralized_cost(const CommConfig& config);
+
+/// Polycentric (1 <= M <= N): worker i sends slice j to server j; servers
+/// broadcast aggregated slices back.
+CommCost polycentric_cost(const CommConfig& config);
+
+/// Human-readable architecture label for a server count.
+std::string architecture_name(std::size_t servers, std::size_t workers);
+
+}  // namespace fifl::fl

@@ -1,0 +1,114 @@
+#include "fl/gradient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fifl::fl {
+
+void Gradient::zero() noexcept {
+  for (auto& v : values_) v = 0.0f;
+}
+
+void Gradient::scale(float alpha) noexcept {
+  for (auto& v : values_) v *= alpha;
+}
+
+void Gradient::axpy(float alpha, const Gradient& other) {
+  if (other.size() != size()) {
+    throw std::invalid_argument("Gradient::axpy: size mismatch");
+  }
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += alpha * other.values_[i];
+  }
+}
+
+double Gradient::squared_norm() const noexcept {
+  double acc = 0.0;
+  for (float v : values_) acc += static_cast<double>(v) * static_cast<double>(v);
+  return acc;
+}
+
+double Gradient::norm() const noexcept { return std::sqrt(squared_norm()); }
+
+bool Gradient::finite() const noexcept {
+  for (float v : values_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+SlicePlan::SlicePlan(std::size_t gradient_size, std::size_t servers) {
+  if (servers == 0) throw std::invalid_argument("SlicePlan: zero servers");
+  if (gradient_size < servers) {
+    throw std::invalid_argument("SlicePlan: more servers than gradient entries");
+  }
+  offsets_.resize(servers + 1);
+  const std::size_t base = gradient_size / servers;
+  const std::size_t extra = gradient_size % servers;
+  offsets_[0] = 0;
+  for (std::size_t j = 0; j < servers; ++j) {
+    offsets_[j + 1] = offsets_[j] + base + (j < extra ? 1 : 0);
+  }
+}
+
+std::span<const float> SlicePlan::slice(const Gradient& g, std::size_t j) const {
+  if (g.size() != gradient_size()) {
+    throw std::invalid_argument("SlicePlan::slice: gradient size mismatch");
+  }
+  return g.flat().subspan(offset(j), slice_size(j));
+}
+
+std::span<float> SlicePlan::slice(Gradient& g, std::size_t j) const {
+  if (g.size() != gradient_size()) {
+    throw std::invalid_argument("SlicePlan::slice: gradient size mismatch");
+  }
+  return g.flat().subspan(offset(j), slice_size(j));
+}
+
+Gradient weighted_aggregate(std::span<const Gradient> gradients,
+                            std::span<const double> weights) {
+  if (gradients.size() != weights.size()) {
+    throw std::invalid_argument("weighted_aggregate: count mismatch");
+  }
+  double total = 0.0;
+  std::size_t size = 0;
+  for (std::size_t i = 0; i < gradients.size(); ++i) {
+    if (weights[i] < 0.0) {
+      throw std::invalid_argument("weighted_aggregate: negative weight");
+    }
+    if (weights[i] == 0.0) continue;
+    if (size == 0) {
+      size = gradients[i].size();
+    } else if (gradients[i].size() != size) {
+      throw std::invalid_argument("weighted_aggregate: size mismatch");
+    }
+    total += weights[i];
+  }
+  if (total == 0.0 || size == 0) {
+    throw std::invalid_argument("weighted_aggregate: all weights zero");
+  }
+  Gradient out(size);
+  for (std::size_t i = 0; i < gradients.size(); ++i) {
+    if (weights[i] == 0.0) continue;
+    out.axpy(static_cast<float>(weights[i] / total), gradients[i]);
+  }
+  return out;
+}
+
+Gradient recombine(const SlicePlan& plan,
+                   const std::vector<std::vector<float>>& slices) {
+  if (slices.size() != plan.servers()) {
+    throw std::invalid_argument("recombine: slice count mismatch");
+  }
+  Gradient out(plan.gradient_size());
+  for (std::size_t j = 0; j < slices.size(); ++j) {
+    if (slices[j].size() != plan.slice_size(j)) {
+      throw std::invalid_argument("recombine: slice size mismatch");
+    }
+    auto dst = plan.slice(out, j);
+    for (std::size_t k = 0; k < dst.size(); ++k) dst[k] = slices[j][k];
+  }
+  return out;
+}
+
+}  // namespace fifl::fl

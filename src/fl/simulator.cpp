@@ -1,0 +1,186 @@
+#include "fl/simulator.hpp"
+
+#include <cmath>
+#include <future>
+#include <numeric>
+#include <limits>
+#include <stdexcept>
+
+#include "data/partition.hpp"
+#include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fifl::fl {
+
+Simulator::Simulator(SimulatorConfig config, const ModelFactory& factory,
+                     std::vector<WorkerSetup> workers, data::Dataset test_set)
+    : config_(config), test_set_(std::move(test_set)),
+      channel_(config.channel_drop_prob, util::Rng(config.seed ^ 0xc4a1ull)) {
+  if (workers.empty()) throw std::invalid_argument("Simulator: no workers");
+  test_set_.validate();
+
+  util::Rng rng(config_.seed);
+  global_model_ = factory(rng);
+  if (!global_model_) throw std::invalid_argument("Simulator: null global model");
+  param_count_ = global_model_->parameter_count();
+
+  workers_.reserve(workers.size());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    WorkerConfig wc;
+    wc.id = static_cast<chain::NodeId>(i);
+    wc.local_iterations = config_.local_iterations;
+    wc.batch_size = config_.batch_size;
+    wc.learning_rate = config_.learning_rate;
+    workers_.push_back(std::make_unique<Worker>(
+        wc, std::move(workers[i].shard), std::move(workers[i].behaviour),
+        factory, rng.split(1000 + i)));
+  }
+}
+
+std::vector<Upload> Simulator::collect_uploads() {
+  const std::vector<int> all(workers_.size(), 1);
+  return collect_uploads(all);
+}
+
+std::vector<Upload> Simulator::collect_uploads(
+    std::span<const int> participants) {
+  if (participants.size() != workers_.size()) {
+    throw std::invalid_argument("Simulator: participant mask size mismatch");
+  }
+  const std::vector<float> params = global_model_->flatten_parameters();
+  std::vector<Upload> uploads(workers_.size());
+
+  auto& pool = util::ThreadPool::global();
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!participants[i]) {
+      uploads[i].worker = workers_[i]->id();
+      uploads[i].samples = workers_[i]->samples();
+      uploads[i].arrived = false;
+      continue;
+    }
+    futures.push_back(pool.submit([this, i, &params, &uploads] {
+      uploads[i] = workers_[i]->make_upload(params);
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    if (participants[i]) channel_.transmit(uploads[i]);
+  }
+  ++round_;
+  return uploads;
+}
+
+std::vector<int> Simulator::sample_participants(double fraction,
+                                                util::Rng& rng) const {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("Simulator: participation fraction outside (0,1]");
+  }
+  const std::size_t n = workers_.size();
+  const auto take = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(fraction * static_cast<double>(n))));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order.begin(), order.size());
+  std::vector<int> mask(n, 0);
+  for (std::size_t k = 0; k < take; ++k) mask[order[k]] = 1;
+  return mask;
+}
+
+Gradient Simulator::aggregate(std::span<const Upload> uploads,
+                              std::span<const int> accept) const {
+  if (uploads.size() != accept.size()) {
+    throw std::invalid_argument("Simulator::aggregate: mask size mismatch");
+  }
+  Gradient out(param_count_);
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    if (!accept[i] || !uploads[i].arrived) continue;
+    total_weight += static_cast<double>(uploads[i].samples);
+  }
+  if (total_weight == 0.0) return out;
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    if (!accept[i] || !uploads[i].arrived) continue;
+    const auto w = static_cast<float>(
+        static_cast<double>(uploads[i].samples) / total_weight);
+    out.axpy(w, uploads[i].gradient);
+  }
+  return out;
+}
+
+Gradient Simulator::apply_round(std::span<const Upload> uploads,
+                                std::span<const int> accept) {
+  Gradient agg = aggregate(uploads, accept);
+  std::vector<float> params = global_model_->flatten_parameters();
+  const auto lr = static_cast<float>(config_.global_learning_rate);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] -= lr * agg[i];
+  }
+  global_model_->load_parameters(params);
+  return agg;
+}
+
+Gradient Simulator::apply_round(std::span<const Upload> uploads) {
+  std::vector<int> accept(uploads.size(), 1);
+  return apply_round(uploads, accept);
+}
+
+Evaluation Simulator::evaluate() {
+  Evaluation result;
+  if (model_crashed()) {
+    result.loss = std::numeric_limits<double>::quiet_NaN();
+    result.accuracy = 1.0 / static_cast<double>(test_set_.classes);
+    return result;
+  }
+  const std::size_t n = test_set_.size();
+  const std::size_t bs = std::min(config_.eval_batch_size, n);
+  double loss_sum = 0.0;
+  std::size_t correct = 0;
+  const std::size_t c = test_set_.images.dim(1), h = test_set_.images.dim(2),
+                    w = test_set_.images.dim(3);
+  const std::size_t stride = c * h * w;
+  for (std::size_t start = 0; start < n; start += bs) {
+    const std::size_t count = std::min(bs, n - start);
+    tensor::Tensor batch({count, c, h, w});
+    for (std::size_t k = 0; k < count; ++k) {
+      const float* src = test_set_.images.data() + (start + k) * stride;
+      float* dst = batch.data() + k * stride;
+      for (std::size_t j = 0; j < stride; ++j) dst[j] = src[j];
+    }
+    std::span<const std::int32_t> labels(test_set_.labels.data() + start, count);
+    const tensor::Tensor logits = global_model_->forward(batch);
+    loss_sum += eval_loss_.forward(logits, labels) * static_cast<double>(count);
+    correct += static_cast<std::size_t>(
+        nn::accuracy(logits, labels) * static_cast<double>(count) + 0.5);
+  }
+  result.loss = loss_sum / static_cast<double>(n);
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  return result;
+}
+
+bool Simulator::model_crashed() {
+  for (const nn::Parameter* p : global_model_->parameters()) {
+    if (tensor::has_nonfinite(p->value)) return true;
+  }
+  return false;
+}
+
+std::vector<WorkerSetup> make_worker_setups(const data::Dataset& train,
+                                            std::vector<BehaviourPtr> behaviours,
+                                            util::Rng& rng) {
+  if (behaviours.empty()) {
+    throw std::invalid_argument("make_worker_setups: no behaviours");
+  }
+  auto shards = data::partition_iid_equal(train, behaviours.size(), rng);
+  std::vector<WorkerSetup> setups;
+  setups.reserve(behaviours.size());
+  for (std::size_t i = 0; i < behaviours.size(); ++i) {
+    setups.push_back(WorkerSetup{std::move(shards[i]), std::move(behaviours[i])});
+  }
+  return setups;
+}
+
+}  // namespace fifl::fl

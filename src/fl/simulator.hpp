@@ -1,0 +1,108 @@
+// Round-based federated learning simulator (Sec. 3.1 training loop).
+//
+// Each round: (1) all workers train locally from the broadcast global
+// parameters — in parallel, one pool task per worker; (2) uploads pass
+// through the lossy channel; (3) the caller decides an acceptance mask
+// (plain FedAvg accepts everything that arrived; FIFL's detection module
+// rejects attackers) and the simulator aggregates per Eq. 2 and steps the
+// global model per Eq. 3.
+//
+// Keeping the accept-mask decision *outside* the simulator is the seam
+// that lets the same mechanics run FedAvg baselines and FIFL side by side.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fl/channel.hpp"
+#include "fl/topology.hpp"
+#include "fl/worker.hpp"
+
+namespace fifl::fl {
+
+struct SimulatorConfig {
+  std::size_t local_iterations = 1;   // K
+  std::size_t batch_size = 32;
+  double learning_rate = 0.05;        // worker-local η
+  double global_learning_rate = 0.05; // η in Eq. 3
+  double channel_drop_prob = 0.0;
+  std::size_t eval_batch_size = 256;
+  std::uint64_t seed = 1;
+};
+
+struct WorkerSetup {
+  data::Dataset shard;
+  BehaviourPtr behaviour;
+};
+
+struct Evaluation {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+class Simulator {
+ public:
+  Simulator(SimulatorConfig config, const ModelFactory& factory,
+            std::vector<WorkerSetup> workers, data::Dataset test_set);
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+  Worker& worker(std::size_t i) { return *workers_.at(i); }
+  const Worker& worker(std::size_t i) const { return *workers_.at(i); }
+  nn::Sequential& global_model() noexcept { return *global_model_; }
+  std::size_t parameter_count() const noexcept { return param_count_; }
+  std::uint64_t round() const noexcept { return round_; }
+  const data::Dataset& test_set() const noexcept { return test_set_; }
+
+  /// Phase 1+2: parallel local training, then channel transmission.
+  /// Uploads are ordered by worker index.
+  std::vector<Upload> collect_uploads();
+
+  /// Partial participation: only workers with participants[i] != 0 train
+  /// and transmit; the rest produce absent uploads (arrived = false,
+  /// empty gradient) without spending any compute — downstream they are
+  /// "uncertain events", exactly like channel losses.
+  std::vector<Upload> collect_uploads(std::span<const int> participants);
+
+  /// Uniformly samples ceil(fraction·N) participants (at least 1).
+  std::vector<int> sample_participants(double fraction, util::Rng& rng) const;
+
+  /// Phase 3: aggregate uploads i with accept[i] != 0 weighted by n_i
+  /// (Eq. 2 with the r_i mask of Eq. 7) and apply θ ← θ − η·G̃ (Eq. 3).
+  /// Returns G̃. If nothing is accepted the round is a no-op (zero G̃).
+  Gradient apply_round(std::span<const Upload> uploads,
+                       std::span<const int> accept);
+
+  /// FedAvg: accept every upload that arrived.
+  Gradient apply_round(std::span<const Upload> uploads);
+
+  /// Aggregate without stepping the model (used by analysis benches).
+  Gradient aggregate(std::span<const Upload> uploads,
+                     std::span<const int> accept) const;
+
+  /// Test loss/accuracy of the current global model. If the model has
+  /// diverged to non-finite parameters, returns {NaN, chance-level}.
+  Evaluation evaluate();
+
+  /// True once any global parameter is NaN/Inf (the paper's p_s >= 10
+  /// crash mode, Fig. 7a). Non-const because parameter access goes
+  /// through the (stateful) layer interface.
+  bool model_crashed();
+
+ private:
+  SimulatorConfig config_;
+  std::unique_ptr<nn::Sequential> global_model_;
+  std::size_t param_count_ = 0;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  data::Dataset test_set_;
+  Channel channel_;
+  nn::SoftmaxCrossEntropy eval_loss_;
+  std::uint64_t round_ = 0;
+};
+
+/// Convenience: WorkerSetup list with the given behaviours over an iid
+/// equal split of `train`; behaviours.size() defines the worker count.
+std::vector<WorkerSetup> make_worker_setups(const data::Dataset& train,
+                                            std::vector<BehaviourPtr> behaviours,
+                                            util::Rng& rng);
+
+}  // namespace fifl::fl

@@ -1,0 +1,58 @@
+#include "fl/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fifl::fl {
+
+ServerCluster::ServerCluster(std::vector<chain::NodeId> members, SlicePlan plan)
+    : members_(std::move(members)), plan_(std::move(plan)) {
+  if (members_.empty()) throw std::invalid_argument("ServerCluster: no members");
+  if (plan_.servers() != members_.size()) {
+    throw std::invalid_argument("ServerCluster: plan/member count mismatch");
+  }
+}
+
+bool ServerCluster::is_server(chain::NodeId id) const noexcept {
+  return std::find(members_.begin(), members_.end(), id) != members_.end();
+}
+
+std::optional<std::size_t> ServerCluster::server_index(
+    chain::NodeId id) const noexcept {
+  const auto it = std::find(members_.begin(), members_.end(), id);
+  if (it == members_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - members_.begin());
+}
+
+std::vector<std::vector<float>> ServerCluster::benchmark_slices(
+    std::span<const Upload> uploads) const {
+  std::vector<std::vector<float>> slices(members_.size());
+  for (std::size_t j = 0; j < members_.size(); ++j) {
+    const chain::NodeId member = members_[j];
+    const auto it =
+        std::find_if(uploads.begin(), uploads.end(),
+                     [member](const Upload& u) { return u.worker == member; });
+    if (it == uploads.end() || !it->arrived) {
+      throw std::runtime_error(
+          "ServerCluster: benchmark upload missing for server " +
+          std::to_string(member));
+    }
+    const auto view = plan_.slice(it->gradient, j);
+    slices[j].assign(view.begin(), view.end());
+  }
+  return slices;
+}
+
+Gradient ServerCluster::benchmark_gradient(
+    std::span<const Upload> uploads) const {
+  return recombine(plan_, benchmark_slices(uploads));
+}
+
+void ServerCluster::reselect(std::vector<chain::NodeId> members) {
+  if (members.size() != members_.size()) {
+    throw std::invalid_argument("ServerCluster::reselect: size change requires new plan");
+  }
+  members_ = std::move(members);
+}
+
+}  // namespace fifl::fl

@@ -1,0 +1,69 @@
+// A federated worker: owns a private data shard, a local model replica,
+// and a Behaviour that decides what actually gets uploaded.
+//
+// Local training follows the paper's Sec. 3.1: starting from the global
+// parameters θ_t the worker runs K minibatch steps with learning rate η
+// and uploads the accumulated gradient G_i = (θ_t − θ_{t,K}) / η, which
+// equals the sum of the per-step gradients it descended along.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "chain/signature.hpp"
+#include "data/dataset.hpp"
+#include "fl/attacks.hpp"
+#include "fl/gradient.hpp"
+#include "nn/loss.hpp"
+#include "nn/sequential.hpp"
+
+namespace fifl::fl {
+
+using ModelFactory = std::function<std::unique_ptr<nn::Sequential>(util::Rng&)>;
+
+struct WorkerConfig {
+  chain::NodeId id = 0;
+  std::size_t local_iterations = 1;  // K
+  std::size_t batch_size = 32;
+  double learning_rate = 0.05;       // η for local steps
+};
+
+/// One round's upload as seen by the servers.
+struct Upload {
+  chain::NodeId worker = 0;
+  std::size_t samples = 0;  // n_i (self-reported; honest in our simulator)
+  Gradient gradient;
+  bool arrived = true;          // false => "uncertain event" (Sec. 4.2)
+  bool ground_truth_attack = false;  // oracle label for detection metrics
+};
+
+class Worker {
+ public:
+  /// `shard` is the worker's raw local data; the behaviour may corrupt it
+  /// (data poisoning) before training ever starts.
+  Worker(WorkerConfig config, data::Dataset shard, BehaviourPtr behaviour,
+         const ModelFactory& factory, util::Rng rng);
+
+  chain::NodeId id() const noexcept { return config_.id; }
+  std::size_t samples() const noexcept { return data_.size(); }
+  const Behaviour& behaviour() const noexcept { return *behaviour_; }
+
+  /// K local SGD steps from `global_params`; returns the honest
+  /// accumulated gradient (no behaviour applied).
+  Gradient compute_local_gradient(std::span<const float> global_params);
+
+  /// Full upload path: honest gradient (or zero for free-riders), then the
+  /// behaviour transform. Thread-safe across *different* workers.
+  Upload make_upload(std::span<const float> global_params);
+
+ private:
+  WorkerConfig config_;
+  data::Dataset data_;
+  BehaviourPtr behaviour_;
+  std::unique_ptr<nn::Sequential> model_;
+  std::unique_ptr<data::BatchLoader> loader_;
+  nn::SoftmaxCrossEntropy loss_;
+  util::Rng rng_;
+};
+
+}  // namespace fifl::fl

@@ -1,0 +1,173 @@
+#include "market/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "market/utility.hpp"
+
+namespace fifl::market {
+
+namespace {
+void check_reputations(std::span<const double> samples,
+                       std::span<const double> reputations) {
+  if (!reputations.empty() && reputations.size() != samples.size()) {
+    throw std::invalid_argument("IncentiveMechanism: reputation size mismatch");
+  }
+}
+}  // namespace
+
+std::vector<double> IncentiveMechanism::shares(
+    std::span<const double> samples,
+    std::span<const double> reputations) const {
+  std::vector<double> w = weights(samples, reputations);
+  double total = 0.0;
+  for (double v : w) {
+    if (v > 0.0) total += v;
+  }
+  if (total <= 0.0) {
+    std::fill(w.begin(), w.end(), 0.0);
+    return w;
+  }
+  for (double& v : w) v = std::max(v, 0.0) / total;
+  return w;
+}
+
+std::vector<double> IndividualIncentive::weights(
+    std::span<const double> samples, std::span<const double> reputations) const {
+  check_reputations(samples, reputations);
+  std::vector<double> w(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) w[i] = utility(samples[i]);
+  return w;
+}
+
+std::vector<double> EqualIncentive::weights(
+    std::span<const double> samples, std::span<const double> reputations) const {
+  check_reputations(samples, reputations);
+  if (samples.empty()) return {};
+  return std::vector<double>(samples.size(),
+                             1.0 / static_cast<double>(samples.size()));
+}
+
+std::vector<double> UnionIncentive::weights(
+    std::span<const double> samples, std::span<const double> reputations) const {
+  check_reputations(samples, reputations);
+  std::vector<double> w(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    w[i] = marginal_utility(samples, i);
+  }
+  return w;
+}
+
+ShapleyIncentive::ShapleyIncentive(std::size_t exact_limit,
+                                   std::size_t mc_permutations,
+                                   std::uint64_t seed)
+    : exact_limit_(exact_limit), mc_permutations_(mc_permutations), seed_(seed) {
+  if (mc_permutations == 0) {
+    throw std::invalid_argument("ShapleyIncentive: zero permutations");
+  }
+}
+
+std::vector<double> ShapleyIncentive::weights(
+    std::span<const double> samples, std::span<const double> reputations) const {
+  check_reputations(samples, reputations);
+  if (samples.size() <= exact_limit_) return exact_weights(samples);
+  return monte_carlo_weights(samples);
+}
+
+std::vector<double> ShapleyIncentive::exact_weights(
+    std::span<const double> samples) const {
+  const std::size_t n = samples.size();
+  if (n > 25) {
+    throw std::invalid_argument("ShapleyIncentive::exact_weights: N too large");
+  }
+  std::vector<double> w(n, 0.0);
+  if (n == 0) return w;
+
+  // Precompute factorials.
+  std::vector<double> fact(n + 1, 1.0);
+  for (std::size_t k = 1; k <= n; ++k) {
+    fact[k] = fact[k - 1] * static_cast<double>(k);
+  }
+
+  // Enumerate subsets S not containing i; weight |S|!(n-|S|-1)!/n!.
+  const std::size_t subsets = std::size_t{1} << n;
+  for (std::size_t mask = 0; mask < subsets; ++mask) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (mask & (std::size_t{1} << j)) {
+        sum += samples[j];
+        ++count;
+      }
+    }
+    const double base = utility(sum);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) continue;
+      const double marginal = utility(sum + samples[i]) - base;
+      const double coeff =
+          fact[count] * fact[n - count - 1] / fact[n];
+      w[i] += coeff * marginal;
+    }
+  }
+  return w;
+}
+
+std::vector<double> ShapleyIncentive::monte_carlo_weights(
+    std::span<const double> samples) const {
+  const std::size_t n = samples.size();
+  std::vector<double> w(n, 0.0);
+  if (n == 0) return w;
+  util::Rng rng(seed_);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t p = 0; p < mc_permutations_; ++p) {
+    rng.shuffle(order.begin(), order.size());
+    double sum = 0.0;
+    for (std::size_t idx : order) {
+      const double before = utility(sum);
+      sum += samples[idx];
+      w[idx] += utility(sum) - before;
+    }
+  }
+  for (double& v : w) v /= static_cast<double>(mc_permutations_);
+  return w;
+}
+
+FiflIncentive::FiflIncentive(double barrier_samples)
+    : barrier_samples_(barrier_samples) {
+  if (barrier_samples < 0.0) {
+    throw std::invalid_argument("FiflIncentive: negative barrier");
+  }
+}
+
+std::vector<double> FiflIncentive::weights(
+    std::span<const double> samples, std::span<const double> reputations) const {
+  check_reputations(samples, reputations);
+  const std::size_t n = samples.size();
+  std::vector<double> w(n, 0.0);
+  if (n == 0) return w;
+  const double total = std::accumulate(samples.begin(), samples.end(), 0.0);
+  // Market-level b_h: the marginal utility a hypothetical reference worker
+  // with `barrier_samples_` samples would add to this federation.
+  const double barrier = utility(total) - utility(std::max(0.0, total - barrier_samples_));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double contribution = marginal_utility(samples, i) - barrier;
+    const double reputation = reputations.empty() ? 1.0 : reputations[i];
+    w[i] = reputation * contribution;  // may be negative: punished
+  }
+  return w;
+}
+
+std::vector<MechanismPtr> standard_mechanisms(std::uint64_t seed) {
+  std::vector<MechanismPtr> out;
+  out.push_back(std::make_unique<IndividualIncentive>());
+  out.push_back(std::make_unique<EqualIncentive>());
+  out.push_back(std::make_unique<UnionIncentive>());
+  out.push_back(std::make_unique<ShapleyIncentive>(12, 2000, seed));
+  out.push_back(std::make_unique<FiflIncentive>());
+  return out;
+}
+
+}  // namespace fifl::market

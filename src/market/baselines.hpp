@@ -1,0 +1,106 @@
+// The payoff-sharing mechanisms compared in Sec. 5.2 (Eq. 18-22):
+//   Individual — ω_i = Ψ(n_i)
+//   Equal      — ω_i = 1/N
+//   Union      — ω_i = Ψ(A) − Ψ(A\{i})
+//   Shapley    — ω_i = average marginal utility over all join orders
+//                (exact subset enumeration for small N, Monte-Carlo
+//                permutation sampling otherwise)
+//   FIFL       — ω_i = R_i · C_i, with the market-level contribution
+//                C_i = max(0, marginal_i − barrier) modelling Eq. 14's
+//                b_h free-rider barrier: workers whose marginal utility
+//                does not clear a reference worker's earn nothing, and
+//                the pool concentrates on the rest (see DESIGN.md).
+//
+// A mechanism maps the federation's sample counts (and per-worker
+// reputations, used only by FIFL) to normalised reward shares that sum
+// to 1 over non-negative entries.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fifl::market {
+
+class IncentiveMechanism {
+ public:
+  virtual ~IncentiveMechanism() = default;
+  virtual std::string name() const = 0;
+
+  /// Unnormalised reward weights ω_i (Eq. 18). `reputations` may be
+  /// empty, meaning all workers fully reputable (R_i = 1).
+  virtual std::vector<double> weights(
+      std::span<const double> samples,
+      std::span<const double> reputations) const = 0;
+
+  /// Normalised shares ω_i / Σ_j ω_j (zero vector if all weights are 0).
+  std::vector<double> shares(std::span<const double> samples,
+                             std::span<const double> reputations = {}) const;
+};
+
+using MechanismPtr = std::unique_ptr<IncentiveMechanism>;
+
+class IndividualIncentive final : public IncentiveMechanism {
+ public:
+  std::string name() const override { return "Individual"; }
+  std::vector<double> weights(std::span<const double> samples,
+                              std::span<const double> reputations) const override;
+};
+
+class EqualIncentive final : public IncentiveMechanism {
+ public:
+  std::string name() const override { return "Equal"; }
+  std::vector<double> weights(std::span<const double> samples,
+                              std::span<const double> reputations) const override;
+};
+
+class UnionIncentive final : public IncentiveMechanism {
+ public:
+  std::string name() const override { return "Union"; }
+  std::vector<double> weights(std::span<const double> samples,
+                              std::span<const double> reputations) const override;
+};
+
+class ShapleyIncentive final : public IncentiveMechanism {
+ public:
+  /// Exact for N <= exact_limit (O(2^N) subset enumeration); Monte-Carlo
+  /// with `mc_permutations` join orders above that.
+  explicit ShapleyIncentive(std::size_t exact_limit = 12,
+                            std::size_t mc_permutations = 2000,
+                            std::uint64_t seed = 99);
+  std::string name() const override { return "Shapley"; }
+  std::vector<double> weights(std::span<const double> samples,
+                              std::span<const double> reputations) const override;
+
+  std::vector<double> exact_weights(std::span<const double> samples) const;
+  std::vector<double> monte_carlo_weights(std::span<const double> samples) const;
+
+ private:
+  std::size_t exact_limit_;
+  std::size_t mc_permutations_;
+  std::uint64_t seed_;
+};
+
+class FiflIncentive final : public IncentiveMechanism {
+ public:
+  /// `barrier_samples` is the reference worker size n_ref defining the
+  /// market-level b_h: a worker must out-contribute a hypothetical
+  /// n_ref-sample worker to earn anything (Eq. 14's threshold).
+  explicit FiflIncentive(double barrier_samples = 500.0);
+  std::string name() const override { return "FIFL"; }
+  std::vector<double> weights(std::span<const double> samples,
+                              std::span<const double> reputations) const override;
+
+  double barrier_samples() const noexcept { return barrier_samples_; }
+
+ private:
+  double barrier_samples_;
+};
+
+/// The five mechanisms in the paper's comparison order.
+std::vector<MechanismPtr> standard_mechanisms(std::uint64_t seed = 99);
+
+}  // namespace fifl::market

@@ -1,0 +1,69 @@
+#include "market/fli.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fifl::market {
+
+FliScheduler::FliScheduler(std::size_t workers)
+    : owed_(workers, 0.0), paid_(workers, 0.0) {
+  if (workers == 0) throw std::invalid_argument("FliScheduler: zero workers");
+}
+
+std::vector<double> FliScheduler::step(double budget,
+                                       std::span<const double> contributions) {
+  if (contributions.size() != owed_.size()) {
+    throw std::invalid_argument("FliScheduler: contribution count mismatch");
+  }
+  if (budget < 0.0) throw std::invalid_argument("FliScheduler: negative budget");
+
+  for (std::size_t i = 0; i < owed_.size(); ++i) {
+    if (contributions[i] > 0.0) owed_[i] += contributions[i];
+  }
+
+  std::vector<double> payments(owed_.size(), 0.0);
+  double remaining = budget;
+  // Proportional split capped by what is owed; re-distribute any slack
+  // freed by the caps (at most `workers` passes — each pass fully pays
+  // off at least one account or exhausts the budget).
+  for (std::size_t pass = 0; pass < owed_.size() && remaining > 1e-15; ++pass) {
+    double open_total = 0.0;
+    for (std::size_t i = 0; i < owed_.size(); ++i) {
+      open_total += std::max(0.0, owed_[i] - payments[i]);
+    }
+    if (open_total <= 1e-15) break;
+    bool any_capped = false;
+    const double pool = remaining;
+    for (std::size_t i = 0; i < owed_.size(); ++i) {
+      const double open = owed_[i] - payments[i];
+      if (open <= 0.0) continue;
+      double share = pool * open / open_total;
+      if (share >= open) {
+        share = open;
+        any_capped = true;
+      }
+      payments[i] += share;
+      remaining -= share;
+    }
+    if (!any_capped) break;
+  }
+
+  for (std::size_t i = 0; i < owed_.size(); ++i) {
+    owed_[i] -= payments[i];
+    paid_[i] += payments[i];
+  }
+  return payments;
+}
+
+double FliScheduler::total_paid() const noexcept {
+  return std::accumulate(paid_.begin(), paid_.end(), 0.0);
+}
+
+double FliScheduler::regret_inequality() const noexcept {
+  if (owed_.empty()) return 0.0;
+  const auto [lo, hi] = std::minmax_element(owed_.begin(), owed_.end());
+  return *hi - *lo;
+}
+
+}  // namespace fifl::market

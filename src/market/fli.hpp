@@ -1,0 +1,46 @@
+// FLI — the Fairness-aware incentive scheme of Yu et al. (AIES'20),
+// sketched in the paper's related work: the task publisher has a budget
+// per round and pays workers over time so that (a) the collective utility
+// of payments is maximised and (b) inequality between workers' unpaid
+// contributions ("regret") is minimised.
+//
+// This is a faithful-lite implementation of the scheme's core dynamic:
+// each round every worker's contribution is added to its owed account
+// Y_i; the round budget B(t) is then distributed proportionally to owed
+// amounts (water-filling capped at what is owed), so persistent
+// contributors are paid back and temporary imbalances shrink. Exposed so
+// the extension benches can contrast temporal budget-sharing against
+// FIFL's per-round product rule.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fifl::market {
+
+class FliScheduler {
+ public:
+  explicit FliScheduler(std::size_t workers);
+
+  std::size_t workers() const noexcept { return owed_.size(); }
+
+  /// One round: credit `contributions` (negative entries are treated as 0
+  /// — FLI has no punishment channel), then split `budget` against the
+  /// owed accounts. Returns the per-worker payments of this round.
+  std::vector<double> step(double budget, std::span<const double> contributions);
+
+  /// Outstanding unpaid contribution ("regret") per worker.
+  const std::vector<double>& owed() const noexcept { return owed_; }
+  /// Lifetime totals.
+  const std::vector<double>& paid() const noexcept { return paid_; }
+  double total_paid() const noexcept;
+
+  /// Max-min inequality of the owed accounts: max(Y) − min(Y).
+  double regret_inequality() const noexcept;
+
+ private:
+  std::vector<double> owed_;
+  std::vector<double> paid_;
+};
+
+}  // namespace fifl::market

@@ -1,0 +1,180 @@
+#include "market/market_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "market/utility.hpp"
+
+namespace fifl::market {
+
+MarketSimulator::MarketSimulator(MarketConfig config) : config_(config) {
+  if (config_.workers == 0 || config_.trials == 0 || config_.quality_groups == 0) {
+    throw std::invalid_argument("MarketSimulator: zero workers/trials/groups");
+  }
+  if (!(config_.max_samples > config_.min_samples)) {
+    throw std::invalid_argument("MarketSimulator: bad sample range");
+  }
+}
+
+MarketResult MarketSimulator::run_reliable() const { return run(0.0, 0.0); }
+
+MarketResult MarketSimulator::run_under_attack(
+    double attack_degree, double unreliable_fraction) const {
+  if (attack_degree < 0.0 || attack_degree > 1.0) {
+    throw std::invalid_argument("run_under_attack: attack degree outside [0,1]");
+  }
+  if (unreliable_fraction <= 0.0 || unreliable_fraction >= 1.0) {
+    throw std::invalid_argument("run_under_attack: fraction outside (0,1)");
+  }
+  return run(attack_degree, unreliable_fraction);
+}
+
+MarketResult MarketSimulator::run(double attack_degree,
+                                  double unreliable_fraction) const {
+  const auto mechanisms = standard_mechanisms(config_.seed ^ 0xabcd);
+  const std::size_t n_mech = mechanisms.size();
+  const std::size_t n = config_.workers;
+  const std::size_t groups = config_.quality_groups;
+  const std::size_t fifl_index = n_mech - 1;  // standard_mechanisms order
+
+  MarketResult result;
+  for (const auto& m : mechanisms) result.mechanisms.push_back(m->name());
+  result.reward_by_group.assign(n_mech, std::vector<double>(groups, 0.0));
+  result.attractiveness_by_group.assign(n_mech, std::vector<double>(groups, 0.0));
+  result.data_share.assign(n_mech, 0.0);
+  result.revenue.assign(n_mech, 0.0);
+
+  std::vector<std::vector<double>> group_counts(
+      n_mech, std::vector<double>(groups, 0.0));
+  double total_data_all_trials = 0.0;
+
+  util::Rng rng(config_.seed);
+  const auto n_attackers = static_cast<std::size_t>(
+      std::llround(unreliable_fraction * static_cast<double>(n)));
+
+  for (std::size_t trial = 0; trial < config_.trials; ++trial) {
+    // --- draw the worker pool -------------------------------------------
+    std::vector<double> samples(n);
+    for (auto& s : samples) {
+      s = rng.uniform(config_.min_samples, config_.max_samples);
+    }
+    std::vector<char> attacker(n, 0);
+    if (n_attackers > 0) {
+      std::vector<std::size_t> ids(n);
+      std::iota(ids.begin(), ids.end(), std::size_t{0});
+      rng.shuffle(ids.begin(), ids.size());
+      for (std::size_t k = 0; k < n_attackers; ++k) attacker[ids[k]] = 1;
+    }
+
+    // FIFL sees attacker reputations collapse via detection; the other
+    // mechanisms have no reputation notion (empty span => all ones).
+    std::vector<double> fifl_reputations(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (attacker[i]) fifl_reputations[i] = config_.detected_attacker_reputation;
+    }
+
+    // --- shares and attractiveness --------------------------------------
+    std::vector<std::vector<double>> shares(n_mech);
+    for (std::size_t m = 0; m < n_mech; ++m) {
+      shares[m] = (m == fifl_index)
+                      ? mechanisms[m]->shares(samples, fifl_reputations)
+                      : mechanisms[m]->shares(samples);
+    }
+    std::vector<std::vector<double>> attractiveness(
+        n_mech, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (std::size_t m = 0; m < n_mech; ++m) total += shares[m][i];
+      if (total <= 0.0) continue;
+      for (std::size_t m = 0; m < n_mech; ++m) {
+        attractiveness[m][i] = shares[m][i] / total;
+      }
+    }
+
+    // --- per-group statistics -------------------------------------------
+    const double group_width =
+        (config_.max_samples - config_.min_samples) / static_cast<double>(groups);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto g = static_cast<std::size_t>((samples[i] - config_.min_samples) /
+                                        group_width);
+      g = std::min(g, groups - 1);
+      for (std::size_t m = 0; m < n_mech; ++m) {
+        result.reward_by_group[m][g] += shares[m][i];
+        result.attractiveness_by_group[m][g] += attractiveness[m][i];
+        group_counts[m][g] += 1.0;
+      }
+    }
+
+    // --- probabilistic joining ------------------------------------------
+    std::vector<double> attracted_total(n_mech, 0.0);
+    std::vector<double> attracted_honest(n_mech, 0.0);
+    std::vector<double> attracted_attacker(n_mech, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (std::size_t m = 0; m < n_mech; ++m) total += attractiveness[m][i];
+      if (total <= 0.0) continue;  // nobody wants this worker; it stays out
+      double pick = rng.uniform() * total;
+      std::size_t chosen = n_mech - 1;
+      for (std::size_t m = 0; m < n_mech; ++m) {
+        pick -= attractiveness[m][i];
+        if (pick <= 0.0) {
+          chosen = m;
+          break;
+        }
+      }
+      attracted_total[chosen] += samples[i];
+      if (attacker[i]) {
+        attracted_attacker[chosen] += samples[i];
+      } else {
+        attracted_honest[chosen] += samples[i];
+      }
+    }
+    total_data_all_trials +=
+        std::accumulate(samples.begin(), samples.end(), 0.0);
+
+    // --- revenue ----------------------------------------------------------
+    for (std::size_t m = 0; m < n_mech; ++m) {
+      result.data_share[m] += attracted_total[m];
+      double rev;
+      if (m == fifl_index) {
+        // Detection removes attackers before they can damage the model.
+        rev = utility(attracted_honest[m]);
+      } else {
+        rev = utility(attracted_total[m]);
+        if (attack_degree > 0.0 && attracted_total[m] > 0.0 &&
+            unreliable_fraction > 0.0) {
+          const double attacker_share =
+              attracted_attacker[m] / attracted_total[m];
+          const double damage =
+              std::clamp(attack_degree * attacker_share / unreliable_fraction,
+                         0.0, 1.0);
+          rev *= 1.0 - damage;
+        }
+      }
+      result.revenue[m] += rev;
+    }
+  }
+
+  // --- normalise across trials -------------------------------------------
+  for (std::size_t m = 0; m < n_mech; ++m) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      if (group_counts[m][g] > 0.0) {
+        result.reward_by_group[m][g] /= group_counts[m][g];
+        result.attractiveness_by_group[m][g] /= group_counts[m][g];
+      }
+    }
+    result.data_share[m] /= total_data_all_trials;
+    result.revenue[m] /= static_cast<double>(config_.trials);
+  }
+  result.relative_revenue.assign(n_mech, 0.0);
+  const double fifl_rev = result.revenue[fifl_index];
+  for (std::size_t m = 0; m < n_mech; ++m) {
+    result.relative_revenue[m] =
+        fifl_rev != 0.0 ? result.revenue[m] / fifl_rev : 0.0;
+  }
+  return result;
+}
+
+}  // namespace fifl::market

@@ -1,0 +1,77 @@
+// The worker-market simulation behind Figs. 4-6 (Sec. 5.2).
+//
+// Five federations — one per incentive mechanism — compete for the same
+// pool of workers. Per trial: worker sample counts are drawn U[1, 10000];
+// each mechanism computes reward shares for the full pool; a worker's
+// *attractiveness* toward mechanism m is its relative reward proportion
+// share_m(i) / Σ_m' share_m'(i); each worker then joins one federation
+// sampled with those probabilities (the paper's greedy probabilistic
+// joining). Revenue of a federation is Ψ(attracted samples).
+//
+// Unreliable scenario (Fig. 6): a fraction u of workers are attackers
+// with aggregate attack degree ℧. Baselines cannot tell them apart, so an
+// attacked federation's revenue is scaled by (1 − ℧ · s/u), s = attacker
+// data share it attracted (damage = ℧ exactly when it attracts its
+// proportional share of attackers). FIFL's detection module identifies
+// attackers (their reputation collapses), they earn punishments instead
+// of rewards — so they stop joining FIFL — and any that do join are
+// excluded before they can do damage: FIFL's revenue is Ψ(honest
+// attracted samples). See DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "market/baselines.hpp"
+
+namespace fifl::market {
+
+struct MarketConfig {
+  std::size_t workers = 20;
+  std::size_t trials = 100;
+  double min_samples = 1.0;
+  double max_samples = 10000.0;
+  std::size_t quality_groups = 10;
+  /// Reputation attackers end up with under FIFL detection (≈0 but not
+  /// exactly 0: detection is imperfect at low intensity, Fig. 9).
+  double detected_attacker_reputation = 0.05;
+  std::uint64_t seed = 2021;
+};
+
+struct MarketResult {
+  std::vector<std::string> mechanisms;
+  /// reward_by_group[m][g]: mean reward share of a worker in quality
+  /// group g (samples in [g, g+1)·1000) under mechanism m   (Fig. 4a).
+  std::vector<std::vector<double>> reward_by_group;
+  /// attractiveness_by_group[m][g]: mean relative reward proportion
+  /// (Fig. 4b).
+  std::vector<std::vector<double>> attractiveness_by_group;
+  /// data_share[m]: fraction of all data attracted                 (Fig. 5a).
+  std::vector<double> data_share;
+  /// revenue[m]: mean federation revenue Ψ(attracted)              (Fig. 5b).
+  std::vector<double> revenue;
+  /// relative_revenue[m] = revenue[m] / revenue[FIFL].
+  std::vector<double> relative_revenue;
+};
+
+class MarketSimulator {
+ public:
+  explicit MarketSimulator(MarketConfig config);
+
+  const MarketConfig& config() const noexcept { return config_; }
+
+  /// Reliable federation: everyone honest (Figs. 4-5).
+  MarketResult run_reliable() const;
+
+  /// Unreliable federation with `unreliable_fraction` attackers of
+  /// aggregate attack degree ℧ (Fig. 6).
+  MarketResult run_under_attack(double attack_degree,
+                                double unreliable_fraction) const;
+
+ private:
+  MarketResult run(double attack_degree, double unreliable_fraction) const;
+
+  MarketConfig config_;
+};
+
+}  // namespace fifl::market

@@ -1,0 +1,27 @@
+#include "market/utility.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fifl::market {
+
+double utility(double samples) {
+  if (samples < 0.0) throw std::invalid_argument("utility: negative samples");
+  return std::log1p(samples);
+}
+
+double federation_utility(std::span<const double> samples) {
+  const double total = std::accumulate(samples.begin(), samples.end(), 0.0);
+  return utility(total);
+}
+
+double marginal_utility(std::span<const double> samples, std::size_t i) {
+  if (i >= samples.size()) {
+    throw std::out_of_range("marginal_utility: index out of range");
+  }
+  const double total = std::accumulate(samples.begin(), samples.end(), 0.0);
+  return utility(total) - utility(total - samples[i]);
+}
+
+}  // namespace fifl::market

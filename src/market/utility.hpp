@@ -1,0 +1,20 @@
+// The evaluation's utility model (Sec. 5.1, after Zhan et al.): the
+// system revenue from n training samples is Ψ(n) = log(1 + n), and a
+// federation's revenue is Ψ applied to its pooled sample count.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace fifl::market {
+
+/// Ψ(n) = log(1 + n).
+double utility(double samples);
+
+/// Ψ(Σ n_i) over a federation's sample counts.
+double federation_utility(std::span<const double> samples);
+
+/// Marginal utility of member i: Ψ(A) − Ψ(A \ {i}).
+double marginal_utility(std::span<const double> samples, std::size_t i);
+
+}  // namespace fifl::market

@@ -1,0 +1,56 @@
+#include "nn/checkpoint.hpp"
+
+#include "util/serialize.hpp"
+
+namespace fifl::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4649464c;  // "FIFL"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> checkpoint_bytes(Sequential& model,
+                                           const std::string& tag) {
+  util::ByteWriter writer;
+  writer.write_u32(kMagic);
+  writer.write_u32(kVersion);
+  writer.write_string(tag);
+  writer.write_f32_array(model.flatten_parameters());
+  return writer.take();
+}
+
+std::string restore_checkpoint(Sequential& model,
+                               std::span<const std::uint8_t> bytes) {
+  util::ByteReader reader(bytes);
+  if (reader.read_u32() != kMagic) {
+    throw util::SerializeError("checkpoint: bad magic");
+  }
+  if (reader.read_u32() != kVersion) {
+    throw util::SerializeError("checkpoint: unsupported version");
+  }
+  std::string tag = reader.read_string();
+  const std::vector<float> params = reader.read_f32_array();
+  if (params.size() != model.parameter_count()) {
+    throw util::SerializeError(
+        "checkpoint: parameter count mismatch (checkpoint " +
+        std::to_string(params.size()) + ", model " +
+        std::to_string(model.parameter_count()) + ")");
+  }
+  model.load_parameters(params);
+  return tag;
+}
+
+void save_checkpoint(Sequential& model, const std::string& path,
+                     const std::string& tag) {
+  util::ByteWriter writer;
+  const auto bytes = checkpoint_bytes(model, tag);
+  writer.write_bytes(bytes);
+  writer.save(path);
+}
+
+std::string load_checkpoint(Sequential& model, const std::string& path) {
+  const auto bytes = util::ByteReader::load(path);
+  return restore_checkpoint(model, bytes);
+}
+
+}  // namespace fifl::nn

@@ -1,0 +1,26 @@
+// Model checkpoints: save/load the flat parameter vector with a magic
+// header, format version, and a parameter-count check so a checkpoint can
+// never be silently loaded into a mismatched architecture.
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace fifl::nn {
+
+/// Serialized checkpoint bytes of the model's current parameters.
+std::vector<std::uint8_t> checkpoint_bytes(Sequential& model,
+                                           const std::string& tag = "");
+
+/// Restore parameters from checkpoint bytes. Throws util::SerializeError
+/// on bad magic/version or parameter-count mismatch. Returns the tag.
+std::string restore_checkpoint(Sequential& model,
+                               std::span<const std::uint8_t> bytes);
+
+/// File convenience wrappers.
+void save_checkpoint(Sequential& model, const std::string& path,
+                     const std::string& tag = "");
+std::string load_checkpoint(Sequential& model, const std::string& path);
+
+}  // namespace fifl::nn

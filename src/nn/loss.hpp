@@ -1,0 +1,36 @@
+// Softmax cross-entropy loss with integrated backward pass, plus accuracy.
+// The forward computes log-softmax in a numerically stable way (max-shift)
+// and caches probabilities for the O(N*C) backward.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace fifl::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: (N, classes); labels: N class indices. Returns mean loss.
+  /// Non-finite logits yield a NaN loss (propagating "model crashed"), not
+  /// an exception — matching the paper's observed NaN blow-up (Fig. 7a).
+  double forward(const tensor::Tensor& logits,
+                 std::span<const std::int32_t> labels);
+
+  /// Gradient of mean loss w.r.t. logits, from the cached forward.
+  tensor::Tensor backward() const;
+
+  /// Cached softmax probabilities of the last forward (N, classes).
+  const tensor::Tensor& probabilities() const noexcept { return probs_; }
+
+ private:
+  tensor::Tensor probs_;
+  std::vector<std::int32_t> labels_;
+};
+
+/// Fraction of rows whose argmax matches the label.
+double accuracy(const tensor::Tensor& logits,
+                std::span<const std::int32_t> labels);
+
+}  // namespace fifl::nn

@@ -1,0 +1,112 @@
+#include "nn/models.hpp"
+
+#include <stdexcept>
+
+namespace fifl::nn {
+
+std::unique_ptr<Sequential> make_lenet(const ModelSpec& spec, util::Rng& rng) {
+  if (spec.image_size % 4 != 0) {
+    throw std::invalid_argument("make_lenet: image_size must be divisible by 4");
+  }
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Conv2d>(
+      tensor::ConvSpec{.in_channels = spec.channels,
+                       .out_channels = 6,
+                       .kernel = 5,
+                       .stride = 1,
+                       .padding = 2},
+      rng);
+  model->emplace<ReLU>();
+  model->emplace<MaxPool2d>(2);
+  model->emplace<Conv2d>(
+      tensor::ConvSpec{.in_channels = 6,
+                       .out_channels = 16,
+                       .kernel = 5,
+                       .stride = 1,
+                       .padding = 2},
+      rng);
+  model->emplace<ReLU>();
+  model->emplace<MaxPool2d>(2);
+  model->emplace<Flatten>();
+  const std::size_t feat = 16 * (spec.image_size / 4) * (spec.image_size / 4);
+  model->emplace<Linear>(feat, 84, rng);
+  model->emplace<ReLU>();
+  model->emplace<Linear>(84, spec.classes, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> make_mini_resnet(const ModelSpec& spec,
+                                             util::Rng& rng) {
+  if (spec.image_size % 2 != 0) {
+    throw std::invalid_argument("make_mini_resnet: image_size must be even");
+  }
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Conv2d>(
+      tensor::ConvSpec{.in_channels = spec.channels,
+                       .out_channels = 8,
+                       .kernel = 3,
+                       .stride = 1,
+                       .padding = 1},
+      rng);
+  model->emplace<ReLU>();
+  model->emplace<ResidualBlock>(8, rng);
+  model->emplace<MaxPool2d>(2);
+  model->emplace<Conv2d>(
+      tensor::ConvSpec{.in_channels = 8,
+                       .out_channels = 16,
+                       .kernel = 3,
+                       .stride = 1,
+                       .padding = 1},
+      rng);
+  model->emplace<ReLU>();
+  model->emplace<ResidualBlock>(16, rng);
+  if (spec.image_size % 4 == 0) model->emplace<MaxPool2d>(2);
+  model->emplace<Flatten>();
+  const std::size_t down = spec.image_size % 4 == 0 ? 4 : 2;
+  const std::size_t feat =
+      16 * (spec.image_size / down) * (spec.image_size / down);
+  model->emplace<Linear>(feat, spec.classes, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> make_mini_vgg(const ModelSpec& spec, util::Rng& rng,
+                                          double dropout) {
+  if (spec.image_size % 4 != 0) {
+    throw std::invalid_argument("make_mini_vgg: image_size must be divisible by 4");
+  }
+  auto model = std::make_unique<Sequential>();
+  auto conv = [&](std::size_t in, std::size_t out) {
+    model->emplace<Conv2d>(
+        tensor::ConvSpec{.in_channels = in,
+                         .out_channels = out,
+                         .kernel = 3,
+                         .stride = 1,
+                         .padding = 1},
+        rng);
+    model->emplace<ReLU>();
+  };
+  conv(spec.channels, 8);
+  conv(8, 8);
+  model->emplace<MaxPool2d>(2);
+  conv(8, 16);
+  conv(16, 16);
+  model->emplace<MaxPool2d>(2);
+  model->emplace<Flatten>();
+  const std::size_t feat = 16 * (spec.image_size / 4) * (spec.image_size / 4);
+  model->emplace<Linear>(feat, 64, rng);
+  model->emplace<ReLU>();
+  if (dropout > 0.0) model->emplace<Dropout>(dropout, rng.split(0xd0));
+  model->emplace<Linear>(64, spec.classes, rng);
+  return model;
+}
+
+std::unique_ptr<Sequential> make_mlp(std::size_t inputs, std::size_t hidden,
+                                     std::size_t classes, util::Rng& rng) {
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Linear>(inputs, hidden, rng);
+  model->emplace<ReLU>();
+  model->emplace<Linear>(hidden, classes, rng);
+  return model;
+}
+
+}  // namespace fifl::nn

@@ -1,0 +1,40 @@
+// Model zoo covering the paper's evaluation:
+//  - LeNet (MNIST experiments, Figs. 7/9-14),
+//  - MiniResNet, a scaled-down residual CNN standing in for "ResNet on
+//    CIFAR10" (Figs. 8/10) — see DESIGN.md substitution table,
+//  - Mlp, a small dense net used where the figures only need gradient
+//    geometry and speed matters (detection/reputation/incentive sweeps).
+#pragma once
+
+#include <memory>
+
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::nn {
+
+struct ModelSpec {
+  std::size_t channels = 1;
+  std::size_t image_size = 28;
+  std::size_t classes = 10;
+};
+
+/// LeNet-style CNN: conv(6,5x5) -> pool -> conv(16,5x5) -> pool -> FC.
+std::unique_ptr<Sequential> make_lenet(const ModelSpec& spec, util::Rng& rng);
+
+/// Residual CNN: conv(8) -> block(8) -> pool -> conv(16) -> block(16) ->
+/// pool -> FC.
+std::unique_ptr<Sequential> make_mini_resnet(const ModelSpec& spec,
+                                             util::Rng& rng);
+
+/// Dense net on flattened input: FC(hidden) -> ReLU -> FC(classes).
+std::unique_ptr<Sequential> make_mlp(std::size_t inputs, std::size_t hidden,
+                                     std::size_t classes, util::Rng& rng);
+
+/// VGG-style CNN: two conv-conv-pool stages (8->8, 16->16 channels) and a
+/// dropout-regularised dense head. A third architecture for robustness
+/// studies; image_size must be divisible by 4.
+std::unique_ptr<Sequential> make_mini_vgg(const ModelSpec& spec, util::Rng& rng,
+                                          double dropout = 0.25);
+
+}  // namespace fifl::nn

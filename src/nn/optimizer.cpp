@@ -1,0 +1,91 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fifl::nn {
+
+void Sgd::step(const std::vector<Parameter*>& params) {
+  const bool use_momentum = opts_.momentum != 0.0;
+  if (use_momentum && velocity_.size() != params.size()) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (const Parameter* p : params) {
+      velocity_.emplace_back(p->value.shape());
+    }
+  }
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Parameter& p = *params[k];
+    float* value = p.value.data();
+    const float* grad = p.grad.data();
+    const auto lr = static_cast<float>(opts_.lr);
+    const auto wd = static_cast<float>(opts_.weight_decay);
+    if (use_momentum) {
+      if (velocity_[k].shape() != p.value.shape()) {
+        throw std::logic_error("Sgd: parameter set changed between steps");
+      }
+      const auto mu = static_cast<float>(opts_.momentum);
+      float* vel = velocity_[k].data();
+      for (std::size_t i = 0; i < p.value.numel(); ++i) {
+        const float g = grad[i] + wd * value[i];
+        vel[i] = mu * vel[i] + g;
+        value[i] -= lr * vel[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < p.value.numel(); ++i) {
+        const float g = grad[i] + wd * value[i];
+        value[i] -= lr * g;
+      }
+    }
+  }
+}
+
+Adam::Adam(Options opts) : opts_(opts) {
+  if (opts.lr <= 0.0) throw std::invalid_argument("Adam: lr must be > 0");
+  if (opts.beta1 < 0.0 || opts.beta1 >= 1.0 || opts.beta2 < 0.0 ||
+      opts.beta2 >= 1.0) {
+    throw std::invalid_argument("Adam: betas must be in [0,1)");
+  }
+  if (opts.epsilon <= 0.0) throw std::invalid_argument("Adam: epsilon <= 0");
+}
+
+void Adam::step(const std::vector<Parameter*>& params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (const Parameter* p : params) {
+      m_.emplace_back(p->value.shape());
+      v_.emplace_back(p->value.shape());
+    }
+    step_count_ = 0;
+  }
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(opts_.beta1, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(opts_.beta2, static_cast<double>(step_count_));
+  const auto b1 = static_cast<float>(opts_.beta1);
+  const auto b2 = static_cast<float>(opts_.beta2);
+  const auto wd = static_cast<float>(opts_.weight_decay);
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Parameter& p = *params[k];
+    if (m_[k].shape() != p.value.shape()) {
+      throw std::logic_error("Adam: parameter set changed between steps");
+    }
+    float* value = p.value.data();
+    const float* grad = p.grad.data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    for (std::size_t i = 0; i < p.value.numel(); ++i) {
+      const float g = grad[i] + wd * value[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * g;
+      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+      const double m_hat = static_cast<double>(m[i]) / bias1;
+      const double v_hat = static_cast<double>(v[i]) / bias2;
+      value[i] -= static_cast<float>(
+          opts_.lr * m_hat / (std::sqrt(v_hat) + opts_.epsilon));
+    }
+  }
+}
+
+}  // namespace fifl::nn

@@ -1,0 +1,63 @@
+// SGD with optional momentum and weight decay — the optimizer used in the
+// paper's training loop (Eq. 3: θ_{t+1} = θ_t − η·G̃).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace fifl::nn {
+
+class Sgd final {
+ public:
+  struct Options {
+    double lr = 0.01;
+    double momentum = 0.0;
+    double weight_decay = 0.0;
+  };
+
+  Sgd() : opts_(Options{}) {}
+  explicit Sgd(Options opts) : opts_(opts) {}
+
+  double lr() const noexcept { return opts_.lr; }
+  void set_lr(double lr) noexcept { opts_.lr = lr; }
+
+  /// Applies one update from each parameter's accumulated gradient.
+  void step(const std::vector<Parameter*>& params);
+
+ private:
+  Options opts_;
+  std::vector<tensor::Tensor> velocity_;  // lazily sized to params
+};
+
+/// Adam (Kingma & Ba) with bias correction — offered for local training
+/// experiments beyond the paper's plain-SGD setting. Note that FL
+/// aggregation semantics (G_i = (θ_t − θ')/η) remain well-defined: the
+/// uploaded "gradient" is then the effective parameter displacement.
+class Adam final {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  Adam() : opts_(Options{}) {}
+  explicit Adam(Options opts);
+
+  double lr() const noexcept { return opts_.lr; }
+  void set_lr(double lr) noexcept { opts_.lr = lr; }
+  std::uint64_t steps() const noexcept { return step_count_; }
+
+  void step(const std::vector<Parameter*>& params);
+
+ private:
+  Options opts_;
+  std::vector<tensor::Tensor> m_;  // first-moment EMA
+  std::vector<tensor::Tensor> v_;  // second-moment EMA
+  std::uint64_t step_count_ = 0;
+};
+
+}  // namespace fifl::nn

@@ -1,0 +1,128 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace fifl::nn {
+
+tensor::Tensor Sequential::forward(const tensor::Tensor& input) {
+  tensor::Tensor x = input.clone();
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+tensor::Tensor Sequential::backward(const tensor::Tensor& grad_output) {
+  tensor::Tensor g = grad_output.clone();
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& layer : layers_) {
+    for (Parameter* p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::size_t Sequential::parameter_count() {
+  std::size_t n = 0;
+  for (Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+std::vector<float> Sequential::flatten_parameters() {
+  std::vector<float> flat;
+  flat.reserve(parameter_count());
+  for (Parameter* p : parameters()) {
+    const auto view = p->value.flat();
+    flat.insert(flat.end(), view.begin(), view.end());
+  }
+  return flat;
+}
+
+std::vector<float> Sequential::flatten_gradients() {
+  std::vector<float> flat;
+  flat.reserve(parameter_count());
+  for (Parameter* p : parameters()) {
+    const auto view = p->grad.flat();
+    flat.insert(flat.end(), view.begin(), view.end());
+  }
+  return flat;
+}
+
+void Sequential::load_parameters(std::span<const float> flat) {
+  std::size_t offset = 0;
+  for (Parameter* p : parameters()) {
+    const std::size_t n = p->value.numel();
+    if (offset + n > flat.size()) {
+      throw std::invalid_argument("load_parameters: flat vector too short");
+    }
+    float* dst = p->value.data();
+    for (std::size_t i = 0; i < n; ++i) dst[i] = flat[offset + i];
+    offset += n;
+  }
+  if (offset != flat.size()) {
+    throw std::invalid_argument("load_parameters: flat vector too long");
+  }
+}
+
+void Sequential::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+ResidualBlock::ResidualBlock(std::size_t channels, util::Rng& rng)
+    : conv1_({.in_channels = channels,
+              .out_channels = channels,
+              .kernel = 3,
+              .stride = 1,
+              .padding = 1},
+             rng),
+      conv2_({.in_channels = channels,
+              .out_channels = channels,
+              .kernel = 3,
+              .stride = 1,
+              .padding = 1},
+             rng) {}
+
+tensor::Tensor ResidualBlock::forward(const tensor::Tensor& input) {
+  tensor::Tensor h = conv1_.forward(input);
+  h = relu1_.forward(h);
+  h = conv2_.forward(h);
+  tensor::add_inplace(h, input);
+  cached_sum_ = h.clone();
+  for (auto& v : h.flat()) {
+    if (v < 0.0f) v = 0.0f;
+  }
+  return h;
+}
+
+tensor::Tensor ResidualBlock::backward(const tensor::Tensor& grad_output) {
+  // Through the final ReLU.
+  tensor::Tensor g = grad_output.clone();
+  {
+    const float* pre = cached_sum_.data();
+    float* gp = g.data();
+    for (std::size_t i = 0; i < g.numel(); ++i) {
+      if (pre[i] <= 0.0f) gp[i] = 0.0f;
+    }
+  }
+  // Branch gradient through conv2 -> relu1 -> conv1; skip adds g directly.
+  tensor::Tensor branch = conv2_.backward(g);
+  branch = relu1_.backward(branch);
+  branch = conv1_.backward(branch);
+  tensor::add_inplace(branch, g);
+  return branch;
+}
+
+std::vector<Parameter*> ResidualBlock::parameters() {
+  std::vector<Parameter*> params;
+  for (Parameter* p : conv1_.parameters()) params.push_back(p);
+  for (Parameter* p : conv2_.parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace fifl::nn

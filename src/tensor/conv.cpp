@@ -1,0 +1,271 @@
+#include "tensor/conv.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/parallel_for.hpp"
+
+namespace fifl::tensor {
+
+namespace {
+void check_nchw(const Tensor& t, const char* what) {
+  if (t.rank() != 4) {
+    throw std::invalid_argument(std::string(what) + ": expected NCHW tensor, got " +
+                                t.shape_string());
+  }
+}
+}  // namespace
+
+Tensor im2col(const Tensor& input, const ConvSpec& spec) {
+  check_nchw(input, "im2col");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  if (c != spec.in_channels) throw std::invalid_argument("im2col: channel mismatch");
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  const std::size_t patch = c * spec.kernel * spec.kernel;
+  Tensor cols({n * oh * ow, patch});
+  float* pc = cols.data();
+  util::parallel_for(
+      0, n * oh * ow,
+      [&](std::size_t row) {
+        const std::size_t img = row / (oh * ow);
+        const std::size_t rem = row % (oh * ow);
+        const std::size_t oy = rem / ow;
+        const std::size_t ox = rem % ow;
+        float* out = pc + row * patch;
+        std::size_t idx = 0;
+        for (std::size_t ch = 0; ch < c; ++ch) {
+          for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                static_cast<std::ptrdiff_t>(spec.padding);
+            for (std::size_t kx = 0; kx < spec.kernel; ++kx, ++idx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                  static_cast<std::ptrdiff_t>(spec.padding);
+              if (iy < 0 || ix < 0 || iy >= static_cast<std::ptrdiff_t>(h) ||
+                  ix >= static_cast<std::ptrdiff_t>(w)) {
+                out[idx] = 0.0f;
+              } else {
+                out[idx] = input(img, ch, static_cast<std::size_t>(iy),
+                                 static_cast<std::size_t>(ix));
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/16);
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const ConvSpec& spec, std::size_t n,
+              std::size_t h, std::size_t w) {
+  const std::size_t c = spec.in_channels;
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  const std::size_t patch = c * spec.kernel * spec.kernel;
+  if (cols.rank() != 2 || cols.dim(0) != n * oh * ow || cols.dim(1) != patch) {
+    throw std::invalid_argument("col2im: column shape mismatch");
+  }
+  Tensor out({n, c, h, w});
+  // Parallel over images: each image's patches only write into its own
+  // output slab, so there are no cross-thread races.
+  util::parallel_for(
+      0, n,
+      [&](std::size_t img) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::size_t row = (img * oh + oy) * ow + ox;
+            const float* src = cols.data() + row * patch;
+            std::size_t idx = 0;
+            for (std::size_t ch = 0; ch < c; ++ch) {
+              for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+                const std::ptrdiff_t iy =
+                    static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                    static_cast<std::ptrdiff_t>(spec.padding);
+                for (std::size_t kx = 0; kx < spec.kernel; ++kx, ++idx) {
+                  const std::ptrdiff_t ix =
+                      static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                      static_cast<std::ptrdiff_t>(spec.padding);
+                  if (iy < 0 || ix < 0 ||
+                      iy >= static_cast<std::ptrdiff_t>(h) ||
+                      ix >= static_cast<std::ptrdiff_t>(w)) {
+                    continue;
+                  }
+                  out(img, ch, static_cast<std::size_t>(iy),
+                      static_cast<std::size_t>(ix)) += src[idx];
+                }
+              }
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+  return out;
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const ConvSpec& spec) {
+  check_nchw(input, "conv2d_forward");
+  check_nchw(weight, "conv2d_forward weight");
+  const std::size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::size_t oc = spec.out_channels;
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+
+  Tensor cols = im2col(input, spec);            // (N*OH*OW, patch)
+  Tensor wmat = weight.clone().reshape({oc, patch});
+  Tensor prod = matmul_nt(cols, wmat);          // (N*OH*OW, OC)
+
+  Tensor out({n, oc, oh, ow});
+  const float* pp = prod.data();
+  const float* pb = bias.data();
+  util::parallel_for(
+      0, n * oh * ow,
+      [&](std::size_t row) {
+        const std::size_t img = row / (oh * ow);
+        const std::size_t rem = row % (oh * ow);
+        const std::size_t oy = rem / ow;
+        const std::size_t ox = rem % ow;
+        for (std::size_t ch = 0; ch < oc; ++ch) {
+          out(img, ch, oy, ox) = pp[row * oc + ch] + pb[ch];
+        }
+      },
+      /*grain=*/64);
+  return out;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output, const ConvSpec& spec) {
+  const std::size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::size_t oc = spec.out_channels;
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+
+  // grad_output (N,OC,OH,OW) -> (N*OH*OW, OC)
+  Tensor gmat({n * oh * ow, oc});
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < oc; ++ch) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          gmat((img * oh + oy) * ow + ox, ch) = grad_output(img, ch, oy, ox);
+        }
+      }
+    }
+  }
+
+  Tensor cols = im2col(input, spec);  // (N*OH*OW, patch)
+
+  Conv2dGrads grads;
+  // dW = gmat^T * cols  -> (OC, patch)
+  Tensor gw = matmul_tn(gmat, cols);
+  grads.grad_weight = gw.reshape(
+      {oc, spec.in_channels, spec.kernel, spec.kernel});
+
+  // db = column sums of gmat.
+  grads.grad_bias = Tensor({oc});
+  for (std::size_t row = 0; row < n * oh * ow; ++row) {
+    for (std::size_t ch = 0; ch < oc; ++ch) {
+      grads.grad_bias[ch] += gmat(row, ch);
+    }
+  }
+
+  // dcols = gmat * W  -> (N*OH*OW, patch), then fold back.
+  Tensor wmat = weight.clone().reshape({oc, patch});
+  Tensor dcols = matmul(gmat, wmat);
+  grads.grad_input = col2im(dcols, spec, n, h, w);
+  return grads;
+}
+
+Tensor maxpool2d_forward(const Tensor& input, std::size_t window,
+                         std::vector<std::size_t>& argmax_out) {
+  check_nchw(input, "maxpool2d_forward");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  if (window == 0 || h % window != 0 || w % window != 0) {
+    throw std::invalid_argument("maxpool2d: window must evenly divide H and W");
+  }
+  const std::size_t oh = h / window, ow = w / window;
+  Tensor out({n, c, oh, ow});
+  argmax_out.assign(n * c * oh * ow, 0);
+  util::parallel_for(
+      0, n * c,
+      [&](std::size_t nc) {
+        const std::size_t img = nc / c;
+        const std::size_t ch = nc % c;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            float best = -std::numeric_limits<float>::infinity();
+            std::size_t best_idx = 0;
+            for (std::size_t ky = 0; ky < window; ++ky) {
+              for (std::size_t kx = 0; kx < window; ++kx) {
+                const std::size_t iy = oy * window + ky;
+                const std::size_t ix = ox * window + kx;
+                const float v = input(img, ch, iy, ix);
+                if (v > best) {
+                  best = v;
+                  best_idx = ((img * c + ch) * h + iy) * w + ix;
+                }
+              }
+            }
+            out(img, ch, oy, ox) = best;
+            argmax_out[((img * c + ch) * oh + oy) * ow + ox] = best_idx;
+          }
+        }
+      },
+      /*grain=*/1);
+  return out;
+}
+
+Tensor maxpool2d_backward(const Tensor& grad_output,
+                          const std::vector<std::size_t>& argmax,
+                          const Shape& input_shape) {
+  Tensor grad_input(input_shape);
+  if (argmax.size() != grad_output.numel()) {
+    throw std::invalid_argument("maxpool2d_backward: argmax size mismatch");
+  }
+  const float* g = grad_output.data();
+  float* gi = grad_input.data();
+  for (std::size_t i = 0; i < argmax.size(); ++i) gi[argmax[i]] += g[i];
+  return grad_input;
+}
+
+Tensor global_avgpool_forward(const Tensor& input) {
+  check_nchw(input, "global_avgpool_forward");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  Tensor out({n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      float acc = 0.0f;
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) acc += input(img, ch, y, x);
+      }
+      out(img, ch) = acc * inv;
+    }
+  }
+  return out;
+}
+
+Tensor global_avgpool_backward(const Tensor& grad_output,
+                               const Shape& input_shape) {
+  if (input_shape.size() != 4) {
+    throw std::invalid_argument("global_avgpool_backward: need NCHW shape");
+  }
+  const std::size_t n = input_shape[0], c = input_shape[1], h = input_shape[2],
+                    w = input_shape[3];
+  Tensor grad_input(input_shape);
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = grad_output(img, ch) * inv;
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) grad_input(img, ch, y, x) = g;
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace fifl::tensor

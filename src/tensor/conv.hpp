@@ -1,0 +1,59 @@
+// 2-D convolution and pooling primitives (NCHW layout) via im2col, the
+// classic trick that turns convolution into one big matmul so the parallel
+// GEMM in ops.cpp carries the load. Forward and backward passes are
+// provided; nn::Conv2d and nn::MaxPool2d are thin wrappers over these.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fifl::tensor {
+
+struct ConvSpec {
+  std::size_t in_channels = 1;
+  std::size_t out_channels = 1;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+
+  std::size_t out_dim(std::size_t in_dim) const {
+    return (in_dim + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// Unfold input (N,C,H,W) into columns (N*OH*OW, C*K*K).
+Tensor im2col(const Tensor& input, const ConvSpec& spec);
+/// Fold columns (N*OH*OW, C*K*K) back into (N,C,H,W), accumulating overlaps.
+Tensor col2im(const Tensor& cols, const ConvSpec& spec, std::size_t n,
+              std::size_t h, std::size_t w);
+
+/// output(N,OC,OH,OW) = conv(input(N,C,H,W), weight(OC,C,K,K)) + bias(OC).
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const ConvSpec& spec);
+
+struct Conv2dGrads {
+  Tensor grad_input;   // (N,C,H,W)
+  Tensor grad_weight;  // (OC,C,K,K)
+  Tensor grad_bias;    // (OC)
+};
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output, const ConvSpec& spec);
+
+/// Max pooling with square window `window` and equal stride.
+/// `argmax_out` stores the flat input index chosen per output element
+/// (needed by the backward pass).
+Tensor maxpool2d_forward(const Tensor& input, std::size_t window,
+                         std::vector<std::size_t>& argmax_out);
+Tensor maxpool2d_backward(const Tensor& grad_output,
+                          const std::vector<std::size_t>& argmax,
+                          const Shape& input_shape);
+
+/// Global average pooling: (N,C,H,W) -> (N,C).
+Tensor global_avgpool_forward(const Tensor& input);
+Tensor global_avgpool_backward(const Tensor& grad_output,
+                               const Shape& input_shape);
+
+}  // namespace fifl::tensor

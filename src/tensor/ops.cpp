@@ -1,0 +1,220 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/parallel_for.hpp"
+
+namespace fifl::tensor {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                a.shape_string() + " vs " + b.shape_string());
+  }
+}
+}  // namespace
+
+void add_inplace(Tensor& dst, const Tensor& src) {
+  check_same_shape(dst, src, "add_inplace");
+  float* d = dst.data();
+  const float* s = src.data();
+  for (std::size_t i = 0; i < dst.numel(); ++i) d[i] += s[i];
+}
+
+void sub_inplace(Tensor& dst, const Tensor& src) {
+  check_same_shape(dst, src, "sub_inplace");
+  float* d = dst.data();
+  const float* s = src.data();
+  for (std::size_t i = 0; i < dst.numel(); ++i) d[i] -= s[i];
+}
+
+void mul_inplace(Tensor& dst, const Tensor& src) {
+  check_same_shape(dst, src, "mul_inplace");
+  float* d = dst.data();
+  const float* s = src.data();
+  for (std::size_t i = 0; i < dst.numel(); ++i) d[i] *= s[i];
+}
+
+void scale_inplace(Tensor& dst, float alpha) {
+  float* d = dst.data();
+  for (std::size_t i = 0; i < dst.numel(); ++i) d[i] *= alpha;
+}
+
+void axpy_inplace(Tensor& dst, float alpha, const Tensor& x) {
+  check_same_shape(dst, x, "axpy_inplace");
+  float* d = dst.data();
+  const float* s = x.data();
+  for (std::size_t i = 0; i < dst.numel(); ++i) d[i] += alpha * s[i];
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a.clone();
+  add_inplace(out, b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a.clone();
+  sub_inplace(out, b);
+  return out;
+}
+
+double sum(const Tensor& t) noexcept {
+  double acc = 0.0;
+  for (float v : t.flat()) acc += static_cast<double>(v);
+  return acc;
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double dot(const Tensor& a, const Tensor& b) { return dot(a.flat(), b.flat()); }
+
+double squared_norm(const Tensor& t) noexcept {
+  double acc = 0.0;
+  for (float v : t.flat()) acc += static_cast<double>(v) * static_cast<double>(v);
+  return acc;
+}
+
+double norm(const Tensor& t) noexcept { return std::sqrt(squared_norm(t)); }
+
+double squared_distance(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("squared_distance: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  const double ab = dot(a, b);
+  double na = 0.0, nb = 0.0;
+  for (float v : a) na += static_cast<double>(v) * static_cast<double>(v);
+  for (float v : b) nb += static_cast<double>(v) * static_cast<double>(v);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return ab / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::size_t argmax(std::span<const float> xs) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] > xs[best]) best = i;
+  }
+  return best;
+}
+
+namespace {
+void check_rank2(const Tensor& t, const char* what) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string(what) + ": expected rank-2, got " +
+                                t.shape_string());
+  }
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul");
+  check_rank2(b, "matmul");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  util::parallel_for(
+      0, m,
+      [&](std::size_t i) {
+        float* crow = pc + i * n;
+        const float* arow = pa + i * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      },
+      /*grain=*/std::max<std::size_t>(1, 4096 / std::max<std::size_t>(1, n * k / m + 1)));
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt");
+  check_rank2(b, "matmul_nt");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  util::parallel_for(
+      0, m,
+      [&](std::size_t i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          const float* brow = pb + j * k;
+          float acc = 0.0f;
+          for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+          crow[j] = acc;
+        }
+      },
+      /*grain=*/1);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn");
+  check_rank2(b, "matmul_tn");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul_tn: inner dim mismatch");
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  util::parallel_for(
+      0, m,
+      [&](std::size_t i) {
+        float* crow = pc + i * n;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float av = pa[kk * m + i];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      },
+      /*grain=*/1);
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  check_rank2(a, "transpose");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out(j, i) = a(i, j);
+  }
+  return out;
+}
+
+bool has_nonfinite(std::span<const float> xs) noexcept {
+  for (float v : xs) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+bool has_nonfinite(const Tensor& t) noexcept { return has_nonfinite(t.flat()); }
+
+}  // namespace fifl::tensor

@@ -1,0 +1,82 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace fifl::tensor {
+
+std::size_t Tensor::shape_numel(const Shape& shape) noexcept {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (shape_numel(shape_) != data_.size()) {
+    throw std::invalid_argument("Tensor: data size does not match shape");
+  }
+}
+
+Tensor Tensor::uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.uniform(static_cast<double>(lo), static_cast<double>(hi)));
+  }
+  return t;
+}
+
+Tensor Tensor::gaussian(Shape shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.gaussian(static_cast<double>(mean), static_cast<double>(stddev)));
+  }
+  return t;
+}
+
+float& Tensor::at(std::size_t i) {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at");
+  return data_[i];
+}
+
+Tensor& Tensor::reshape(Shape shape) {
+  if (shape_numel(shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: numel mismatch");
+  }
+  shape_ = std::move(shape);
+  return *this;
+}
+
+void Tensor::fill(float v) noexcept {
+  for (auto& x : data_) x = v;
+}
+
+bool Tensor::allclose(const Tensor& other, float atol) const noexcept {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace fifl::tensor

@@ -1,0 +1,90 @@
+// Dense row-major float tensor: the numeric workhorse under fifl::nn.
+//
+// Deliberately small: shapes up to rank 4 cover everything the paper's
+// models need (N,C,H,W activations; Out,In,Kh,Kw filters). Ownership is a
+// plain std::vector<float> (Core Guidelines R.11 — no naked new), copies
+// are explicit via clone() and cheap moves are defaulted.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fifl::tensor {
+
+using Shape = std::vector<std::size_t>;
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill = 0.0f);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.0f); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// iid U[lo, hi) entries.
+  static Tensor uniform(Shape shape, util::Rng& rng, float lo = 0.0f,
+                        float hi = 1.0f);
+  /// iid N(mean, stddev^2) entries.
+  static Tensor gaussian(Shape shape, util::Rng& rng, float mean = 0.0f,
+                         float stddev = 1.0f);
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t numel() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  std::span<float> flat() noexcept { return data_; }
+  std::span<const float> flat() const noexcept { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked linear access.
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  // Multi-dimensional accessors (unchecked in release-style hot loops).
+  float& operator()(std::size_t i, std::size_t j) {
+    return data_[i * shape_[1] + j];
+  }
+  float operator()(std::size_t i, std::size_t j) const {
+    return data_[i * shape_[1] + j];
+  }
+  float& operator()(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  float operator()(std::size_t n, std::size_t c, std::size_t h,
+                   std::size_t w) const {
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+
+  /// Reinterpret shape without copying; product must match numel().
+  Tensor& reshape(Shape shape);
+  /// Deep copy (copies are never implicit in hot paths).
+  Tensor clone() const { return *this; }
+
+  void fill(float v) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// True iff shapes are identical and all entries within `atol`.
+  bool allclose(const Tensor& other, float atol = 1e-5f) const noexcept;
+
+  std::string shape_string() const;
+
+  static std::size_t shape_numel(const Shape& shape) noexcept;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fifl::tensor

@@ -1,0 +1,68 @@
+// Binary serialization primitives: a little-endian, length-prefixed
+// writer/reader pair used for model checkpoints (nn/checkpoint.hpp) and
+// ledger export (chain). Format safety: every read is bounds-checked and
+// throws SerializeError on truncation or magic/version mismatch — no
+// silent partial loads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fifl::util {
+
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);       // u64 length + bytes
+  void write_f32_array(std::span<const float> xs);  // u64 count + payload
+  void write_bytes(std::span<const std::uint8_t> bytes);
+
+  const std::vector<std::uint8_t>& buffer() const noexcept { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+
+  /// Write the buffer to a file; throws SerializeError on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Load a whole file; throws SerializeError if unreadable.
+  static std::vector<std::uint8_t> load(const std::string& path);
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<float> read_f32_array();
+  std::vector<std::uint8_t> read_bytes(std::size_t n);
+
+  std::size_t remaining() const noexcept { return data_.size() - cursor_; }
+  bool exhausted() const noexcept { return cursor_ == data_.size(); }
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace fifl::util

@@ -1,0 +1,70 @@
+// Descriptive statistics used throughout the evaluation: means, standard
+// deviations, Pearson correlation (the paper's fairness coefficient,
+// Eq. 16), histograms for the reward-distribution figures, and a streaming
+// accumulator for per-round metrics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fifl::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double median(std::vector<double> xs);  // by value: needs to sort
+
+/// Pearson correlation coefficient in [-1, 1]; the paper's fairness
+/// coefficient C_s (Eq. 16). Returns 0 when either series is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation; robust fairness check used in tests.
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Gini coefficient of a non-negative distribution, in [0, 1); 0 = fully
+/// equal. Used to quantify payout inequality (FLI's objective). Negative
+/// entries throw std::invalid_argument; an all-zero series returns 0.
+double gini(std::span<const double> xs);
+
+/// Streaming mean/variance (Welford). Numerically stable for long runs.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStat& other) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to end bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x, double weight = 1.0) noexcept;
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t b) const noexcept;
+  double bin_hi(std::size_t b) const noexcept;
+  double count(std::size_t b) const noexcept { return counts_[b]; }
+  double total() const noexcept;
+  /// Share of total mass in bin b (0 if empty histogram).
+  double fraction(std::size_t b) const noexcept;
+
+ private:
+  double lo_, hi_;
+  std::vector<double> counts_;
+};
+
+}  // namespace fifl::util

@@ -1,0 +1,46 @@
+// Result reporting for the figure-reproduction benches: an aligned text
+// table for stdout (the "same rows/series the paper reports") plus CSV
+// export so results can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fifl::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with `precision` decimals.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return headers_.size(); }
+
+  /// Render as an aligned, boxed text table.
+  std::string to_text() const;
+  /// Render as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+  /// Writes CSV to `path`; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals, trimming to a compact form.
+std::string format_double(double v, int precision = 4);
+
+/// Render a numeric series as a Unicode sparkline (▁▂▃▄▅▆▇█), scaled to
+/// the series' own min/max. NaNs render as spaces. Empty input gives an
+/// empty string; a constant series renders at the lowest level.
+std::string sparkline(std::span<const double> series);
+
+}  // namespace fifl::util

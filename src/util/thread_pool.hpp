@@ -1,0 +1,75 @@
+// Fixed-size work-stealing-free thread pool used by parallel_for and the
+// federated-learning simulator (one task per worker per round).
+//
+// Design notes (cf. C++ Core Guidelines CP.*): the pool owns its threads
+// (RAII — the destructor joins), tasks are type-erased move-only callables,
+// and all cross-thread communication goes through one mutex + condvar; at
+// the task granularity used here (whole matmul tiles / whole local training
+// passes) queue contention is negligible.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace fifl::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task and get a future for its result.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args)
+      -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f),
+         ... captured = std::forward<Args>(args)]() mutable -> R {
+          return std::invoke(std::move(fn), std::move(captured)...);
+        });
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Process-wide shared pool (lazily constructed, sized to the machine).
+  static ThreadPool& global();
+
+  /// True when the calling thread is one of *any* pool's workers. Nested
+  /// data-parallel regions (e.g. a matmul inside a per-worker training
+  /// task) use this to degrade to serial execution instead of submitting
+  /// chunks that no free thread could ever run (deadlock avoidance).
+  static bool in_worker_thread() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace fifl::util

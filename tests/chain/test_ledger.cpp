@@ -1,0 +1,140 @@
+#include "chain/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifl::chain {
+namespace {
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  LedgerTest() : registry_(123), ledger_(&registry_) {
+    for (NodeId n = 0; n < 5; ++n) registry_.register_node(n);
+  }
+  KeyRegistry registry_;
+  Ledger ledger_;
+};
+
+TEST_F(LedgerTest, AppendAndSeal) {
+  ledger_.append(RecordKind::kDetection, 0, 1, 0, 1.0);
+  ledger_.append(RecordKind::kReputation, 0, 1, 0, 0.5);
+  EXPECT_EQ(ledger_.pending_records(), 2u);
+  const auto idx = ledger_.seal_block();
+  EXPECT_EQ(idx, 0u);
+  EXPECT_EQ(ledger_.pending_records(), 0u);
+  EXPECT_EQ(ledger_.block_count(), 1u);
+  EXPECT_EQ(ledger_.block(0).records.size(), 2u);
+}
+
+TEST_F(LedgerTest, AppendUnregisteredExecutorThrows) {
+  EXPECT_THROW(ledger_.append(RecordKind::kReward, 0, 1, 99, 1.0),
+               std::invalid_argument);
+}
+
+TEST_F(LedgerTest, ChainVerifiesWhenClean) {
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    for (NodeId w = 0; w < 3; ++w) {
+      ledger_.append(RecordKind::kReputation, r, w, 0, 0.1 * static_cast<double>(w));
+    }
+    ledger_.seal_block();
+  }
+  EXPECT_TRUE(ledger_.verify_chain());
+}
+
+TEST_F(LedgerTest, BlocksAreHashLinked) {
+  ledger_.append(RecordKind::kReward, 0, 1, 0, 1.0);
+  ledger_.seal_block();
+  ledger_.append(RecordKind::kReward, 1, 1, 0, 2.0);
+  ledger_.seal_block();
+  EXPECT_EQ(ledger_.block(1).previous_hash, ledger_.block(0).block_hash);
+}
+
+TEST_F(LedgerTest, QueryFiltersCombine) {
+  ledger_.append(RecordKind::kDetection, 0, 1, 0, 1.0);
+  ledger_.append(RecordKind::kDetection, 0, 2, 0, 0.0);
+  ledger_.append(RecordKind::kReputation, 0, 1, 0, 0.9);
+  ledger_.seal_block();
+  ledger_.append(RecordKind::kDetection, 1, 1, 0, 1.0);
+  ledger_.seal_block();
+
+  EXPECT_EQ(ledger_.query(RecordKind::kDetection, std::nullopt, std::nullopt).size(), 3u);
+  EXPECT_EQ(ledger_.query(RecordKind::kDetection, 0, std::nullopt).size(), 2u);
+  EXPECT_EQ(ledger_.query(RecordKind::kDetection, std::nullopt, NodeId{1}).size(), 2u);
+  EXPECT_EQ(ledger_.query(std::nullopt, 0, NodeId{1}).size(), 2u);
+  EXPECT_EQ(ledger_.query(std::nullopt, std::nullopt, std::nullopt).size(), 4u);
+}
+
+TEST_F(LedgerTest, PendingRecordsAreNotQueryable) {
+  ledger_.append(RecordKind::kReward, 0, 1, 0, 1.0);
+  EXPECT_TRUE(ledger_.query(RecordKind::kReward, std::nullopt, std::nullopt).empty());
+}
+
+TEST_F(LedgerTest, LatestReturnsMostRecent) {
+  ledger_.append(RecordKind::kReputation, 0, 1, 0, 0.1);
+  ledger_.seal_block();
+  ledger_.append(RecordKind::kReputation, 1, 1, 0, 0.2);
+  ledger_.seal_block();
+  const auto rec = ledger_.latest(RecordKind::kReputation, 1);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_DOUBLE_EQ(rec->value, 0.2);
+  EXPECT_FALSE(ledger_.latest(RecordKind::kReputation, 4).has_value());
+}
+
+TEST_F(LedgerTest, MerkleProofForRecord) {
+  for (int i = 0; i < 5; ++i) {
+    ledger_.append(RecordKind::kContribution, 0, static_cast<NodeId>(i), 0,
+                   static_cast<double>(i));
+  }
+  ledger_.seal_block();
+  const Block& block = ledger_.block(0);
+  const auto proof = ledger_.prove_record(0, 3);
+  EXPECT_TRUE(MerkleTree::verify(block.records[3].digest(), proof,
+                                 block.merkle_root));
+  EXPECT_FALSE(MerkleTree::verify(block.records[2].digest(), proof,
+                                  block.merkle_root));
+}
+
+TEST_F(LedgerTest, AuditValueFlagsDeviatingExecutors) {
+  // Server 0 records the true value for worker 1; server 2 records a
+  // manipulated value.
+  ledger_.append(RecordKind::kReputation, 0, 1, 0, 0.8);
+  ledger_.append(RecordKind::kReputation, 0, 1, 2, 0.99);
+  ledger_.seal_block();
+  const auto cheats = ledger_.audit_value(RecordKind::kReputation, 0, 1, 0.8);
+  ASSERT_EQ(cheats.size(), 1u);
+  EXPECT_EQ(cheats[0], NodeId{2});
+}
+
+TEST_F(LedgerTest, AuditValueToleranceRespected) {
+  ledger_.append(RecordKind::kReward, 0, 1, 0, 1.0 + 1e-12);
+  ledger_.seal_block();
+  EXPECT_TRUE(ledger_.audit_value(RecordKind::kReward, 0, 1, 1.0, 1e-9).empty());
+  EXPECT_EQ(ledger_.audit_value(RecordKind::kReward, 0, 1, 1.0, 1e-15).size(), 1u);
+}
+
+TEST_F(LedgerTest, CanonicalPayloadDistinguishesFields) {
+  AuditRecord a{RecordKind::kReward, 1, 2, 3, 4.0, {}};
+  AuditRecord b = a;
+  b.round = 2;
+  EXPECT_NE(a.canonical_payload(), b.canonical_payload());
+  b = a;
+  b.subject = 9;
+  EXPECT_NE(a.canonical_payload(), b.canonical_payload());
+  b = a;
+  b.value = 4.0000001;
+  EXPECT_NE(a.canonical_payload(), b.canonical_payload());
+}
+
+TEST(Ledger, NullRegistryThrows) {
+  EXPECT_THROW(Ledger(nullptr), std::invalid_argument);
+}
+
+TEST(Ledger, EmptyBlockSealsAndVerifies) {
+  KeyRegistry reg(1);
+  Ledger ledger(&reg);
+  ledger.seal_block();
+  EXPECT_EQ(ledger.block_count(), 1u);
+  EXPECT_TRUE(ledger.verify_chain());
+}
+
+}  // namespace
+}  // namespace fifl::chain

@@ -1,0 +1,98 @@
+#include "chain/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifl::chain {
+namespace {
+
+std::vector<Digest> make_leaves(std::size_t n) {
+  std::vector<Digest> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(sha256("leaf-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeHasZeroRoot) {
+  MerkleTree tree({});
+  Digest zero{};
+  zero.fill(0);
+  EXPECT_EQ(tree.root(), zero);
+  EXPECT_EQ(tree.leaf_count(), 0u);
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const auto leaves = make_leaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+}
+
+TEST(Merkle, RootIsDeterministic) {
+  const auto leaves = make_leaves(5);
+  EXPECT_EQ(MerkleTree(leaves).root(), MerkleTree(leaves).root());
+}
+
+TEST(Merkle, RootChangesWhenAnyLeafChanges) {
+  auto leaves = make_leaves(8);
+  const Digest original = MerkleTree(leaves).root();
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto tampered = leaves;
+    tampered[i] = sha256("evil");
+    EXPECT_NE(MerkleTree(tampered).root(), original) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+  auto leaves = make_leaves(4);
+  auto swapped = leaves;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(MerkleTree(leaves).root(), MerkleTree(swapped).root());
+}
+
+// Proof verification across a sweep of tree sizes, including odd sizes
+// that exercise the duplicate-last-node rule.
+class MerkleProofSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofSweep, EveryLeafProves) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MerkleProof proof = tree.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(leaves[i], proof, tree.root()))
+        << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerkleProofSweep, WrongLeafFailsProof) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree tree(leaves);
+  const MerkleProof proof = tree.prove(0);
+  EXPECT_FALSE(MerkleTree::verify(sha256("not-a-leaf"), proof, tree.root()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 33));
+
+TEST(Merkle, ProofAgainstWrongRootFails) {
+  const auto leaves = make_leaves(6);
+  MerkleTree tree(leaves);
+  const MerkleProof proof = tree.prove(2);
+  EXPECT_FALSE(MerkleTree::verify(leaves[2], proof, sha256("other root")));
+}
+
+TEST(Merkle, ProveOutOfRangeThrows) {
+  MerkleTree tree(make_leaves(3));
+  EXPECT_THROW((void)tree.prove(3), std::out_of_range);
+}
+
+TEST(Merkle, ProofLengthIsLogarithmic) {
+  MerkleTree tree(make_leaves(16));
+  EXPECT_EQ(tree.prove(0).size(), 4u);
+  MerkleTree big(make_leaves(1024));
+  EXPECT_EQ(big.prove(100).size(), 10u);
+}
+
+}  // namespace
+}  // namespace fifl::chain

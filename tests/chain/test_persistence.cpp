@@ -1,0 +1,110 @@
+#include "chain/persistence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/serialize.hpp"
+
+namespace fifl::chain {
+namespace {
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  PersistenceTest() : registry_(55), ledger_(&registry_) {
+    for (NodeId n = 0; n < 4; ++n) registry_.register_node(n);
+    for (std::uint64_t round = 0; round < 3; ++round) {
+      for (NodeId w = 0; w < 3; ++w) {
+        ledger_.append(RecordKind::kReputation, round, w, 0,
+                       0.1 * static_cast<double>(w + round));
+        ledger_.append(RecordKind::kReward, round, w, 3, 0.25);
+      }
+      ledger_.seal_block();
+    }
+  }
+  KeyRegistry registry_;
+  Ledger ledger_;
+};
+
+TEST_F(PersistenceTest, ExportImportRoundTrip) {
+  const auto bytes = export_ledger(ledger_);
+  const Ledger imported = import_ledger(bytes, &registry_);
+  EXPECT_EQ(imported.block_count(), ledger_.block_count());
+  EXPECT_TRUE(imported.verify_chain());
+  for (std::size_t b = 0; b < ledger_.block_count(); ++b) {
+    EXPECT_EQ(imported.block(b).block_hash, ledger_.block(b).block_hash)
+        << "block " << b;
+    EXPECT_EQ(imported.block(b).merkle_root, ledger_.block(b).merkle_root);
+  }
+}
+
+TEST_F(PersistenceTest, ImportedQueriesMatch) {
+  const Ledger imported = import_ledger(export_ledger(ledger_), &registry_);
+  const auto original = ledger_.query(RecordKind::kReputation, 1, NodeId{2});
+  const auto copied = imported.query(RecordKind::kReputation, 1, NodeId{2});
+  ASSERT_EQ(copied.size(), original.size());
+  ASSERT_EQ(copied.size(), 1u);
+  EXPECT_DOUBLE_EQ(copied[0].value, original[0].value);
+}
+
+TEST_F(PersistenceTest, TamperedValueRejectedOnImport) {
+  auto bytes = export_ledger(ledger_);
+  // Flip one byte inside the first record's value field (offset: magic 4 +
+  // version 4 + block count 8 + record count 8 + kind 1 + round 8 +
+  // subject 4 + executor 4 = 41; value is bytes 41..48).
+  bytes[44] ^= 0xFF;
+  EXPECT_THROW((void)import_ledger(bytes, &registry_), std::runtime_error);
+}
+
+TEST_F(PersistenceTest, WrongRegistryRejected) {
+  KeyRegistry other(9999);
+  for (NodeId n = 0; n < 4; ++n) other.register_node(n);
+  const auto bytes = export_ledger(ledger_);
+  EXPECT_THROW((void)import_ledger(bytes, &other), std::runtime_error);
+}
+
+TEST_F(PersistenceTest, TruncatedStreamThrows) {
+  auto bytes = export_ledger(ledger_);
+  bytes.resize(bytes.size() - 10);
+  EXPECT_THROW((void)import_ledger(bytes, &registry_), util::SerializeError);
+}
+
+TEST_F(PersistenceTest, BadMagicThrows) {
+  auto bytes = export_ledger(ledger_);
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW((void)import_ledger(bytes, &registry_), util::SerializeError);
+}
+
+TEST_F(PersistenceTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "fifl_ledger_test.bin";
+  export_ledger_file(ledger_, path);
+  const Ledger imported = import_ledger_file(path, &registry_);
+  EXPECT_EQ(imported.block_count(), 3u);
+  EXPECT_TRUE(imported.verify_chain());
+  std::remove(path.c_str());
+}
+
+TEST_F(PersistenceTest, PendingRecordsAreNotExported) {
+  ledger_.append(RecordKind::kDetection, 9, 0, 0, 1.0);
+  const Ledger imported = import_ledger(export_ledger(ledger_), &registry_);
+  EXPECT_TRUE(imported.query(RecordKind::kDetection, 9, NodeId{0}).empty());
+}
+
+TEST_F(PersistenceTest, JsonlHasOneLinePerRecord) {
+  const std::string jsonl = ledger_to_jsonl(ledger_);
+  std::size_t lines = 0;
+  for (char c : jsonl) lines += (c == '\n');
+  EXPECT_EQ(lines, 18u);  // 3 blocks x 6 records
+  EXPECT_NE(jsonl.find("\"kind\":\"reputation\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"reward\""), std::string::npos);
+}
+
+TEST(Persistence, EmptyLedgerRoundTrips) {
+  KeyRegistry registry(1);
+  Ledger ledger(&registry);
+  const Ledger imported = import_ledger(export_ledger(ledger), &registry);
+  EXPECT_EQ(imported.block_count(), 0u);
+}
+
+}  // namespace
+}  // namespace fifl::chain

@@ -1,0 +1,143 @@
+#include "chain/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fifl::chain {
+namespace {
+
+std::string hex_of(const std::string& s) { return to_hex(sha256(s)); }
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactlyOneBlock64Bytes) {
+  const std::string m(64, 'a');
+  EXPECT_EQ(hex_of(m),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingEqualsOneShot) {
+  const std::string m = "the quick brown fox jumps over the lazy dog!";
+  Sha256 h;
+  for (char ch : m) h.update(std::string(1, ch));
+  EXPECT_EQ(to_hex(h.finish()), hex_of(m));
+}
+
+TEST(Sha256, StreamingSplitAtBlockBoundary) {
+  const std::string m(130, 'x');
+  Sha256 h;
+  h.update(m.substr(0, 64));
+  h.update(m.substr(64, 64));
+  h.update(m.substr(128));
+  EXPECT_EQ(to_hex(h.finish()), hex_of(m));
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(std::string("first"));
+  (void)h.finish();
+  h.reset();
+  h.update(std::string("abc"));
+  EXPECT_EQ(to_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, UpdateAfterFinishThrows) {
+  Sha256 h;
+  (void)h.finish();
+  EXPECT_THROW(h.update(std::string("x")), std::logic_error);
+  EXPECT_THROW((void)h.finish(), std::logic_error);
+}
+
+TEST(Sha256, AvalancheOnSingleBitFlip) {
+  const Digest a = sha256(std::string("message A"));
+  const Digest b = sha256(std::string("message B"));
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differing_bits += __builtin_popcount(static_cast<unsigned>(a[i] ^ b[i]));
+  }
+  EXPECT_GT(differing_bits, 80);  // ~128 expected
+  EXPECT_LT(differing_bits, 176);
+}
+
+// RFC 4231 HMAC-SHA256 test vectors.
+TEST(HmacSha256, Rfc4231Case1) {
+  std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string msg = "Hi There";
+  const Digest d = hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(to_hex(d),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2Jefe) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  const Digest d = hmac_sha256(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(to_hex(d),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Digest d = hmac_sha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(to_hex(d),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, DifferentKeysDifferentTags) {
+  const std::string msg = "payload";
+  std::vector<std::uint8_t> k1{1, 2, 3};
+  std::vector<std::uint8_t> k2{1, 2, 4};
+  const auto span_of = [&](const std::string& s) {
+    return std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  };
+  EXPECT_NE(to_hex(hmac_sha256(k1, span_of(msg))),
+            to_hex(hmac_sha256(k2, span_of(msg))));
+}
+
+TEST(ToHex, Formats32BytesAs64Chars) {
+  Digest d{};
+  d[0] = 0xde;
+  d[31] = 0x01;
+  const std::string hex = to_hex(d);
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex.substr(0, 2), "de");
+  EXPECT_EQ(hex.substr(62, 2), "01");
+}
+
+}  // namespace
+}  // namespace fifl::chain

@@ -1,0 +1,72 @@
+#include "chain/signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifl::chain {
+namespace {
+
+TEST(KeyRegistry, SignVerifyRoundTrip) {
+  KeyRegistry reg(42);
+  reg.register_node(7);
+  const Signature sig = reg.sign(7, "hello");
+  EXPECT_TRUE(reg.verify(sig, "hello"));
+}
+
+TEST(KeyRegistry, VerifyFailsOnTamperedMessage) {
+  KeyRegistry reg(42);
+  reg.register_node(7);
+  const Signature sig = reg.sign(7, "hello");
+  EXPECT_FALSE(reg.verify(sig, "hellO"));
+}
+
+TEST(KeyRegistry, VerifyFailsOnForgedSigner) {
+  KeyRegistry reg(42);
+  reg.register_node(1);
+  reg.register_node(2);
+  Signature sig = reg.sign(1, "msg");
+  sig.signer = 2;  // claim another identity
+  EXPECT_FALSE(reg.verify(sig, "msg"));
+}
+
+TEST(KeyRegistry, UnregisteredSignThrows) {
+  KeyRegistry reg(42);
+  EXPECT_THROW((void)reg.sign(5, "m"), std::invalid_argument);
+}
+
+TEST(KeyRegistry, UnregisteredVerifyIsFalse) {
+  KeyRegistry reg(42);
+  reg.register_node(1);
+  Signature sig = reg.sign(1, "m");
+  KeyRegistry other(42);
+  EXPECT_FALSE(other.verify(sig, "m"));  // node not registered there
+}
+
+TEST(KeyRegistry, DifferentSeedsProduceDifferentTags) {
+  KeyRegistry a(1), b(2);
+  a.register_node(3);
+  b.register_node(3);
+  EXPECT_NE(a.sign(3, "m").tag, b.sign(3, "m").tag);
+}
+
+TEST(KeyRegistry, DifferentNodesProduceDifferentTags) {
+  KeyRegistry reg(9);
+  reg.register_node(1);
+  reg.register_node(2);
+  EXPECT_NE(reg.sign(1, "m").tag, reg.sign(2, "m").tag);
+}
+
+TEST(KeyRegistry, SignaturesAreDeterministic) {
+  KeyRegistry reg(5);
+  reg.register_node(1);
+  EXPECT_EQ(reg.sign(1, "m").tag, reg.sign(1, "m").tag);
+}
+
+TEST(KeyRegistry, IsRegisteredReflectsState) {
+  KeyRegistry reg(5);
+  EXPECT_FALSE(reg.is_registered(1));
+  reg.register_node(1);
+  EXPECT_TRUE(reg.is_registered(1));
+}
+
+}  // namespace
+}  // namespace fifl::chain

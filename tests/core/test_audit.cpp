@@ -1,0 +1,134 @@
+#include "core/audit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifl::core {
+namespace {
+
+TEST(ServerSelector, InitialSelectionTakesTopScores) {
+  ServerSelector sel(2);
+  const std::vector<double> scores{0.1, 0.9, 0.5, 0.95};
+  const auto picked = sel.select_initial(scores);
+  EXPECT_EQ(picked, (std::vector<chain::NodeId>{1, 3}));  // sorted by id
+}
+
+TEST(ServerSelector, TiesBreakToLowerId) {
+  ServerSelector sel(2);
+  const std::vector<double> scores{0.5, 0.5, 0.5};
+  const auto picked = sel.select_initial(scores);
+  EXPECT_EQ(picked, (std::vector<chain::NodeId>{0, 1}));
+}
+
+TEST(ServerSelector, BlacklistedNodesAreNeverSelected) {
+  ServerSelector sel(2);
+  sel.blacklist(3);
+  const std::vector<double> scores{0.1, 0.9, 0.5, 0.95};
+  const auto picked = sel.select_initial(scores);
+  EXPECT_EQ(picked, (std::vector<chain::NodeId>{1, 2}));
+  EXPECT_TRUE(sel.is_blacklisted(3));
+}
+
+TEST(ServerSelector, ThrowsWhenTooFewEligible) {
+  ServerSelector sel(3);
+  sel.blacklist(0);
+  const std::vector<double> scores{0.1, 0.2, 0.3};
+  EXPECT_THROW((void)sel.select_initial(scores), std::runtime_error);
+}
+
+TEST(ServerSelector, ZeroClusterSizeThrows) {
+  EXPECT_THROW(ServerSelector(0), std::invalid_argument);
+}
+
+TEST(ServerSelector, ReputationSelectionUsesModule) {
+  ServerSelector sel(2);
+  ReputationModule rep({.gamma = 0.5, .initial = 0.0});
+  rep.resize(4);
+  rep.record(2, Event::kPositive);
+  rep.record(2, Event::kPositive);
+  rep.record(3, Event::kPositive);
+  const auto picked = sel.select_by_reputation(rep, 4);
+  EXPECT_EQ(picked, (std::vector<chain::NodeId>{2, 3}));
+}
+
+class AuditServiceTest : public ::testing::Test {
+ protected:
+  AuditServiceTest()
+      : registry_(77), ledger_(&registry_), selector_(2),
+        service_(&ledger_, &selector_) {
+    for (chain::NodeId n = 0; n < 6; ++n) registry_.register_node(n);
+  }
+  chain::KeyRegistry registry_;
+  chain::Ledger ledger_;
+  ServerSelector selector_;
+  AuditService service_;
+};
+
+TEST_F(AuditServiceTest, ConsistentChainPassesAudit) {
+  // Honest server 0 records detection r=1 and the matching reputation.
+  ReputationConfig cfg{.gamma = 0.2, .initial = 0.0};
+  ReputationModule rep(cfg);
+  rep.resize(2);
+  rep.record(1, Event::kPositive);
+  ledger_.append(chain::RecordKind::kDetection, 0, 1, 0, 1.0);
+  ledger_.append(chain::RecordKind::kReputation, 0, 1, 0, rep.reputation(1));
+  ledger_.seal_block();
+  EXPECT_TRUE(service_.audit_reputation(1, 0, cfg).empty());
+}
+
+TEST_F(AuditServiceTest, ManipulatedReputationExposesServer) {
+  ReputationConfig cfg{.gamma = 0.2, .initial = 0.0};
+  // Detection says negative (r=0) => true reputation stays 0, but server 2
+  // writes an inflated 0.8 on-chain.
+  ledger_.append(chain::RecordKind::kDetection, 0, 1, 2, 0.0);
+  ledger_.append(chain::RecordKind::kReputation, 0, 1, 2, 0.8);
+  ledger_.seal_block();
+  const auto cheats = service_.audit_reputation(1, 0, cfg);
+  ASSERT_EQ(cheats.size(), 1u);
+  EXPECT_EQ(cheats[0], chain::NodeId{2});
+  EXPECT_TRUE(selector_.is_blacklisted(2));
+}
+
+TEST_F(AuditServiceTest, MultiRoundReplayUsesAllDetections) {
+  ReputationConfig cfg{.gamma = 0.5, .initial = 0.0};
+  // Rounds: positive, negative => R = (1-γ)γ = 0.25.
+  ledger_.append(chain::RecordKind::kDetection, 0, 1, 0, 1.0);
+  ledger_.append(chain::RecordKind::kReputation, 0, 1, 0, 0.5);
+  ledger_.seal_block();
+  ledger_.append(chain::RecordKind::kDetection, 1, 1, 0, 0.0);
+  ledger_.append(chain::RecordKind::kReputation, 1, 1, 0, 0.25);
+  ledger_.seal_block();
+  EXPECT_TRUE(service_.audit_reputation(1, 1, cfg).empty());
+}
+
+TEST_F(AuditServiceTest, UncertainDetectionsReplayAsUncertain) {
+  ReputationConfig cfg{.gamma = 0.5, .initial = 0.0};
+  // Round 0 positive (R=0.5), round 1 uncertain (R unchanged).
+  ledger_.append(chain::RecordKind::kDetection, 0, 1, 0, 1.0);
+  ledger_.append(chain::RecordKind::kReputation, 0, 1, 0, 0.5);
+  ledger_.seal_block();
+  ledger_.append(chain::RecordKind::kDetection, 1, 1, 0, -1.0);
+  ledger_.append(chain::RecordKind::kReputation, 1, 1, 0, 0.5);
+  ledger_.seal_block();
+  EXPECT_TRUE(service_.audit_reputation(1, 1, cfg).empty());
+}
+
+TEST_F(AuditServiceTest, DirectValueAuditBlacklists) {
+  ledger_.append(chain::RecordKind::kContribution, 0, 1, 4, 0.9);
+  ledger_.seal_block();
+  const auto cheats =
+      service_.audit_value(chain::RecordKind::kContribution, 0, 1, 0.2);
+  ASSERT_EQ(cheats.size(), 1u);
+  EXPECT_EQ(cheats[0], chain::NodeId{4});
+  EXPECT_TRUE(selector_.is_blacklisted(4));
+}
+
+TEST(AuditService, NullDependenciesThrow) {
+  chain::KeyRegistry reg(1);
+  chain::Ledger ledger(&reg);
+  ServerSelector sel(1);
+  EXPECT_THROW(AuditService(nullptr, &sel), std::invalid_argument);
+  EXPECT_THROW(AuditService(&ledger, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fifl::core

@@ -1,0 +1,173 @@
+#include "core/contribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fifl::core {
+namespace {
+
+fl::Upload upload_of(chain::NodeId id, std::vector<float> values,
+                     bool arrived = true) {
+  fl::Upload up;
+  up.worker = id;
+  up.samples = 1;
+  up.gradient = fl::Gradient(std::move(values));
+  up.arrived = arrived;
+  return up;
+}
+
+TEST(Contribution, DistancesAreSquaredEuclidean) {
+  ContributionModule mod({});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 1}));
+  const fl::Gradient global(std::vector<float>{4, 5});
+  const auto result = mod.run(uploads, global);
+  EXPECT_DOUBLE_EQ(result.distances[0], 9.0 + 16.0);
+}
+
+TEST(Contribution, ZeroAnchorThresholdIsGlobalNormSquared) {
+  ContributionModule mod({.anchor = Anchor::kZeroGradient});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {3, 4}));
+  const fl::Gradient global(std::vector<float>{3, 4});
+  const auto result = mod.run(uploads, global);
+  EXPECT_DOUBLE_EQ(result.threshold, 25.0);  // Dis(G̃, 0) = ‖G̃‖²
+}
+
+TEST(Contribution, PerfectMatchScoresOne) {
+  ContributionModule mod({});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 2}));
+  const fl::Gradient global(std::vector<float>{1, 2});
+  const auto result = mod.run(uploads, global);
+  EXPECT_DOUBLE_EQ(result.contributions[0], 1.0);  // b_i = 0 => C = 1
+}
+
+TEST(Contribution, ZeroGradientWorkerScoresZero) {
+  // A free-rider uploading exactly zero has b_i = b_h, so C_i = 0: the
+  // free-rider barrier of Eq. 14.
+  ContributionModule mod({});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {0, 0}));
+  const fl::Gradient global(std::vector<float>{3, 4});
+  const auto result = mod.run(uploads, global);
+  EXPECT_NEAR(result.contributions[0], 0.0, 1e-12);
+}
+
+TEST(Contribution, WorseThanZeroGradientIsNegative) {
+  ContributionModule mod({});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {-3, -4}));  // opposite direction
+  const fl::Gradient global(std::vector<float>{3, 4});
+  const auto result = mod.run(uploads, global);
+  EXPECT_LT(result.contributions[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.contributions[0], 1.0 - 100.0 / 25.0);
+}
+
+TEST(Contribution, CloserGradientsScoreHigher) {
+  ContributionModule mod({});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1.0f, 1.0f}));
+  uploads.push_back(upload_of(1, {0.5f, 0.5f}));
+  uploads.push_back(upload_of(2, {-1.0f, 0.0f}));
+  const fl::Gradient global(std::vector<float>{1, 1});
+  const auto result = mod.run(uploads, global);
+  EXPECT_GT(result.contributions[0], result.contributions[1]);
+  EXPECT_GT(result.contributions[1], result.contributions[2]);
+}
+
+TEST(Contribution, ReferenceWorkerAnchor) {
+  ContributionModule mod(
+      {.anchor = Anchor::kReferenceWorker, .reference_worker = 1});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 1}));     // distance 0
+  uploads.push_back(upload_of(1, {0, 1}));     // distance 1 (the reference)
+  uploads.push_back(upload_of(2, {-1, 1}));    // distance 4
+  const fl::Gradient global(std::vector<float>{1, 1});
+  const auto result = mod.run(uploads, global);
+  EXPECT_DOUBLE_EQ(result.threshold, 1.0);
+  EXPECT_DOUBLE_EQ(result.contributions[0], 1.0);   // better than reference
+  EXPECT_DOUBLE_EQ(result.contributions[1], 0.0);   // the reference itself
+  EXPECT_DOUBLE_EQ(result.contributions[2], -3.0);  // worse => punished
+}
+
+TEST(Contribution, ReferenceWorkerOutOfRangeThrows) {
+  ContributionModule mod(
+      {.anchor = Anchor::kReferenceWorker, .reference_worker = 5});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1}));
+  const fl::Gradient global(std::vector<float>{1});
+  EXPECT_THROW((void)mod.run(uploads, global), std::invalid_argument);
+}
+
+TEST(Contribution, ReferenceWorkerDroppedThrows) {
+  ContributionModule mod(
+      {.anchor = Anchor::kReferenceWorker, .reference_worker = 0});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1}, /*arrived=*/false));
+  const fl::Gradient global(std::vector<float>{1});
+  EXPECT_THROW((void)mod.run(uploads, global), std::runtime_error);
+}
+
+TEST(Contribution, AbsentUploadGetsZeroContribution) {
+  ContributionModule mod({});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 1}, /*arrived=*/false));
+  const fl::Gradient global(std::vector<float>{1, 1});
+  const auto result = mod.run(uploads, global);
+  EXPECT_TRUE(std::isnan(result.distances[0]));
+  EXPECT_DOUBLE_EQ(result.contributions[0], 0.0);
+}
+
+TEST(Contribution, ZeroGlobalGradientGivesNobodyCredit) {
+  ContributionModule mod({});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 1}));
+  const fl::Gradient global(2);  // all zeros
+  const auto result = mod.run(uploads, global);
+  EXPECT_DOUBLE_EQ(result.contributions[0], 0.0);
+}
+
+TEST(Contribution, NonFiniteGradientGetsNegativeInfinity) {
+  ContributionModule mod({});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {std::numeric_limits<float>::infinity(), 0}));
+  const fl::Gradient global(std::vector<float>{1, 1});
+  const auto result = mod.run(uploads, global);
+  EXPECT_TRUE(std::isinf(result.contributions[0]));
+  EXPECT_LT(result.contributions[0], 0.0);
+}
+
+TEST(Contribution, SizeMismatchThrows) {
+  ContributionModule mod({});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 2, 3}));
+  const fl::Gradient global(std::vector<float>{1, 1});
+  EXPECT_THROW((void)mod.run(uploads, global), std::invalid_argument);
+}
+
+TEST(Contribution, SlicedDistanceEqualsWholeDistance) {
+  // Eq. 13's slice-additivity: Σ_j Dis(g̃^j, g_i^j) = Dis(G̃, G_i).
+  util::Rng rng(3);
+  fl::Gradient a(20), b(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    a[i] = static_cast<float>(rng.gaussian());
+    b[i] = static_cast<float>(rng.gaussian());
+  }
+  double whole = 0.0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    whole += d * d;
+  }
+  for (std::size_t m : {1u, 2u, 4u, 20u}) {
+    fl::SlicePlan plan(20, m);
+    EXPECT_NEAR(ContributionModule::sliced_distance(a, b, plan), whole, 1e-6)
+        << "M=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace fifl::core

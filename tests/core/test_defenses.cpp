@@ -1,0 +1,311 @@
+#include "core/defenses.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fifl::core {
+namespace {
+
+fl::Upload upload_of(chain::NodeId id, std::vector<float> values,
+                     std::size_t samples = 10, bool arrived = true) {
+  fl::Upload up;
+  up.worker = id;
+  up.samples = samples;
+  up.gradient = fl::Gradient(std::move(values));
+  up.arrived = arrived;
+  return up;
+}
+
+// N uploads clustered around `center` plus `attackers` flipped outliers.
+std::vector<fl::Upload> clustered_round(std::size_t honest,
+                                        std::size_t attackers,
+                                        std::size_t dims, util::Rng& rng,
+                                        double flip = 8.0) {
+  std::vector<float> center(dims);
+  for (auto& v : center) v = static_cast<float>(rng.gaussian());
+  std::vector<fl::Upload> uploads;
+  for (std::size_t i = 0; i < honest + attackers; ++i) {
+    std::vector<float> g(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double noise = rng.gaussian(0.0, 0.2);
+      g[d] = static_cast<float>(
+          i < honest ? static_cast<double>(center[d]) + noise
+                     : -flip * (static_cast<double>(center[d]) + noise));
+    }
+    auto up = upload_of(static_cast<chain::NodeId>(i), std::move(g));
+    up.ground_truth_attack = i >= honest;
+    uploads.push_back(std::move(up));
+  }
+  return uploads;
+}
+
+double distance_to_center(const fl::Gradient& g,
+                          std::span<const fl::Upload> honest_uploads,
+                          std::size_t honest) {
+  // Honest mean as reference.
+  fl::Gradient mean(g.size());
+  for (std::size_t i = 0; i < honest; ++i) {
+    mean.axpy(1.0f / static_cast<float>(honest), honest_uploads[i].gradient);
+  }
+  double acc = 0.0;
+  for (std::size_t d = 0; d < g.size(); ++d) {
+    const double diff = static_cast<double>(g[d]) - static_cast<double>(mean[d]);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+TEST(FedAvg, WeightedMean) {
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 0}, 30));
+  uploads.push_back(upload_of(1, {0, 1}, 10));
+  FedAvgAggregator agg;
+  const fl::Gradient g = agg.aggregate(uploads);
+  EXPECT_FLOAT_EQ(g[0], 0.75f);
+  EXPECT_FLOAT_EQ(g[1], 0.25f);
+}
+
+TEST(FedAvg, SkipsDroppedUploads) {
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 0}, 10));
+  uploads.push_back(upload_of(1, {9, 9}, 10, /*arrived=*/false));
+  const fl::Gradient g = FedAvgAggregator().aggregate(uploads);
+  EXPECT_FLOAT_EQ(g[0], 1.0f);
+}
+
+TEST(FedAvg, NoArrivedUploadsThrows) {
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1}, 10, /*arrived=*/false));
+  EXPECT_THROW((void)FedAvgAggregator().aggregate(uploads),
+               std::invalid_argument);
+}
+
+TEST(Krum, PicksFromHonestCluster) {
+  util::Rng rng(1);
+  const auto uploads = clustered_round(7, 2, 32, rng);
+  KrumAggregator krum(/*f=*/2);
+  const fl::Gradient g = krum.aggregate(uploads);
+  EXPECT_LT(distance_to_center(g, uploads, 7), 32 * 0.25);
+}
+
+TEST(Krum, ScoresRankAttackersWorst) {
+  util::Rng rng(2);
+  const auto uploads = clustered_round(7, 2, 32, rng);
+  const auto scores = KrumAggregator(2).scores(uploads);
+  for (std::size_t a = 7; a < 9; ++a) {
+    for (std::size_t h = 0; h < 7; ++h) {
+      EXPECT_GT(scores[a], scores[h]) << "attacker " << a << " honest " << h;
+    }
+  }
+}
+
+TEST(Krum, RequiresEnoughUploads) {
+  util::Rng rng(3);
+  const auto uploads = clustered_round(3, 0, 8, rng);
+  EXPECT_THROW((void)KrumAggregator(2).aggregate(uploads),
+               std::invalid_argument);
+}
+
+TEST(Krum, MultiKrumAveragesSelection) {
+  util::Rng rng(4);
+  const auto uploads = clustered_round(8, 2, 32, rng);
+  KrumAggregator multi(/*f=*/2, /*m=*/4);
+  const fl::Gradient g = multi.aggregate(uploads);
+  // Averaging several honest gradients lands even closer to the center
+  // than single Krum on average.
+  EXPECT_LT(distance_to_center(g, uploads, 8), 32 * 0.25);
+}
+
+TEST(Median, ExactForKnownColumns) {
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 10}));
+  uploads.push_back(upload_of(1, {2, 20}));
+  uploads.push_back(upload_of(2, {300, -5}));
+  const fl::Gradient g = MedianAggregator().aggregate(uploads);
+  EXPECT_FLOAT_EQ(g[0], 2.0f);
+  EXPECT_FLOAT_EQ(g[1], 10.0f);
+}
+
+TEST(Median, EvenCountAveragesMiddlePair) {
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1}));
+  uploads.push_back(upload_of(1, {2}));
+  uploads.push_back(upload_of(2, {3}));
+  uploads.push_back(upload_of(3, {100}));
+  const fl::Gradient g = MedianAggregator().aggregate(uploads);
+  EXPECT_FLOAT_EQ(g[0], 2.5f);
+}
+
+TEST(Median, IgnoresExtremeOutliers) {
+  util::Rng rng(5);
+  const auto uploads = clustered_round(7, 2, 16, rng, /*flip=*/100.0);
+  const fl::Gradient g = MedianAggregator().aggregate(uploads);
+  EXPECT_LT(distance_to_center(g, uploads, 7), 16 * 0.25);
+}
+
+TEST(TrimmedMean, DropsExtremesPerCoordinate) {
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {-100}));
+  uploads.push_back(upload_of(1, {1}));
+  uploads.push_back(upload_of(2, {2}));
+  uploads.push_back(upload_of(3, {3}));
+  uploads.push_back(upload_of(4, {100}));
+  const fl::Gradient g = TrimmedMeanAggregator(1).aggregate(uploads);
+  EXPECT_FLOAT_EQ(g[0], 2.0f);
+}
+
+TEST(TrimmedMean, RejectsOverTrimming) {
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1}));
+  uploads.push_back(upload_of(1, {2}));
+  EXPECT_THROW((void)TrimmedMeanAggregator(1).aggregate(uploads),
+               std::invalid_argument);
+}
+
+TEST(FiflDetectionAggregator, RejectsFlippedGradients) {
+  util::Rng rng(6);
+  const auto uploads = clustered_round(7, 2, 32, rng);
+  FiflDetectionAggregator agg({.threshold = 0.0},
+                              std::vector<chain::NodeId>{0, 1});
+  const fl::Gradient g = agg.aggregate(uploads);
+  EXPECT_LT(distance_to_center(g, uploads, 7), 32 * 0.1);
+}
+
+TEST(FiflDetectionAggregator, AllRejectedIsZeroGradient) {
+  // Benchmark comes from worker 0; if every other upload anti-correlates
+  // and worker 0 itself is the only positive, threshold 0.99 rejects all
+  // but the benchmark-aligned one... push threshold beyond 1 to reject
+  // everyone.
+  util::Rng rng(7);
+  const auto uploads = clustered_round(4, 0, 16, rng);
+  FiflDetectionAggregator agg({.threshold = 1.5},
+                              std::vector<chain::NodeId>{0, 1});
+  const fl::Gradient g = agg.aggregate(uploads);
+  EXPECT_DOUBLE_EQ(g.squared_norm(), 0.0);
+}
+
+TEST(NormClip, ClipsOnlyAboveMedianNorm) {
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 0}));     // norm 1
+  uploads.push_back(upload_of(1, {0, 2}));     // norm 2 (median)
+  uploads.push_back(upload_of(2, {100, 0}));   // norm 100 -> clipped to 2
+  const fl::Gradient g = NormClipAggregator().aggregate(uploads);
+  // Equal samples: mean of (1,0), (0,2), (2,0).
+  EXPECT_NEAR(g[0], (1.0f + 0.0f + 2.0f) / 3.0f, 1e-5f);
+  EXPECT_NEAR(g[1], 2.0f / 3.0f, 1e-5f);
+}
+
+TEST(NormClip, IdentityWhenNormsEqual) {
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {3, 0}));
+  uploads.push_back(upload_of(1, {0, 3}));
+  const fl::Gradient g = NormClipAggregator().aggregate(uploads);
+  EXPECT_NEAR(g[0], 1.5f, 1e-5f);
+  EXPECT_NEAR(g[1], 1.5f, 1e-5f);
+}
+
+TEST(NormClip, BoundsFlippedGradientInfluence) {
+  util::Rng rng(9);
+  const auto uploads = clustered_round(7, 2, 16, rng, /*flip=*/50.0);
+  const fl::Gradient clipped = NormClipAggregator().aggregate(uploads);
+  const fl::Gradient plain = FedAvgAggregator().aggregate(uploads);
+  const double d_clip = distance_to_center(clipped, uploads, 7);
+  const double d_plain = distance_to_center(plain, uploads, 7);
+  EXPECT_LT(d_clip, d_plain * 0.1);
+}
+
+// Zeno on a quadratic loss L(θ) = ½‖θ‖²: the exact descent score is
+// computable in closed form, so assertions are analytic.
+ZenoAggregator::LossOracle quadratic_loss() {
+  return [](std::span<const float> p) {
+    double acc = 0.0;
+    for (float v : p) acc += 0.5 * static_cast<double>(v) * static_cast<double>(v);
+    return acc;
+  };
+}
+
+TEST(Zeno, RequiresParametersAndOracle) {
+  EXPECT_THROW(ZenoAggregator(1, 0.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(ZenoAggregator(1, -1.0, quadratic_loss()), std::invalid_argument);
+  ZenoAggregator zeno(1, 0.0, quadratic_loss());
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 1}));
+  EXPECT_THROW((void)zeno.scores(uploads), std::logic_error);
+}
+
+TEST(Zeno, ScoreMatchesClosedForm) {
+  // θ = (2, 0); G = (1, 0): L(θ) − L(θ−G) = 2 − 0.5 = 1.5; ρ‖G‖² = 0.1.
+  ZenoAggregator zeno(0, 0.1, quadratic_loss());
+  zeno.set_parameters({2.0f, 0.0f});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 0}));
+  const auto scores = zeno.scores(uploads);
+  EXPECT_NEAR(scores[0], 1.5 - 0.1, 1e-9);
+}
+
+TEST(Zeno, DropsFlippedGradients) {
+  // Descending along −G *increases* a convex loss: flipped gradients get
+  // negative scores and are removed first.
+  ZenoAggregator zeno(/*b=*/1, 0.0, quadratic_loss());
+  zeno.set_parameters({1.0f, 1.0f});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {0.5f, 0.5f}));    // descends
+  uploads.push_back(upload_of(1, {0.4f, 0.6f}));    // descends
+  uploads.push_back(upload_of(2, {-2.0f, -2.0f}));  // climbs (attacker)
+  const fl::Gradient g = zeno.aggregate(uploads);
+  EXPECT_NEAR(g[0], 0.45f, 1e-5f);
+  EXPECT_NEAR(g[1], 0.55f, 1e-5f);
+}
+
+TEST(Zeno, OverAggressiveBThrows) {
+  ZenoAggregator zeno(/*b=*/2, 0.0, quadratic_loss());
+  zeno.set_parameters({1.0f});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1}));
+  uploads.push_back(upload_of(1, {1}));
+  EXPECT_THROW((void)zeno.aggregate(uploads), std::invalid_argument);
+}
+
+TEST(Zeno, RhoPenalisesHugeGradients) {
+  // θ = (10, 0): G0 = (1, 0) and G1 = (19, 0) land on ‖θ−G‖ = 9 either
+  // way (identical loss decrease 9.5), but G1's norm is 19× larger. With
+  // ρ > 0 the overshooting gradient scores strictly lower.
+  ZenoAggregator zeno(0, 0.01, quadratic_loss());
+  zeno.set_parameters({10.0f, 0.0f});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1.0f, 0.0f}));
+  uploads.push_back(upload_of(1, {19.0f, 0.0f}));
+  const auto scores = zeno.scores(uploads);
+  EXPECT_NEAR(scores[0], 9.5 - 0.01, 1e-9);
+  EXPECT_NEAR(scores[1], 9.5 - 3.61, 1e-9);
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+// Property sweep: every robust defense stays near the honest mean under a
+// strong flip attack; FedAvg does not.
+class DefenseRobustness : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DefenseRobustness, RobustUnderMinorityAttack) {
+  util::Rng rng(100 + GetParam());
+  const std::size_t honest = 8, attackers = 2, dims = 32;
+  const auto uploads = clustered_round(honest, attackers, dims, rng);
+  const auto defenses = standard_defenses(honest + attackers, attackers);
+  const auto& defense = defenses[GetParam()];
+  const fl::Gradient g = defense->aggregate(uploads);
+  const double dist = distance_to_center(g, uploads, honest);
+  if (defense->name() == "FedAvg") {
+    EXPECT_GT(dist, dims * 1.0) << "FedAvg should be poisoned";
+  } else if (defense->name() == "NormClip") {
+    // NormClip only bounds the attacker's pull; it does not remove it.
+    EXPECT_LT(dist, dims * 1.0) << defense->name();
+  } else {
+    EXPECT_LT(dist, dims * 0.3) << defense->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDefenses, DefenseRobustness,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace fifl::core

@@ -1,0 +1,233 @@
+#include "core/detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fifl::core {
+namespace {
+
+fl::Upload upload_of(chain::NodeId id, std::vector<float> values,
+                     bool arrived = true, bool attack = false) {
+  fl::Upload up;
+  up.worker = id;
+  up.samples = 1;
+  up.gradient = fl::Gradient(std::move(values));
+  up.arrived = arrived;
+  up.ground_truth_attack = attack;
+  return up;
+}
+
+std::vector<std::vector<float>> benchmark_of(const fl::SlicePlan& plan,
+                                             const std::vector<float>& full) {
+  std::vector<std::vector<float>> slices;
+  fl::Gradient g(full);
+  for (std::size_t j = 0; j < plan.servers(); ++j) {
+    auto view = plan.slice(g, j);
+    slices.emplace_back(view.begin(), view.end());
+  }
+  return slices;
+}
+
+TEST(Detection, RawScoreIsInnerProduct) {
+  fl::SlicePlan plan(4, 2);
+  DetectionModule det({.threshold = 0.0, .score = ScoreKind::kRaw});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 2, 3, 4}));
+  const auto bench = benchmark_of(plan, {1, 1, 1, 1});
+  const auto result = det.run(uploads, plan, bench);
+  EXPECT_DOUBLE_EQ(result.scores[0], 10.0);
+  // Per-server decomposition: slice sums 3 and 7 (Eq. 6).
+  EXPECT_DOUBLE_EQ(result.server_scores[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(result.server_scores[1][0], 7.0);
+}
+
+TEST(Detection, CosineScoreIsNormalised) {
+  fl::SlicePlan plan(3, 1);
+  DetectionModule det({.threshold = 0.0, .score = ScoreKind::kCosine});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {2, 0, 0}));   // aligned
+  uploads.push_back(upload_of(1, {-5, 0, 0}));  // flipped
+  uploads.push_back(upload_of(2, {0, 3, 0}));   // orthogonal
+  const auto bench = benchmark_of(plan, {1, 0, 0});
+  const auto result = det.run(uploads, plan, bench);
+  EXPECT_NEAR(result.scores[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.scores[1], -1.0, 1e-9);
+  EXPECT_NEAR(result.scores[2], 0.0, 1e-9);
+}
+
+TEST(Detection, ProjectionScoreScalesWithMagnitude) {
+  fl::SlicePlan plan(2, 1);
+  DetectionModule det({.threshold = 0.0, .score = ScoreKind::kProjection});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {2, 0}));
+  uploads.push_back(upload_of(1, {4, 0}));
+  const auto bench = benchmark_of(plan, {1, 0});
+  const auto result = det.run(uploads, plan, bench);
+  EXPECT_DOUBLE_EQ(result.scores[0], 2.0);
+  EXPECT_DOUBLE_EQ(result.scores[1], 4.0);
+}
+
+TEST(Detection, ThresholdSplitsAcceptReject) {
+  fl::SlicePlan plan(2, 1);
+  DetectionModule det({.threshold = 0.5, .score = ScoreKind::kCosine});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 0}));      // cos = 1 -> accept
+  uploads.push_back(upload_of(1, {1, 2}));      // cos ~ 0.45 -> reject
+  uploads.push_back(upload_of(2, {-1, 0}));     // cos = -1 -> reject
+  const auto bench = benchmark_of(plan, {1, 0});
+  const auto result = det.run(uploads, plan, bench);
+  EXPECT_EQ(result.accepted[0], 1);
+  EXPECT_EQ(result.accepted[1], 0);
+  EXPECT_EQ(result.accepted[2], 0);
+}
+
+TEST(Detection, ExactlyAtThresholdIsAccepted) {
+  fl::SlicePlan plan(1, 1);
+  DetectionModule det({.threshold = 1.0, .score = ScoreKind::kCosine});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {3}));
+  const auto bench = benchmark_of(plan, {2});
+  const auto result = det.run(uploads, plan, bench);
+  EXPECT_EQ(result.accepted[0], 1);  // Eq. 7: S_i >= S_y
+}
+
+TEST(Detection, AbsentUploadIsUncertainNotRejected) {
+  fl::SlicePlan plan(2, 1);
+  DetectionModule det({.threshold = 0.0});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 1}, /*arrived=*/false));
+  const auto bench = benchmark_of(plan, {1, 1});
+  const auto result = det.run(uploads, plan, bench);
+  EXPECT_EQ(result.uncertain[0], 1);
+  EXPECT_EQ(result.accepted[0], 0);
+  EXPECT_TRUE(std::isnan(result.scores[0]));
+}
+
+TEST(Detection, NonFiniteGradientIsRejected) {
+  fl::SlicePlan plan(2, 1);
+  DetectionModule det({.threshold = -100.0, .score = ScoreKind::kRaw});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(
+      upload_of(0, {std::numeric_limits<float>::quiet_NaN(), 1.0f}));
+  const auto bench = benchmark_of(plan, {1, 1});
+  const auto result = det.run(uploads, plan, bench);
+  EXPECT_EQ(result.accepted[0], 0);
+  EXPECT_EQ(result.uncertain[0], 0);
+}
+
+TEST(Detection, SliceDecompositionSumsToWholeInnerProduct) {
+  // Eq. 6: Σ_j <g̃^j, g_i^j> equals the full-vector inner product for any M.
+  util::Rng rng(1);
+  std::vector<float> bench_full(30), grad(30);
+  for (auto& v : bench_full) v = static_cast<float>(rng.gaussian());
+  for (auto& v : grad) v = static_cast<float>(rng.gaussian());
+  double whole = 0.0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    whole += static_cast<double>(bench_full[i]) * static_cast<double>(grad[i]);
+  }
+  for (std::size_t m : {1u, 2u, 3u, 5u, 30u}) {
+    fl::SlicePlan plan(30, m);
+    DetectionModule det({.threshold = 0.0, .score = ScoreKind::kRaw});
+    std::vector<fl::Upload> uploads;
+    uploads.push_back(upload_of(0, grad));
+    const auto result = det.run(uploads, plan, benchmark_of(plan, bench_full));
+    EXPECT_NEAR(result.scores[0], whole, 1e-6) << "M=" << m;
+  }
+}
+
+TEST(Detection, BenchmarkSizeMismatchThrows) {
+  fl::SlicePlan plan(4, 2);
+  DetectionModule det({});
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1, 2, 3, 4}));
+  std::vector<std::vector<float>> bad_count(1);
+  EXPECT_THROW((void)det.run(uploads, plan, bad_count), std::invalid_argument);
+  std::vector<std::vector<float>> bad_size{{1.0f}, {1.0f, 2.0f}};
+  EXPECT_THROW((void)det.run(uploads, plan, bad_size), std::invalid_argument);
+}
+
+TEST(Detection, ExactScoreMatchesTaylorOnQuadraticLoss) {
+  // For the quadratic loss L(θ) = ½‖θ‖², ∇L = θ and
+  // L(θ) − L(θ−G) = <θ, G> − ½‖G‖². The Taylor score <∇L, G> approximates
+  // it to first order; for small G they agree closely.
+  const std::vector<float> theta{1.0f, -2.0f, 0.5f};
+  auto loss_at = [](const std::vector<float>& p) {
+    double acc = 0.0;
+    for (float v : p) acc += 0.5 * static_cast<double>(v) * static_cast<double>(v);
+    return acc;
+  };
+  fl::Gradient small(std::vector<float>{0.01f, 0.02f, -0.01f});
+  const double exact =
+      DetectionModule::exact_score(theta, small, loss_at);
+  double taylor = 0.0;
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    taylor += static_cast<double>(theta[i]) * static_cast<double>(small[i]);
+  }
+  EXPECT_NEAR(exact, taylor, 1e-3);
+}
+
+TEST(DetectionMetrics, TpTnAccuracyComputed) {
+  DetectionResult result;
+  result.accepted = {1, 0, 0, 1};
+  result.uncertain = {0, 0, 0, 0};
+  result.scores = {1, -1, -1, 1};
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1}, true, false));  // honest accepted: TP
+  uploads.push_back(upload_of(1, {1}, true, false));  // honest rejected
+  uploads.push_back(upload_of(2, {1}, true, true));   // attacker rejected: TN
+  uploads.push_back(upload_of(3, {1}, true, true));   // attacker accepted
+  const auto metrics = evaluate_detection(result, uploads);
+  EXPECT_DOUBLE_EQ(metrics.true_positive, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.true_negative, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.accuracy, 0.5);
+  EXPECT_EQ(metrics.honest_total, 2u);
+  EXPECT_EQ(metrics.attacker_total, 2u);
+}
+
+TEST(DetectionMetrics, UncertainUploadsExcluded) {
+  DetectionResult result;
+  result.accepted = {1, 0};
+  result.uncertain = {0, 1};
+  result.scores = {1, 0};
+  std::vector<fl::Upload> uploads;
+  uploads.push_back(upload_of(0, {1}, true, false));
+  uploads.push_back(upload_of(1, {1}, false, true));
+  const auto metrics = evaluate_detection(result, uploads);
+  EXPECT_EQ(metrics.honest_total, 1u);
+  EXPECT_EQ(metrics.attacker_total, 0u);
+  EXPECT_DOUBLE_EQ(metrics.accuracy, 1.0);
+}
+
+// Threshold sweep property: raising S_y can only shrink the accepted set.
+class ThresholdMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdMonotonicity, HigherThresholdAcceptsSubset) {
+  util::Rng rng(7);
+  fl::SlicePlan plan(16, 4);
+  std::vector<float> bench(16);
+  for (auto& v : bench) v = static_cast<float>(rng.gaussian());
+  std::vector<fl::Upload> uploads;
+  for (chain::NodeId i = 0; i < 20; ++i) {
+    std::vector<float> g(16);
+    for (auto& v : g) v = static_cast<float>(rng.gaussian());
+    uploads.push_back(upload_of(i, std::move(g)));
+  }
+  const double base = GetParam();
+  DetectionModule low({.threshold = base});
+  DetectionModule high({.threshold = base + 0.2});
+  const auto bench_slices = benchmark_of(plan, bench);
+  const auto rl = low.run(uploads, plan, bench_slices);
+  const auto rh = high.run(uploads, plan, bench_slices);
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    EXPECT_LE(rh.accepted[i], rl.accepted[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThresholdMonotonicity,
+                         ::testing::Values(-0.5, -0.2, 0.0, 0.09, 0.15, 0.3));
+
+}  // namespace
+}  // namespace fifl::core

@@ -1,0 +1,88 @@
+#include "core/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/incentive.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::core {
+namespace {
+
+// Theorem 2: with equal reputations, FIFL rewards are a positive multiple
+// of contributions, so the fairness coefficient is exactly 1.
+class Theorem2 : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Theorem2, FairnessIsOneForHonestWorkers) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n);
+  std::vector<double> contribs(n), reps(n, 0.9);
+  for (auto& c : contribs) c = rng.uniform(0.01, 1.0);
+  IncentiveModule mod({.reward_pool = 3.0});
+  const auto rewards = mod.rewards(reps, contribs);
+  EXPECT_NEAR(fairness_coefficient(contribs, rewards), 1.0, 1e-9);
+  EXPECT_NEAR(fairness_among_contributors(contribs, rewards), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, Theorem2,
+                         ::testing::Values(2, 3, 5, 10, 20, 100));
+
+TEST(Fairness, ReputationFairnessAlsoOneWithEqualContribs) {
+  // Dual of Theorem 2: equal contributions, varying reputations.
+  util::Rng rng(1);
+  const std::size_t n = 12;
+  std::vector<double> contribs(n, 0.5), reps(n);
+  for (auto& r : reps) r = rng.uniform(0.1, 1.0);
+  IncentiveModule mod({});
+  const auto rewards = mod.rewards(reps, contribs);
+  EXPECT_NEAR(fairness_coefficient(reps, rewards), 1.0, 1e-9);
+}
+
+TEST(Fairness, AntiCorrelatedRewardsScoreMinusOne) {
+  const std::vector<double> inputs{1, 2, 3};
+  const std::vector<double> rewards{3, 2, 1};
+  EXPECT_NEAR(fairness_coefficient(inputs, rewards), -1.0, 1e-12);
+}
+
+TEST(Fairness, EqualIncentiveHasZeroFairness) {
+  // The Equal baseline pays everyone the same regardless of contribution:
+  // reward series is constant, correlation degenerates to 0.
+  const std::vector<double> contribs{0.1, 0.5, 0.9};
+  const std::vector<double> rewards{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(fairness_coefficient(contribs, rewards), 0.0);
+}
+
+TEST(Fairness, AmongContributorsIgnoresPunishedWorkers) {
+  // Punished workers (negative contribution) are excluded; the remaining
+  // honest workers still exhibit perfect fairness.
+  const std::vector<double> contribs{0.6, 0.4, -5.0};
+  IncentiveModule mod({});
+  const auto rewards =
+      mod.rewards(std::vector<double>{1.0, 1.0, 1.0}, contribs);
+  EXPECT_NEAR(fairness_among_contributors(contribs, rewards), 1.0, 1e-9);
+}
+
+TEST(Fairness, SingleContributorIsTriviallyFair) {
+  const std::vector<double> contribs{0.5, -1.0};
+  const std::vector<double> rewards{0.5, -1.0};
+  EXPECT_DOUBLE_EQ(fairness_among_contributors(contribs, rewards), 1.0);
+}
+
+TEST(Fairness, SizeMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)fairness_among_contributors(a, b), std::invalid_argument);
+}
+
+TEST(Fairness, UnequalReputationsBreakPerfectContributionFairness) {
+  // When reputations differ, rewards are no longer a pure function of
+  // contribution — fairness w.r.t. contribution alone drops below 1
+  // (the paper's Theorem 2 assumes R_i = R_j).
+  const std::vector<double> contribs{0.1, 0.5, 0.9};
+  const std::vector<double> reps{1.0, 0.2, 0.6};
+  IncentiveModule mod({});
+  const auto rewards = mod.rewards(reps, contribs);
+  EXPECT_LT(fairness_coefficient(contribs, rewards), 1.0 - 1e-6);
+}
+
+}  // namespace
+}  // namespace fifl::core

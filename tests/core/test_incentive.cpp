@@ -1,0 +1,145 @@
+#include "core/incentive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace fifl::core {
+namespace {
+
+TEST(Incentive, ConfigValidation) {
+  EXPECT_THROW(IncentiveModule({.reward_pool = 0.0}), std::invalid_argument);
+  EXPECT_THROW(IncentiveModule({.reward_pool = 1.0, .punishment_cap = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Incentive, Equation15ForHonestWorkers) {
+  IncentiveModule mod({.reward_pool = 1.0});
+  const std::vector<double> reps{1.0, 1.0, 1.0};
+  const std::vector<double> contribs{0.5, 0.3, 0.2};
+  const auto rewards = mod.rewards(reps, contribs);
+  EXPECT_DOUBLE_EQ(rewards[0], 0.5);
+  EXPECT_DOUBLE_EQ(rewards[1], 0.3);
+  EXPECT_DOUBLE_EQ(rewards[2], 0.2);
+}
+
+TEST(Incentive, RewardPoolScalesTotals) {
+  IncentiveModule mod({.reward_pool = 10.0});
+  const std::vector<double> reps{1.0, 1.0};
+  const std::vector<double> contribs{0.6, 0.4};
+  const auto rewards = mod.rewards(reps, contribs);
+  EXPECT_DOUBLE_EQ(rewards[0] + rewards[1], 10.0);
+}
+
+TEST(Incentive, ReputationModulatesReward) {
+  IncentiveModule mod({.reward_pool = 1.0});
+  const std::vector<double> reps{1.0, 0.5};
+  const std::vector<double> contribs{0.5, 0.5};
+  const auto rewards = mod.rewards(reps, contribs);
+  EXPECT_DOUBLE_EQ(rewards[0], 0.5);
+  EXPECT_DOUBLE_EQ(rewards[1], 0.25);  // half the reputation, half the pay
+}
+
+TEST(Incentive, NegativeContributionIsPunished) {
+  IncentiveModule mod({.reward_pool = 1.0});
+  const std::vector<double> reps{1.0, 1.0};
+  const std::vector<double> contribs{1.0, -2.0};
+  const auto rewards = mod.rewards(reps, contribs);
+  EXPECT_GT(rewards[0], 0.0);
+  EXPECT_DOUBLE_EQ(rewards[1], -2.0);  // R·C/ΣC⁺ = 1·(-2)/1
+}
+
+TEST(Incentive, PunishmentGrowsWithDeviation) {
+  IncentiveModule mod({.reward_pool = 1.0});
+  const std::vector<double> reps{1.0, 1.0, 1.0};
+  const std::vector<double> c1{1.0, -1.0, -3.0};
+  const auto rewards = mod.rewards(reps, c1);
+  EXPECT_LT(rewards[2], rewards[1]);
+}
+
+TEST(Incentive, PunishmentIsCapped) {
+  IncentiveModule mod({.reward_pool = 1.0, .punishment_cap = 2.0});
+  const std::vector<double> reps{1.0, 1.0};
+  const std::vector<double> contribs{1.0, -1e9};
+  const auto rewards = mod.rewards(reps, contribs);
+  EXPECT_DOUBLE_EQ(rewards[1], -2.0);
+}
+
+TEST(Incentive, InfiniteNegativeContributionClampsToCap) {
+  IncentiveModule mod({.reward_pool = 1.0, .punishment_cap = 5.0});
+  const std::vector<double> reps{1.0, 1.0};
+  const std::vector<double> contribs{
+      1.0, -std::numeric_limits<double>::infinity()};
+  const auto rewards = mod.rewards(reps, contribs);
+  EXPECT_DOUBLE_EQ(rewards[1], -5.0);
+}
+
+TEST(Incentive, NoPositiveContributorsMeansNoPayout) {
+  IncentiveModule mod({.reward_pool = 1.0});
+  const std::vector<double> reps{1.0, 1.0};
+  const std::vector<double> contribs{-1.0, -0.5};
+  const auto rewards = mod.rewards(reps, contribs);
+  EXPECT_DOUBLE_EQ(rewards[0], 0.0);
+  EXPECT_DOUBLE_EQ(rewards[1], 0.0);
+}
+
+TEST(Incentive, ZeroAndNanContributionsEarnNothing) {
+  IncentiveModule mod({.reward_pool = 1.0});
+  const std::vector<double> reps{1.0, 1.0, 1.0};
+  const std::vector<double> contribs{
+      1.0, 0.0, std::numeric_limits<double>::quiet_NaN()};
+  const auto rewards = mod.rewards(reps, contribs);
+  EXPECT_DOUBLE_EQ(rewards[1], 0.0);
+  EXPECT_DOUBLE_EQ(rewards[2], 0.0);
+}
+
+TEST(Incentive, SizeMismatchThrows) {
+  IncentiveModule mod({});
+  const std::vector<double> reps{1.0};
+  const std::vector<double> contribs{1.0, 0.5};
+  EXPECT_THROW((void)mod.rewards(reps, contribs), std::invalid_argument);
+}
+
+TEST(Incentive, MonotoneInContributionAndReputation) {
+  // ∂I/∂C > 0 and ∂I/∂R > 0 (Theorem 2's first part).
+  IncentiveModule mod({.reward_pool = 1.0});
+  const std::vector<double> reps{0.9, 0.9, 0.9};
+  const std::vector<double> base{0.3, 0.3, 0.4};
+  const auto r0 = mod.rewards(reps, base);
+  // Raise worker 0's contribution: its reward rises.
+  const std::vector<double> more_c{0.5, 0.3, 0.4};
+  EXPECT_GT(mod.rewards(reps, more_c)[0], r0[0]);
+  // Raise worker 0's reputation: its reward rises.
+  const std::vector<double> more_r{1.0, 0.9, 0.9};
+  EXPECT_GT(mod.rewards(more_r, base)[0], r0[0]);
+}
+
+TEST(CumulativeLedger, AccumulatesAcrossRounds) {
+  CumulativeLedger ledger;
+  ledger.add_round(std::vector<double>{1.0, -0.5});
+  ledger.add_round(std::vector<double>{2.0, -0.5});
+  EXPECT_EQ(ledger.rounds(), 2u);
+  EXPECT_EQ(ledger.workers(), 2u);
+  EXPECT_DOUBLE_EQ(ledger.total(0), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.total(1), -1.0);
+}
+
+TEST(CumulativeLedger, HistoryRecordsRunningTotals) {
+  CumulativeLedger ledger;
+  ledger.add_round(std::vector<double>{1.0});
+  ledger.add_round(std::vector<double>{1.0});
+  ASSERT_EQ(ledger.history().size(), 2u);
+  EXPECT_DOUBLE_EQ(ledger.history()[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(ledger.history()[1][0], 2.0);
+}
+
+TEST(CumulativeLedger, WorkerCountChangeThrows) {
+  CumulativeLedger ledger;
+  ledger.add_round(std::vector<double>{1.0, 2.0});
+  EXPECT_THROW(ledger.add_round(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fifl::core

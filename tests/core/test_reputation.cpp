@@ -1,0 +1,173 @@
+#include "core/reputation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fifl::core {
+namespace {
+
+TEST(Reputation, GammaValidation) {
+  EXPECT_THROW(ReputationModule({.gamma = 0.0}), std::invalid_argument);
+  EXPECT_THROW(ReputationModule({.gamma = 1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(ReputationModule({.gamma = 0.5}));
+}
+
+TEST(Reputation, InitialValueIsConfigured) {
+  ReputationModule rep({.gamma = 0.1, .initial = 0.25});
+  rep.resize(3);
+  EXPECT_DOUBLE_EQ(rep.reputation(0), 0.25);
+  EXPECT_DOUBLE_EQ(rep.reputation(99), 0.25);  // unknown workers too
+}
+
+TEST(Reputation, Eq10SingleUpdates) {
+  ReputationModule rep({.gamma = 0.2, .initial = 0.0});
+  rep.resize(1);
+  rep.record(0, Event::kPositive);
+  EXPECT_DOUBLE_EQ(rep.reputation(0), 0.2);  // (1-γ)·0 + γ·1
+  rep.record(0, Event::kNegative);
+  EXPECT_DOUBLE_EQ(rep.reputation(0), 0.16);  // (1-γ)·0.2
+}
+
+TEST(Reputation, UncertainEventsDoNotMoveDecayedValue) {
+  ReputationModule rep({.gamma = 0.2, .initial = 0.0});
+  rep.resize(1);
+  rep.record(0, Event::kPositive);
+  const double before = rep.reputation(0);
+  rep.record(0, Event::kUncertain);
+  EXPECT_DOUBLE_EQ(rep.reputation(0), before);
+  EXPECT_EQ(rep.uncertains(0), 1u);
+}
+
+TEST(Reputation, AlwaysHonestConvergesToOne) {
+  ReputationModule rep({.gamma = 0.1, .initial = 0.0});
+  rep.resize(1);
+  for (int t = 0; t < 200; ++t) rep.record(0, Event::kPositive);
+  EXPECT_NEAR(rep.reputation(0), 1.0, 1e-6);
+}
+
+TEST(Reputation, AlwaysEvilConvergesToZero) {
+  ReputationModule rep({.gamma = 0.1, .initial = 1.0});
+  rep.resize(1);
+  for (int t = 0; t < 200; ++t) rep.record(0, Event::kNegative);
+  EXPECT_NEAR(rep.reputation(0), 0.0, 1e-6);
+}
+
+// Theorem 1: E[R(t)] -> 1 - p for a worker with constant evil probability p.
+class Theorem1 : public ::testing::TestWithParam<double> {};
+
+TEST_P(Theorem1, ReputationTracksHonestyProbability) {
+  const double p_evil = GetParam();
+  ReputationModule rep({.gamma = 0.05, .initial = 0.0});
+  rep.resize(1);
+  util::Rng rng(static_cast<std::uint64_t>(p_evil * 1000) + 17);
+  // Burn-in then average: the decayed estimate fluctuates around 1 - p.
+  double avg = 0.0;
+  const int total = 3000, burn_in = 500;
+  for (int t = 0; t < total; ++t) {
+    rep.record(0, rng.bernoulli(p_evil) ? Event::kNegative : Event::kPositive);
+    if (t >= burn_in) avg += rep.reputation(0);
+  }
+  avg /= static_cast<double>(total - burn_in);
+  EXPECT_NEAR(avg, 1.0 - p_evil, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(EvilProbabilities, Theorem1,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8, 1.0));
+
+TEST(Reputation, SensitivityGrowsWithGamma) {
+  // Larger γ reacts faster to a behaviour switch.
+  auto react = [](double gamma) {
+    ReputationModule rep({.gamma = gamma, .initial = 0.0});
+    rep.resize(1);
+    for (int t = 0; t < 100; ++t) rep.record(0, Event::kPositive);
+    rep.record(0, Event::kNegative);  // single betrayal
+    return 1.0 - rep.reputation(0);   // drop size
+  };
+  EXPECT_GT(react(0.5), react(0.05));
+}
+
+TEST(Reputation, SlmTripleCountsEvents) {
+  ReputationModule rep({.gamma = 0.1});
+  rep.resize(1);
+  rep.record(0, Event::kPositive);
+  rep.record(0, Event::kPositive);
+  rep.record(0, Event::kNegative);
+  rep.record(0, Event::kUncertain);
+  const SlmTriple t = rep.slm(0);
+  EXPECT_DOUBLE_EQ(t.uncertainty, 0.25);                // Su = 1/4
+  EXPECT_DOUBLE_EQ(t.trust, 0.75 * (2.0 / 3.0));        // Eq. 8
+  EXPECT_DOUBLE_EQ(t.distrust, 0.75 * (1.0 / 3.0));
+  EXPECT_EQ(rep.positives(0), 2u);
+  EXPECT_EQ(rep.negatives(0), 1u);
+  EXPECT_EQ(rep.uncertains(0), 1u);
+}
+
+TEST(Reputation, SlmTripleSumsToOneWhenEventsExist) {
+  ReputationModule rep({.gamma = 0.1});
+  rep.resize(1);
+  util::Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    const double u = rng.uniform();
+    rep.record(0, u < 0.6   ? Event::kPositive
+                  : u < 0.9 ? Event::kNegative
+                            : Event::kUncertain);
+  }
+  const SlmTriple triple = rep.slm(0);
+  EXPECT_NEAR(triple.trust + triple.distrust + triple.uncertainty, 1.0, 1e-12);
+}
+
+TEST(Reputation, SlmReputationUsesAlphaWeights) {
+  ReputationModule rep({.gamma = 0.1,
+                        .alpha_trust = 2.0,
+                        .alpha_distrust = 1.0,
+                        .alpha_uncertain = 0.5});
+  rep.resize(1);
+  rep.record(0, Event::kPositive);
+  rep.record(0, Event::kNegative);
+  rep.record(0, Event::kUncertain);
+  rep.record(0, Event::kUncertain);
+  // Su = 0.5, St = 0.5*0.5 = 0.25, Sn = 0.25.
+  EXPECT_DOUBLE_EQ(rep.slm_reputation(0), 2.0 * 0.25 - 1.0 * 0.25 - 0.5 * 0.5);
+}
+
+TEST(Reputation, WindowedModeUsesSlm) {
+  ReputationModule rep({.gamma = 0.1, .time_decay = false});
+  rep.resize(1);
+  rep.record(0, Event::kPositive);
+  EXPECT_DOUBLE_EQ(rep.reputation(0), rep.slm_reputation(0));
+}
+
+TEST(Reputation, TimeDecayForgetsOldBehaviourButSlmDoesNot) {
+  // A reformed attacker: 200 bad rounds then 200 good rounds. The decayed
+  // reputation recovers to ~1; the windowed SLM stays near 0 (it counts
+  // all history equally) — the motivation for the paper's Eq. 10.
+  ReputationModule rep({.gamma = 0.1, .initial = 0.0});
+  rep.resize(1);
+  for (int t = 0; t < 200; ++t) rep.record(0, Event::kNegative);
+  for (int t = 0; t < 200; ++t) rep.record(0, Event::kPositive);
+  EXPECT_GT(rep.reputation(0), 0.99);
+  EXPECT_NEAR(rep.slm_reputation(0), 0.0, 1e-9);  // St=0.5, Sn=0.5 cancel
+}
+
+TEST(Reputation, RecordAutoResizes) {
+  ReputationModule rep({.gamma = 0.1});
+  rep.record(10, Event::kPositive);
+  EXPECT_GE(rep.size(), 11u);
+  EXPECT_GT(rep.reputation(10), 0.0);
+}
+
+TEST(Reputation, AllReputationsMatchesIndividuals) {
+  ReputationModule rep({.gamma = 0.3});
+  rep.resize(3);
+  rep.record(0, Event::kPositive);
+  rep.record(2, Event::kNegative);
+  const auto all = rep.all_reputations();
+  ASSERT_EQ(all.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(all[i], rep.reputation(static_cast<chain::NodeId>(i)));
+  }
+}
+
+}  // namespace
+}  // namespace fifl::core

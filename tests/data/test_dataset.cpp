@@ -1,0 +1,140 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fifl::data {
+namespace {
+
+Dataset make_toy(std::size_t n, std::size_t classes = 3) {
+  Dataset ds;
+  ds.classes = classes;
+  ds.images = tensor::Tensor({n, 1, 2, 2});
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.labels[i] = static_cast<std::int32_t>(i % classes);
+    for (std::size_t j = 0; j < 4; ++j) {
+      ds.images[i * 4 + j] = static_cast<float>(i * 4 + j);
+    }
+  }
+  return ds;
+}
+
+TEST(Dataset, ValidateAcceptsConsistent) {
+  EXPECT_NO_THROW(make_toy(6).validate());
+}
+
+TEST(Dataset, ValidateRejectsLabelMismatch) {
+  Dataset ds = make_toy(4);
+  ds.labels.pop_back();
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsOutOfRangeLabel) {
+  Dataset ds = make_toy(4);
+  ds.labels[0] = 99;
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateRejectsZeroClasses) {
+  Dataset ds = make_toy(4);
+  ds.classes = 0;
+  EXPECT_THROW(ds.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetCopiesSelectedRows) {
+  Dataset ds = make_toy(5);
+  const std::vector<std::size_t> idx{4, 0};
+  Dataset sub = ds.subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.labels[0], ds.labels[4]);
+  EXPECT_EQ(sub.labels[1], ds.labels[0]);
+  EXPECT_FLOAT_EQ(sub.images[0], ds.images[16]);
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  Dataset ds = make_toy(3);
+  const std::vector<std::size_t> idx{5};
+  EXPECT_THROW((void)ds.subset(idx), std::out_of_range);
+}
+
+TEST(Dataset, SubsetIsIndependentCopy) {
+  Dataset ds = make_toy(3);
+  const std::vector<std::size_t> idx{0};
+  Dataset sub = ds.subset(idx);
+  sub.images[0] = -999.0f;
+  EXPECT_NE(ds.images[0], -999.0f);
+}
+
+TEST(Dataset, TakeClampsToSize) {
+  Dataset ds = make_toy(3);
+  EXPECT_EQ(ds.take(2).size(), 2u);
+  EXPECT_EQ(ds.take(10).size(), 3u);
+}
+
+TEST(BatchLoader, VisitsEveryExampleOncePerEpoch) {
+  Dataset ds = make_toy(10);
+  BatchLoader loader(ds, 3, util::Rng(1));
+  Batch batch;
+  std::multiset<float> seen;
+  std::size_t total = 0;
+  while (loader.next(batch)) {
+    total += batch.size();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      seen.insert(batch.images[i * 4]);  // first pixel identifies the row
+    }
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(seen.size(), 10u);
+  // Each row appears exactly once.
+  for (float v : seen) EXPECT_EQ(seen.count(v), 1u);
+}
+
+TEST(BatchLoader, BatchSizesAreFullThenRemainder) {
+  Dataset ds = make_toy(10);
+  BatchLoader loader(ds, 4, util::Rng(2));
+  Batch batch;
+  std::vector<std::size_t> sizes;
+  while (loader.next(batch)) sizes.push_back(batch.size());
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 4u);
+  EXPECT_EQ(sizes[1], 4u);
+  EXPECT_EQ(sizes[2], 2u);
+  EXPECT_EQ(loader.batches_per_epoch(), 3u);
+}
+
+TEST(BatchLoader, EpochsReshuffle) {
+  Dataset ds = make_toy(32);
+  BatchLoader loader(ds, 32, util::Rng(3));
+  Batch first, second;
+  ASSERT_TRUE(loader.next(first));
+  loader.start_epoch();
+  ASSERT_TRUE(loader.next(second));
+  bool differs = false;
+  for (std::size_t i = 0; i < 32; ++i) {
+    differs |= (first.images[i * 4] != second.images[i * 4]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BatchLoader, ZeroBatchSizeThrows) {
+  Dataset ds = make_toy(4);
+  EXPECT_THROW(BatchLoader(ds, 0, util::Rng(4)), std::invalid_argument);
+}
+
+TEST(BatchLoader, LabelsTravelWithImages) {
+  Dataset ds = make_toy(9, 3);
+  BatchLoader loader(ds, 4, util::Rng(5));
+  Batch batch;
+  while (loader.next(batch)) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      // Row id from first pixel: pixel = row*4.
+      const auto row = static_cast<std::size_t>(batch.images[i * 4]) / 4;
+      EXPECT_EQ(batch.labels[i], static_cast<std::int32_t>(row % 3));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fifl::data

@@ -1,0 +1,147 @@
+#include "data/idx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/synthetic.hpp"
+#include "util/serialize.hpp"
+
+namespace fifl::data {
+namespace {
+
+IdxArray make_images(std::size_t n = 4, std::size_t h = 3, std::size_t w = 2) {
+  IdxArray array;
+  array.dims = {n, h, w};
+  array.values.resize(n * h * w);
+  for (std::size_t i = 0; i < array.values.size(); ++i) {
+    array.values[i] = static_cast<std::uint8_t>(i * 7 % 256);
+  }
+  return array;
+}
+
+IdxArray make_labels(std::size_t n = 4, std::size_t classes = 10) {
+  IdxArray array;
+  array.dims = {n};
+  array.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    array.values[i] = static_cast<std::uint8_t>(i % classes);
+  }
+  return array;
+}
+
+TEST(Idx, WriteParseRoundTrip) {
+  const IdxArray original = make_images();
+  const IdxArray parsed = parse_idx(write_idx(original));
+  EXPECT_EQ(parsed.dims, original.dims);
+  EXPECT_EQ(parsed.values, original.values);
+}
+
+TEST(Idx, MagicHeaderLayout) {
+  // Hand-check the canonical MNIST label-file header (0x00000801).
+  const auto bytes = write_idx(make_labels(4));
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes[0], 0);
+  EXPECT_EQ(bytes[1], 0);
+  EXPECT_EQ(bytes[2], 0x08);
+  EXPECT_EQ(bytes[3], 1);
+  // Big-endian count = 4.
+  EXPECT_EQ(bytes[4], 0);
+  EXPECT_EQ(bytes[7], 4);
+}
+
+TEST(Idx, ParseRejectsBadMagic) {
+  auto bytes = write_idx(make_labels());
+  bytes[0] = 1;
+  EXPECT_THROW((void)parse_idx(bytes), util::SerializeError);
+}
+
+TEST(Idx, ParseRejectsNonUbyte) {
+  auto bytes = write_idx(make_labels());
+  bytes[2] = 0x0D;  // float type
+  EXPECT_THROW((void)parse_idx(bytes), util::SerializeError);
+}
+
+TEST(Idx, ParseRejectsTruncation) {
+  auto bytes = write_idx(make_images());
+  bytes.pop_back();
+  EXPECT_THROW((void)parse_idx(bytes), util::SerializeError);
+}
+
+TEST(Idx, ParseRejectsTrailingGarbage) {
+  auto bytes = write_idx(make_images());
+  bytes.push_back(0);
+  EXPECT_THROW((void)parse_idx(bytes), util::SerializeError);
+}
+
+TEST(Idx, WriteRejectsDimMismatch) {
+  IdxArray bad;
+  bad.dims = {4};
+  bad.values.resize(3);
+  EXPECT_THROW((void)write_idx(bad), util::SerializeError);
+}
+
+TEST(Idx, DatasetConversionShapesAndScaling) {
+  const Dataset ds = idx_to_dataset(make_images(4, 3, 2), make_labels(4));
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.images.dim(1), 1u);  // rank-3 => single channel
+  EXPECT_EQ(ds.images.dim(2), 3u);
+  EXPECT_EQ(ds.images.dim(3), 2u);
+  // Pixel 0 (byte 0) maps to (0 - 0.5)/0.5 = -1.
+  EXPECT_FLOAT_EQ(ds.images[0], -1.0f);
+}
+
+TEST(Idx, DatasetConversionRejectsCountMismatch) {
+  EXPECT_THROW((void)idx_to_dataset(make_images(4), make_labels(3)),
+               util::SerializeError);
+}
+
+TEST(Idx, DatasetConversionRejectsRank2Images) {
+  IdxArray bad;
+  bad.dims = {4, 6};
+  bad.values.resize(24);
+  EXPECT_THROW((void)idx_to_dataset(bad, make_labels(4)),
+               util::SerializeError);
+}
+
+TEST(Idx, DatasetRoundTripThroughIdx) {
+  // Synthetic dataset -> IDX bytes -> dataset: labels exact, pixels within
+  // the 8-bit quantisation step.
+  Dataset original = make_synthetic(mnist_like(20, 5));
+  // Clamp pixels into the representable [-1, 1] range first.
+  for (auto& v : original.images.flat()) v = std::clamp(v, -1.0f, 1.0f);
+  const auto [images, labels] = dataset_to_idx(original);
+  const Dataset restored = idx_to_dataset(images, labels);
+  EXPECT_EQ(restored.labels, original.labels);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < original.images.numel(); ++i) {
+    max_err = std::max(max_err,
+                       std::abs(static_cast<double>(restored.images[i]) -
+                                static_cast<double>(original.images[i])));
+  }
+  EXPECT_LT(max_err, 2.0 / 255.0 + 1e-6);
+}
+
+TEST(Idx, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "fifl_idx_test.idx";
+  const IdxArray original = make_images(2, 4, 4);
+  save_idx(original, path);
+  const IdxArray loaded = load_idx(path);
+  EXPECT_EQ(loaded.values, original.values);
+  std::remove(path.c_str());
+}
+
+TEST(Idx, LoadIdxDatasetPair) {
+  const std::string img_path = ::testing::TempDir() + "fifl_idx_img.idx";
+  const std::string lbl_path = ::testing::TempDir() + "fifl_idx_lbl.idx";
+  save_idx(make_images(6, 4, 4), img_path);
+  save_idx(make_labels(6), lbl_path);
+  const Dataset ds = load_idx_dataset(img_path, lbl_path);
+  EXPECT_EQ(ds.size(), 6u);
+  EXPECT_NO_THROW(ds.validate());
+  std::remove(img_path.c_str());
+  std::remove(lbl_path.c_str());
+}
+
+}  // namespace
+}  // namespace fifl::data

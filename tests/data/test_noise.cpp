@@ -1,0 +1,76 @@
+#include "data/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+
+namespace fifl::data {
+namespace {
+
+TEST(PoisonLabels, ZeroRateLeavesDataUntouched) {
+  Dataset ds = make_synthetic(mnist_like(50));
+  util::Rng rng(1);
+  Dataset poisoned = poison_labels(ds, 0.0, rng);
+  EXPECT_EQ(poisoned.labels, ds.labels);
+  EXPECT_DOUBLE_EQ(label_disagreement(ds, poisoned), 0.0);
+}
+
+TEST(PoisonLabels, FullRateFlipsEverything) {
+  Dataset ds = make_synthetic(mnist_like(100));
+  util::Rng rng(2);
+  Dataset poisoned = poison_labels(ds, 1.0, rng);
+  EXPECT_DOUBLE_EQ(label_disagreement(ds, poisoned), 1.0);
+}
+
+TEST(PoisonLabels, RateIsRespected) {
+  Dataset ds = make_synthetic(mnist_like(1000));
+  util::Rng rng(3);
+  Dataset poisoned = poison_labels(ds, 0.3, rng);
+  EXPECT_NEAR(label_disagreement(ds, poisoned), 0.3, 1e-9);
+}
+
+TEST(PoisonLabels, FlippedLabelsStayInRange) {
+  Dataset ds = make_synthetic(mnist_like(200));
+  util::Rng rng(4);
+  Dataset poisoned = poison_labels(ds, 0.5, rng);
+  EXPECT_NO_THROW(poisoned.validate());
+}
+
+TEST(PoisonLabels, FlipsAlwaysChangeTheClass) {
+  Dataset ds = make_synthetic(mnist_like(500));
+  util::Rng rng(5);
+  Dataset poisoned = poison_labels(ds, 1.0, rng);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_NE(ds.labels[i], poisoned.labels[i]);
+  }
+}
+
+TEST(PoisonLabels, ImagesAreUntouched) {
+  Dataset ds = make_synthetic(mnist_like(50));
+  util::Rng rng(6);
+  Dataset poisoned = poison_labels(ds, 0.8, rng);
+  EXPECT_TRUE(poisoned.images.allclose(ds.images, 0.0f));
+}
+
+TEST(PoisonLabels, OutOfRangeRateThrows) {
+  Dataset ds = make_synthetic(mnist_like(10));
+  util::Rng rng(7);
+  EXPECT_THROW((void)poison_labels(ds, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW((void)poison_labels(ds, 1.1, rng), std::invalid_argument);
+}
+
+TEST(PoisonLabels, CeilRoundingFlipsAtLeastOne) {
+  Dataset ds = make_synthetic(mnist_like(100));
+  util::Rng rng(8);
+  Dataset poisoned = poison_labels(ds, 0.001, rng);  // ceil(0.1) = 1
+  EXPECT_NEAR(label_disagreement(ds, poisoned), 0.01, 1e-9);
+}
+
+TEST(LabelDisagreement, SizeMismatchThrows) {
+  Dataset a = make_synthetic(mnist_like(10));
+  Dataset b = make_synthetic(mnist_like(20));
+  EXPECT_THROW((void)label_disagreement(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fifl::data

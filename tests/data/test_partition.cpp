@@ -1,0 +1,124 @@
+#include "data/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/synthetic.hpp"
+
+namespace fifl::data {
+namespace {
+
+TEST(PartitionIid, ShardSizesRespected) {
+  Dataset ds = make_synthetic(mnist_like(100));
+  util::Rng rng(1);
+  auto shards = partition_iid(ds, {10, 20, 30}, rng);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].size(), 10u);
+  EXPECT_EQ(shards[1].size(), 20u);
+  EXPECT_EQ(shards[2].size(), 30u);
+}
+
+TEST(PartitionIid, OversizedRequestThrows) {
+  Dataset ds = make_synthetic(mnist_like(10));
+  util::Rng rng(2);
+  EXPECT_THROW((void)partition_iid(ds, {6, 6}, rng), std::invalid_argument);
+}
+
+TEST(PartitionIid, ShardsAreDisjoint) {
+  Dataset ds = make_synthetic(mnist_like(60));
+  // Tag each sample's first pixel with its index so we can detect reuse.
+  const std::size_t stride = ds.images.numel() / ds.size();
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    ds.images[i * stride] = static_cast<float>(i) * 1000.0f;
+  }
+  util::Rng rng(3);
+  auto shards = partition_iid(ds, {20, 20, 20}, rng);
+  std::set<float> tags;
+  for (const auto& shard : shards) {
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+      EXPECT_TRUE(tags.insert(shard.images[i * stride]).second)
+          << "sample appeared in two shards";
+    }
+  }
+  EXPECT_EQ(tags.size(), 60u);
+}
+
+TEST(PartitionIidEqual, EqualSizes) {
+  Dataset ds = make_synthetic(mnist_like(103));
+  util::Rng rng(4);
+  auto shards = partition_iid_equal(ds, 10, rng);
+  ASSERT_EQ(shards.size(), 10u);
+  for (const auto& shard : shards) EXPECT_EQ(shard.size(), 10u);
+}
+
+TEST(PartitionIidEqual, MoreWorkersThanSamplesThrows) {
+  Dataset ds = make_synthetic(mnist_like(5));
+  util::Rng rng(5);
+  EXPECT_THROW((void)partition_iid_equal(ds, 10, rng), std::invalid_argument);
+}
+
+TEST(PartitionIidEqual, ZeroWorkersThrows) {
+  Dataset ds = make_synthetic(mnist_like(5));
+  util::Rng rng(6);
+  EXPECT_THROW((void)partition_iid_equal(ds, 0, rng), std::invalid_argument);
+}
+
+TEST(PartitionIid, LabelMixIsRoughlyUniform) {
+  Dataset ds = make_synthetic(mnist_like(2000));
+  util::Rng rng(7);
+  auto shards = partition_iid_equal(ds, 4, rng);
+  for (const auto& shard : shards) {
+    std::vector<int> counts(10, 0);
+    for (auto label : shard.labels) ++counts[static_cast<std::size_t>(label)];
+    for (int c : counts) {
+      EXPECT_GT(c, 25);  // expectation 50 per class
+      EXPECT_LT(c, 85);
+    }
+  }
+}
+
+TEST(PartitionDirichlet, CoversAllSamplesAndNonEmpty) {
+  Dataset ds = make_synthetic(mnist_like(500));
+  util::Rng rng(8);
+  auto shards = partition_dirichlet(ds, 5, 0.5, rng);
+  ASSERT_EQ(shards.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& shard : shards) {
+    EXPECT_FALSE(shard.empty());
+    shard.validate();
+    total += shard.size();
+  }
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(PartitionDirichlet, LowAlphaIsMoreSkewedThanHighAlpha) {
+  Dataset ds = make_synthetic(mnist_like(2000));
+  auto skew = [&](double alpha, std::uint64_t seed) {
+    util::Rng rng(seed);
+    auto shards = partition_dirichlet(ds, 4, alpha, rng);
+    // Mean over shards of (max class share).
+    double total = 0.0;
+    for (const auto& shard : shards) {
+      std::vector<double> counts(10, 0.0);
+      for (auto label : shard.labels) counts[static_cast<std::size_t>(label)] += 1.0;
+      const double n = static_cast<double>(shard.size());
+      double mx = 0.0;
+      for (double c : counts) mx = std::max(mx, c / n);
+      total += mx;
+    }
+    return total / static_cast<double>(shards.size());
+  };
+  EXPECT_GT(skew(0.1, 9), skew(100.0, 10));
+}
+
+TEST(PartitionDirichlet, InvalidArgsThrow) {
+  Dataset ds = make_synthetic(mnist_like(100));
+  util::Rng rng(11);
+  EXPECT_THROW((void)partition_dirichlet(ds, 0, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW((void)partition_dirichlet(ds, 2, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW((void)partition_dirichlet(ds, 2, -1.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fifl::data

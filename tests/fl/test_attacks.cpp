@@ -1,0 +1,194 @@
+#include "fl/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/noise.hpp"
+#include "data/synthetic.hpp"
+
+namespace fifl::fl {
+namespace {
+
+Gradient unit_gradient(std::size_t n = 4) {
+  Gradient g(n);
+  for (std::size_t i = 0; i < n; ++i) g[i] = 1.0f;
+  return g;
+}
+
+TEST(Honest, IsIdentity) {
+  HonestBehaviour b;
+  util::Rng rng(1);
+  Gradient g = b.transform(unit_gradient(), rng);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_FLOAT_EQ(g[i], 1.0f);
+  EXPECT_FALSE(b.attacked_last_round());
+  EXPECT_FALSE(b.skips_training());
+}
+
+TEST(SignFlip, FlipsAndScales) {
+  SignFlipBehaviour b(4.0);
+  util::Rng rng(2);
+  Gradient g = b.transform(unit_gradient(), rng);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_FLOAT_EQ(g[i], -4.0f);
+  EXPECT_TRUE(b.attacked_last_round());
+  EXPECT_DOUBLE_EQ(b.intensity(), 4.0);
+}
+
+TEST(SignFlip, RejectsNonPositiveIntensity) {
+  EXPECT_THROW(SignFlipBehaviour(0.0), std::invalid_argument);
+  EXPECT_THROW(SignFlipBehaviour(-2.0), std::invalid_argument);
+}
+
+TEST(DataPoison, CorruptsLabelsAtRate) {
+  DataPoisonBehaviour b(0.4);
+  util::Rng rng(3);
+  data::Dataset shard = data::make_synthetic(data::mnist_like(100));
+  data::Dataset poisoned = b.prepare_data(shard, rng);
+  EXPECT_NEAR(data::label_disagreement(shard, poisoned), 0.4, 1e-9);
+  EXPECT_TRUE(b.attacked_last_round());
+}
+
+TEST(DataPoison, GradientPassesThroughUnchanged) {
+  DataPoisonBehaviour b(0.4);
+  util::Rng rng(4);
+  Gradient g = b.transform(unit_gradient(), rng);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_FLOAT_EQ(g[i], 1.0f);
+}
+
+TEST(DataPoison, ZeroRateIsNotAnAttack) {
+  DataPoisonBehaviour b(0.0);
+  EXPECT_FALSE(b.attacked_last_round());
+}
+
+TEST(DataPoison, OutOfRangeThrows) {
+  EXPECT_THROW(DataPoisonBehaviour(1.5), std::invalid_argument);
+}
+
+TEST(FreeRider, UploadsZerosWithoutTraining) {
+  FreeRiderBehaviour b;
+  EXPECT_TRUE(b.skips_training());
+  util::Rng rng(5);
+  Gradient g = b.transform(Gradient(8), rng);
+  EXPECT_DOUBLE_EQ(g.squared_norm(), 0.0);
+}
+
+TEST(FreeRider, CamouflageNoiseIsSmall) {
+  FreeRiderBehaviour b(0.01);
+  util::Rng rng(6);
+  Gradient g = b.transform(Gradient(1000), rng);
+  EXPECT_GT(g.squared_norm(), 0.0);
+  EXPECT_NEAR(g.squared_norm() / 1000.0, 1e-4, 5e-5);  // variance ~ sigma^2
+}
+
+TEST(GaussianNoise, ReplacesGradientEntirely) {
+  GaussianNoiseBehaviour b(2.0);
+  util::Rng rng(7);
+  Gradient g = b.transform(unit_gradient(10000), rng);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) mean += static_cast<double>(g[i]);
+  mean /= static_cast<double>(g.size());
+  EXPECT_NEAR(mean, 0.0, 0.1);  // honest values (all 1) are gone
+  EXPECT_TRUE(b.attacked_last_round());
+}
+
+TEST(Probabilistic, AttackFrequencyMatchesPa) {
+  auto inner = std::make_unique<SignFlipBehaviour>(2.0);
+  ProbabilisticBehaviour b(0.3, std::move(inner));
+  util::Rng rng(8);
+  int attacks = 0;
+  const int rounds = 10000;
+  for (int r = 0; r < rounds; ++r) {
+    (void)b.transform(unit_gradient(), rng);
+    attacks += b.attacked_last_round();
+  }
+  EXPECT_NEAR(static_cast<double>(attacks) / rounds, 0.3, 0.02);
+}
+
+TEST(Probabilistic, HonestRoundsPassThrough) {
+  auto inner = std::make_unique<SignFlipBehaviour>(5.0);
+  ProbabilisticBehaviour b(0.0, std::move(inner));
+  util::Rng rng(9);
+  Gradient g = b.transform(unit_gradient(), rng);
+  EXPECT_FLOAT_EQ(g[0], 1.0f);
+  EXPECT_FALSE(b.attacked_last_round());
+}
+
+TEST(Probabilistic, AttackRoundsApplyInner) {
+  auto inner = std::make_unique<SignFlipBehaviour>(5.0);
+  ProbabilisticBehaviour b(1.0, std::move(inner));
+  util::Rng rng(10);
+  Gradient g = b.transform(unit_gradient(), rng);
+  EXPECT_FLOAT_EQ(g[0], -5.0f);
+  EXPECT_TRUE(b.attacked_last_round());
+}
+
+TEST(Probabilistic, NullInnerThrows) {
+  EXPECT_THROW(ProbabilisticBehaviour(0.5, nullptr), std::invalid_argument);
+}
+
+TEST(Probabilistic, OutOfRangeProbabilityThrows) {
+  EXPECT_THROW(
+      ProbabilisticBehaviour(1.5, std::make_unique<SignFlipBehaviour>(1.0)),
+      std::invalid_argument);
+}
+
+TEST(SparsifyTopk, KeepsLargestMagnitudes) {
+  Gradient g(std::vector<float>{0.1f, -5.0f, 0.2f, 3.0f, -0.05f});
+  sparsify_topk(g, 0.4);  // keep 2 of 5
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+  EXPECT_FLOAT_EQ(g[1], -5.0f);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);
+  EXPECT_FLOAT_EQ(g[3], 3.0f);
+  EXPECT_FLOAT_EQ(g[4], 0.0f);
+}
+
+TEST(SparsifyTopk, KeepAllIsIdentity) {
+  Gradient g(std::vector<float>{1, 2, 3});
+  Gradient copy = g;
+  sparsify_topk(g, 1.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(g[i], copy[i]);
+}
+
+TEST(SparsifyTopk, AlwaysKeepsAtLeastOne) {
+  Gradient g(std::vector<float>{1, 2, 3});
+  sparsify_topk(g, 1e-9);
+  int nonzero = 0;
+  for (std::size_t i = 0; i < 3; ++i) nonzero += (g[i] != 0.0f);
+  EXPECT_GE(nonzero, 1);
+}
+
+TEST(SparsifyTopk, InvalidFractionThrows) {
+  Gradient g(std::vector<float>{1});
+  EXPECT_THROW(sparsify_topk(g, 0.0), std::invalid_argument);
+  EXPECT_THROW(sparsify_topk(g, 1.5), std::invalid_argument);
+}
+
+TEST(Sparsifying, PreservesDominantDirection) {
+  // The sparsified gradient stays positively aligned with the original —
+  // the property that keeps detection working under compression.
+  util::Rng rng(20);
+  Gradient g(512);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = static_cast<float>(rng.gaussian());
+  }
+  SparsifyingBehaviour sparsifier(0.1);
+  Gradient original = g;
+  Gradient compressed = sparsifier.transform(std::move(g), rng);
+  double dot = 0.0, n1 = 0.0, n2 = 0.0;
+  for (std::size_t i = 0; i < compressed.size(); ++i) {
+    dot += static_cast<double>(original[i]) * static_cast<double>(compressed[i]);
+    n1 += static_cast<double>(original[i]) * static_cast<double>(original[i]);
+    n2 += static_cast<double>(compressed[i]) * static_cast<double>(compressed[i]);
+  }
+  EXPECT_GT(dot / std::sqrt(n1 * n2), 0.5);
+  EXPECT_FALSE(sparsifier.attacked_last_round());
+}
+
+TEST(Names, AreDescriptive) {
+  EXPECT_EQ(HonestBehaviour().name(), "honest");
+  EXPECT_NE(SignFlipBehaviour(3.0).name().find("3.0"), std::string::npos);
+  EXPECT_NE(DataPoisonBehaviour(0.2).name().find("0.2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fifl::fl

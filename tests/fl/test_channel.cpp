@@ -1,0 +1,69 @@
+#include "fl/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifl::fl {
+namespace {
+
+Upload make_upload(chain::NodeId id = 0) {
+  Upload up;
+  up.worker = id;
+  up.samples = 10;
+  up.gradient = Gradient(std::vector<float>{1, 2, 3});
+  return up;
+}
+
+TEST(Channel, ZeroDropNeverLoses) {
+  Channel ch(0.0, util::Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    Upload up = make_upload();
+    ch.transmit(up);
+    EXPECT_TRUE(up.arrived);
+  }
+  EXPECT_EQ(ch.dropped(), 0u);
+  EXPECT_EQ(ch.transmitted(), 100u);
+}
+
+TEST(Channel, DropRateMatchesProbability) {
+  Channel ch(0.25, util::Rng(2));
+  int dropped = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Upload up = make_upload();
+    ch.transmit(up);
+    dropped += !up.arrived;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / n, 0.25, 0.02);
+  EXPECT_EQ(ch.dropped(), static_cast<std::size_t>(dropped));
+}
+
+TEST(Channel, DroppedUploadGradientIsZeroed) {
+  Channel ch(0.999, util::Rng(3));
+  Upload up = make_upload();
+  // Try until a drop occurs (p ~ certain).
+  for (int i = 0; i < 100 && up.arrived; ++i) {
+    up = make_upload();
+    ch.transmit(up);
+  }
+  ASSERT_FALSE(up.arrived);
+  EXPECT_DOUBLE_EQ(up.gradient.squared_norm(), 0.0);
+}
+
+TEST(Channel, InvalidProbabilityThrows) {
+  EXPECT_THROW(Channel(-0.1, util::Rng(4)), std::invalid_argument);
+  EXPECT_THROW(Channel(1.0, util::Rng(5)), std::invalid_argument);
+}
+
+TEST(Channel, DeterministicForSameSeed) {
+  Channel a(0.5, util::Rng(6));
+  Channel b(0.5, util::Rng(6));
+  for (int i = 0; i < 50; ++i) {
+    Upload ua = make_upload(), ub = make_upload();
+    a.transmit(ua);
+    b.transmit(ub);
+    EXPECT_EQ(ua.arrived, ub.arrived);
+  }
+}
+
+}  // namespace
+}  // namespace fifl::fl

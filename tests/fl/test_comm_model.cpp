@@ -1,0 +1,108 @@
+#include "fl/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifl::fl {
+namespace {
+
+CommConfig base_config() {
+  CommConfig config;
+  config.workers = 10;
+  config.servers = 2;
+  config.gradient_size = 1000;
+  config.bytes_per_scalar = 4;
+  config.link_bytes_per_second = 1e6;
+  return config;
+}
+
+TEST(CommModel, ValidationErrors) {
+  CommConfig bad = base_config();
+  bad.workers = 0;
+  EXPECT_THROW((void)centralized_cost(bad), std::invalid_argument);
+  bad = base_config();
+  bad.servers = 0;
+  EXPECT_THROW((void)polycentric_cost(bad), std::invalid_argument);
+  bad = base_config();
+  bad.servers = 11;
+  EXPECT_THROW((void)polycentric_cost(bad), std::invalid_argument);
+  bad = base_config();
+  bad.link_bytes_per_second = 0.0;
+  EXPECT_THROW((void)centralized_cost(bad), std::invalid_argument);
+}
+
+TEST(CommModel, CentralizedExactValues) {
+  const CommCost cost = centralized_cost(base_config());
+  // 2 * 10 workers * 4000 bytes.
+  EXPECT_EQ(cost.total_bytes, 80000u);
+  EXPECT_EQ(cost.max_node_bytes, 80000u);
+  EXPECT_DOUBLE_EQ(cost.round_seconds, 0.08);
+}
+
+TEST(CommModel, PolycentricBottleneckShrinksWithM) {
+  CommConfig config = base_config();
+  config.servers = 1;
+  const auto m1 = polycentric_cost(config);
+  config.servers = 2;
+  const auto m2 = polycentric_cost(config);
+  config.servers = 5;
+  const auto m5 = polycentric_cost(config);
+  EXPECT_GT(m1.max_node_bytes, m2.max_node_bytes);
+  EXPECT_GT(m2.max_node_bytes, m5.max_node_bytes);
+  // Halving: 2 servers handle half the slice volume each.
+  EXPECT_EQ(m2.max_node_bytes, m1.max_node_bytes / 2);
+}
+
+TEST(CommModel, PolycentricM1MatchesCentralizedBottleneck) {
+  CommConfig config = base_config();
+  config.servers = 1;
+  EXPECT_EQ(polycentric_cost(config).max_node_bytes,
+            centralized_cost(config).max_node_bytes);
+}
+
+TEST(CommModel, DecentralizedIsPolycentricMEqualsN) {
+  CommConfig config = base_config();
+  config.servers = config.workers;
+  const auto mesh = decentralized_cost(config);
+  const auto poly = polycentric_cost(config);
+  EXPECT_EQ(mesh.max_node_bytes, poly.max_node_bytes);
+  EXPECT_EQ(mesh.total_bytes, poly.total_bytes);
+}
+
+TEST(CommModel, TotalBytesRoughlyConstantAcrossM) {
+  // The same 2·N·d scalars move regardless of M (up to slice rounding).
+  CommConfig config = base_config();
+  config.servers = 1;
+  const auto m1 = polycentric_cost(config);
+  config.servers = 5;
+  const auto m5 = polycentric_cost(config);
+  EXPECT_NEAR(static_cast<double>(m5.total_bytes),
+              static_cast<double>(m1.total_bytes),
+              0.01 * static_cast<double>(m1.total_bytes));
+}
+
+TEST(CommModel, WorkerLoadFloorsTheBottleneck) {
+  // With M = N and huge N, a worker still has to move 2·d itself.
+  CommConfig config = base_config();
+  config.workers = 1000;
+  config.servers = 1000;
+  const auto cost = polycentric_cost(config);
+  EXPECT_GE(cost.max_node_bytes,
+            2 * config.gradient_size * config.bytes_per_scalar / 1000 * 1000);
+}
+
+TEST(CommModel, RoundTimeScalesInverselyWithBandwidth) {
+  CommConfig slow = base_config();
+  CommConfig fast = base_config();
+  fast.link_bytes_per_second = 2e6;
+  EXPECT_NEAR(polycentric_cost(slow).round_seconds,
+              2.0 * polycentric_cost(fast).round_seconds, 1e-12);
+}
+
+TEST(CommModel, ArchitectureNames) {
+  EXPECT_EQ(architecture_name(1, 10), "centralized");
+  EXPECT_EQ(architecture_name(10, 10), "decentralized");
+  EXPECT_EQ(architecture_name(3, 10), "polycentric(M=3)");
+}
+
+}  // namespace
+}  // namespace fifl::fl

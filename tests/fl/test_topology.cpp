@@ -1,0 +1,101 @@
+#include "fl/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifl::fl {
+namespace {
+
+Upload upload_with(chain::NodeId id, std::vector<float> values,
+                   bool arrived = true) {
+  Upload up;
+  up.worker = id;
+  up.samples = 1;
+  up.gradient = Gradient(std::move(values));
+  up.arrived = arrived;
+  return up;
+}
+
+TEST(ServerCluster, MembershipQueries) {
+  ServerCluster cluster({2, 5}, SlicePlan(6, 2));
+  EXPECT_EQ(cluster.size(), 2u);
+  EXPECT_TRUE(cluster.is_server(2));
+  EXPECT_TRUE(cluster.is_server(5));
+  EXPECT_FALSE(cluster.is_server(0));
+  EXPECT_EQ(cluster.server_index(5), std::optional<std::size_t>(1));
+  EXPECT_EQ(cluster.server_index(0), std::nullopt);
+}
+
+TEST(ServerCluster, ConstructionErrors) {
+  EXPECT_THROW(ServerCluster({}, SlicePlan(6, 2)), std::invalid_argument);
+  EXPECT_THROW(ServerCluster({1}, SlicePlan(6, 2)), std::invalid_argument);
+}
+
+TEST(ServerCluster, BenchmarkSlicesComeFromOwners) {
+  // Server 0 (worker 2) owns slice [0,3); server 1 (worker 5) owns [3,6).
+  ServerCluster cluster({2, 5}, SlicePlan(6, 2));
+  std::vector<Upload> uploads;
+  uploads.push_back(upload_with(2, {1, 1, 1, 9, 9, 9}));
+  uploads.push_back(upload_with(5, {7, 7, 7, 2, 2, 2}));
+  const auto slices = cluster.benchmark_slices(uploads);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0], (std::vector<float>{1, 1, 1}));
+  EXPECT_EQ(slices[1], (std::vector<float>{2, 2, 2}));
+}
+
+TEST(ServerCluster, BenchmarkGradientRecombines) {
+  ServerCluster cluster({0, 1}, SlicePlan(4, 2));
+  std::vector<Upload> uploads;
+  uploads.push_back(upload_with(0, {1, 2, 8, 8}));
+  uploads.push_back(upload_with(1, {9, 9, 3, 4}));
+  Gradient bench = cluster.benchmark_gradient(uploads);
+  EXPECT_FLOAT_EQ(bench[0], 1.0f);
+  EXPECT_FLOAT_EQ(bench[1], 2.0f);
+  EXPECT_FLOAT_EQ(bench[2], 3.0f);
+  EXPECT_FLOAT_EQ(bench[3], 4.0f);
+}
+
+TEST(ServerCluster, MissingMemberUploadThrows) {
+  ServerCluster cluster({0, 3}, SlicePlan(4, 2));
+  std::vector<Upload> uploads;
+  uploads.push_back(upload_with(0, {1, 2, 3, 4}));
+  EXPECT_THROW((void)cluster.benchmark_slices(uploads), std::runtime_error);
+}
+
+TEST(ServerCluster, DroppedMemberUploadThrows) {
+  ServerCluster cluster({0, 1}, SlicePlan(4, 2));
+  std::vector<Upload> uploads;
+  uploads.push_back(upload_with(0, {1, 2, 3, 4}));
+  uploads.push_back(upload_with(1, {1, 2, 3, 4}, /*arrived=*/false));
+  EXPECT_THROW((void)cluster.benchmark_slices(uploads), std::runtime_error);
+}
+
+TEST(ServerCluster, ReselectKeepsSizeInvariant) {
+  ServerCluster cluster({0, 1}, SlicePlan(4, 2));
+  cluster.reselect({2, 3});
+  EXPECT_TRUE(cluster.is_server(2));
+  EXPECT_FALSE(cluster.is_server(0));
+  EXPECT_THROW(cluster.reselect({1}), std::invalid_argument);
+}
+
+TEST(ServerCluster, CentralizedAndDecentralizedExtremes) {
+  // M = 1 (centralized): one server owns the whole gradient.
+  ServerCluster central({4}, SlicePlan(6, 1));
+  std::vector<Upload> uploads;
+  uploads.push_back(upload_with(4, {1, 2, 3, 4, 5, 6}));
+  Gradient bench = central.benchmark_gradient(uploads);
+  EXPECT_FLOAT_EQ(bench[5], 6.0f);
+
+  // M = N (decentralized): every worker is a server of one slice.
+  ServerCluster decentral({0, 1, 2}, SlicePlan(6, 3));
+  std::vector<Upload> all;
+  all.push_back(upload_with(0, {1, 1, 0, 0, 0, 0}));
+  all.push_back(upload_with(1, {0, 0, 2, 2, 0, 0}));
+  all.push_back(upload_with(2, {0, 0, 0, 0, 3, 3}));
+  Gradient b2 = decentral.benchmark_gradient(all);
+  EXPECT_FLOAT_EQ(b2[0], 1.0f);
+  EXPECT_FLOAT_EQ(b2[3], 2.0f);
+  EXPECT_FLOAT_EQ(b2[5], 3.0f);
+}
+
+}  // namespace
+}  // namespace fifl::fl

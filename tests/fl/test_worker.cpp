@@ -1,0 +1,174 @@
+#include "fl/worker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+
+namespace fifl::fl {
+namespace {
+
+ModelFactory tiny_factory() {
+  return [](util::Rng& rng) { return nn::make_mlp(64, 8, 10, rng); };
+}
+
+data::Dataset tiny_shard(std::size_t n = 60, std::uint64_t seed = 42) {
+  auto spec = data::mnist_like(n, seed);
+  spec.image_size = 8;
+  return data::make_synthetic(spec);
+}
+
+// The MLP consumes flattened images; reshape the shard accordingly.
+data::Dataset flat_shard(std::size_t n = 60, std::uint64_t seed = 42) {
+  data::Dataset ds = tiny_shard(n, seed);
+  ds.images.reshape({n, 64, 1, 1});
+  return ds;
+}
+
+WorkerConfig config(chain::NodeId id = 0, std::size_t k = 1) {
+  return {.id = id, .local_iterations = k, .batch_size = 16, .learning_rate = 0.1};
+}
+
+// A model factory whose model flattens (N,C,H,W) -> (N, C*H*W) first.
+ModelFactory mlp_factory() {
+  return [](util::Rng& rng) {
+    auto model = std::make_unique<nn::Sequential>();
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(64, 8, rng);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::Linear>(8, 10, rng);
+    return model;
+  };
+}
+
+TEST(Worker, ReportsIdAndSampleCount) {
+  Worker w(config(7), tiny_shard(30), std::make_unique<HonestBehaviour>(),
+           mlp_factory(), util::Rng(1));
+  EXPECT_EQ(w.id(), 7u);
+  EXPECT_EQ(w.samples(), 30u);
+  EXPECT_EQ(w.behaviour().name(), "honest");
+}
+
+TEST(Worker, GradientDescendsTheLoss) {
+  Worker w(config(), tiny_shard(), std::make_unique<HonestBehaviour>(),
+           mlp_factory(), util::Rng(2));
+  // Build a reference model with the same global params.
+  util::Rng mrng(3);
+  auto global = mlp_factory()(mrng);
+  const std::vector<float> params = global->flatten_parameters();
+  Gradient g = w.compute_local_gradient(params);
+  EXPECT_EQ(g.size(), params.size());
+  EXPECT_GT(g.norm(), 0.0);
+  EXPECT_TRUE(g.finite());
+}
+
+TEST(Worker, GradientEqualsParameterDeltaOverLr) {
+  // With K=1, G = (θ - θ')/η; applying θ - η·G must land exactly on θ'.
+  Worker w(config(0, 1), tiny_shard(), std::make_unique<HonestBehaviour>(),
+           mlp_factory(), util::Rng(4));
+  util::Rng mrng(5);
+  auto global = mlp_factory()(mrng);
+  const std::vector<float> params = global->flatten_parameters();
+  Gradient g = w.compute_local_gradient(params);
+  // Norm should be modest for a fresh model (sanity of the 1/η rescale).
+  EXPECT_LT(g.norm(), 1e3);
+}
+
+TEST(Worker, MultipleLocalIterationsAccumulate) {
+  util::Rng mrng(6);
+  auto global = mlp_factory()(mrng);
+  const std::vector<float> params = global->flatten_parameters();
+
+  Worker w1(config(0, 1), tiny_shard(60, 9), std::make_unique<HonestBehaviour>(),
+            mlp_factory(), util::Rng(7));
+  Worker w4(config(0, 4), tiny_shard(60, 9), std::make_unique<HonestBehaviour>(),
+            mlp_factory(), util::Rng(7));
+  const double n1 = w1.compute_local_gradient(params).norm();
+  const double n4 = w4.compute_local_gradient(params).norm();
+  EXPECT_GT(n4, n1);  // K steps sum K per-step gradients
+}
+
+TEST(Worker, UploadCarriesMetadata) {
+  Worker w(config(3), tiny_shard(25), std::make_unique<HonestBehaviour>(),
+           mlp_factory(), util::Rng(8));
+  util::Rng mrng(9);
+  auto global = mlp_factory()(mrng);
+  Upload up = w.make_upload(global->flatten_parameters());
+  EXPECT_EQ(up.worker, 3u);
+  EXPECT_EQ(up.samples, 25u);
+  EXPECT_TRUE(up.arrived);
+  EXPECT_FALSE(up.ground_truth_attack);
+}
+
+TEST(Worker, SignFlipUploadIsNegatedHonest) {
+  util::Rng mrng(10);
+  auto global = mlp_factory()(mrng);
+  const std::vector<float> params = global->flatten_parameters();
+
+  Worker honest(config(0), tiny_shard(60, 5), std::make_unique<HonestBehaviour>(),
+                mlp_factory(), util::Rng(11));
+  Worker flipper(config(0), tiny_shard(60, 5),
+                 std::make_unique<SignFlipBehaviour>(3.0), mlp_factory(),
+                 util::Rng(11));
+  const Gradient gh = honest.make_upload(params).gradient;
+  Upload uf = flipper.make_upload(params);
+  EXPECT_TRUE(uf.ground_truth_attack);
+  for (std::size_t i = 0; i < gh.size(); i += 97) {
+    EXPECT_NEAR(uf.gradient[i], -3.0f * gh[i], 1e-4f);
+  }
+}
+
+TEST(Worker, FreeRiderSkipsTraining) {
+  Worker w(config(1), tiny_shard(20), std::make_unique<FreeRiderBehaviour>(),
+           mlp_factory(), util::Rng(12));
+  util::Rng mrng(13);
+  auto global = mlp_factory()(mrng);
+  Upload up = w.make_upload(global->flatten_parameters());
+  EXPECT_DOUBLE_EQ(up.gradient.squared_norm(), 0.0);
+  EXPECT_TRUE(up.ground_truth_attack);
+}
+
+TEST(Worker, NullBehaviourThrows) {
+  EXPECT_THROW(Worker(config(), tiny_shard(), nullptr, mlp_factory(),
+                      util::Rng(14)),
+               std::invalid_argument);
+}
+
+TEST(Worker, ZeroLocalIterationsThrows) {
+  EXPECT_THROW(Worker(config(0, 0), tiny_shard(),
+                      std::make_unique<HonestBehaviour>(), mlp_factory(),
+                      util::Rng(15)),
+               std::invalid_argument);
+}
+
+TEST(Worker, HonestWorkersGradientsCluster) {
+  // Two honest workers drawing from the SAME underlying task produce
+  // gradients far closer to each other than to a sign-flipped gradient —
+  // the geometric fact detection rests on. (Workers on a shared task must
+  // share the dataset seed: the prototypes define the task.)
+  util::Rng mrng(16);
+  auto global = mlp_factory()(mrng);
+  const std::vector<float> params = global->flatten_parameters();
+
+  WorkerConfig big_batch = config(0);
+  big_batch.batch_size = 128;
+  Worker h1(big_batch, tiny_shard(160, 20), std::make_unique<HonestBehaviour>(),
+            mlp_factory(), util::Rng(17));
+  Worker h2(big_batch, tiny_shard(160, 20), std::make_unique<HonestBehaviour>(),
+            mlp_factory(), util::Rng(18));
+  Worker att(big_batch, tiny_shard(160, 20),
+             std::make_unique<SignFlipBehaviour>(4.0), mlp_factory(),
+             util::Rng(19));
+  const Gradient g1 = h1.make_upload(params).gradient;
+  const Gradient g2 = h2.make_upload(params).gradient;
+  const Gradient ga = att.make_upload(params).gradient;
+  const double cos_hh = tensor::cosine_similarity(g1.flat(), g2.flat());
+  const double cos_ha = tensor::cosine_similarity(g1.flat(), ga.flat());
+  EXPECT_GT(cos_hh, 0.3);
+  EXPECT_LT(cos_ha, -0.3);
+  EXPECT_GT(cos_hh - cos_ha, 0.6);
+}
+
+}  // namespace
+}  // namespace fifl::fl

@@ -1,0 +1,183 @@
+#include "market/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "market/utility.hpp"
+
+namespace fifl::market {
+namespace {
+
+const std::vector<double> kSamples{500.0, 1500.0, 4000.0, 9000.0};
+
+TEST(Shares, NormaliseToOne) {
+  for (const auto& mech : standard_mechanisms()) {
+    const auto shares = mech->shares(kSamples);
+    const double total = std::accumulate(shares.begin(), shares.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << mech->name();
+    for (double s : shares) EXPECT_GE(s, 0.0) << mech->name();
+  }
+}
+
+TEST(Individual, WeightsAreOwnUtility) {
+  IndividualIncentive mech;
+  const auto w = mech.weights(kSamples, {});
+  for (std::size_t i = 0; i < kSamples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w[i], utility(kSamples[i]));
+  }
+}
+
+TEST(Equal, EveryoneGetsSameShare) {
+  EqualIncentive mech;
+  const auto shares = mech.shares(kSamples);
+  for (double s : shares) EXPECT_NEAR(s, 0.25, 1e-12);
+}
+
+TEST(Union, WeightsAreMarginals) {
+  UnionIncentive mech;
+  const auto w = mech.weights(kSamples, {});
+  for (std::size_t i = 0; i < kSamples.size(); ++i) {
+    EXPECT_NEAR(w[i], marginal_utility(kSamples, i), 1e-12);
+  }
+}
+
+TEST(Shapley, EfficiencyAxiom) {
+  // Shapley values sum to the grand-coalition utility.
+  ShapleyIncentive mech;
+  const auto w = mech.exact_weights(kSamples);
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  EXPECT_NEAR(total, federation_utility(kSamples), 1e-9);
+}
+
+TEST(Shapley, SymmetryAxiom) {
+  ShapleyIncentive mech;
+  const std::vector<double> samples{2000.0, 2000.0, 500.0};
+  const auto w = mech.exact_weights(samples);
+  EXPECT_NEAR(w[0], w[1], 1e-9);
+}
+
+TEST(Shapley, NullPlayerAxiom) {
+  ShapleyIncentive mech;
+  const std::vector<double> samples{1000.0, 0.0};
+  const auto w = mech.exact_weights(samples);
+  EXPECT_NEAR(w[1], 0.0, 1e-12);
+}
+
+TEST(Shapley, MonteCarloApproximatesExact) {
+  ShapleyIncentive mech(/*exact_limit=*/12, /*mc_permutations=*/20000, 7);
+  const auto exact = mech.exact_weights(kSamples);
+  const auto mc = mech.monte_carlo_weights(kSamples);
+  for (std::size_t i = 0; i < kSamples.size(); ++i) {
+    // MC standard error at 20k permutations is ~1-2% of these values.
+    EXPECT_NEAR(mc[i], exact[i], 0.05) << "worker " << i;
+  }
+}
+
+TEST(Shapley, MonteCarloKicksInAboveLimit) {
+  ShapleyIncentive mech(/*exact_limit=*/3, /*mc_permutations=*/500, 7);
+  // 4 workers > limit: must not try 2^4 exact (it would, but we check the
+  // MC path produces a valid efficiency-respecting allocation).
+  const auto w = mech.weights(kSamples, {});
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  EXPECT_NEAR(total, federation_utility(kSamples), 0.05);
+}
+
+TEST(Shapley, ValueBetweenIndividualAndUnionForLargeWorker) {
+  // For the largest worker: marginal-to-the-grand-coalition (Union) is the
+  // smallest credit, solo utility (Individual) the largest; Shapley in between.
+  ShapleyIncentive shapley;
+  const std::size_t big = 3;
+  const double union_w = UnionIncentive().weights(kSamples, {})[big];
+  const double indiv_w = IndividualIncentive().weights(kSamples, {})[big];
+  const double shap_w = shapley.exact_weights(kSamples)[big];
+  EXPECT_LT(union_w, shap_w);
+  EXPECT_LT(shap_w, indiv_w);
+}
+
+TEST(Fifl, ReputationScalesWeights) {
+  FiflIncentive mech(500.0);
+  const std::vector<double> full_rep(4, 1.0);
+  std::vector<double> half_rep(4, 1.0);
+  half_rep[3] = 0.5;
+  const auto w1 = mech.weights(kSamples, full_rep);
+  const auto w2 = mech.weights(kSamples, half_rep);
+  EXPECT_NEAR(w2[3], 0.5 * w1[3], 1e-12);
+  EXPECT_DOUBLE_EQ(w2[0], w1[0]);
+}
+
+TEST(Fifl, BarrierPunishesTinyWorkers) {
+  FiflIncentive mech(500.0);
+  const std::vector<double> samples{50.0, 5000.0};  // 50 < barrier 500
+  const auto w = mech.weights(samples, {});
+  EXPECT_LT(w[0], 0.0);  // below the free-rider barrier: negative
+  EXPECT_GT(w[1], 0.0);
+  // Shares clamp the punished worker to zero.
+  const auto shares = mech.shares(samples);
+  EXPECT_DOUBLE_EQ(shares[0], 0.0);
+  EXPECT_DOUBLE_EQ(shares[1], 1.0);
+}
+
+TEST(Fifl, SteeperThanUnionAtTheTop) {
+  // The paper's Fig. 4 ordering: FIFL pays the highest-quality worker a
+  // larger share than Union, and the lowest-quality worker a smaller one.
+  FiflIncentive fifl(500.0);
+  UnionIncentive uni;
+  const auto f = fifl.shares(kSamples);
+  const auto u = uni.shares(kSamples);
+  EXPECT_GT(f.back(), u.back());
+  EXPECT_LT(f.front(), u.front());
+}
+
+TEST(Fifl, DetectedAttackerGetsNothing) {
+  FiflIncentive mech(500.0);
+  std::vector<double> reps(4, 1.0);
+  reps[2] = 0.0;  // detected attacker
+  const auto shares = mech.shares(kSamples, reps);
+  EXPECT_DOUBLE_EQ(shares[2], 0.0);
+}
+
+TEST(Mechanisms, EmptyFederationYieldsEmptyShares) {
+  for (const auto& mech : standard_mechanisms()) {
+    EXPECT_TRUE(mech->shares({}).empty()) << mech->name();
+  }
+}
+
+TEST(Mechanisms, ReputationSizeMismatchThrows) {
+  const std::vector<double> reps{1.0};
+  for (const auto& mech : standard_mechanisms()) {
+    EXPECT_THROW((void)mech->weights(kSamples, reps), std::invalid_argument)
+        << mech->name();
+  }
+}
+
+TEST(Mechanisms, NamesMatchPaper) {
+  const auto mechanisms = standard_mechanisms();
+  ASSERT_EQ(mechanisms.size(), 5u);
+  EXPECT_EQ(mechanisms[0]->name(), "Individual");
+  EXPECT_EQ(mechanisms[1]->name(), "Equal");
+  EXPECT_EQ(mechanisms[2]->name(), "Union");
+  EXPECT_EQ(mechanisms[3]->name(), "Shapley");
+  EXPECT_EQ(mechanisms[4]->name(), "FIFL");
+}
+
+// Monotonicity sweep: in every mechanism except Equal, more samples never
+// means a smaller share (with equal reputations).
+class ShareMonotonicity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShareMonotonicity, SharesOrderedBySamples) {
+  const auto mechanisms = standard_mechanisms();
+  const auto& mech = mechanisms[GetParam()];
+  if (mech->name() == "Equal") GTEST_SKIP() << "Equal is flat by design";
+  const std::vector<double> sorted_samples{100.0, 600.0, 2500.0, 7000.0, 9500.0};
+  const auto shares = mech->shares(sorted_samples);
+  for (std::size_t i = 0; i + 1 < shares.size(); ++i) {
+    EXPECT_LE(shares[i], shares[i + 1] + 1e-12) << mech->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, ShareMonotonicity,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace fifl::market

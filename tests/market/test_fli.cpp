@@ -1,0 +1,116 @@
+#include "market/fli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace fifl::market {
+namespace {
+
+TEST(Fli, ZeroWorkersThrows) {
+  EXPECT_THROW(FliScheduler(0), std::invalid_argument);
+}
+
+TEST(Fli, InputValidation) {
+  FliScheduler fli(2);
+  const std::vector<double> wrong_size{1.0};
+  EXPECT_THROW((void)fli.step(1.0, wrong_size), std::invalid_argument);
+  const std::vector<double> contribs{1.0, 1.0};
+  EXPECT_THROW((void)fli.step(-1.0, contribs), std::invalid_argument);
+}
+
+TEST(Fli, PaymentsNeverExceedBudget) {
+  FliScheduler fli(3);
+  util::Rng rng(1);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<double> contribs(3);
+    for (auto& c : contribs) c = rng.uniform(0.0, 2.0);
+    const auto payments = fli.step(0.5, contribs);
+    const double total =
+        std::accumulate(payments.begin(), payments.end(), 0.0);
+    EXPECT_LE(total, 0.5 + 1e-9) << "round " << round;
+  }
+}
+
+TEST(Fli, PaymentsNeverExceedOwed) {
+  FliScheduler fli(2);
+  const std::vector<double> contribs{0.1, 0.1};
+  const auto payments = fli.step(100.0, contribs);  // budget >> owed
+  EXPECT_NEAR(payments[0], 0.1, 1e-12);
+  EXPECT_NEAR(payments[1], 0.1, 1e-12);
+  EXPECT_NEAR(fli.owed()[0], 0.0, 1e-12);
+}
+
+TEST(Fli, ProportionalWhenBudgetScarce) {
+  FliScheduler fli(2);
+  const std::vector<double> contribs{3.0, 1.0};
+  const auto payments = fli.step(1.0, contribs);
+  EXPECT_NEAR(payments[0], 0.75, 1e-9);
+  EXPECT_NEAR(payments[1], 0.25, 1e-9);
+}
+
+TEST(Fli, ScarceBudgetIsFullySpentProportionally) {
+  // With budget below total owed, the whole budget is disbursed in owed
+  // proportions (no cap binds: B·o_i/O < o_i whenever B < O).
+  FliScheduler fli(2);
+  const std::vector<double> contribs{0.1, 10.0};
+  const auto payments = fli.step(2.0, contribs);
+  EXPECT_NEAR(payments[0] + payments[1], 2.0, 1e-9);
+  EXPECT_NEAR(payments[0], 2.0 * 0.1 / 10.1, 1e-9);
+  EXPECT_NEAR(payments[1], 2.0 * 10.0 / 10.1, 1e-9);
+}
+
+TEST(Fli, NegativeContributionsIgnored) {
+  FliScheduler fli(2);
+  const std::vector<double> contribs{-5.0, 1.0};
+  const auto payments = fli.step(1.0, contribs);
+  EXPECT_DOUBLE_EQ(payments[0], 0.0);
+  EXPECT_NEAR(payments[1], 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fli.owed()[0], 0.0);
+}
+
+TEST(Fli, RegretDrainsOverTime) {
+  // One big early contribution is paid back over subsequent rounds even
+  // if the worker stops contributing.
+  FliScheduler fli(2);
+  (void)fli.step(0.0, std::vector<double>{10.0, 0.0});
+  EXPECT_DOUBLE_EQ(fli.owed()[0], 10.0);
+  for (int round = 0; round < 20; ++round) {
+    (void)fli.step(1.0, std::vector<double>{0.0, 0.0});
+  }
+  EXPECT_NEAR(fli.owed()[0], 0.0, 1e-9);
+  EXPECT_NEAR(fli.paid()[0], 10.0, 1e-9);
+}
+
+TEST(Fli, InequalityShrinksWithSufficientBudget) {
+  FliScheduler fli(3);
+  (void)fli.step(0.0, std::vector<double>{9.0, 3.0, 0.0});
+  const double before = fli.regret_inequality();
+  for (int round = 0; round < 10; ++round) {
+    (void)fli.step(2.0, std::vector<double>{0.0, 0.0, 0.0});
+  }
+  EXPECT_LT(fli.regret_inequality(), before);
+}
+
+TEST(Fli, TotalsAreConserved) {
+  // Σ contributions⁺ == Σ paid + Σ owed at every point.
+  FliScheduler fli(4);
+  util::Rng rng(2);
+  double contributed = 0.0;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<double> contribs(4);
+    for (auto& c : contribs) {
+      c = rng.uniform(-0.5, 1.5);
+      if (c > 0.0) contributed += c;
+    }
+    (void)fli.step(rng.uniform(0.0, 2.0), contribs);
+    const double owed =
+        std::accumulate(fli.owed().begin(), fli.owed().end(), 0.0);
+    EXPECT_NEAR(owed + fli.total_paid(), contributed, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fifl::market

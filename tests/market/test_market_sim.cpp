@@ -1,0 +1,143 @@
+#include "market/market_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace fifl::market {
+namespace {
+
+MarketConfig small_config() {
+  MarketConfig cfg;
+  cfg.workers = 20;
+  cfg.trials = 40;
+  cfg.seed = 2021;
+  return cfg;
+}
+
+TEST(MarketSim, ConfigValidation) {
+  MarketConfig bad = small_config();
+  bad.workers = 0;
+  EXPECT_THROW((void)MarketSimulator(bad), std::invalid_argument);
+  bad = small_config();
+  bad.trials = 0;
+  EXPECT_THROW((void)MarketSimulator(bad), std::invalid_argument);
+  bad = small_config();
+  bad.max_samples = bad.min_samples;
+  EXPECT_THROW((void)MarketSimulator(bad), std::invalid_argument);
+}
+
+TEST(MarketSim, ReliableResultShapes) {
+  MarketSimulator sim(small_config());
+  const MarketResult r = sim.run_reliable();
+  ASSERT_EQ(r.mechanisms.size(), 5u);
+  EXPECT_EQ(r.mechanisms.back(), "FIFL");
+  ASSERT_EQ(r.reward_by_group.size(), 5u);
+  ASSERT_EQ(r.reward_by_group[0].size(), 10u);
+  ASSERT_EQ(r.data_share.size(), 5u);
+  ASSERT_EQ(r.revenue.size(), 5u);
+}
+
+TEST(MarketSim, DataSharesSumToAtMostOne) {
+  MarketSimulator sim(small_config());
+  const MarketResult r = sim.run_reliable();
+  const double total =
+      std::accumulate(r.data_share.begin(), r.data_share.end(), 0.0);
+  EXPECT_LE(total, 1.0 + 1e-9);
+  EXPECT_GT(total, 0.9);  // nearly everyone joins somewhere
+}
+
+TEST(MarketSim, EqualAttractsLowQualityFiflAttractsHighQuality) {
+  // Fig. 4b's qualitative shape: Equal dominates the lowest group;
+  // FIFL dominates the highest group.
+  MarketSimulator sim(small_config());
+  const MarketResult r = sim.run_reliable();
+  const std::size_t equal = 1, fifl = 4;
+  // Lowest quality group: Equal most attractive.
+  for (std::size_t m = 0; m < 5; ++m) {
+    if (m == equal) continue;
+    EXPECT_GT(r.attractiveness_by_group[equal][0],
+              r.attractiveness_by_group[m][0])
+        << r.mechanisms[m];
+  }
+  // Highest quality group: FIFL most attractive.
+  for (std::size_t m = 0; m < 5; ++m) {
+    if (m == fifl) continue;
+    EXPECT_GT(r.attractiveness_by_group[fifl][9],
+              r.attractiveness_by_group[m][9])
+        << r.mechanisms[m];
+  }
+}
+
+TEST(MarketSim, FiflRewardCurveIsSteepest) {
+  // Fig. 4a: FIFL spends least on the low groups and most on the high.
+  MarketSimulator sim(small_config());
+  const MarketResult r = sim.run_reliable();
+  const std::size_t fifl = 4;
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_LT(r.reward_by_group[fifl][0], r.reward_by_group[m][0] + 1e-12)
+        << r.mechanisms[m];
+    EXPECT_GT(r.reward_by_group[fifl][9], r.reward_by_group[m][9] - 1e-12)
+        << r.mechanisms[m];
+  }
+}
+
+TEST(MarketSim, ReliableRevenueIsCloseAcrossMechanismsAndFiflBest) {
+  // Fig. 5b: FIFL best; Equal within a few percent (paper: -3.4%).
+  MarketSimulator sim(small_config());
+  const MarketResult r = sim.run_reliable();
+  const std::size_t fifl = 4;
+  for (std::size_t m = 0; m < 5; ++m) {
+    // Paper Fig. 5b: the spread is small (-3.4% .. 0). With 40 trials the
+    // estimator carries ~1-2% sampling noise, so allow a slim band above 1.
+    EXPECT_LE(r.relative_revenue[m], 1.02) << r.mechanisms[m];
+    EXPECT_GE(r.relative_revenue[m], 0.90) << r.mechanisms[m];
+  }
+  EXPECT_DOUBLE_EQ(r.relative_revenue[fifl], 1.0);
+}
+
+TEST(MarketSim, AttackCollapsesBaselinesNotFifl) {
+  // Fig. 6 at the representative real-world point ℧ = 0.385.
+  MarketSimulator sim(small_config());
+  const MarketResult r = sim.run_under_attack(0.385, 0.385);
+  const std::size_t fifl = 4;
+  for (std::size_t m = 0; m < 5; ++m) {
+    if (m == fifl) continue;
+    EXPECT_LT(r.relative_revenue[m], 0.85) << r.mechanisms[m];
+  }
+}
+
+TEST(MarketSim, FiflAdvantageGrowsWithAttackDegree) {
+  MarketSimulator sim(small_config());
+  const MarketResult weak = sim.run_under_attack(0.10, 0.385);
+  const MarketResult strong = sim.run_under_attack(0.385, 0.385);
+  const std::size_t uni = 2;
+  EXPECT_LT(strong.relative_revenue[uni], weak.relative_revenue[uni]);
+}
+
+TEST(MarketSim, AttackParametersValidated) {
+  MarketSimulator sim(small_config());
+  EXPECT_THROW((void)sim.run_under_attack(-0.1, 0.3), std::invalid_argument);
+  EXPECT_THROW((void)sim.run_under_attack(1.5, 0.3), std::invalid_argument);
+  EXPECT_THROW((void)sim.run_under_attack(0.3, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)sim.run_under_attack(0.3, 1.0), std::invalid_argument);
+}
+
+TEST(MarketSim, DeterministicForSameSeed) {
+  MarketSimulator a(small_config()), b(small_config());
+  const MarketResult ra = a.run_reliable();
+  const MarketResult rb = b.run_reliable();
+  EXPECT_EQ(ra.revenue, rb.revenue);
+  EXPECT_EQ(ra.data_share, rb.data_share);
+}
+
+TEST(MarketSim, DifferentSeedsVary) {
+  MarketConfig c1 = small_config(), c2 = small_config();
+  c2.seed = 999;
+  const MarketResult r1 = MarketSimulator(c1).run_reliable();
+  const MarketResult r2 = MarketSimulator(c2).run_reliable();
+  EXPECT_NE(r1.revenue, r2.revenue);
+}
+
+}  // namespace
+}  // namespace fifl::market

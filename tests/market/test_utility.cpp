@@ -1,0 +1,60 @@
+#include "market/utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fifl::market {
+namespace {
+
+TEST(Utility, LogOnePlusN) {
+  EXPECT_DOUBLE_EQ(utility(0.0), 0.0);
+  EXPECT_NEAR(utility(std::exp(1.0) - 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(utility(9999.0), std::log(10000.0), 1e-12);
+}
+
+TEST(Utility, NegativeSamplesThrow) {
+  EXPECT_THROW((void)utility(-1.0), std::invalid_argument);
+}
+
+TEST(Utility, IsConcaveIncreasing) {
+  EXPECT_GT(utility(100.0), utility(50.0));
+  // Diminishing returns: the second 50 samples add less than the first.
+  EXPECT_LT(utility(100.0) - utility(50.0), utility(50.0) - utility(0.0));
+}
+
+TEST(FederationUtility, SumsMembers) {
+  const std::vector<double> samples{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(federation_utility(samples), utility(60.0));
+  EXPECT_DOUBLE_EQ(federation_utility({}), 0.0);
+}
+
+TEST(MarginalUtility, DefinitionHolds) {
+  const std::vector<double> samples{100.0, 200.0, 700.0};
+  EXPECT_NEAR(marginal_utility(samples, 2), utility(1000.0) - utility(300.0),
+              1e-12);
+}
+
+TEST(MarginalUtility, OutOfRangeThrows) {
+  const std::vector<double> samples{1.0};
+  EXPECT_THROW((void)marginal_utility(samples, 1), std::out_of_range);
+}
+
+TEST(MarginalUtility, LargerWorkersHaveLargerMarginals) {
+  const std::vector<double> samples{100.0, 5000.0, 800.0};
+  EXPECT_GT(marginal_utility(samples, 1), marginal_utility(samples, 2));
+  EXPECT_GT(marginal_utility(samples, 2), marginal_utility(samples, 0));
+}
+
+TEST(MarginalUtility, SumOfMarginalsBelowTotalUtility) {
+  // Superadditivity of log federation: marginals undercount the whole.
+  const std::vector<double> samples{1000.0, 2000.0, 3000.0};
+  double sum = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    sum += marginal_utility(samples, i);
+  }
+  EXPECT_LT(sum, federation_utility(samples));
+}
+
+}  // namespace
+}  // namespace fifl::market

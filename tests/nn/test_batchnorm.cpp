@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace fifl::nn {
+namespace {
+
+TEST(BatchNorm, ConstructorValidation) {
+  EXPECT_THROW(BatchNorm2d(0), std::invalid_argument);
+  EXPECT_THROW(BatchNorm2d(3, 0.0), std::invalid_argument);
+  EXPECT_THROW(BatchNorm2d(3, 0.1, 0.0), std::invalid_argument);
+}
+
+TEST(BatchNorm, RejectsWrongChannelCount) {
+  BatchNorm2d bn(3);
+  tensor::Tensor x({2, 4, 2, 2});
+  EXPECT_THROW((void)bn.forward(x), std::invalid_argument);
+}
+
+TEST(BatchNorm, TrainOutputIsNormalisedPerChannel) {
+  BatchNorm2d bn(2);
+  util::Rng rng(1);
+  tensor::Tensor x = tensor::Tensor::gaussian({4, 2, 3, 3}, rng, 5.0f, 2.0f);
+  tensor::Tensor y = bn.forward(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t n = 0; n < 4; ++n) {
+      for (std::size_t h = 0; h < 3; ++h) {
+        for (std::size_t w = 0; w < 3; ++w) {
+          const auto v = static_cast<double>(y(n, c, h, w));
+          sum += v;
+          sum2 += v * v;
+        }
+      }
+    }
+    const double mean = sum / 36.0;
+    const double var = sum2 / 36.0 - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, GammaBetaAffineTransform) {
+  BatchNorm2d bn(1);
+  bn.parameters()[0]->value[0] = 3.0f;  // gamma
+  bn.parameters()[1]->value[0] = -2.0f; // beta
+  util::Rng rng(2);
+  tensor::Tensor x = tensor::Tensor::gaussian({8, 1, 2, 2}, rng);
+  tensor::Tensor y = bn.forward(x);
+  double sum = 0.0;
+  for (float v : y.flat()) sum += static_cast<double>(v);
+  EXPECT_NEAR(sum / static_cast<double>(y.numel()), -2.0, 1e-4);
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataMoments) {
+  BatchNorm2d bn(1, /*momentum=*/0.2);
+  util::Rng rng(3);
+  for (int step = 0; step < 200; ++step) {
+    tensor::Tensor x = tensor::Tensor::gaussian({16, 1, 2, 2}, rng, 4.0f, 3.0f);
+    (void)bn.forward(x);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 4.0f, 0.5f);
+  EXPECT_NEAR(bn.running_var()[0], 9.0f, 1.5f);
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStats) {
+  BatchNorm2d bn(1, 1.0);  // momentum 1: running stats = last batch stats
+  util::Rng rng(4);
+  tensor::Tensor calib = tensor::Tensor::gaussian({32, 1, 2, 2}, rng, 2.0f, 1.0f);
+  (void)bn.forward(calib);
+  bn.set_training(false);
+  // A constant input in eval mode maps deterministically via running stats.
+  tensor::Tensor x({1, 1, 1, 1});
+  x[0] = 2.0f;
+  tensor::Tensor y = bn.forward(x);
+  const double expected =
+      (2.0 - static_cast<double>(bn.running_mean()[0])) /
+      std::sqrt(static_cast<double>(bn.running_var()[0]) + 1e-5);
+  EXPECT_NEAR(y[0], expected, 1e-4);
+}
+
+TEST(BatchNorm, BackwardNumericalGradcheckTrainMode) {
+  // Whole-graph check: BN between two linears ... keep it direct instead:
+  // scalar objective = Σ coeff·BN(x); check d/dx numerically.
+  BatchNorm2d bn(2);
+  util::Rng rng(5);
+  tensor::Tensor x = tensor::Tensor::gaussian({3, 2, 2, 2}, rng);
+  tensor::Tensor coeff = tensor::Tensor::gaussian({3, 2, 2, 2}, rng);
+  auto objective = [&](const tensor::Tensor& input) {
+    BatchNorm2d fresh(2);
+    // copy learnable params so both evaluations share them
+    fresh.parameters()[0]->value = bn.parameters()[0]->value.clone();
+    fresh.parameters()[1]->value = bn.parameters()[1]->value.clone();
+    tensor::Tensor y = fresh.forward(input);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i) {
+      acc += static_cast<double>(y[i]) * static_cast<double>(coeff[i]);
+    }
+    return acc;
+  };
+  (void)bn.forward(x);
+  tensor::Tensor gx = bn.backward(coeff);
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < x.numel(); i += 3) {
+    tensor::Tensor xp = x.clone(), xm = x.clone();
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double numeric =
+        (objective(xp) - objective(xm)) / (2.0 * static_cast<double>(eps));
+    EXPECT_NEAR(gx[i], numeric, 5e-2) << "input " << i;
+  }
+}
+
+TEST(BatchNorm, ParameterGradsMatchNumeric) {
+  BatchNorm2d bn(1);
+  util::Rng rng(6);
+  tensor::Tensor x = tensor::Tensor::gaussian({4, 1, 2, 2}, rng);
+  tensor::Tensor coeff = tensor::Tensor::gaussian({4, 1, 2, 2}, rng);
+  (void)bn.forward(x);
+  (void)bn.backward(coeff);
+  const float analytic_dgamma = bn.parameters()[0]->grad[0];
+  const float analytic_dbeta = bn.parameters()[1]->grad[0];
+
+  auto objective = [&](float gamma, float beta) {
+    BatchNorm2d fresh(1);
+    fresh.parameters()[0]->value[0] = gamma;
+    fresh.parameters()[1]->value[0] = beta;
+    tensor::Tensor y = fresh.forward(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i) {
+      acc += static_cast<double>(y[i]) * static_cast<double>(coeff[i]);
+    }
+    return acc;
+  };
+  const float eps = 1e-3f;
+  EXPECT_NEAR(analytic_dgamma,
+              (objective(1.0f + eps, 0.0f) - objective(1.0f - eps, 0.0f)) /
+                  (2.0 * static_cast<double>(eps)),
+              1e-2);
+  EXPECT_NEAR(analytic_dbeta,
+              (objective(1.0f, eps) - objective(1.0f, -eps)) /
+                  (2.0 * static_cast<double>(eps)),
+              1e-2);
+}
+
+TEST(BatchNorm, BackwardWithoutForwardThrows) {
+  BatchNorm2d bn(1);
+  tensor::Tensor g({1, 1, 2, 2});
+  EXPECT_THROW((void)bn.backward(g), std::logic_error);
+}
+
+TEST(BatchNorm, StabilisesDeepStackTraining) {
+  // A small conv net with BN trains on a toy problem without tuning.
+  util::Rng rng(7);
+  Sequential model;
+  model.emplace<Conv2d>(
+      tensor::ConvSpec{.in_channels = 1, .out_channels = 4, .kernel = 3,
+                       .stride = 1, .padding = 1},
+      rng);
+  model.emplace<BatchNorm2d>(4);
+  model.emplace<ReLU>();
+  model.emplace<Flatten>();
+  model.emplace<Linear>(4 * 8 * 8, 2, rng);
+
+  SoftmaxCrossEntropy loss;
+  Sgd opt(Sgd::Options{.lr = 0.05});
+  const std::size_t n = 16;
+  tensor::Tensor x({n, 1, 8, 8});
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool cls = i % 2;
+    labels[i] = cls;
+    for (std::size_t p = 0; p < 64; ++p) {
+      x[i * 64 + p] = static_cast<float>(rng.gaussian(cls ? 1.0 : -1.0, 0.5));
+    }
+  }
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    model.zero_grad();
+    const double l = loss.forward(model.forward(x), labels);
+    if (step == 0) first = l;
+    last = l;
+    model.backward(loss.backward());
+    opt.step(model.parameters());
+  }
+  EXPECT_LT(last, first * 0.2);
+}
+
+}  // namespace
+}  // namespace fifl::nn

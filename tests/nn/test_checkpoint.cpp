@@ -1,0 +1,74 @@
+#include "nn/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/models.hpp"
+#include "util/serialize.hpp"
+
+namespace fifl::nn {
+namespace {
+
+TEST(Checkpoint, BytesRoundTripRestoresParameters) {
+  util::Rng rng(1);
+  auto model = make_mlp(6, 8, 3, rng);
+  const auto bytes = checkpoint_bytes(*model, "epoch-5");
+
+  util::Rng rng2(99);
+  auto model2 = make_mlp(6, 8, 3, rng2);
+  ASSERT_NE(model->flatten_parameters(), model2->flatten_parameters());
+  const std::string tag = restore_checkpoint(*model2, bytes);
+  EXPECT_EQ(tag, "epoch-5");
+  EXPECT_EQ(model->flatten_parameters(), model2->flatten_parameters());
+}
+
+TEST(Checkpoint, OutputsMatchAfterRestore) {
+  util::Rng rng(2);
+  auto model = make_lenet({.channels = 1, .image_size = 8, .classes = 4}, rng);
+  const auto bytes = checkpoint_bytes(*model);
+  util::Rng rng2(3);
+  auto model2 = make_lenet({.channels = 1, .image_size = 8, .classes = 4}, rng2);
+  restore_checkpoint(*model2, bytes);
+  tensor::Tensor x = tensor::Tensor::gaussian({2, 1, 8, 8}, rng);
+  EXPECT_TRUE(model->forward(x).allclose(model2->forward(x), 1e-6f));
+}
+
+TEST(Checkpoint, ArchitectureMismatchThrows) {
+  util::Rng rng(4);
+  auto small = make_mlp(4, 4, 2, rng);
+  auto big = make_mlp(8, 8, 4, rng);
+  const auto bytes = checkpoint_bytes(*small);
+  EXPECT_THROW(restore_checkpoint(*big, bytes), util::SerializeError);
+}
+
+TEST(Checkpoint, BadMagicThrows) {
+  util::Rng rng(5);
+  auto model = make_mlp(4, 4, 2, rng);
+  auto bytes = checkpoint_bytes(*model);
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(restore_checkpoint(*model, bytes), util::SerializeError);
+}
+
+TEST(Checkpoint, TruncationThrows) {
+  util::Rng rng(6);
+  auto model = make_mlp(4, 4, 2, rng);
+  auto bytes = checkpoint_bytes(*model);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(restore_checkpoint(*model, bytes), util::SerializeError);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "fifl_ckpt_test.bin";
+  util::Rng rng(7);
+  auto model = make_mlp(5, 6, 3, rng);
+  save_checkpoint(*model, path, "final");
+  util::Rng rng2(8);
+  auto model2 = make_mlp(5, 6, 3, rng2);
+  EXPECT_EQ(load_checkpoint(*model2, path), "final");
+  EXPECT_EQ(model->flatten_parameters(), model2->flatten_parameters());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fifl::nn

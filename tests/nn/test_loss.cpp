@@ -1,0 +1,125 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fifl::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({2, 4});  // all zeros
+  const std::vector<std::int32_t> labels{0, 3};
+  EXPECT_NEAR(loss.forward(logits, labels), std::log(4.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectPredictionNearZeroLoss) {
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({1, 3}, std::vector<float>{50.0f, 0.0f, 0.0f});
+  const std::vector<std::int32_t> labels{0};
+  EXPECT_LT(loss.forward(logits, labels), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentWrongPredictionLargeLoss) {
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({1, 3}, std::vector<float>{50.0f, 0.0f, 0.0f});
+  const std::vector<std::int32_t> labels{1};
+  EXPECT_GT(loss.forward(logits, labels), 40.0);
+}
+
+TEST(SoftmaxCrossEntropy, ShiftInvariance) {
+  SoftmaxCrossEntropy loss;
+  util::Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::gaussian({3, 5}, rng);
+  tensor::Tensor b = a.clone();
+  for (auto& v : b.flat()) v += 100.0f;
+  const std::vector<std::int32_t> labels{0, 2, 4};
+  EXPECT_NEAR(loss.forward(a, labels), loss.forward(b, labels), 1e-4);
+}
+
+TEST(SoftmaxCrossEntropy, ProbabilitiesSumToOne) {
+  SoftmaxCrossEntropy loss;
+  util::Rng rng(2);
+  tensor::Tensor logits = tensor::Tensor::gaussian({4, 7}, rng, 0.0f, 3.0f);
+  std::vector<std::int32_t> labels{0, 1, 2, 3};
+  (void)loss.forward(logits, labels);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < 7; ++j) {
+      row += static_cast<double>(loss.probabilities()(i, j));
+    }
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, BackwardIsProbsMinusOneHotOverN) {
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({2, 2});  // uniform => probs 0.5
+  const std::vector<std::int32_t> labels{0, 1};
+  (void)loss.forward(logits, labels);
+  tensor::Tensor g = loss.backward();
+  EXPECT_NEAR(g(0, 0), (0.5 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(g(0, 1), 0.5 / 2.0, 1e-6);
+  EXPECT_NEAR(g(1, 1), (0.5 - 1.0) / 2.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, BackwardNumericalGradcheck) {
+  util::Rng rng(3);
+  tensor::Tensor logits = tensor::Tensor::gaussian({2, 4}, rng);
+  const std::vector<std::int32_t> labels{1, 3};
+  SoftmaxCrossEntropy loss;
+  (void)loss.forward(logits, labels);
+  tensor::Tensor g = loss.backward();
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    tensor::Tensor lp = logits.clone(), lm = logits.clone();
+    lp[i] += eps;
+    lm[i] -= eps;
+    SoftmaxCrossEntropy l2;
+    const double numeric = (l2.forward(lp, labels) - l2.forward(lm, labels)) /
+                           (2.0 * static_cast<double>(eps));
+    EXPECT_NEAR(g[i], numeric, 1e-3);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, NonFiniteLogitsGiveNaNLossNotThrow) {
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({1, 3});
+  logits[0] = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<std::int32_t> labels{0};
+  EXPECT_TRUE(std::isnan(loss.forward(logits, labels)));
+  // Backward still yields finite gradients (uniform fallback).
+  tensor::Tensor g = loss.backward();
+  for (float v : g.flat()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SoftmaxCrossEntropy, LabelOutOfRangeThrows) {
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({1, 3});
+  const std::vector<std::int32_t> labels{3};
+  EXPECT_THROW((void)loss.forward(logits, labels), std::out_of_range);
+}
+
+TEST(SoftmaxCrossEntropy, LabelCountMismatchThrows) {
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits({2, 3});
+  const std::vector<std::int32_t> labels{0};
+  EXPECT_THROW((void)loss.forward(logits, labels), std::invalid_argument);
+}
+
+TEST(SoftmaxCrossEntropy, BackwardBeforeForwardThrows) {
+  SoftmaxCrossEntropy loss;
+  EXPECT_THROW((void)loss.backward(), std::logic_error);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  tensor::Tensor logits({3, 2}, std::vector<float>{1, 0, 0, 1, 1, 0});
+  const std::vector<std::int32_t> labels{0, 1, 1};
+  EXPECT_NEAR(accuracy(logits, labels), 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fifl::nn

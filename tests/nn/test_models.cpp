@@ -1,0 +1,171 @@
+#include "nn/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace fifl::nn {
+namespace {
+
+TEST(Models, LenetOutputShape) {
+  util::Rng rng(1);
+  auto model = make_lenet({.channels = 1, .image_size = 28, .classes = 10}, rng);
+  tensor::Tensor x = tensor::Tensor::gaussian({2, 1, 28, 28}, rng);
+  tensor::Tensor y = model->forward(x);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 10u);
+}
+
+TEST(Models, LenetRejectsBadImageSize) {
+  util::Rng rng(2);
+  EXPECT_THROW(make_lenet({.channels = 1, .image_size = 30, .classes = 10}, rng),
+               std::invalid_argument);
+}
+
+TEST(Models, MiniResnetOutputShape) {
+  util::Rng rng(3);
+  auto model =
+      make_mini_resnet({.channels = 3, .image_size = 32, .classes = 10}, rng);
+  tensor::Tensor x = tensor::Tensor::gaussian({2, 3, 32, 32}, rng);
+  tensor::Tensor y = model->forward(x);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 10u);
+}
+
+TEST(Models, MlpOutputShape) {
+  util::Rng rng(4);
+  auto model = make_mlp(20, 16, 5, rng);
+  tensor::Tensor x = tensor::Tensor::gaussian({3, 20}, rng);
+  tensor::Tensor y = model->forward(x);
+  EXPECT_EQ(y.dim(1), 5u);
+}
+
+TEST(Models, ParameterCountsAreStable) {
+  util::Rng rng(5);
+  auto lenet = make_lenet({.channels = 1, .image_size = 28, .classes = 10}, rng);
+  // conv1: 6*1*5*5+6, conv2: 16*6*5*5+16, fc1: 16*7*7*84+84, fc2: 84*10+10.
+  const std::size_t expected = (6 * 25 + 6) + (16 * 6 * 25 + 16) +
+                               (16 * 49 * 84 + 84) + (84 * 10 + 10);
+  EXPECT_EQ(lenet->parameter_count(), expected);
+}
+
+TEST(Models, MlpLearnsLinearlySeparableToy) {
+  util::Rng rng(6);
+  auto model = make_mlp(2, 16, 2, rng);
+  Sgd opt(Sgd::Options{.lr = 0.1});
+  SoftmaxCrossEntropy loss;
+  const auto params = model->parameters();
+
+  // Two Gaussian blobs.
+  const std::size_t n = 64;
+  tensor::Tensor x({n, 2});
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool cls = i % 2;
+    labels[i] = cls;
+    x(i, 0) = static_cast<float>(rng.gaussian(cls ? 2.0 : -2.0, 0.5));
+    x(i, 1) = static_cast<float>(rng.gaussian(cls ? -2.0 : 2.0, 0.5));
+  }
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 80; ++step) {
+    model->zero_grad();
+    const tensor::Tensor logits = model->forward(x);
+    const double l = loss.forward(logits, labels);
+    if (step == 0) first_loss = l;
+    last_loss = l;
+    model->backward(loss.backward());
+    opt.step(params);
+  }
+  EXPECT_LT(last_loss, first_loss * 0.1);
+  EXPECT_GT(accuracy(model->forward(x), labels), 0.95);
+}
+
+TEST(Models, LenetMemorisesSmallBatch) {
+  // Overfitting a fixed batch is the classic smoke test: the loss on the
+  // batch must fall substantially under repeated full-batch steps.
+  util::Rng rng(7);
+  auto model = make_lenet({.channels = 1, .image_size = 28, .classes = 10}, rng);
+  Sgd opt(Sgd::Options{.lr = 0.02});
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor x = tensor::Tensor::gaussian({8, 1, 28, 28}, rng);
+  std::vector<std::int32_t> labels(8);
+  for (std::size_t i = 0; i < 8; ++i) labels[i] = static_cast<std::int32_t>(i % 10);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    model->zero_grad();
+    const double l = loss.forward(model->forward(x), labels);
+    if (step == 0) first = l;
+    last = l;
+    ASSERT_TRUE(std::isfinite(l)) << "loss diverged at step " << step;
+    model->backward(loss.backward());
+    opt.step(model->parameters());
+  }
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(Models, MiniVggOutputShape) {
+  util::Rng rng(11);
+  auto model = make_mini_vgg({.channels = 3, .image_size = 16, .classes = 10}, rng);
+  tensor::Tensor x = tensor::Tensor::gaussian({2, 3, 16, 16}, rng);
+  tensor::Tensor y = model->forward(x);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 10u);
+}
+
+TEST(Models, MiniVggRejectsBadImageSize) {
+  util::Rng rng(12);
+  EXPECT_THROW(
+      make_mini_vgg({.channels = 1, .image_size = 10, .classes = 10}, rng),
+      std::invalid_argument);
+}
+
+TEST(Models, MiniVggDropoutIsOptional) {
+  util::Rng rng(13);
+  auto with = make_mini_vgg({.channels = 1, .image_size = 8, .classes = 4}, rng,
+                            /*dropout=*/0.5);
+  util::Rng rng2(13);
+  auto without = make_mini_vgg({.channels = 1, .image_size = 8, .classes = 4},
+                               rng2, /*dropout=*/0.0);
+  EXPECT_EQ(with->size(), without->size() + 1);
+}
+
+TEST(Models, MiniVggLearnsToyProblem) {
+  util::Rng rng(14);
+  auto model = make_mini_vgg({.channels = 1, .image_size = 8, .classes = 2}, rng,
+                             /*dropout=*/0.0);
+  Sgd opt(Sgd::Options{.lr = 0.05});
+  SoftmaxCrossEntropy loss;
+  // Two classes: bright-top vs bright-bottom images.
+  const std::size_t n = 32;
+  tensor::Tensor x({n, 1, 8, 8});
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool top = i % 2;
+    labels[i] = top;
+    for (std::size_t r = 0; r < 8; ++r) {
+      for (std::size_t c = 0; c < 8; ++c) {
+        const bool bright = top ? r < 4 : r >= 4;
+        x(i, 0, r, c) =
+            static_cast<float>(rng.gaussian(bright ? 1.0 : -1.0, 0.3));
+      }
+    }
+  }
+  for (int step = 0; step < 40; ++step) {
+    model->zero_grad();
+    (void)loss.forward(model->forward(x), labels);
+    model->backward(loss.backward());
+    opt.step(model->parameters());
+  }
+  EXPECT_GT(accuracy(model->forward(x), labels), 0.9);
+}
+
+TEST(Models, DifferentSeedsGiveDifferentInits) {
+  util::Rng a(1), b(2);
+  auto m1 = make_mlp(4, 8, 2, a);
+  auto m2 = make_mlp(4, 8, 2, b);
+  EXPECT_NE(m1->flatten_parameters(), m2->flatten_parameters());
+}
+
+}  // namespace
+}  // namespace fifl::nn

@@ -1,0 +1,131 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifl::nn {
+namespace {
+
+Parameter make_param(std::vector<float> value, std::vector<float> grad) {
+  const std::size_t vn = value.size();
+  const std::size_t gn = grad.size();
+  Parameter p("p", tensor::Tensor({vn}, std::move(value)));
+  p.grad = tensor::Tensor({gn}, std::move(grad));
+  return p;
+}
+
+TEST(Sgd, VanillaStep) {
+  Parameter p = make_param({1.0f, 2.0f}, {0.5f, -0.5f});
+  Sgd opt(Sgd::Options{.lr = 0.1});
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 0.95f);
+  EXPECT_FLOAT_EQ(p.value[1], 2.05f);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Parameter p = make_param({10.0f}, {0.0f});
+  Sgd opt(Sgd::Options{.lr = 0.1, .weight_decay = 0.5});
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 10.0f - 0.1f * 0.5f * 10.0f);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  Parameter p = make_param({0.0f}, {1.0f});
+  Sgd opt(Sgd::Options{.lr = 1.0, .momentum = 0.9});
+  opt.step({&p});  // v=1, x=-1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+  opt.step({&p});  // v=1.9, x=-2.9
+  EXPECT_FLOAT_EQ(p.value[0], -2.9f);
+}
+
+TEST(Sgd, SetLrTakesEffect) {
+  Parameter p = make_param({0.0f}, {1.0f});
+  Sgd opt(Sgd::Options{.lr = 1.0});
+  opt.set_lr(0.25);
+  EXPECT_DOUBLE_EQ(opt.lr(), 0.25);
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], -0.25f);
+}
+
+TEST(Sgd, QuadraticConvergence) {
+  // Minimise f(x) = (x-3)^2 by manual gradient feeding.
+  Parameter p = make_param({0.0f}, {0.0f});
+  Sgd opt(Sgd::Options{.lr = 0.1});
+  for (int i = 0; i < 200; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.step({&p});
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 1e-4f);
+}
+
+TEST(Sgd, MomentumConvergesFasterOnIllConditionedQuadratic) {
+  auto run = [](Sgd::Options opts) {
+    Parameter p = make_param({10.0f}, {0.0f});
+    Sgd opt(opts);
+    int iters = 0;
+    while (std::abs(p.value[0]) > 1e-3f && iters < 10000) {
+      p.grad[0] = 0.02f * p.value[0];  // shallow curvature
+      opt.step({&p});
+      ++iters;
+    }
+    return iters;
+  };
+  const int plain = run(Sgd::Options{.lr = 1.0});
+  const int momentum = run(Sgd::Options{.lr = 1.0, .momentum = 0.9});
+  EXPECT_LT(momentum, plain);
+}
+
+TEST(Adam, OptionValidation) {
+  EXPECT_THROW(Adam(Adam::Options{.lr = 0.0}), std::invalid_argument);
+  EXPECT_THROW(Adam(Adam::Options{.beta1 = 1.0}), std::invalid_argument);
+  EXPECT_THROW(Adam(Adam::Options{.beta2 = -0.1}), std::invalid_argument);
+  EXPECT_THROW(Adam(Adam::Options{.epsilon = 0.0}), std::invalid_argument);
+  EXPECT_NO_THROW(Adam(Adam::Options{}));
+}
+
+TEST(Adam, FirstStepIsSignedLr) {
+  // After one step with bias correction, the update is ≈ lr * sign(grad).
+  Parameter p = make_param({0.0f, 0.0f}, {0.3f, -7.0f});
+  Adam opt(Adam::Options{.lr = 0.1});
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], -0.1f, 1e-5f);
+  EXPECT_NEAR(p.value[1], 0.1f, 1e-5f);
+  EXPECT_EQ(opt.steps(), 1u);
+}
+
+TEST(Adam, QuadraticConvergence) {
+  Parameter p = make_param({10.0f}, {0.0f});
+  Adam opt(Adam::Options{.lr = 0.5});
+  for (int i = 0; i < 500; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.step({&p});
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 1e-2f);
+}
+
+TEST(Adam, AdaptsToCoordinateScales) {
+  // With one steep and one shallow coordinate, Adam makes near-equal
+  // per-coordinate progress, unlike plain SGD.
+  Parameter p = make_param({1.0f, 1.0f}, {0.0f, 0.0f});
+  Adam opt(Adam::Options{.lr = 0.01});
+  for (int i = 0; i < 50; ++i) {
+    p.grad[0] = 1000.0f * p.value[0];
+    p.grad[1] = 0.001f * p.value[1];
+    opt.step({&p});
+  }
+  const float steep_progress = 1.0f - p.value[0];
+  const float shallow_progress = 1.0f - p.value[1];
+  EXPECT_GT(shallow_progress, 0.3f * steep_progress);
+}
+
+TEST(Adam, WeightDecayShrinksParameters) {
+  Parameter p = make_param({10.0f}, {0.0f});
+  Adam opt(Adam::Options{.lr = 0.1, .weight_decay = 1.0});
+  for (int i = 0; i < 20; ++i) {
+    p.grad[0] = 0.0f;
+    opt.step({&p});
+  }
+  EXPECT_LT(p.value[0], 10.0f);
+}
+
+}  // namespace
+}  // namespace fifl::nn

@@ -1,0 +1,124 @@
+#include "nn/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace fifl::nn {
+namespace {
+
+TEST(Sequential, ForwardChainsLayers) {
+  util::Rng rng(1);
+  Sequential model;
+  model.emplace<Linear>(3, 2, rng);
+  model.emplace<ReLU>();
+  tensor::Tensor x({1, 3}, std::vector<float>{1, 2, 3});
+  tensor::Tensor y = model.forward(x);
+  EXPECT_EQ(y.dim(1), 2u);
+  for (float v : y.flat()) EXPECT_GE(v, 0.0f);  // post-ReLU
+}
+
+TEST(Sequential, ParametersAggregateAcrossLayers) {
+  util::Rng rng(2);
+  Sequential model;
+  model.emplace<Linear>(4, 3, rng);
+  model.emplace<ReLU>();
+  model.emplace<Linear>(3, 2, rng);
+  EXPECT_EQ(model.parameters().size(), 4u);  // 2 weights + 2 biases
+  EXPECT_EQ(model.parameter_count(), 4u * 3 + 3 + 3 * 2 + 2);
+}
+
+TEST(Sequential, FlattenLoadRoundTrip) {
+  util::Rng rng(3);
+  Sequential model;
+  model.emplace<Linear>(5, 4, rng);
+  model.emplace<Linear>(4, 3, rng);
+  const std::vector<float> flat = model.flatten_parameters();
+  EXPECT_EQ(flat.size(), model.parameter_count());
+
+  Sequential model2;
+  util::Rng rng2(99);
+  model2.emplace<Linear>(5, 4, rng2);
+  model2.emplace<Linear>(4, 3, rng2);
+  model2.load_parameters(flat);
+  EXPECT_EQ(model2.flatten_parameters(), flat);
+
+  // Same params => same outputs.
+  tensor::Tensor x = tensor::Tensor::gaussian({2, 5}, rng);
+  EXPECT_TRUE(model.forward(x).allclose(model2.forward(x), 1e-6f));
+}
+
+TEST(Sequential, LoadParametersSizeChecks) {
+  util::Rng rng(4);
+  Sequential model;
+  model.emplace<Linear>(2, 2, rng);
+  std::vector<float> too_short(5, 0.0f);
+  std::vector<float> too_long(7, 0.0f);
+  EXPECT_THROW(model.load_parameters(too_short), std::invalid_argument);
+  EXPECT_THROW(model.load_parameters(too_long), std::invalid_argument);
+}
+
+TEST(Sequential, ZeroGradClearsAllGradients) {
+  util::Rng rng(5);
+  Sequential model;
+  model.emplace<Linear>(3, 3, rng);
+  tensor::Tensor x = tensor::Tensor::gaussian({2, 3}, rng);
+  tensor::Tensor y = model.forward(x);
+  (void)model.backward(y);
+  bool any_nonzero = false;
+  for (Parameter* p : model.parameters()) {
+    for (float v : p->grad.flat()) any_nonzero |= (v != 0.0f);
+  }
+  EXPECT_TRUE(any_nonzero);
+  model.zero_grad();
+  for (Parameter* p : model.parameters()) {
+    for (float v : p->grad.flat()) EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+TEST(Sequential, GradientsFlattenInParameterOrder) {
+  util::Rng rng(6);
+  Sequential model;
+  model.emplace<Linear>(2, 1, rng);
+  tensor::Tensor x({1, 2}, std::vector<float>{3, 4});
+  (void)model.forward(x);
+  tensor::Tensor gy({1, 1}, std::vector<float>{1});
+  (void)model.backward(gy);
+  const auto grads = model.flatten_gradients();
+  ASSERT_EQ(grads.size(), 3u);  // w(1x2) + b(1)
+  EXPECT_FLOAT_EQ(grads[0], 3.0f);
+  EXPECT_FLOAT_EQ(grads[1], 4.0f);
+  EXPECT_FLOAT_EQ(grads[2], 1.0f);
+}
+
+TEST(ResidualBlock, PreservesShapeAndAddsSkip) {
+  util::Rng rng(7);
+  ResidualBlock block(4, rng);
+  // Zero both convolutions: output must equal ReLU(input) = identity for
+  // a positive input.
+  for (Parameter* p : block.parameters()) p->value.zero();
+  tensor::Tensor x = tensor::Tensor::uniform({1, 4, 6, 6}, rng, 0.1f, 1.0f);
+  tensor::Tensor y = block.forward(x);
+  EXPECT_TRUE(y.allclose(x, 1e-6f));
+}
+
+TEST(ResidualBlock, BackwardPassesGradientThroughSkip) {
+  util::Rng rng(8);
+  ResidualBlock block(2, rng);
+  for (Parameter* p : block.parameters()) p->value.zero();
+  tensor::Tensor x = tensor::Tensor::uniform({1, 2, 4, 4}, rng, 0.1f, 1.0f);
+  (void)block.forward(x);
+  tensor::Tensor gy = tensor::Tensor::ones({1, 2, 4, 4});
+  tensor::Tensor gx = block.backward(gy);
+  // With zero convs, d(out)/d(in) = identity (pre-activation positive).
+  EXPECT_TRUE(gx.allclose(gy, 1e-6f));
+}
+
+TEST(ResidualBlock, HasFourParameterTensors) {
+  util::Rng rng(9);
+  ResidualBlock block(3, rng);
+  EXPECT_EQ(block.parameters().size(), 4u);
+}
+
+}  // namespace
+}  // namespace fifl::nn

@@ -1,0 +1,133 @@
+// Property tests for the detection module: algebraic invariances that must
+// hold for any inputs, checked over randomized sweeps.
+#include <gtest/gtest.h>
+
+#include "core/detection.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::core {
+namespace {
+
+struct Round {
+  fl::SlicePlan plan;
+  std::vector<fl::Upload> uploads;
+  std::vector<std::vector<float>> benchmark;
+};
+
+Round make_round(std::uint64_t seed, std::size_t workers = 8,
+                 std::size_t dims = 24, std::size_t servers = 3) {
+  util::Rng rng(seed);
+  Round round{fl::SlicePlan(dims, servers), {}, {}};
+  std::vector<float> bench(dims);
+  for (auto& v : bench) v = static_cast<float>(rng.gaussian());
+  fl::Gradient bench_grad(bench);
+  for (std::size_t j = 0; j < servers; ++j) {
+    auto view = round.plan.slice(bench_grad, j);
+    round.benchmark.emplace_back(view.begin(), view.end());
+  }
+  for (std::size_t i = 0; i < workers; ++i) {
+    fl::Upload up;
+    up.worker = static_cast<chain::NodeId>(i);
+    up.samples = 10;
+    up.gradient = fl::Gradient(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      up.gradient[d] = static_cast<float>(rng.gaussian());
+    }
+    round.uploads.push_back(std::move(up));
+  }
+  return round;
+}
+
+class DetectionProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DetectionProperties, CosineIsScaleInvariantInUpload) {
+  Round round = make_round(GetParam());
+  DetectionModule det({.threshold = 0.1, .score = ScoreKind::kCosine});
+  const auto base = det.run(round.uploads, round.plan, round.benchmark);
+  for (auto& up : round.uploads) up.gradient.scale(7.5f);
+  const auto scaled = det.run(round.uploads, round.plan, round.benchmark);
+  for (std::size_t i = 0; i < base.scores.size(); ++i) {
+    EXPECT_NEAR(base.scores[i], scaled.scores[i], 1e-6);
+    EXPECT_EQ(base.accepted[i], scaled.accepted[i]);
+  }
+}
+
+TEST_P(DetectionProperties, RawScoreIsLinearInUploadScale) {
+  Round round = make_round(GetParam() + 1);
+  DetectionModule det({.threshold = 0.0, .score = ScoreKind::kRaw});
+  const auto base = det.run(round.uploads, round.plan, round.benchmark);
+  for (auto& up : round.uploads) up.gradient.scale(3.0f);
+  const auto scaled = det.run(round.uploads, round.plan, round.benchmark);
+  for (std::size_t i = 0; i < base.scores.size(); ++i) {
+    // fp32 accumulation noise scales with the slice magnitudes, not the
+    // final (possibly cancelling) score — hence the absolute 1e-5 floor.
+    EXPECT_NEAR(scaled.scores[i], 3.0 * base.scores[i],
+                1e-4 * std::abs(base.scores[i]) + 1e-5);
+  }
+}
+
+TEST_P(DetectionProperties, ProjectionHalvesWhenBenchmarkDoubles) {
+  Round round = make_round(GetParam() + 2);
+  DetectionModule det({.threshold = 0.0, .score = ScoreKind::kProjection});
+  const auto base = det.run(round.uploads, round.plan, round.benchmark);
+  for (auto& slice : round.benchmark) {
+    for (auto& v : slice) v *= 2.0f;
+  }
+  const auto doubled = det.run(round.uploads, round.plan, round.benchmark);
+  for (std::size_t i = 0; i < base.scores.size(); ++i) {
+    // raw doubles, ||bench||^2 quadruples => score halves.
+    EXPECT_NEAR(doubled.scores[i], 0.5 * base.scores[i],
+                1e-5 * std::abs(base.scores[i]) + 1e-7);
+  }
+}
+
+TEST_P(DetectionProperties, PermutingUploadsPermutesResults) {
+  Round round = make_round(GetParam() + 3);
+  DetectionModule det({.threshold = 0.05});
+  const auto base = det.run(round.uploads, round.plan, round.benchmark);
+  // Rotate uploads by 3.
+  std::vector<fl::Upload> rotated;
+  const std::size_t n = round.uploads.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    rotated.push_back(round.uploads[(i + 3) % n]);
+  }
+  const auto perm = det.run(rotated, round.plan, round.benchmark);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(perm.scores[i], base.scores[(i + 3) % n]);
+    EXPECT_EQ(perm.accepted[i], base.accepted[(i + 3) % n]);
+  }
+}
+
+TEST_P(DetectionProperties, FlippedUploadIsAlwaysRejectedUnderCosine) {
+  Round round = make_round(GetParam() + 4);
+  // Make upload 0 honest-aligned with the benchmark, upload 1 its flip.
+  fl::Gradient bench = fl::recombine(round.plan, round.benchmark);
+  round.uploads[0].gradient = bench;
+  round.uploads[1].gradient = bench;
+  round.uploads[1].gradient.scale(-4.0f);
+  DetectionModule det({.threshold = 0.0});
+  const auto result = det.run(round.uploads, round.plan, round.benchmark);
+  EXPECT_EQ(result.accepted[0], 1);
+  EXPECT_EQ(result.accepted[1], 0);
+  EXPECT_NEAR(result.scores[0], 1.0, 1e-6);
+  EXPECT_NEAR(result.scores[1], -1.0, 1e-6);
+}
+
+TEST_P(DetectionProperties, ServerScoresSumToRawScore) {
+  Round round = make_round(GetParam() + 5);
+  DetectionModule det({.threshold = 0.0, .score = ScoreKind::kRaw});
+  const auto result = det.run(round.uploads, round.plan, round.benchmark);
+  for (std::size_t i = 0; i < round.uploads.size(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < round.plan.servers(); ++j) {
+      sum += result.server_scores[j][i];
+    }
+    EXPECT_NEAR(result.scores[i], sum, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectionProperties,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace fifl::core

@@ -1,0 +1,152 @@
+// Property tests for the full FiflEngine pipeline on synthetic gradient
+// rounds: conservation, equivariance, and bookkeeping invariants.
+#include <gtest/gtest.h>
+
+#include "core/fifl.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::core {
+namespace {
+
+std::vector<fl::Upload> make_round(util::Rng& rng, std::size_t workers,
+                                   std::size_t dims,
+                                   const std::vector<bool>& attacker) {
+  std::vector<float> direction(dims);
+  for (auto& v : direction) v = static_cast<float>(rng.gaussian());
+  std::vector<fl::Upload> uploads(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    uploads[i].worker = static_cast<chain::NodeId>(i);
+    uploads[i].samples = 50 + 10 * i;
+    uploads[i].gradient = fl::Gradient(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      const float honest =
+          direction[d] + static_cast<float>(rng.gaussian(0.0, 0.25));
+      uploads[i].gradient[d] = attacker[i] ? -5.0f * honest : honest;
+    }
+    uploads[i].ground_truth_attack = attacker[i];
+  }
+  return uploads;
+}
+
+class EngineProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineProperties, RewardPoolConservedForAllHonestFullReputation) {
+  FiflConfig cfg;
+  cfg.servers = 2;
+  cfg.reputation.initial = 1.0;
+  cfg.incentive.reward_pool = 4.0;
+  FiflEngine engine(cfg, 6, 30);
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 5; ++round) {
+    const auto report =
+        engine.process_round(make_round(rng, 6, 30, std::vector<bool>(6, false)));
+    double total = 0.0;
+    bool all_positive = true;
+    for (std::size_t i = 0; i < 6; ++i) {
+      total += report.rewards[i];
+      all_positive &= report.contribution.contributions[i] > 0.0;
+    }
+    if (all_positive) {
+      // All R_i = 1 (positive events from R(0)=1 keep R at 1): Σ I = pool.
+      EXPECT_NEAR(total, 4.0, 1e-9) << "round " << round;
+    } else {
+      EXPECT_LE(total, 4.0 + 1e-9);
+    }
+  }
+}
+
+TEST_P(EngineProperties, AcceptedSetNeverContainsNonArrived) {
+  FiflConfig cfg;
+  cfg.servers = 2;
+  FiflEngine engine(cfg, 6, 30);
+  util::Rng rng(GetParam() + 10);
+  auto uploads = make_round(rng, 6, 30, std::vector<bool>(6, false));
+  uploads[4].arrived = false;
+  uploads[4].gradient.zero();
+  const auto report = engine.process_round(uploads);
+  EXPECT_EQ(report.detection.accepted[4], 0);
+  EXPECT_EQ(report.detection.uncertain[4], 1);
+  EXPECT_DOUBLE_EQ(report.rewards[4], 0.0);
+}
+
+TEST_P(EngineProperties, LedgerRecordCountInvariant) {
+  FiflConfig cfg;
+  cfg.servers = 2;
+  FiflEngine engine(cfg, 5, 20);
+  util::Rng rng(GetParam() + 20);
+  const int rounds = 4;
+  for (int round = 0; round < rounds; ++round) {
+    (void)engine.process_round(make_round(rng, 5, 20, std::vector<bool>(5, false)));
+  }
+  EXPECT_EQ(engine.ledger().block_count(), static_cast<std::size_t>(rounds));
+  for (std::size_t b = 0; b < engine.ledger().block_count(); ++b) {
+    EXPECT_EQ(engine.ledger().block(b).records.size(), 4u * 5u);
+  }
+  EXPECT_TRUE(engine.ledger().verify_chain());
+  // Every worker has exactly `rounds` reputation records.
+  for (chain::NodeId w = 0; w < 5; ++w) {
+    EXPECT_EQ(engine.ledger()
+                  .query(chain::RecordKind::kReputation, std::nullopt, w)
+                  .size(),
+              static_cast<std::size_t>(rounds));
+  }
+}
+
+TEST_P(EngineProperties, OnChainValuesMatchReport) {
+  FiflConfig cfg;
+  cfg.servers = 2;
+  FiflEngine engine(cfg, 5, 20);
+  util::Rng rng(GetParam() + 30);
+  const std::vector<bool> attacker{false, false, false, false, true};
+  const auto report = engine.process_round(make_round(rng, 5, 20, attacker));
+  for (chain::NodeId w = 0; w < 5; ++w) {
+    const auto rep = engine.ledger().latest(chain::RecordKind::kReputation, w);
+    const auto reward = engine.ledger().latest(chain::RecordKind::kReward, w);
+    ASSERT_TRUE(rep && reward);
+    EXPECT_DOUBLE_EQ(rep->value, report.reputations[w]);
+    EXPECT_DOUBLE_EQ(reward->value, report.rewards[w]);
+  }
+}
+
+TEST_P(EngineProperties, ReputationMonotoneInHonestyAcrossWorkers) {
+  // Worker that attacks every round ends with strictly lower reputation
+  // than one that never attacks (same environment).
+  FiflConfig cfg;
+  cfg.servers = 2;
+  cfg.reputation.initial = 0.5;
+  FiflEngine engine(cfg, 6, 30);
+  util::Rng rng(GetParam() + 40);
+  const std::vector<bool> attacker{false, false, false, false, false, true};
+  for (int round = 0; round < 6; ++round) {
+    (void)engine.process_round(make_round(rng, 6, 30, attacker));
+  }
+  EXPECT_GT(engine.reputation().reputation(0),
+            engine.reputation().reputation(5) + 0.3);
+}
+
+TEST_P(EngineProperties, DegradedRoundPaysNobodyAndSealsBlock) {
+  FiflConfig cfg;
+  cfg.servers = 2;
+  FiflEngine engine(cfg, 4, 16);
+  util::Rng rng(GetParam() + 50);
+  auto uploads = make_round(rng, 4, 16, std::vector<bool>(4, false));
+  for (auto& up : uploads) {
+    up.arrived = false;
+    up.gradient.zero();
+  }
+  const auto report = engine.process_round(uploads);
+  EXPECT_TRUE(report.degraded);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(report.rewards[i], 0.0);
+    EXPECT_EQ(report.detection.uncertain[i], 1);
+  }
+  EXPECT_DOUBLE_EQ(report.global_gradient.squared_norm(), 0.0);
+  EXPECT_EQ(engine.ledger().block_count(), 1u);
+  EXPECT_TRUE(engine.ledger().verify_chain());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperties,
+                         ::testing::Values(101, 202, 303));
+
+}  // namespace
+}  // namespace fifl::core

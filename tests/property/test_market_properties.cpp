@@ -1,0 +1,123 @@
+// Property tests for the payoff-sharing mechanisms over randomized worker
+// pools: normalisation, monotonicity, symmetry, and dominance relations
+// that the paper's comparison implicitly relies on.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "market/baselines.hpp"
+#include "market/utility.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::market {
+namespace {
+
+std::vector<double> random_pool(util::Rng& rng, std::size_t n) {
+  std::vector<double> samples(n);
+  for (auto& s : samples) s = rng.uniform(1.0, 10000.0);
+  return samples;
+}
+
+class MarketProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MarketProperties, SharesNormaliseAndAreNonNegative) {
+  util::Rng rng(GetParam());
+  const auto samples = random_pool(rng, 12);
+  for (const auto& mech : standard_mechanisms(GetParam())) {
+    const auto shares = mech->shares(samples);
+    double total = 0.0;
+    for (double s : shares) {
+      EXPECT_GE(s, 0.0) << mech->name();
+      total += s;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << mech->name();
+  }
+}
+
+TEST_P(MarketProperties, DuplicateWorkersGetEqualShares) {
+  util::Rng rng(GetParam() + 1);
+  auto samples = random_pool(rng, 8);
+  samples[3] = samples[6];  // two identical workers
+  for (const auto& mech : standard_mechanisms(GetParam())) {
+    const auto shares = mech->shares(samples);
+    EXPECT_NEAR(shares[3], shares[6], 1e-6) << mech->name();
+  }
+}
+
+TEST_P(MarketProperties, AddingAWorkerNeverRaisesOthersAbsoluteWeight) {
+  // For Union: marginal utilities shrink when the federation grows (log
+  // concavity) — the crowding-out the paper's market dynamic rests on.
+  util::Rng rng(GetParam() + 2);
+  auto samples = random_pool(rng, 9);
+  UnionIncentive mech;
+  const auto before = mech.weights(samples, {});
+  samples.push_back(5000.0);
+  const auto after = mech.weights(samples, {});
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_LE(after[i], before[i] + 1e-12);
+  }
+}
+
+TEST_P(MarketProperties, ShapleyDominatesUnionForEveryWorker) {
+  // Shapley averages marginals over all join orders; the grand-coalition
+  // marginal (Union) is the smallest of them under concavity.
+  util::Rng rng(GetParam() + 3);
+  const auto samples = random_pool(rng, 9);
+  const auto union_w = UnionIncentive().weights(samples, {});
+  const auto shapley_w = ShapleyIncentive().exact_weights(samples);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_GE(shapley_w[i], union_w[i] - 1e-9) << "worker " << i;
+  }
+}
+
+TEST_P(MarketProperties, ShapleyEfficiencyOnRandomPools) {
+  util::Rng rng(GetParam() + 4);
+  const auto samples = random_pool(rng, 10);
+  const auto w = ShapleyIncentive().exact_weights(samples);
+  EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0),
+              federation_utility(samples), 1e-9);
+}
+
+TEST_P(MarketProperties, FiflSharesMonotoneInReputation) {
+  util::Rng rng(GetParam() + 5);
+  const auto samples = random_pool(rng, 8);
+  FiflIncentive mech;
+  std::vector<double> reps(8, 1.0);
+  const auto base = mech.shares(samples, reps);
+  reps[2] = 0.4;
+  const auto lowered = mech.shares(samples, reps);
+  if (base[2] > 0.0) {
+    EXPECT_LT(lowered[2], base[2]);
+    // Everyone else's normalised share weakly rises.
+    for (std::size_t i = 0; i < 8; ++i) {
+      if (i == 2) continue;
+      EXPECT_GE(lowered[i], base[i] - 1e-12);
+    }
+  }
+}
+
+TEST_P(MarketProperties, EqualIsInvariantToSampleCounts) {
+  util::Rng rng(GetParam() + 6);
+  const auto a = EqualIncentive().shares(random_pool(rng, 7));
+  const auto b = EqualIncentive().shares(random_pool(rng, 7));
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(MarketProperties, IndividualSharesScaleSublinearlyWithSamples) {
+  // Ψ = log(1+n): multiplying one worker's samples by 100 must raise its
+  // Individual share by far less than 100x.
+  util::Rng rng(GetParam() + 7);
+  auto samples = random_pool(rng, 6);
+  samples[0] = 50.0;
+  const auto before = IndividualIncentive().shares(samples);
+  samples[0] = 5000.0;
+  const auto after = IndividualIncentive().shares(samples);
+  EXPECT_GT(after[0], before[0]);
+  EXPECT_LT(after[0], 10.0 * before[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarketProperties,
+                         ::testing::Values(7, 17, 27, 37));
+
+}  // namespace
+}  // namespace fifl::market

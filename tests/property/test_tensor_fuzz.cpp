@@ -1,0 +1,125 @@
+// Randomized fuzzing of the tensor kernels against naive reference
+// implementations across shape sweeps — the parallel/blocked fast paths
+// must agree with the obvious triple loop everywhere.
+#include <gtest/gtest.h>
+
+#include "tensor/conv.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::tensor {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a(i, kk)) * static_cast<double>(b(kk, j));
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+class TensorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TensorFuzz, MatmulAgreesWithNaive) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.range(1, 40));
+    const auto k = static_cast<std::size_t>(rng.range(1, 40));
+    const auto n = static_cast<std::size_t>(rng.range(1, 40));
+    Tensor a = Tensor::gaussian({m, k}, rng);
+    Tensor b = Tensor::gaussian({k, n}, rng);
+    EXPECT_TRUE(matmul(a, b).allclose(naive_matmul(a, b), 1e-3f))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST_P(TensorFuzz, MatmulVariantsAgree) {
+  util::Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.range(1, 24));
+    const auto k = static_cast<std::size_t>(rng.range(1, 24));
+    const auto n = static_cast<std::size_t>(rng.range(1, 24));
+    Tensor a = Tensor::gaussian({m, k}, rng);
+    Tensor b = Tensor::gaussian({k, n}, rng);
+    Tensor reference = matmul(a, b);
+    EXPECT_TRUE(matmul_nt(a, transpose(b)).allclose(reference, 1e-3f));
+    EXPECT_TRUE(matmul_tn(transpose(a), b).allclose(reference, 1e-3f));
+  }
+}
+
+TEST_P(TensorFuzz, ConvShapesSweep) {
+  util::Rng rng(GetParam() + 2);
+  for (int trial = 0; trial < 4; ++trial) {
+    ConvSpec spec;
+    spec.in_channels = static_cast<std::size_t>(rng.range(1, 3));
+    spec.out_channels = static_cast<std::size_t>(rng.range(1, 4));
+    spec.kernel = static_cast<std::size_t>(rng.range(1, 3));
+    spec.stride = static_cast<std::size_t>(rng.range(1, 2));
+    spec.padding = static_cast<std::size_t>(rng.range(0, 1));
+    const auto h = static_cast<std::size_t>(rng.range(
+        static_cast<std::int64_t>(spec.kernel), 9));
+    const auto n = static_cast<std::size_t>(rng.range(1, 3));
+    Tensor x = Tensor::gaussian({n, spec.in_channels, h, h}, rng);
+    Tensor w = Tensor::gaussian(
+        {spec.out_channels, spec.in_channels, spec.kernel, spec.kernel}, rng);
+    Tensor bias = Tensor::gaussian({spec.out_channels}, rng);
+    const Tensor y = conv2d_forward(x, w, bias, spec);
+    EXPECT_EQ(y.dim(0), n);
+    EXPECT_EQ(y.dim(1), spec.out_channels);
+    EXPECT_EQ(y.dim(2), spec.out_dim(h));
+    EXPECT_FALSE(has_nonfinite(y));
+    // Backward runs and produces matching shapes.
+    const auto grads = conv2d_backward(x, w, y, spec);
+    EXPECT_EQ(grads.grad_input.shape(), x.shape());
+    EXPECT_EQ(grads.grad_weight.shape(), w.shape());
+    EXPECT_EQ(grads.grad_bias.shape(), bias.shape());
+  }
+}
+
+TEST_P(TensorFuzz, ConvLinearityInInput) {
+  // conv(αx) = α·conv(x) when bias = 0.
+  util::Rng rng(GetParam() + 3);
+  ConvSpec spec{.in_channels = 2, .out_channels = 3, .kernel = 3, .stride = 1,
+                .padding = 1};
+  Tensor x = Tensor::gaussian({1, 2, 6, 6}, rng);
+  Tensor w = Tensor::gaussian({3, 2, 3, 3}, rng);
+  Tensor zero_bias({3});
+  Tensor y = conv2d_forward(x, w, zero_bias, spec);
+  Tensor x2 = x.clone();
+  scale_inplace(x2, 2.5f);
+  Tensor y2 = conv2d_forward(x2, w, zero_bias, spec);
+  Tensor y_scaled = y.clone();
+  scale_inplace(y_scaled, 2.5f);
+  EXPECT_TRUE(y2.allclose(y_scaled, 1e-3f));
+}
+
+TEST_P(TensorFuzz, DotCommutesAndDistributes) {
+  util::Rng rng(GetParam() + 4);
+  const auto n = static_cast<std::size_t>(rng.range(1, 200));
+  Tensor a = Tensor::gaussian({n}, rng);
+  Tensor b = Tensor::gaussian({n}, rng);
+  Tensor c = Tensor::gaussian({n}, rng);
+  EXPECT_NEAR(dot(a, b), dot(b, a), 1e-9);
+  EXPECT_NEAR(dot(add(a, b), c), dot(a, c) + dot(b, c), 1e-4);
+}
+
+TEST_P(TensorFuzz, SquaredDistanceIsNormOfDifference) {
+  util::Rng rng(GetParam() + 5);
+  const auto n = static_cast<std::size_t>(rng.range(1, 150));
+  Tensor a = Tensor::gaussian({n}, rng);
+  Tensor b = Tensor::gaussian({n}, rng);
+  EXPECT_NEAR(squared_distance(a.flat(), b.flat()), squared_norm(sub(a, b)),
+              1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TensorFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace fifl::tensor

@@ -1,0 +1,193 @@
+#include "tensor/conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::tensor {
+namespace {
+
+// Naive direct convolution reference.
+Tensor conv_reference(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const ConvSpec& spec) {
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  Tensor out({n, spec.out_channels, oh, ow});
+  for (std::size_t img = 0; img < n; ++img) {
+    for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          double acc = static_cast<double>(bias[oc]);
+          for (std::size_t ic = 0; ic < c; ++ic) {
+            for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+              for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+                const auto iy = static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                                static_cast<std::ptrdiff_t>(spec.padding);
+                const auto ix = static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                                static_cast<std::ptrdiff_t>(spec.padding);
+                if (iy < 0 || ix < 0 || iy >= static_cast<std::ptrdiff_t>(h) ||
+                    ix >= static_cast<std::ptrdiff_t>(w)) {
+                  continue;
+                }
+                acc += static_cast<double>(
+                           input(img, ic, static_cast<std::size_t>(iy),
+                                 static_cast<std::size_t>(ix))) *
+                       static_cast<double>(weight(oc, ic, ky, kx));
+              }
+            }
+          }
+          out(img, oc, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Conv, OutDimFormula) {
+  ConvSpec s{.in_channels = 1, .out_channels = 1, .kernel = 3, .stride = 1, .padding = 1};
+  EXPECT_EQ(s.out_dim(28), 28u);
+  s.padding = 0;
+  EXPECT_EQ(s.out_dim(28), 26u);
+  s.stride = 2;
+  EXPECT_EQ(s.out_dim(28), 13u);
+}
+
+TEST(Conv, Im2colIdentityKernel1x1) {
+  util::Rng rng(1);
+  Tensor x = Tensor::gaussian({2, 3, 4, 4}, rng);
+  ConvSpec s{.in_channels = 3, .out_channels = 1, .kernel = 1, .stride = 1, .padding = 0};
+  Tensor cols = im2col(x, s);
+  EXPECT_EQ(cols.dim(0), 2u * 4 * 4);
+  EXPECT_EQ(cols.dim(1), 3u);
+  // Row (img=0, y=1, x=2) holds x[0, :, 1, 2].
+  for (std::size_t ch = 0; ch < 3; ++ch) {
+    EXPECT_FLOAT_EQ(cols(1 * 4 + 2, ch), x(0, ch, 1, 2));
+  }
+}
+
+TEST(Conv, ForwardMatchesReferenceNoPadding) {
+  util::Rng rng(2);
+  ConvSpec s{.in_channels = 2, .out_channels = 3, .kernel = 3, .stride = 1, .padding = 0};
+  Tensor x = Tensor::gaussian({2, 2, 6, 6}, rng);
+  Tensor w = Tensor::gaussian({3, 2, 3, 3}, rng);
+  Tensor b = Tensor::gaussian({3}, rng);
+  EXPECT_TRUE(conv2d_forward(x, w, b, s).allclose(conv_reference(x, w, b, s), 1e-4f));
+}
+
+TEST(Conv, ForwardMatchesReferenceWithPaddingAndStride) {
+  util::Rng rng(3);
+  ConvSpec s{.in_channels = 1, .out_channels = 2, .kernel = 5, .stride = 2, .padding = 2};
+  Tensor x = Tensor::gaussian({1, 1, 9, 9}, rng);
+  Tensor w = Tensor::gaussian({2, 1, 5, 5}, rng);
+  Tensor b = Tensor::gaussian({2}, rng);
+  EXPECT_TRUE(conv2d_forward(x, w, b, s).allclose(conv_reference(x, w, b, s), 1e-4f));
+}
+
+TEST(Conv, Col2imInvertsIm2colForDisjointPatches) {
+  // stride == kernel, no padding: patches are disjoint, so col2im(im2col(x))
+  // reproduces x exactly.
+  util::Rng rng(4);
+  ConvSpec s{.in_channels = 2, .out_channels = 1, .kernel = 2, .stride = 2, .padding = 0};
+  Tensor x = Tensor::gaussian({2, 2, 4, 4}, rng);
+  Tensor cols = im2col(x, s);
+  Tensor back = col2im(cols, s, 2, 4, 4);
+  EXPECT_TRUE(back.allclose(x, 1e-5f));
+}
+
+// Central-difference gradient check of the full conv backward pass.
+TEST(Conv, BackwardNumericalGradcheck) {
+  util::Rng rng(5);
+  ConvSpec s{.in_channels = 2, .out_channels = 2, .kernel = 3, .stride = 1, .padding = 1};
+  Tensor x = Tensor::gaussian({1, 2, 5, 5}, rng, 0.0f, 0.5f);
+  Tensor w = Tensor::gaussian({2, 2, 3, 3}, rng, 0.0f, 0.5f);
+  Tensor b = Tensor::gaussian({2}, rng, 0.0f, 0.5f);
+
+  // Scalar objective: L = sum(conv(x)) weighted by fixed coefficients.
+  Tensor coeff = Tensor::gaussian({1, 2, 5, 5}, rng);
+  auto objective = [&](const Tensor& xx, const Tensor& ww, const Tensor& bb) {
+    Tensor y = conv2d_forward(xx, ww, bb, s);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i) {
+      acc += static_cast<double>(y[i]) * static_cast<double>(coeff[i]);
+    }
+    return acc;
+  };
+
+  const auto grads = conv2d_backward(x, w, coeff, s);
+  const float eps = 1e-2f;
+
+  for (std::size_t i = 0; i < x.numel(); i += 7) {
+    Tensor xp = x.clone(), xm = x.clone();
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double numeric =
+        (objective(xp, w, b) - objective(xm, w, b)) / (2.0 * static_cast<double>(eps));
+    EXPECT_NEAR(grads.grad_input[i], numeric, 5e-2)
+        << "grad_input mismatch at " << i;
+  }
+  for (std::size_t i = 0; i < w.numel(); i += 5) {
+    Tensor wp = w.clone(), wm = w.clone();
+    wp[i] += eps;
+    wm[i] -= eps;
+    const double numeric =
+        (objective(x, wp, b) - objective(x, wm, b)) / (2.0 * static_cast<double>(eps));
+    EXPECT_NEAR(grads.grad_weight[i], numeric, 5e-2)
+        << "grad_weight mismatch at " << i;
+  }
+  for (std::size_t i = 0; i < b.numel(); ++i) {
+    Tensor bp = b.clone(), bm = b.clone();
+    bp[i] += eps;
+    bm[i] -= eps;
+    const double numeric =
+        (objective(x, w, bp) - objective(x, w, bm)) / (2.0 * static_cast<double>(eps));
+    EXPECT_NEAR(grads.grad_bias[i], numeric, 5e-2)
+        << "grad_bias mismatch at " << i;
+  }
+}
+
+TEST(Pool, MaxPoolPicksWindowMaxima) {
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  std::vector<std::size_t> argmax;
+  Tensor y = maxpool2d_forward(x, 2, argmax);
+  EXPECT_EQ(y.dim(2), 2u);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y(0, 0, 0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(y(0, 0, 1, 0), 13.0f);
+  EXPECT_FLOAT_EQ(y(0, 0, 1, 1), 15.0f);
+}
+
+TEST(Pool, MaxPoolBackwardRoutesToArgmax) {
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 9, 3, 4});
+  std::vector<std::size_t> argmax;
+  Tensor y = maxpool2d_forward(x, 2, argmax);
+  Tensor gy({1, 1, 1, 1}, std::vector<float>{2.5f});
+  Tensor gx = maxpool2d_backward(gy, argmax, x.shape());
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 2.5f);  // index of the 9
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+  EXPECT_FLOAT_EQ(gx[3], 0.0f);
+}
+
+TEST(Pool, MaxPoolRejectsNonDividingWindow) {
+  Tensor x({1, 1, 5, 5});
+  std::vector<std::size_t> argmax;
+  EXPECT_THROW((void)maxpool2d_forward(x, 2, argmax), std::invalid_argument);
+}
+
+TEST(Pool, GlobalAvgPoolForwardAndBackward) {
+  Tensor x({1, 2, 2, 2}, std::vector<float>{1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor y = global_avgpool_forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y(0, 1), 25.0f);
+  Tensor gy({1, 2}, std::vector<float>{4.0f, 8.0f});
+  Tensor gx = global_avgpool_backward(gy, x.shape());
+  EXPECT_FLOAT_EQ(gx(0, 0, 0, 0), 1.0f);   // 4 / 4 pixels
+  EXPECT_FLOAT_EQ(gx(0, 1, 1, 1), 2.0f);   // 8 / 4 pixels
+}
+
+}  // namespace
+}  // namespace fifl::tensor

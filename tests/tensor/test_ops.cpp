@@ -1,0 +1,159 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace fifl::tensor {
+namespace {
+
+TEST(Ops, AddSubMulInplace) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{4, 5, 6});
+  add_inplace(a, b);
+  EXPECT_FLOAT_EQ(a[0], 5.0f);
+  sub_inplace(a, b);
+  EXPECT_FLOAT_EQ(a[2], 3.0f);
+  mul_inplace(a, b);
+  EXPECT_FLOAT_EQ(a[1], 10.0f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Tensor a({3}), b({4});
+  EXPECT_THROW(add_inplace(a, b), std::invalid_argument);
+  EXPECT_THROW(sub_inplace(a, b), std::invalid_argument);
+  EXPECT_THROW(axpy_inplace(a, 1.0f, b), std::invalid_argument);
+}
+
+TEST(Ops, ScaleAndAxpy) {
+  Tensor a({2}, std::vector<float>{1, 2});
+  Tensor x({2}, std::vector<float>{10, 20});
+  scale_inplace(a, 2.0f);
+  axpy_inplace(a, 0.5f, x);
+  EXPECT_FLOAT_EQ(a[0], 7.0f);
+  EXPECT_FLOAT_EQ(a[1], 14.0f);
+}
+
+TEST(Ops, NonMutatingAddSub) {
+  Tensor a({2}, std::vector<float>{1, 2});
+  Tensor b({2}, std::vector<float>{3, 4});
+  Tensor c = add(a, b);
+  Tensor d = sub(b, a);
+  EXPECT_FLOAT_EQ(a[0], 1.0f);  // unchanged
+  EXPECT_FLOAT_EQ(c[1], 6.0f);
+  EXPECT_FLOAT_EQ(d[0], 2.0f);
+}
+
+TEST(Ops, SumDotNorms) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{4, 5, 6});
+  EXPECT_DOUBLE_EQ(sum(a), 6.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(squared_norm(a), 14.0);
+  EXPECT_NEAR(norm(a), std::sqrt(14.0), 1e-12);
+}
+
+TEST(Ops, SquaredDistance) {
+  Tensor a({2}, std::vector<float>{1, 2});
+  Tensor b({2}, std::vector<float>{4, 6});
+  EXPECT_DOUBLE_EQ(squared_distance(a.flat(), b.flat()), 25.0);
+}
+
+TEST(Ops, CosineSimilarityProperties) {
+  Tensor a({3}, std::vector<float>{1, 0, 0});
+  Tensor b({3}, std::vector<float>{0, 1, 0});
+  Tensor c({3}, std::vector<float>{2, 0, 0});
+  Tensor neg({3}, std::vector<float>{-5, 0, 0});
+  Tensor zero({3});
+  EXPECT_NEAR(cosine_similarity(a.flat(), b.flat()), 0.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity(a.flat(), c.flat()), 1.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity(a.flat(), neg.flat()), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a.flat(), zero.flat()), 0.0);
+}
+
+TEST(Ops, ArgmaxFirstOnTies) {
+  Tensor a({4}, std::vector<float>{1, 3, 3, 2});
+  EXPECT_EQ(argmax(a.flat()), 1u);
+}
+
+TEST(Ops, MatmulSmallKnown) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulInnerDimMismatchThrows) {
+  Tensor a({2, 3}), b({2, 2});
+  EXPECT_THROW((void)matmul(a, b), std::invalid_argument);
+}
+
+TEST(Ops, MatmulVariantsConsistent) {
+  util::Rng rng(5);
+  Tensor a = Tensor::gaussian({7, 9}, rng);
+  Tensor b = Tensor::gaussian({9, 11}, rng);
+  Tensor c = matmul(a, b);
+  // a * b == matmul_nt(a, b^T) == matmul_tn(a^T, b)
+  Tensor c_nt = matmul_nt(a, transpose(b));
+  Tensor c_tn = matmul_tn(transpose(a), b);
+  EXPECT_TRUE(c.allclose(c_nt, 1e-4f));
+  EXPECT_TRUE(c.allclose(c_tn, 1e-4f));
+}
+
+TEST(Ops, MatmulLargeParallelMatchesSerialDefinition) {
+  util::Rng rng(6);
+  Tensor a = Tensor::gaussian({64, 33}, rng);
+  Tensor b = Tensor::gaussian({33, 17}, rng);
+  Tensor c = matmul(a, b);
+  for (std::size_t i = 0; i < 64; i += 13) {
+    for (std::size_t j = 0; j < 17; j += 5) {
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < 33; ++k) acc += a(i, k) * b(k, j);
+      EXPECT_NEAR(c(i, j), acc, 1e-3f);
+    }
+  }
+}
+
+TEST(Ops, TransposeInvolution) {
+  util::Rng rng(7);
+  Tensor a = Tensor::gaussian({5, 8}, rng);
+  EXPECT_TRUE(transpose(transpose(a)).allclose(a));
+}
+
+TEST(Ops, HasNonfiniteDetectsNanAndInf) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  EXPECT_FALSE(has_nonfinite(a));
+  a[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(has_nonfinite(a));
+  a[1] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(has_nonfinite(a));
+}
+
+// Property sweep over shapes: (A·B)ᵀ == Bᵀ·Aᵀ.
+class MatmulTransposeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulTransposeProperty, TransposeOfProduct) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n));
+  Tensor a = Tensor::gaussian({static_cast<std::size_t>(m), static_cast<std::size_t>(k)}, rng);
+  Tensor b = Tensor::gaussian({static_cast<std::size_t>(k), static_cast<std::size_t>(n)}, rng);
+  Tensor lhs = transpose(matmul(a, b));
+  Tensor rhs = matmul(transpose(b), transpose(a));
+  EXPECT_TRUE(lhs.allclose(rhs, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulTransposeProperty,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{2, 3, 4},
+                                           std::tuple{16, 16, 16},
+                                           std::tuple{5, 31, 2},
+                                           std::tuple{33, 1, 7}));
+
+}  // namespace
+}  // namespace fifl::tensor

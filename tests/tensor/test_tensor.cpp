@@ -1,0 +1,115 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifl::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.dim(2), 4u);
+  EXPECT_EQ(t.numel(), 24u);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({2, 2}, 3.5f);
+  for (float v : t.flat()) EXPECT_FLOAT_EQ(v, 3.5f);
+}
+
+TEST(Tensor, DataConstructorChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, ZerosOnesFull) {
+  EXPECT_FLOAT_EQ(Tensor::zeros({3})[0], 0.0f);
+  EXPECT_FLOAT_EQ(Tensor::ones({3})[2], 1.0f);
+  EXPECT_FLOAT_EQ(Tensor::full({3}, -2.0f)[1], -2.0f);
+}
+
+TEST(Tensor, Rank2Indexing) {
+  Tensor t({2, 3});
+  t(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t[1 * 3 + 2], 5.0f);
+  EXPECT_FLOAT_EQ(t(1, 2), 5.0f);
+}
+
+TEST(Tensor, Rank4IndexingIsRowMajorNCHW) {
+  Tensor t({2, 3, 4, 5});
+  t(1, 2, 3, 4) = 9.0f;
+  EXPECT_FLOAT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({2});
+  EXPECT_NO_THROW(t.at(1));
+  EXPECT_THROW(t.at(2), std::out_of_range);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksNumel) {
+  Tensor t({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_FLOAT_EQ(t(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t({2}, 1.0f);
+  Tensor c = t.clone();
+  c[0] = 99.0f;
+  EXPECT_FLOAT_EQ(t[0], 1.0f);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({4}, 2.0f);
+  t.zero();
+  for (float v : t.flat()) EXPECT_FLOAT_EQ(v, 0.0f);
+  t.fill(7.0f);
+  for (float v : t.flat()) EXPECT_FLOAT_EQ(v, 7.0f);
+}
+
+TEST(Tensor, AllcloseRespectsToleranceAndShape) {
+  Tensor a({2}, 1.0f);
+  Tensor b({2}, 1.0f + 5e-6f);
+  Tensor c({2, 1}, 1.0f);
+  EXPECT_TRUE(a.allclose(b, 1e-5f));
+  EXPECT_FALSE(a.allclose(b, 1e-7f));
+  EXPECT_FALSE(a.allclose(c));  // shape mismatch
+}
+
+TEST(Tensor, UniformWithinBounds) {
+  util::Rng rng(1);
+  Tensor t = Tensor::uniform({1000}, rng, -2.0f, 3.0f);
+  for (float v : t.flat()) {
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Tensor, GaussianMoments) {
+  util::Rng rng(2);
+  Tensor t = Tensor::gaussian({20000}, rng, 1.0f, 0.5f);
+  double sum = 0.0;
+  for (float v : t.flat()) sum += static_cast<double>(v);
+  EXPECT_NEAR(sum / static_cast<double>(t.numel()), 1.0, 0.02);
+}
+
+TEST(Tensor, ShapeStringFormat) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.shape_string(), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace fifl::tensor

@@ -1,0 +1,26 @@
+// Compile-time smoke test: the umbrella header includes cleanly and the
+// major types are visible through it.
+#include "fifl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifl {
+namespace {
+
+TEST(Umbrella, TypesAreVisible) {
+  util::Rng rng(1);
+  tensor::Tensor t({2, 2});
+  fl::Gradient g(4);
+  core::ReputationModule rep({.gamma = 0.1});
+  market::EqualIncentive equal;
+  chain::KeyRegistry registry(1);
+  EXPECT_EQ(t.numel(), 4u);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(equal.name(), "Equal");
+  (void)rng;
+  (void)rep;
+  (void)registry;
+}
+
+}  // namespace
+}  // namespace fifl

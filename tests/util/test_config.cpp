@@ -1,0 +1,74 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fifl::util {
+namespace {
+
+TEST(Config, ParsesKeyValueArgs) {
+  const char* argv[] = {"prog", "--rounds=50", "--lr=0.1", "--verbose"};
+  const Config cfg = Config::from_args(4, argv);
+  EXPECT_EQ(cfg.get_int("rounds", 0), 50);
+  EXPECT_DOUBLE_EQ(cfg.get_double("lr", 0.0), 0.1);
+  EXPECT_TRUE(cfg.get_bool("verbose", false));
+}
+
+TEST(Config, PositionalArgumentsCollected) {
+  const char* argv[] = {"prog", "input.txt", "--k=v", "output.txt"};
+  const Config cfg = Config::from_args(4, argv);
+  ASSERT_EQ(cfg.positional().size(), 2u);
+  EXPECT_EQ(cfg.positional()[0], "input.txt");
+  EXPECT_EQ(cfg.positional()[1], "output.txt");
+}
+
+TEST(Config, MissingKeyUsesFallback) {
+  const char* argv[] = {"prog"};
+  const Config cfg = Config::from_args(1, argv);
+  EXPECT_EQ(cfg.get_int("absent", 7), 7);
+  EXPECT_EQ(cfg.get_or("absent", "d"), "d");
+  EXPECT_FALSE(cfg.get("absent").has_value());
+}
+
+TEST(Config, FromTextParsesAndIgnoresComments) {
+  const Config cfg = Config::from_text(
+      "# comment line\n"
+      "alpha = 1.5\n"
+      "name= fifl # trailing comment\n"
+      "\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(cfg.get_or("name", ""), "fifl");
+}
+
+TEST(Config, FromTextMissingEqualsThrows) {
+  EXPECT_THROW(Config::from_text("no equals here"), std::invalid_argument);
+}
+
+TEST(Config, BoolVariants) {
+  Config cfg;
+  cfg.set("a", "true");
+  cfg.set("b", "1");
+  cfg.set("c", "yes");
+  cfg.set("d", "on");
+  cfg.set("e", "false");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_TRUE(cfg.get_bool("b", false));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_TRUE(cfg.get_bool("d", false));
+  EXPECT_FALSE(cfg.get_bool("e", true));
+}
+
+TEST(Config, SetOverwrites) {
+  Config cfg;
+  cfg.set("k", "1");
+  cfg.set("k", "2");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+  EXPECT_TRUE(cfg.has("k"));
+}
+
+TEST(Config, EnvHelpersFallBack) {
+  EXPECT_EQ(env_int("FIFL_DEFINITELY_UNSET_VAR_XYZ", 5), 5);
+  EXPECT_DOUBLE_EQ(env_double("FIFL_DEFINITELY_UNSET_VAR_XYZ", 2.5), 2.5);
+}
+
+}  // namespace
+}  // namespace fifl::util

@@ -1,0 +1,172 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace fifl::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng base(9);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  Rng s1_again = base.split(1);
+  EXPECT_EQ(s1.next(), s1_again.next());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s1.next() == s2.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversAllValues) {
+  Rng rng(6);
+  std::vector<int> seen(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    ++seen[v];
+  }
+  for (int count : seen) EXPECT_GT(count, 700);
+}
+
+TEST(Rng, BelowZeroReturnsZero) {
+  Rng rng(8);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng(12);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianWithParamsShiftsAndScales) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(14);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v.begin(), v.size());
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(15);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v.begin(), v.size());
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) moved += (v[static_cast<std::size_t>(i)] != i);
+  EXPECT_GT(moved, 80);
+}
+
+// Property sweep: `below(n)` is roughly uniform for several n.
+class RngBelowUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBelowUniformity, ChiSquareWithinBound) {
+  const std::uint64_t n = GetParam();
+  Rng rng(100 + n);
+  const std::size_t draws = 20000 * n;
+  std::vector<double> counts(n, 0.0);
+  for (std::size_t i = 0; i < draws; ++i) ++counts[rng.below(n)];
+  const double expected = static_cast<double>(draws) / static_cast<double>(n);
+  double chi2 = 0.0;
+  for (double c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  // Very loose bound: chi2 ~ n-1 in expectation; fail only on gross bias.
+  EXPECT_LT(chi2, 5.0 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RngBelowUniformity,
+                         ::testing::Values(2, 3, 5, 10, 17));
+
+}  // namespace
+}  // namespace fifl::util

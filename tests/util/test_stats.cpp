@@ -1,0 +1,204 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fifl::util {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(xs), 4.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+}
+
+TEST(Stats, PearsonPerfectPositive) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonAffineInvariance) {
+  // Correlation is invariant under positive affine maps of either series.
+  Rng rng(1);
+  std::vector<double> xs(64), ys(64), ys2(64);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.gaussian();
+    ys[i] = rng.gaussian() + 0.5 * xs[i];
+    ys2[i] = 3.0 * ys[i] + 7.0;
+  }
+  EXPECT_NEAR(pearson(xs, ys), pearson(xs, ys2), 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  const std::vector<double> xs{1, 1, 1, 1};
+  const std::vector<double> ys{1, 2, 3, 4};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonSizeMismatchThrows) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_THROW((void)pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(Stats, SpearmanMonotoneNonlinear) {
+  // y = x^3 is monotone: Spearman 1 even though Pearson < 1.
+  std::vector<double> xs, ys;
+  for (int i = -5; i <= 5; ++i) {
+    xs.push_back(i);
+    ys.push_back(static_cast<double>(i * i * i));
+  }
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(Stats, SpearmanHandlesTies) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  const std::vector<double> ys{1, 2, 2, 3};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Gini, PerfectEqualityIsZero) {
+  const std::vector<double> xs{5, 5, 5, 5};
+  EXPECT_NEAR(gini(xs), 0.0, 1e-12);
+}
+
+TEST(Gini, MaximalConcentrationApproachesOne) {
+  std::vector<double> xs(100, 0.0);
+  xs[0] = 1.0;
+  EXPECT_NEAR(gini(xs), 0.99, 1e-9);  // (n-1)/n
+}
+
+TEST(Gini, KnownValue) {
+  // {1, 3}: Gini = |1-3| / (2·n·mean) = 2 / (2·2·2) = 0.25.
+  const std::vector<double> xs{1.0, 3.0};
+  EXPECT_NEAR(gini(xs), 0.25, 1e-12);
+}
+
+TEST(Gini, ScaleInvariant) {
+  const std::vector<double> xs{1, 2, 3, 4, 10};
+  std::vector<double> scaled;
+  for (double x : xs) scaled.push_back(7.5 * x);
+  EXPECT_NEAR(gini(xs), gini(scaled), 1e-12);
+}
+
+TEST(Gini, EdgeCases) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(gini(zeros), 0.0);
+  const std::vector<double> negatives{1.0, -1.0};
+  EXPECT_THROW((void)gini(negatives), std::invalid_argument);
+}
+
+TEST(RunningStat, MatchesBatchComputation) {
+  Rng rng(2);
+  std::vector<double> xs(1000);
+  RunningStat rs;
+  for (auto& x : xs) {
+    x = rng.gaussian(3.0, 2.0);
+    rs.add(x);
+  }
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_of(xs));
+}
+
+TEST(RunningStat, MergeEqualsSingleStream) {
+  Rng rng(3);
+  RunningStat a, b, whole;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1, 5);
+    (i % 2 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmptyIsIdentity) {
+  RunningStat a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double m = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), m);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Histogram, BinningAndFractions) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(9.9);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+}
+
+TEST(Histogram, OutOfRangeClampsToEndBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+}
+
+TEST(Histogram, WeightsAccumulate) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 2.5);
+  h.add(0.75, 0.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.5);
+}
+
+TEST(Histogram, BadConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinEdgesAreUniform) {
+  Histogram h(2.0, 6.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 6.0);
+}
+
+}  // namespace
+}  // namespace fifl::util

@@ -1,0 +1,122 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace fifl::util {
+namespace {
+
+TEST(Table, HeadersRequired) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only one")}), std::invalid_argument);
+}
+
+TEST(Table, TextContainsHeadersAndCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "2"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, TextColumnsAligned) {
+  Table t({"x", "longer_header"});
+  t.add_row({"a_very_long_cell", "b"});
+  std::istringstream is(t.to_text());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, DoubleRowFormatsWithPrecision) {
+  Table t({"v"});
+  t.add_numeric_row(std::vector<double>{1.23456}, 2);
+  EXPECT_NE(t.to_text().find("1.23"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripBasic) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"a"});
+  t.add_row({"hello, \"world\""});
+  EXPECT_EQ(t.to_csv(), "a\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, WriteCsvCreatesFile) {
+  Table t({"k"});
+  t.add_row({"v"});
+  const std::string path = ::testing::TempDir() + "fifl_table_test.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "k\nv\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvBadPathThrows) {
+  Table t({"k"});
+  EXPECT_THROW(t.write_csv("/nonexistent_dir_zzz/x.csv"), std::runtime_error);
+}
+
+TEST(Sparkline, EmptyAndConstant) {
+  EXPECT_EQ(sparkline({}), "");
+  const std::vector<double> flat{2.0, 2.0, 2.0};
+  EXPECT_EQ(sparkline(flat), "▁▁▁");
+}
+
+TEST(Sparkline, MonotoneRampUsesFullRange) {
+  const std::vector<double> ramp{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(sparkline(ramp), "▁▂▃▄▅▆▇█");
+}
+
+TEST(Sparkline, MinAndMaxHitEnds) {
+  const std::vector<double> vee{1.0, 0.0, 1.0};
+  const std::string s = sparkline(vee);
+  EXPECT_EQ(s.substr(0, 3), "█");  // UTF-8: each glyph is 3 bytes
+  EXPECT_EQ(s.substr(3, 3), "▁");
+  EXPECT_EQ(s.substr(6, 3), "█");
+}
+
+TEST(Sparkline, NanRendersAsSpace) {
+  const std::vector<double> series{0.0, std::nan(""), 1.0};
+  const std::string s = sparkline(series);
+  EXPECT_EQ(s.substr(0, 3), "▁");
+  EXPECT_EQ(s[3], ' ');
+  EXPECT_EQ(s.substr(4, 3), "█");
+}
+
+TEST(Sparkline, AllNanIsSpaces) {
+  const std::vector<double> series{std::nan(""), std::nan("")};
+  EXPECT_EQ(sparkline(series), "  ");
+}
+
+TEST(FormatDouble, HandlesSpecials) {
+  EXPECT_EQ(format_double(std::nan(""), 2), "nan");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity(), 2), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity(), 2), "-inf");
+  EXPECT_EQ(format_double(1.5, 2), "1.50");
+}
+
+}  // namespace
+}  // namespace fifl::util

@@ -1,0 +1,130 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel_for.hpp"
+
+namespace fifl::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, TaskArgumentsAreForwarded) {
+  ThreadPool pool(2);
+  auto f = pool.submit([](int a, int b) { return a + b; }, 40, 2);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, InWorkerThreadFlag) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(ThreadPool::in_worker_thread());
+  auto f = pool.submit([] { return ThreadPool::in_worker_thread(); });
+  EXPECT_TRUE(f.get());
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(5000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; }, 16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SmallRangeRunsSerial) {
+  std::vector<int> hits(3, 0);
+  parallel_for(0, 3, [&](std::size_t i) { hits[i] = 1; }, 1024);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+}
+
+TEST(ParallelFor, NestedCallFromWorkerRunsInline) {
+  // A parallel_for inside a pool task must not deadlock.
+  auto& pool = ThreadPool::global();
+  std::vector<std::future<void>> futures;
+  std::atomic<int> total{0};
+  for (std::size_t t = 0; t < pool.size() + 2; ++t) {
+    futures.push_back(pool.submit([&total] {
+      parallel_for(0, 10000, [&](std::size_t) { ++total; }, 1);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(total.load(), static_cast<int>((pool.size() + 2) * 10000));
+}
+
+TEST(ParallelFor, ExceptionInBodyPropagates) {
+  EXPECT_THROW(
+      parallel_for(0, 10000,
+                   [](std::size_t i) {
+                     if (i == 4321) throw std::runtime_error("bad index");
+                   },
+                   1),
+      std::runtime_error);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  const auto total = parallel_reduce<long long>(
+      1, 10001, 0LL, [](std::size_t i) { return static_cast<long long>(i); },
+      [](long long a, long long b) { return a + b; }, 8);
+  EXPECT_EQ(total, 50005000LL);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  const auto v = parallel_reduce<int>(
+      3, 3, 42, [](std::size_t) { return 1; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(v, 42);
+}
+
+TEST(ParallelReduce, MatchesSerialForRandomBodies) {
+  auto body = [](std::size_t i) {
+    return static_cast<double>((i * 2654435761u) % 1000) / 7.0;
+  };
+  double serial = 0.0;
+  for (std::size_t i = 0; i < 50000; ++i) serial += body(i);
+  const double parallel = parallel_reduce<double>(
+      0, 50000, 0.0, body, [](double a, double b) { return a + b; }, 64);
+  EXPECT_NEAR(serial, parallel, 1e-6);
+}
+
+}  // namespace
+}  // namespace fifl::util
