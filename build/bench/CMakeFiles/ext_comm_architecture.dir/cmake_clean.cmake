@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_comm_architecture.dir/ext_comm_architecture.cpp.o"
+  "CMakeFiles/ext_comm_architecture.dir/ext_comm_architecture.cpp.o.d"
+  "ext_comm_architecture"
+  "ext_comm_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_comm_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_compression_detection.dir/ext_compression_detection.cpp.o"
+  "CMakeFiles/ext_compression_detection.dir/ext_compression_detection.cpp.o.d"
+  "ext_compression_detection"
+  "ext_compression_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_compression_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_defense_comparison.dir/ext_defense_comparison.cpp.o"
+  "CMakeFiles/ext_defense_comparison.dir/ext_defense_comparison.cpp.o.d"
+  "ext_defense_comparison"
+  "ext_defense_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_defense_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

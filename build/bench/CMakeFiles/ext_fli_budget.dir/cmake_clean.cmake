@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fli_budget.dir/ext_fli_budget.cpp.o"
+  "CMakeFiles/ext_fli_budget.dir/ext_fli_budget.cpp.o.d"
+  "ext_fli_budget"
+  "ext_fli_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fli_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

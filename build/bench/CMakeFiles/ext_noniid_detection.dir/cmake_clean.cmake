@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_noniid_detection.dir/ext_noniid_detection.cpp.o"
+  "CMakeFiles/ext_noniid_detection.dir/ext_noniid_detection.cpp.o.d"
+  "ext_noniid_detection"
+  "ext_noniid_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_noniid_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_reward_distribution.dir/fig04_reward_distribution.cpp.o"
+  "CMakeFiles/fig04_reward_distribution.dir/fig04_reward_distribution.cpp.o.d"
+  "fig04_reward_distribution"
+  "fig04_reward_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_reward_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

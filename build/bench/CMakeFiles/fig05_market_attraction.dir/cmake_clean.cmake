@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_market_attraction.dir/fig05_market_attraction.cpp.o"
+  "CMakeFiles/fig05_market_attraction.dir/fig05_market_attraction.cpp.o.d"
+  "fig05_market_attraction"
+  "fig05_market_attraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_market_attraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

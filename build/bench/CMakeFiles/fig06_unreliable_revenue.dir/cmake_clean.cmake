@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_unreliable_revenue.dir/fig06_unreliable_revenue.cpp.o"
+  "CMakeFiles/fig06_unreliable_revenue.dir/fig06_unreliable_revenue.cpp.o.d"
+  "fig06_unreliable_revenue"
+  "fig06_unreliable_revenue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_unreliable_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

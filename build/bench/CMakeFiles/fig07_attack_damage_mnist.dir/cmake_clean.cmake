@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_attack_damage_mnist.dir/fig07_attack_damage_mnist.cpp.o"
+  "CMakeFiles/fig07_attack_damage_mnist.dir/fig07_attack_damage_mnist.cpp.o.d"
+  "fig07_attack_damage_mnist"
+  "fig07_attack_damage_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_attack_damage_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_attack_damage_cifar.dir/fig08_attack_damage_cifar.cpp.o"
+  "CMakeFiles/fig08_attack_damage_cifar.dir/fig08_attack_damage_cifar.cpp.o.d"
+  "fig08_attack_damage_cifar"
+  "fig08_attack_damage_cifar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_attack_damage_cifar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

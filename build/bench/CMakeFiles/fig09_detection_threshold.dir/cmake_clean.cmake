@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_detection_threshold.dir/fig09_detection_threshold.cpp.o"
+  "CMakeFiles/fig09_detection_threshold.dir/fig09_detection_threshold.cpp.o.d"
+  "fig09_detection_threshold"
+  "fig09_detection_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_detection_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_detection_effectiveness.dir/fig10_detection_effectiveness.cpp.o"
+  "CMakeFiles/fig10_detection_effectiveness.dir/fig10_detection_effectiveness.cpp.o.d"
+  "fig10_detection_effectiveness"
+  "fig10_detection_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_detection_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

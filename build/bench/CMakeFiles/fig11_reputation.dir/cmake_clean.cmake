@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_reputation.dir/fig11_reputation.cpp.o"
+  "CMakeFiles/fig11_reputation.dir/fig11_reputation.cpp.o.d"
+  "fig11_reputation"
+  "fig11_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_contribution.dir/fig12_contribution.cpp.o"
+  "CMakeFiles/fig12_contribution.dir/fig12_contribution.cpp.o.d"
+  "fig12_contribution"
+  "fig12_contribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_contribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cumulative_rewards.dir/fig13_cumulative_rewards.cpp.o"
+  "CMakeFiles/fig13_cumulative_rewards.dir/fig13_cumulative_rewards.cpp.o.d"
+  "fig13_cumulative_rewards"
+  "fig13_cumulative_rewards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cumulative_rewards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

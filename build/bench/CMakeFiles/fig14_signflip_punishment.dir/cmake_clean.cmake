@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_signflip_punishment.dir/fig14_signflip_punishment.cpp.o"
+  "CMakeFiles/fig14_signflip_punishment.dir/fig14_signflip_punishment.cpp.o.d"
+  "fig14_signflip_punishment"
+  "fig14_signflip_punishment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_signflip_punishment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_detection_cost.dir/micro_detection_cost.cpp.o"
+  "CMakeFiles/micro_detection_cost.dir/micro_detection_cost.cpp.o.d"
+  "micro_detection_cost"
+  "micro_detection_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_detection_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

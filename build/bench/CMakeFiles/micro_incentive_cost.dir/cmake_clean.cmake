@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_incentive_cost.dir/micro_incentive_cost.cpp.o"
+  "CMakeFiles/micro_incentive_cost.dir/micro_incentive_cost.cpp.o.d"
+  "micro_incentive_cost"
+  "micro_incentive_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_incentive_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

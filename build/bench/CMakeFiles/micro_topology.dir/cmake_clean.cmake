@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_topology.dir/micro_topology.cpp.o"
+  "CMakeFiles/micro_topology.dir/micro_topology.cpp.o.d"
+  "micro_topology"
+  "micro_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

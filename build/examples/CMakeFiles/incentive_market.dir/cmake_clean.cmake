@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incentive_market.dir/incentive_market.cpp.o"
+  "CMakeFiles/incentive_market.dir/incentive_market.cpp.o.d"
+  "incentive_market"
+  "incentive_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incentive_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

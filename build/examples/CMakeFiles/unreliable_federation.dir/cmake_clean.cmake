@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unreliable_federation.dir/unreliable_federation.cpp.o"
+  "CMakeFiles/unreliable_federation.dir/unreliable_federation.cpp.o.d"
+  "unreliable_federation"
+  "unreliable_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unreliable_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/ledger.cpp" "src/chain/CMakeFiles/fifl_chain.dir/ledger.cpp.o" "gcc" "src/chain/CMakeFiles/fifl_chain.dir/ledger.cpp.o.d"
+  "/root/repo/src/chain/merkle.cpp" "src/chain/CMakeFiles/fifl_chain.dir/merkle.cpp.o" "gcc" "src/chain/CMakeFiles/fifl_chain.dir/merkle.cpp.o.d"
+  "/root/repo/src/chain/persistence.cpp" "src/chain/CMakeFiles/fifl_chain.dir/persistence.cpp.o" "gcc" "src/chain/CMakeFiles/fifl_chain.dir/persistence.cpp.o.d"
+  "/root/repo/src/chain/sha256.cpp" "src/chain/CMakeFiles/fifl_chain.dir/sha256.cpp.o" "gcc" "src/chain/CMakeFiles/fifl_chain.dir/sha256.cpp.o.d"
+  "/root/repo/src/chain/signature.cpp" "src/chain/CMakeFiles/fifl_chain.dir/signature.cpp.o" "gcc" "src/chain/CMakeFiles/fifl_chain.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fifl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifl_chain.dir/ledger.cpp.o"
+  "CMakeFiles/fifl_chain.dir/ledger.cpp.o.d"
+  "CMakeFiles/fifl_chain.dir/merkle.cpp.o"
+  "CMakeFiles/fifl_chain.dir/merkle.cpp.o.d"
+  "CMakeFiles/fifl_chain.dir/persistence.cpp.o"
+  "CMakeFiles/fifl_chain.dir/persistence.cpp.o.d"
+  "CMakeFiles/fifl_chain.dir/sha256.cpp.o"
+  "CMakeFiles/fifl_chain.dir/sha256.cpp.o.d"
+  "CMakeFiles/fifl_chain.dir/signature.cpp.o"
+  "CMakeFiles/fifl_chain.dir/signature.cpp.o.d"
+  "libfifl_chain.a"
+  "libfifl_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifl_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

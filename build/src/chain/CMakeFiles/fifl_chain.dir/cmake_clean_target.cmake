@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfifl_chain.a"
+)

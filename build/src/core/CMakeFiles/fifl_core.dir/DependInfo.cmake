@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/fifl_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/fifl_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/contribution.cpp" "src/core/CMakeFiles/fifl_core.dir/contribution.cpp.o" "gcc" "src/core/CMakeFiles/fifl_core.dir/contribution.cpp.o.d"
+  "/root/repo/src/core/defenses.cpp" "src/core/CMakeFiles/fifl_core.dir/defenses.cpp.o" "gcc" "src/core/CMakeFiles/fifl_core.dir/defenses.cpp.o.d"
+  "/root/repo/src/core/detection.cpp" "src/core/CMakeFiles/fifl_core.dir/detection.cpp.o" "gcc" "src/core/CMakeFiles/fifl_core.dir/detection.cpp.o.d"
+  "/root/repo/src/core/fairness.cpp" "src/core/CMakeFiles/fifl_core.dir/fairness.cpp.o" "gcc" "src/core/CMakeFiles/fifl_core.dir/fairness.cpp.o.d"
+  "/root/repo/src/core/fifl.cpp" "src/core/CMakeFiles/fifl_core.dir/fifl.cpp.o" "gcc" "src/core/CMakeFiles/fifl_core.dir/fifl.cpp.o.d"
+  "/root/repo/src/core/incentive.cpp" "src/core/CMakeFiles/fifl_core.dir/incentive.cpp.o" "gcc" "src/core/CMakeFiles/fifl_core.dir/incentive.cpp.o.d"
+  "/root/repo/src/core/reputation.cpp" "src/core/CMakeFiles/fifl_core.dir/reputation.cpp.o" "gcc" "src/core/CMakeFiles/fifl_core.dir/reputation.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/fifl_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/fifl_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/fifl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fifl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fifl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fifl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/fifl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fifl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

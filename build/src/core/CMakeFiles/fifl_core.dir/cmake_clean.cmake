@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifl_core.dir/audit.cpp.o"
+  "CMakeFiles/fifl_core.dir/audit.cpp.o.d"
+  "CMakeFiles/fifl_core.dir/contribution.cpp.o"
+  "CMakeFiles/fifl_core.dir/contribution.cpp.o.d"
+  "CMakeFiles/fifl_core.dir/defenses.cpp.o"
+  "CMakeFiles/fifl_core.dir/defenses.cpp.o.d"
+  "CMakeFiles/fifl_core.dir/detection.cpp.o"
+  "CMakeFiles/fifl_core.dir/detection.cpp.o.d"
+  "CMakeFiles/fifl_core.dir/fairness.cpp.o"
+  "CMakeFiles/fifl_core.dir/fairness.cpp.o.d"
+  "CMakeFiles/fifl_core.dir/fifl.cpp.o"
+  "CMakeFiles/fifl_core.dir/fifl.cpp.o.d"
+  "CMakeFiles/fifl_core.dir/incentive.cpp.o"
+  "CMakeFiles/fifl_core.dir/incentive.cpp.o.d"
+  "CMakeFiles/fifl_core.dir/reputation.cpp.o"
+  "CMakeFiles/fifl_core.dir/reputation.cpp.o.d"
+  "CMakeFiles/fifl_core.dir/trainer.cpp.o"
+  "CMakeFiles/fifl_core.dir/trainer.cpp.o.d"
+  "libfifl_core.a"
+  "libfifl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

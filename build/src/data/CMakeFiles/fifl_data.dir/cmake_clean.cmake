@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifl_data.dir/dataset.cpp.o"
+  "CMakeFiles/fifl_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/fifl_data.dir/idx.cpp.o"
+  "CMakeFiles/fifl_data.dir/idx.cpp.o.d"
+  "CMakeFiles/fifl_data.dir/noise.cpp.o"
+  "CMakeFiles/fifl_data.dir/noise.cpp.o.d"
+  "CMakeFiles/fifl_data.dir/partition.cpp.o"
+  "CMakeFiles/fifl_data.dir/partition.cpp.o.d"
+  "CMakeFiles/fifl_data.dir/synthetic.cpp.o"
+  "CMakeFiles/fifl_data.dir/synthetic.cpp.o.d"
+  "libfifl_data.a"
+  "libfifl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/attacks.cpp" "src/fl/CMakeFiles/fifl_fl.dir/attacks.cpp.o" "gcc" "src/fl/CMakeFiles/fifl_fl.dir/attacks.cpp.o.d"
+  "/root/repo/src/fl/channel.cpp" "src/fl/CMakeFiles/fifl_fl.dir/channel.cpp.o" "gcc" "src/fl/CMakeFiles/fifl_fl.dir/channel.cpp.o.d"
+  "/root/repo/src/fl/comm_model.cpp" "src/fl/CMakeFiles/fifl_fl.dir/comm_model.cpp.o" "gcc" "src/fl/CMakeFiles/fifl_fl.dir/comm_model.cpp.o.d"
+  "/root/repo/src/fl/gradient.cpp" "src/fl/CMakeFiles/fifl_fl.dir/gradient.cpp.o" "gcc" "src/fl/CMakeFiles/fifl_fl.dir/gradient.cpp.o.d"
+  "/root/repo/src/fl/simulator.cpp" "src/fl/CMakeFiles/fifl_fl.dir/simulator.cpp.o" "gcc" "src/fl/CMakeFiles/fifl_fl.dir/simulator.cpp.o.d"
+  "/root/repo/src/fl/topology.cpp" "src/fl/CMakeFiles/fifl_fl.dir/topology.cpp.o" "gcc" "src/fl/CMakeFiles/fifl_fl.dir/topology.cpp.o.d"
+  "/root/repo/src/fl/worker.cpp" "src/fl/CMakeFiles/fifl_fl.dir/worker.cpp.o" "gcc" "src/fl/CMakeFiles/fifl_fl.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fifl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fifl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/fifl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fifl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fifl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

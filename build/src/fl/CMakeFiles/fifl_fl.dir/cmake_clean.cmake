@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifl_fl.dir/attacks.cpp.o"
+  "CMakeFiles/fifl_fl.dir/attacks.cpp.o.d"
+  "CMakeFiles/fifl_fl.dir/channel.cpp.o"
+  "CMakeFiles/fifl_fl.dir/channel.cpp.o.d"
+  "CMakeFiles/fifl_fl.dir/comm_model.cpp.o"
+  "CMakeFiles/fifl_fl.dir/comm_model.cpp.o.d"
+  "CMakeFiles/fifl_fl.dir/gradient.cpp.o"
+  "CMakeFiles/fifl_fl.dir/gradient.cpp.o.d"
+  "CMakeFiles/fifl_fl.dir/simulator.cpp.o"
+  "CMakeFiles/fifl_fl.dir/simulator.cpp.o.d"
+  "CMakeFiles/fifl_fl.dir/topology.cpp.o"
+  "CMakeFiles/fifl_fl.dir/topology.cpp.o.d"
+  "CMakeFiles/fifl_fl.dir/worker.cpp.o"
+  "CMakeFiles/fifl_fl.dir/worker.cpp.o.d"
+  "libfifl_fl.a"
+  "libfifl_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifl_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

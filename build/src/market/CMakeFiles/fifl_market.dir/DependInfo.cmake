@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/baselines.cpp" "src/market/CMakeFiles/fifl_market.dir/baselines.cpp.o" "gcc" "src/market/CMakeFiles/fifl_market.dir/baselines.cpp.o.d"
+  "/root/repo/src/market/fli.cpp" "src/market/CMakeFiles/fifl_market.dir/fli.cpp.o" "gcc" "src/market/CMakeFiles/fifl_market.dir/fli.cpp.o.d"
+  "/root/repo/src/market/market_sim.cpp" "src/market/CMakeFiles/fifl_market.dir/market_sim.cpp.o" "gcc" "src/market/CMakeFiles/fifl_market.dir/market_sim.cpp.o.d"
+  "/root/repo/src/market/utility.cpp" "src/market/CMakeFiles/fifl_market.dir/utility.cpp.o" "gcc" "src/market/CMakeFiles/fifl_market.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fifl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifl_market.dir/baselines.cpp.o"
+  "CMakeFiles/fifl_market.dir/baselines.cpp.o.d"
+  "CMakeFiles/fifl_market.dir/fli.cpp.o"
+  "CMakeFiles/fifl_market.dir/fli.cpp.o.d"
+  "CMakeFiles/fifl_market.dir/market_sim.cpp.o"
+  "CMakeFiles/fifl_market.dir/market_sim.cpp.o.d"
+  "CMakeFiles/fifl_market.dir/utility.cpp.o"
+  "CMakeFiles/fifl_market.dir/utility.cpp.o.d"
+  "libfifl_market.a"
+  "libfifl_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifl_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifl_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/fifl_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/fifl_nn.dir/layers.cpp.o"
+  "CMakeFiles/fifl_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/fifl_nn.dir/loss.cpp.o"
+  "CMakeFiles/fifl_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/fifl_nn.dir/models.cpp.o"
+  "CMakeFiles/fifl_nn.dir/models.cpp.o.d"
+  "CMakeFiles/fifl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/fifl_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/fifl_nn.dir/sequential.cpp.o"
+  "CMakeFiles/fifl_nn.dir/sequential.cpp.o.d"
+  "libfifl_nn.a"
+  "libfifl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifl_tensor.dir/conv.cpp.o"
+  "CMakeFiles/fifl_tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/fifl_tensor.dir/ops.cpp.o"
+  "CMakeFiles/fifl_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/fifl_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/fifl_tensor.dir/tensor.cpp.o.d"
+  "libfifl_tensor.a"
+  "libfifl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

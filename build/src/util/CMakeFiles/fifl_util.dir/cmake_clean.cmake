@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifl_util.dir/config.cpp.o"
+  "CMakeFiles/fifl_util.dir/config.cpp.o.d"
+  "CMakeFiles/fifl_util.dir/logging.cpp.o"
+  "CMakeFiles/fifl_util.dir/logging.cpp.o.d"
+  "CMakeFiles/fifl_util.dir/serialize.cpp.o"
+  "CMakeFiles/fifl_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/fifl_util.dir/stats.cpp.o"
+  "CMakeFiles/fifl_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fifl_util.dir/table.cpp.o"
+  "CMakeFiles/fifl_util.dir/table.cpp.o.d"
+  "CMakeFiles/fifl_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fifl_util.dir/thread_pool.cpp.o.d"
+  "libfifl_util.a"
+  "libfifl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_model.dir/fl/test_comm_model.cpp.o"
+  "CMakeFiles/test_comm_model.dir/fl/test_comm_model.cpp.o.d"
+  "test_comm_model"
+  "test_comm_model.pdb"
+  "test_comm_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

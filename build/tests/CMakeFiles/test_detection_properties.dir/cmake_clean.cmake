@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detection_properties.dir/property/test_detection_properties.cpp.o"
+  "CMakeFiles/test_detection_properties.dir/property/test_detection_properties.cpp.o.d"
+  "test_detection_properties"
+  "test_detection_properties.pdb"
+  "test_detection_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detection_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

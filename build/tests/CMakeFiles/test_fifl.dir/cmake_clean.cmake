@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifl.dir/core/test_fifl.cpp.o"
+  "CMakeFiles/test_fifl.dir/core/test_fifl.cpp.o.d"
+  "test_fifl"
+  "test_fifl.pdb"
+  "test_fifl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

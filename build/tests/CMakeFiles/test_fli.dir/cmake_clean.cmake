@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fli.dir/market/test_fli.cpp.o"
+  "CMakeFiles/test_fli.dir/market/test_fli.cpp.o.d"
+  "test_fli"
+  "test_fli.pdb"
+  "test_fli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idx.dir/data/test_idx.cpp.o"
+  "CMakeFiles/test_idx.dir/data/test_idx.cpp.o.d"
+  "test_idx"
+  "test_idx.pdb"
+  "test_idx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

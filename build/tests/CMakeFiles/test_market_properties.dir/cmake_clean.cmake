@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_market_properties.dir/property/test_market_properties.cpp.o"
+  "CMakeFiles/test_market_properties.dir/property/test_market_properties.cpp.o.d"
+  "test_market_properties"
+  "test_market_properties.pdb"
+  "test_market_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_market_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_market_sim.dir/market/test_market_sim.cpp.o"
+  "CMakeFiles/test_market_sim.dir/market/test_market_sim.cpp.o.d"
+  "test_market_sim"
+  "test_market_sim.pdb"
+  "test_market_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_market_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/test_noise.cpp" "tests/CMakeFiles/test_noise.dir/data/test_noise.cpp.o" "gcc" "tests/CMakeFiles/test_noise.dir/data/test_noise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fifl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/fifl_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/fifl_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fifl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fifl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fifl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/fifl_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fifl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_fuzz.dir/property/test_tensor_fuzz.cpp.o"
+  "CMakeFiles/test_tensor_fuzz.dir/property/test_tensor_fuzz.cpp.o.d"
+  "test_tensor_fuzz"
+  "test_tensor_fuzz.pdb"
+  "test_tensor_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
