@@ -1,14 +1,22 @@
 // Shared plumbing for the figure-reproduction benches: a federation
 // builder over the synthetic datasets, series collection, and uniform
-// reporting (aligned table to stdout + CSV written beside the binary).
+// reporting (aligned table to stdout + CSV + a structured BENCH_*.json
+// per run, so CI can track the perf trajectory).
 //
 // Every bench accepts environment overrides so a quick smoke run and a
 // full-fidelity run use the same binary:
 //   FIFL_BENCH_ROUNDS  — override the round count
 //   FIFL_BENCH_SCALE   — multiply worker-shard sizes (default 1.0)
+//   FIFL_BENCH_OUTDIR  — directory for CSV/JSON artifacts (created if
+//                        missing; default: the working directory), so CI
+//                        can collect outputs from one place
+//   FIFL_TRACE_OUT     — stream per-round JSONL traces to this path
+//                        (handled by core::FederatedTrainer)
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -18,8 +26,11 @@
 #include "data/synthetic.hpp"
 #include "fl/simulator.hpp"
 #include "nn/models.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace fifl::bench {
 
@@ -33,6 +44,21 @@ inline double env_scale() { return util::env_double("FIFL_BENCH_SCALE", 1.0); }
 inline std::size_t scaled(std::size_t n) {
   return static_cast<std::size_t>(static_cast<double>(n) * env_scale());
 }
+
+/// Artifact directory from FIFL_BENCH_OUTDIR (default "."), created on
+/// first use so CI can point every bench at one collection point.
+inline std::filesystem::path output_dir() {
+  const std::filesystem::path dir(util::env_string("FIFL_BENCH_OUTDIR", "."));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort; write errors surface later
+  return dir;
+}
+
+/// Wall-clock since static init — effectively program start for the
+/// single-TU bench binaries (an inline variable, so the clock starts
+/// before main, not at first use).
+inline const util::Timer g_process_timer{};
+inline const util::Timer& process_timer() { return g_process_timer; }
 
 /// The two model/data stacks of the paper's Sec. 5.3 experiments.
 enum class Stack { kLenetMnist, kResnetCifar };
@@ -108,17 +134,69 @@ inline std::vector<fl::BehaviourPtr> honest_behaviours(std::size_t n) {
   return out;
 }
 
-/// Print the table and drop a CSV next to the working directory.
+/// BENCH_<base>.json: run config, wall time, per-column series checksums
+/// (FNV-1a over the column's cells — a cheap regression fingerprint), and
+/// the full metrics-registry snapshot (phase histograms, counters). This
+/// is the machine-readable artifact that anchors the perf trajectory.
+inline void write_bench_json(const std::string& base, const std::string& title,
+                             const util::Table& table,
+                             const std::string& csv_name) {
+  const std::filesystem::path path = output_dir() / ("BENCH_" + base + ".json");
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value(base);
+  w.key("title").value(title);
+  w.key("config").begin_object();
+  w.key("rounds_env").value(util::env_int("FIFL_BENCH_ROUNDS", -1));
+  w.key("scale").value(env_scale());
+  w.end_object();
+  w.key("wall_seconds").value(process_timer().seconds());
+  w.key("table").begin_object();
+  w.key("csv").value(csv_name);
+  w.key("rows").value(static_cast<std::uint64_t>(table.rows()));
+  w.key("cols").value(static_cast<std::uint64_t>(table.cols()));
+  w.key("checksum").value(obs::fnv1a64_hex(table.to_csv()));
+  w.key("series").begin_object();
+  for (std::size_t c = 0; c < table.cols(); ++c) {
+    std::string column;
+    for (const auto& row : table.data()) {
+      if (c < row.size()) {
+        column += row[c];
+        column.push_back('\n');
+      }
+    }
+    w.key(table.headers()[c]).value(obs::fnv1a64_hex(column));
+  }
+  w.end_object();
+  w.end_object();
+  w.key("metrics").raw(obs::MetricsRegistry::global().snapshot().to_json());
+  w.end_object();
+
+  std::ofstream out(path);
+  if (out) {
+    out << w.str() << '\n';
+    std::printf("(bench json written to %s)\n", path.string().c_str());
+  } else {
+    std::printf("(could not write %s)\n", path.string().c_str());
+  }
+}
+
+/// Print the table, drop the CSV into output_dir(), and emit the
+/// structured BENCH_<name>.json alongside it.
 inline void report(const std::string& title, const util::Table& table,
                    const std::string& csv_name) {
   std::printf("\n== %s ==\n", title.c_str());
   table.print(std::cout);
+  const std::filesystem::path csv_path = output_dir() / csv_name;
   try {
-    table.write_csv(csv_name);
-    std::printf("(series written to %s)\n", csv_name.c_str());
+    table.write_csv(csv_path.string());
+    std::printf("(series written to %s)\n", csv_path.string().c_str());
   } catch (const std::exception& e) {
-    std::printf("(could not write %s: %s)\n", csv_name.c_str(), e.what());
+    std::printf("(could not write %s: %s)\n", csv_path.string().c_str(),
+                e.what());
   }
+  write_bench_json(std::filesystem::path(csv_name).stem().string(), title,
+                   table, csv_name);
 }
 
 /// Banner stating what the paper reports for this figure so the console

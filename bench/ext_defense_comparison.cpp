@@ -9,7 +9,7 @@
 
 #include "core/defenses.hpp"
 #include "nn/loss.hpp"
-#include "util/timer.hpp"
+#include "obs/scoped_timer.hpp"
 
 int main() {
   using namespace fifl;
@@ -59,15 +59,20 @@ int main() {
     }
     auto fed = bench::make_federation(spec, std::move(behaviours));
 
-    double agg_seconds = 0.0;
+    // Per-defense aggregation latency lands in its own histogram, so the
+    // BENCH_*.json metrics section carries the full distribution, not
+    // just the mean printed in the table.
+    obs::Histogram& agg_hist = obs::MetricsRegistry::global().histogram(
+        "defense." + defense->name() + ".aggregate_ms");
+    double agg_ms = 0.0;
     for (std::size_t r = 0; r < rounds; ++r) {
       const auto uploads = fed.sim->collect_uploads();
-      util::Timer timer;
+      obs::ScopedTimer timer(agg_hist);
       if (auto* zeno = dynamic_cast<core::ZenoAggregator*>(defense.get())) {
         zeno->set_parameters(fed.sim->global_model().flatten_parameters());
       }
       const fl::Gradient robust = defense->aggregate(uploads);
-      agg_seconds += timer.seconds();
+      agg_ms += timer.stop();
       // Apply θ ← θ − η·G̃ through the simulator's accept-mask path by
       // reusing its learning rate on the robust gradient.
       std::vector<float> params = fed.sim->global_model().flatten_parameters();
@@ -82,7 +87,7 @@ int main() {
     const auto eval = fed.sim->evaluate();
     row.accuracy = eval.accuracy;
     row.loss = eval.loss;
-    row.ms_per_aggregate = agg_seconds / static_cast<double>(rounds) * 1e3;
+    row.ms_per_aggregate = agg_ms / static_cast<double>(rounds);
     row.per_worker_verdicts = row.name == "FIFL-detect";
     rows.push_back(row);
   }

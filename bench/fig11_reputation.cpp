@@ -4,9 +4,16 @@
 // workers; initial reputation 0 as in the paper. The reputation of each
 // attacker fluctuates around 1 − p_a (Theorem 1).
 //
+// The decayed-reputation series are derived from the round-trace
+// recorder (the same telemetry FIFL_TRACE_OUT streams), not from
+// hand-collected vectors — the trace is the single source of truth.
+//
 // Ablation (DESIGN.md): the same series under the plain windowed SLM
 // (no time decay) — it converges but stops reacting to current events.
 #include "bench_util.hpp"
+
+#include "core/trainer.hpp"
+#include "obs/trace.hpp"
 
 int main() {
   using namespace fifl;
@@ -37,6 +44,38 @@ int main() {
   slm_cfg.time_decay = false;
   core::ReputationModule windowed(slm_cfg);
   windowed.resize(fed.sim->worker_count());
+  // The twin is hand-fed per round; its per-sample-point state is
+  // captured alongside so the table can interleave both mechanisms.
+  std::vector<std::vector<double>> slm_series;
+
+  // Recorder honouring FIFL_TRACE_OUT when set, memory-only otherwise —
+  // either way the CSV below reads from it, never from ad-hoc vectors.
+  obs::RoundTraceRecorder recorder(util::env_string("FIFL_TRACE_OUT", ""));
+
+  core::TrainerConfig trainer_cfg;
+  trainer_cfg.eval_every = 0;  // figure 11 plots reputation, not accuracy
+  core::FederatedTrainer trainer(fed.sim.get(), &decayed, trainer_cfg);
+  trainer.set_trace_recorder(&recorder);
+  trainer.set_report_observer(
+      [&](const core::RoundReport& report, std::span<const fl::Upload>) {
+        for (std::size_t i = 0; i < report.detection.accepted.size(); ++i) {
+          const auto id = static_cast<chain::NodeId>(i);
+          if (report.detection.uncertain[i]) {
+            windowed.record(id, core::Event::kUncertain);
+          } else {
+            windowed.record(id, report.detection.accepted[i]
+                                    ? core::Event::kPositive
+                                    : core::Event::kNegative);
+          }
+        }
+        std::vector<double> snapshot;
+        for (std::size_t k = 0; k < 4; ++k) {
+          snapshot.push_back(
+              windowed.reputation(static_cast<chain::NodeId>(4 + k)));
+        }
+        slm_series.push_back(std::move(snapshot));
+      });
+  trainer.run(rounds);
 
   std::vector<std::string> headers{"round"};
   for (double pa : p_attack) {
@@ -47,32 +86,20 @@ int main() {
   }
   util::Table table(headers);
 
-  for (std::size_t r = 0; r < rounds; ++r) {
-    const auto uploads = fed.sim->collect_uploads();
-    const auto report = decayed.process_round(uploads);
-    fed.sim->apply_round(uploads, report.detection.accepted);
-    for (std::size_t i = 0; i < uploads.size(); ++i) {
-      const auto id = static_cast<chain::NodeId>(i);
-      if (report.detection.uncertain[i]) {
-        windowed.record(id, core::Event::kUncertain);
-      } else {
-        windowed.record(id, report.detection.accepted[i]
-                                ? core::Event::kPositive
-                                : core::Event::kNegative);
-      }
+  // Build the figure's sample points from the recorded traces: attacker
+  // reputations live in trace.workers[4 + k].reputation.
+  const auto& traces = recorder.traces();
+  for (std::size_t r = 0; r < traces.size(); ++r) {
+    if ((r + 1) % 5 != 0 && r != 0) continue;
+    std::vector<std::string> row{std::to_string(r + 1)};
+    for (std::size_t k = 0; k < p_attack.size(); ++k) {
+      row.push_back(
+          util::format_double(traces[r].workers[4 + k].reputation, 3));
     }
-    if ((r + 1) % 5 == 0 || r == 0) {
-      std::vector<std::string> row{std::to_string(r + 1)};
-      for (std::size_t k = 0; k < p_attack.size(); ++k) {
-        row.push_back(util::format_double(
-            decayed.reputation().reputation(static_cast<chain::NodeId>(4 + k)), 3));
-      }
-      for (std::size_t k = 0; k < p_attack.size(); ++k) {
-        row.push_back(util::format_double(
-            windowed.reputation(static_cast<chain::NodeId>(4 + k)), 3));
-      }
-      table.add_row(row);
+    for (std::size_t k = 0; k < p_attack.size(); ++k) {
+      row.push_back(util::format_double(slm_series[r][k], 3));
     }
+    table.add_row(row);
   }
 
   bench::paper_note(

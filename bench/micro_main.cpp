@@ -1,0 +1,47 @@
+// Shared main() for the google-benchmark micro-benches: identical to
+// benchmark_main, plus a machine-readable BENCH_<binary>.json written to
+// FIFL_BENCH_OUTDIR — so micro-benches feed the same perf-trajectory
+// artifact stream as the figure benches. Implemented by defaulting
+// --benchmark_out/--benchmark_out_format; explicit flags still win.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  const std::string name = std::filesystem::path(argv[0]).stem().string();
+  const std::filesystem::path json_path =
+      fifl::bench::output_dir() / ("BENCH_" + name + ".json");
+  std::string out_flag = "--benchmark_out=" + json_path.string();
+  std::string fmt_flag = "--benchmark_out_format=json";
+
+  bool user_out = false;
+  std::vector<char*> args(argv, argv + argc);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out=")) {
+      user_out = true;
+    }
+  }
+  if (!user_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!user_out) {
+    std::printf("(benchmark json written to %s)\n", json_path.string().c_str());
+  }
+  return 0;
+}

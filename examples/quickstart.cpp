@@ -5,9 +5,14 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart [--rounds=30] [--workers=10]
+//
+// Telemetry: set FIFL_TRACE_OUT=trace.jsonl to stream one JSONL record
+// per round (per-worker detection/reputation/contribution/reward, phase
+// wall-times); FIFL_LOG_LEVEL=info raises log verbosity.
 #include <cstdio>
 
 #include "core/fifl.hpp"
+#include "core/trainer.hpp"
 #include "data/synthetic.hpp"
 #include "fl/simulator.hpp"
 #include "nn/models.hpp"
@@ -54,16 +59,17 @@ int main(int argc, char** argv) {
 
   std::printf("FIFL quickstart: %zu workers (last two are attackers), %zu rounds\n\n",
               n_workers, rounds);
-  for (std::size_t r = 0; r < rounds; ++r) {
-    const auto uploads = sim.collect_uploads();
-    const core::RoundReport report = engine.process_round(uploads);
-    sim.apply_round(uploads, report.detection.accepted);
-    if ((r + 1) % 10 == 0 || r == 0) {
-      const auto eval = sim.evaluate();
-      std::printf("round %3zu  acc=%.3f loss=%.3f  fairness=%.3f\n", r + 1,
-                  eval.accuracy, eval.loss, report.fairness);
-    }
-  }
+  // The trainer drives the collect/process/apply loop and — when
+  // FIFL_TRACE_OUT is set — streams one JSONL trace per round.
+  core::TrainerConfig trainer_cfg;
+  trainer_cfg.eval_every = 10;
+  core::FederatedTrainer trainer(&sim, &engine, trainer_cfg);
+  trainer.run(rounds, [](const core::RoundRecord& record) {
+    if (!record.evaluated) return;
+    std::printf("round %3llu  acc=%.3f loss=%.3f  fairness=%.3f\n",
+                static_cast<unsigned long long>(record.round + 1),
+                record.accuracy, record.loss, record.fairness);
+  });
 
   // 5. Final per-worker report.
   util::Table table({"worker", "behaviour", "reputation", "cumulative reward"});

@@ -1,0 +1,82 @@
+#!/usr/bin/env sh
+# Smoke test for the bench artifact pipeline: runs one figure bench and
+# one micro bench at minimal fidelity and asserts that
+#   - each emits a parseable BENCH_<name>.json to FIFL_BENCH_OUTDIR,
+#   - the figure bench streams one JSONL trace record per round to
+#     FIFL_TRACE_OUT.
+#
+# Usage: smoke_bench.sh [bench-bin-dir]
+#   bench-bin-dir defaults to ./build/bench. Registered as a ctest
+#   (bench_smoke) so `ctest` exercises the whole artifact path.
+set -eu
+
+BIN_DIR="${1:-build/bench}"
+ROUNDS="${FIFL_BENCH_ROUNDS:-3}"
+
+for bin in fig11_reputation micro_metrics_overhead; do
+  if [ ! -x "$BIN_DIR/$bin" ]; then
+    echo "smoke_bench: missing binary $BIN_DIR/$bin" >&2
+    exit 1
+  fi
+done
+
+OUTDIR="$(mktemp -d)"
+trap 'rm -rf "$OUTDIR"' EXIT
+
+echo "== fig11_reputation (FIFL_BENCH_ROUNDS=$ROUNDS) =="
+FIFL_BENCH_ROUNDS="$ROUNDS" FIFL_BENCH_OUTDIR="$OUTDIR" \
+  FIFL_TRACE_OUT="$OUTDIR/trace.jsonl" \
+  "$BIN_DIR/fig11_reputation" > "$OUTDIR/fig11.log"
+
+echo "== micro_metrics_overhead =="
+FIFL_BENCH_OUTDIR="$OUTDIR" \
+  "$BIN_DIR/micro_metrics_overhead" --benchmark_min_time=0.01 \
+  > "$OUTDIR/micro.log"
+
+fail() {
+  echo "smoke_bench: $1" >&2
+  exit 1
+}
+
+for json in BENCH_fig11_reputation.json BENCH_micro_metrics_overhead.json; do
+  [ -s "$OUTDIR/$json" ] || fail "$json missing or empty"
+done
+[ -s "$OUTDIR/fig11_reputation.csv" ] || fail "fig11_reputation.csv not written"
+[ -s "$OUTDIR/trace.jsonl" ] || fail "trace.jsonl not written"
+
+TRACE_LINES="$(wc -l < "$OUTDIR/trace.jsonl")"
+[ "$TRACE_LINES" -eq "$ROUNDS" ] || \
+  fail "expected $ROUNDS trace records, got $TRACE_LINES"
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$OUTDIR" "$ROUNDS" <<'EOF'
+import json, sys, pathlib
+outdir, rounds = pathlib.Path(sys.argv[1]), int(sys.argv[2])
+
+fig = json.loads((outdir / "BENCH_fig11_reputation.json").read_text())
+for key in ("bench", "wall_seconds", "table", "metrics"):
+    assert key in fig, f"BENCH_fig11_reputation.json missing '{key}'"
+assert fig["bench"] == "fig11_reputation"
+assert fig["table"]["rows"] > 0 and fig["table"]["checksum"].startswith("0x")
+
+micro = json.loads((outdir / "BENCH_micro_metrics_overhead.json").read_text())
+assert micro["benchmarks"], "micro bench json has no benchmark entries"
+
+traces = [json.loads(l) for l in (outdir / "trace.jsonl").read_text().splitlines()]
+assert len(traces) == rounds
+for i, t in enumerate(traces):
+    assert t["round"] == i
+    assert set(t["phases_ms"]) == {"local_train", "channel", "detect",
+                                   "aggregate", "ledger"}
+    for w in t["workers"]:
+        for field in ("id", "arrived", "accepted", "uncertain",
+                      "detection_score", "reputation", "contribution",
+                      "reward"):
+            assert field in w, f"worker trace missing '{field}'"
+print("smoke_bench: python checks passed")
+EOF
+else
+  echo "smoke_bench: python3 unavailable, skipped JSON deep checks"
+fi
+
+echo "smoke_bench: OK"

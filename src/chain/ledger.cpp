@@ -4,7 +4,23 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/scoped_timer.hpp"
+
 namespace fifl::chain {
+
+namespace {
+// Chain-layer telemetry: append/seal volume plus seal latency, so the
+// audit layer's cost shows up in every metrics snapshot next to training.
+struct ChainMetrics {
+  obs::Counter& records = obs::MetricsRegistry::global().counter("chain.records_appended");
+  obs::Counter& blocks = obs::MetricsRegistry::global().counter("chain.blocks_sealed");
+  obs::Histogram& seal_ms = obs::MetricsRegistry::global().histogram("chain.seal_ms");
+  static ChainMetrics& get() {
+    static ChainMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 const char* record_kind_name(RecordKind kind) {
   switch (kind) {
@@ -63,10 +79,13 @@ const AuditRecord& Ledger::append(RecordKind kind, std::uint64_t round,
   rec.value = value;
   rec.signature = registry_->sign(executor, rec.canonical_payload());
   pending_.push_back(rec);
+  ChainMetrics::get().records.inc();
   return pending_.back();
 }
 
 std::uint64_t Ledger::seal_block() {
+  obs::ScopedTimer timer(ChainMetrics::get().seal_ms);
+  ChainMetrics::get().blocks.inc();
   Block block;
   block.index = blocks_.size();
   if (!blocks_.empty()) {

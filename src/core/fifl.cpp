@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/scoped_timer.hpp"
+#include "util/logging.hpp"
+
 namespace fifl::core {
 
 FiflEngine::FiflEngine(FiflConfig config, std::size_t workers,
@@ -31,6 +34,16 @@ FiflEngine::FiflEngine(FiflConfig config, std::size_t workers,
   for (std::size_t j = 0; j < config.servers; ++j) {
     members_[j] = static_cast<chain::NodeId>(j);
   }
+
+  auto& metrics = obs::MetricsRegistry::global();
+  detect_hist_ = &metrics.histogram("fifl.detect_ms");
+  aggregate_hist_ = &metrics.histogram("fifl.aggregate_ms");
+  ledger_hist_ = &metrics.histogram("fifl.ledger_ms");
+  rounds_counter_ = &metrics.counter("fifl.rounds");
+  accepted_counter_ = &metrics.counter("fifl.uploads_accepted");
+  rejected_counter_ = &metrics.counter("fifl.uploads_rejected");
+  uncertain_counter_ = &metrics.counter("fifl.uploads_uncertain");
+  degraded_counter_ = &metrics.counter("fifl.degraded_rounds");
 }
 
 void FiflEngine::initialize_servers(
@@ -88,8 +101,12 @@ RoundReport FiflEngine::process_round(std::span<const fl::Upload> uploads) {
   }
   RoundReport report;
   report.round = round_;
+  rounds_counter_->inc();
 
   // --- 1. attack detection against the server benchmark slices -----------
+  // (benchmark assembly counts as detection time: it is the cost of
+  // being able to score at all).
+  obs::ScopedTimer detect_timer(*detect_hist_);
   std::vector<chain::NodeId> bench_members;
   try {
     bench_members = effective_members(uploads);
@@ -97,9 +114,14 @@ RoundReport FiflEngine::process_round(std::span<const fl::Upload> uploads) {
     // No usable benchmark this round (e.g. the channel dropped every
     // candidate): degrade gracefully — everything is an uncertain event,
     // nothing is aggregated or paid.
+    report.detect_ms = detect_timer.stop();
     report.degraded = true;
+    util::log_warn() << "fifl: no usable benchmark gradient this round, "
+                        "degrading (all uploads marked uncertain)";
+    degraded_counter_->inc();
     report.servers = members_;
     const std::size_t n = uploads.size();
+    uncertain_counter_->inc(n);
     report.detection.scores.assign(n, std::numeric_limits<double>::quiet_NaN());
     report.detection.accepted.assign(n, 0);
     report.detection.uncertain.assign(n, 1);
@@ -117,11 +139,13 @@ RoundReport FiflEngine::process_round(std::span<const fl::Upload> uploads) {
     report.rewards.assign(n, 0.0);
     cumulative_.add_round(report.rewards);
     if (config_.record_to_ledger) {
+      obs::ScopedTimer ledger_timer(*ledger_hist_);
       for (std::size_t i = 0; i < n; ++i) {
         ledger_.append(chain::RecordKind::kDetection, round_,
                        static_cast<chain::NodeId>(i), publisher(), -1.0);
       }
       ledger_.seal_block();
+      report.ledger_ms = ledger_timer.stop();
     }
     ++round_;
     return report;
@@ -129,13 +153,17 @@ RoundReport FiflEngine::process_round(std::span<const fl::Upload> uploads) {
   fl::ServerCluster cluster(bench_members, plan_);
   report.servers = bench_members;
   report.detection = detection_.run(uploads, cluster);
+  report.detect_ms = detect_timer.stop();
 
   // --- 2. reputation events ----------------------------------------------
   for (std::size_t i = 0; i < uploads.size(); ++i) {
     const auto id = static_cast<chain::NodeId>(i);
     if (report.detection.uncertain[i]) {
+      uncertain_counter_->inc();
       reputation_.record(id, Event::kUncertain);
     } else {
+      (report.detection.accepted[i] ? accepted_counter_ : rejected_counter_)
+          ->inc();
       reputation_.record(id, report.detection.accepted[i] ? Event::kPositive
                                                           : Event::kNegative);
     }
@@ -144,6 +172,7 @@ RoundReport FiflEngine::process_round(std::span<const fl::Upload> uploads) {
   report.reputations.resize(workers_);
 
   // --- 3. aggregation over accepted uploads (Eq. 2 with r_i mask) --------
+  obs::ScopedTimer aggregate_timer(*aggregate_hist_);
   report.global_gradient = fl::Gradient(plan_.gradient_size());
   double total_weight = 0.0;
   for (std::size_t i = 0; i < uploads.size(); ++i) {
@@ -168,9 +197,11 @@ RoundReport FiflEngine::process_round(std::span<const fl::Upload> uploads) {
   cumulative_.add_round(report.rewards);
   report.fairness = fairness_among_contributors(
       report.contribution.contributions, report.rewards);
+  report.aggregate_ms = aggregate_timer.stop();
 
   // --- 6. audit trail ------------------------------------------------------
   if (config_.record_to_ledger) {
+    obs::ScopedTimer ledger_timer(*ledger_hist_);
     const chain::NodeId leader = bench_members.front();
     for (std::size_t i = 0; i < uploads.size(); ++i) {
       const auto id = static_cast<chain::NodeId>(i);
@@ -187,6 +218,7 @@ RoundReport FiflEngine::process_round(std::span<const fl::Upload> uploads) {
                      report.rewards[i]);
     }
     ledger_.seal_block();
+    report.ledger_ms = ledger_timer.stop();
   }
 
   // --- 7. reputation-based server re-selection for the next round --------

@@ -24,6 +24,7 @@
 #include "core/incentive.hpp"
 #include "core/reputation.hpp"
 #include "fl/topology.hpp"
+#include "obs/metrics.hpp"
 
 namespace fifl::core {
 
@@ -51,6 +52,13 @@ struct RoundReport {
   ContributionResult contribution;
   std::vector<double> rewards;         // I_i (negative = punishment)
   double fairness = 0.0;               // C_s among positive contributors
+  /// Wall-times of this round's pipeline phases (also recorded into the
+  /// global metrics registry as "fifl.detect_ms" / "fifl.aggregate_ms" /
+  /// "fifl.ledger_ms" histograms). aggregate_ms spans aggregation,
+  /// contribution, and incentive — the post-detection arithmetic.
+  double detect_ms = 0.0;
+  double aggregate_ms = 0.0;
+  double ledger_ms = 0.0;
 };
 
 class FiflEngine {
@@ -105,6 +113,15 @@ class FiflEngine {
   chain::Ledger ledger_;
   CumulativeLedger cumulative_;
   std::uint64_t round_ = 0;
+  // Metrics handles resolved once in the constructor.
+  obs::Histogram* detect_hist_ = nullptr;
+  obs::Histogram* aggregate_hist_ = nullptr;
+  obs::Histogram* ledger_hist_ = nullptr;
+  obs::Counter* rounds_counter_ = nullptr;
+  obs::Counter* accepted_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* uncertain_counter_ = nullptr;
+  obs::Counter* degraded_counter_ = nullptr;
 };
 
 }  // namespace fifl::core

@@ -1,13 +1,17 @@
 #include "core/trainer.hpp"
 
+#include <limits>
 #include <stdexcept>
+
+#include "util/logging.hpp"
 
 namespace fifl::core {
 
 FederatedTrainer::FederatedTrainer(fl::Simulator* simulator, FiflEngine* engine,
                                    TrainerConfig config)
     : simulator_(simulator), engine_(engine), config_(config),
-      participation_rng_(config.participation_seed) {
+      participation_rng_(config.participation_seed),
+      trace_recorder_(&obs::RoundTraceRecorder::global()) {
   if (!simulator_) throw std::invalid_argument("FederatedTrainer: null simulator");
   if (config.participation <= 0.0 || config.participation > 1.0) {
     throw std::invalid_argument("FederatedTrainer: participation outside (0,1]");
@@ -29,6 +33,14 @@ RoundRecord FederatedTrainer::execute_round() {
     uploads = simulator_->collect_uploads(mask);
   }
   record.round = simulator_->round() - 1;
+  const bool tracing = trace_recorder_ && trace_recorder_->enabled();
+  if (tracing) {
+    pending_trace_ = obs::RoundTrace{};
+    pending_trace_.round = record.round;
+    const fl::SimPhaseTimes& sim_times = simulator_->last_phase_times();
+    pending_trace_.phases.local_train_ms = sim_times.local_train_ms;
+    pending_trace_.phases.channel_ms = sim_times.channel_ms;
+  }
   if (engine_) {
     const RoundReport report = engine_->process_round(uploads);
     simulator_->apply_round(uploads, report.detection.accepted);
@@ -43,6 +55,27 @@ RoundRecord FederatedTrainer::execute_round() {
         ++record.rejected;
       }
     }
+    if (tracing) {
+      pending_trace_.degraded = report.degraded;
+      pending_trace_.fairness = report.fairness;
+      pending_trace_.phases.detect_ms = report.detect_ms;
+      pending_trace_.phases.aggregate_ms = report.aggregate_ms;
+      pending_trace_.phases.ledger_ms = report.ledger_ms;
+      pending_trace_.workers.reserve(uploads.size());
+      for (std::size_t i = 0; i < uploads.size(); ++i) {
+        obs::WorkerTrace wt;
+        wt.id = uploads[i].worker;
+        wt.arrived = uploads[i].arrived;
+        wt.accepted = report.detection.accepted[i] != 0;
+        wt.uncertain = report.detection.uncertain[i] != 0;
+        wt.detection_score = report.detection.scores[i];
+        wt.reputation = report.reputations[i];
+        wt.contribution = report.contribution.contributions[i];
+        wt.reward = report.rewards[i];
+        pending_trace_.workers.push_back(wt);
+      }
+    }
+    if (report_observer_) report_observer_(report, uploads);
   } else {
     simulator_->apply_round(uploads);
     for (const auto& upload : uploads) {
@@ -52,14 +85,32 @@ RoundRecord FederatedTrainer::execute_round() {
         ++record.uncertain;
       }
     }
+    if (tracing) {
+      pending_trace_.workers.reserve(uploads.size());
+      for (const auto& upload : uploads) {
+        obs::WorkerTrace wt;
+        wt.id = upload.worker;
+        wt.arrived = upload.arrived;
+        wt.accepted = upload.arrived;  // FedAvg accepts whatever arrived
+        wt.uncertain = !upload.arrived;
+        wt.detection_score = std::numeric_limits<double>::quiet_NaN();
+        pending_trace_.workers.push_back(wt);
+      }
+    }
   }
   return record;
 }
 
 std::size_t FederatedTrainer::run(std::size_t rounds, const Observer& observer) {
+  util::log_info() << "trainer: " << rounds << " rounds, "
+                   << simulator_->worker_count() << " workers, "
+                   << (engine_ ? "FIFL" : "FedAvg") << " aggregation";
   std::size_t executed = 0;
   for (; executed < rounds; ++executed) {
     RoundRecord record = execute_round();
+    util::log_debug() << "round " << record.round << ": accepted "
+                      << record.accepted << " rejected " << record.rejected
+                      << " uncertain " << record.uncertain;
     const bool eval_point =
         config_.eval_every != 0 &&
         (executed + 1) % config_.eval_every == 0;
@@ -69,9 +120,17 @@ std::size_t FederatedTrainer::run(std::size_t rounds, const Observer& observer) 
       record.accuracy = last_eval_->accuracy;
       record.loss = last_eval_->loss;
     }
+    if (trace_recorder_ && trace_recorder_->enabled()) {
+      pending_trace_.evaluated = record.evaluated;
+      pending_trace_.eval_loss = record.loss;
+      pending_trace_.eval_accuracy = record.accuracy;
+      trace_recorder_->record(pending_trace_);
+    }
     history_.push_back(record);
     if (observer) observer(history_.back());
     if (config_.stop_on_crash && simulator_->model_crashed()) {
+      util::log_warn() << "trainer: model crashed (non-finite parameters) "
+                          "after round " << record.round << ", stopping";
       crashed_ = true;
       ++executed;
       break;

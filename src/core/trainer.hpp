@@ -2,6 +2,12 @@
 // FiflEngine (or plain FedAvg), with per-round history, evaluation
 // cadence, and an observer callback. Benches and applications share this
 // instead of re-writing the collect/process/apply dance.
+//
+// The trainer is also the telemetry join point: each round it assembles
+// an obs::RoundTrace (per-worker detection/reputation/contribution/
+// reward plus per-phase wall-times from the simulator and engine) and
+// hands it to a RoundTraceRecorder — by default the process-global one,
+// which streams JSONL when FIFL_TRACE_OUT is set and is free otherwise.
 #pragma once
 
 #include <functional>
@@ -10,6 +16,7 @@
 
 #include "core/fifl.hpp"
 #include "fl/simulator.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace fifl::core {
@@ -47,10 +54,27 @@ class FederatedTrainer {
                    TrainerConfig config = {});
 
   using Observer = std::function<void(const RoundRecord&)>;
+  /// Fired after every FIFL round with the engine's full report and the
+  /// round's uploads — the hook for ablation twins and custom series
+  /// collection. Never fired in FedAvg mode (no engine, no report).
+  using ReportObserver =
+      std::function<void(const RoundReport&, std::span<const fl::Upload>)>;
 
   /// Runs up to `rounds` rounds; returns the number actually executed
   /// (early stop on target accuracy or crash).
   std::size_t run(std::size_t rounds, const Observer& observer = nullptr);
+
+  void set_report_observer(ReportObserver observer) {
+    report_observer_ = std::move(observer);
+  }
+
+  /// Where per-round telemetry goes. Defaults to the process-global
+  /// recorder (enabled via FIFL_TRACE_OUT); pass a local recorder to
+  /// capture traces in memory, or nullptr to disable entirely. When the
+  /// recorder is disabled the trace path costs one branch per round.
+  void set_trace_recorder(obs::RoundTraceRecorder* recorder) {
+    trace_recorder_ = recorder;
+  }
 
   const std::vector<RoundRecord>& history() const noexcept { return history_; }
   /// Last evaluation taken (runs one if none exists yet).
@@ -71,6 +95,11 @@ class FederatedTrainer {
   std::vector<RoundRecord> history_;
   std::optional<fl::Evaluation> last_eval_;
   bool crashed_ = false;
+  ReportObserver report_observer_;
+  obs::RoundTraceRecorder* trace_recorder_;
+  /// Trace built during execute_round(); run() fills in the evaluation
+  /// fields (taken after the round) and commits it to the recorder.
+  obs::RoundTrace pending_trace_;
 };
 
 }  // namespace fifl::core

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "data/partition.hpp"
+#include "obs/scoped_timer.hpp"
 #include "tensor/ops.hpp"
 #include "util/thread_pool.hpp"
 
@@ -18,6 +19,12 @@ Simulator::Simulator(SimulatorConfig config, const ModelFactory& factory,
       channel_(config.channel_drop_prob, util::Rng(config.seed ^ 0xc4a1ull)) {
   if (workers.empty()) throw std::invalid_argument("Simulator: no workers");
   test_set_.validate();
+
+  auto& metrics = obs::MetricsRegistry::global();
+  local_train_hist_ = &metrics.histogram("sim.local_train_ms");
+  channel_hist_ = &metrics.histogram("sim.channel_ms");
+  rounds_counter_ = &metrics.counter("sim.rounds");
+  uploads_lost_counter_ = &metrics.counter("sim.uploads_lost");
 
   util::Rng rng(config_.seed);
   global_model_ = factory(rng);
@@ -50,25 +57,37 @@ std::vector<Upload> Simulator::collect_uploads(
   const std::vector<float> params = global_model_->flatten_parameters();
   std::vector<Upload> uploads(workers_.size());
 
-  auto& pool = util::ThreadPool::global();
-  std::vector<std::future<void>> futures;
-  futures.reserve(workers_.size());
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (!participants[i]) {
-      uploads[i].worker = workers_[i]->id();
-      uploads[i].samples = workers_[i]->samples();
-      uploads[i].arrived = false;
-      continue;
+  {
+    obs::ScopedTimer train_timer(*local_train_hist_);
+    auto& pool = util::ThreadPool::global();
+    std::vector<std::future<void>> futures;
+    futures.reserve(workers_.size());
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (!participants[i]) {
+        uploads[i].worker = workers_[i]->id();
+        uploads[i].samples = workers_[i]->samples();
+        uploads[i].arrived = false;
+        continue;
+      }
+      futures.push_back(pool.submit([this, i, &params, &uploads] {
+        uploads[i] = workers_[i]->make_upload(params);
+      }));
     }
-    futures.push_back(pool.submit([this, i, &params, &uploads] {
-      uploads[i] = workers_[i]->make_upload(params);
-    }));
+    for (auto& f : futures) f.get();
+    phase_times_.local_train_ms = train_timer.stop();
   }
-  for (auto& f : futures) f.get();
 
-  for (std::size_t i = 0; i < uploads.size(); ++i) {
-    if (participants[i]) channel_.transmit(uploads[i]);
+  {
+    obs::ScopedTimer channel_timer(*channel_hist_);
+    for (std::size_t i = 0; i < uploads.size(); ++i) {
+      if (participants[i]) {
+        channel_.transmit(uploads[i]);
+        if (!uploads[i].arrived) uploads_lost_counter_->inc();
+      }
+    }
+    phase_times_.channel_ms = channel_timer.stop();
   }
+  rounds_counter_->inc();
   ++round_;
   return uploads;
 }

@@ -17,6 +17,7 @@
 #include "fl/channel.hpp"
 #include "fl/topology.hpp"
 #include "fl/worker.hpp"
+#include "obs/metrics.hpp"
 
 namespace fifl::fl {
 
@@ -40,6 +41,14 @@ struct Evaluation {
   double accuracy = 0.0;
 };
 
+/// Wall-times of the last collect_uploads() call, split by phase. Also
+/// fed into the global metrics registry ("sim.local_train_ms" /
+/// "sim.channel_ms" histograms) for aggregate views.
+struct SimPhaseTimes {
+  double local_train_ms = 0.0;  // parallel local training fan-out/join
+  double channel_ms = 0.0;      // lossy-channel transmission
+};
+
 class Simulator {
  public:
   Simulator(SimulatorConfig config, const ModelFactory& factory,
@@ -52,6 +61,7 @@ class Simulator {
   std::size_t parameter_count() const noexcept { return param_count_; }
   std::uint64_t round() const noexcept { return round_; }
   const data::Dataset& test_set() const noexcept { return test_set_; }
+  const SimPhaseTimes& last_phase_times() const noexcept { return phase_times_; }
 
   /// Phase 1+2: parallel local training, then channel transmission.
   /// Uploads are ordered by worker index.
@@ -97,6 +107,12 @@ class Simulator {
   Channel channel_;
   nn::SoftmaxCrossEntropy eval_loss_;
   std::uint64_t round_ = 0;
+  SimPhaseTimes phase_times_;
+  // Metrics handles resolved once (registry references are stable).
+  obs::Histogram* local_train_hist_ = nullptr;
+  obs::Histogram* channel_hist_ = nullptr;
+  obs::Counter* rounds_counter_ = nullptr;
+  obs::Counter* uploads_lost_counter_ = nullptr;
 };
 
 /// Convenience: WorkerSetup list with the given behaviours over an iid

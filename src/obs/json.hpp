@@ -1,0 +1,96 @@
+// Minimal JSON support for the observability layer: a streaming writer
+// (used for metrics snapshots, round traces, and BENCH_*.json files) and
+// a small recursive-descent parser (used by the trace round-trip path and
+// tests). Deliberately tiny — no external dependency, no DOM mutation
+// API; the writer emits compact single-line JSON suitable for JSONL.
+//
+// Non-finite doubles serialize as `null` (JSON has no NaN/Inf); the
+// parser maps `null` back to NaN when read through as_number().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fifl::obs {
+
+/// Quote + escape a string for JSON output (control chars become \u00XX).
+std::string json_quote(std::string_view s);
+
+/// Shortest decimal form that round-trips the double; "null" if non-finite.
+std::string json_number(double v);
+
+/// Streaming writer producing compact JSON. Call sequence is validated
+/// only loosely (it is an internal tool); misuse yields malformed output,
+/// not UB. Nested values: begin_object()/begin_array() after key() or as
+/// array elements.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& null();
+  /// Splice a pre-serialized JSON fragment in value position.
+  JsonWriter& raw(std::string_view json);
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void element();  // comma bookkeeping before a new element/key
+
+  std::string out_;
+  std::vector<char> first_;  // stack: 1 = next element is the first
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value. Objects preserve insertion order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const noexcept { return kind == Kind::kNull; }
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Object member access; throws std::runtime_error when absent.
+  const JsonValue& at(std::string_view key) const;
+  /// Number coercion: kNumber => value, kNull => NaN, else throws.
+  double as_number() const;
+  bool as_bool() const;
+  const std::string& as_string() const;
+};
+
+/// Parses one JSON document (throws std::runtime_error on malformed
+/// input or trailing garbage). Depth-limited against adversarial input.
+JsonValue json_parse(std::string_view text);
+
+/// FNV-1a 64-bit checksum — stable fingerprint for exported series.
+constexpr std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// fnv1a64 rendered as a fixed-width hex string ("0x" + 16 digits).
+std::string fnv1a64_hex(std::string_view data);
+
+}  // namespace fifl::obs

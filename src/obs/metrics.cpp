@@ -1,0 +1,225 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace fifl::obs {
+
+namespace {
+
+void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: empty bucket bounds");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+  }
+  bucket_counts_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+    bucket_counts_[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  if (std::isnan(v)) return;
+  // First bound >= v; v above every bound lands in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  bucket_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+    snap.counts[b] = bucket_counts_[b].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  // min/max hold ±inf sentinels until the first observation; zero them
+  // only for empty histograms so an observed infinity reads back as-is.
+  snap.min = snap.count ? min_.load(std::memory_order_relaxed) : 0.0;
+  snap.max = snap.count ? max_.load(std::memory_order_relaxed) : 0.0;
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+    bucket_counts_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::default_latency_bounds_ms() {
+  return {0.001, 0.005, 0.01, 0.05, 0.1,  0.5,   1.0,    5.0,
+          10.0,  50.0,  100.0, 500.0, 1000.0, 5000.0, 60000.0};
+}
+
+// --- MetricsSnapshot ------------------------------------------------------
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters) w.key(name).value(value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : gauges) w.key(name).value(value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.key("min").value(h.min);
+    w.key("max").value(h.max);
+    w.key("mean").value(h.mean());
+    w.key("buckets").begin_array();
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      w.begin_object();
+      if (b < h.bounds.size()) {
+        w.key("le").value(h.bounds[b]);
+      } else {
+        w.key("le").null();  // overflow bucket
+      }
+      w.key("count").value(h.counts[b]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::string out = "kind,name,field,value\n";
+  for (const auto& [name, value] : counters) {
+    out += "counter," + name + ",value," + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "gauge," + name + ",value," + json_number(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += "histogram," + name + ",count," + std::to_string(h.count) + "\n";
+    out += "histogram," + name + ",sum," + json_number(h.sum) + "\n";
+    out += "histogram," + name + ",min," + json_number(h.min) + "\n";
+    out += "histogram," + name + ",max," + json_number(h.max) + "\n";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      const std::string le =
+          b < h.bounds.size() ? json_number(h.bounds[b]) : "inf";
+      out += "histogram," + name + ",le_" + le + "," +
+             std::to_string(h.counts[b]) + "\n";
+    }
+  }
+  return out;
+}
+
+// --- MetricsRegistry ------------------------------------------------------
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  std::lock_guard lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  std::vector<double> b = bounds.empty()
+                              ? Histogram::default_latency_bounds_ms()
+                              : std::vector<double>(bounds.begin(), bounds.end());
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(b)))
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: instrumented code may run during static
+  // destruction; handles must outlive every user.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+}  // namespace fifl::obs

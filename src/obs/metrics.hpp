@@ -1,0 +1,142 @@
+// fifl::obs metrics — process-wide counters, gauges, and fixed-bucket
+// histograms with lock-free hot paths.
+//
+// Design: registration (name -> instrument) takes a mutex once; the
+// returned reference stays valid for the registry's lifetime, so hot
+// paths hold a pointer and touch only relaxed atomics — a counter
+// increment is a single fetch_add. Snapshots read the atomics without
+// stopping writers: totals are exact for quiesced instruments and
+// monotonically consistent under concurrent writes (a histogram's
+// bucket counts may momentarily lag its observation count).
+//
+// Naming convention: dot-separated lowercase paths, unit suffix on
+// histograms ("sim.local_train_ms", "chain.seal_ms").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fifl::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with `le` (less-or-equal) bucket semantics:
+/// bucket b counts observations v with bounds[b-1] < v <= bounds[b]; one
+/// implicit overflow bucket counts v > bounds.back(). NaN observations
+/// are dropped. Tracks count/sum/min/max alongside the buckets.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  struct Snapshot {
+    std::vector<double> bounds;         // upper bounds; overflow implicit
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // meaningful iff count > 0
+    double max = 0.0;
+    double mean() const noexcept {
+      return count ? sum / static_cast<double>(count) : 0.0;
+    }
+  };
+  Snapshot snapshot() const;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  void reset() noexcept;
+
+  /// Default bounds for millisecond latencies: 1µs .. 60s, log-ish scale.
+  static std::vector<double> default_latency_bounds_ms();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> bucket_counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+  /// Compact JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,sum,min,max,mean,buckets:[{le,count}..]}}}.
+  std::string to_json() const;
+  /// Flat CSV: kind,name,field,value — one row per scalar.
+  std::string to_csv() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by name. References remain valid for the registry's
+  /// lifetime. For histograms, `bounds` applies only on first creation
+  /// (empty => default_latency_bounds_ms()).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every instrument (registrations survive). Not linearizable
+  /// against concurrent writers — intended for bench/test boundaries.
+  void reset();
+
+  /// Process-wide registry the built-in instrumentation reports to.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;  // guards the maps, not the instruments
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace fifl::obs

@@ -1,0 +1,42 @@
+#include "obs/scoped_timer.hpp"
+
+#include <vector>
+
+namespace fifl::obs {
+
+namespace {
+// Innermost-first stack of live span paths for the calling thread.
+thread_local std::vector<std::string>* t_span_stack = nullptr;
+
+std::vector<std::string>& span_stack() {
+  // Leaked per thread-exit semantics simplification: thread_local vector
+  // itself would be fine, but an explicit heap cell keeps the accessor
+  // trivially noexcept on all ABIs.
+  if (!t_span_stack) t_span_stack = new std::vector<std::string>();
+  return *t_span_stack;
+}
+}  // namespace
+
+Span::Span(std::string_view name, MetricsRegistry& registry)
+    : registry_(&registry) {
+  auto& stack = span_stack();
+  path_ = stack.empty() ? std::string(name)
+                        : stack.back() + "." + std::string(name);
+  stack.push_back(path_);
+  start_ = clock::now();  // after bookkeeping: time the body, not the setup
+}
+
+Span::~Span() {
+  const double ms =
+      std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+  registry_->histogram("span." + path_).observe(ms);
+  auto& stack = span_stack();
+  if (!stack.empty() && stack.back() == path_) stack.pop_back();
+}
+
+std::string Span::current_path() {
+  const auto& stack = span_stack();
+  return stack.empty() ? std::string() : stack.back();
+}
+
+}  // namespace fifl::obs

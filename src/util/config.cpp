@@ -99,4 +99,10 @@ double env_double(const char* name, double fallback) {
   return std::strtod(v, nullptr);
 }
 
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return v;
+}
+
 }  // namespace fifl::util

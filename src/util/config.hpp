@@ -40,5 +40,7 @@ class Config {
 /// Reads an integer environment override, e.g. env_int("FIFL_ROUNDS", 100).
 std::int64_t env_int(const char* name, std::int64_t fallback);
 double env_double(const char* name, double fallback);
+/// Raw string environment override; fallback when unset or empty.
+std::string env_string(const char* name, const std::string& fallback);
 
 }  // namespace fifl::util

@@ -1,13 +1,17 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
+
+#include "util/config.hpp"
 
 namespace fifl::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_sink_mutex;
 
 const char* level_name(LogLevel level) {
@@ -20,6 +24,34 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// FIFL_LOG_LEVEL accepts a level name (case-insensitive: debug, info,
+/// warn, error, off) or the numeric enum value 0-4.
+LogLevel level_from_env() {
+  std::string v = env_string("FIFL_LOG_LEVEL", "");
+  if (v.empty()) return LogLevel::kWarn;
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning" || v == "2") return LogLevel::kWarn;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  if (v == "off" || v == "none" || v == "4") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+
+using log_clock = std::chrono::steady_clock;
+const log_clock::time_point g_start = log_clock::now();
+
+/// Compact per-thread id: threads get 1, 2, ... in first-log order, which
+/// reads better than opaque pthread handles when eyeballing interleaved
+/// pool output.
+unsigned thread_log_id() {
+  static std::atomic<unsigned> next{1};
+  thread_local const unsigned id = next.fetch_add(1);
+  return id;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
@@ -27,8 +59,13 @@ LogLevel log_level() noexcept { return g_level.load(); }
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const double seconds =
+      std::chrono::duration<double>(log_clock::now() - g_start).count();
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[%10.4f t%02u %-5s] ", seconds,
+                thread_log_id(), level_name(level));
   std::lock_guard lock(g_sink_mutex);
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  std::cerr << prefix << message << '\n';
 }
 
 }  // namespace fifl::util

@@ -1,5 +1,12 @@
 // Minimal leveled logger. Single global sink (stderr by default), thread
 // safe, with a level that benches lower to keep figure output clean.
+//
+// Each line carries a monotonic timestamp (seconds since process start)
+// and a compact thread id: "[   12.3456 t01 INFO ] message". The initial
+// level honours the FIFL_LOG_LEVEL environment variable (debug | info |
+// warn | error | off, or 0-4), so examples and benches can raise
+// verbosity without recompiling; set_log_level() still overrides at
+// runtime.
 #pragma once
 
 #include <sstream>
@@ -12,7 +19,8 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emits one line "[LEVEL] message" if `level` >= the global level.
+/// Emits one "[<uptime> t<id> LEVEL] message" line if `level` >= the
+/// global level.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

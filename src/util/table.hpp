@@ -20,6 +20,10 @@ class Table {
 
   std::size_t rows() const noexcept { return rows_.size(); }
   std::size_t cols() const noexcept { return headers_.size(); }
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const noexcept {
+    return rows_;
+  }
 
   /// Render as an aligned, boxed text table.
   std::string to_text() const;

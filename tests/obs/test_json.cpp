@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace fifl::obs {
+namespace {
+
+TEST(JsonWriter, NestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("fifl");
+  w.key("n").value(std::uint64_t{42});
+  w.key("neg").value(std::int64_t{-7});
+  w.key("pi").value(3.5);
+  w.key("flag").value(true);
+  w.key("nothing").null();
+  w.key("list").begin_array().value(1.0).value(2.0).end_array();
+  w.key("inner").begin_object().key("x").value(false).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"fifl\",\"n\":42,\"neg\":-7,\"pi\":3.5,\"flag\":true,"
+            "\"nothing\":null,\"list\":[1,2],\"inner\":{\"x\":false}}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_array().value("a\"b\\c\nd\te\x01").end_array();
+  EXPECT_EQ(w.str(), "[\"a\\\"b\\\\c\\nd\\te\\u0001\"]");
+}
+
+TEST(JsonWriter, RawSplicesFragment) {
+  JsonWriter w;
+  w.begin_object().key("sub").raw("{\"k\":1}").key("after").value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"sub\":{\"k\":1},\"after\":true}");
+}
+
+TEST(JsonNumber, RoundTripsDoubles) {
+  for (const double v : {0.0, -1.5, 1e-300, 3.141592653589793, 0.1, 1e17}) {
+    const std::string text = json_number(v);
+    EXPECT_EQ(json_parse(text).as_number(), v) << text;
+  }
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(INFINITY), "null");
+  EXPECT_TRUE(std::isnan(json_parse("null").as_number()));
+}
+
+TEST(JsonParse, ParsesDocument) {
+  const JsonValue v = json_parse(
+      R"({"a": [1, 2.5, "three", null, true], "b": {"c": -4e2}, "s": "x\ny"})");
+  EXPECT_EQ(v.at("a").array.size(), 5u);
+  EXPECT_EQ(v.at("a").array[0].as_number(), 1.0);
+  EXPECT_EQ(v.at("a").array[2].as_string(), "three");
+  EXPECT_TRUE(v.at("a").array[3].is_null());
+  EXPECT_TRUE(v.at("a").array[4].as_bool());
+  EXPECT_EQ(v.at("b").at("c").as_number(), -400.0);
+  EXPECT_EQ(v.at("s").as_string(), "x\ny");
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW((void)v.at("missing"), std::runtime_error);
+}
+
+TEST(JsonParse, DecodesUnicodeEscapes) {
+  EXPECT_EQ(json_parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)json_parse(""), std::runtime_error);
+  EXPECT_THROW((void)json_parse("{"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("nul"), std::runtime_error);
+  EXPECT_THROW((void)json_parse("1.2.3"), std::runtime_error);
+}
+
+TEST(JsonParse, DepthLimited) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW((void)json_parse(deep), std::runtime_error);
+}
+
+TEST(Fnv1a64, KnownVectorsAndStability) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64_hex(""), "0xcbf29ce484222325");
+  EXPECT_NE(fnv1a64("round,acc\n1,0.5"), fnv1a64("round,acc\n1,0.6"));
+}
+
+}  // namespace
+}  // namespace fifl::obs
