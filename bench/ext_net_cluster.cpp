@@ -1,0 +1,78 @@
+// Extension bench: the fifl::net message-passing runtime end to end.
+// Runs the polycentric cluster (M=2 servers, N=8 workers, two
+// sign-flippers) over the in-process loopback transport and reports the
+// per-round series from the lead's round traces — including the wire
+// activity ("net" block) that only networked runs produce. The emitted
+// BENCH_ext_net_cluster.json carries the full metrics snapshot, so
+// net.bytes_tx/rx, net.msgs_tx/rx, net.frame_errors, and the net.rtt_ms
+// histogram are part of the perf-trajectory artifact stream.
+#include "bench_util.hpp"
+
+#include "net/cluster.hpp"
+
+int main() {
+  using namespace fifl;
+  const std::size_t rounds = bench::env_rounds(10);
+  const std::size_t workers = 8;
+
+  auto spec = data::mnist_like(workers * 120, 21);
+  spec.image_size = 8;
+  spec.noise = 0.5;
+  const auto split = data::make_synthetic_split(spec, 200);
+
+  auto behaviours = bench::honest_behaviours(workers - 2);
+  behaviours.push_back(std::make_unique<fl::SignFlipBehaviour>(6.0));
+  behaviours.push_back(std::make_unique<fl::SignFlipBehaviour>(10.0));
+  util::Rng setup_rng(3);
+  auto setups =
+      fl::make_worker_setups(split.train, std::move(behaviours), setup_rng);
+
+  net::ClusterConfig cfg;
+  cfg.sim.seed = 42;
+  cfg.sim.batch_size = 64;
+  cfg.fifl.servers = 2;
+  cfg.rounds = rounds;
+  cfg.transport = net::TransportKind::kLoopback;
+
+  const fl::ModelFactory factory = [](util::Rng& rng) {
+    auto model = std::make_unique<nn::Sequential>();
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(64, 16, rng);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::Linear>(16, 10, rng);
+    return model;
+  };
+
+  obs::RoundTraceRecorder recorder(util::env_string("FIFL_TRACE_OUT", ""));
+  net::Cluster cluster(cfg, factory, std::move(setups), split.test);
+  cluster.set_trace_recorder(&recorder);
+  const auto& results = cluster.run();
+
+  util::Table table({"round", "accepted", "rejected", "uncertain", "fairness",
+                     "bytes_tx", "msgs_tx", "frame_errors"});
+  for (const obs::RoundTrace& trace : recorder.traces()) {
+    std::size_t accepted = 0, rejected = 0, uncertain = 0;
+    for (const auto& w : trace.workers) {
+      if (w.uncertain) {
+        ++uncertain;
+      } else if (w.accepted) {
+        ++accepted;
+      } else {
+        ++rejected;
+      }
+    }
+    table.add_row({std::to_string(trace.round), std::to_string(accepted),
+                   std::to_string(rejected), std::to_string(uncertain),
+                   util::format_double(trace.fairness, 3),
+                   std::to_string(trace.net.bytes_tx),
+                   std::to_string(trace.net.msgs_tx),
+                   std::to_string(trace.net.frame_errors)});
+  }
+
+  const fl::Evaluation eval = cluster.final_evaluation();
+  std::printf("final: accuracy %.3f, loss %.3f over %zu rounds (%zu results)\n",
+              eval.accuracy, eval.loss, rounds, results.size());
+  bench::report("net cluster (loopback, M=2, N=8)", table,
+                "ext_net_cluster.csv");
+  return 0;
+}

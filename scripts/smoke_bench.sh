@@ -5,12 +5,18 @@
 #   - the figure bench streams one JSONL trace record per round to
 #     FIFL_TRACE_OUT.
 #
-# Usage: smoke_bench.sh [bench-bin-dir]
-#   bench-bin-dir defaults to ./build/bench. Registered as a ctest
+# It also smokes the fifl::net runtime: if the polycentric_cluster
+# example binary exists (examples-bin-dir, 2nd arg), a short loopback
+# cluster run must complete and its trace must carry the "net" block.
+#
+# Usage: smoke_bench.sh [bench-bin-dir] [examples-bin-dir]
+#   bench-bin-dir defaults to ./build/bench; examples-bin-dir to its
+#   sibling ../examples (skipped when absent). Registered as a ctest
 #   (bench_smoke) so `ctest` exercises the whole artifact path.
 set -eu
 
 BIN_DIR="${1:-build/bench}"
+EXAMPLES_DIR="${2:-$BIN_DIR/../examples}"
 ROUNDS="${FIFL_BENCH_ROUNDS:-3}"
 
 for bin in fig11_reputation micro_metrics_overhead; do
@@ -77,6 +83,22 @@ print("smoke_bench: python checks passed")
 EOF
 else
   echo "smoke_bench: python3 unavailable, skipped JSON deep checks"
+fi
+
+if [ -x "$EXAMPLES_DIR/polycentric_cluster" ]; then
+  echo "== polycentric_cluster (loopback, $ROUNDS rounds) =="
+  FIFL_TRACE_OUT="$OUTDIR/net_trace.jsonl" \
+    "$EXAMPLES_DIR/polycentric_cluster" --rounds="$ROUNDS" --loopback=1 \
+    > "$OUTDIR/cluster.log"
+  grep -q "final model" "$OUTDIR/cluster.log" || \
+    fail "polycentric_cluster did not finish"
+  NET_LINES="$(wc -l < "$OUTDIR/net_trace.jsonl")"
+  [ "$NET_LINES" -eq "$ROUNDS" ] || \
+    fail "expected $ROUNDS net trace records, got $NET_LINES"
+  grep -q '"net":{"bytes_tx"' "$OUTDIR/net_trace.jsonl" || \
+    fail "net trace records missing the \"net\" block"
+else
+  echo "smoke_bench: polycentric_cluster not built, net smoke skipped"
 fi
 
 echo "smoke_bench: OK"

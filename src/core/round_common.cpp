@@ -1,0 +1,63 @@
+#include "core/round_common.hpp"
+
+#include <limits>
+
+namespace fifl::core {
+
+void summarize_report(const RoundReport& report,
+                      std::span<const fl::Upload> uploads,
+                      RoundRecord& record) {
+  record.fairness = report.fairness;
+  record.degraded = report.degraded;
+  record.accepted = record.rejected = record.uncertain = 0;
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    if (report.detection.uncertain[i]) {
+      ++record.uncertain;
+    } else if (report.detection.accepted[i]) {
+      ++record.accepted;
+    } else {
+      ++record.rejected;
+    }
+  }
+}
+
+obs::RoundTrace make_round_trace(std::uint64_t round, const RoundReport& report,
+                                 std::span<const fl::Upload> uploads) {
+  obs::RoundTrace trace;
+  trace.round = round;
+  trace.degraded = report.degraded;
+  trace.fairness = report.fairness;
+  trace.workers.reserve(uploads.size());
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    obs::WorkerTrace wt;
+    wt.id = uploads[i].worker;
+    wt.arrived = uploads[i].arrived;
+    wt.accepted = report.detection.accepted[i] != 0;
+    wt.uncertain = report.detection.uncertain[i] != 0;
+    wt.detection_score = report.detection.scores[i];
+    wt.reputation = report.reputations[i];
+    wt.contribution = report.contribution.contributions[i];
+    wt.reward = report.rewards[i];
+    trace.workers.push_back(wt);
+  }
+  return trace;
+}
+
+obs::RoundTrace make_fedavg_round_trace(std::uint64_t round,
+                                        std::span<const fl::Upload> uploads) {
+  obs::RoundTrace trace;
+  trace.round = round;
+  trace.workers.reserve(uploads.size());
+  for (const auto& upload : uploads) {
+    obs::WorkerTrace wt;
+    wt.id = upload.worker;
+    wt.arrived = upload.arrived;
+    wt.accepted = upload.arrived;  // FedAvg accepts whatever arrived
+    wt.uncertain = !upload.arrived;
+    wt.detection_score = std::numeric_limits<double>::quiet_NaN();
+    trace.workers.push_back(wt);
+  }
+  return trace;
+}
+
+}  // namespace fifl::core

@@ -1,0 +1,32 @@
+// Round-summary helpers shared by core::FederatedTrainer (in-process) and
+// net::ServerNode (networked): both consume a FiflEngine RoundReport and
+// must produce identical accept/reject/uncertain tallies and identical
+// per-worker trace rows. Factoring this out is what keeps the two
+// runtimes on one assessment path — a divergence here would silently
+// break the simulator/cluster equivalence guarantee.
+#pragma once
+
+#include <span>
+
+#include "core/fifl.hpp"
+#include "core/trainer.hpp"
+#include "obs/trace.hpp"
+
+namespace fifl::core {
+
+/// Fills the outcome fields of `record` (accepted/rejected/uncertain,
+/// fairness, degraded) from an engine report.
+void summarize_report(const RoundReport& report,
+                      std::span<const fl::Upload> uploads,
+                      RoundRecord& record);
+
+/// Per-worker trace rows for a FIFL round. Phase timings and evaluation
+/// fields are left to the caller (they differ between runtimes).
+obs::RoundTrace make_round_trace(std::uint64_t round, const RoundReport& report,
+                                 std::span<const fl::Upload> uploads);
+
+/// FedAvg variant: no engine report, accept == arrived.
+obs::RoundTrace make_fedavg_round_trace(std::uint64_t round,
+                                        std::span<const fl::Upload> uploads);
+
+}  // namespace fifl::core

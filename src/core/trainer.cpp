@@ -1,8 +1,8 @@
 #include "core/trainer.hpp"
 
-#include <limits>
 #include <stdexcept>
 
+#include "core/round_common.hpp"
 #include "util/logging.hpp"
 
 namespace fifl::core {
@@ -34,46 +34,18 @@ RoundRecord FederatedTrainer::execute_round() {
   }
   record.round = simulator_->round() - 1;
   const bool tracing = trace_recorder_ && trace_recorder_->enabled();
-  if (tracing) {
-    pending_trace_ = obs::RoundTrace{};
-    pending_trace_.round = record.round;
-    const fl::SimPhaseTimes& sim_times = simulator_->last_phase_times();
-    pending_trace_.phases.local_train_ms = sim_times.local_train_ms;
-    pending_trace_.phases.channel_ms = sim_times.channel_ms;
-  }
+  const fl::SimPhaseTimes& sim_times = simulator_->last_phase_times();
   if (engine_) {
     const RoundReport report = engine_->process_round(uploads);
     simulator_->apply_round(uploads, report.detection.accepted);
-    record.fairness = report.fairness;
-    record.degraded = report.degraded;
-    for (std::size_t i = 0; i < uploads.size(); ++i) {
-      if (report.detection.uncertain[i]) {
-        ++record.uncertain;
-      } else if (report.detection.accepted[i]) {
-        ++record.accepted;
-      } else {
-        ++record.rejected;
-      }
-    }
+    summarize_report(report, uploads, record);
     if (tracing) {
-      pending_trace_.degraded = report.degraded;
-      pending_trace_.fairness = report.fairness;
+      pending_trace_ = make_round_trace(record.round, report, uploads);
+      pending_trace_.phases.local_train_ms = sim_times.local_train_ms;
+      pending_trace_.phases.channel_ms = sim_times.channel_ms;
       pending_trace_.phases.detect_ms = report.detect_ms;
       pending_trace_.phases.aggregate_ms = report.aggregate_ms;
       pending_trace_.phases.ledger_ms = report.ledger_ms;
-      pending_trace_.workers.reserve(uploads.size());
-      for (std::size_t i = 0; i < uploads.size(); ++i) {
-        obs::WorkerTrace wt;
-        wt.id = uploads[i].worker;
-        wt.arrived = uploads[i].arrived;
-        wt.accepted = report.detection.accepted[i] != 0;
-        wt.uncertain = report.detection.uncertain[i] != 0;
-        wt.detection_score = report.detection.scores[i];
-        wt.reputation = report.reputations[i];
-        wt.contribution = report.contribution.contributions[i];
-        wt.reward = report.rewards[i];
-        pending_trace_.workers.push_back(wt);
-      }
     }
     if (report_observer_) report_observer_(report, uploads);
   } else {
@@ -86,16 +58,9 @@ RoundRecord FederatedTrainer::execute_round() {
       }
     }
     if (tracing) {
-      pending_trace_.workers.reserve(uploads.size());
-      for (const auto& upload : uploads) {
-        obs::WorkerTrace wt;
-        wt.id = upload.worker;
-        wt.arrived = upload.arrived;
-        wt.accepted = upload.arrived;  // FedAvg accepts whatever arrived
-        wt.uncertain = !upload.arrived;
-        wt.detection_score = std::numeric_limits<double>::quiet_NaN();
-        pending_trace_.workers.push_back(wt);
-      }
+      pending_trace_ = make_fedavg_round_trace(record.round, uploads);
+      pending_trace_.phases.local_train_ms = sim_times.local_train_ms;
+      pending_trace_.phases.channel_ms = sim_times.channel_ms;
     }
   }
   return record;

@@ -13,11 +13,55 @@
 
 namespace fifl::fl {
 
+FederationInit make_federation_init(const SimulatorConfig& config,
+                                    const ModelFactory& factory,
+                                    std::vector<WorkerSetup> workers) {
+  if (workers.empty()) {
+    throw std::invalid_argument("make_federation_init: no workers");
+  }
+  FederationInit init;
+  util::Rng rng(config.seed);
+  init.global_model = factory(rng);
+  if (!init.global_model) {
+    throw std::invalid_argument("make_federation_init: null global model");
+  }
+  init.param_count = init.global_model->parameter_count();
+
+  init.workers.reserve(workers.size());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    WorkerConfig wc;
+    wc.id = static_cast<chain::NodeId>(i);
+    wc.local_iterations = config.local_iterations;
+    wc.batch_size = config.batch_size;
+    wc.learning_rate = config.learning_rate;
+    // Per-worker streams are split by worker index, never by thread or
+    // arrival order: worker i's gradient sequence is a pure function of
+    // (seed, i, round), however the pool schedules it or however its
+    // uploads interleave on the wire.
+    init.workers.push_back(std::make_unique<Worker>(
+        wc, std::move(workers[i].shard), std::move(workers[i].behaviour),
+        factory, rng.split(1000 + i)));
+  }
+  return init;
+}
+
+void apply_gradient_step(nn::Sequential& model, const Gradient& gradient,
+                         double learning_rate) {
+  std::vector<float> params = model.flatten_parameters();
+  if (params.size() != gradient.size()) {
+    throw std::invalid_argument("apply_gradient_step: size mismatch");
+  }
+  const auto lr = static_cast<float>(learning_rate);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] -= lr * gradient[i];
+  }
+  model.load_parameters(params);
+}
+
 Simulator::Simulator(SimulatorConfig config, const ModelFactory& factory,
                      std::vector<WorkerSetup> workers, data::Dataset test_set)
     : config_(config), test_set_(std::move(test_set)),
       channel_(config.channel_drop_prob, util::Rng(config.seed ^ 0xc4a1ull)) {
-  if (workers.empty()) throw std::invalid_argument("Simulator: no workers");
   test_set_.validate();
 
   auto& metrics = obs::MetricsRegistry::global();
@@ -26,22 +70,10 @@ Simulator::Simulator(SimulatorConfig config, const ModelFactory& factory,
   rounds_counter_ = &metrics.counter("sim.rounds");
   uploads_lost_counter_ = &metrics.counter("sim.uploads_lost");
 
-  util::Rng rng(config_.seed);
-  global_model_ = factory(rng);
-  if (!global_model_) throw std::invalid_argument("Simulator: null global model");
-  param_count_ = global_model_->parameter_count();
-
-  workers_.reserve(workers.size());
-  for (std::size_t i = 0; i < workers.size(); ++i) {
-    WorkerConfig wc;
-    wc.id = static_cast<chain::NodeId>(i);
-    wc.local_iterations = config_.local_iterations;
-    wc.batch_size = config_.batch_size;
-    wc.learning_rate = config_.learning_rate;
-    workers_.push_back(std::make_unique<Worker>(
-        wc, std::move(workers[i].shard), std::move(workers[i].behaviour),
-        factory, rng.split(1000 + i)));
-  }
+  FederationInit init = make_federation_init(config_, factory, std::move(workers));
+  global_model_ = std::move(init.global_model);
+  param_count_ = init.param_count;
+  workers_ = std::move(init.workers);
 }
 
 std::vector<Upload> Simulator::collect_uploads() {
@@ -133,12 +165,7 @@ Gradient Simulator::aggregate(std::span<const Upload> uploads,
 Gradient Simulator::apply_round(std::span<const Upload> uploads,
                                 std::span<const int> accept) {
   Gradient agg = aggregate(uploads, accept);
-  std::vector<float> params = global_model_->flatten_parameters();
-  const auto lr = static_cast<float>(config_.global_learning_rate);
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    params[i] -= lr * agg[i];
-  }
-  global_model_->load_parameters(params);
+  apply_gradient_step(*global_model_, agg, config_.global_learning_rate);
   return agg;
 }
 
@@ -147,37 +174,45 @@ Gradient Simulator::apply_round(std::span<const Upload> uploads) {
   return apply_round(uploads, accept);
 }
 
-Evaluation Simulator::evaluate() {
+Evaluation evaluate_model(nn::Sequential& model, const data::Dataset& test_set,
+                          std::size_t eval_batch_size) {
   Evaluation result;
-  if (model_crashed()) {
-    result.loss = std::numeric_limits<double>::quiet_NaN();
-    result.accuracy = 1.0 / static_cast<double>(test_set_.classes);
-    return result;
+  for (const nn::Parameter* p : model.parameters()) {
+    if (tensor::has_nonfinite(p->value)) {
+      result.loss = std::numeric_limits<double>::quiet_NaN();
+      result.accuracy = 1.0 / static_cast<double>(test_set.classes);
+      return result;
+    }
   }
-  const std::size_t n = test_set_.size();
-  const std::size_t bs = std::min(config_.eval_batch_size, n);
+  const std::size_t n = test_set.size();
+  const std::size_t bs = std::min(eval_batch_size, n);
   double loss_sum = 0.0;
   std::size_t correct = 0;
-  const std::size_t c = test_set_.images.dim(1), h = test_set_.images.dim(2),
-                    w = test_set_.images.dim(3);
+  const std::size_t c = test_set.images.dim(1), h = test_set.images.dim(2),
+                    w = test_set.images.dim(3);
   const std::size_t stride = c * h * w;
+  nn::SoftmaxCrossEntropy eval_loss;
   for (std::size_t start = 0; start < n; start += bs) {
     const std::size_t count = std::min(bs, n - start);
     tensor::Tensor batch({count, c, h, w});
     for (std::size_t k = 0; k < count; ++k) {
-      const float* src = test_set_.images.data() + (start + k) * stride;
+      const float* src = test_set.images.data() + (start + k) * stride;
       float* dst = batch.data() + k * stride;
       for (std::size_t j = 0; j < stride; ++j) dst[j] = src[j];
     }
-    std::span<const std::int32_t> labels(test_set_.labels.data() + start, count);
-    const tensor::Tensor logits = global_model_->forward(batch);
-    loss_sum += eval_loss_.forward(logits, labels) * static_cast<double>(count);
+    std::span<const std::int32_t> labels(test_set.labels.data() + start, count);
+    const tensor::Tensor logits = model.forward(batch);
+    loss_sum += eval_loss.forward(logits, labels) * static_cast<double>(count);
     correct += static_cast<std::size_t>(
         nn::accuracy(logits, labels) * static_cast<double>(count) + 0.5);
   }
   result.loss = loss_sum / static_cast<double>(n);
   result.accuracy = static_cast<double>(correct) / static_cast<double>(n);
   return result;
+}
+
+Evaluation Simulator::evaluate() {
+  return evaluate_model(*global_model_, test_set_, config_.eval_batch_size);
 }
 
 bool Simulator::model_crashed() {

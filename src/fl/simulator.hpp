@@ -49,6 +49,31 @@ struct SimPhaseTimes {
   double channel_ms = 0.0;      // lossy-channel transmission
 };
 
+/// The deterministic construction shared by the in-process Simulator and
+/// the fifl::net cluster: global model from Rng(seed), then workers with
+/// streams split off the post-factory state. Both runtimes call this one
+/// function, which is what makes a networked run reproduce a simulator
+/// run bit-for-bit on the same seed.
+struct FederationInit {
+  std::unique_ptr<nn::Sequential> global_model;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::size_t param_count = 0;
+};
+
+FederationInit make_federation_init(const SimulatorConfig& config,
+                                    const ModelFactory& factory,
+                                    std::vector<WorkerSetup> workers);
+
+/// θ ← θ − η·G̃ (Eq. 3), the single global-step implementation both the
+/// Simulator and net::ServerNode use (same float ops, same order).
+void apply_gradient_step(nn::Sequential& model, const Gradient& gradient,
+                         double learning_rate);
+
+/// Test loss/accuracy of `model` over `test_set` in batches; NaN loss and
+/// chance-level accuracy when parameters are non-finite.
+Evaluation evaluate_model(nn::Sequential& model, const data::Dataset& test_set,
+                          std::size_t eval_batch_size);
+
 class Simulator {
  public:
   Simulator(SimulatorConfig config, const ModelFactory& factory,
@@ -105,7 +130,6 @@ class Simulator {
   std::vector<std::unique_ptr<Worker>> workers_;
   data::Dataset test_set_;
   Channel channel_;
-  nn::SoftmaxCrossEntropy eval_loss_;
   std::uint64_t round_ = 0;
   SimPhaseTimes phase_times_;
   // Metrics handles resolved once (registry references are stable).

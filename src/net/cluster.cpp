@@ -1,0 +1,144 @@
+#include "net/cluster.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "net/tcp.hpp"
+#include "util/logging.hpp"
+
+namespace fifl::net {
+
+Cluster::Cluster(ClusterConfig config, const fl::ModelFactory& factory,
+                 std::vector<fl::WorkerSetup> setups, data::Dataset test_set)
+    : config_(config), test_set_(std::move(test_set)) {
+  const std::size_t n = setups.size();
+  const std::size_t m = config_.fifl.servers;
+  if (n == 0) throw std::invalid_argument("Cluster: no workers");
+  if (m == 0 || m > n) {
+    throw std::invalid_argument("Cluster: servers must be in [1, workers]");
+  }
+
+  // Same deterministic construction as the in-process Simulator: this is
+  // the seed-equivalence anchor.
+  fl::FederationInit init =
+      fl::make_federation_init(config_.sim, factory, std::move(setups));
+
+  const Topology topology{static_cast<std::uint32_t>(n),
+                          static_cast<std::uint32_t>(m)};
+  switch (config_.transport) {
+    case TransportKind::kLoopback:
+      transport_ = std::make_unique<LoopbackTransport>();
+      break;
+    case TransportKind::kTcp:
+      transport_ = std::make_unique<TcpTransport>();
+      break;
+  }
+
+  // Open every endpoint before any node thread runs, so the first send
+  // (TCP: the first connect) always finds its peer listed.
+  std::vector<std::unique_ptr<Endpoint>> worker_eps;
+  worker_eps.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    worker_eps.push_back(transport_->open(topology.worker_key(i)));
+  }
+  std::vector<std::unique_ptr<Endpoint>> server_eps;
+  server_eps.reserve(m);
+  for (std::uint32_t j = 0; j < m; ++j) {
+    server_eps.push_back(transport_->open(topology.server_key(j)));
+  }
+
+  for (std::uint32_t j = 0; j < m; ++j) {
+    ServerNodeConfig sc;
+    sc.server_index = j;
+    sc.rounds = config_.rounds;
+    sc.global_learning_rate = config_.sim.global_learning_rate;
+    sc.timeouts = config_.timeouts;
+    // Every server gets an identical engine replica (deterministic state
+    // machine); only the lead owns θ.
+    auto engine = std::make_unique<core::FiflEngine>(config_.fifl, n,
+                                                     init.param_count);
+    server_nodes_.push_back(std::make_unique<ServerNode>(
+        sc, std::move(engine),
+        j == 0 ? std::move(init.global_model) : nullptr,
+        std::move(server_eps[j]), topology));
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    worker_nodes_.push_back(std::make_unique<WorkerNode>(
+        std::move(init.workers[i]), std::move(worker_eps[i]), topology,
+        config_.timeouts));
+  }
+}
+
+Cluster::~Cluster() {
+  for (auto& node : worker_nodes_) node->request_stop();
+  for (auto& node : server_nodes_) node->request_stop();
+}
+
+void Cluster::set_trace_recorder(obs::RoundTraceRecorder* recorder) {
+  server_nodes_.at(0)->set_trace_recorder(recorder);
+}
+
+void Cluster::set_round_callback(ServerNode::RoundCallback callback) {
+  server_nodes_.at(0)->set_round_callback(std::move(callback));
+}
+
+const std::vector<NetRoundResult>& Cluster::run() {
+  if (ran_) throw std::logic_error("Cluster::run: already ran");
+  ran_ = true;
+  util::log_info() << "net: cluster starting (" << worker_nodes_.size()
+                   << " workers, " << server_nodes_.size() << " servers, "
+                   << (config_.transport == TransportKind::kTcp ? "tcp"
+                                                                : "loopback")
+                   << ", " << config_.rounds << " rounds)";
+
+  const std::size_t total = worker_nodes_.size() + server_nodes_.size();
+  std::vector<std::exception_ptr> failures(total);
+  std::vector<std::thread> threads;
+  threads.reserve(total);
+
+  auto stop_all = [this] {
+    for (auto& node : worker_nodes_) node->request_stop();
+    for (auto& node : server_nodes_) node->request_stop();
+  };
+
+  std::size_t slot = 0;
+  for (auto& node : server_nodes_) {
+    threads.emplace_back([&failures, &stop_all, slot, raw = node.get()] {
+      try {
+        raw->run();
+      } catch (...) {
+        failures[slot] = std::current_exception();
+        stop_all();
+      }
+    });
+    ++slot;
+  }
+  for (auto& node : worker_nodes_) {
+    threads.emplace_back([&failures, &stop_all, slot, raw = node.get()] {
+      try {
+        raw->run();
+      } catch (...) {
+        failures[slot] = std::current_exception();
+        stop_all();
+      }
+    });
+    ++slot;
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (std::exception_ptr& failure : failures) {
+    if (failure) std::rethrow_exception(failure);
+  }
+  util::log_info() << "net: cluster finished "
+                   << server_nodes_.at(0)->results().size() << " rounds";
+  return server_nodes_.at(0)->results();
+}
+
+fl::Evaluation Cluster::final_evaluation() {
+  nn::Sequential* model = server_nodes_.at(0)->global_model();
+  if (!model) throw std::logic_error("Cluster: lead has no model");
+  return fl::evaluate_model(*model, test_set_, config_.sim.eval_batch_size);
+}
+
+}  // namespace fifl::net

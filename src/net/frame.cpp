@@ -1,0 +1,112 @@
+#include "net/frame.hpp"
+
+#include <array>
+#include <cstring>
+#include <string>
+
+namespace fifl::net {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::uint32_t load_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_frame(std::uint8_t type, std::uint32_t from,
+                                       std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxPayload) {
+    throw FrameError("encode_frame: payload exceeds kMaxPayload (" +
+                     std::to_string(payload.size()) + " bytes)");
+  }
+  util::ByteWriter writer;
+  writer.write_u32(kFrameMagic);
+  writer.write_u8(kFrameVersion);
+  writer.write_u8(type);
+  writer.write_u8(0);  // flags
+  writer.write_u8(0);
+  writer.write_u32(from);
+  writer.write_u32(static_cast<std::uint32_t>(payload.size()));
+  writer.write_u32(0);  // CRC placeholder
+  writer.write_bytes(payload);
+  std::vector<std::uint8_t> out = writer.take();
+  // CRC over [version .. header end) + payload, skipping magic and the
+  // CRC field itself.
+  std::uint32_t crc = crc32(std::span(out).subspan(4, 12));
+  crc = crc32(payload, crc);
+  out[16] = static_cast<std::uint8_t>(crc & 0xFFu);
+  out[17] = static_cast<std::uint8_t>((crc >> 8) & 0xFFu);
+  out[18] = static_cast<std::uint8_t>((crc >> 16) & 0xFFu);
+  out[19] = static_cast<std::uint8_t>((crc >> 24) & 0xFFu);
+  return out;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  // Compact lazily: once the consumed prefix dominates, shift the tail
+  // down so the buffer does not grow without bound on long connections.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (buffered() < kFrameHeaderSize) return std::nullopt;
+  const std::uint8_t* h = buffer_.data() + consumed_;
+  if (load_u32le(h) != kFrameMagic) {
+    throw FrameError("frame: bad magic");
+  }
+  if (h[4] != kFrameVersion) {
+    throw FrameError("frame: unsupported version " + std::to_string(h[4]));
+  }
+  if (h[6] != 0 || h[7] != 0) {
+    throw FrameError("frame: nonzero reserved flags");
+  }
+  const std::uint32_t length = load_u32le(h + 12);
+  if (length > kMaxPayload) {
+    throw FrameError("frame: payload length " + std::to_string(length) +
+                     " exceeds limit");
+  }
+  if (buffered() < kFrameHeaderSize + length) return std::nullopt;
+  const std::uint32_t stored_crc = load_u32le(h + 16);
+  std::uint32_t crc = crc32(std::span(h + 4, 12));
+  crc = crc32(std::span(h + kFrameHeaderSize, length), crc);
+  if (crc != stored_crc) {
+    throw FrameError("frame: CRC mismatch");
+  }
+  Frame frame;
+  frame.type = h[5];
+  frame.from = load_u32le(h + 8);
+  frame.payload.assign(h + kFrameHeaderSize, h + kFrameHeaderSize + length);
+  consumed_ += kFrameHeaderSize + length;
+  return frame;
+}
+
+}  // namespace fifl::net

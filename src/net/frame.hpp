@@ -1,0 +1,78 @@
+// Wire framing for fifl::net: every message travels as one length-prefixed
+// frame so a byte stream (TCP) or a queue (loopback) can be cut back into
+// messages without ambiguity.
+//
+//   offset  size  field
+//   0       4     magic 0x54454E46 ("FNET", little-endian)
+//   4       1     version (kFrameVersion)
+//   5       1     message type (net::MessageType)
+//   6       2     flags (reserved, must be 0)
+//   8       4     sender node key
+//   12      4     payload length (bounded by kMaxPayload)
+//   16      4     CRC32 (IEEE) over bytes [4, 16) + payload
+//   20      len   payload (a util::ByteWriter-encoded message body)
+//
+// The CRC covers everything after the magic, so any single corrupted byte
+// in header fields or payload is detected; a corrupted magic fails the
+// magic check itself. Decoding is incremental (FrameDecoder::feed) and
+// every malformed input throws FrameError — a SerializeError subclass, so
+// one catch handles both framing and payload decode failures. A decoder
+// that has thrown is poisoned: the stream has lost sync and the caller is
+// expected to drop the connection, mirroring what the TCP transport does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/serialize.hpp"
+
+namespace fifl::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x54454E46u;  // "FNET"
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 20;
+/// Upper bound on a single payload; anything larger is a corrupt length
+/// field, not a real message (a LeNet gradient is ~250 KB).
+inline constexpr std::uint32_t kMaxPayload = 1u << 28;
+
+class FrameError : public util::SerializeError {
+ public:
+  using util::SerializeError::SerializeError;
+};
+
+/// CRC32 (IEEE 802.3 polynomial, reflected). `seed` chains partial
+/// computations: crc32(b, crc32(a)) == crc32(a ++ b).
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+struct Frame {
+  std::uint8_t type = 0;
+  std::uint32_t from = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes one frame (header + payload) ready for the wire.
+std::vector<std::uint8_t> encode_frame(std::uint8_t type, std::uint32_t from,
+                                       std::span<const std::uint8_t> payload);
+
+/// Incremental frame parser over an arbitrary chunking of the byte stream.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes received from the wire.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Extracts the next complete frame, or nullopt if more bytes are
+  /// needed. Throws FrameError on bad magic/version/flags, an oversized
+  /// length field, or a CRC mismatch.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed as frames.
+  std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace fifl::net

@@ -1,0 +1,231 @@
+#include "net/messages.hpp"
+
+namespace fifl::net {
+
+const char* message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kJoin: return "join";
+    case MessageType::kJoinAck: return "join_ack";
+    case MessageType::kLeave: return "leave";
+    case MessageType::kHeartbeat: return "heartbeat";
+    case MessageType::kModelBroadcast: return "model_broadcast";
+    case MessageType::kGradientUpload: return "gradient_upload";
+    case MessageType::kSliceAggregate: return "slice_aggregate";
+    case MessageType::kAssessmentResult: return "assessment_result";
+  }
+  return "unknown";
+}
+
+namespace {
+
+NodeRole decode_role(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(NodeRole::kServer)) {
+    throw util::SerializeError("join: invalid node role " +
+                               std::to_string(raw));
+  }
+  return static_cast<NodeRole>(raw);
+}
+
+std::uint8_t decode_flag(util::ByteReader& r, const char* what) {
+  const std::uint8_t v = r.read_u8();
+  if (v > 1) {
+    throw util::SerializeError(std::string(what) + ": flag byte must be 0/1");
+  }
+  return v;
+}
+
+}  // namespace
+
+void JoinMsg::encode(util::ByteWriter& w) const {
+  w.write_u32(node);
+  w.write_u8(static_cast<std::uint8_t>(role));
+}
+
+JoinMsg JoinMsg::decode(util::ByteReader& r) {
+  JoinMsg m;
+  m.node = r.read_u32();
+  m.role = decode_role(r.read_u8());
+  return m;
+}
+
+void JoinAckMsg::encode(util::ByteWriter& w) const {
+  w.write_u32(node);
+  w.write_u32(workers);
+  w.write_u32(servers);
+  w.write_u64(param_count);
+  w.write_u64(rounds);
+}
+
+JoinAckMsg JoinAckMsg::decode(util::ByteReader& r) {
+  JoinAckMsg m;
+  m.node = r.read_u32();
+  m.workers = r.read_u32();
+  m.servers = r.read_u32();
+  m.param_count = r.read_u64();
+  m.rounds = r.read_u64();
+  return m;
+}
+
+void LeaveMsg::encode(util::ByteWriter& w) const {
+  w.write_u32(node);
+  w.write_string(reason);
+}
+
+LeaveMsg LeaveMsg::decode(util::ByteReader& r) {
+  LeaveMsg m;
+  m.node = r.read_u32();
+  m.reason = r.read_string();
+  return m;
+}
+
+void HeartbeatMsg::encode(util::ByteWriter& w) const {
+  w.write_u32(node);
+  w.write_u64(token);
+  w.write_u8(echo);
+}
+
+HeartbeatMsg HeartbeatMsg::decode(util::ByteReader& r) {
+  HeartbeatMsg m;
+  m.node = r.read_u32();
+  m.token = r.read_u64();
+  m.echo = decode_flag(r, "heartbeat");
+  return m;
+}
+
+void ModelBroadcastMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u64(checkpoint.size());
+  w.write_bytes(checkpoint);
+}
+
+ModelBroadcastMsg ModelBroadcastMsg::decode(util::ByteReader& r) {
+  ModelBroadcastMsg m;
+  m.round = r.read_u64();
+  const std::uint64_t n = r.read_u64();
+  if (n > r.remaining()) {
+    throw util::SerializeError("model_broadcast: checkpoint length " +
+                               std::to_string(n) + " exceeds payload");
+  }
+  m.checkpoint = r.read_bytes(static_cast<std::size_t>(n));
+  return m;
+}
+
+void GradientUploadMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u32(worker);
+  w.write_u64(samples);
+  w.write_u8(ground_truth_attack);
+  w.write_f32_array(gradient);
+}
+
+GradientUploadMsg GradientUploadMsg::decode(util::ByteReader& r) {
+  GradientUploadMsg m;
+  m.round = r.read_u64();
+  m.worker = r.read_u32();
+  m.samples = r.read_u64();
+  m.ground_truth_attack = decode_flag(r, "gradient_upload");
+  m.gradient = r.read_f32_array();
+  return m;
+}
+
+void SliceAggregateMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u32(server_index);
+  w.write_u64(offset);
+  w.write_f32_array(values);
+}
+
+SliceAggregateMsg SliceAggregateMsg::decode(util::ByteReader& r) {
+  SliceAggregateMsg m;
+  m.round = r.read_u64();
+  m.server_index = r.read_u32();
+  m.offset = r.read_u64();
+  m.values = r.read_f32_array();
+  return m;
+}
+
+void encode_audit_record(util::ByteWriter& w, const chain::AuditRecord& rec) {
+  w.write_u8(static_cast<std::uint8_t>(rec.kind));
+  w.write_u64(rec.round);
+  w.write_u32(rec.subject);
+  w.write_u32(rec.executor);
+  w.write_f64(rec.value);
+  w.write_u32(rec.signature.signer);
+  w.write_bytes(rec.signature.tag);
+}
+
+chain::AuditRecord decode_audit_record(util::ByteReader& r) {
+  chain::AuditRecord rec;
+  const std::uint8_t kind = r.read_u8();
+  if (kind > static_cast<std::uint8_t>(chain::RecordKind::kServerSelection)) {
+    throw util::SerializeError("audit record: invalid kind " +
+                               std::to_string(kind));
+  }
+  rec.kind = static_cast<chain::RecordKind>(kind);
+  rec.round = r.read_u64();
+  rec.subject = r.read_u32();
+  rec.executor = r.read_u32();
+  rec.value = r.read_f64();
+  rec.signature.signer = r.read_u32();
+  const auto tag = r.read_bytes(rec.signature.tag.size());
+  std::copy(tag.begin(), tag.end(), rec.signature.tag.begin());
+  return rec;
+}
+
+void AssessmentResultMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u8(degraded);
+  w.write_f64(fairness);
+  w.write_u64(workers.size());
+  for (const WorkerAssessment& wa : workers) {
+    w.write_u32(wa.worker);
+    w.write_u8(wa.arrived);
+    w.write_u8(wa.accepted);
+    w.write_u8(wa.uncertain);
+    w.write_f64(wa.score);
+    w.write_f64(wa.reputation);
+    w.write_f64(wa.contribution);
+    w.write_f64(wa.reward);
+  }
+  w.write_u64(records.size());
+  for (const chain::AuditRecord& rec : records) {
+    encode_audit_record(w, rec);
+  }
+}
+
+AssessmentResultMsg AssessmentResultMsg::decode(util::ByteReader& r) {
+  // Per-entry minimum encoded sizes, used to reject corrupted counts
+  // before any allocation sized by them.
+  constexpr std::uint64_t kWorkerBytes = 4 + 3 + 4 * 8;
+  constexpr std::uint64_t kRecordBytes = 1 + 8 + 4 + 4 + 8 + 4 + 32;
+  AssessmentResultMsg m;
+  m.round = r.read_u64();
+  m.degraded = decode_flag(r, "assessment");
+  m.fairness = r.read_f64();
+  const std::uint64_t n_workers = r.read_u64();
+  if (n_workers > r.remaining() / kWorkerBytes) {
+    throw util::SerializeError("assessment: worker count exceeds payload");
+  }
+  m.workers.resize(static_cast<std::size_t>(n_workers));
+  for (WorkerAssessment& wa : m.workers) {
+    wa.worker = r.read_u32();
+    wa.arrived = decode_flag(r, "assessment");
+    wa.accepted = decode_flag(r, "assessment");
+    wa.uncertain = decode_flag(r, "assessment");
+    wa.score = r.read_f64();
+    wa.reputation = r.read_f64();
+    wa.contribution = r.read_f64();
+    wa.reward = r.read_f64();
+  }
+  const std::uint64_t n_records = r.read_u64();
+  if (n_records > r.remaining() / kRecordBytes) {
+    throw util::SerializeError("assessment: record count exceeds payload");
+  }
+  m.records.reserve(static_cast<std::size_t>(n_records));
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    m.records.push_back(decode_audit_record(r));
+  }
+  return m;
+}
+
+}  // namespace fifl::net

@@ -1,0 +1,166 @@
+// Wire schema for the fifl::net runtime (Sec. 3.1/3.2 traffic as actual
+// messages). Every struct encodes into a util::ByteWriter payload that
+// travels inside one net::Frame; decode is the exact inverse and throws
+// util::SerializeError on any truncation or type mismatch, so a corrupted
+// frame can never silently become a half-parsed message.
+//
+// Message flow per round (M servers, N workers, lead = server 0):
+//   ModelBroadcast   lead -> workers          θ_t as an nn::checkpoint blob
+//   GradientUpload   worker i -> every server full G_i (replicated-engine
+//                                             inputs; slices stay real on
+//                                             the server->lead path)
+//   SliceAggregate   server j -> lead         slice j of the aggregated G̃
+//   AssessmentResult lead -> workers          accept/reputation/reward per
+//                                             worker + that round's signed
+//                                             ledger records
+//   Join/JoinAck/Heartbeat/Leave              control plane
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/ledger.hpp"
+#include "util/serialize.hpp"
+
+namespace fifl::net {
+
+enum class MessageType : std::uint8_t {
+  kJoin = 1,
+  kJoinAck = 2,
+  kLeave = 3,
+  kHeartbeat = 4,
+  kModelBroadcast = 5,
+  kGradientUpload = 6,
+  kSliceAggregate = 7,
+  kAssessmentResult = 8,
+};
+
+const char* message_type_name(MessageType type);
+
+enum class NodeRole : std::uint8_t { kWorker = 0, kServer = 1 };
+
+struct JoinMsg {
+  std::uint32_t node = 0;
+  NodeRole role = NodeRole::kWorker;
+
+  void encode(util::ByteWriter& w) const;
+  static JoinMsg decode(util::ByteReader& r);
+};
+
+struct JoinAckMsg {
+  std::uint32_t node = 0;  // the joiner being acknowledged
+  std::uint32_t workers = 0;
+  std::uint32_t servers = 0;
+  std::uint64_t param_count = 0;
+  std::uint64_t rounds = 0;
+
+  void encode(util::ByteWriter& w) const;
+  static JoinAckMsg decode(util::ByteReader& r);
+};
+
+struct LeaveMsg {
+  std::uint32_t node = 0;
+  std::string reason;
+
+  void encode(util::ByteWriter& w) const;
+  static LeaveMsg decode(util::ByteReader& r);
+};
+
+/// Ping/pong: `echo == 0` is a request the receiver answers with the same
+/// token and `echo == 1`; the sender pairs it with its send timestamp to
+/// observe net.rtt_ms.
+struct HeartbeatMsg {
+  std::uint32_t node = 0;
+  std::uint64_t token = 0;
+  std::uint8_t echo = 0;
+
+  void encode(util::ByteWriter& w) const;
+  static HeartbeatMsg decode(util::ByteReader& r);
+};
+
+/// Global parameters θ_t for round `round`, as nn::checkpoint bytes
+/// (magic + version + tag + f32 params) — the same blob a disk
+/// checkpoint uses, so restore tooling works on captured traffic.
+struct ModelBroadcastMsg {
+  std::uint64_t round = 0;
+  std::vector<std::uint8_t> checkpoint;
+
+  void encode(util::ByteWriter& w) const;
+  static ModelBroadcastMsg decode(util::ByteReader& r);
+};
+
+struct GradientUploadMsg {
+  std::uint64_t round = 0;
+  std::uint32_t worker = 0;
+  std::uint64_t samples = 0;  // n_i, the aggregation weight
+  std::uint8_t ground_truth_attack = 0;  // oracle label for detection metrics
+  std::vector<float> gradient;
+
+  void encode(util::ByteWriter& w) const;
+  static GradientUploadMsg decode(util::ByteReader& r);
+};
+
+/// Aggregated slice j of G̃ (Sec. 3.2: each server serves one slice).
+struct SliceAggregateMsg {
+  std::uint64_t round = 0;
+  std::uint32_t server_index = 0;
+  std::uint64_t offset = 0;  // first element of the slice within G̃
+  std::vector<float> values;
+
+  void encode(util::ByteWriter& w) const;
+  static SliceAggregateMsg decode(util::ByteReader& r);
+};
+
+/// One worker's assessment for a round, as published to the federation.
+struct WorkerAssessment {
+  std::uint32_t worker = 0;
+  std::uint8_t arrived = 0;
+  std::uint8_t accepted = 0;
+  std::uint8_t uncertain = 0;
+  double score = 0.0;
+  double reputation = 0.0;
+  double contribution = 0.0;
+  double reward = 0.0;
+};
+
+struct AssessmentResultMsg {
+  std::uint64_t round = 0;
+  std::uint8_t degraded = 0;
+  double fairness = 0.0;
+  std::vector<WorkerAssessment> workers;
+  /// The round's sealed audit records (detection/reputation/contribution/
+  /// reward per worker), signatures included, so any receiver can verify
+  /// them against a KeyRegistry replica.
+  std::vector<chain::AuditRecord> records;
+
+  void encode(util::ByteWriter& w) const;
+  static AssessmentResultMsg decode(util::ByteReader& r);
+};
+
+/// chain::AuditRecord wire codec, shared by AssessmentResultMsg and any
+/// future ledger-sync message.
+void encode_audit_record(util::ByteWriter& w, const chain::AuditRecord& rec);
+chain::AuditRecord decode_audit_record(util::ByteReader& r);
+
+/// Encodes `msg` into a frame payload (ByteWriter buffer).
+template <typename Msg>
+std::vector<std::uint8_t> encode_payload(const Msg& msg) {
+  util::ByteWriter writer;
+  msg.encode(writer);
+  return writer.take();
+}
+
+/// Decodes a full payload, requiring every byte to be consumed — trailing
+/// garbage means a framing bug or corruption, not a valid message.
+template <typename Msg>
+Msg decode_payload(std::span<const std::uint8_t> payload) {
+  util::ByteReader reader(payload);
+  Msg msg = Msg::decode(reader);
+  if (!reader.exhausted()) {
+    throw util::SerializeError("message payload has trailing bytes");
+  }
+  return msg;
+}
+
+}  // namespace fifl::net

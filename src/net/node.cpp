@@ -1,0 +1,511 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "chain/sha256.hpp"
+#include "core/round_common.hpp"
+#include "nn/checkpoint.hpp"
+#include "util/logging.hpp"
+
+namespace fifl::net {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Snapshot of the global net counters, for per-round deltas.
+struct CounterSnapshot {
+  std::uint64_t bytes_tx, bytes_rx, msgs_tx, msgs_rx, frame_errors;
+
+  static CounterSnapshot take() {
+    NetMetrics& m = NetMetrics::global();
+    return {m.bytes_tx->value(), m.bytes_rx->value(), m.msgs_tx->value(),
+            m.msgs_rx->value(), m.frame_errors->value()};
+  }
+
+  obs::RoundTrace::NetStats delta_since() const {
+    const CounterSnapshot now = take();
+    return {now.bytes_tx - bytes_tx, now.bytes_rx - bytes_rx,
+            now.msgs_tx - msgs_tx, now.msgs_rx - msgs_rx,
+            now.frame_errors - frame_errors};
+  }
+};
+
+}  // namespace
+
+std::vector<NodeKey> Topology::server_keys() const {
+  std::vector<NodeKey> keys(servers);
+  for (std::uint32_t j = 0; j < servers; ++j) keys[j] = server_key(j);
+  return keys;
+}
+
+std::vector<fl::Upload> canonicalize_uploads(
+    std::span<const GradientUploadMsg> msgs, std::size_t workers) {
+  std::vector<fl::Upload> uploads(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    uploads[i].worker = static_cast<chain::NodeId>(i);
+    uploads[i].arrived = false;
+  }
+  for (const GradientUploadMsg& msg : msgs) {
+    if (msg.worker >= workers) {
+      util::log_warn() << "net: upload from unknown worker " << msg.worker
+                       << " ignored";
+      continue;
+    }
+    fl::Upload& u = uploads[msg.worker];
+    u.samples = static_cast<std::size_t>(msg.samples);
+    u.gradient = fl::Gradient(msg.gradient);
+    u.arrived = true;
+    u.ground_truth_attack = msg.ground_truth_attack != 0;
+  }
+  return uploads;
+}
+
+std::string parameter_hash(std::span<const float> params) {
+  std::vector<std::uint8_t> bytes(params.size() * sizeof(float));
+  if (!bytes.empty()) {
+    std::memcpy(bytes.data(), params.data(), bytes.size());
+  }
+  return chain::to_hex(chain::sha256(bytes));
+}
+
+// ---------------------------------------------------------------------------
+// WorkerNode
+// ---------------------------------------------------------------------------
+
+WorkerNode::WorkerNode(std::unique_ptr<fl::Worker> worker,
+                       std::unique_ptr<Endpoint> endpoint, Topology topology,
+                       NodeTimeouts timeouts)
+    : worker_(std::move(worker)), endpoint_(std::move(endpoint)),
+      topology_(topology), timeouts_(timeouts) {
+  if (!worker_ || !endpoint_) {
+    throw std::invalid_argument("WorkerNode: null worker or endpoint");
+  }
+}
+
+void WorkerNode::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  endpoint_->close();
+}
+
+void WorkerNode::run() {
+  const NodeKey lead = topology_.lead_key();
+  endpoint_->send_msg(lead, MessageType::kJoin,
+                      JoinMsg{endpoint_->address(), NodeRole::kWorker});
+  const auto join_deadline = std::chrono::steady_clock::now() + timeouts_.join;
+  bool acked = false;
+  while (!acked && !stop_.load(std::memory_order_relaxed)) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        join_deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      throw std::runtime_error("WorkerNode " +
+                               std::to_string(endpoint_->address()) +
+                               ": join timed out");
+    }
+    auto env = endpoint_->recv(left);
+    if (!env) continue;
+    if (env->type == MessageType::kJoinAck) acked = true;
+  }
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto env = endpoint_->recv(timeouts_.phase);
+    if (!env) {
+      // Idle timeout without a Leave: the federation went away.
+      util::log_warn() << "net: worker " << endpoint_->address()
+                       << " timed out waiting for traffic, exiting";
+      break;
+    }
+    switch (env->type) {
+      case MessageType::kModelBroadcast:
+        handle_broadcast(decode_payload<ModelBroadcastMsg>(env->payload));
+        break;
+      case MessageType::kAssessmentResult: {
+        const auto msg = decode_payload<AssessmentResultMsg>(env->payload);
+        for (const WorkerAssessment& wa : msg.workers) {
+          if (wa.worker == endpoint_->address()) {
+            observed_rewards_.push_back(wa.reward);
+          }
+        }
+        break;
+      }
+      case MessageType::kHeartbeat: {
+        auto hb = decode_payload<HeartbeatMsg>(env->payload);
+        if (hb.echo == 0) {
+          endpoint_->send_msg(
+              env->from, MessageType::kHeartbeat,
+              HeartbeatMsg{endpoint_->address(), hb.token, 1});
+        } else if (auto it = ping_sent_.find(hb.token);
+                   it != ping_sent_.end()) {
+          NetMetrics::global().rtt_ms->observe(elapsed_ms(it->second));
+          ping_sent_.erase(it);
+        }
+        break;
+      }
+      case MessageType::kLeave:
+        return;
+      default:
+        break;  // stray control traffic
+    }
+  }
+}
+
+void WorkerNode::handle_broadcast(const ModelBroadcastMsg& msg) {
+  const nn::ParsedCheckpoint parsed = nn::parse_checkpoint(msg.checkpoint);
+  fl::Upload upload = worker_->make_upload(parsed.parameters);
+
+  GradientUploadMsg out;
+  out.round = msg.round;
+  out.worker = endpoint_->address();
+  out.samples = upload.samples;
+  out.ground_truth_attack = upload.ground_truth_attack ? 1 : 0;
+  out.gradient.assign(upload.gradient.flat().begin(),
+                      upload.gradient.flat().end());
+  for (NodeKey server : topology_.server_keys()) {
+    endpoint_->send_msg(server, MessageType::kGradientUpload, out);
+  }
+  // Ping the lead once per round; the echo feeds net.rtt_ms.
+  ping_sent_[msg.round] = std::chrono::steady_clock::now();
+  endpoint_->send_msg(topology_.lead_key(), MessageType::kHeartbeat,
+                      HeartbeatMsg{endpoint_->address(), msg.round, 0});
+}
+
+// ---------------------------------------------------------------------------
+// ServerNode
+// ---------------------------------------------------------------------------
+
+ServerNode::ServerNode(ServerNodeConfig config,
+                       std::unique_ptr<core::FiflEngine> engine,
+                       std::unique_ptr<nn::Sequential> global_model,
+                       std::unique_ptr<Endpoint> endpoint, Topology topology)
+    : config_(config), engine_(std::move(engine)),
+      global_model_(std::move(global_model)), endpoint_(std::move(endpoint)),
+      topology_(topology) {
+  if (!engine_ || !endpoint_) {
+    throw std::invalid_argument("ServerNode: null engine or endpoint");
+  }
+  if (is_lead() != (global_model_ != nullptr)) {
+    throw std::invalid_argument(
+        "ServerNode: exactly the lead owns the global model");
+  }
+  if (config_.server_index >= topology_.servers) {
+    throw std::invalid_argument("ServerNode: server index out of range");
+  }
+}
+
+void ServerNode::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  endpoint_->close();
+}
+
+void ServerNode::run() {
+  if (is_lead()) {
+    run_lead();
+  } else {
+    run_follower();
+  }
+}
+
+void ServerNode::handle_control(const Envelope& envelope) {
+  switch (envelope.type) {
+    case MessageType::kJoin: {
+      const auto join = decode_payload<JoinMsg>(envelope.payload);
+      if (is_lead()) {
+        if (join.role == NodeRole::kWorker) {
+          ++joined_workers_;
+        } else {
+          ++joined_servers_;
+        }
+        endpoint_->send_msg(
+            envelope.from, MessageType::kJoinAck,
+            JoinAckMsg{join.node, topology_.workers, topology_.servers,
+                       global_model_ ? global_model_->parameter_count() : 0,
+                       config_.rounds});
+      }
+      break;
+    }
+    case MessageType::kHeartbeat: {
+      auto hb = decode_payload<HeartbeatMsg>(envelope.payload);
+      if (hb.echo == 0) {
+        endpoint_->send_msg(envelope.from, MessageType::kHeartbeat,
+                            HeartbeatMsg{endpoint_->address(), hb.token, 1});
+      }
+      break;
+    }
+    case MessageType::kSliceAggregate: {
+      auto slice = decode_payload<SliceAggregateMsg>(envelope.payload);
+      const std::uint64_t round = slice.round;
+      pending_slices_[round][slice.server_index] = std::move(slice);
+      break;
+    }
+    case MessageType::kLeave:
+      leave_received_ = true;
+      break;
+    default:
+      break;
+  }
+}
+
+void ServerNode::collect_uploads(
+    std::uint64_t round, std::map<std::uint32_t, GradientUploadMsg>& slots,
+    std::chrono::steady_clock::time_point deadline) {
+  if (auto it = pending_uploads_.find(round); it != pending_uploads_.end()) {
+    slots = std::move(it->second);
+    pending_uploads_.erase(it);
+  }
+  while (slots.size() < topology_.workers && !leave_received_ &&
+         !stop_.load(std::memory_order_relaxed)) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) break;  // missing workers become uncertain events
+    auto env = endpoint_->recv(left);
+    if (!env) continue;
+    if (env->type == MessageType::kGradientUpload) {
+      auto msg = decode_payload<GradientUploadMsg>(env->payload);
+      if (msg.round == round) {
+        slots[msg.worker] = std::move(msg);
+      } else if (msg.round > round) {
+        pending_uploads_[msg.round][msg.worker] = std::move(msg);
+      }  // uploads for past rounds arrived after their deadline: drop
+    } else {
+      handle_control(*env);
+    }
+  }
+}
+
+void ServerNode::run_follower() {
+  const NodeKey lead = topology_.lead_key();
+  endpoint_->send_msg(lead, MessageType::kJoin,
+                      JoinMsg{endpoint_->address(), NodeRole::kServer});
+  const auto join_deadline = std::chrono::steady_clock::now() + config_.timeouts.join;
+  std::uint64_t rounds = 0;
+  bool acked = false;
+  while (!acked && !stop_.load(std::memory_order_relaxed)) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        join_deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      throw std::runtime_error("ServerNode " +
+                               std::to_string(endpoint_->address()) +
+                               ": join timed out");
+    }
+    auto env = endpoint_->recv(left);
+    if (!env) continue;
+    if (env->type == MessageType::kJoinAck) {
+      rounds = decode_payload<JoinAckMsg>(env->payload).rounds;
+      acked = true;
+    } else {
+      handle_control(*env);
+    }
+  }
+
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    if (leave_received_ || stop_.load(std::memory_order_relaxed)) return;
+    std::map<std::uint32_t, GradientUploadMsg> slots;
+    collect_uploads(r, slots,
+                    std::chrono::steady_clock::now() + config_.timeouts.phase);
+    if (leave_received_ || stop_.load(std::memory_order_relaxed)) return;
+    std::vector<GradientUploadMsg> msgs;
+    msgs.reserve(slots.size());
+    for (auto& [worker, msg] : slots) msgs.push_back(std::move(msg));
+    const std::vector<fl::Upload> uploads =
+        canonicalize_uploads(msgs, topology_.workers);
+    const core::RoundReport report = engine_->process_round(uploads);
+
+    // This replica's slice of the aggregated gradient — the paper's
+    // polycentric server->lead traffic (Sec. 3.2).
+    const std::uint32_t j = config_.server_index;
+    const std::span<const float> slice =
+        engine_->plan().slice(report.global_gradient, j);
+    SliceAggregateMsg out;
+    out.round = r;
+    out.server_index = j;
+    out.offset = engine_->plan().offset(j);
+    out.values.assign(slice.begin(), slice.end());
+    endpoint_->send_msg(lead, MessageType::kSliceAggregate, out);
+  }
+
+  // Stay reachable until the lead says goodbye, so its final sends never
+  // hit a closed endpoint.
+  while (!leave_received_ && !stop_.load(std::memory_order_relaxed)) {
+    auto env = endpoint_->recv(config_.timeouts.phase);
+    if (!env) break;
+    handle_control(*env);
+  }
+}
+
+void ServerNode::run_lead() {
+  // Phase 0: wait for the full federation to join.
+  const auto join_deadline = std::chrono::steady_clock::now() + config_.timeouts.join;
+  while ((joined_workers_ < topology_.workers ||
+          joined_servers_ + 1 < topology_.servers) &&
+         !stop_.load(std::memory_order_relaxed)) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        join_deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      throw std::runtime_error(
+          "lead: join phase timed out (" + std::to_string(joined_workers_) +
+          "/" + std::to_string(topology_.workers) + " workers, " +
+          std::to_string(joined_servers_ + 1) + "/" +
+          std::to_string(topology_.servers) + " servers)");
+    }
+    auto env = endpoint_->recv(left);
+    if (env) handle_control(*env);
+  }
+
+  obs::RoundTraceRecorder* recorder =
+      trace_recorder_ ? trace_recorder_ : &obs::RoundTraceRecorder::global();
+
+  for (std::uint64_t r = 0; r < config_.rounds; ++r) {
+    if (stop_.load(std::memory_order_relaxed)) return;
+    const CounterSnapshot net_before = CounterSnapshot::take();
+    const auto train_start = std::chrono::steady_clock::now();
+
+    // Broadcast θ_t.
+    ModelBroadcastMsg broadcast;
+    broadcast.round = r;
+    broadcast.checkpoint =
+        nn::checkpoint_bytes(*global_model_, "round-" + std::to_string(r));
+    for (std::uint32_t i = 0; i < topology_.workers; ++i) {
+      endpoint_->send_msg(topology_.worker_key(i),
+                          MessageType::kModelBroadcast, broadcast);
+    }
+
+    // Collect uploads (the networked analogue of local_train + channel).
+    std::map<std::uint32_t, GradientUploadMsg> slots;
+    collect_uploads(r, slots,
+                    std::chrono::steady_clock::now() + config_.timeouts.phase);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    const double collect_ms = elapsed_ms(train_start);
+
+    std::vector<GradientUploadMsg> msgs;
+    msgs.reserve(slots.size());
+    for (auto& [worker, msg] : slots) msgs.push_back(std::move(msg));
+    const std::vector<fl::Upload> uploads =
+        canonicalize_uploads(msgs, topology_.workers);
+
+    // Full pipeline on the lead's replica.
+    const core::RoundReport report = engine_->process_round(uploads);
+
+    // Gather the follower slices and check them bitwise against this
+    // replica's result: any divergence means the deterministic-replica
+    // invariant broke, which would silently fork the federation.
+    const auto slice_deadline =
+        std::chrono::steady_clock::now() + config_.timeouts.phase;
+    while (pending_slices_[r].size() + 1 < topology_.servers &&
+           !stop_.load(std::memory_order_relaxed)) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          slice_deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        throw std::runtime_error("lead: timed out waiting for slices of round " +
+                                 std::to_string(r));
+      }
+      auto env = endpoint_->recv(left);
+      if (!env) continue;
+      if (env->type == MessageType::kGradientUpload) {
+        auto msg = decode_payload<GradientUploadMsg>(env->payload);
+        if (msg.round > r) pending_uploads_[msg.round][msg.worker] = std::move(msg);
+      } else {
+        handle_control(*env);
+      }
+    }
+    for (std::uint32_t j = 1; j < topology_.servers; ++j) {
+      const SliceAggregateMsg& slice = pending_slices_[r].at(j);
+      const std::span<const float> own =
+          engine_->plan().slice(report.global_gradient, j);
+      if (slice.offset != engine_->plan().offset(j) ||
+          slice.values.size() != own.size() ||
+          !std::equal(own.begin(), own.end(), slice.values.begin())) {
+        throw std::runtime_error("lead: server " + std::to_string(j) +
+                                 " diverged from the replicated engine on round " +
+                                 std::to_string(r));
+      }
+    }
+    pending_slices_.erase(r);
+
+    // θ ← θ − η·G̃ — identical float ops to Simulator::apply_round because
+    // the engine's aggregation loop is the simulator's (and the follower
+    // slices were just proven bitwise equal).
+    fl::apply_gradient_step(*global_model_, report.global_gradient,
+                            config_.global_learning_rate);
+
+    // Publish the assessment + this round's sealed audit records.
+    AssessmentResultMsg assessment;
+    assessment.round = r;
+    assessment.degraded = report.degraded ? 1 : 0;
+    assessment.fairness = report.fairness;
+    assessment.workers.reserve(topology_.workers);
+    for (std::uint32_t i = 0; i < topology_.workers; ++i) {
+      WorkerAssessment wa;
+      wa.worker = i;
+      wa.arrived = uploads[i].arrived ? 1 : 0;
+      wa.accepted = report.detection.accepted[i] ? 1 : 0;
+      wa.uncertain = report.detection.uncertain[i] ? 1 : 0;
+      wa.score = report.detection.scores[i];
+      wa.reputation = report.reputations[i];
+      wa.contribution = report.contribution.contributions[i];
+      wa.reward = report.rewards[i];
+      assessment.workers.push_back(wa);
+    }
+    assessment.records = engine_->ledger().query(std::nullopt, r, std::nullopt);
+    for (std::uint32_t i = 0; i < topology_.workers; ++i) {
+      endpoint_->send_msg(topology_.worker_key(i),
+                          MessageType::kAssessmentResult, assessment);
+    }
+
+    // Round bookkeeping: result row, trace, callback.
+    NetRoundResult result;
+    result.round = r;
+    result.model_hash = parameter_hash(global_model_->flatten_parameters());
+    result.degraded = report.degraded;
+    result.fairness = report.fairness;
+    result.reputations = report.reputations;
+    result.rewards = report.rewards;
+    core::RoundRecord record;
+    core::summarize_report(report, uploads, record);
+    result.accepted = record.accepted;
+    result.rejected = record.rejected;
+    result.uncertain = record.uncertain;
+
+    if (recorder->enabled()) {
+      obs::RoundTrace trace = core::make_round_trace(r, report, uploads);
+      // The broadcast->collect window plays the role of local_train +
+      // channel; the wire has no separate channel phase.
+      trace.phases.local_train_ms = collect_ms;
+      trace.phases.channel_ms = 0.0;
+      trace.phases.detect_ms = report.detect_ms;
+      trace.phases.aggregate_ms = report.aggregate_ms;
+      trace.phases.ledger_ms = report.ledger_ms;
+      trace.net = net_before.delta_since();
+      trace.has_net = true;
+      recorder->record(trace);
+    }
+    if (round_callback_) {
+      round_callback_(result, global_model_->flatten_parameters());
+    }
+    results_.push_back(std::move(result));
+  }
+
+  // Dissolve the federation.
+  for (std::uint32_t i = 0; i < topology_.workers; ++i) {
+    try {
+      endpoint_->send_msg(topology_.worker_key(i), MessageType::kLeave,
+                          LeaveMsg{endpoint_->address(), "training complete"});
+    } catch (const std::exception&) {
+      // A worker that already dropped its connection is fine to skip.
+    }
+  }
+  for (std::uint32_t j = 1; j < topology_.servers; ++j) {
+    try {
+      endpoint_->send_msg(topology_.server_key(j), MessageType::kLeave,
+                          LeaveMsg{endpoint_->address(), "training complete"});
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+}  // namespace fifl::net

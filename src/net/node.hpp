@@ -1,0 +1,178 @@
+// The federation's roles as communicating nodes (Sec. 3.1/3.2 as a
+// runtime instead of a loop over std::vector<Worker>).
+//
+// Topology: N WorkerNodes (keys 0..N-1) and M ServerNodes (keys
+// N..N+M-1). Server 0 — the "lead" — drives the round state machine:
+//
+//   lead:    ModelBroadcast θ_t ──► workers
+//   worker:  local SGD + behaviour ──► GradientUpload to EVERY server
+//   server:  deterministic FiflEngine replica over the canonical upload
+//            vector ──► SliceAggregate (its slice of G̃) to the lead
+//   lead:    recombine M slices ──► θ_{t+1}; AssessmentResult (per-worker
+//            accept/reputation/reward + signed ledger records) ──► workers
+//
+// Every server runs the full assessment pipeline on the full upload set
+// (deterministic state-machine replication — the replicas stay
+// bit-identical, which the lead checks against the slices it receives);
+// only the aggregated slices travel on the server→lead path, keeping the
+// paper's polycentric bandwidth shape on the wire. Uploads are buffered
+// into per-worker slots and processed in worker-id order, so results are
+// independent of message arrival order by construction. Each phase waits
+// under a timeout; workers that miss it become "uncertain events",
+// exactly like channel losses in the simulator.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/fifl.hpp"
+#include "fl/simulator.hpp"
+#include "net/transport.hpp"
+#include "obs/trace.hpp"
+
+namespace fifl::net {
+
+/// Node-key layout helper for one cluster.
+struct Topology {
+  std::uint32_t workers = 0;
+  std::uint32_t servers = 0;
+
+  NodeKey worker_key(std::uint32_t i) const noexcept { return i; }
+  NodeKey server_key(std::uint32_t j) const noexcept { return workers + j; }
+  NodeKey lead_key() const noexcept { return workers; }
+  std::vector<NodeKey> server_keys() const;
+};
+
+/// Builds the canonical worker-id-ordered upload vector from upload
+/// messages in arbitrary arrival order. Slot i holds worker i's message
+/// (duplicates: last wins); workers with no message become absent uploads
+/// (arrived = false), i.e. uncertain events. This is the single point
+/// that makes server assessment independent of wire ordering.
+std::vector<fl::Upload> canonicalize_uploads(
+    std::span<const GradientUploadMsg> msgs, std::size_t workers);
+
+struct NodeTimeouts {
+  std::chrono::milliseconds join{10000};
+  std::chrono::milliseconds phase{10000};
+};
+
+/// Per-round outcome collected by the lead server.
+struct NetRoundResult {
+  std::uint64_t round = 0;
+  std::string model_hash;  // sha256 hex of θ_{t+1}
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t uncertain = 0;
+  bool degraded = false;
+  double fairness = 0.0;
+  std::vector<double> reputations;
+  std::vector<double> rewards;
+};
+
+/// sha256 hex digest of a flat parameter vector (the equivalence
+/// fingerprint both runtimes are compared on).
+std::string parameter_hash(std::span<const float> params);
+
+class WorkerNode {
+ public:
+  WorkerNode(std::unique_ptr<fl::Worker> worker,
+             std::unique_ptr<Endpoint> endpoint, Topology topology,
+             NodeTimeouts timeouts);
+
+  /// Event loop: join, then train on every ModelBroadcast until Leave.
+  /// Runs on the caller's thread (the cluster gives each node one).
+  void run();
+
+  void request_stop();
+
+  /// Rewards this worker saw in its AssessmentResults (bookkeeping the
+  /// incentive actually delivered to the node).
+  const std::vector<double>& observed_rewards() const noexcept {
+    return observed_rewards_;
+  }
+
+ private:
+  void handle_broadcast(const ModelBroadcastMsg& msg);
+
+  std::unique_ptr<fl::Worker> worker_;
+  std::unique_ptr<Endpoint> endpoint_;
+  Topology topology_;
+  NodeTimeouts timeouts_;
+  std::atomic<bool> stop_{false};
+  std::vector<double> observed_rewards_;
+  std::map<std::uint64_t, std::chrono::steady_clock::time_point> ping_sent_;
+};
+
+struct ServerNodeConfig {
+  std::uint32_t server_index = 0;  // 0 = lead
+  std::size_t rounds = 0;          // lead only: rounds to drive
+  double global_learning_rate = 0.05;
+  NodeTimeouts timeouts;
+};
+
+class ServerNode {
+ public:
+  /// Non-lead constructor: an engine replica and an endpoint.
+  /// `global_model` must be non-null iff server_index == 0; the lead owns
+  /// θ and drives the round loop.
+  ServerNode(ServerNodeConfig config, std::unique_ptr<core::FiflEngine> engine,
+             std::unique_ptr<nn::Sequential> global_model,
+             std::unique_ptr<Endpoint> endpoint, Topology topology);
+
+  using RoundCallback =
+      std::function<void(const NetRoundResult&, std::span<const float>)>;
+  void set_round_callback(RoundCallback callback) {
+    round_callback_ = std::move(callback);
+  }
+  /// Where the lead's per-round traces go (nullptr = process-global).
+  void set_trace_recorder(obs::RoundTraceRecorder* recorder) {
+    trace_recorder_ = recorder;
+  }
+
+  void run();
+  void request_stop();
+
+  bool is_lead() const noexcept { return config_.server_index == 0; }
+  const std::vector<NetRoundResult>& results() const noexcept {
+    return results_;
+  }
+  const core::FiflEngine& engine() const noexcept { return *engine_; }
+  nn::Sequential* global_model() noexcept { return global_model_.get(); }
+
+ private:
+  void run_lead();
+  void run_follower();
+  /// Waits until `slots` has an entry for every worker or the deadline
+  /// passes, echoing heartbeats and buffering slice messages meanwhile.
+  void collect_uploads(std::uint64_t round,
+                       std::map<std::uint32_t, GradientUploadMsg>& slots,
+                       std::chrono::steady_clock::time_point deadline);
+  void handle_control(const Envelope& envelope);
+
+  ServerNodeConfig config_;
+  std::unique_ptr<core::FiflEngine> engine_;
+  std::unique_ptr<nn::Sequential> global_model_;
+  std::unique_ptr<Endpoint> endpoint_;
+  Topology topology_;
+  std::atomic<bool> stop_{false};
+  bool leave_received_ = false;
+  RoundCallback round_callback_;
+  obs::RoundTraceRecorder* trace_recorder_ = nullptr;
+  std::vector<NetRoundResult> results_;
+  /// Uploads buffered ahead of their round (a worker can race ahead of a
+  /// lagging follower), keyed by round then worker.
+  std::map<std::uint64_t, std::map<std::uint32_t, GradientUploadMsg>>
+      pending_uploads_;
+  /// Lead only: slices buffered by round then server index.
+  std::map<std::uint64_t, std::map<std::uint32_t, SliceAggregateMsg>>
+      pending_slices_;
+  std::size_t joined_workers_ = 0;
+  std::size_t joined_servers_ = 0;
+};
+
+}  // namespace fifl::net

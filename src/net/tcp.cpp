@@ -1,0 +1,224 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "net/frame.hpp"
+#include "util/logging.hpp"
+
+namespace fifl::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("tcp send");
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Endpoint> TcpTransport::open(NodeKey address) {
+  auto endpoint = std::make_unique<TcpEndpoint>(this, address);
+  std::lock_guard lock(mutex_);
+  if (!ports_.emplace(address, endpoint->port()).second) {
+    throw std::runtime_error("tcp: node " + std::to_string(address) +
+                             " already open");
+  }
+  return endpoint;
+}
+
+std::uint16_t TcpTransport::port_of(NodeKey address) const {
+  return lookup(address);
+}
+
+std::uint16_t TcpTransport::lookup(NodeKey address) const {
+  std::lock_guard lock(mutex_);
+  const auto it = ports_.find(address);
+  if (it == ports_.end()) {
+    throw std::runtime_error("tcp: no endpoint open for node " +
+                             std::to_string(address));
+  }
+  return it->second;
+}
+
+TcpEndpoint::TcpEndpoint(TcpTransport* transport, NodeKey address)
+    : transport_(transport), address_(address) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("tcp socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral: the kernel picks a free port
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    throw_errno("tcp bind");
+  }
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    throw_errno("tcp getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) < 0) throw_errno("tcp listen");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpEndpoint::~TcpEndpoint() { close(); }
+
+void TcpEndpoint::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    if (closing_.load()) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard lock(readers_mutex_);
+    reader_fds_.push_back(fd);
+    readers_.emplace_back([this, fd] { reader_loop(fd); });
+  }
+}
+
+void TcpEndpoint::reader_loop(int fd) {
+  auto& metrics = NetMetrics::global();
+  FrameDecoder decoder;
+  std::uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // peer closed or endpoint shutting down
+    metrics.bytes_rx->inc(static_cast<std::uint64_t>(n));
+    try {
+      decoder.feed(std::span(chunk, static_cast<std::size_t>(n)));
+      while (auto frame = decoder.next()) {
+        metrics.msgs_rx->inc();
+        inbox_.push(Envelope{frame->from,
+                             static_cast<MessageType>(frame->type),
+                             std::move(frame->payload)});
+      }
+    } catch (const FrameError& e) {
+      // Corrupt stream: there is no way to resync a length-prefixed
+      // protocol, so drop the connection and let the peer reconnect.
+      metrics.frame_errors->inc();
+      util::log_warn() << "tcp node " << address_
+                       << ": dropping connection after frame error: "
+                       << e.what();
+      ::shutdown(fd, SHUT_RDWR);
+      return;
+    }
+  }
+}
+
+int TcpEndpoint::connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("tcp socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("tcp connect to port " + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+void TcpEndpoint::send(NodeKey to, MessageType type,
+                       std::span<const std::uint8_t> payload) {
+  if (closing_.load()) {
+    throw std::runtime_error("tcp: endpoint closed");
+  }
+  const std::vector<std::uint8_t> wire =
+      encode_frame(static_cast<std::uint8_t>(type), address_, payload);
+  PeerConn* peer;
+  {
+    std::lock_guard lock(peers_mutex_);
+    auto& slot = peers_[to];
+    if (!slot) slot = std::make_unique<PeerConn>();
+    peer = slot.get();
+  }
+  std::lock_guard lock(peer->mutex);
+  if (peer->fd < 0) {
+    peer->fd = connect_to(transport_->lookup(to));
+  }
+  try {
+    send_all(peer->fd, wire.data(), wire.size());
+  } catch (const std::exception&) {
+    // One reconnect attempt: the peer may have dropped the connection
+    // after an idle period or a decode error on an earlier stream.
+    ::close(peer->fd);
+    peer->fd = connect_to(transport_->lookup(to));
+    send_all(peer->fd, wire.data(), wire.size());
+  }
+  auto& metrics = NetMetrics::global();
+  metrics.bytes_tx->inc(wire.size());
+  metrics.msgs_tx->inc();
+}
+
+std::optional<Envelope> TcpEndpoint::recv(std::chrono::milliseconds timeout) {
+  return inbox_.pop(timeout);
+}
+
+void TcpEndpoint::close() {
+  if (closing_.exchange(true)) return;
+  inbox_.close();
+  // Closing the listener makes accept() fail, ending the accept thread;
+  // shutting down reader fds unblocks their recv() calls.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  {
+    std::lock_guard lock(readers_mutex_);
+    for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard lock(readers_mutex_);
+    for (auto& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+    for (int fd : reader_fds_) ::close(fd);
+    readers_.clear();
+    reader_fds_.clear();
+  }
+  std::lock_guard lock(peers_mutex_);
+  for (auto& [key, peer] : peers_) {
+    std::lock_guard peer_lock(peer->mutex);
+    if (peer->fd >= 0) {
+      ::close(peer->fd);
+      peer->fd = -1;
+    }
+  }
+}
+
+}  // namespace fifl::net

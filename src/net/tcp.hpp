@@ -1,0 +1,86 @@
+// TCP transport: real localhost sockets, length-prefixed frames.
+//
+// Each endpoint binds a listening socket on 127.0.0.1 with an ephemeral
+// port (the transport records the actual port, so parallel test runs can
+// never collide) and runs one accept thread; each accepted connection
+// gets a reader thread that feeds a FrameDecoder and pushes complete
+// frames into the endpoint's inbox. Outbound, the endpoint keeps one
+// lazily-connected socket per peer, serialized by a per-peer mutex.
+//
+// A connection whose stream fails to decode (bad magic/CRC/oversized
+// length) is dropped and counted in net.frame_errors — the peer's next
+// send will reconnect. Multi-machine operation needs an explicit
+// host:port map instead of the in-process port table; see ROADMAP.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "net/transport.hpp"
+
+namespace fifl::net {
+
+class TcpEndpoint;
+
+class TcpTransport : public Transport {
+ public:
+  TcpTransport() = default;
+
+  /// Binds 127.0.0.1:<ephemeral> for `address` and starts its accept
+  /// thread.
+  std::unique_ptr<Endpoint> open(NodeKey address) override;
+
+  /// Actual listening port of an opened endpoint (for diagnostics).
+  std::uint16_t port_of(NodeKey address) const;
+
+ private:
+  friend class TcpEndpoint;
+  std::uint16_t lookup(NodeKey address) const;
+
+  mutable std::mutex mutex_;
+  std::map<NodeKey, std::uint16_t> ports_;
+};
+
+class TcpEndpoint : public Endpoint {
+ public:
+  TcpEndpoint(TcpTransport* transport, NodeKey address);
+  ~TcpEndpoint() override;
+
+  NodeKey address() const noexcept override { return address_; }
+  std::uint16_t port() const noexcept { return port_; }
+
+  void send(NodeKey to, MessageType type,
+            std::span<const std::uint8_t> payload) override;
+  std::optional<Envelope> recv(std::chrono::milliseconds timeout) override;
+  void close() override;
+
+ private:
+  struct PeerConn {
+    std::mutex mutex;
+    int fd = -1;
+  };
+
+  void accept_loop();
+  void reader_loop(int fd);
+  int connect_to(std::uint16_t port);
+
+  TcpTransport* transport_;
+  NodeKey address_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  Inbox inbox_;
+  std::atomic<bool> closing_{false};
+  std::thread accept_thread_;
+
+  std::mutex readers_mutex_;
+  std::vector<std::thread> readers_;
+  std::vector<int> reader_fds_;
+
+  std::mutex peers_mutex_;
+  std::map<NodeKey, std::unique_ptr<PeerConn>> peers_;
+};
+
+}  // namespace fifl::net

@@ -19,8 +19,7 @@ std::vector<std::uint8_t> checkpoint_bytes(Sequential& model,
   return writer.take();
 }
 
-std::string restore_checkpoint(Sequential& model,
-                               std::span<const std::uint8_t> bytes) {
+ParsedCheckpoint parse_checkpoint(std::span<const std::uint8_t> bytes) {
   util::ByteReader reader(bytes);
   if (reader.read_u32() != kMagic) {
     throw util::SerializeError("checkpoint: bad magic");
@@ -28,16 +27,23 @@ std::string restore_checkpoint(Sequential& model,
   if (reader.read_u32() != kVersion) {
     throw util::SerializeError("checkpoint: unsupported version");
   }
-  std::string tag = reader.read_string();
-  const std::vector<float> params = reader.read_f32_array();
-  if (params.size() != model.parameter_count()) {
+  ParsedCheckpoint parsed;
+  parsed.tag = reader.read_string();
+  parsed.parameters = reader.read_f32_array();
+  return parsed;
+}
+
+std::string restore_checkpoint(Sequential& model,
+                               std::span<const std::uint8_t> bytes) {
+  ParsedCheckpoint parsed = parse_checkpoint(bytes);
+  if (parsed.parameters.size() != model.parameter_count()) {
     throw util::SerializeError(
         "checkpoint: parameter count mismatch (checkpoint " +
-        std::to_string(params.size()) + ", model " +
+        std::to_string(parsed.parameters.size()) + ", model " +
         std::to_string(model.parameter_count()) + ")");
   }
-  model.load_parameters(params);
-  return tag;
+  model.load_parameters(parsed.parameters);
+  return parsed.tag;
 }
 
 void save_checkpoint(Sequential& model, const std::string& path,

@@ -18,6 +18,18 @@ std::vector<std::uint8_t> checkpoint_bytes(Sequential& model,
 std::string restore_checkpoint(Sequential& model,
                                std::span<const std::uint8_t> bytes);
 
+/// A checkpoint parsed without a model to restore into — what a
+/// fifl::net worker does with a ModelBroadcast blob before handing the
+/// flat parameters to its local replica.
+struct ParsedCheckpoint {
+  std::string tag;
+  std::vector<float> parameters;
+};
+
+/// Validates magic/version and returns tag + flat parameters. Throws
+/// util::SerializeError on malformed bytes.
+ParsedCheckpoint parse_checkpoint(std::span<const std::uint8_t> bytes);
+
 /// File convenience wrappers.
 void save_checkpoint(Sequential& model, const std::string& path,
                      const std::string& tag = "");

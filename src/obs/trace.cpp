@@ -30,6 +30,15 @@ std::string RoundTrace::to_jsonl() const {
   w.key("aggregate").value(phases.aggregate_ms);
   w.key("ledger").value(phases.ledger_ms);
   w.end_object();
+  if (has_net) {
+    w.key("net").begin_object();
+    w.key("bytes_tx").value(net.bytes_tx);
+    w.key("bytes_rx").value(net.bytes_rx);
+    w.key("msgs_tx").value(net.msgs_tx);
+    w.key("msgs_rx").value(net.msgs_rx);
+    w.key("frame_errors").value(net.frame_errors);
+    w.end_object();
+  }
   w.key("workers").begin_array();
   for (const WorkerTrace& wt : workers) {
     w.begin_object();
@@ -66,6 +75,15 @@ RoundTrace RoundTrace::from_jsonl(std::string_view line) {
   t.phases.detect_ms = phases.at("detect").as_number();
   t.phases.aggregate_ms = phases.at("aggregate").as_number();
   t.phases.ledger_ms = phases.at("ledger").as_number();
+  if (const JsonValue* net = v.find("net")) {
+    t.has_net = true;
+    t.net.bytes_tx = static_cast<std::uint64_t>(net->at("bytes_tx").as_number());
+    t.net.bytes_rx = static_cast<std::uint64_t>(net->at("bytes_rx").as_number());
+    t.net.msgs_tx = static_cast<std::uint64_t>(net->at("msgs_tx").as_number());
+    t.net.msgs_rx = static_cast<std::uint64_t>(net->at("msgs_rx").as_number());
+    t.net.frame_errors =
+        static_cast<std::uint64_t>(net->at("frame_errors").as_number());
+  }
   const JsonValue& workers = v.at("workers");
   if (workers.kind != JsonValue::Kind::kArray) {
     throw std::runtime_error("RoundTrace: 'workers' is not an array");

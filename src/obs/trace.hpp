@@ -57,6 +57,18 @@ struct RoundTrace {
     double ledger_ms = 0.0;
   } phases;
   std::vector<WorkerTrace> workers;
+  /// Per-round transport activity, filled only by networked (fifl::net)
+  /// runs: counter deltas over the round plus the rtt observations so
+  /// far. Serialized as a "net" object when has_net is set; in-process
+  /// traces keep the seed schema unchanged (no "net" key).
+  struct NetStats {
+    std::uint64_t bytes_tx = 0;
+    std::uint64_t bytes_rx = 0;
+    std::uint64_t msgs_tx = 0;
+    std::uint64_t msgs_rx = 0;
+    std::uint64_t frame_errors = 0;
+  } net;
+  bool has_net = false;
 
   /// One JSONL line (no trailing newline).
   std::string to_jsonl() const;

@@ -81,7 +81,10 @@ std::vector<std::uint8_t> ByteReader::load(const std::string& path) {
 }
 
 void ByteReader::require(std::size_t n) const {
-  if (cursor_ + n > data_.size()) {
+  // Compare against the remaining byte count instead of computing
+  // cursor_ + n, which can wrap for attacker-controlled n (a corrupted
+  // length prefix near SIZE_MAX) and make the check pass.
+  if (n > data_.size() - cursor_) {
     throw SerializeError("truncated input: need " + std::to_string(n) +
                          " bytes, have " + std::to_string(remaining()));
   }
@@ -133,7 +136,14 @@ std::string ByteReader::read_string() {
 
 std::vector<float> ByteReader::read_f32_array() {
   const std::uint64_t n = read_u64();
-  require(static_cast<std::size_t>(n) * 4);
+  // Guard the element-count multiply: a corrupted count near 2^64 would
+  // overflow n * 4 to a small value, pass require(), and then crash in
+  // the vector allocation. Remaining bytes bound the plausible count.
+  if (n > remaining() / sizeof(float)) {
+    throw SerializeError("truncated input: f32 array claims " +
+                         std::to_string(n) + " elements, only " +
+                         std::to_string(remaining()) + " bytes remain");
+  }
   std::vector<float> xs(static_cast<std::size_t>(n));
   for (auto& x : xs) x = read_f32();
   return xs;

@@ -1,0 +1,165 @@
+// Keystone: a networked cluster run (M=2 servers, N=8 workers) must
+// reproduce the in-process Simulator+FiflEngine run bit for bit on the
+// same seed — identical per-round global-model hashes, reputations, and
+// rewards — over loopback AND over real localhost TCP.
+#include <gtest/gtest.h>
+
+#include "core/fifl.hpp"
+#include "data/synthetic.hpp"
+#include "fl/simulator.hpp"
+#include "net/cluster.hpp"
+#include "nn/models.hpp"
+
+namespace fifl::net {
+namespace {
+
+constexpr std::size_t kWorkers = 8;
+constexpr std::size_t kServers = 2;
+constexpr std::size_t kRounds = 6;
+constexpr std::uint64_t kSeed = 42;
+
+fl::ModelFactory mlp_factory() {
+  return [](util::Rng& rng) {
+    auto model = std::make_unique<nn::Sequential>();
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(64, 16, rng);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::Linear>(16, 10, rng);
+    return model;
+  };
+}
+
+data::TrainTestSplit make_split() {
+  auto spec = data::mnist_like(kWorkers * 120, 21);
+  spec.image_size = 8;
+  spec.noise = 0.5;
+  return data::make_synthetic_split(spec, 200);
+}
+
+std::vector<fl::BehaviourPtr> mixed_behaviours() {
+  // Honest majority plus two sign-flippers so the run exercises the full
+  // detection/reputation/punishment path, not just the happy path.
+  std::vector<fl::BehaviourPtr> b;
+  for (int i = 0; i < 6; ++i) {
+    b.push_back(std::make_unique<fl::HonestBehaviour>());
+  }
+  b.push_back(std::make_unique<fl::SignFlipBehaviour>(6.0));
+  b.push_back(std::make_unique<fl::SignFlipBehaviour>(10.0));
+  return b;
+}
+
+std::vector<fl::WorkerSetup> make_setups(const data::TrainTestSplit& split) {
+  util::Rng rng(3);
+  return fl::make_worker_setups(split.train, mixed_behaviours(), rng);
+}
+
+fl::SimulatorConfig sim_config() {
+  fl::SimulatorConfig cfg;
+  cfg.seed = kSeed;
+  cfg.batch_size = 64;
+  return cfg;
+}
+
+core::FiflConfig fifl_config() {
+  core::FiflConfig cfg;
+  cfg.servers = kServers;
+  return cfg;
+}
+
+struct ReferenceRound {
+  std::string model_hash;
+  std::vector<double> reputations;
+  std::vector<double> rewards;
+};
+
+/// The in-process ground truth: the exact Simulator+FiflEngine loop
+/// core::FederatedTrainer runs.
+std::vector<ReferenceRound> reference_run() {
+  const auto split = make_split();
+  fl::Simulator sim(sim_config(), mlp_factory(), make_setups(split),
+                    split.test);
+  core::FiflEngine engine(fifl_config(), sim.worker_count(),
+                          sim.parameter_count());
+  std::vector<ReferenceRound> rounds;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    const auto uploads = sim.collect_uploads();
+    const auto report = engine.process_round(uploads);
+    sim.apply_round(uploads, report.detection.accepted);
+    ReferenceRound ref;
+    ref.model_hash = parameter_hash(sim.global_model().flatten_parameters());
+    ref.reputations = report.reputations;
+    ref.rewards = report.rewards;
+    rounds.push_back(std::move(ref));
+  }
+  return rounds;
+}
+
+void expect_equivalent(const std::vector<NetRoundResult>& net,
+                       const std::vector<ReferenceRound>& ref) {
+  ASSERT_EQ(net.size(), ref.size());
+  for (std::size_t r = 0; r < ref.size(); ++r) {
+    EXPECT_EQ(net[r].round, r);
+    // Bit-for-bit: the sha256 of θ_{r+1} admits no tolerance.
+    EXPECT_EQ(net[r].model_hash, ref[r].model_hash) << "round " << r;
+    EXPECT_EQ(net[r].reputations, ref[r].reputations) << "round " << r;
+    EXPECT_EQ(net[r].rewards, ref[r].rewards) << "round " << r;
+  }
+}
+
+ClusterConfig cluster_config(TransportKind transport) {
+  ClusterConfig cfg;
+  cfg.sim = sim_config();
+  cfg.fifl = fifl_config();
+  cfg.rounds = kRounds;
+  cfg.transport = transport;
+  cfg.timeouts.join = std::chrono::milliseconds(30000);
+  cfg.timeouts.phase = std::chrono::milliseconds(30000);
+  return cfg;
+}
+
+TEST(ClusterEquivalence, LoopbackReproducesSimulatorBitForBit) {
+  const auto reference = reference_run();
+  const auto split = make_split();
+  Cluster cluster(cluster_config(TransportKind::kLoopback), mlp_factory(),
+                  make_setups(split), split.test);
+  expect_equivalent(cluster.run(), reference);
+
+  // Attackers must actually have been rejected along the way (the run
+  // exercised the detection path, not a degenerate accept-all round).
+  const auto& results = cluster.lead().results();
+  std::size_t total_rejected = 0;
+  for (const auto& r : results) total_rejected += r.rejected;
+  EXPECT_GT(total_rejected, 0u);
+
+  // And the final model must be learning: clearly above the 10-class
+  // chance level after only kRounds rounds.
+  const fl::Evaluation eval = cluster.final_evaluation();
+  EXPECT_GT(eval.accuracy, 0.13);
+}
+
+TEST(ClusterEquivalence, TcpReproducesSimulatorBitForBit) {
+  const auto reference = reference_run();
+  const auto split = make_split();
+  Cluster cluster(cluster_config(TransportKind::kTcp), mlp_factory(),
+                  make_setups(split), split.test);
+  expect_equivalent(cluster.run(), reference);
+}
+
+TEST(ClusterEquivalence, WorkersObserveTheirRewards) {
+  const auto split = make_split();
+  Cluster cluster(cluster_config(TransportKind::kLoopback), mlp_factory(),
+                  make_setups(split), split.test);
+  const auto& results = cluster.run();
+  ASSERT_EQ(results.size(), kRounds);
+  for (std::size_t i = 0; i < cluster.worker_count(); ++i) {
+    const auto& observed = cluster.worker_node(i).observed_rewards();
+    ASSERT_EQ(observed.size(), kRounds) << "worker " << i;
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      EXPECT_EQ(observed[r], results[r].rewards[i])
+          << "worker " << i << " round " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fifl::net

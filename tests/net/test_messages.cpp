@@ -1,0 +1,212 @@
+// Wire-schema round trips plus the malformed-payload property: every
+// strict prefix of a valid payload must throw SerializeError, and no
+// decode may accept trailing bytes.
+#include <gtest/gtest.h>
+
+#include "chain/signature.hpp"
+#include "net/messages.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::net {
+namespace {
+
+template <typename Msg>
+void expect_all_truncations_throw(const Msg& msg) {
+  const auto payload = encode_payload(msg);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW(decode_payload<Msg>(std::span(payload).first(len)),
+                 util::SerializeError)
+        << "prefix length " << len << " of " << payload.size();
+  }
+}
+
+template <typename Msg>
+void expect_rejects_trailing_bytes(const Msg& msg) {
+  auto payload = encode_payload(msg);
+  payload.push_back(0);
+  EXPECT_THROW(decode_payload<Msg>(payload), util::SerializeError);
+}
+
+TEST(Messages, JoinRoundTrip) {
+  const JoinMsg msg{17, NodeRole::kServer};
+  const auto back = decode_payload<JoinMsg>(encode_payload(msg));
+  EXPECT_EQ(back.node, 17u);
+  EXPECT_EQ(back.role, NodeRole::kServer);
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, JoinRejectsUnknownRole) {
+  util::ByteWriter w;
+  w.write_u32(1);
+  w.write_u8(7);  // not a NodeRole
+  const auto payload = w.take();
+  EXPECT_THROW(decode_payload<JoinMsg>(payload), util::SerializeError);
+}
+
+TEST(Messages, JoinAckRoundTrip) {
+  const JoinAckMsg msg{3, 8, 2, 1210, 25};
+  const auto back = decode_payload<JoinAckMsg>(encode_payload(msg));
+  EXPECT_EQ(back.node, 3u);
+  EXPECT_EQ(back.workers, 8u);
+  EXPECT_EQ(back.servers, 2u);
+  EXPECT_EQ(back.param_count, 1210u);
+  EXPECT_EQ(back.rounds, 25u);
+  expect_all_truncations_throw(msg);
+}
+
+TEST(Messages, LeaveRoundTrip) {
+  const LeaveMsg msg{9, "training complete"};
+  const auto back = decode_payload<LeaveMsg>(encode_payload(msg));
+  EXPECT_EQ(back.node, 9u);
+  EXPECT_EQ(back.reason, "training complete");
+  expect_all_truncations_throw(msg);
+}
+
+TEST(Messages, HeartbeatRoundTrip) {
+  const HeartbeatMsg msg{4, 0xdeadbeefcafeull, 1};
+  const auto back = decode_payload<HeartbeatMsg>(encode_payload(msg));
+  EXPECT_EQ(back.node, 4u);
+  EXPECT_EQ(back.token, 0xdeadbeefcafeull);
+  EXPECT_EQ(back.echo, 1);
+  expect_all_truncations_throw(msg);
+}
+
+TEST(Messages, HeartbeatRejectsNonBinaryEcho) {
+  util::ByteWriter w;
+  w.write_u32(4);
+  w.write_u64(1);
+  w.write_u8(2);  // echo must be 0/1
+  const auto payload = w.take();
+  EXPECT_THROW(decode_payload<HeartbeatMsg>(payload), util::SerializeError);
+}
+
+TEST(Messages, ModelBroadcastRoundTrip) {
+  util::Rng rng(5);
+  ModelBroadcastMsg msg;
+  msg.round = 12;
+  msg.checkpoint.resize(500);
+  for (auto& b : msg.checkpoint) {
+    b = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+  }
+  const auto back = decode_payload<ModelBroadcastMsg>(encode_payload(msg));
+  EXPECT_EQ(back.round, 12u);
+  EXPECT_EQ(back.checkpoint, msg.checkpoint);
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, GradientUploadRoundTrip) {
+  util::Rng rng(6);
+  GradientUploadMsg msg;
+  msg.round = 3;
+  msg.worker = 5;
+  msg.samples = 120;
+  msg.ground_truth_attack = 1;
+  msg.gradient.resize(1210);
+  for (auto& g : msg.gradient) g = static_cast<float>(rng.gaussian());
+  const auto back = decode_payload<GradientUploadMsg>(encode_payload(msg));
+  EXPECT_EQ(back.round, 3u);
+  EXPECT_EQ(back.worker, 5u);
+  EXPECT_EQ(back.samples, 120u);
+  EXPECT_EQ(back.ground_truth_attack, 1);
+  EXPECT_EQ(back.gradient, msg.gradient);
+  expect_all_truncations_throw(msg);
+}
+
+TEST(Messages, SliceAggregateRoundTrip) {
+  SliceAggregateMsg msg;
+  msg.round = 7;
+  msg.server_index = 1;
+  msg.offset = 605;
+  msg.values = {1.0f, -2.5f, 0.0f, 3.25f};
+  const auto back = decode_payload<SliceAggregateMsg>(encode_payload(msg));
+  EXPECT_EQ(back.round, 7u);
+  EXPECT_EQ(back.server_index, 1u);
+  EXPECT_EQ(back.offset, 605u);
+  EXPECT_EQ(back.values, msg.values);
+  expect_all_truncations_throw(msg);
+}
+
+AssessmentResultMsg sample_assessment() {
+  AssessmentResultMsg msg;
+  msg.round = 4;
+  msg.degraded = 0;
+  msg.fairness = 0.93;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    WorkerAssessment wa;
+    wa.worker = i;
+    wa.arrived = 1;
+    wa.accepted = i != 2;
+    wa.uncertain = 0;
+    wa.score = 0.8 - 0.3 * i;
+    wa.reputation = 0.5 + 0.1 * i;
+    wa.contribution = 0.2 * i;
+    wa.reward = 0.1 * i - 0.05;
+    msg.workers.push_back(wa);
+  }
+  chain::KeyRegistry registry(0xfeedu);
+  registry.register_node(1);
+  chain::Ledger ledger(&registry);
+  ledger.append(chain::RecordKind::kDetection, 4, 0, 1, 1.0);
+  ledger.append(chain::RecordKind::kReward, 4, 0, 1, 0.25);
+  ledger.seal_block();
+  msg.records = ledger.query(std::nullopt, 4, std::nullopt);
+  return msg;
+}
+
+TEST(Messages, AssessmentResultRoundTrip) {
+  const AssessmentResultMsg msg = sample_assessment();
+  ASSERT_EQ(msg.records.size(), 2u);
+  const auto back = decode_payload<AssessmentResultMsg>(encode_payload(msg));
+  EXPECT_EQ(back.round, 4u);
+  EXPECT_EQ(back.degraded, 0);
+  EXPECT_DOUBLE_EQ(back.fairness, 0.93);
+  ASSERT_EQ(back.workers.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.workers[i].worker, i);
+    EXPECT_DOUBLE_EQ(back.workers[i].reputation, 0.5 + 0.1 * i);
+    EXPECT_DOUBLE_EQ(back.workers[i].reward, 0.1 * i - 0.05);
+  }
+  ASSERT_EQ(back.records.size(), 2u);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_EQ(back.records[k].kind, msg.records[k].kind);
+    EXPECT_EQ(back.records[k].round, msg.records[k].round);
+    EXPECT_EQ(back.records[k].subject, msg.records[k].subject);
+    EXPECT_EQ(back.records[k].executor, msg.records[k].executor);
+    EXPECT_DOUBLE_EQ(back.records[k].value, msg.records[k].value);
+    EXPECT_EQ(back.records[k].signature, msg.records[k].signature);
+  }
+}
+
+TEST(Messages, AssessmentResultTruncationsThrow) {
+  expect_all_truncations_throw(sample_assessment());
+}
+
+TEST(Messages, DecodedRecordsStillVerify) {
+  // Signatures must survive the wire: a receiver with a KeyRegistry
+  // replica can authenticate the lead's published records.
+  chain::KeyRegistry registry(0xfeedu);
+  registry.register_node(1);
+  const AssessmentResultMsg msg = sample_assessment();
+  const auto back = decode_payload<AssessmentResultMsg>(encode_payload(msg));
+  for (const chain::AuditRecord& rec : back.records) {
+    EXPECT_TRUE(registry.verify(rec.signature, rec.canonical_payload()));
+  }
+}
+
+TEST(Messages, GradientCountGuardRejectsHugeClaims) {
+  // A corrupted count field must throw before any allocation is attempted.
+  util::ByteWriter w;
+  w.write_u64(3);   // round
+  w.write_u32(0);   // worker
+  w.write_u64(10);  // samples
+  w.write_u8(0);    // ground_truth_attack
+  w.write_u64(0xFFFFFFFFFFFFull);  // gradient count claim, no data
+  const auto payload = w.take();
+  EXPECT_THROW(decode_payload<GradientUploadMsg>(payload),
+               util::SerializeError);
+}
+
+}  // namespace
+}  // namespace fifl::net

@@ -1,0 +1,175 @@
+// Arrival order must not matter: uploads are canonicalized into
+// worker-id slots before the engine runs, and per-worker RNG streams are
+// split by worker index (not drawn from a shared sequence), so any
+// permutation of message delivery — or of worker execution order — yields
+// bit-identical aggregation, reputations, and rewards.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/fifl.hpp"
+#include "data/synthetic.hpp"
+#include "fl/simulator.hpp"
+#include "net/node.hpp"
+#include "nn/models.hpp"
+
+namespace fifl::net {
+namespace {
+
+fl::ModelFactory mlp_factory() {
+  return [](util::Rng& rng) {
+    auto model = std::make_unique<nn::Sequential>();
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(64, 16, rng);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::Linear>(16, 10, rng);
+    return model;
+  };
+}
+
+std::vector<fl::WorkerSetup> make_setups(std::size_t workers) {
+  auto spec = data::mnist_like(workers * 60, 21);
+  spec.image_size = 8;
+  auto split = data::make_synthetic_split(spec, 50);
+  std::vector<fl::BehaviourPtr> behaviours;
+  for (std::size_t i = 0; i < workers; ++i) {
+    behaviours.push_back(std::make_unique<fl::HonestBehaviour>());
+  }
+  util::Rng rng(3);
+  return fl::make_worker_setups(split.train, std::move(behaviours), rng);
+}
+
+/// Real uploads from a deterministic federation, as wire messages.
+std::vector<GradientUploadMsg> federation_upload_msgs(std::size_t workers) {
+  fl::SimulatorConfig cfg;
+  cfg.seed = 77;
+  cfg.batch_size = 32;
+  fl::FederationInit init =
+      fl::make_federation_init(cfg, mlp_factory(), make_setups(workers));
+  const std::vector<float> params = init.global_model->flatten_parameters();
+  std::vector<GradientUploadMsg> msgs;
+  for (std::size_t i = 0; i < workers; ++i) {
+    fl::Upload upload = init.workers[i]->make_upload(params);
+    GradientUploadMsg msg;
+    msg.round = 0;
+    msg.worker = static_cast<std::uint32_t>(i);
+    msg.samples = upload.samples;
+    msg.ground_truth_attack = upload.ground_truth_attack ? 1 : 0;
+    msg.gradient.assign(upload.gradient.flat().begin(),
+                        upload.gradient.flat().end());
+    msgs.push_back(std::move(msg));
+  }
+  return msgs;
+}
+
+TEST(OrderIndependence, CanonicalizeSortsByWorkerId) {
+  auto msgs = federation_upload_msgs(6);
+  util::Rng rng(5);
+  const auto reference = canonicalize_uploads(msgs, 6);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto shuffled = msgs;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(i)));
+      std::swap(shuffled[i - 1], shuffled[j]);
+    }
+    const auto canonical = canonicalize_uploads(shuffled, 6);
+    ASSERT_EQ(canonical.size(), reference.size());
+    for (std::size_t i = 0; i < canonical.size(); ++i) {
+      EXPECT_EQ(canonical[i].worker, i);
+      EXPECT_EQ(canonical[i].samples, reference[i].samples);
+      ASSERT_EQ(canonical[i].gradient.size(), reference[i].gradient.size());
+      const auto a = canonical[i].gradient.flat();
+      const auto b = reference[i].gradient.flat();
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+          << "worker " << i << " gradient changed under permutation";
+    }
+  }
+}
+
+TEST(OrderIndependence, MissingWorkersBecomeUncertainSlots) {
+  auto msgs = federation_upload_msgs(6);
+  msgs.erase(msgs.begin() + 2);
+  const auto canonical = canonicalize_uploads(msgs, 6);
+  ASSERT_EQ(canonical.size(), 6u);
+  EXPECT_FALSE(canonical[2].arrived);
+  EXPECT_TRUE(canonical[3].arrived);
+}
+
+TEST(OrderIndependence, OutOfRangeWorkerIdsAreDropped) {
+  auto msgs = federation_upload_msgs(4);
+  msgs[1].worker = 999;  // a hostile or corrupt id must not crash the server
+  const auto canonical = canonicalize_uploads(msgs, 4);
+  ASSERT_EQ(canonical.size(), 4u);
+  EXPECT_FALSE(canonical[1].arrived);
+}
+
+TEST(OrderIndependence, EngineResultsAreIdenticalUnderPermutation) {
+  const std::size_t n = 6;
+  auto msgs = federation_upload_msgs(n);
+  core::FiflConfig fifl_cfg;
+  fifl_cfg.servers = 2;
+
+  const std::size_t param_count = msgs[0].gradient.size();
+  core::FiflEngine reference_engine(fifl_cfg, n, param_count);
+  const core::RoundReport reference =
+      reference_engine.process_round(canonicalize_uploads(msgs, n));
+
+  util::Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto shuffled = msgs;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(i)));
+      std::swap(shuffled[i - 1], shuffled[j]);
+    }
+    core::FiflEngine engine(fifl_cfg, n, param_count);
+    const core::RoundReport report =
+        engine.process_round(canonicalize_uploads(shuffled, n));
+
+    EXPECT_EQ(report.detection.accepted, reference.detection.accepted);
+    EXPECT_EQ(report.reputations, reference.reputations);  // bitwise
+    EXPECT_EQ(report.rewards, reference.rewards);          // bitwise
+    const auto a = report.global_gradient.flat();
+    const auto b = reference.global_gradient.flat();
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+        << "aggregated gradient diverged under permutation (trial " << trial
+        << ")";
+  }
+}
+
+TEST(OrderIndependence, WorkerRngStreamsAreCallOrderIndependent) {
+  // Two federations from the same seed, training their workers in
+  // opposite orders, must produce identical uploads: each worker's RNG is
+  // split off by index at construction, never shared afterwards.
+  fl::SimulatorConfig cfg;
+  cfg.seed = 123;
+  fl::FederationInit forward =
+      fl::make_federation_init(cfg, mlp_factory(), make_setups(4));
+  fl::FederationInit backward =
+      fl::make_federation_init(cfg, mlp_factory(), make_setups(4));
+  const std::vector<float> params_f = forward.global_model->flatten_parameters();
+  const std::vector<float> params_b =
+      backward.global_model->flatten_parameters();
+  ASSERT_EQ(params_f, params_b);  // identical θ_0
+
+  std::vector<fl::Upload> ups_f(4), ups_b(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ups_f[i] = forward.workers[i]->make_upload(params_f);
+  }
+  for (std::size_t i = 4; i-- > 0;) {
+    ups_b[i] = backward.workers[i]->make_upload(params_b);
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto a = ups_f[i].gradient.flat();
+    const auto b = ups_b[i].gradient.flat();
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()))
+        << "worker " << i << " gradient depends on training order";
+  }
+}
+
+}  // namespace
+}  // namespace fifl::net

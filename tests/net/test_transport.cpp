@@ -1,0 +1,149 @@
+// Transport behaviour shared by loopback and TCP: delivery, typed
+// payloads, timeouts, close semantics, metrics accounting — plus the
+// TCP-only garbage-injection path that must land in net.frame_errors.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+
+namespace fifl::net {
+namespace {
+
+GradientUploadMsg sample_upload(std::size_t size) {
+  GradientUploadMsg msg;
+  msg.round = 2;
+  msg.worker = 1;
+  msg.samples = 99;
+  msg.gradient.resize(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    msg.gradient[i] = static_cast<float>(i) * 0.25f - 3.0f;
+  }
+  return msg;
+}
+
+void exercise_transport(Transport& transport) {
+  auto a = transport.open(1);
+  auto b = transport.open(2);
+
+  const std::uint64_t tx_before = NetMetrics::global().msgs_tx->value();
+  const std::uint64_t rx_before = NetMetrics::global().msgs_rx->value();
+
+  // Typed round trip, including a payload big enough to span several
+  // TCP segments.
+  const GradientUploadMsg sent = sample_upload(20000);
+  a->send_msg(2, MessageType::kGradientUpload, sent);
+  auto env = b->recv(std::chrono::milliseconds(5000));
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->from, 1u);
+  EXPECT_EQ(env->type, MessageType::kGradientUpload);
+  const auto back = decode_payload<GradientUploadMsg>(env->payload);
+  EXPECT_EQ(back.gradient, sent.gradient);
+
+  // Both directions.
+  b->send_msg(1, MessageType::kHeartbeat, HeartbeatMsg{2, 77, 0});
+  env = a->recv(std::chrono::milliseconds(5000));
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->type, MessageType::kHeartbeat);
+  EXPECT_EQ(decode_payload<HeartbeatMsg>(env->payload).token, 77u);
+
+  // FIFO per sender.
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    a->send_msg(2, MessageType::kHeartbeat, HeartbeatMsg{1, t, 0});
+  }
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    env = b->recv(std::chrono::milliseconds(5000));
+    ASSERT_TRUE(env.has_value());
+    EXPECT_EQ(decode_payload<HeartbeatMsg>(env->payload).token, t);
+  }
+
+  EXPECT_GE(NetMetrics::global().msgs_tx->value(), tx_before + 12);
+  EXPECT_GE(NetMetrics::global().msgs_rx->value(), rx_before + 12);
+
+  // recv on an empty inbox times out with nullopt, and close() unblocks
+  // a waiting receiver promptly.
+  EXPECT_FALSE(a->recv(std::chrono::milliseconds(20)).has_value());
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    a->close();
+  });
+  EXPECT_FALSE(a->recv(std::chrono::milliseconds(10000)).has_value());
+  closer.join();
+  b->close();
+}
+
+TEST(LoopbackTransport, EndToEnd) {
+  LoopbackTransport transport;
+  exercise_transport(transport);
+}
+
+TEST(LoopbackTransport, SendToUnopenedKeyThrows) {
+  LoopbackTransport transport;
+  auto a = transport.open(1);
+  EXPECT_THROW(a->send_msg(99, MessageType::kHeartbeat, HeartbeatMsg{1, 0, 0}),
+               std::runtime_error);
+}
+
+TEST(TcpTransport, EndToEnd) {
+  TcpTransport transport;
+  exercise_transport(transport);
+}
+
+TEST(TcpTransport, EphemeralPortsAreDistinct) {
+  TcpTransport transport;
+  auto a = transport.open(1);
+  auto b = transport.open(2);
+  EXPECT_NE(transport.port_of(1), 0);
+  EXPECT_NE(transport.port_of(2), 0);
+  EXPECT_NE(transport.port_of(1), transport.port_of(2));
+  a->close();
+  b->close();
+}
+
+TEST(TcpTransport, GarbageStreamCountsFrameErrorsAndKeepsEndpointAlive) {
+  TcpTransport transport;
+  auto a = transport.open(1);
+  auto b = transport.open(2);
+  const std::uint64_t errors_before =
+      NetMetrics::global().frame_errors->value();
+
+  // Raw client speaking nonsense at endpoint 2's listener.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(transport.port_of(2));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char garbage[] = "this is definitely not a FNET frame, not even close";
+  ASSERT_GT(::write(fd, garbage, sizeof(garbage)), 0);
+
+  // The reader thread should notice, drop the connection, and count it.
+  bool counted = false;
+  for (int i = 0; i < 200 && !counted; ++i) {
+    counted = NetMetrics::global().frame_errors->value() > errors_before;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::close(fd);
+  EXPECT_TRUE(counted);
+
+  // The poisoned connection must not take the endpoint down: real peers
+  // still get through.
+  a->send_msg(2, MessageType::kHeartbeat, HeartbeatMsg{1, 123, 0});
+  auto env = b->recv(std::chrono::milliseconds(5000));
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(decode_payload<HeartbeatMsg>(env->payload).token, 123u);
+
+  a->close();
+  b->close();
+}
+
+}  // namespace
+}  // namespace fifl::net
