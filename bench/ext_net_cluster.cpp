@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 
 #include "net/cluster.hpp"
+#include "net/fault.hpp"
 
 int main() {
   using namespace fifl;
@@ -72,6 +73,64 @@ int main() {
   const fl::Evaluation eval = cluster.final_evaluation();
   std::printf("final: accuracy %.3f, loss %.3f over %zu rounds (%zu results)\n",
               eval.accuracy, eval.loss, rounds, results.size());
+
+  // Small chaos leg: a 4-worker cluster with one scripted broadcast
+  // partition, so the degraded-round and liveness paths show up in the
+  // perf trajectory (counters land in the metrics snapshot below).
+  {
+    const std::size_t chaos_workers = 4;
+    auto chaos_spec = data::mnist_like(chaos_workers * 60, 27);
+    chaos_spec.image_size = 8;
+    chaos_spec.noise = 0.5;
+    const auto chaos_split = data::make_synthetic_split(chaos_spec, 100);
+    auto chaos_setups = fl::make_worker_setups(
+        chaos_split.train, bench::honest_behaviours(chaos_workers), setup_rng);
+
+    net::FaultSchedule schedule;
+    schedule.seed = 0xFacade;
+    schedule.partitions.push_back(net::LinkPartition{
+        .from = static_cast<net::NodeKey>(chaos_workers),  // lead
+        .to = 1,
+        .first_round = 1,
+        .last_round = 1});
+
+    net::ClusterConfig chaos_cfg;
+    chaos_cfg.sim.seed = 7;
+    chaos_cfg.sim.batch_size = 32;
+    chaos_cfg.fifl.servers = 2;
+    chaos_cfg.rounds = 3;
+    chaos_cfg.timeouts.phase = std::chrono::milliseconds(1500);
+    chaos_cfg.timeouts.heartbeat = std::chrono::milliseconds(100);
+    chaos_cfg.timeouts.liveness = std::chrono::milliseconds(600);
+    chaos_cfg.quorum.min_fraction = 0.5;
+    chaos_cfg.transport_override = std::make_shared<net::FaultyTransport>(
+        std::make_unique<net::LoopbackTransport>(), schedule);
+
+    net::NetMetrics& m = net::NetMetrics::global();
+    const std::uint64_t degraded_before = m.rounds_degraded->value();
+    const std::uint64_t dropped_before = m.dropped_workers->value();
+    const std::uint64_t faults_before = m.faults_injected->value();
+
+    const fl::ModelFactory tiny = [](util::Rng& rng) {
+      auto model = std::make_unique<nn::Sequential>();
+      model->emplace<nn::Flatten>();
+      model->emplace<nn::Linear>(64, 10, rng);
+      return model;
+    };
+    net::Cluster chaos(chaos_cfg, tiny, std::move(chaos_setups),
+                       data::Dataset{});
+    chaos.run();
+    std::printf(
+        "chaos: rounds_degraded %llu, dropped_workers %llu, "
+        "faults_injected %llu\n",
+        static_cast<unsigned long long>(m.rounds_degraded->value() -
+                                        degraded_before),
+        static_cast<unsigned long long>(m.dropped_workers->value() -
+                                        dropped_before),
+        static_cast<unsigned long long>(m.faults_injected->value() -
+                                        faults_before));
+  }
+
   bench::report("net cluster (loopback, M=2, N=8)", table,
                 "ext_net_cluster.csv");
   return 0;

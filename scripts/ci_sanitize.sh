@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Sanitizer lane for the fifl::net runtime: configures an out-of-tree
+# build with -fsanitize=<kind> (thread by default — the net stack is all
+# threads and condition variables), builds it, and runs the net-labelled
+# tests under it. Any data race / lock-order inversion TSan spots in the
+# quorum, liveness, or fault-injection paths fails the lane.
+#
+# Usage: scripts/ci_sanitize.sh [sanitizer]
+#   sanitizer: thread (default) | address | undefined
+#   BUILD_DIR overrides the build tree (default: build-<sanitizer>).
+#
+# Also reachable as an opt-in build target: `cmake --build build
+# --target sanitize_net` shells out to this script.
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-$SANITIZER}"
+
+case "$SANITIZER" in
+  thread|address|undefined) ;;
+  *)
+    echo "ci_sanitize: unknown sanitizer '$SANITIZER'" >&2
+    exit 2
+    ;;
+esac
+
+echo "== configure ($SANITIZER sanitizer) -> $BUILD_DIR =="
+cmake -B "$BUILD_DIR" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFIFL_SANITIZE="$SANITIZER" \
+  -DFIFL_BUILD_BENCH=OFF \
+  -DFIFL_BUILD_EXAMPLES=OFF
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== ctest -L net ($SANITIZER) =="
+# Sanitized event loops run several times slower than native; scale the
+# per-test timeouts up rather than loosening them for everyone.
+ctest --test-dir "$BUILD_DIR" -L net --output-on-failure \
+  --timeout 1200 -j 2
+
+echo "ci_sanitize: OK ($SANITIZER)"

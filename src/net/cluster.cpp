@@ -26,13 +26,17 @@ Cluster::Cluster(ClusterConfig config, const fl::ModelFactory& factory,
 
   const Topology topology{static_cast<std::uint32_t>(n),
                           static_cast<std::uint32_t>(m)};
-  switch (config_.transport) {
-    case TransportKind::kLoopback:
-      transport_ = std::make_unique<LoopbackTransport>();
-      break;
-    case TransportKind::kTcp:
-      transport_ = std::make_unique<TcpTransport>();
-      break;
+  if (config_.transport_override) {
+    transport_ = config_.transport_override;
+  } else {
+    switch (config_.transport) {
+      case TransportKind::kLoopback:
+        transport_ = std::make_shared<LoopbackTransport>();
+        break;
+      case TransportKind::kTcp:
+        transport_ = std::make_shared<TcpTransport>();
+        break;
+    }
   }
 
   // Open every endpoint before any node thread runs, so the first send
@@ -54,6 +58,7 @@ Cluster::Cluster(ClusterConfig config, const fl::ModelFactory& factory,
     sc.rounds = config_.rounds;
     sc.global_learning_rate = config_.sim.global_learning_rate;
     sc.timeouts = config_.timeouts;
+    sc.quorum = config_.quorum;
     // Every server gets an identical engine replica (deterministic state
     // machine); only the lead owns θ.
     auto engine = std::make_unique<core::FiflEngine>(config_.fifl, n,

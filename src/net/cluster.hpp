@@ -28,6 +28,11 @@ struct ClusterConfig {
   std::size_t rounds = 5;
   TransportKind transport = TransportKind::kLoopback;
   NodeTimeouts timeouts;
+  QuorumConfig quorum;
+  /// When set, the cluster runs over this transport instead of building
+  /// one from `transport` — the hook chaos tests use to wrap loopback or
+  /// TCP in a FaultyTransport and inspect its fault log after run().
+  std::shared_ptr<Transport> transport_override;
 };
 
 class Cluster {
@@ -67,7 +72,7 @@ class Cluster {
  private:
   ClusterConfig config_;
   data::Dataset test_set_;
-  std::unique_ptr<Transport> transport_;
+  std::shared_ptr<Transport> transport_;
   std::vector<std::unique_ptr<WorkerNode>> worker_nodes_;
   std::vector<std::unique_ptr<ServerNode>> server_nodes_;
   bool ran_ = false;

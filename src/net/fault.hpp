@@ -1,0 +1,182 @@
+// FaultyTransport: a deterministic, seeded fault-injection decorator over
+// any Transport (loopback or TCP), for chaos tests and soak harnesses.
+//
+// Faults are scripted by a FaultSchedule and fire only on the data plane
+// (ModelBroadcast / GradientUpload / RoundSummary / SliceAggregate /
+// AssessmentResult); the control plane (Join/JoinAck/Heartbeat/Leave)
+// always passes, except out of a crashed node. Supported faults:
+//
+//   drop       message silently discarded
+//   duplicate  message delivered twice
+//   delay      message held by a delivery thread for a bounded interval
+//   reorder    message held briefly so later traffic on the link overtakes
+//   partition  all data traffic on a (from, to) link inside a round window
+//              is discarded (the round is read from the message payload)
+//   crash      a node stops sending AND receiving forever after its k-th
+//              GradientUpload — the mid-round process-death scenario
+//
+// Determinism: probabilistic decisions draw from a private RNG stream per
+// (from, to, message-type) triple, keyed by the schedule seed, and every
+// message consumes a fixed number of draws whether or not a fault fires.
+// Because each node emits its data-plane messages in program order, the
+// decision sequence — and therefore the injected-fault log — is a pure
+// function of (seed, schedule, workload), independent of thread timing.
+// The log's cross-link interleaving is the only nondeterministic part,
+// which is why fault_log() returns it canonically sorted.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::net {
+
+/// Wildcard node key for LinkFaults/LinkPartition endpoints.
+inline constexpr NodeKey kAnyNode = 0xffffffffu;
+
+/// Probabilistic faults on one (from, to) link; the first matching entry
+/// in FaultSchedule::links wins. kAnyNode matches every node.
+struct LinkFaults {
+  NodeKey from = kAnyNode;
+  NodeKey to = kAnyNode;
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  std::chrono::milliseconds delay_min{5};
+  std::chrono::milliseconds delay_max{25};
+  double reorder_prob = 0.0;
+  /// How long a reordered message is held back (later traffic overtakes).
+  std::chrono::milliseconds reorder_delay{25};
+
+  bool matches(NodeKey f, NodeKey t) const noexcept {
+    return (from == kAnyNode || from == f) && (to == kAnyNode || to == t);
+  }
+  bool any() const noexcept {
+    return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0 ||
+           reorder_prob > 0.0;
+  }
+};
+
+/// Deterministic blackout: every data-plane message on the link whose
+/// payload round lies in [first_round, last_round] is discarded.
+struct LinkPartition {
+  NodeKey from = kAnyNode;
+  NodeKey to = kAnyNode;
+  std::uint64_t first_round = 0;
+  std::uint64_t last_round = 0;
+};
+
+/// `node` dies immediately after sending its `after_uploads`-th
+/// GradientUpload: subsequent sends vanish and recv() goes silent, so the
+/// node's event loop exits through its idle timeout like a dead process.
+struct NodeCrash {
+  NodeKey node = 0;
+  std::uint64_t after_uploads = 0;
+};
+
+struct FaultSchedule {
+  std::uint64_t seed = 0;
+  std::vector<LinkFaults> links;
+  std::vector<LinkPartition> partitions;
+  std::vector<NodeCrash> crashes;
+
+  /// True when no fault can ever fire (the decorator becomes a pass-through
+  /// and a run must reproduce the fault-free run bit for bit).
+  bool empty() const noexcept;
+};
+
+enum class FaultKind : std::uint8_t {
+  kDrop = 0,
+  kDuplicate = 1,
+  kDelay = 2,
+  kReorder = 3,
+  kPartition = 4,
+  kCrash = 5,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One injected fault, as recorded in the transport's log. `seq` is the
+/// message's index within its (from, to, type) stream.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDrop;
+  NodeKey from = 0;
+  NodeKey to = 0;
+  MessageType type = MessageType::kHeartbeat;
+  std::uint64_t seq = 0;
+  std::uint64_t delay_ms = 0;  // delay/reorder only
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultyTransport : public Transport {
+ public:
+  FaultyTransport(std::unique_ptr<Transport> inner, FaultSchedule schedule);
+  ~FaultyTransport() override;
+
+  FaultyTransport(const FaultyTransport&) = delete;
+  FaultyTransport& operator=(const FaultyTransport&) = delete;
+
+  std::unique_ptr<Endpoint> open(NodeKey address) override;
+
+  /// Injected faults so far, sorted by (from, to, type, seq, kind) so two
+  /// runs of the same seeded workload compare equal.
+  std::vector<FaultEvent> fault_log() const;
+  std::size_t fault_count() const;
+  bool crashed(NodeKey node) const;
+
+ private:
+  friend class FaultyEndpoint;
+
+  /// Applies the schedule to one outbound message; performs the actual
+  /// delivery (possibly zero, one, or two sends, possibly deferred).
+  void faulty_send(const std::shared_ptr<Endpoint>& via, NodeKey from,
+                   NodeKey to, MessageType type,
+                   std::span<const std::uint8_t> payload);
+  void record(FaultKind kind, NodeKey from, NodeKey to, MessageType type,
+              std::uint64_t seq, std::uint64_t delay_ms = 0);
+  void defer(const std::shared_ptr<Endpoint>& via, NodeKey to,
+             MessageType type, std::span<const std::uint8_t> payload,
+             std::chrono::milliseconds delay);
+  void delivery_loop();
+
+  struct StreamState {
+    util::Rng rng;
+    std::uint64_t seq = 0;
+  };
+
+  struct Deferred {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t id = 0;  // tie-break so the queue's order is total
+    std::shared_ptr<Endpoint> via;
+    NodeKey to = 0;
+    MessageType type = MessageType::kHeartbeat;
+    std::vector<std::uint8_t> payload;
+  };
+
+  FaultSchedule schedule_;
+  std::unique_ptr<Transport> inner_;
+
+  mutable std::mutex mutex_;  // guards streams_, log_, uploads_sent_, crashed_
+  std::map<std::tuple<NodeKey, NodeKey, std::uint8_t>, StreamState> streams_;
+  std::vector<FaultEvent> log_;
+  std::map<NodeKey, std::uint64_t> uploads_sent_;
+  std::set<NodeKey> crashed_;
+
+  std::mutex delay_mutex_;
+  std::condition_variable delay_cv_;
+  std::vector<Deferred> delay_queue_;
+  std::uint64_t next_deferred_id_ = 0;
+  bool shutdown_ = false;
+  std::thread delivery_;
+};
+
+}  // namespace fifl::net

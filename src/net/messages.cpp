@@ -12,6 +12,7 @@ const char* message_type_name(MessageType type) {
     case MessageType::kGradientUpload: return "gradient_upload";
     case MessageType::kSliceAggregate: return "slice_aggregate";
     case MessageType::kAssessmentResult: return "assessment_result";
+    case MessageType::kRoundSummary: return "round_summary";
   }
   return "unknown";
 }
@@ -128,10 +129,31 @@ GradientUploadMsg GradientUploadMsg::decode(util::ByteReader& r) {
   return m;
 }
 
+void RoundSummaryMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u8(degraded);
+  w.write_u64(counted.size());
+  for (std::uint32_t worker : counted) w.write_u32(worker);
+}
+
+RoundSummaryMsg RoundSummaryMsg::decode(util::ByteReader& r) {
+  RoundSummaryMsg m;
+  m.round = r.read_u64();
+  m.degraded = decode_flag(r, "round_summary");
+  const std::uint64_t n = r.read_u64();
+  if (n > r.remaining() / 4) {
+    throw util::SerializeError("round_summary: counted size exceeds payload");
+  }
+  m.counted.resize(static_cast<std::size_t>(n));
+  for (std::uint32_t& worker : m.counted) worker = r.read_u32();
+  return m;
+}
+
 void SliceAggregateMsg::encode(util::ByteWriter& w) const {
   w.write_u64(round);
   w.write_u32(server_index);
   w.write_u64(offset);
+  w.write_u8(complete);
   w.write_f32_array(values);
 }
 
@@ -140,6 +162,7 @@ SliceAggregateMsg SliceAggregateMsg::decode(util::ByteReader& r) {
   m.round = r.read_u64();
   m.server_index = r.read_u32();
   m.offset = r.read_u64();
+  m.complete = decode_flag(r, "slice_aggregate");
   m.values = r.read_f32_array();
   return m;
 }

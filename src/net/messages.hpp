@@ -9,6 +9,8 @@
 //   GradientUpload   worker i -> every server full G_i (replicated-engine
 //                                             inputs; slices stay real on
 //                                             the server->lead path)
+//   RoundSummary     lead -> servers          which workers were counted
+//                                             this round (quorum outcome)
 //   SliceAggregate   server j -> lead         slice j of the aggregated G̃
 //   AssessmentResult lead -> workers          accept/reputation/reward per
 //                                             worker + that round's signed
@@ -34,6 +36,7 @@ enum class MessageType : std::uint8_t {
   kGradientUpload = 6,
   kSliceAggregate = 7,
   kAssessmentResult = 8,
+  kRoundSummary = 9,
 };
 
 const char* message_type_name(MessageType type);
@@ -101,11 +104,31 @@ struct GradientUploadMsg {
   static GradientUploadMsg decode(util::ByteReader& r);
 };
 
+/// Quorum outcome of one round, published by the lead to every follower
+/// replica before assessment runs: the exact (sorted) set of workers
+/// whose uploads were counted. Followers feed their engines precisely
+/// this set — workers not listed become uncertain events — which is what
+/// keeps the deterministic replicas bit-identical even when the lead
+/// proceeded on a partial round.
+struct RoundSummaryMsg {
+  std::uint64_t round = 0;
+  std::uint8_t degraded = 0;  // counted < workers (quorum round)
+  std::vector<std::uint32_t> counted;
+
+  void encode(util::ByteWriter& w) const;
+  static RoundSummaryMsg decode(util::ByteReader& r);
+};
+
 /// Aggregated slice j of G̃ (Sec. 3.2: each server serves one slice).
+/// `complete == 0` means the replica could not reproduce the lead's
+/// counted upload set (e.g. a counted upload never reached it) and the
+/// values carry no information — the lead tolerates the gap instead of
+/// treating it as replica divergence.
 struct SliceAggregateMsg {
   std::uint64_t round = 0;
   std::uint32_t server_index = 0;
   std::uint64_t offset = 0;  // first element of the slice within G̃
+  std::uint8_t complete = 1;
   std::vector<float> values;
 
   void encode(util::ByteWriter& w) const;

@@ -1,6 +1,7 @@
 #include "net/node.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -22,20 +23,32 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
 /// Snapshot of the global net counters, for per-round deltas.
 struct CounterSnapshot {
   std::uint64_t bytes_tx, bytes_rx, msgs_tx, msgs_rx, frame_errors;
+  std::uint64_t late_uploads, send_retries, dropped_workers;
 
   static CounterSnapshot take() {
     NetMetrics& m = NetMetrics::global();
-    return {m.bytes_tx->value(), m.bytes_rx->value(), m.msgs_tx->value(),
-            m.msgs_rx->value(), m.frame_errors->value()};
+    return {m.bytes_tx->value(),     m.bytes_rx->value(),
+            m.msgs_tx->value(),      m.msgs_rx->value(),
+            m.frame_errors->value(), m.late_uploads->value(),
+            m.send_retries->value(), m.dropped_workers->value()};
   }
 
   obs::RoundTrace::NetStats delta_since() const {
     const CounterSnapshot now = take();
-    return {now.bytes_tx - bytes_tx, now.bytes_rx - bytes_rx,
-            now.msgs_tx - msgs_tx, now.msgs_rx - msgs_rx,
-            now.frame_errors - frame_errors};
+    return {now.bytes_tx - bytes_tx,
+            now.bytes_rx - bytes_rx,
+            now.msgs_tx - msgs_tx,
+            now.msgs_rx - msgs_rx,
+            now.frame_errors - frame_errors,
+            now.late_uploads - late_uploads,
+            now.send_retries - send_retries,
+            now.dropped_workers - dropped_workers};
   }
 };
+
+/// Token space for the worker liveness heartbeats, disjoint from the
+/// per-round RTT ping tokens (which are round numbers).
+constexpr std::uint64_t kLivenessTokenBase = 1ull << 63;
 
 }  // namespace
 
@@ -113,14 +126,35 @@ void WorkerNode::run() {
     if (env->type == MessageType::kJoinAck) acked = true;
   }
 
+  // Event loop with a liveness side-channel: wake at the heartbeat
+  // interval, ping the lead so it can tell "slow" from "dead", and exit
+  // once nothing has been heard for a whole phase (the federation went
+  // away, or this node was partitioned off for good).
+  std::uint64_t liveness_token = kLivenessTokenBase;
+  auto last_traffic = std::chrono::steady_clock::now();
+  auto last_heartbeat = last_traffic;
   while (!stop_.load(std::memory_order_relaxed)) {
-    auto env = endpoint_->recv(timeouts_.phase);
-    if (!env) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_traffic > timeouts_.phase) {
       // Idle timeout without a Leave: the federation went away.
       util::log_warn() << "net: worker " << endpoint_->address()
                        << " timed out waiting for traffic, exiting";
       break;
     }
+    if (now - last_heartbeat >= timeouts_.heartbeat) {
+      last_heartbeat = now;
+      try {
+        endpoint_->send_msg(
+            lead, MessageType::kHeartbeat,
+            HeartbeatMsg{endpoint_->address(), liveness_token++, 0});
+      } catch (const std::exception& e) {
+        util::log_debug() << "net: worker " << endpoint_->address()
+                          << " heartbeat failed: " << e.what();
+      }
+    }
+    auto env = endpoint_->recv(timeouts_.heartbeat);
+    if (!env) continue;
+    last_traffic = std::chrono::steady_clock::now();
     switch (env->type) {
       case MessageType::kModelBroadcast:
         handle_broadcast(decode_payload<ModelBroadcastMsg>(env->payload));
@@ -167,12 +201,24 @@ void WorkerNode::handle_broadcast(const ModelBroadcastMsg& msg) {
   out.gradient.assign(upload.gradient.flat().begin(),
                       upload.gradient.flat().end());
   for (NodeKey server : topology_.server_keys()) {
-    endpoint_->send_msg(server, MessageType::kGradientUpload, out);
+    try {
+      endpoint_->send_msg(server, MessageType::kGradientUpload, out);
+    } catch (const std::exception& e) {
+      // One unreachable server must not kill the worker: the lead's
+      // quorum path absorbs the missing upload.
+      util::log_warn() << "net: worker " << endpoint_->address()
+                       << " failed to upload to server " << server << ": "
+                       << e.what();
+    }
   }
   // Ping the lead once per round; the echo feeds net.rtt_ms.
   ping_sent_[msg.round] = std::chrono::steady_clock::now();
-  endpoint_->send_msg(topology_.lead_key(), MessageType::kHeartbeat,
-                      HeartbeatMsg{endpoint_->address(), msg.round, 0});
+  try {
+    endpoint_->send_msg(topology_.lead_key(), MessageType::kHeartbeat,
+                        HeartbeatMsg{endpoint_->address(), msg.round, 0});
+  } catch (const std::exception&) {
+    ping_sent_.erase(msg.round);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -211,7 +257,13 @@ void ServerNode::run() {
   }
 }
 
+void ServerNode::note_worker_traffic(NodeKey from) {
+  if (!is_lead() || from >= topology_.workers) return;
+  last_seen_[from] = std::chrono::steady_clock::now();
+}
+
 void ServerNode::handle_control(const Envelope& envelope) {
+  note_worker_traffic(envelope.from);
   switch (envelope.type) {
     case MessageType::kJoin: {
       const auto join = decode_payload<JoinMsg>(envelope.payload);
@@ -232,8 +284,12 @@ void ServerNode::handle_control(const Envelope& envelope) {
     case MessageType::kHeartbeat: {
       auto hb = decode_payload<HeartbeatMsg>(envelope.payload);
       if (hb.echo == 0) {
-        endpoint_->send_msg(envelope.from, MessageType::kHeartbeat,
-                            HeartbeatMsg{endpoint_->address(), hb.token, 1});
+        try {
+          endpoint_->send_msg(envelope.from, MessageType::kHeartbeat,
+                              HeartbeatMsg{endpoint_->address(), hb.token, 1});
+        } catch (const std::exception&) {
+          // An unreachable pinger is the liveness machinery's problem.
+        }
       }
       break;
     }
@@ -241,6 +297,13 @@ void ServerNode::handle_control(const Envelope& envelope) {
       auto slice = decode_payload<SliceAggregateMsg>(envelope.payload);
       const std::uint64_t round = slice.round;
       pending_slices_[round][slice.server_index] = std::move(slice);
+      break;
+    }
+    case MessageType::kRoundSummary: {
+      if (!is_lead()) {
+        auto summary = decode_payload<RoundSummaryMsg>(envelope.payload);
+        pending_summaries_[summary.round] = std::move(summary);
+      }
       break;
     }
     case MessageType::kLeave:
@@ -251,27 +314,82 @@ void ServerNode::handle_control(const Envelope& envelope) {
   }
 }
 
+void ServerNode::lead_handle_upload(
+    GradientUploadMsg msg, std::uint64_t round,
+    std::map<std::uint32_t, GradientUploadMsg>* slots) {
+  auto& metrics = NetMetrics::global();
+  note_worker_traffic(msg.worker);
+  if (dead_workers_.count(msg.worker) != 0) {
+    // A declared-dead worker is speaking again: its uploads stay rejected
+    // for the round in flight (the roster already shrank around it), but
+    // it re-homes at the next ModelBroadcast and catches up from there.
+    metrics.dead_uploads->inc();
+    if (revive_pending_.insert(msg.worker).second) {
+      metrics.worker_rejoins->inc();
+      util::log_info() << "net: dead worker " << msg.worker
+                       << " is back, re-homing at next broadcast";
+    }
+    return;
+  }
+  if (slots != nullptr && msg.round == round) {
+    (*slots)[msg.worker] = std::move(msg);
+  } else if (msg.round > round) {
+    pending_uploads_[msg.round][msg.worker] = std::move(msg);
+  } else {
+    // Upload for a round whose collect window already closed.
+    metrics.late_uploads->inc();
+    util::log_debug() << "net: late upload from worker " << msg.worker
+                      << " for round " << msg.round << " (current " << round
+                      << ")";
+  }
+}
+
 void ServerNode::collect_uploads(
     std::uint64_t round, std::map<std::uint32_t, GradientUploadMsg>& slots,
     std::chrono::steady_clock::time_point deadline) {
+  auto& metrics = NetMetrics::global();
   if (auto it = pending_uploads_.find(round); it != pending_uploads_.end()) {
-    slots = std::move(it->second);
+    // Route buffered-ahead uploads through the same intake as live ones,
+    // so a dead worker's early upload still counts as "spoke again".
+    auto buffered = std::move(it->second);
     pending_uploads_.erase(it);
+    for (auto& [worker, msg] : buffered) {
+      lead_handle_upload(std::move(msg), round, &slots);
+    }
   }
-  while (slots.size() < topology_.workers && !leave_received_ &&
-         !stop_.load(std::memory_order_relaxed)) {
+  while (!leave_received_ && !stop_.load(std::memory_order_relaxed)) {
+    // Prune the roster: silence longer than the liveness window means the
+    // worker process is gone, not slow. Its slot is given up immediately
+    // so a crashed worker costs one liveness window, not a full phase
+    // timeout every round.
+    const auto now = std::chrono::steady_clock::now();
+    for (std::uint32_t i = 0; i < topology_.workers; ++i) {
+      if (dead_workers_.count(i) != 0) continue;
+      const auto seen = last_seen_.find(i);
+      if (seen != last_seen_.end() &&
+          now - seen->second > config_.timeouts.liveness) {
+        dead_workers_.insert(i);
+        metrics.dropped_workers->inc();
+        util::log_warn() << "net: lead declared worker " << i
+                         << " dead (silent beyond the liveness window)";
+      }
+    }
+    bool all_live_slotted = true;
+    for (std::uint32_t i = 0; i < topology_.workers; ++i) {
+      if (dead_workers_.count(i) == 0 && slots.count(i) == 0) {
+        all_live_slotted = false;
+        break;
+      }
+    }
+    if (all_live_slotted) break;
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-        deadline - std::chrono::steady_clock::now());
+        deadline - now);
     if (left.count() <= 0) break;  // missing workers become uncertain events
-    auto env = endpoint_->recv(left);
-    if (!env) continue;
+    auto env = endpoint_->recv(std::min(left, config_.timeouts.heartbeat));
+    if (!env) continue;  // wake up for the liveness scan regardless
     if (env->type == MessageType::kGradientUpload) {
-      auto msg = decode_payload<GradientUploadMsg>(env->payload);
-      if (msg.round == round) {
-        slots[msg.worker] = std::move(msg);
-      } else if (msg.round > round) {
-        pending_uploads_[msg.round][msg.worker] = std::move(msg);
-      }  // uploads for past rounds arrived after their deadline: drop
+      lead_handle_upload(decode_payload<GradientUploadMsg>(env->payload),
+                         round, &slots);
     } else {
       handle_control(*env);
     }
@@ -303,38 +421,147 @@ void ServerNode::run_follower() {
     }
   }
 
-  for (std::uint64_t r = 0; r < rounds; ++r) {
+  // Event-driven replica: buffer uploads by round, run the engine only
+  // when the lead's RoundSummary names the counted set for the next round
+  // in sequence. `rounds` (from the JoinAck) bounds nothing here — the
+  // loop ends on Leave or on a full phase of silence, whichever the
+  // failure mode produces.
+  (void)rounds;
+  std::uint64_t next_round = 0;
+  // A degraded round legitimately silences this link for a full phase
+  // (the lead waiting out its collect deadline) and, when our slice was
+  // lost, a second one (the lead's slice wait) — so only three phases of
+  // unbroken silence mean the lead is actually gone.
+  auto last_traffic = std::chrono::steady_clock::now();
+  while (!leave_received_ && !stop_.load(std::memory_order_relaxed)) {
+    auto env = endpoint_->recv(config_.timeouts.phase);
+    if (!env) {
+      if (std::chrono::steady_clock::now() - last_traffic <
+          3 * config_.timeouts.phase) {
+        continue;
+      }
+      util::log_warn() << "net: server " << endpoint_->address()
+                       << " timed out waiting for traffic, exiting";
+      break;
+    }
+    last_traffic = std::chrono::steady_clock::now();
+    if (env->type == MessageType::kGradientUpload) {
+      auto msg = decode_payload<GradientUploadMsg>(env->payload);
+      if (msg.round >= next_round) {
+        pending_uploads_[msg.round][msg.worker] = std::move(msg);
+      } else {
+        NetMetrics::global().late_uploads->inc();
+      }
+    } else {
+      handle_control(*env);
+    }
+    // Run every round whose summary has arrived, strictly in order.
+    while (!pending_summaries_.empty() && !leave_received_ &&
+           !stop_.load(std::memory_order_relaxed)) {
+      auto it = pending_summaries_.begin();
+      if (it->first < next_round) {  // stale duplicate
+        pending_summaries_.erase(it);
+        continue;
+      }
+      if (it->first > next_round) {
+        // A summary went missing: this replica skipped a round of engine
+        // state and can never rejoin the lead's deterministic sequence.
+        if (!diverged_) {
+          diverged_ = true;
+          util::log_warn() << "net: server " << endpoint_->address()
+                           << " missed summary for round " << next_round
+                           << ", replica diverged";
+        }
+        next_round = it->first;
+      }
+      const RoundSummaryMsg summary = std::move(it->second);
+      pending_summaries_.erase(it);
+      process_summary(summary);
+      pending_uploads_.erase(pending_uploads_.begin(),
+                             pending_uploads_.upper_bound(summary.round));
+      next_round = summary.round + 1;
+    }
+  }
+}
+
+void ServerNode::process_summary(const RoundSummaryMsg& summary) {
+  const NodeKey lead = topology_.lead_key();
+  const std::uint64_t r = summary.round;
+  const std::uint32_t j = config_.server_index;
+
+  bool complete = !diverged_;
+  if (complete) {
+    // Grace-wait for counted uploads that are still in flight behind the
+    // summary (the lead saw them; this replica's copies may be delayed).
+    const auto deadline =
+        std::chrono::steady_clock::now() + config_.timeouts.phase;
+    while (!leave_received_ && !stop_.load(std::memory_order_relaxed)) {
+      const auto& slots = pending_uploads_[r];
+      const bool missing =
+          std::any_of(summary.counted.begin(), summary.counted.end(),
+                      [&](std::uint32_t w) { return slots.count(w) == 0; });
+      if (!missing) break;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        complete = false;
+        break;
+      }
+      auto env = endpoint_->recv(left);
+      if (!env) continue;
+      if (env->type == MessageType::kGradientUpload) {
+        auto msg = decode_payload<GradientUploadMsg>(env->payload);
+        if (msg.round >= r) {
+          pending_uploads_[msg.round][msg.worker] = std::move(msg);
+        }
+      } else {
+        handle_control(*env);  // later summaries buffer for the run loop
+      }
+    }
     if (leave_received_ || stop_.load(std::memory_order_relaxed)) return;
-    std::map<std::uint32_t, GradientUploadMsg> slots;
-    collect_uploads(r, slots,
-                    std::chrono::steady_clock::now() + config_.timeouts.phase);
-    if (leave_received_ || stop_.load(std::memory_order_relaxed)) return;
+  }
+
+  SliceAggregateMsg out;
+  out.round = r;
+  out.server_index = j;
+  out.offset = engine_->plan().offset(j);
+  if (complete) {
+    // Feed the engine exactly the lead's counted set; uploads this
+    // replica received beyond it are discarded, workers not listed become
+    // absent (uncertain) — byte-identical inputs to the lead's.
+    auto& slots = pending_uploads_[r];
     std::vector<GradientUploadMsg> msgs;
-    msgs.reserve(slots.size());
-    for (auto& [worker, msg] : slots) msgs.push_back(std::move(msg));
+    msgs.reserve(summary.counted.size());
+    for (std::uint32_t w : summary.counted) msgs.push_back(std::move(slots[w]));
     const std::vector<fl::Upload> uploads =
         canonicalize_uploads(msgs, topology_.workers);
     const core::RoundReport report = engine_->process_round(uploads);
 
     // This replica's slice of the aggregated gradient — the paper's
     // polycentric server->lead traffic (Sec. 3.2).
-    const std::uint32_t j = config_.server_index;
     const std::span<const float> slice =
         engine_->plan().slice(report.global_gradient, j);
-    SliceAggregateMsg out;
-    out.round = r;
-    out.server_index = j;
-    out.offset = engine_->plan().offset(j);
+    out.complete = 1;
     out.values.assign(slice.begin(), slice.end());
-    endpoint_->send_msg(lead, MessageType::kSliceAggregate, out);
+  } else {
+    // A counted upload never reached this replica, so it cannot reproduce
+    // the lead's engine inputs. Its state is now permanently behind; it
+    // answers every future round instantly with an empty incomplete slice
+    // and lets the lead count the gap.
+    if (!diverged_) {
+      diverged_ = true;
+      util::log_warn() << "net: server " << endpoint_->address()
+                       << " lacks counted uploads for round " << r
+                       << ", replica diverged";
+    }
+    out.complete = 0;
   }
-
-  // Stay reachable until the lead says goodbye, so its final sends never
-  // hit a closed endpoint.
-  while (!leave_received_ && !stop_.load(std::memory_order_relaxed)) {
-    auto env = endpoint_->recv(config_.timeouts.phase);
-    if (!env) break;
-    handle_control(*env);
+  try {
+    endpoint_->send_msg(lead, MessageType::kSliceAggregate, out);
+  } catch (const std::exception& e) {
+    util::log_warn() << "net: server " << endpoint_->address()
+                     << " failed to send slice for round " << r << ": "
+                     << e.what();
   }
 }
 
@@ -360,19 +587,43 @@ void ServerNode::run_lead() {
   obs::RoundTraceRecorder* recorder =
       trace_recorder_ ? trace_recorder_ : &obs::RoundTraceRecorder::global();
 
+  auto& metrics = NetMetrics::global();
+  const std::size_t quorum_min = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(config_.quorum.min_fraction *
+                                            topology_.workers)));
+
   for (std::uint64_t r = 0; r < config_.rounds; ++r) {
     if (stop_.load(std::memory_order_relaxed)) return;
     const CounterSnapshot net_before = CounterSnapshot::take();
     const auto train_start = std::chrono::steady_clock::now();
 
-    // Broadcast θ_t.
+    // Re-home workers that spoke again after being declared dead: they
+    // rejoin the roster exactly at a broadcast, so they catch up from the
+    // current θ and never land mid-round without a model.
+    for (NodeKey worker : revive_pending_) {
+      if (dead_workers_.erase(worker) != 0) {
+        util::log_info() << "net: worker " << worker << " rejoined for round "
+                         << r;
+      }
+    }
+    revive_pending_.clear();
+
+    // Broadcast θ_t to the live roster; every live worker's liveness
+    // window restarts here so a long collect cannot starve it.
     ModelBroadcastMsg broadcast;
     broadcast.round = r;
     broadcast.checkpoint =
         nn::checkpoint_bytes(*global_model_, "round-" + std::to_string(r));
     for (std::uint32_t i = 0; i < topology_.workers; ++i) {
-      endpoint_->send_msg(topology_.worker_key(i),
-                          MessageType::kModelBroadcast, broadcast);
+      if (dead_workers_.count(i) != 0) continue;
+      last_seen_[i] = train_start;
+      try {
+        endpoint_->send_msg(topology_.worker_key(i),
+                            MessageType::kModelBroadcast, broadcast);
+      } catch (const std::exception& e) {
+        util::log_warn() << "net: broadcast to worker " << i
+                         << " failed: " << e.what();
+      }
     }
 
     // Collect uploads (the networked analogue of local_train + channel).
@@ -381,6 +632,40 @@ void ServerNode::run_lead() {
                     std::chrono::steady_clock::now() + config_.timeouts.phase);
     if (stop_.load(std::memory_order_relaxed)) return;
     const double collect_ms = elapsed_ms(train_start);
+
+    // Quorum gate: proceed on a partial roster, abort below the floor.
+    const std::size_t counted = slots.size();
+    const std::size_t live =
+        topology_.workers - std::min<std::size_t>(dead_workers_.size(),
+                                                  topology_.workers);
+    if (counted < quorum_min) {
+      throw std::runtime_error(
+          "lead: round " + std::to_string(r) + " below quorum (" +
+          std::to_string(counted) + " of " + std::to_string(topology_.workers) +
+          " uploads, quorum " + std::to_string(quorum_min) + ")");
+    }
+    if (counted < topology_.workers) {
+      metrics.rounds_degraded->inc();
+      util::log_warn() << "net: round " << r << " degraded: " << counted
+                       << " of " << topology_.workers << " uploads counted";
+    }
+
+    // Publish the counted set so every follower replica feeds its engine
+    // the same inputs this one is about to see.
+    RoundSummaryMsg summary;
+    summary.round = r;
+    summary.degraded = counted < topology_.workers ? 1 : 0;
+    summary.counted.reserve(counted);
+    for (const auto& [worker, msg] : slots) summary.counted.push_back(worker);
+    for (std::uint32_t j = 1; j < topology_.servers; ++j) {
+      try {
+        endpoint_->send_msg(topology_.server_key(j), MessageType::kRoundSummary,
+                            summary);
+      } catch (const std::exception& e) {
+        util::log_warn() << "net: summary to server " << j
+                         << " failed: " << e.what();
+      }
+    }
 
     std::vector<GradientUploadMsg> msgs;
     msgs.reserve(slots.size());
@@ -391,30 +676,43 @@ void ServerNode::run_lead() {
     // Full pipeline on the lead's replica.
     const core::RoundReport report = engine_->process_round(uploads);
 
-    // Gather the follower slices and check them bitwise against this
-    // replica's result: any divergence means the deterministic-replica
-    // invariant broke, which would silently fork the federation.
+    // Gather the follower slices and check every complete one bitwise
+    // against this replica's result: divergence on a complete slice means
+    // the deterministic-replica invariant broke, which would silently
+    // fork the federation. A missing or incomplete slice is a tolerated
+    // crash-fault gap (net.slice_gaps), not divergence.
     const auto slice_deadline =
         std::chrono::steady_clock::now() + config_.timeouts.phase;
     while (pending_slices_[r].size() + 1 < topology_.servers &&
            !stop_.load(std::memory_order_relaxed)) {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
           slice_deadline - std::chrono::steady_clock::now());
-      if (left.count() <= 0) {
-        throw std::runtime_error("lead: timed out waiting for slices of round " +
-                                 std::to_string(r));
-      }
+      if (left.count() <= 0) break;
       auto env = endpoint_->recv(left);
       if (!env) continue;
       if (env->type == MessageType::kGradientUpload) {
-        auto msg = decode_payload<GradientUploadMsg>(env->payload);
-        if (msg.round > r) pending_uploads_[msg.round][msg.worker] = std::move(msg);
+        lead_handle_upload(decode_payload<GradientUploadMsg>(env->payload), r,
+                           nullptr);
       } else {
         handle_control(*env);
       }
     }
     for (std::uint32_t j = 1; j < topology_.servers; ++j) {
-      const SliceAggregateMsg& slice = pending_slices_[r].at(j);
+      const auto slice_it = pending_slices_[r].find(j);
+      if (slice_it == pending_slices_[r].end()) {
+        metrics.slice_gaps->inc();
+        util::log_warn() << "net: no slice from server " << j << " for round "
+                         << r;
+        continue;
+      }
+      const SliceAggregateMsg& slice = slice_it->second;
+      if (slice.complete == 0) {
+        metrics.slice_gaps->inc();
+        util::log_warn() << "net: server " << j
+                         << " could not reproduce round " << r
+                         << " (incomplete slice)";
+        continue;
+      }
       const std::span<const float> own =
           engine_->plan().slice(report.global_gradient, j);
       if (slice.offset != engine_->plan().offset(j) ||
@@ -453,8 +751,14 @@ void ServerNode::run_lead() {
     }
     assessment.records = engine_->ledger().query(std::nullopt, r, std::nullopt);
     for (std::uint32_t i = 0; i < topology_.workers; ++i) {
-      endpoint_->send_msg(topology_.worker_key(i),
-                          MessageType::kAssessmentResult, assessment);
+      if (dead_workers_.count(i) != 0) continue;
+      try {
+        endpoint_->send_msg(topology_.worker_key(i),
+                            MessageType::kAssessmentResult, assessment);
+      } catch (const std::exception& e) {
+        util::log_warn() << "net: assessment to worker " << i
+                         << " failed: " << e.what();
+      }
     }
 
     // Round bookkeeping: result row, trace, callback.
@@ -465,6 +769,12 @@ void ServerNode::run_lead() {
     result.fairness = report.fairness;
     result.reputations = report.reputations;
     result.rewards = report.rewards;
+    result.counted = counted;
+    result.live_workers = live;
+    result.arrived.reserve(uploads.size());
+    for (const fl::Upload& u : uploads) {
+      result.arrived.push_back(u.arrived ? 1 : 0);
+    }
     core::RoundRecord record;
     core::summarize_report(report, uploads, record);
     result.accepted = record.accepted;
@@ -490,8 +800,9 @@ void ServerNode::run_lead() {
     results_.push_back(std::move(result));
   }
 
-  // Dissolve the federation.
+  // Dissolve the federation (dead workers already exited on their own).
   for (std::uint32_t i = 0; i < topology_.workers; ++i) {
+    if (dead_workers_.count(i) != 0) continue;
     try {
       endpoint_->send_msg(topology_.worker_key(i), MessageType::kLeave,
                           LeaveMsg{endpoint_->address(), "training complete"});

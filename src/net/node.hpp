@@ -20,6 +20,25 @@
 // independent of message arrival order by construction. Each phase waits
 // under a timeout; workers that miss it become "uncertain events",
 // exactly like channel losses in the simulator.
+//
+// Crash-fault tolerance (quorum rounds):
+//   - Workers heartbeat the lead every NodeTimeouts::heartbeat; a worker
+//     silent for NodeTimeouts::liveness is declared dead (net.dropped_
+//     workers), removed from the roster, and skipped until it speaks
+//     again — a returning worker is re-homed at the next ModelBroadcast
+//     (net.worker_rejoins) and catches up from the current θ.
+//   - After the phase deadline the lead proceeds if at least
+//     ceil(quorum.min_fraction · N) uploads were counted; missing workers
+//     become uncertain events and the round counts into
+//     net.rounds_degraded. Below quorum the run aborts.
+//   - The lead publishes the counted worker set (RoundSummary) to every
+//     follower, which feeds its engine exactly that set — so the
+//     deterministic replicas stay bit-identical across partial rounds. A
+//     follower that cannot reproduce the set (a counted upload never
+//     reached it) answers with an incomplete slice and stops processing;
+//     the lead tolerates the gap (net.slice_gaps) instead of treating it
+//     as divergence. Bitwise slice verification still applies to every
+//     complete slice.
 #pragma once
 
 #include <atomic>
@@ -28,6 +47,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/fifl.hpp"
@@ -59,6 +79,19 @@ std::vector<fl::Upload> canonicalize_uploads(
 struct NodeTimeouts {
   std::chrono::milliseconds join{10000};
   std::chrono::milliseconds phase{10000};
+  /// Interval between worker -> lead liveness heartbeats.
+  std::chrono::milliseconds heartbeat{500};
+  /// Silence after which the lead declares a worker dead. Must comfortably
+  /// exceed `heartbeat` plus the longest local-training stretch (workers
+  /// do not heartbeat while inside make_upload).
+  std::chrono::milliseconds liveness{2500};
+};
+
+/// Quorum policy for lead rounds (see the header comment).
+struct QuorumConfig {
+  /// Fraction of the worker roster whose uploads must be counted for the
+  /// round to proceed; ceil(min_fraction * workers), at least 1.
+  double min_fraction = 0.5;
 };
 
 /// Per-round outcome collected by the lead server.
@@ -72,6 +105,12 @@ struct NetRoundResult {
   double fairness = 0.0;
   std::vector<double> reputations;
   std::vector<double> rewards;
+  /// Uploads counted toward this round (== workers on a full round).
+  std::size_t counted = 0;
+  /// Roster size after liveness pruning, when the round closed.
+  std::size_t live_workers = 0;
+  /// Per-worker upload arrival this round (absent => uncertain event).
+  std::vector<std::uint8_t> arrived;
 };
 
 /// sha256 hex digest of a flat parameter vector (the equivalence
@@ -113,6 +152,7 @@ struct ServerNodeConfig {
   std::size_t rounds = 0;          // lead only: rounds to drive
   double global_learning_rate = 0.05;
   NodeTimeouts timeouts;
+  QuorumConfig quorum;
 };
 
 class ServerNode {
@@ -147,12 +187,20 @@ class ServerNode {
  private:
   void run_lead();
   void run_follower();
-  /// Waits until `slots` has an entry for every worker or the deadline
-  /// passes, echoing heartbeats and buffering slice messages meanwhile.
+  /// Lead: waits until every live worker has a slot or the deadline
+  /// passes, echoing heartbeats, buffering slices, and pruning the roster
+  /// through the liveness window meanwhile.
   void collect_uploads(std::uint64_t round,
                        std::map<std::uint32_t, GradientUploadMsg>& slots,
                        std::chrono::steady_clock::time_point deadline);
+  /// Lead: routes one inbound upload — slot / buffer-ahead / late / from a
+  /// dead worker. `slots` is null outside the collect window.
+  void lead_handle_upload(GradientUploadMsg msg, std::uint64_t round,
+                          std::map<std::uint32_t, GradientUploadMsg>* slots);
+  /// Follower: runs (or refuses) one round against the lead's counted set.
+  void process_summary(const RoundSummaryMsg& summary);
   void handle_control(const Envelope& envelope);
+  void note_worker_traffic(NodeKey from);
 
   ServerNodeConfig config_;
   std::unique_ptr<core::FiflEngine> engine_;
@@ -173,6 +221,16 @@ class ServerNode {
       pending_slices_;
   std::size_t joined_workers_ = 0;
   std::size_t joined_servers_ = 0;
+  /// Lead only: liveness bookkeeping (last traffic per worker, workers
+  /// declared dead, dead workers that spoke again and re-home at the next
+  /// broadcast).
+  std::map<NodeKey, std::chrono::steady_clock::time_point> last_seen_;
+  std::set<NodeKey> dead_workers_;
+  std::set<NodeKey> revive_pending_;
+  /// Follower only: lead summaries not yet processed, and whether this
+  /// replica has permanently lost sync with the lead's counted sequence.
+  std::map<std::uint64_t, RoundSummaryMsg> pending_summaries_;
+  bool diverged_ = false;
 };
 
 }  // namespace fifl::net

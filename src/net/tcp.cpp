@@ -166,20 +166,35 @@ void TcpEndpoint::send(NodeKey to, MessageType type,
     if (!slot) slot = std::make_unique<PeerConn>();
     peer = slot.get();
   }
-  std::lock_guard lock(peer->mutex);
-  if (peer->fd < 0) {
-    peer->fd = connect_to(transport_->lookup(to));
-  }
-  try {
-    send_all(peer->fd, wire.data(), wire.size());
-  } catch (const std::exception&) {
-    // One reconnect attempt: the peer may have dropped the connection
-    // after an idle period or a decode error on an earlier stream.
-    ::close(peer->fd);
-    peer->fd = connect_to(transport_->lookup(to));
-    send_all(peer->fd, wire.data(), wire.size());
-  }
+  const TcpRetryPolicy retry = transport_->retry_policy();
   auto& metrics = NetMetrics::global();
+  std::lock_guard lock(peer->mutex);
+  // Bounded exponential backoff: a peer may have dropped the connection
+  // after an idle period, a decode error on an earlier stream, or a
+  // restart mid-round. Holding the peer mutex across the sleep is fine —
+  // it only stalls other senders to the same unreachable peer.
+  std::chrono::milliseconds delay = retry.base_delay;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      if (peer->fd < 0) {
+        peer->fd = connect_to(transport_->lookup(to));
+      }
+      send_all(peer->fd, wire.data(), wire.size());
+      break;
+    } catch (const std::exception&) {
+      if (peer->fd >= 0) {
+        ::close(peer->fd);
+        peer->fd = -1;
+      }
+      if (attempt >= retry.max_attempts || closing_.load()) {
+        metrics.send_failures->inc();
+        throw;
+      }
+      metrics.send_retries->inc();
+      std::this_thread::sleep_for(delay);
+      delay *= 2;
+    }
+  }
   metrics.bytes_tx->inc(wire.size());
   metrics.msgs_tx->inc();
 }

@@ -25,9 +25,22 @@ namespace fifl::net {
 
 class TcpEndpoint;
 
+/// Bounded exponential backoff for TcpEndpoint::send: attempt k (1-based)
+/// reconnects and retries after base_delay * 2^(k-1). Delays carry no
+/// jitter on purpose — retry timing stays deterministic for tests. Each
+/// retry counts into net.send_retries; exhausting the budget counts into
+/// net.send_failures and rethrows.
+struct TcpRetryPolicy {
+  int max_attempts = 4;
+  std::chrono::milliseconds base_delay{10};
+};
+
 class TcpTransport : public Transport {
  public:
   TcpTransport() = default;
+
+  void set_retry_policy(TcpRetryPolicy policy) noexcept { retry_ = policy; }
+  TcpRetryPolicy retry_policy() const noexcept { return retry_; }
 
   /// Binds 127.0.0.1:<ephemeral> for `address` and starts its accept
   /// thread.
@@ -42,6 +55,7 @@ class TcpTransport : public Transport {
 
   mutable std::mutex mutex_;
   std::map<NodeKey, std::uint16_t> ports_;
+  TcpRetryPolicy retry_;
 };
 
 class TcpEndpoint : public Endpoint {

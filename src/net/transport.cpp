@@ -15,7 +15,16 @@ NetMetrics& NetMetrics::global() {
                       &reg.counter("net.msgs_tx"),
                       &reg.counter("net.msgs_rx"),
                       &reg.counter("net.frame_errors"),
-                      &reg.histogram("net.rtt_ms")};
+                      &reg.histogram("net.rtt_ms"),
+                      &reg.counter("net.send_retries"),
+                      &reg.counter("net.send_failures"),
+                      &reg.counter("net.late_uploads"),
+                      &reg.counter("net.dead_uploads"),
+                      &reg.counter("net.dropped_workers"),
+                      &reg.counter("net.worker_rejoins"),
+                      &reg.counter("net.rounds_degraded"),
+                      &reg.counter("net.slice_gaps"),
+                      &reg.counter("net.faults_injected")};
   }();
   return metrics;
 }

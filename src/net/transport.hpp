@@ -74,8 +74,8 @@ class Transport {
   virtual std::unique_ptr<Endpoint> open(NodeKey address) = 0;
 };
 
-/// Counter/histogram handles shared by transport implementations; resolved
-/// once against the global registry.
+/// Counter/histogram handles shared by transport implementations and the
+/// node event loops; resolved once against the global registry.
 struct NetMetrics {
   obs::Counter* bytes_tx;
   obs::Counter* bytes_rx;
@@ -83,6 +83,16 @@ struct NetMetrics {
   obs::Counter* msgs_rx;
   obs::Counter* frame_errors;
   obs::Histogram* rtt_ms;
+  // Fault-tolerance / degradation counters.
+  obs::Counter* send_retries;     // TCP sends that needed a backoff retry
+  obs::Counter* send_failures;    // sends abandoned after the retry budget
+  obs::Counter* late_uploads;     // uploads that arrived after their round
+  obs::Counter* dead_uploads;     // uploads rejected from dead workers
+  obs::Counter* dropped_workers;  // workers declared dead by liveness
+  obs::Counter* worker_rejoins;   // dead workers that came back
+  obs::Counter* rounds_degraded;  // lead rounds that ran below full roster
+  obs::Counter* slice_gaps;       // follower slices missing or incomplete
+  obs::Counter* faults_injected;  // FaultyTransport events (tests/chaos)
 
   static NetMetrics& global();
 };

@@ -37,6 +37,9 @@ std::string RoundTrace::to_jsonl() const {
     w.key("msgs_tx").value(net.msgs_tx);
     w.key("msgs_rx").value(net.msgs_rx);
     w.key("frame_errors").value(net.frame_errors);
+    w.key("late_uploads").value(net.late_uploads);
+    w.key("send_retries").value(net.send_retries);
+    w.key("dropped_workers").value(net.dropped_workers);
     w.end_object();
   }
   w.key("workers").begin_array();
@@ -83,6 +86,16 @@ RoundTrace RoundTrace::from_jsonl(std::string_view line) {
     t.net.msgs_rx = static_cast<std::uint64_t>(net->at("msgs_rx").as_number());
     t.net.frame_errors =
         static_cast<std::uint64_t>(net->at("frame_errors").as_number());
+    // Newer degradation fields: tolerate traces from builds without them.
+    if (const JsonValue* v2 = net->find("late_uploads")) {
+      t.net.late_uploads = static_cast<std::uint64_t>(v2->as_number());
+    }
+    if (const JsonValue* v2 = net->find("send_retries")) {
+      t.net.send_retries = static_cast<std::uint64_t>(v2->as_number());
+    }
+    if (const JsonValue* v2 = net->find("dropped_workers")) {
+      t.net.dropped_workers = static_cast<std::uint64_t>(v2->as_number());
+    }
   }
   const JsonValue& workers = v.at("workers");
   if (workers.kind != JsonValue::Kind::kArray) {

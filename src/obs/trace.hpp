@@ -67,6 +67,11 @@ struct RoundTrace {
     std::uint64_t msgs_tx = 0;
     std::uint64_t msgs_rx = 0;
     std::uint64_t frame_errors = 0;
+    // Degradation deltas (absent in traces from older builds; decode
+    // treats them as 0).
+    std::uint64_t late_uploads = 0;
+    std::uint64_t send_retries = 0;
+    std::uint64_t dropped_workers = 0;
   } net;
   bool has_net = false;
 

@@ -1,0 +1,282 @@
+// Chaos soak: the full M=2/N=8 cluster run under a seeded fault schedule
+// (delays, duplicated slices, a broadcast partition, a mid-run worker
+// crash) must still complete — degraded rounds proceed on the quorum —
+// and must replay *bit for bit* against the in-process Simulator driven
+// by the participation masks the schedule implies. Absent workers decay
+// exactly per the subjective-logic model, which a fresh ReputationModule
+// fed the reference event stream re-derives independently.
+//
+// A second test pins the other direction of the contract: wrapping the
+// loopback transport in a FaultyTransport with an *empty* schedule must
+// not perturb the run at all — the no-fault path stays bit-for-bit
+// equivalent to the bare-transport keystone.
+#include <gtest/gtest.h>
+
+#include "core/fifl.hpp"
+#include "core/reputation.hpp"
+#include "data/synthetic.hpp"
+#include "fl/simulator.hpp"
+#include "net/cluster.hpp"
+#include "net/fault.hpp"
+#include "nn/models.hpp"
+
+namespace fifl::net {
+namespace {
+
+constexpr std::size_t kWorkers = 8;
+constexpr std::size_t kServers = 2;
+constexpr std::size_t kRounds = 6;
+constexpr std::uint64_t kSeed = 42;
+constexpr NodeKey kLeadKey = kWorkers;          // server 0
+constexpr NodeKey kFollowerKey = kWorkers + 1;  // server 1
+
+fl::ModelFactory mlp_factory() {
+  return [](util::Rng& rng) {
+    auto model = std::make_unique<nn::Sequential>();
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(64, 16, rng);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::Linear>(16, 10, rng);
+    return model;
+  };
+}
+
+data::TrainTestSplit make_split() {
+  auto spec = data::mnist_like(kWorkers * 120, 21);
+  spec.image_size = 8;
+  spec.noise = 0.5;
+  return data::make_synthetic_split(spec, 200);
+}
+
+std::vector<fl::BehaviourPtr> mixed_behaviours() {
+  std::vector<fl::BehaviourPtr> b;
+  for (int i = 0; i < 6; ++i) {
+    b.push_back(std::make_unique<fl::HonestBehaviour>());
+  }
+  b.push_back(std::make_unique<fl::SignFlipBehaviour>(6.0));
+  b.push_back(std::make_unique<fl::SignFlipBehaviour>(10.0));
+  return b;
+}
+
+std::vector<fl::WorkerSetup> make_setups(const data::TrainTestSplit& split) {
+  util::Rng rng(3);
+  return fl::make_worker_setups(split.train, mixed_behaviours(), rng);
+}
+
+fl::SimulatorConfig sim_config() {
+  fl::SimulatorConfig cfg;
+  cfg.seed = kSeed;
+  cfg.batch_size = 64;
+  return cfg;
+}
+
+core::FiflConfig fifl_config() {
+  core::FiflConfig cfg;
+  cfg.servers = kServers;
+  // Windowed SLM (no time decay): uncertain events from absent workers
+  // move R_i immediately, so the decay under faults is observable and
+  // exactly reproducible from the event counts alone.
+  cfg.reputation.time_decay = false;
+  return cfg;
+}
+
+struct ReferenceRound {
+  std::string model_hash;
+  std::vector<double> reputations;
+  std::vector<double> rewards;
+  std::vector<int> accepted;
+  std::vector<int> uncertain;
+};
+
+/// Ground truth for a faulted run: the Simulator's partial-participation
+/// path, where workers absent in round r skip training (their local RNG
+/// does not advance) and enter the engine as non-arrived uploads — the
+/// exact state a partitioned or crashed WorkerNode is in.
+std::vector<ReferenceRound> reference_run(
+    const std::vector<std::vector<int>>& masks) {
+  const auto split = make_split();
+  fl::Simulator sim(sim_config(), mlp_factory(), make_setups(split),
+                    split.test);
+  core::FiflEngine engine(fifl_config(), sim.worker_count(),
+                          sim.parameter_count());
+  std::vector<ReferenceRound> rounds;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    const auto uploads = sim.collect_uploads(masks[r]);
+    const auto report = engine.process_round(uploads);
+    sim.apply_round(uploads, report.detection.accepted);
+    ReferenceRound ref;
+    ref.model_hash = parameter_hash(sim.global_model().flatten_parameters());
+    ref.reputations = report.reputations;
+    ref.rewards = report.rewards;
+    ref.accepted.assign(report.detection.accepted.begin(),
+                        report.detection.accepted.end());
+    ref.uncertain.assign(report.detection.uncertain.begin(),
+                         report.detection.uncertain.end());
+    rounds.push_back(std::move(ref));
+  }
+  return rounds;
+}
+
+std::vector<std::vector<int>> all_present_masks() {
+  return std::vector<std::vector<int>>(kRounds,
+                                       std::vector<int>(kWorkers, 1));
+}
+
+ClusterConfig cluster_config(std::shared_ptr<Transport> transport) {
+  ClusterConfig cfg;
+  cfg.sim = sim_config();
+  cfg.fifl = fifl_config();
+  cfg.rounds = kRounds;
+  cfg.timeouts.join = std::chrono::milliseconds(30000);
+  cfg.timeouts.phase = std::chrono::milliseconds(2500);
+  cfg.timeouts.heartbeat = std::chrono::milliseconds(150);
+  cfg.timeouts.liveness = std::chrono::milliseconds(1000);
+  cfg.quorum.min_fraction = 0.5;
+  cfg.transport_override = std::move(transport);
+  return cfg;
+}
+
+void expect_bitwise_equal(const std::vector<NetRoundResult>& net,
+                          const std::vector<ReferenceRound>& ref) {
+  ASSERT_EQ(net.size(), ref.size());
+  for (std::size_t r = 0; r < ref.size(); ++r) {
+    EXPECT_EQ(net[r].model_hash, ref[r].model_hash) << "round " << r;
+    EXPECT_EQ(net[r].reputations, ref[r].reputations) << "round " << r;
+    EXPECT_EQ(net[r].rewards, ref[r].rewards) << "round " << r;
+  }
+}
+
+TEST(ChaosSoak, EmptyScheduleReproducesSimulatorBitForBit) {
+  const auto reference = reference_run(all_present_masks());
+  auto faulty = std::make_shared<FaultyTransport>(
+      std::make_unique<LoopbackTransport>(), FaultSchedule{});
+
+  const auto split = make_split();
+  Cluster cluster(cluster_config(faulty), mlp_factory(), make_setups(split),
+                  split.test);
+  expect_bitwise_equal(cluster.run(), reference);
+  EXPECT_EQ(faulty->fault_count(), 0u);
+  for (const auto& row : cluster.lead().results()) {
+    EXPECT_EQ(row.counted, kWorkers);
+  }
+}
+
+TEST(ChaosSoak, SeededFaultScheduleDegradesButReplaysExactly) {
+  // The schedule, and the participation timeline it forces:
+  //  - lead->worker2 partitioned for rounds 1..3: worker 2 never sees
+  //    those broadcasts, so it is absent rounds 1-3 and returns in 4.
+  //  - worker 7 crashes after its 6th upload send (3 rounds x 2 servers):
+  //    present rounds 0-2, silent from round 3 on; the lead's liveness
+  //    scan declares it dead mid-round-3.
+  //  - every upload/slice into a server is delayed 2-20ms half the time,
+  //    and follower slices are randomly dropped or duplicated — none of
+  //    which may change any counted set: a lost slice is a tolerated gap
+  //    (the lead's own replica stays authoritative), not a lost round.
+  FaultSchedule schedule;
+  schedule.seed = 0xC0FFEE;
+  schedule.links.push_back(LinkFaults{.from = kFollowerKey,
+                                      .to = kLeadKey,
+                                      .drop_prob = 0.25,
+                                      .dup_prob = 0.8});
+  schedule.links.push_back(
+      LinkFaults{.from = kAnyNode,
+                 .to = kLeadKey,
+                 .delay_prob = 0.5,
+                 .delay_min = std::chrono::milliseconds(2),
+                 .delay_max = std::chrono::milliseconds(20)});
+  schedule.links.push_back(
+      LinkFaults{.from = kAnyNode,
+                 .to = kFollowerKey,
+                 .delay_prob = 0.5,
+                 .delay_min = std::chrono::milliseconds(2),
+                 .delay_max = std::chrono::milliseconds(20)});
+  schedule.partitions.push_back(
+      LinkPartition{.from = kLeadKey, .to = 2, .first_round = 1,
+                    .last_round = 3});
+  schedule.crashes.push_back(
+      NodeCrash{.node = 7, .after_uploads = 3 * kServers});
+
+  std::vector<std::vector<int>> masks = all_present_masks();
+  for (std::size_t r = 1; r <= 3; ++r) masks[r][2] = 0;
+  for (std::size_t r = 3; r < kRounds; ++r) masks[r][7] = 0;
+  const auto reference = reference_run(masks);
+
+  NetMetrics& m = NetMetrics::global();
+  const std::uint64_t degraded_before = m.rounds_degraded->value();
+  const std::uint64_t dropped_before = m.dropped_workers->value();
+  const std::uint64_t faults_before = m.faults_injected->value();
+
+  auto faulty = std::make_shared<FaultyTransport>(
+      std::make_unique<LoopbackTransport>(), schedule);
+  const auto split = make_split();
+  Cluster cluster(cluster_config(faulty), mlp_factory(), make_setups(split),
+                  split.test);
+  const auto& results = cluster.run();
+
+  // The counted sets must match the masks exactly — the faults landed
+  // where scripted and nowhere else.
+  ASSERT_EQ(results.size(), kRounds);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    std::size_t expect_counted = 0;
+    std::vector<std::uint8_t> expect_arrived;
+    for (std::size_t i = 0; i < kWorkers; ++i) {
+      expect_counted += static_cast<std::size_t>(masks[r][i]);
+      expect_arrived.push_back(static_cast<std::uint8_t>(masks[r][i]));
+    }
+    EXPECT_EQ(results[r].counted, expect_counted) << "round " << r;
+    EXPECT_EQ(results[r].arrived, expect_arrived) << "round " << r;
+  }
+
+  // Bit-for-bit replay against the masked Simulator run.
+  expect_bitwise_equal(results, reference);
+
+  // The degradation was real and was counted: five rounds short of the
+  // full roster, one worker declared dead, faults actually injected.
+  EXPECT_EQ(m.rounds_degraded->value() - degraded_before, 5u);
+  EXPECT_EQ(m.dropped_workers->value() - dropped_before, 1u);
+  EXPECT_GT(m.faults_injected->value() - faults_before, 0u);
+
+  // Every scripted fault kind shows up in the deterministic log.
+  const auto log = faulty->fault_log();
+  auto saw = [&log](FaultKind kind) {
+    for (const auto& e : log) {
+      if (e.kind == kind) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(saw(FaultKind::kDrop));
+  EXPECT_TRUE(saw(FaultKind::kDelay));
+  EXPECT_TRUE(saw(FaultKind::kDuplicate));
+  EXPECT_TRUE(saw(FaultKind::kPartition));
+  EXPECT_TRUE(saw(FaultKind::kCrash));
+
+  // Absence decays reputation: worker 2 (honest) sat out rounds 1-3 as
+  // uncertain events, so its R at round 3 sits strictly below round 0.
+  EXPECT_LT(results[3].reputations[2], results[0].reputations[2]);
+  // Worker 7 accrues uncertain events after its crash in round 3 — its
+  // SLM uncertainty mass must grow while it is dead.
+  EXPECT_NE(results[5].reputations[7], results[2].reputations[7]);
+
+  // The decay is *exactly* subjective-logic: a fresh ReputationModule fed
+  // the reference event stream re-derives every published R_i.
+  core::ReputationModule slm(fifl_config().reputation);
+  slm.resize(kWorkers);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    for (std::size_t i = 0; i < kWorkers; ++i) {
+      const auto id = static_cast<chain::NodeId>(i);
+      if (reference[r].uncertain[i]) {
+        slm.record(id, core::Event::kUncertain);
+      } else if (reference[r].accepted[i]) {
+        slm.record(id, core::Event::kPositive);
+      } else {
+        slm.record(id, core::Event::kNegative);
+      }
+    }
+    auto derived = slm.all_reputations();
+    derived.resize(kWorkers);
+    EXPECT_EQ(derived, results[r].reputations) << "round " << r;
+  }
+}
+
+}  // namespace
+}  // namespace fifl::net

@@ -124,8 +124,46 @@ TEST(Messages, SliceAggregateRoundTrip) {
   EXPECT_EQ(back.round, 7u);
   EXPECT_EQ(back.server_index, 1u);
   EXPECT_EQ(back.offset, 605u);
+  EXPECT_EQ(back.complete, 1u);  // default: the replica reproduced the round
   EXPECT_EQ(back.values, msg.values);
   expect_all_truncations_throw(msg);
+}
+
+TEST(Messages, SliceAggregateCarriesIncompleteFlag) {
+  SliceAggregateMsg msg;
+  msg.round = 3;
+  msg.server_index = 2;
+  msg.offset = 40;
+  msg.complete = 0;  // replica could not reproduce the counted set
+  const auto back = decode_payload<SliceAggregateMsg>(encode_payload(msg));
+  EXPECT_EQ(back.complete, 0u);
+  EXPECT_TRUE(back.values.empty());
+}
+
+TEST(Messages, RoundSummaryRoundTrip) {
+  RoundSummaryMsg msg;
+  msg.round = 12;
+  msg.degraded = 1;
+  msg.counted = {0, 2, 3, 7};
+  const auto back = decode_payload<RoundSummaryMsg>(encode_payload(msg));
+  EXPECT_EQ(back.round, 12u);
+  EXPECT_EQ(back.degraded, 1u);
+  EXPECT_EQ(back.counted, msg.counted);
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, RoundSummaryCountGuardRejectsHugeClaims) {
+  RoundSummaryMsg msg;
+  msg.round = 1;
+  msg.counted = {4, 5};
+  auto payload = encode_payload(msg);
+  // Rewrite the count (bytes 9..16, after round + degraded flag) to claim
+  // far more entries than the payload carries.
+  payload[9] = 0xff;
+  payload[10] = 0xff;
+  EXPECT_THROW(decode_payload<RoundSummaryMsg>(payload),
+               util::SerializeError);
 }
 
 AssessmentResultMsg sample_assessment() {

@@ -145,5 +145,65 @@ TEST(TcpTransport, GarbageStreamCountsFrameErrorsAndKeepsEndpointAlive) {
   b->close();
 }
 
+TEST(TcpTransport, SendRetriesWithBackoffThenFails) {
+  TcpTransport transport;
+  transport.set_retry_policy(
+      TcpRetryPolicy{.max_attempts = 3,
+                     .base_delay = std::chrono::milliseconds(5)});
+  auto a = transport.open(1);
+  auto b = transport.open(2);
+
+  // Warm the connection, then kill the peer: every reconnect now fails,
+  // so the send must burn its whole retry budget and then throw.
+  a->send_msg(2, MessageType::kHeartbeat, HeartbeatMsg{1, 1, 0});
+  ASSERT_TRUE(b->recv(std::chrono::milliseconds(5000)).has_value());
+  b->close();
+
+  const std::uint64_t retries_before =
+      NetMetrics::global().send_retries->value();
+  const std::uint64_t failures_before =
+      NetMetrics::global().send_failures->value();
+  // The first write after the peer died can still land in the kernel
+  // buffer; keep sending until the failure surfaces. Once it does, every
+  // reconnect hits the closed listener, so the send burns its whole
+  // budget: attempts 1..3 => exactly 2 counted retries, then the throw.
+  bool threw = false;
+  for (int i = 0; i < 50 && !threw; ++i) {
+    try {
+      a->send_msg(2, MessageType::kHeartbeat,
+                  HeartbeatMsg{1, static_cast<std::uint64_t>(i + 2), 0});
+    } catch (const std::exception&) {
+      threw = true;
+    }
+    if (!threw) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(NetMetrics::global().send_retries->value() - retries_before, 2u);
+  EXPECT_EQ(NetMetrics::global().send_failures->value() - failures_before,
+            1u);
+  a->close();
+}
+
+TEST(TcpTransport, HealthyLinkNeverRetries) {
+  TcpTransport transport;
+  auto a = transport.open(1);
+  auto b = transport.open(2);
+
+  const std::uint64_t retries_before =
+      NetMetrics::global().send_retries->value();
+  for (int i = 0; i < 5; ++i) {
+    a->send_msg(2, MessageType::kHeartbeat,
+                HeartbeatMsg{1, static_cast<std::uint64_t>(i), 0});
+  }
+  int got = 0;
+  while (got < 5 && b->recv(std::chrono::milliseconds(2000)).has_value()) {
+    ++got;
+  }
+  EXPECT_EQ(got, 5);
+  EXPECT_EQ(NetMetrics::global().send_retries->value(), retries_before);
+  a->close();
+  b->close();
+}
+
 }  // namespace
 }  // namespace fifl::net
