@@ -1,44 +1,75 @@
 #!/usr/bin/env bash
-# Sanitizer lane for the fifl::net runtime: configures an out-of-tree
-# build with -fsanitize=<kind> (thread by default — the net stack is all
-# threads and condition variables), builds it, and runs the net-labelled
-# tests under it. Any data race / lock-order inversion TSan spots in the
-# quorum, liveness, or fault-injection paths fails the lane.
+# Sanitizer matrix for the fifl tree. Each lane configures an out-of-tree
+# build with -fsanitize=<kind> and runs the appropriate test selection:
 #
-# Usage: scripts/ci_sanitize.sh [sanitizer]
-#   sanitizer: thread (default) | address | undefined
-#   BUILD_DIR overrides the build tree (default: build-<sanitizer>).
+#   address    full ctest suite under ASan (heap/stack/UAF bugs anywhere)
+#   undefined  full ctest suite under UBSan (signed overflow, misaligned
+#              loads, invalid enum casts in the codec paths)
+#   thread     ctest -L net under TSan (the net stack is all threads and
+#              condition variables; single-threaded suites add nothing)
+#   matrix     all three lanes in sequence (address, undefined, thread)
 #
-# Also reachable as an opt-in build target: `cmake --build build
-# --target sanitize_net` shells out to this script.
+# Usage: scripts/ci_sanitize.sh [lane]
+#   lane: thread (default, backward compatible with the sanitize_net
+#         target) | address | undefined | matrix
+#   BUILD_DIR overrides the build tree (default: build-<lane>); ignored
+#   for matrix, which always uses build-<lane> per lane.
+#
+# Also reachable as build targets: `cmake --build build --target
+# sanitize_net` (thread lane) and `--target sanitize_all` (matrix).
 set -euo pipefail
 
-SANITIZER="${1:-thread}"
+LANE="${1:-thread}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${BUILD_DIR:-$ROOT/build-$SANITIZER}"
 
-case "$SANITIZER" in
-  thread|address|undefined) ;;
+run_lane() {
+  local sanitizer="$1"
+  local build_dir="${2:-$ROOT/build-$sanitizer}"
+
+  echo "== configure ($sanitizer sanitizer) -> $build_dir =="
+  # Bench/examples stay off: the full-suite lanes cover every gtest binary
+  # plus the lint gate, and sanitized google-benchmark links add minutes
+  # of build for no extra coverage.
+  cmake -B "$build_dir" -S "$ROOT" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFIFL_SANITIZE="$sanitizer" \
+    -DFIFL_BUILD_BENCH=OFF \
+    -DFIFL_BUILD_EXAMPLES=OFF
+
+  echo "== build ($sanitizer) =="
+  cmake --build "$build_dir" -j "$(nproc)"
+
+  # Sanitized event loops run several times slower than native; scale the
+  # per-test timeouts up rather than loosening them for everyone.
+  case "$sanitizer" in
+    thread)
+      echo "== ctest -L net (thread) =="
+      ctest --test-dir "$build_dir" -L net --output-on-failure \
+        --timeout 1200 -j 2
+      ;;
+    address|undefined)
+      echo "== full ctest ($sanitizer) =="
+      ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1" \
+        UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+        ctest --test-dir "$build_dir" --output-on-failure \
+        --timeout 1200 -j "$(nproc)"
+      ;;
+  esac
+  echo "ci_sanitize: OK ($sanitizer)"
+}
+
+case "$LANE" in
+  thread|address|undefined)
+    run_lane "$LANE" "${BUILD_DIR:-$ROOT/build-$LANE}"
+    ;;
+  matrix)
+    for sanitizer in address undefined thread; do
+      run_lane "$sanitizer"
+    done
+    echo "ci_sanitize: OK (matrix)"
+    ;;
   *)
-    echo "ci_sanitize: unknown sanitizer '$SANITIZER'" >&2
+    echo "ci_sanitize: unknown lane '$LANE' (want thread|address|undefined|matrix)" >&2
     exit 2
     ;;
 esac
-
-echo "== configure ($SANITIZER sanitizer) -> $BUILD_DIR =="
-cmake -B "$BUILD_DIR" -S "$ROOT" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DFIFL_SANITIZE="$SANITIZER" \
-  -DFIFL_BUILD_BENCH=OFF \
-  -DFIFL_BUILD_EXAMPLES=OFF
-
-echo "== build =="
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-
-echo "== ctest -L net ($SANITIZER) =="
-# Sanitized event loops run several times slower than native; scale the
-# per-test timeouts up rather than loosening them for everyone.
-ctest --test-dir "$BUILD_DIR" -L net --output-on-failure \
-  --timeout 1200 -j 2
-
-echo "ci_sanitize: OK ($SANITIZER)"

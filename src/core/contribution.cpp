@@ -67,6 +67,7 @@ double ContributionModule::sliced_distance(const fl::Gradient& a,
     throw std::invalid_argument("sliced_distance: size mismatch");
   }
   double total = 0.0;
+  // order: server slice index ascending (identical on every replica)
   for (std::size_t j = 0; j < plan.servers(); ++j) {
     const auto sa = plan.slice(a, j);
     const auto sb = plan.slice(b, j);

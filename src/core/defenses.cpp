@@ -35,6 +35,7 @@ fl::Gradient FedAvgAggregator::aggregate(
   const auto arrived = arrived_uploads(uploads);
   fl::Gradient out(arrived.front()->gradient.size());
   double total = 0.0;
+  // order: worker upload index ascending (arrived_uploads preserves it)
   for (const fl::Upload* up : arrived) {
     total += static_cast<double>(up->samples);
   }
@@ -196,6 +197,7 @@ fl::Gradient FiflDetectionAggregator::aggregate(
 
   fl::Gradient out(dims);
   double total = 0.0;
+  // order: worker upload index ascending
   for (std::size_t i = 0; i < uploads.size(); ++i) {
     if (!uploads[i].arrived || !result.accepted[i]) continue;
     total += static_cast<double>(uploads[i].samples);
@@ -223,6 +225,7 @@ fl::Gradient NormClipAggregator::aggregate(
 
   fl::Gradient out(arrived.front()->gradient.size());
   double total = 0.0;
+  // order: worker upload index ascending (arrived_uploads preserves it)
   for (const fl::Upload* up : arrived) {
     total += static_cast<double>(up->samples);
   }

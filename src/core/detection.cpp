@@ -29,6 +29,7 @@ DetectionResult DetectionModule::run(
     if (benchmark[j].size() != plan.slice_size(j)) {
       throw std::invalid_argument("DetectionModule: benchmark slice size mismatch");
     }
+    // order: slice j then element index, both ascending
     for (float v : benchmark[j]) {
       bench_norm2 += static_cast<double>(v) * static_cast<double>(v);
     }
@@ -44,6 +45,7 @@ DetectionResult DetectionModule::run(
     }
     double raw = 0.0;
     bool finite = true;
+    // order: server slice j ascending, then element k ascending
     for (std::size_t j = 0; j < m; ++j) {
       const auto slice = plan.slice(uploads[i].gradient, j);
       double sj = 0.0;

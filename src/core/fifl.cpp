@@ -175,6 +175,7 @@ RoundReport FiflEngine::process_round(std::span<const fl::Upload> uploads) {
   obs::ScopedTimer aggregate_timer(*aggregate_hist_);
   report.global_gradient = fl::Gradient(plan_.gradient_size());
   double total_weight = 0.0;
+  // order: worker upload index ascending (fixed engine-input order)
   for (std::size_t i = 0; i < uploads.size(); ++i) {
     if (!uploads[i].arrived || !report.detection.accepted[i]) continue;
     total_weight += static_cast<double>(uploads[i].samples);

@@ -25,6 +25,7 @@ std::vector<double> IncentiveModule::rewards(
   std::vector<double> out(n, 0.0);
 
   double positive_total = 0.0;
+  // order: worker index ascending (contributions vector order)
   for (double c : contributions) {
     if (c > 0.0 && std::isfinite(c)) positive_total += c;
   }

@@ -9,21 +9,10 @@
 namespace fifl::fl {
 namespace {
 
-ModelFactory tiny_factory() {
-  return [](util::Rng& rng) { return nn::make_mlp(64, 8, 10, rng); };
-}
-
 data::Dataset tiny_shard(std::size_t n = 60, std::uint64_t seed = 42) {
   auto spec = data::mnist_like(n, seed);
   spec.image_size = 8;
   return data::make_synthetic(spec);
-}
-
-// The MLP consumes flattened images; reshape the shard accordingly.
-data::Dataset flat_shard(std::size_t n = 60, std::uint64_t seed = 42) {
-  data::Dataset ds = tiny_shard(n, seed);
-  ds.images.reshape({n, 64, 1, 1});
-  return ds;
 }
 
 WorkerConfig config(chain::NodeId id = 0, std::size_t k = 1) {

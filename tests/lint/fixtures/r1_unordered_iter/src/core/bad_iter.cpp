@@ -1,0 +1,21 @@
+// Fixture: violates exactly R1 (unordered-iter). Iterating an unordered
+// container feeds hash order into the serialized output.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<int> serialize_scores(
+    const std::unordered_map<int, int>& by_node) {
+  std::unordered_map<int, int> scores = by_node;
+  scores[42] = 1;  // lookup/insert is fine
+  std::vector<int> out;
+  for (const auto& [node, score] : scores) {  // iteration is not
+    out.push_back(node);
+    out.push_back(score);
+  }
+  return out;
+}
+
+}  // namespace fixture

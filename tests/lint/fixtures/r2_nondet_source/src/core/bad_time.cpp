@@ -1,0 +1,13 @@
+// Fixture: violates exactly R2 (nondet-source). Wall-clock time as a value
+// source inside engine code diverges replicas.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t make_round_nonce() {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(now.time_since_epoch().count());
+}
+
+}  // namespace fixture

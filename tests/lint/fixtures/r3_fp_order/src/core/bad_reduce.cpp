@@ -1,0 +1,16 @@
+// Fixture: violates exactly R3 (fp-order). Floating-point reduction inside
+// a loop with no `// order:` annotation naming the iteration-order
+// guarantee.
+#include <vector>
+
+namespace fixture {
+
+double total_reward(const std::vector<double>& rewards) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < rewards.size(); ++i) {
+    total += rewards[i];
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+#include "net/messages.hpp"
+
+namespace fixture::net {
+
+const char* message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kPing: return "ping";
+    case MessageType::kPong: return "pong";
+  }
+  return "?";
+}
+
+}  // namespace fixture::net

@@ -1,0 +1,16 @@
+// Fixture: violates exactly R4 (msgtype-coverage). kPong is handled by the
+// encode/decode switch but never exercised by the codec round-trip test.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture::net {
+
+enum class MessageType : std::uint8_t {
+  kPing = 1,
+  kPong = 2,
+};
+
+const char* message_type_name(MessageType type);
+
+}  // namespace fixture::net

@@ -1,0 +1,10 @@
+// Round-trip "test" that forgot MessageType::kPong — R4 must flag it.
+#include "net/messages.hpp"
+
+namespace fixture::net {
+
+bool ping_named() {
+  return message_type_name(MessageType::kPing) != nullptr;
+}
+
+}  // namespace fixture::net

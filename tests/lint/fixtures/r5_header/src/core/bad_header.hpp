@@ -1,0 +1,9 @@
+// Fixture: violates exactly R5 (header-hygiene). Uses std::vector without
+// including <vector>, so the generated one-include TU fails to compile.
+#pragma once
+
+namespace fixture {
+
+std::vector<int> missing_include();
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: a waiver with no `-- justification` is itself a finding
+// (waiver-justification) even though it suppresses the original rule.
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<int> keys(const std::unordered_map<int, int>& m) {
+  std::vector<int> out;
+  // fifl-lint: allow(unordered-iter)
+  for (const auto& [k, v] : m) {
+    out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture: every violation carries a justified waiver, so fifl-lint must
+// exit 0 and --list-waivers must surface all three.
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<int> dump_cache_stats(
+    const std::unordered_map<int, int>& cache) {
+  std::vector<int> out;
+  out.reserve(cache.size());
+  // fifl-lint: allow(unordered-iter) -- diagnostics only, bytes never leave
+  for (const auto& [k, v] : cache) {
+    out.push_back(k + v);
+  }
+  return out;
+}
+
+std::uint64_t log_timestamp() {
+  // fifl-lint: allow(nondet-source) -- log decoration, not engine state
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(now.time_since_epoch().count());
+}
+
+double debug_sum(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    total += xs[i];  // fifl-lint: allow(fp-order) -- debug print only
+  }
+  return total;
+}
+
+}  // namespace fixture

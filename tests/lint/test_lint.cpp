@@ -1,0 +1,165 @@
+// fifl-lint's own test bed: each fixture tree under tests/lint/fixtures/
+// violates exactly one rule (R1-R5); `waived/` carries justified waivers
+// for every violation and must lint clean; `unjustified/` shows that a
+// waiver without a justification is itself a finding. The real repo scan
+// (ctest `fifl_lint`) covers the exit-0-on-the-repo half.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+
+#ifndef FIFL_LINT_BIN
+#error "FIFL_LINT_BIN must point at the fifl-lint binary"
+#endif
+#ifndef FIFL_LINT_FIXTURES
+#error "FIFL_LINT_FIXTURES must point at tests/lint/fixtures"
+#endif
+#ifndef FIFL_LINT_CXX
+#error "FIFL_LINT_CXX must name the C++ compiler driver"
+#endif
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string cmd = std::string(FIFL_LINT_BIN) + " " + args + " 2>&1";
+  LintRun result;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (!pipe) return result;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+    result.output.append(buf, n);
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string("--root ") + FIFL_LINT_FIXTURES + "/" + name;
+}
+
+// Parse `file:line: rule-id: message` lines into rule-id multiset.
+std::multiset<std::string> rule_ids(const std::string& output) {
+  std::multiset<std::string> rules;
+  std::istringstream in(output);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Findings have at least three ": "-separated fields.
+    const std::size_t c1 = line.find(": ");
+    if (c1 == std::string::npos) continue;
+    const std::size_t c2 = line.find(": ", c1 + 2);
+    if (c2 == std::string::npos) continue;
+    const std::size_t colon_line = line.rfind(':', c1 - 1);
+    if (colon_line == std::string::npos) continue;  // not file:line:...
+    rules.insert(line.substr(c1 + 2, c2 - c1 - 2));
+  }
+  return rules;
+}
+
+TEST(FiflLint, R1UnorderedIterFires) {
+  const LintRun run = run_lint(fixture("r1_unordered_iter") + " --no-headers");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(rule_ids(run.output),
+            (std::multiset<std::string>{"unordered-iter"}))
+      << run.output;
+}
+
+TEST(FiflLint, R2NondetSourceFires) {
+  const LintRun run = run_lint(fixture("r2_nondet_source") + " --no-headers");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(rule_ids(run.output),
+            (std::multiset<std::string>{"nondet-source"}))
+      << run.output;
+}
+
+TEST(FiflLint, R3FpOrderFires) {
+  const LintRun run = run_lint(fixture("r3_fp_order") + " --no-headers");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(rule_ids(run.output), (std::multiset<std::string>{"fp-order"}))
+      << run.output;
+}
+
+TEST(FiflLint, R4MsgTypeCoverageFires) {
+  const LintRun run = run_lint(fixture("r4_msgtype") + " --no-headers");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(rule_ids(run.output),
+            (std::multiset<std::string>{"msgtype-coverage"}))
+      << run.output;
+  // The uncovered enumerator is named in the message.
+  EXPECT_NE(run.output.find("MessageType::kPong"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("MessageType::kPing does not appear"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(FiflLint, R5HeaderHygieneFires) {
+  const LintRun run =
+      run_lint(fixture("r5_header") + " --cxx " + FIFL_LINT_CXX);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(rule_ids(run.output),
+            (std::multiset<std::string>{"header-hygiene"}))
+      << run.output;
+  EXPECT_NE(run.output.find("bad_header.hpp"), std::string::npos)
+      << run.output;
+}
+
+TEST(FiflLint, JustifiedWaiversSuppressFindings) {
+  const LintRun run = run_lint(fixture("waived") + " --no-headers");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_TRUE(rule_ids(run.output).empty()) << run.output;
+  // The summary still reports the waived count.
+  EXPECT_NE(run.output.find("waived"), std::string::npos) << run.output;
+}
+
+TEST(FiflLint, ListWaiversAuditsAllWaivers) {
+  const LintRun run =
+      run_lint(fixture("waived") + " --no-headers --list-waivers");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("allow(unordered-iter)"), std::string::npos);
+  EXPECT_NE(run.output.find("allow(nondet-source)"), std::string::npos);
+  EXPECT_NE(run.output.find("allow(fp-order)"), std::string::npos);
+  EXPECT_NE(run.output.find("3 waiver(s)"), std::string::npos) << run.output;
+}
+
+TEST(FiflLint, UnjustifiedWaiverIsAFinding) {
+  const LintRun run = run_lint(fixture("unjustified") + " --no-headers");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(rule_ids(run.output),
+            (std::multiset<std::string>{"waiver-justification"}))
+      << run.output;
+}
+
+TEST(FiflLint, JsonReportCarriesFindings) {
+  const std::string json_path =
+      ::testing::TempDir() + "/fifl_lint_fixture_report.json";
+  const LintRun run = run_lint(fixture("r1_unordered_iter") +
+                               " --no-headers --json " + json_path);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  FILE* f = std::fopen(json_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string json;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) json.append(buf, n);
+  std::fclose(f);
+  std::remove(json_path.c_str());
+  EXPECT_NE(json.find("\"tool\":\"fifl-lint\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"active_findings\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"unordered-iter\":1"), std::string::npos) << json;
+}
+
+TEST(FiflLint, UnknownFlagExitsWithUsageError) {
+  const LintRun run = run_lint("--definitely-not-a-flag");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+}  // namespace

@@ -3,7 +3,11 @@
 // decode may accept trailing bytes.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "chain/signature.hpp"
+#include "net/frame.hpp"
 #include "net/messages.hpp"
 #include "util/rng.hpp"
 
@@ -230,6 +234,37 @@ TEST(Messages, DecodedRecordsStillVerify) {
   const auto back = decode_payload<AssessmentResultMsg>(encode_payload(msg));
   for (const chain::AuditRecord& rec : back.records) {
     EXPECT_TRUE(registry.verify(rec.signature, rec.canonical_payload()));
+  }
+}
+
+TEST(Messages, MessageTypeTableIsTotalAndDistinct) {
+  // Cross-checked by fifl-lint's msgtype-coverage rule (R4): every
+  // MessageType enumerator must be exercised here and in the messages.cpp
+  // encode/decode switches, so adding a message type without codec
+  // coverage fails lint before it can diverge replicas at runtime.
+  const std::pair<MessageType, const char*> table[] = {
+      {MessageType::kJoin, "join"},
+      {MessageType::kJoinAck, "join_ack"},
+      {MessageType::kLeave, "leave"},
+      {MessageType::kHeartbeat, "heartbeat"},
+      {MessageType::kModelBroadcast, "model_broadcast"},
+      {MessageType::kGradientUpload, "gradient_upload"},
+      {MessageType::kSliceAggregate, "slice_aggregate"},
+      {MessageType::kAssessmentResult, "assessment_result"},
+      {MessageType::kRoundSummary, "round_summary"},
+  };
+  std::set<std::uint8_t> tags;
+  for (const auto& [type, name] : table) {
+    EXPECT_STREQ(message_type_name(type), name);
+    EXPECT_TRUE(tags.insert(static_cast<std::uint8_t>(type)).second)
+        << name << " reuses another message's wire tag";
+    // Every tag must survive the frame header byte unchanged.
+    const auto bytes = encode_frame(static_cast<std::uint8_t>(type), 7, {});
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value()) << name;
+    EXPECT_EQ(frame->type, static_cast<std::uint8_t>(type)) << name;
   }
 }
 

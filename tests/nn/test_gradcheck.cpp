@@ -54,12 +54,12 @@ TEST_P(ModelGradcheck, AnalyticMatchesNumeric) {
     // deeper nets carry a few percent of truncation noise.
     const double bound =
         std::max(tc.tolerance, 0.05 * std::abs(static_cast<double>(analytic[i])));
-    if (std::abs(analytic[i] - numeric) > bound) {
+    if (std::abs(static_cast<double>(analytic[i]) - numeric) > bound) {
       ++mismatched;
       // A handful of parameters land next to a ReLU/max-pool kink where
       // the ±eps perturbation crosses the nondifferentiability; those
       // produce legitimate central-difference outliers.
-      EXPECT_LT(std::abs(analytic[i] - numeric),
+      EXPECT_LT(std::abs(static_cast<double>(analytic[i]) - numeric),
                 std::max(10.0 * tc.tolerance,
                          0.25 * std::abs(static_cast<double>(analytic[i]))))
           << tc.name << ": parameter " << i << " grossly wrong";
@@ -125,8 +125,8 @@ INSTANTIATE_TEST_SUITE_P(
                       3,
                       17,
                       5e-3}),
-    [](const ::testing::TestParamInfo<GradcheckCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<GradcheckCase>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace

@@ -96,12 +96,12 @@ TEST(Tanh, BackwardNumericalGradcheck) {
   (void)tanh_layer.forward(x);
   tensor::Tensor ones = tensor::Tensor::ones({16});
   tensor::Tensor g = tanh_layer.backward(ones);
-  const float eps = 1e-3f;
+  const double eps = 1e-3;
   for (std::size_t i = 0; i < 16; ++i) {
     const double numeric =
         (std::tanh(static_cast<double>(x[i]) + eps) -
          std::tanh(static_cast<double>(x[i]) - eps)) /
-        (2.0 * static_cast<double>(eps));
+        (2.0 * eps);
     EXPECT_NEAR(g[i], numeric, 1e-4);
   }
 }

@@ -1,0 +1,131 @@
+// fifl-lint CLI.
+//
+//   fifl-lint [--root DIR] [--cxx PATH] [--no-headers] [--json FILE]
+//             [--list-waivers] [--quiet]
+//
+// Scans src/, tests/, bench/, examples/ under --root (default: cwd) and
+// prints findings as `file:line: rule-id: message`.  Exit codes:
+//   0  clean (all findings waived, every waiver justified)
+//   1  at least one active finding
+//   2  usage or I/O error
+//
+// --cxx enables the header-hygiene rule (R5) by naming the compiler driver
+// used to syntax-check a generated one-include TU per header; the ctest
+// wiring passes CMAKE_CXX_COMPILER.  --list-waivers prints the waiver audit
+// (file, rule, justification, whether the waiver still matches a finding)
+// and exits 0 — the follow-up audit hook named in ROADMAP.md.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--cxx PATH] [--no-headers] [--json FILE]"
+               " [--list-waivers] [--quiet]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fifl::lint::Config cfg;
+  cfg.root = std::filesystem::current_path();
+  std::string json_path;
+  bool list_waivers = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "fifl-lint: " << flag << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = next_value("--root");
+      if (!v) return 2;
+      cfg.root = v;
+    } else if (arg == "--cxx") {
+      const char* v = next_value("--cxx");
+      if (!v) return 2;
+      cfg.cxx = v;
+    } else if (arg == "--json") {
+      const char* v = next_value("--json");
+      if (!v) return 2;
+      json_path = v;
+    } else if (arg == "--no-headers") {
+      cfg.check_headers = false;
+    } else if (arg == "--list-waivers") {
+      list_waivers = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "fifl-lint: unknown argument '" << arg << "'\n";
+      return usage(argv[0]);
+    }
+  }
+
+  std::error_code ec;
+  cfg.root = std::filesystem::canonical(cfg.root, ec);
+  if (ec) {
+    std::cerr << "fifl-lint: bad --root: " << ec.message() << "\n";
+    return 2;
+  }
+
+  fifl::lint::Report report;
+  try {
+    report = fifl::lint::run(cfg);
+  } catch (const std::exception& e) {
+    std::cerr << "fifl-lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (list_waivers) {
+    for (const auto& w : report.waivers) {
+      std::cout << w.file << ":" << w.line << ": allow(" << w.rule << ")"
+                << (w.used ? "" : " [no matching finding]") << " -- "
+                << (w.justification.empty() ? "(UNJUSTIFIED)"
+                                            : w.justification)
+                << "\n";
+    }
+    std::cout << report.waivers.size() << " waiver(s)\n";
+    return 0;
+  }
+
+  if (!quiet) {
+    for (const auto& f : report.findings) {
+      if (f.waived) continue;
+      std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
+                << f.message << "\n";
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "fifl-lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << fifl::lint::to_json(report, cfg);
+  }
+
+  const std::size_t active = report.active_count();
+  if (!quiet) {
+    std::cout << "fifl-lint: scanned " << report.files_scanned
+              << " file(s), compiled " << report.headers_compiled
+              << " header TU(s): " << active << " finding(s)";
+    const std::size_t waived = report.findings.size() - active;
+    if (waived > 0) std::cout << " (+" << waived << " waived)";
+    std::cout << "\n";
+  }
+  return active == 0 ? 0 : 1;
+}
