@@ -1,0 +1,118 @@
+// Codec hot-path costs: top-k selection, sparse wire encode/decode,
+// densification, and bitwise delta build/apply over the two gradient
+// sizes the cluster actually moves (the MLP used by the net tests and a
+// LeNet-sized vector). Throughput is reported as dense bytes processed,
+// so items/s comparisons hold across keep fractions.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fl/compression.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using namespace fifl;
+
+std::vector<float> random_dense(std::size_t size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> dense(size);
+  for (auto& x : dense) x = static_cast<float>(rng.gaussian());
+  return dense;
+}
+
+double keep_fraction(const benchmark::State& state) {
+  return static_cast<double>(state.range(1)) / 100.0;
+}
+
+std::int64_t dense_bytes(const benchmark::State& state) {
+  return static_cast<std::int64_t>(state.iterations()) * state.range(0) * 4;
+}
+
+void BM_TopKCompress(benchmark::State& state) {
+  const auto dense = random_dense(static_cast<std::size_t>(state.range(0)), 42);
+  const double keep = keep_fraction(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::topk_compress(dense, keep));
+  }
+  state.SetBytesProcessed(dense_bytes(state));
+}
+BENCHMARK(BM_TopKCompress)
+    ->Args({1210, 10})
+    ->Args({61706, 10})
+    ->Args({61706, 50});
+
+void BM_SparseEncode(benchmark::State& state) {
+  const auto dense = random_dense(static_cast<std::size_t>(state.range(0)), 7);
+  const fl::SparseVector s = fl::topk_compress(dense, keep_fraction(state));
+  for (auto _ : state) {
+    util::ByteWriter w;
+    s.encode(w);
+    benchmark::DoNotOptimize(w.take());
+  }
+  state.SetBytesProcessed(dense_bytes(state));
+}
+BENCHMARK(BM_SparseEncode)->Args({1210, 10})->Args({61706, 10});
+
+void BM_SparseDecode(benchmark::State& state) {
+  const auto dense = random_dense(static_cast<std::size_t>(state.range(0)), 7);
+  const fl::SparseVector s = fl::topk_compress(dense, keep_fraction(state));
+  util::ByteWriter w;
+  s.encode(w);
+  const auto bytes = w.take();
+  for (auto _ : state) {
+    util::ByteReader r(bytes);
+    benchmark::DoNotOptimize(fl::SparseVector::decode(r));
+  }
+  state.SetBytesProcessed(dense_bytes(state));
+}
+BENCHMARK(BM_SparseDecode)->Args({1210, 10})->Args({61706, 10});
+
+void BM_Densify(benchmark::State& state) {
+  const auto dense = random_dense(static_cast<std::size_t>(state.range(0)), 9);
+  const fl::SparseVector s = fl::topk_compress(dense, keep_fraction(state));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.densify());
+  }
+  state.SetBytesProcessed(dense_bytes(state));
+}
+BENCHMARK(BM_Densify)->Args({1210, 10})->Args({61706, 10});
+
+/// base -> next differ in roughly `range(1)`% of the parameters, the
+/// regime where a delta broadcast beats resending the checkpoint.
+void BM_DeltaCompress(benchmark::State& state) {
+  const auto base = random_dense(static_cast<std::size_t>(state.range(0)), 11);
+  auto next = base;
+  util::Rng rng(13);
+  const double change = keep_fraction(state);
+  for (auto& x : next) {
+    if (rng.uniform(0.0, 1.0) < change) x += 0.25f;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::delta_compress(base, next));
+  }
+  state.SetBytesProcessed(dense_bytes(state));
+}
+BENCHMARK(BM_DeltaCompress)->Args({61706, 5})->Args({61706, 50});
+
+void BM_DeltaApply(benchmark::State& state) {
+  const auto base = random_dense(static_cast<std::size_t>(state.range(0)), 11);
+  auto next = base;
+  util::Rng rng(13);
+  const double change = keep_fraction(state);
+  for (auto& x : next) {
+    if (rng.uniform(0.0, 1.0) < change) x += 0.25f;
+  }
+  const fl::SparseVector delta = fl::delta_compress(base, next);
+  std::vector<float> params = base;
+  for (auto _ : state) {
+    params = base;
+    delta.apply_to(params);
+    benchmark::DoNotOptimize(params.data());
+  }
+  state.SetBytesProcessed(dense_bytes(state));
+}
+BENCHMARK(BM_DeltaApply)->Args({61706, 5})->Args({61706, 50});
+
+}  // namespace

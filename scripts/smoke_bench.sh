@@ -9,6 +9,12 @@
 # example binary exists (examples-bin-dir, 2nd arg), a short loopback
 # cluster run must complete and its trace must carry the "net" block.
 #
+# The wire-bandwidth legs (ext_net_cluster, micro_codec) write their
+# BENCH_*.json into a *persistent* outdir — FIFL_BENCH_OUTDIR if set,
+# else <bench-bin-dir>/bench_out — so bytes/round and codec-throughput
+# baselines accumulate in the build tree instead of vanishing with the
+# scratch dir.
+#
 # Usage: smoke_bench.sh [bench-bin-dir] [examples-bin-dir]
 #   bench-bin-dir defaults to ./build/bench; examples-bin-dir to its
 #   sibling ../examples (skipped when absent). Registered as a ctest
@@ -18,8 +24,10 @@ set -eu
 BIN_DIR="${1:-build/bench}"
 EXAMPLES_DIR="${2:-$BIN_DIR/../examples}"
 ROUNDS="${FIFL_BENCH_ROUNDS:-3}"
+BENCH_OUTDIR="${FIFL_BENCH_OUTDIR:-$BIN_DIR/bench_out}"
 
-for bin in fig11_reputation micro_metrics_overhead; do
+for bin in fig11_reputation micro_metrics_overhead ext_net_cluster \
+           micro_codec; do
   if [ ! -x "$BIN_DIR/$bin" ]; then
     echo "smoke_bench: missing binary $BIN_DIR/$bin" >&2
     exit 1
@@ -28,6 +36,7 @@ done
 
 OUTDIR="$(mktemp -d)"
 trap 'rm -rf "$OUTDIR"' EXIT
+mkdir -p "$BENCH_OUTDIR"
 
 echo "== fig11_reputation (FIFL_BENCH_ROUNDS=$ROUNDS) =="
 FIFL_BENCH_ROUNDS="$ROUNDS" FIFL_BENCH_OUTDIR="$OUTDIR" \
@@ -39,6 +48,15 @@ FIFL_BENCH_OUTDIR="$OUTDIR" \
   "$BIN_DIR/micro_metrics_overhead" --benchmark_min_time=0.01 \
   > "$OUTDIR/micro.log"
 
+echo "== ext_net_cluster (FIFL_BENCH_ROUNDS=$ROUNDS, outdir $BENCH_OUTDIR) =="
+FIFL_BENCH_ROUNDS="$ROUNDS" FIFL_BENCH_OUTDIR="$BENCH_OUTDIR" \
+  "$BIN_DIR/ext_net_cluster" > "$OUTDIR/ext_net_cluster.log"
+
+echo "== micro_codec (outdir $BENCH_OUTDIR) =="
+FIFL_BENCH_OUTDIR="$BENCH_OUTDIR" \
+  "$BIN_DIR/micro_codec" --benchmark_min_time=0.01 \
+  > "$OUTDIR/micro_codec.log"
+
 fail() {
   echo "smoke_bench: $1" >&2
   exit 1
@@ -47,6 +65,13 @@ fail() {
 for json in BENCH_fig11_reputation.json BENCH_micro_metrics_overhead.json; do
   [ -s "$OUTDIR/$json" ] || fail "$json missing or empty"
 done
+# The bandwidth baselines must land in the persistent outdir.
+for json in BENCH_ext_net_cluster.json BENCH_ext_net_compression.json \
+            BENCH_micro_codec.json; do
+  [ -s "$BENCH_OUTDIR/$json" ] || fail "$json missing or empty"
+done
+[ -s "$BENCH_OUTDIR/ext_net_compression.csv" ] || \
+  fail "ext_net_compression.csv not written"
 [ -s "$OUTDIR/fig11_reputation.csv" ] || fail "fig11_reputation.csv not written"
 [ -s "$OUTDIR/trace.jsonl" ] || fail "trace.jsonl not written"
 
@@ -55,9 +80,10 @@ TRACE_LINES="$(wc -l < "$OUTDIR/trace.jsonl")"
   fail "expected $ROUNDS trace records, got $TRACE_LINES"
 
 if command -v python3 > /dev/null 2>&1; then
-  python3 - "$OUTDIR" "$ROUNDS" <<'EOF'
+  python3 - "$OUTDIR" "$ROUNDS" "$BENCH_OUTDIR" <<'EOF'
 import json, sys, pathlib
 outdir, rounds = pathlib.Path(sys.argv[1]), int(sys.argv[2])
+benchdir = pathlib.Path(sys.argv[3])
 
 fig = json.loads((outdir / "BENCH_fig11_reputation.json").read_text())
 for key in ("bench", "wall_seconds", "table", "metrics"):
@@ -67,6 +93,18 @@ assert fig["table"]["rows"] > 0 and fig["table"]["checksum"].startswith("0x")
 
 micro = json.loads((outdir / "BENCH_micro_metrics_overhead.json").read_text())
 assert micro["benchmarks"], "micro bench json has no benchmark entries"
+
+codec = json.loads((benchdir / "BENCH_micro_codec.json").read_text())
+assert codec["benchmarks"], "micro_codec json has no benchmark entries"
+
+net = json.loads((benchdir / "BENCH_ext_net_cluster.json").read_text())
+per_type = [k for k in net["metrics"]["counters"]
+            if k.startswith("net.bytes_tx.")]
+assert "net.bytes_tx.gradient_upload" in per_type, \
+    f"per-type byte counters missing from metrics snapshot: {per_type}"
+
+comp = json.loads((benchdir / "BENCH_ext_net_compression.json").read_text())
+assert comp["table"]["rows"] == 3, "codec sweep should have 3 legs"
 
 traces = [json.loads(l) for l in (outdir / "trace.jsonl").read_text().splitlines()]
 assert len(traces) == rounds

@@ -69,29 +69,6 @@ Gradient GaussianNoiseBehaviour::transform(Gradient honest, util::Rng& rng) {
   return honest;
 }
 
-void sparsify_topk(Gradient& gradient, double keep_fraction) {
-  if (keep_fraction <= 0.0 || keep_fraction > 1.0) {
-    throw std::invalid_argument("sparsify_topk: keep_fraction outside (0,1]");
-  }
-  if (keep_fraction >= 1.0 || gradient.empty()) return;
-  const auto keep = std::max<std::size_t>(
-      1, static_cast<std::size_t>(keep_fraction *
-                                  static_cast<double>(gradient.size())));
-  std::vector<float> magnitudes(gradient.size());
-  for (std::size_t i = 0; i < gradient.size(); ++i) {
-    magnitudes[i] = std::abs(gradient[i]);
-  }
-  std::nth_element(magnitudes.begin(),
-                   magnitudes.begin() + static_cast<std::ptrdiff_t>(keep - 1),
-                   magnitudes.end(), std::greater<float>());
-  const float threshold = magnitudes[keep - 1];
-  // Zero strictly-below-threshold entries; ties keep slightly more than k,
-  // which is the usual (and harmless) top-k convention.
-  for (std::size_t i = 0; i < gradient.size(); ++i) {
-    if (std::abs(gradient[i]) < threshold) gradient[i] = 0.0f;
-  }
-}
-
 SparsifyingBehaviour::SparsifyingBehaviour(double keep_fraction)
     : keep_(keep_fraction) {
   if (keep_fraction <= 0.0 || keep_fraction > 1.0) {

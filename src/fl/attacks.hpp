@@ -19,6 +19,7 @@
 #include <string>
 
 #include "data/dataset.hpp"
+#include "fl/compression.hpp"  // forwards sparsify_topk (moved there)
 #include "fl/gradient.hpp"
 #include "util/rng.hpp"
 
@@ -109,13 +110,8 @@ class GaussianNoiseBehaviour final : public Behaviour {
   double sigma_;
 };
 
-/// Top-k gradient sparsification (communication compression): keeps the
-/// `keep_fraction` largest-magnitude entries, zeroing the rest. Not an
-/// attack — an honest bandwidth-saving transform; exposed so the
-/// extension tests can check the assessment pipeline tolerates compressed
-/// honest uploads (and so compressed uploads are available to any
-/// behaviour via composition).
-void sparsify_topk(Gradient& gradient, double keep_fraction);
+// sparsify_topk lives in fl/compression.hpp now (it is a comms feature,
+// not an attack); the include above keeps existing callers compiling.
 
 /// Honest worker that sparsifies its upload to save bandwidth.
 class SparsifyingBehaviour final : public Behaviour {

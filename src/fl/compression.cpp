@@ -1,0 +1,201 @@
+#include "fl/compression.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace fifl::fl {
+
+const char* codec_name(Codec codec) {
+  switch (codec) {
+    case Codec::kDense: return "dense";
+    case Codec::kTopK: return "topk";
+    case Codec::kDelta: return "delta";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::size_t checked_keep_count(std::size_t size, double keep_fraction) {
+  if (!(keep_fraction > 0.0) || keep_fraction > 1.0) {
+    throw std::invalid_argument("topk: keep_fraction outside (0,1]");
+  }
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(keep_fraction * static_cast<double>(size)));
+}
+
+void check_indexable(std::size_t size, const char* what) {
+  if (size > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(std::string(what) +
+                                ": vector too large for u32 sparse indices");
+  }
+}
+
+}  // namespace
+
+void write_index_varint(util::ByteWriter& w, std::uint32_t value) {
+  while (value >= 0x80) {
+    w.write_u8(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  w.write_u8(static_cast<std::uint8_t>(value));
+}
+
+std::uint32_t read_index_varint(util::ByteReader& r) {
+  std::uint32_t value = 0;
+  for (unsigned shift = 0; shift < 35; shift += 7) {
+    const std::uint8_t byte = r.read_u8();
+    const std::uint32_t chunk = byte & 0x7Fu;
+    if (shift == 28 && chunk > 0x0Fu) {
+      throw util::SerializeError("sparse: varint index overflows u32");
+    }
+    value |= chunk << shift;
+    if ((byte & 0x80u) == 0) return value;
+  }
+  throw util::SerializeError("sparse: varint index longer than 5 bytes");
+}
+
+std::size_t index_varint_size(std::uint32_t value) noexcept {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t SparseVector::wire_bytes() const noexcept {
+  std::size_t total = 16 + 4 * indices.size();
+  for (const std::uint32_t idx : indices) total += index_varint_size(idx);
+  return total;
+}
+
+void SparseVector::encode(util::ByteWriter& w) const {
+  w.write_u64(dense_size);
+  w.write_u64(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    write_index_varint(w, indices[i]);
+    w.write_f32(values[i]);
+  }
+}
+
+SparseVector SparseVector::decode(util::ByteReader& r) {
+  // Minimum entry size: a 1-byte varint index + the f32 value.
+  constexpr std::uint64_t kMinEntryBytes = 1 + 4;
+  SparseVector s;
+  s.dense_size = r.read_u64();
+  const std::uint64_t n = r.read_u64();
+  // Count guards run before any allocation sized by attacker-controlled
+  // numbers; the index checks below make densify()/apply_to() safe.
+  if (n > r.remaining() / kMinEntryBytes) {
+    throw util::SerializeError("sparse: entry count exceeds payload");
+  }
+  if (n > s.dense_size) {
+    throw util::SerializeError("sparse: more entries than dense size");
+  }
+  s.indices.resize(static_cast<std::size_t>(n));
+  s.values.resize(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < s.indices.size(); ++i) {
+    const std::uint32_t idx = read_index_varint(r);
+    if (idx >= s.dense_size) {
+      throw util::SerializeError("sparse: index " + std::to_string(idx) +
+                                 " out of range");
+    }
+    if (i > 0 && idx <= s.indices[i - 1]) {
+      throw util::SerializeError(
+          "sparse: indices must be strictly increasing");
+    }
+    s.indices[i] = idx;
+    s.values[i] = r.read_f32();
+  }
+  return s;
+}
+
+std::vector<float> SparseVector::densify() const {
+  std::vector<float> out(static_cast<std::size_t>(dense_size), 0.0f);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[indices[i]] = values[i];
+  }
+  return out;
+}
+
+void SparseVector::apply_to(std::span<float> dense) const {
+  if (dense.size() != dense_size) {
+    throw std::invalid_argument("sparse: apply_to size mismatch");
+  }
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    dense[indices[i]] = values[i];
+  }
+}
+
+SparseVector topk_compress(std::span<const float> dense,
+                           double keep_fraction) {
+  check_indexable(dense.size(), "topk");
+  SparseVector s;
+  s.dense_size = dense.size();
+  if (dense.empty()) {
+    (void)checked_keep_count(1, keep_fraction);  // still validate the fraction
+    return s;
+  }
+  const std::size_t keep = checked_keep_count(dense.size(), keep_fraction);
+  std::vector<std::uint32_t> order(dense.size());
+  std::iota(order.begin(), order.end(), 0u);
+  // Strict total order — larger magnitude first, equal magnitudes resolved
+  // by lower index — so the kept set is unique and replica-independent.
+  const auto better = [&dense](std::uint32_t a, std::uint32_t b) {
+    const float ma = std::fabs(dense[a]);
+    const float mb = std::fabs(dense[b]);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  };
+  if (keep < order.size()) {
+    std::nth_element(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(keep),
+                     order.end(), better);
+    order.resize(keep);
+  }
+  std::sort(order.begin(), order.end());
+  s.values.reserve(order.size());
+  for (const std::uint32_t idx : order) s.values.push_back(dense[idx]);
+  s.indices = std::move(order);
+  return s;
+}
+
+SparseVector delta_compress(std::span<const float> base,
+                            std::span<const float> next) {
+  if (base.size() != next.size()) {
+    throw std::invalid_argument("delta: base/next size mismatch");
+  }
+  check_indexable(next.size(), "delta");
+  SparseVector s;
+  s.dense_size = next.size();
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    // Bitwise comparison: reconstruction must be exact, including signed
+    // zeros and NaN payloads, or the replica hashes fork.
+    if (std::bit_cast<std::uint32_t>(base[i]) !=
+        std::bit_cast<std::uint32_t>(next[i])) {
+      s.indices.push_back(static_cast<std::uint32_t>(i));
+      s.values.push_back(next[i]);
+    }
+  }
+  return s;
+}
+
+void sparsify_topk(Gradient& gradient, double keep_fraction) {
+  if (!(keep_fraction > 0.0) || keep_fraction > 1.0) {
+    throw std::invalid_argument("sparsify_topk: keep_fraction outside (0,1]");
+  }
+  if (keep_fraction >= 1.0 || gradient.empty()) return;
+  const SparseVector kept = topk_compress(gradient.flat(), keep_fraction);
+  gradient.zero();
+  for (std::size_t i = 0; i < kept.indices.size(); ++i) {
+    gradient[kept.indices[i]] = kept.values[i];
+  }
+}
+
+}  // namespace fifl::fl

@@ -1,0 +1,111 @@
+// Wire-level gradient/model compression codecs (ROADMAP "Gradient
+// compression on the wire").
+//
+// A Codec names how a float vector travels inside a fifl::net message:
+//   kDense  the full f32 array — today's format, byte-identical on the
+//           wire, the negotiation fallback every node must support.
+//   kTopK   the keep_fraction largest-magnitude entries as sorted
+//           (uint32 index, float value) pairs; the receiver densifies
+//           (missing entries are zero) before assessment.
+//   kDelta  ModelBroadcast only: the parameter slots whose bits changed
+//           since the round the receiver last acknowledged, carrying the
+//           new absolute values — application is bitwise exact, so a
+//           delta-coded broadcast reproduces θ to the bit.
+//
+// Everything here is deterministic: top-k selection uses a strict total
+// order (magnitude desc, index asc on ties) and every SparseVector holds
+// its entries in strictly increasing index order, which decode enforces —
+// duplicate, out-of-range, or non-monotonic indices are a SerializeError,
+// never UB. The replica invariant (DESIGN.md "Determinism invariants")
+// therefore survives compression: identical inputs encode to identical
+// bytes and decode to identical vectors on every node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fl/gradient.hpp"
+#include "util/serialize.hpp"
+
+namespace fifl::fl {
+
+enum class Codec : std::uint8_t {
+  kDense = 0,
+  kTopK = 1,
+  kDelta = 2,
+};
+
+const char* codec_name(Codec codec);
+
+/// Bit in a Join-time capability mask (worker advertises, lead picks).
+constexpr std::uint32_t codec_bit(Codec codec) {
+  return 1u << static_cast<std::uint8_t>(codec);
+}
+
+inline constexpr std::uint32_t kAllCodecs = codec_bit(Codec::kDense) |
+                                            codec_bit(Codec::kTopK) |
+                                            codec_bit(Codec::kDelta);
+
+constexpr bool codec_in(std::uint32_t mask, Codec codec) {
+  return (mask & codec_bit(codec)) != 0;
+}
+
+/// LEB128 varint codec for sparse indices: 1 byte below 128, 2 below
+/// 16384, at most 5 for the full u32 range. read rejects overlong and
+/// overflowing encodings with SerializeError. Exposed so tests can build
+/// hostile sparse payloads byte by byte.
+void write_index_varint(util::ByteWriter& w, std::uint32_t value);
+std::uint32_t read_index_varint(util::ByteReader& r);
+std::size_t index_varint_size(std::uint32_t value) noexcept;
+
+/// Sparse view of a dense float vector: parallel (index, value) arrays —
+/// logically sorted (uint32 index, float value) pairs with strictly
+/// increasing indices, all < dense_size. The wire layout is u64
+/// dense_size, u64 count, then count × (varint index, f32 value) entries
+/// in index order; indices travel as absolute LEB128 varints (typically
+/// 1-2 bytes at our model sizes), which is what pushes a keep_fraction
+/// 0.1 upload past the 5× reduction a fixed u32 index (8 bytes/entry vs
+/// 4 bytes/param dense) can never reach.
+struct SparseVector {
+  std::uint64_t dense_size = 0;
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+
+  std::size_t size() const noexcept { return indices.size(); }
+  /// Exact encoded payload size in bytes (dense-vs-sparse break-even math).
+  std::size_t wire_bytes() const noexcept;
+
+  void encode(util::ByteWriter& w) const;
+  /// Validating inverse of encode(): rejects truncated payloads, counts
+  /// exceeding the remaining bytes or dense_size, out-of-range indices,
+  /// and duplicate / non-monotonic index order with SerializeError.
+  static SparseVector decode(util::ByteReader& r);
+
+  /// Dense reconstruction; absent entries are zero.
+  std::vector<float> densify() const;
+  /// Overlays the entries onto `dense` in place (delta application).
+  /// Throws std::invalid_argument unless dense.size() == dense_size.
+  void apply_to(std::span<float> dense) const;
+};
+
+/// Deterministic top-k sparsification: keeps exactly
+/// max(1, floor(keep_fraction * size)) entries, chosen by descending
+/// magnitude with ties broken toward the lower index (stable), returned
+/// in index order. Throws std::invalid_argument for keep_fraction outside
+/// (0, 1] or vectors too large for u32 indices.
+SparseVector topk_compress(std::span<const float> dense, double keep_fraction);
+
+/// Entries where `next` differs bitwise from `base`, carrying next's
+/// values — apply_to(base) reconstructs next exactly (signed zeros and
+/// NaN payloads included). Sizes must match.
+SparseVector delta_compress(std::span<const float> base,
+                            std::span<const float> next);
+
+/// In-place top-k sparsification of a Gradient (zeroes everything outside
+/// the kept set). Keeps exactly the topk_compress() selection — moved
+/// here from fl/attacks (it is a comms feature, not an attack); the old
+/// header forwards to this declaration.
+void sparsify_topk(Gradient& gradient, double keep_fraction);
+
+}  // namespace fifl::fl

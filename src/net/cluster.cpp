@@ -18,6 +18,10 @@ Cluster::Cluster(ClusterConfig config, const fl::ModelFactory& factory,
   if (m == 0 || m > n) {
     throw std::invalid_argument("Cluster: servers must be in [1, workers]");
   }
+  if (!config_.worker_codecs.empty() && config_.worker_codecs.size() != n) {
+    throw std::invalid_argument(
+        "Cluster: worker_codecs must be empty or one mask per worker");
+  }
 
   // Same deterministic construction as the in-process Simulator: this is
   // the seed-equivalence anchor.
@@ -59,6 +63,7 @@ Cluster::Cluster(ClusterConfig config, const fl::ModelFactory& factory,
     sc.global_learning_rate = config_.sim.global_learning_rate;
     sc.timeouts = config_.timeouts;
     sc.quorum = config_.quorum;
+    sc.compression = config_.compression;
     // Every server gets an identical engine replica (deterministic state
     // machine); only the lead owns θ.
     auto engine = std::make_unique<core::FiflEngine>(config_.fifl, n,
@@ -69,9 +74,12 @@ Cluster::Cluster(ClusterConfig config, const fl::ModelFactory& factory,
         std::move(server_eps[j]), topology));
   }
   for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t codecs = config_.worker_codecs.empty()
+                                     ? fl::kAllCodecs
+                                     : config_.worker_codecs[i];
     worker_nodes_.push_back(std::make_unique<WorkerNode>(
         std::move(init.workers[i]), std::move(worker_eps[i]), topology,
-        config_.timeouts));
+        config_.timeouts, codecs));
   }
 }
 

@@ -29,6 +29,13 @@ struct ClusterConfig {
   TransportKind transport = TransportKind::kLoopback;
   NodeTimeouts timeouts;
   QuorumConfig quorum;
+  /// Lead-side wire-compression preferences (defaults: everything dense,
+  /// byte-identical to the uncompressed protocol).
+  CompressionPolicy compression;
+  /// Per-worker codec capability masks advertised at Join. Empty = every
+  /// worker advertises fl::kAllCodecs; otherwise must have one entry per
+  /// worker (mixed-codec clusters set some entries to just kDense).
+  std::vector<std::uint32_t> worker_codecs;
   /// When set, the cluster runs over this transport instead of building
   /// one from `transport` — the hook chaos tests use to wrap loopback or
   /// TCP in a FaultyTransport and inspect its fault log after run().

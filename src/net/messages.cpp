@@ -35,17 +35,35 @@ std::uint8_t decode_flag(util::ByteReader& r, const char* what) {
   return v;
 }
 
+/// Codec tag with a per-message allowlist (uploads never carry kDelta,
+/// broadcasts never carry kTopK).
+std::uint8_t decode_codec(util::ByteReader& r, std::uint32_t allowed_mask,
+                          const char* what) {
+  const std::uint8_t v = r.read_u8();
+  if (v > static_cast<std::uint8_t>(fl::Codec::kDelta) ||
+      !fl::codec_in(allowed_mask, static_cast<fl::Codec>(v))) {
+    throw util::SerializeError(std::string(what) + ": invalid codec " +
+                               std::to_string(v));
+  }
+  return v;
+}
+
 }  // namespace
 
 void JoinMsg::encode(util::ByteWriter& w) const {
   w.write_u32(node);
   w.write_u8(static_cast<std::uint8_t>(role));
+  w.write_u32(codecs);
 }
 
 JoinMsg JoinMsg::decode(util::ByteReader& r) {
   JoinMsg m;
   m.node = r.read_u32();
   m.role = decode_role(r.read_u8());
+  m.codecs = r.read_u32();
+  if (!fl::codec_in(m.codecs, fl::Codec::kDense)) {
+    throw util::SerializeError("join: codec mask must include dense");
+  }
   return m;
 }
 
@@ -55,6 +73,9 @@ void JoinAckMsg::encode(util::ByteWriter& w) const {
   w.write_u32(servers);
   w.write_u64(param_count);
   w.write_u64(rounds);
+  w.write_u8(upload_codec);
+  w.write_u8(broadcast_codec);
+  w.write_f64(keep_fraction);
 }
 
 JoinAckMsg JoinAckMsg::decode(util::ByteReader& r) {
@@ -64,6 +85,16 @@ JoinAckMsg JoinAckMsg::decode(util::ByteReader& r) {
   m.servers = r.read_u32();
   m.param_count = r.read_u64();
   m.rounds = r.read_u64();
+  m.upload_codec = decode_codec(
+      r, fl::codec_bit(fl::Codec::kDense) | fl::codec_bit(fl::Codec::kTopK),
+      "join_ack upload");
+  m.broadcast_codec = decode_codec(
+      r, fl::codec_bit(fl::Codec::kDense) | fl::codec_bit(fl::Codec::kDelta),
+      "join_ack broadcast");
+  m.keep_fraction = r.read_f64();
+  if (!(m.keep_fraction > 0.0) || m.keep_fraction > 1.0) {
+    throw util::SerializeError("join_ack: keep_fraction outside (0,1]");
+  }
   return m;
 }
 
@@ -95,20 +126,41 @@ HeartbeatMsg HeartbeatMsg::decode(util::ByteReader& r) {
 
 void ModelBroadcastMsg::encode(util::ByteWriter& w) const {
   w.write_u64(round);
-  w.write_u64(checkpoint.size());
-  w.write_bytes(checkpoint);
+  w.write_u8(codec);
+  if (codec == static_cast<std::uint8_t>(fl::Codec::kDelta)) {
+    w.write_u64(base_round);
+    delta.encode(w);
+  } else {
+    w.write_u64(checkpoint.size());
+    w.write_bytes(checkpoint);
+  }
 }
 
 ModelBroadcastMsg ModelBroadcastMsg::decode(util::ByteReader& r) {
   ModelBroadcastMsg m;
   m.round = r.read_u64();
-  const std::uint64_t n = r.read_u64();
-  if (n > r.remaining()) {
-    throw util::SerializeError("model_broadcast: checkpoint length " +
-                               std::to_string(n) + " exceeds payload");
+  m.codec = decode_codec(
+      r, fl::codec_bit(fl::Codec::kDense) | fl::codec_bit(fl::Codec::kDelta),
+      "model_broadcast");
+  if (m.codec == static_cast<std::uint8_t>(fl::Codec::kDelta)) {
+    m.base_round = r.read_u64();
+    m.delta = fl::SparseVector::decode(r);
+  } else {
+    const std::uint64_t n = r.read_u64();
+    if (n > r.remaining()) {
+      throw util::SerializeError("model_broadcast: checkpoint length " +
+                                 std::to_string(n) + " exceeds payload");
+    }
+    m.checkpoint = r.read_bytes(static_cast<std::size_t>(n));
   }
-  m.checkpoint = r.read_bytes(static_cast<std::size_t>(n));
   return m;
+}
+
+fl::Gradient GradientUploadMsg::dense_gradient() const {
+  if (codec == static_cast<std::uint8_t>(fl::Codec::kTopK)) {
+    return fl::Gradient(sparse.densify());
+  }
+  return fl::Gradient(gradient);
 }
 
 void GradientUploadMsg::encode(util::ByteWriter& w) const {
@@ -116,7 +168,12 @@ void GradientUploadMsg::encode(util::ByteWriter& w) const {
   w.write_u32(worker);
   w.write_u64(samples);
   w.write_u8(ground_truth_attack);
-  w.write_f32_array(gradient);
+  w.write_u8(codec);
+  if (codec == static_cast<std::uint8_t>(fl::Codec::kTopK)) {
+    sparse.encode(w);
+  } else {
+    w.write_f32_array(gradient);
+  }
 }
 
 GradientUploadMsg GradientUploadMsg::decode(util::ByteReader& r) {
@@ -125,7 +182,14 @@ GradientUploadMsg GradientUploadMsg::decode(util::ByteReader& r) {
   m.worker = r.read_u32();
   m.samples = r.read_u64();
   m.ground_truth_attack = decode_flag(r, "gradient_upload");
-  m.gradient = r.read_f32_array();
+  m.codec = decode_codec(
+      r, fl::codec_bit(fl::Codec::kDense) | fl::codec_bit(fl::Codec::kTopK),
+      "gradient_upload");
+  if (m.codec == static_cast<std::uint8_t>(fl::Codec::kTopK)) {
+    m.sparse = fl::SparseVector::decode(r);
+  } else {
+    m.gradient = r.read_f32_array();
+  }
   return m;
 }
 

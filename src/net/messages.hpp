@@ -6,9 +6,12 @@
 //
 // Message flow per round (M servers, N workers, lead = server 0):
 //   ModelBroadcast   lead -> workers          θ_t as an nn::checkpoint blob
-//   GradientUpload   worker i -> every server full G_i (replicated-engine
-//                                             inputs; slices stay real on
-//                                             the server->lead path)
+//                                             (or a kDelta sparse update)
+//   GradientUpload   worker i -> every server G_i, dense or kTopK-sparse
+//                                             per the negotiated codec
+//                                             (replicated-engine inputs;
+//                                             slices stay real on the
+//                                             server->lead path)
 //   RoundSummary     lead -> servers          which workers were counted
 //                                             this round (quorum outcome)
 //   SliceAggregate   server j -> lead         slice j of the aggregated G̃
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "chain/ledger.hpp"
+#include "fl/compression.hpp"
 #include "util/serialize.hpp"
 
 namespace fifl::net {
@@ -41,11 +45,19 @@ enum class MessageType : std::uint8_t {
 
 const char* message_type_name(MessageType type);
 
+/// Number of (contiguous) MessageType enumerators, tags 1..kMessageTypeCount
+/// — sized for the per-type byte counters (net.bytes_tx.<type>).
+inline constexpr std::size_t kMessageTypeCount = 9;
+
 enum class NodeRole : std::uint8_t { kWorker = 0, kServer = 1 };
 
 struct JoinMsg {
   std::uint32_t node = 0;
   NodeRole role = NodeRole::kWorker;
+  /// Capability mask of fl::Codec bits this node can encode/decode; must
+  /// include kDense (the negotiation fallback) — decode rejects masks
+  /// without it. The lead picks one codec per direction from this mask.
+  std::uint32_t codecs = fl::codec_bit(fl::Codec::kDense);
 
   void encode(util::ByteWriter& w) const;
   static JoinMsg decode(util::ByteReader& r);
@@ -57,6 +69,12 @@ struct JoinAckMsg {
   std::uint32_t servers = 0;
   std::uint64_t param_count = 0;
   std::uint64_t rounds = 0;
+  /// Negotiated codecs for this peer: uploads it sends (kDense | kTopK)
+  /// and broadcasts it will receive (kDense | kDelta). keep_fraction
+  /// parameterizes kTopK (must be in (0,1]; 1.0 when uploads are dense).
+  std::uint8_t upload_codec = static_cast<std::uint8_t>(fl::Codec::kDense);
+  std::uint8_t broadcast_codec = static_cast<std::uint8_t>(fl::Codec::kDense);
+  double keep_fraction = 1.0;
 
   void encode(util::ByteWriter& w) const;
   static JoinAckMsg decode(util::ByteReader& r);
@@ -82,23 +100,39 @@ struct HeartbeatMsg {
   static HeartbeatMsg decode(util::ByteReader& r);
 };
 
-/// Global parameters θ_t for round `round`, as nn::checkpoint bytes
-/// (magic + version + tag + f32 params) — the same blob a disk
-/// checkpoint uses, so restore tooling works on captured traffic.
+/// Global parameters θ_t for round `round`. With codec kDense the payload
+/// is nn::checkpoint bytes (magic + version + tag + f32 params) — the
+/// same blob a disk checkpoint uses, so restore tooling works on captured
+/// traffic. With codec kDelta the payload is `base_round` (the round whose
+/// θ the receiver acknowledged holding) plus the bitwise parameter delta
+/// from that θ to this round's; the receiver overlays it in place.
 struct ModelBroadcastMsg {
   std::uint64_t round = 0;
-  std::vector<std::uint8_t> checkpoint;
+  std::uint8_t codec = static_cast<std::uint8_t>(fl::Codec::kDense);
+  std::vector<std::uint8_t> checkpoint;  // kDense payload
+  std::uint64_t base_round = 0;          // kDelta payload
+  fl::SparseVector delta;                // kDelta payload
 
   void encode(util::ByteWriter& w) const;
   static ModelBroadcastMsg decode(util::ByteReader& r);
 };
 
+/// One worker's model update. With codec kDense the gradient travels as
+/// the full f32 array (`gradient`); with kTopK as sorted sparse
+/// (index, value) pairs (`sparse`). Servers call dense_gradient() at the
+/// canonicalization point, so the assessment pipeline only ever sees
+/// dense vectors regardless of what was on the wire.
 struct GradientUploadMsg {
   std::uint64_t round = 0;
   std::uint32_t worker = 0;
   std::uint64_t samples = 0;  // n_i, the aggregation weight
   std::uint8_t ground_truth_attack = 0;  // oracle label for detection metrics
-  std::vector<float> gradient;
+  std::uint8_t codec = static_cast<std::uint8_t>(fl::Codec::kDense);
+  std::vector<float> gradient;  // kDense payload
+  fl::SparseVector sparse;      // kTopK payload
+
+  /// Densified view of whichever payload the codec selected.
+  fl::Gradient dense_gradient() const;
 
   void encode(util::ByteWriter& w) const;
   static GradientUploadMsg decode(util::ByteReader& r);

@@ -1,6 +1,7 @@
 #include "net/node.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -24,25 +25,48 @@ double elapsed_ms(std::chrono::steady_clock::time_point since) {
 struct CounterSnapshot {
   std::uint64_t bytes_tx, bytes_rx, msgs_tx, msgs_rx, frame_errors;
   std::uint64_t late_uploads, send_retries, dropped_workers;
+  std::array<std::uint64_t, kMessageTypeCount> tx_by_type;
+  std::array<std::uint64_t, kMessageTypeCount> rx_by_type;
 
   static CounterSnapshot take() {
     NetMetrics& m = NetMetrics::global();
-    return {m.bytes_tx->value(),     m.bytes_rx->value(),
-            m.msgs_tx->value(),      m.msgs_rx->value(),
-            m.frame_errors->value(), m.late_uploads->value(),
-            m.send_retries->value(), m.dropped_workers->value()};
+    CounterSnapshot s{};
+    s.bytes_tx = m.bytes_tx->value();
+    s.bytes_rx = m.bytes_rx->value();
+    s.msgs_tx = m.msgs_tx->value();
+    s.msgs_rx = m.msgs_rx->value();
+    s.frame_errors = m.frame_errors->value();
+    s.late_uploads = m.late_uploads->value();
+    s.send_retries = m.send_retries->value();
+    s.dropped_workers = m.dropped_workers->value();
+    for (std::size_t i = 0; i < kMessageTypeCount; ++i) {
+      s.tx_by_type[i] = m.bytes_tx_type[i]->value();
+      s.rx_by_type[i] = m.bytes_rx_type[i]->value();
+    }
+    return s;
   }
 
   obs::RoundTrace::NetStats delta_since() const {
     const CounterSnapshot now = take();
-    return {now.bytes_tx - bytes_tx,
-            now.bytes_rx - bytes_rx,
-            now.msgs_tx - msgs_tx,
-            now.msgs_rx - msgs_rx,
-            now.frame_errors - frame_errors,
-            now.late_uploads - late_uploads,
-            now.send_retries - send_retries,
-            now.dropped_workers - dropped_workers};
+    obs::RoundTrace::NetStats d;
+    d.bytes_tx = now.bytes_tx - bytes_tx;
+    d.bytes_rx = now.bytes_rx - bytes_rx;
+    d.msgs_tx = now.msgs_tx - msgs_tx;
+    d.msgs_rx = now.msgs_rx - msgs_rx;
+    d.frame_errors = now.frame_errors - frame_errors;
+    d.late_uploads = now.late_uploads - late_uploads;
+    d.send_retries = now.send_retries - send_retries;
+    d.dropped_workers = now.dropped_workers - dropped_workers;
+    for (std::size_t i = 0; i < kMessageTypeCount; ++i) {
+      const char* name = message_type_name(static_cast<MessageType>(i + 1));
+      if (const std::uint64_t dt = now.tx_by_type[i] - tx_by_type[i]) {
+        d.bytes_tx_by_type.emplace_back(name, dt);
+      }
+      if (const std::uint64_t dr = now.rx_by_type[i] - rx_by_type[i]) {
+        d.bytes_rx_by_type.emplace_back(name, dr);
+      }
+    }
+    return d;
   }
 };
 
@@ -73,7 +97,10 @@ std::vector<fl::Upload> canonicalize_uploads(
     }
     fl::Upload& u = uploads[msg.worker];
     u.samples = static_cast<std::size_t>(msg.samples);
-    u.gradient = fl::Gradient(msg.gradient);
+    // The single server-side densification point: sparse uploads become
+    // dense gradients here, so the assessment pipeline (and every replica)
+    // only ever sees the canonical dense form.
+    u.gradient = msg.dense_gradient();
     u.arrived = true;
     u.ground_truth_attack = msg.ground_truth_attack != 0;
   }
@@ -94,11 +121,16 @@ std::string parameter_hash(std::span<const float> params) {
 
 WorkerNode::WorkerNode(std::unique_ptr<fl::Worker> worker,
                        std::unique_ptr<Endpoint> endpoint, Topology topology,
-                       NodeTimeouts timeouts)
+                       NodeTimeouts timeouts, std::uint32_t supported_codecs)
     : worker_(std::move(worker)), endpoint_(std::move(endpoint)),
-      topology_(topology), timeouts_(timeouts) {
+      topology_(topology), timeouts_(timeouts),
+      supported_codecs_(supported_codecs) {
   if (!worker_ || !endpoint_) {
     throw std::invalid_argument("WorkerNode: null worker or endpoint");
+  }
+  if (!fl::codec_in(supported_codecs_, fl::Codec::kDense)) {
+    throw std::invalid_argument(
+        "WorkerNode: codec mask must include kDense (negotiation fallback)");
   }
 }
 
@@ -109,8 +141,9 @@ void WorkerNode::request_stop() {
 
 void WorkerNode::run() {
   const NodeKey lead = topology_.lead_key();
-  endpoint_->send_msg(lead, MessageType::kJoin,
-                      JoinMsg{endpoint_->address(), NodeRole::kWorker});
+  endpoint_->send_msg(
+      lead, MessageType::kJoin,
+      JoinMsg{endpoint_->address(), NodeRole::kWorker, supported_codecs_});
   const auto join_deadline = std::chrono::steady_clock::now() + timeouts_.join;
   bool acked = false;
   while (!acked && !stop_.load(std::memory_order_relaxed)) {
@@ -123,7 +156,12 @@ void WorkerNode::run() {
     }
     auto env = endpoint_->recv(left);
     if (!env) continue;
-    if (env->type == MessageType::kJoinAck) acked = true;
+    if (env->type == MessageType::kJoinAck) {
+      const auto ack = decode_payload<JoinAckMsg>(env->payload);
+      upload_codec_ = static_cast<fl::Codec>(ack.upload_codec);
+      keep_fraction_ = ack.keep_fraction;
+      acked = true;
+    }
   }
 
   // Event loop with a liveness side-channel: wake at the heartbeat
@@ -190,16 +228,46 @@ void WorkerNode::run() {
 }
 
 void WorkerNode::handle_broadcast(const ModelBroadcastMsg& msg) {
-  const nn::ParsedCheckpoint parsed = nn::parse_checkpoint(msg.checkpoint);
-  fl::Upload upload = worker_->make_upload(parsed.parameters);
+  // Materialize θ_t: a dense broadcast replaces the local replica, a
+  // delta patches it — but only against the exact baseline the lead
+  // encoded it from. A mismatched baseline (the previous broadcast never
+  // arrived, or a restart lost params_) is dropped without an ack, so the
+  // lead keeps re-basing on the round we actually hold until a dense
+  // fallback re-homes us.
+  if (msg.codec == static_cast<std::uint8_t>(fl::Codec::kDelta)) {
+    if (!has_params_ || params_round_ != msg.base_round ||
+        params_.size() != msg.delta.dense_size) {
+      util::log_warn() << "net: worker " << endpoint_->address()
+                       << " cannot apply delta broadcast for round "
+                       << msg.round << " (base " << msg.base_round
+                       << ", have "
+                       << (has_params_ ? std::to_string(params_round_)
+                                       : std::string("none"))
+                       << "), dropping";
+      return;
+    }
+    msg.delta.apply_to(params_);
+  } else {
+    const nn::ParsedCheckpoint parsed = nn::parse_checkpoint(msg.checkpoint);
+    params_ = parsed.parameters;
+  }
+  has_params_ = true;
+  params_round_ = msg.round;
+
+  fl::Upload upload = worker_->make_upload(params_);
 
   GradientUploadMsg out;
   out.round = msg.round;
   out.worker = endpoint_->address();
   out.samples = upload.samples;
   out.ground_truth_attack = upload.ground_truth_attack ? 1 : 0;
-  out.gradient.assign(upload.gradient.flat().begin(),
-                      upload.gradient.flat().end());
+  out.codec = static_cast<std::uint8_t>(upload_codec_);
+  if (upload_codec_ == fl::Codec::kTopK) {
+    out.sparse = fl::topk_compress(upload.gradient.flat(), keep_fraction_);
+  } else {
+    out.gradient.assign(upload.gradient.flat().begin(),
+                        upload.gradient.flat().end());
+  }
   for (NodeKey server : topology_.server_keys()) {
     try {
       endpoint_->send_msg(server, MessageType::kGradientUpload, out);
@@ -268,22 +336,50 @@ void ServerNode::handle_control(const Envelope& envelope) {
     case MessageType::kJoin: {
       const auto join = decode_payload<JoinMsg>(envelope.payload);
       if (is_lead()) {
+        JoinAckMsg ack;
+        ack.node = join.node;
+        ack.workers = topology_.workers;
+        ack.servers = topology_.servers;
+        ack.param_count =
+            global_model_ ? global_model_->parameter_count() : 0;
+        ack.rounds = config_.rounds;
         if (join.role == NodeRole::kWorker) {
           ++joined_workers_;
+          // Per-worker codec negotiation: the policy's preference wins iff
+          // the worker advertised it; kDense otherwise. Mixed-codec
+          // clusters fall out of this naturally.
+          fl::Codec up = fl::Codec::kDense;
+          if (config_.compression.upload == fl::Codec::kTopK &&
+              fl::codec_in(join.codecs, fl::Codec::kTopK)) {
+            up = fl::Codec::kTopK;
+          }
+          fl::Codec bc = fl::Codec::kDense;
+          if (config_.compression.broadcast == fl::Codec::kDelta &&
+              fl::codec_in(join.codecs, fl::Codec::kDelta)) {
+            bc = fl::Codec::kDelta;
+          }
+          peer_broadcast_codec_[join.node] = bc;
+          ack.upload_codec = static_cast<std::uint8_t>(up);
+          ack.broadcast_codec = static_cast<std::uint8_t>(bc);
+          ack.keep_fraction = up == fl::Codec::kTopK
+                                  ? config_.compression.topk_keep_fraction
+                                  : 1.0;
         } else {
           ++joined_servers_;
         }
-        endpoint_->send_msg(
-            envelope.from, MessageType::kJoinAck,
-            JoinAckMsg{join.node, topology_.workers, topology_.servers,
-                       global_model_ ? global_model_->parameter_count() : 0,
-                       config_.rounds});
+        endpoint_->send_msg(envelope.from, MessageType::kJoinAck, ack);
       }
       break;
     }
     case MessageType::kHeartbeat: {
       auto hb = decode_payload<HeartbeatMsg>(envelope.payload);
       if (hb.echo == 0) {
+        // A worker's per-round RTT ping doubles as a broadcast ack: tokens
+        // below kLivenessTokenBase are the round number whose θ it holds.
+        if (is_lead() && envelope.from < topology_.workers &&
+            hb.token < kLivenessTokenBase) {
+          note_broadcast_ack(envelope.from, hb.token);
+        }
         try {
           endpoint_->send_msg(envelope.from, MessageType::kHeartbeat,
                               HeartbeatMsg{endpoint_->address(), hb.token, 1});
@@ -331,6 +427,9 @@ void ServerNode::lead_handle_upload(
     }
     return;
   }
+  // An upload for round r proves the worker trained on θ_r, so it doubles
+  // as a broadcast ack for delta re-basing.
+  note_broadcast_ack(msg.worker, msg.round);
   if (slots != nullptr && msg.round == round) {
     (*slots)[msg.worker] = std::move(msg);
   } else if (msg.round > round) {
@@ -369,6 +468,9 @@ void ServerNode::collect_uploads(
       if (seen != last_seen_.end() &&
           now - seen->second > config_.timeouts.liveness) {
         dead_workers_.insert(i);
+        // Forget its broadcast ack: a rejoin re-bases on a dense
+        // checkpoint instead of a delta against θ it may have lost.
+        acked_round_.erase(i);
         metrics.dropped_workers->inc();
         util::log_warn() << "net: lead declared worker " << i
                          << " dead (silent beyond the liveness window)";
@@ -565,6 +667,49 @@ void ServerNode::process_summary(const RoundSummaryMsg& summary) {
   }
 }
 
+void ServerNode::note_broadcast_ack(NodeKey worker, std::uint64_t round) {
+  const auto [it, inserted] = acked_round_.try_emplace(worker, round);
+  if (!inserted && it->second < round) it->second = round;
+}
+
+const ModelBroadcastMsg& ServerNode::broadcast_for(
+    std::uint32_t worker, const ModelBroadcastMsg& dense,
+    std::span<const float> theta,
+    std::map<std::uint64_t, std::optional<ModelBroadcastMsg>>& delta_cache) {
+  const auto codec_it = peer_broadcast_codec_.find(worker);
+  if (codec_it == peer_broadcast_codec_.end() ||
+      codec_it->second != fl::Codec::kDelta) {
+    return dense;
+  }
+  const auto ack_it = acked_round_.find(worker);
+  if (ack_it == acked_round_.end()) return dense;  // never acked: re-base
+  const std::uint64_t base = ack_it->second;
+  auto cache_it = delta_cache.find(base);
+  if (cache_it == delta_cache.end()) {
+    // First worker basing on `base` this round: build (or decline) the
+    // delta once and cache the decision for the rest of the roster.
+    std::optional<ModelBroadcastMsg> built;
+    const auto hist_it = broadcast_history_.find(base);
+    if (hist_it != broadcast_history_.end() &&
+        hist_it->second.size() == theta.size()) {
+      fl::SparseVector delta = fl::delta_compress(hist_it->second, theta);
+      // Break-even on parameter payload: 5-9 bytes per sparse entry
+      // (varint index + f32) against 4 per dense param.
+      if (!config_.compression.delta_dense_fallback ||
+          delta.wire_bytes() < theta.size() * sizeof(float)) {
+        ModelBroadcastMsg msg;
+        msg.round = dense.round;
+        msg.codec = static_cast<std::uint8_t>(fl::Codec::kDelta);
+        msg.base_round = base;
+        msg.delta = std::move(delta);
+        built = std::move(msg);
+      }
+    }
+    cache_it = delta_cache.emplace(base, std::move(built)).first;
+  }
+  return cache_it->second ? *cache_it->second : dense;
+}
+
 void ServerNode::run_lead() {
   // Phase 0: wait for the full federation to join.
   const auto join_deadline = std::chrono::steady_clock::now() + config_.timeouts.join;
@@ -609,20 +754,35 @@ void ServerNode::run_lead() {
     revive_pending_.clear();
 
     // Broadcast θ_t to the live roster; every live worker's liveness
-    // window restarts here so a long collect cannot starve it.
+    // window restarts here so a long collect cannot starve it. Workers
+    // that negotiated kDelta get a sparse update against the last θ they
+    // acknowledged when that beats the dense checkpoint.
     ModelBroadcastMsg broadcast;
     broadcast.round = r;
     broadcast.checkpoint =
         nn::checkpoint_bytes(*global_model_, "round-" + std::to_string(r));
+    const std::vector<float> theta = global_model_->flatten_parameters();
+    std::map<std::uint64_t, std::optional<ModelBroadcastMsg>> delta_cache;
     for (std::uint32_t i = 0; i < topology_.workers; ++i) {
       if (dead_workers_.count(i) != 0) continue;
       last_seen_[i] = train_start;
       try {
         endpoint_->send_msg(topology_.worker_key(i),
-                            MessageType::kModelBroadcast, broadcast);
+                            MessageType::kModelBroadcast,
+                            broadcast_for(i, broadcast, theta, delta_cache));
       } catch (const std::exception& e) {
         util::log_warn() << "net: broadcast to worker " << i
                          << " failed: " << e.what();
+      }
+    }
+    const bool any_delta_peer = std::any_of(
+        peer_broadcast_codec_.begin(), peer_broadcast_codec_.end(),
+        [](const auto& kv) { return kv.second == fl::Codec::kDelta; });
+    if (any_delta_peer) {
+      broadcast_history_[r] = theta;
+      constexpr std::size_t kHistoryDepth = 8;
+      while (broadcast_history_.size() > kHistoryDepth) {
+        broadcast_history_.erase(broadcast_history_.begin());
       }
     }
 

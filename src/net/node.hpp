@@ -39,6 +39,21 @@
 //     the lead tolerates the gap (net.slice_gaps) instead of treating it
 //     as divergence. Bitwise slice verification still applies to every
 //     complete slice.
+//
+// Wire compression (negotiated at Join, see fl/compression.hpp):
+//   - A worker advertises a codec capability mask in its JoinMsg; the
+//     lead answers with the per-worker choice (its CompressionPolicy
+//     preference if advertised, kDense otherwise), so mixed-codec
+//     clusters work — every server densifies at canonicalize_uploads()
+//     and the assessment pipeline never sees a sparse vector.
+//   - kTopK uploads carry the keep_fraction largest-magnitude entries as
+//     sorted (index, value) pairs.
+//   - kDelta broadcasts send only the params whose bits changed since the
+//     round the worker last acknowledged (the per-round RTT ping and the
+//     uploads themselves double as acks); the lead keeps a bounded
+//     history of broadcast θ snapshots and falls back to a dense
+//     checkpoint when no usable baseline exists (round 0, rejoins,
+//     pruned history) or the delta would not actually be smaller.
 #pragma once
 
 #include <atomic>
@@ -48,6 +63,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "core/fifl.hpp"
@@ -94,6 +110,21 @@ struct QuorumConfig {
   double min_fraction = 0.5;
 };
 
+/// Lead-side wire-compression preferences, applied per worker at Join
+/// time: a worker gets the preferred codec iff it advertised support,
+/// kDense otherwise. The defaults keep every run byte-identical to the
+/// uncompressed protocol.
+struct CompressionPolicy {
+  fl::Codec upload = fl::Codec::kDense;     // kDense | kTopK
+  fl::Codec broadcast = fl::Codec::kDense;  // kDense | kDelta
+  /// kTopK keep fraction handed to workers in the JoinAck.
+  double topk_keep_fraction = 0.1;
+  /// kDelta falls back to a dense checkpoint when the sparse encoding
+  /// would be at least as large (break-even: half the params changed).
+  /// Tests disable the fallback to force the delta path deterministically.
+  bool delta_dense_fallback = true;
+};
+
 /// Per-round outcome collected by the lead server.
 struct NetRoundResult {
   std::uint64_t round = 0;
@@ -119,9 +150,12 @@ std::string parameter_hash(std::span<const float> params);
 
 class WorkerNode {
  public:
+  /// `supported_codecs` is the capability mask advertised in the JoinMsg
+  /// (must include fl::Codec::kDense, the negotiation fallback).
   WorkerNode(std::unique_ptr<fl::Worker> worker,
              std::unique_ptr<Endpoint> endpoint, Topology topology,
-             NodeTimeouts timeouts);
+             NodeTimeouts timeouts,
+             std::uint32_t supported_codecs = fl::kAllCodecs);
 
   /// Event loop: join, then train on every ModelBroadcast until Leave.
   /// Runs on the caller's thread (the cluster gives each node one).
@@ -142,9 +176,18 @@ class WorkerNode {
   std::unique_ptr<Endpoint> endpoint_;
   Topology topology_;
   NodeTimeouts timeouts_;
+  std::uint32_t supported_codecs_;
   std::atomic<bool> stop_{false};
   std::vector<double> observed_rewards_;
   std::map<std::uint64_t, std::chrono::steady_clock::time_point> ping_sent_;
+  /// Negotiated in the JoinAck.
+  fl::Codec upload_codec_ = fl::Codec::kDense;
+  double keep_fraction_ = 1.0;
+  /// Current θ replica for delta broadcasts: the parameters of round
+  /// `params_round_` (only trusted once has_params_ is set).
+  std::vector<float> params_;
+  std::uint64_t params_round_ = 0;
+  bool has_params_ = false;
 };
 
 struct ServerNodeConfig {
@@ -153,6 +196,7 @@ struct ServerNodeConfig {
   double global_learning_rate = 0.05;
   NodeTimeouts timeouts;
   QuorumConfig quorum;
+  CompressionPolicy compression;  // lead only: negotiation preferences
 };
 
 class ServerNode {
@@ -231,6 +275,22 @@ class ServerNode {
   /// replica has permanently lost sync with the lead's counted sequence.
   std::map<std::uint64_t, RoundSummaryMsg> pending_summaries_;
   bool diverged_ = false;
+  /// Lead only: per-worker negotiated broadcast codec (absent = kDense),
+  /// the latest round each worker acknowledged holding θ for (from round
+  /// pings and uploads; erased when the worker is declared dead so a
+  /// rejoin re-bases on a dense checkpoint), and the bounded history of
+  /// broadcast θ snapshots delta encoding bases on.
+  std::map<NodeKey, fl::Codec> peer_broadcast_codec_;
+  std::map<NodeKey, std::uint64_t> acked_round_;
+  std::map<std::uint64_t, std::vector<float>> broadcast_history_;
+
+  void note_broadcast_ack(NodeKey worker, std::uint64_t round);
+  /// Lead: builds worker i's broadcast for round r — `dense` when no
+  /// usable delta baseline exists or the delta would not be smaller.
+  const ModelBroadcastMsg& broadcast_for(
+      std::uint32_t worker, const ModelBroadcastMsg& dense,
+      std::span<const float> theta,
+      std::map<std::uint64_t, std::optional<ModelBroadcastMsg>>& delta_cache);
 };
 
 }  // namespace fifl::net

@@ -117,6 +117,9 @@ void TcpEndpoint::reader_loop(int fd) {
       decoder.feed(std::span(chunk, static_cast<std::size_t>(n)));
       while (auto frame = decoder.next()) {
         metrics.msgs_rx->inc();
+        if (obs::Counter* c = metrics.rx_for(frame->type)) {
+          c->inc(kFrameHeaderSize + frame->payload.size());
+        }
         inbox_.push(Envelope{frame->from,
                              static_cast<MessageType>(frame->type),
                              std::move(frame->payload)});
@@ -197,6 +200,9 @@ void TcpEndpoint::send(NodeKey to, MessageType type,
   }
   metrics.bytes_tx->inc(wire.size());
   metrics.msgs_tx->inc();
+  if (obs::Counter* c = metrics.tx_for(static_cast<std::uint8_t>(type))) {
+    c->inc(wire.size());
+  }
 }
 
 std::optional<Envelope> TcpEndpoint::recv(std::chrono::milliseconds timeout) {

@@ -10,21 +10,29 @@ namespace fifl::net {
 NetMetrics& NetMetrics::global() {
   static NetMetrics metrics = [] {
     auto& reg = obs::MetricsRegistry::global();
-    return NetMetrics{&reg.counter("net.bytes_tx"),
-                      &reg.counter("net.bytes_rx"),
-                      &reg.counter("net.msgs_tx"),
-                      &reg.counter("net.msgs_rx"),
-                      &reg.counter("net.frame_errors"),
-                      &reg.histogram("net.rtt_ms"),
-                      &reg.counter("net.send_retries"),
-                      &reg.counter("net.send_failures"),
-                      &reg.counter("net.late_uploads"),
-                      &reg.counter("net.dead_uploads"),
-                      &reg.counter("net.dropped_workers"),
-                      &reg.counter("net.worker_rejoins"),
-                      &reg.counter("net.rounds_degraded"),
-                      &reg.counter("net.slice_gaps"),
-                      &reg.counter("net.faults_injected")};
+    NetMetrics m{};
+    m.bytes_tx = &reg.counter("net.bytes_tx");
+    m.bytes_rx = &reg.counter("net.bytes_rx");
+    for (std::size_t i = 0; i < kMessageTypeCount; ++i) {
+      const char* name =
+          message_type_name(static_cast<MessageType>(i + 1));
+      m.bytes_tx_type[i] = &reg.counter(std::string("net.bytes_tx.") + name);
+      m.bytes_rx_type[i] = &reg.counter(std::string("net.bytes_rx.") + name);
+    }
+    m.msgs_tx = &reg.counter("net.msgs_tx");
+    m.msgs_rx = &reg.counter("net.msgs_rx");
+    m.frame_errors = &reg.counter("net.frame_errors");
+    m.rtt_ms = &reg.histogram("net.rtt_ms");
+    m.send_retries = &reg.counter("net.send_retries");
+    m.send_failures = &reg.counter("net.send_failures");
+    m.late_uploads = &reg.counter("net.late_uploads");
+    m.dead_uploads = &reg.counter("net.dead_uploads");
+    m.dropped_workers = &reg.counter("net.dropped_workers");
+    m.worker_rejoins = &reg.counter("net.worker_rejoins");
+    m.rounds_degraded = &reg.counter("net.rounds_degraded");
+    m.slice_gaps = &reg.counter("net.slice_gaps");
+    m.faults_injected = &reg.counter("net.faults_injected");
+    return m;
   }();
   return metrics;
 }
@@ -88,6 +96,9 @@ class LoopbackEndpoint : public Endpoint {
     std::shared_ptr<Inbox> inbox = transport_->inbox_for(to);
     metrics.bytes_rx->inc(wire.size());
     metrics.msgs_rx->inc();
+    const std::uint8_t raw = static_cast<std::uint8_t>(type);
+    if (obs::Counter* c = metrics.tx_for(raw)) c->inc(wire.size());
+    if (obs::Counter* c = metrics.rx_for(raw)) c->inc(wire.size());
     inbox->push(Envelope{frame->from, static_cast<MessageType>(frame->type),
                          std::move(frame->payload)});
   }

@@ -17,6 +17,7 @@
 // net.frame_errors for frames that failed to decode.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -79,6 +80,12 @@ class Transport {
 struct NetMetrics {
   obs::Counter* bytes_tx;
   obs::Counter* bytes_rx;
+  /// Per-message-type wire bytes (frame header + payload), indexed by
+  /// MessageType tag - 1; registered as net.bytes_tx.<type_name> /
+  /// net.bytes_rx.<type_name> so they ride along in every metrics
+  /// snapshot (BENCH_*.json) and per-round trace delta.
+  std::array<obs::Counter*, kMessageTypeCount> bytes_tx_type;
+  std::array<obs::Counter*, kMessageTypeCount> bytes_rx_type;
   obs::Counter* msgs_tx;
   obs::Counter* msgs_rx;
   obs::Counter* frame_errors;
@@ -93,6 +100,19 @@ struct NetMetrics {
   obs::Counter* rounds_degraded;  // lead rounds that ran below full roster
   obs::Counter* slice_gaps;       // follower slices missing or incomplete
   obs::Counter* faults_injected;  // FaultyTransport events (tests/chaos)
+
+  /// Per-type counter for a raw frame tag; nullptr for tags outside the
+  /// MessageType range (a peer speaking a newer protocol).
+  obs::Counter* tx_for(std::uint8_t raw_type) noexcept {
+    return raw_type >= 1 && raw_type <= kMessageTypeCount
+               ? bytes_tx_type[raw_type - 1]
+               : nullptr;
+  }
+  obs::Counter* rx_for(std::uint8_t raw_type) noexcept {
+    return raw_type >= 1 && raw_type <= kMessageTypeCount
+               ? bytes_rx_type[raw_type - 1]
+               : nullptr;
+  }
 
   static NetMetrics& global();
 };

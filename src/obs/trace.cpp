@@ -40,6 +40,20 @@ std::string RoundTrace::to_jsonl() const {
     w.key("late_uploads").value(net.late_uploads);
     w.key("send_retries").value(net.send_retries);
     w.key("dropped_workers").value(net.dropped_workers);
+    if (!net.bytes_tx_by_type.empty()) {
+      w.key("bytes_tx_by_type").begin_object();
+      for (const auto& [name, bytes] : net.bytes_tx_by_type) {
+        w.key(name).value(bytes);
+      }
+      w.end_object();
+    }
+    if (!net.bytes_rx_by_type.empty()) {
+      w.key("bytes_rx_by_type").begin_object();
+      for (const auto& [name, bytes] : net.bytes_rx_by_type) {
+        w.key(name).value(bytes);
+      }
+      w.end_object();
+    }
     w.end_object();
   }
   w.key("workers").begin_array();
@@ -95,6 +109,19 @@ RoundTrace RoundTrace::from_jsonl(std::string_view line) {
     }
     if (const JsonValue* v2 = net->find("dropped_workers")) {
       t.net.dropped_workers = static_cast<std::uint64_t>(v2->as_number());
+    }
+    // Per-type byte maps (absent in traces from older builds).
+    if (const JsonValue* v2 = net->find("bytes_tx_by_type")) {
+      for (const auto& [name, val] : v2->object) {
+        t.net.bytes_tx_by_type.emplace_back(
+            name, static_cast<std::uint64_t>(val.as_number()));
+      }
+    }
+    if (const JsonValue* v2 = net->find("bytes_rx_by_type")) {
+      for (const auto& [name, val] : v2->object) {
+        t.net.bytes_rx_by_type.emplace_back(
+            name, static_cast<std::uint64_t>(val.as_number()));
+      }
     }
   }
   const JsonValue& workers = v.at("workers");

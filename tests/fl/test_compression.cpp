@@ -1,0 +1,204 @@
+// fl/compression unit tests: deterministic top-k selection, bitwise
+// delta exactness, SparseVector round trips, and the sparsify_topk
+// forwarding alias (moved here from fl/attacks).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "fl/attacks.hpp"  // must still forward sparsify_topk
+#include "fl/compression.hpp"
+#include "util/rng.hpp"
+
+namespace fifl::fl {
+namespace {
+
+TEST(Compression, CodecNamesAndBits) {
+  EXPECT_STREQ(codec_name(Codec::kDense), "dense");
+  EXPECT_STREQ(codec_name(Codec::kTopK), "topk");
+  EXPECT_STREQ(codec_name(Codec::kDelta), "delta");
+  EXPECT_TRUE(codec_in(kAllCodecs, Codec::kDense));
+  EXPECT_TRUE(codec_in(kAllCodecs, Codec::kTopK));
+  EXPECT_TRUE(codec_in(kAllCodecs, Codec::kDelta));
+  EXPECT_FALSE(codec_in(codec_bit(Codec::kDense), Codec::kTopK));
+}
+
+TEST(Compression, TopKKeepsExactCount) {
+  const std::vector<float> dense{5.0f, -1.0f, 3.0f, 0.0f, -4.0f, 2.0f};
+  const SparseVector s = topk_compress(dense, 0.5);
+  ASSERT_EQ(s.size(), 3u);  // floor(0.5 * 6)
+  EXPECT_EQ(s.dense_size, 6u);
+  // Top-3 magnitudes are 5, -4, 3, returned in index order.
+  EXPECT_EQ(s.indices, (std::vector<std::uint32_t>{0, 2, 4}));
+  EXPECT_EQ(s.values, (std::vector<float>{5.0f, 3.0f, -4.0f}));
+}
+
+TEST(Compression, TopKKeepsAtLeastOne) {
+  const std::vector<float> dense{0.5f, -2.0f, 1.0f};
+  const SparseVector s = topk_compress(dense, 0.01);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.indices[0], 1u);
+  EXPECT_EQ(s.values[0], -2.0f);
+}
+
+TEST(Compression, TopKBreaksMagnitudeTiesByLowerIndex) {
+  // All magnitudes equal: the kept set must be the lowest indices, not
+  // whatever nth_element's partial order happens to leave.
+  const std::vector<float> dense{1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f};
+  const SparseVector s = topk_compress(dense, 0.5);
+  EXPECT_EQ(s.indices, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(Compression, TopKIsDeterministicAcrossCalls) {
+  util::Rng rng(7);
+  std::vector<float> dense(2000);
+  for (auto& x : dense) x = static_cast<float>(rng.gaussian());
+  const SparseVector a = topk_compress(dense, 0.1);
+  const SparseVector b = topk_compress(dense, 0.1);
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.values, b.values);
+  ASSERT_EQ(a.size(), 200u);
+  for (std::size_t i = 1; i < a.indices.size(); ++i) {
+    EXPECT_LT(a.indices[i - 1], a.indices[i]);
+  }
+}
+
+TEST(Compression, TopKFullKeepIsIdentity) {
+  const std::vector<float> dense{1.0f, 0.0f, -3.0f};
+  const SparseVector s = topk_compress(dense, 1.0);
+  EXPECT_EQ(s.densify(), dense);
+}
+
+TEST(Compression, TopKRejectsBadKeepFraction) {
+  const std::vector<float> dense{1.0f};
+  EXPECT_THROW(topk_compress(dense, 0.0), std::invalid_argument);
+  EXPECT_THROW(topk_compress(dense, -0.1), std::invalid_argument);
+  EXPECT_THROW(topk_compress(dense, 1.5), std::invalid_argument);
+}
+
+TEST(Compression, IndexVarintRoundTripsAcrossWidths) {
+  const std::uint32_t cases[] = {0u,
+                                 1u,
+                                 127u,
+                                 128u,
+                                 16383u,
+                                 16384u,
+                                 (1u << 21) - 1,
+                                 1u << 21,
+                                 (1u << 28) - 1,
+                                 1u << 28,
+                                 std::numeric_limits<std::uint32_t>::max()};
+  for (const std::uint32_t v : cases) {
+    util::ByteWriter w;
+    write_index_varint(w, v);
+    const auto bytes = w.take();
+    EXPECT_EQ(bytes.size(), index_varint_size(v)) << v;
+    util::ByteReader r(bytes);
+    EXPECT_EQ(read_index_varint(r), v);
+    EXPECT_TRUE(r.exhausted()) << v;
+  }
+}
+
+TEST(Compression, DensifyRoundTripsThroughWire) {
+  util::Rng rng(11);
+  std::vector<float> dense(512);
+  for (auto& x : dense) x = static_cast<float>(rng.gaussian());
+  const SparseVector s = topk_compress(dense, 0.25);
+  util::ByteWriter w;
+  s.encode(w);
+  const auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), s.wire_bytes());
+  util::ByteReader r(bytes);
+  const SparseVector back = SparseVector::decode(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(back.dense_size, s.dense_size);
+  EXPECT_EQ(back.indices, s.indices);
+  EXPECT_EQ(back.values, s.values);
+  // Densified reconstruction matches the kept entries and zeroes the rest.
+  const std::vector<float> full = back.densify();
+  ASSERT_EQ(full.size(), dense.size());
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (full[i] != 0.0f) {
+      EXPECT_EQ(full[i], dense[i]) << "index " << i;
+      ++kept;
+    }
+  }
+  EXPECT_EQ(kept, s.size());
+}
+
+TEST(Compression, DeltaReconstructsBitwise) {
+  // Signed zero and NaN-payload transitions must survive: the replica
+  // hash is over raw bits, so "close enough" application forks replicas.
+  const float nan1 = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> base{1.0f, 0.0f, -2.5f, 3.0f, 0.0f};
+  std::vector<float> next{1.0f, -0.0f, -2.5f, nan1, 7.0f};
+  const SparseVector delta = delta_compress(base, next);
+  EXPECT_EQ(delta.indices, (std::vector<std::uint32_t>{1, 3, 4}));
+  std::vector<float> patched = base;
+  delta.apply_to(patched);
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(patched[i]),
+              std::bit_cast<std::uint32_t>(next[i]))
+        << "index " << i;
+  }
+}
+
+TEST(Compression, DeltaOfIdenticalVectorsIsEmpty) {
+  const std::vector<float> v{1.0f, -2.0f, 0.0f};
+  const SparseVector delta = delta_compress(v, v);
+  EXPECT_EQ(delta.size(), 0u);
+  EXPECT_EQ(delta.dense_size, 3u);
+}
+
+TEST(Compression, DeltaRejectsSizeMismatch) {
+  const std::vector<float> a{1.0f, 2.0f};
+  const std::vector<float> b{1.0f};
+  EXPECT_THROW(delta_compress(a, b), std::invalid_argument);
+}
+
+TEST(Compression, ApplyToRejectsSizeMismatch) {
+  SparseVector s;
+  s.dense_size = 4;
+  std::vector<float> wrong(3, 0.0f);
+  EXPECT_THROW(s.apply_to(wrong), std::invalid_argument);
+}
+
+TEST(Compression, DecodeRejectsMoreEntriesThanDenseSize) {
+  util::ByteWriter w;
+  w.write_u64(1);  // dense_size
+  w.write_u64(2);  // count > dense_size
+  w.write_u32(0);
+  w.write_f32(1.0f);
+  w.write_u32(1);
+  w.write_f32(2.0f);
+  const auto bytes = w.take();
+  util::ByteReader r(bytes);
+  EXPECT_THROW(SparseVector::decode(r), util::SerializeError);
+}
+
+TEST(Compression, SparsifyTopkMatchesTopkCompressSelection) {
+  util::Rng rng(13);
+  std::vector<float> dense(300);
+  for (auto& x : dense) x = static_cast<float>(rng.gaussian());
+  Gradient g(dense);
+  sparsify_topk(g, 0.1);  // via the fl/attacks forwarding include
+  const SparseVector s = topk_compress(dense, 0.1);
+  const std::vector<float> expected = s.densify();
+  ASSERT_EQ(g.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(g[static_cast<std::size_t>(i)], expected[i]) << "index " << i;
+  }
+}
+
+TEST(Compression, SparsifyTopkFullKeepIsNoOp) {
+  Gradient g(std::vector<float>{1.0f, -2.0f, 3.0f});
+  sparsify_topk(g, 1.0);
+  EXPECT_EQ(g[0], 1.0f);
+  EXPECT_EQ(g[1], -2.0f);
+  EXPECT_EQ(g[2], 3.0f);
+}
+
+}  // namespace
+}  // namespace fifl::fl

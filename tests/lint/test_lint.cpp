@@ -130,6 +130,24 @@ TEST(FiflLint, ListWaiversAuditsAllWaivers) {
   EXPECT_NE(run.output.find("3 waiver(s)"), std::string::npos) << run.output;
 }
 
+TEST(FiflLint, AuditWaiversPassesOnJustifiedUsedWaivers) {
+  const LintRun run =
+      run_lint(fixture("waived") + " --no-headers --audit-waivers");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("0 failing audit"), std::string::npos)
+      << run.output;
+}
+
+TEST(FiflLint, AuditWaiversFailsOnUnjustifiedWaiver) {
+  const LintRun run =
+      run_lint(fixture("unjustified") + " --no-headers --audit-waivers");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("(UNJUSTIFIED)"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("1 failing audit"), std::string::npos)
+      << run.output;
+}
+
 TEST(FiflLint, UnjustifiedWaiverIsAFinding) {
   const LintRun run = run_lint(fixture("unjustified") + " --no-headers");
   EXPECT_EQ(run.exit_code, 1) << run.output;

@@ -1,0 +1,211 @@
+// Wire-compression behaviour of the cluster runtime: kTopK uploads save
+// ≥5× gradient-upload bandwidth while assessment still rejects the
+// attackers, mixed-codec clusters assess correctly on the densified
+// gradients, and kDelta broadcasts reproduce the dense run bit for bit
+// (delta application is bitwise exact by construction).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/fifl.hpp"
+#include "data/synthetic.hpp"
+#include "fl/compression.hpp"
+#include "fl/simulator.hpp"
+#include "net/cluster.hpp"
+#include "nn/models.hpp"
+
+namespace fifl::net {
+namespace {
+
+constexpr std::size_t kWorkers = 8;
+constexpr std::size_t kServers = 2;
+constexpr std::size_t kRounds = 5;
+constexpr std::uint64_t kSeed = 42;
+
+fl::ModelFactory mlp_factory() {
+  return [](util::Rng& rng) {
+    auto model = std::make_unique<nn::Sequential>();
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(64, 16, rng);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::Linear>(16, 10, rng);
+    return model;
+  };
+}
+
+data::TrainTestSplit make_split() {
+  auto spec = data::mnist_like(kWorkers * 120, 21);
+  spec.image_size = 8;
+  spec.noise = 0.5;
+  return data::make_synthetic_split(spec, 200);
+}
+
+std::vector<fl::WorkerSetup> make_setups(const data::TrainTestSplit& split) {
+  // Honest majority plus two sign-flippers (workers 6 and 7), so every
+  // run exercises detection on compressed uploads.
+  std::vector<fl::BehaviourPtr> behaviours;
+  for (int i = 0; i < 6; ++i) {
+    behaviours.push_back(std::make_unique<fl::HonestBehaviour>());
+  }
+  behaviours.push_back(std::make_unique<fl::SignFlipBehaviour>(6.0));
+  behaviours.push_back(std::make_unique<fl::SignFlipBehaviour>(10.0));
+  util::Rng rng(3);
+  return fl::make_worker_setups(split.train, std::move(behaviours), rng);
+}
+
+ClusterConfig base_config() {
+  ClusterConfig cfg;
+  cfg.sim.seed = kSeed;
+  cfg.sim.batch_size = 64;
+  cfg.fifl.servers = kServers;
+  cfg.rounds = kRounds;
+  cfg.transport = TransportKind::kLoopback;
+  cfg.timeouts.join = std::chrono::milliseconds(30000);
+  cfg.timeouts.phase = std::chrono::milliseconds(30000);
+  return cfg;
+}
+
+std::uint64_t tx_bytes(MessageType type) {
+  return NetMetrics::global()
+      .bytes_tx_type[static_cast<std::size_t>(type) - 1]
+      ->value();
+}
+
+struct RunOutcome {
+  std::vector<NetRoundResult> results;
+  std::uint64_t upload_bytes = 0;     // net.bytes_tx.gradient_upload delta
+  std::uint64_t broadcast_bytes = 0;  // net.bytes_tx.model_broadcast delta
+  std::vector<obs::RoundTrace> traces;
+};
+
+RunOutcome run_cluster(ClusterConfig cfg) {
+  const auto split = make_split();
+  Cluster cluster(cfg, mlp_factory(), make_setups(split), split.test);
+  obs::RoundTraceRecorder recorder;  // memory-only
+  cluster.set_trace_recorder(&recorder);
+  const std::uint64_t upload_before = tx_bytes(MessageType::kGradientUpload);
+  const std::uint64_t bcast_before = tx_bytes(MessageType::kModelBroadcast);
+  RunOutcome out;
+  out.results = cluster.run();
+  out.upload_bytes = tx_bytes(MessageType::kGradientUpload) - upload_before;
+  out.broadcast_bytes = tx_bytes(MessageType::kModelBroadcast) - bcast_before;
+  out.traces = recorder.traces();
+  return out;
+}
+
+std::size_t total_rejected(const std::vector<NetRoundResult>& results) {
+  std::size_t n = 0;
+  for (const auto& r : results) n += r.rejected;
+  return n;
+}
+
+void expect_attackers_assessed(const std::vector<NetRoundResult>& results) {
+  ASSERT_EQ(results.size(), kRounds);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.counted, kWorkers) << "round " << r.round;
+    EXPECT_FALSE(r.degraded) << "round " << r.round;
+  }
+  EXPECT_GT(total_rejected(results), 0u);
+  // The sign-flippers (6, 7) must end below every honest worker.
+  const auto& rep = results.back().reputations;
+  ASSERT_EQ(rep.size(), kWorkers);
+  const double honest_min = *std::min_element(rep.begin(), rep.begin() + 6);
+  EXPECT_LT(rep[6], honest_min);
+  EXPECT_LT(rep[7], honest_min);
+}
+
+TEST(NetCompression, TopKUploadsSaveFiveFoldBandwidth) {
+  const RunOutcome dense = run_cluster(base_config());
+  expect_attackers_assessed(dense.results);
+
+  ClusterConfig cfg = base_config();
+  cfg.compression.upload = fl::Codec::kTopK;
+  cfg.compression.topk_keep_fraction = 0.1;
+  const RunOutcome topk = run_cluster(cfg);
+  expect_attackers_assessed(topk.results);
+
+  // The acceptance bar: ≥5× fewer gradient-upload bytes per round at
+  // keep_fraction 0.1 (varint indices are what clear it; fixed u32
+  // indices would cap the ratio just below 5).
+  ASSERT_GT(topk.upload_bytes, 0u);
+  EXPECT_GE(dense.upload_bytes, 5 * topk.upload_bytes)
+      << "dense " << dense.upload_bytes << " vs topk " << topk.upload_bytes;
+
+  // Per-type byte accounting must surface in the round traces.
+  ASSERT_EQ(topk.traces.size(), kRounds);
+  for (const auto& trace : topk.traces) {
+    ASSERT_TRUE(trace.has_net);
+    const auto& by_type = trace.net.bytes_tx_by_type;
+    const auto it = std::find_if(
+        by_type.begin(), by_type.end(),
+        [](const auto& kv) { return kv.first == "gradient_upload"; });
+    ASSERT_NE(it, by_type.end()) << "round " << trace.round;
+    EXPECT_GT(it->second, 0u);
+  }
+}
+
+TEST(NetCompression, MixedCodecClusterAssessesDensifiedGradients) {
+  // Workers 0-3 advertise everything, 4-7 only kDense: the lead must run
+  // a mixed roster (sparse and dense uploads in the same round) and the
+  // densified assessment must still isolate the attackers.
+  ClusterConfig cfg = base_config();
+  cfg.compression.upload = fl::Codec::kTopK;
+  cfg.compression.topk_keep_fraction = 0.1;
+  cfg.worker_codecs.assign(kWorkers, fl::codec_bit(fl::Codec::kDense));
+  for (std::size_t i = 0; i < 4; ++i) cfg.worker_codecs[i] = fl::kAllCodecs;
+  const RunOutcome mixed = run_cluster(cfg);
+  expect_attackers_assessed(mixed.results);
+  for (const auto& r : mixed.results) {
+    for (const double reward : r.rewards) {
+      EXPECT_TRUE(std::isfinite(reward)) << "round " << r.round;
+    }
+  }
+}
+
+TEST(NetCompression, DeltaBroadcastsReproduceDenseRunBitForBit) {
+  const RunOutcome dense = run_cluster(base_config());
+
+  ClusterConfig cfg = base_config();
+  cfg.compression.broadcast = fl::Codec::kDelta;
+  cfg.compression.delta_dense_fallback = false;  // force the delta path
+  const RunOutcome delta = run_cluster(cfg);
+
+  // Delta application is bitwise, so the runs must be indistinguishable
+  // in every assessment output — only the broadcast bytes may differ.
+  ASSERT_EQ(delta.results.size(), dense.results.size());
+  for (std::size_t r = 0; r < dense.results.size(); ++r) {
+    EXPECT_EQ(delta.results[r].model_hash, dense.results[r].model_hash)
+        << "round " << r;
+    EXPECT_EQ(delta.results[r].reputations, dense.results[r].reputations)
+        << "round " << r;
+    EXPECT_EQ(delta.results[r].rewards, dense.results[r].rewards)
+        << "round " << r;
+  }
+  // The delta path must actually have been exercised (round 0 is dense,
+  // every later broadcast is a forced delta — with SGD touching nearly
+  // all params those deltas are larger, not smaller; the fallback we
+  // disabled is what makes the codec a win in production).
+  EXPECT_NE(delta.broadcast_bytes, dense.broadcast_bytes);
+}
+
+TEST(NetCompression, DenseOnlyWorkersIgnoreTopKPolicy) {
+  // A policy preferring kTopK against a roster that only advertises
+  // kDense must degrade to the dense protocol: same bytes as a dense run.
+  ClusterConfig cfg = base_config();
+  cfg.compression.upload = fl::Codec::kTopK;
+  cfg.compression.broadcast = fl::Codec::kDelta;
+  cfg.worker_codecs.assign(kWorkers, fl::codec_bit(fl::Codec::kDense));
+  const RunOutcome forced_dense = run_cluster(cfg);
+  const RunOutcome plain = run_cluster(base_config());
+  expect_attackers_assessed(forced_dense.results);
+  EXPECT_EQ(forced_dense.upload_bytes, plain.upload_bytes);
+  EXPECT_EQ(forced_dense.broadcast_bytes, plain.broadcast_bytes);
+  for (std::size_t r = 0; r < plain.results.size(); ++r) {
+    EXPECT_EQ(forced_dense.results[r].model_hash, plain.results[r].model_hash)
+        << "round " << r;
+  }
+}
+
+}  // namespace
+}  // namespace fifl::net

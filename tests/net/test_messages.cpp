@@ -275,7 +275,184 @@ TEST(Messages, GradientCountGuardRejectsHugeClaims) {
   w.write_u32(0);   // worker
   w.write_u64(10);  // samples
   w.write_u8(0);    // ground_truth_attack
+  w.write_u8(0);    // codec (kDense)
   w.write_u64(0xFFFFFFFFFFFFull);  // gradient count claim, no data
+  const auto payload = w.take();
+  EXPECT_THROW(decode_payload<GradientUploadMsg>(payload),
+               util::SerializeError);
+}
+
+TEST(Messages, JoinCarriesCodecMask) {
+  JoinMsg msg{21, NodeRole::kWorker, fl::kAllCodecs};
+  const auto back = decode_payload<JoinMsg>(encode_payload(msg));
+  EXPECT_EQ(back.codecs, fl::kAllCodecs);
+  EXPECT_TRUE(fl::codec_in(back.codecs, fl::Codec::kTopK));
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, JoinRejectsMaskWithoutDense) {
+  // kDense is the negotiation fallback; a mask without it is unusable.
+  util::ByteWriter w;
+  w.write_u32(1);
+  w.write_u8(0);  // role
+  w.write_u32(fl::codec_bit(fl::Codec::kTopK));
+  const auto payload = w.take();
+  EXPECT_THROW(decode_payload<JoinMsg>(payload), util::SerializeError);
+}
+
+TEST(Messages, JoinAckCarriesNegotiatedCodecs) {
+  JoinAckMsg msg{3, 8, 2, 1210, 25};
+  msg.upload_codec = static_cast<std::uint8_t>(fl::Codec::kTopK);
+  msg.broadcast_codec = static_cast<std::uint8_t>(fl::Codec::kDelta);
+  msg.keep_fraction = 0.1;
+  const auto back = decode_payload<JoinAckMsg>(encode_payload(msg));
+  EXPECT_EQ(back.upload_codec, static_cast<std::uint8_t>(fl::Codec::kTopK));
+  EXPECT_EQ(back.broadcast_codec,
+            static_cast<std::uint8_t>(fl::Codec::kDelta));
+  EXPECT_DOUBLE_EQ(back.keep_fraction, 0.1);
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, JoinAckRejectsDirectionMismatchedCodecs) {
+  // Uploads never travel as kDelta, broadcasts never as kTopK.
+  JoinAckMsg msg{3, 8, 2, 1210, 25};
+  auto payload = encode_payload(msg);
+  const std::size_t codec_off = payload.size() - 10;  // upload_codec byte
+  payload[codec_off] = static_cast<std::uint8_t>(fl::Codec::kDelta);
+  EXPECT_THROW(decode_payload<JoinAckMsg>(payload), util::SerializeError);
+  payload[codec_off] = static_cast<std::uint8_t>(fl::Codec::kDense);
+  payload[codec_off + 1] = static_cast<std::uint8_t>(fl::Codec::kTopK);
+  EXPECT_THROW(decode_payload<JoinAckMsg>(payload), util::SerializeError);
+}
+
+TEST(Messages, JoinAckRejectsKeepFractionOutsideUnitInterval) {
+  JoinAckMsg msg{3, 8, 2, 1210, 25};
+  for (const double bad : {0.0, -0.5, 1.5}) {
+    msg.keep_fraction = bad;
+    EXPECT_THROW(decode_payload<JoinAckMsg>(encode_payload(msg)),
+                 util::SerializeError)
+        << "keep_fraction " << bad;
+  }
+}
+
+TEST(Messages, ModelBroadcastDeltaRoundTrip) {
+  ModelBroadcastMsg msg;
+  msg.round = 9;
+  msg.codec = static_cast<std::uint8_t>(fl::Codec::kDelta);
+  msg.base_round = 8;
+  msg.delta.dense_size = 100;
+  msg.delta.indices = {2, 40, 99};
+  msg.delta.values = {1.5f, -0.25f, 3.0f};
+  const auto back = decode_payload<ModelBroadcastMsg>(encode_payload(msg));
+  EXPECT_EQ(back.codec, static_cast<std::uint8_t>(fl::Codec::kDelta));
+  EXPECT_EQ(back.base_round, 8u);
+  EXPECT_EQ(back.delta.dense_size, 100u);
+  EXPECT_EQ(back.delta.indices, msg.delta.indices);
+  EXPECT_EQ(back.delta.values, msg.delta.values);
+  EXPECT_TRUE(back.checkpoint.empty());
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, ModelBroadcastRejectsTopKCodec) {
+  util::ByteWriter w;
+  w.write_u64(1);
+  w.write_u8(static_cast<std::uint8_t>(fl::Codec::kTopK));
+  const auto payload = w.take();
+  EXPECT_THROW(decode_payload<ModelBroadcastMsg>(payload),
+               util::SerializeError);
+}
+
+GradientUploadMsg sample_sparse_upload() {
+  GradientUploadMsg msg;
+  msg.round = 3;
+  msg.worker = 5;
+  msg.samples = 120;
+  msg.codec = static_cast<std::uint8_t>(fl::Codec::kTopK);
+  msg.sparse.dense_size = 1210;
+  msg.sparse.indices = {0, 7, 600, 1209};
+  msg.sparse.values = {0.5f, -2.0f, 1.25f, -0.125f};
+  return msg;
+}
+
+TEST(Messages, GradientUploadTopKRoundTrip) {
+  const GradientUploadMsg msg = sample_sparse_upload();
+  const auto back = decode_payload<GradientUploadMsg>(encode_payload(msg));
+  EXPECT_EQ(back.codec, static_cast<std::uint8_t>(fl::Codec::kTopK));
+  EXPECT_EQ(back.sparse.dense_size, 1210u);
+  EXPECT_EQ(back.sparse.indices, msg.sparse.indices);
+  EXPECT_EQ(back.sparse.values, msg.sparse.values);
+  const fl::Gradient dense = back.dense_gradient();
+  ASSERT_EQ(dense.size(), 1210u);
+  EXPECT_EQ(dense[7], -2.0f);
+  EXPECT_EQ(dense[8], 0.0f);
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, GradientUploadRejectsDeltaCodec) {
+  util::ByteWriter w;
+  w.write_u64(3);
+  w.write_u32(0);
+  w.write_u64(10);
+  w.write_u8(0);
+  w.write_u8(static_cast<std::uint8_t>(fl::Codec::kDelta));
+  const auto payload = w.take();
+  EXPECT_THROW(decode_payload<GradientUploadMsg>(payload),
+               util::SerializeError);
+}
+
+/// Re-encodes the sample sparse upload with its index array replaced, to
+/// prove decode validates index structure, not just lengths.
+std::vector<std::uint8_t> sparse_upload_with_indices(
+    const std::vector<std::uint32_t>& indices) {
+  GradientUploadMsg msg = sample_sparse_upload();
+  util::ByteWriter w;
+  w.write_u64(msg.round);
+  w.write_u32(msg.worker);
+  w.write_u64(msg.samples);
+  w.write_u8(msg.ground_truth_attack);
+  w.write_u8(msg.codec);
+  w.write_u64(msg.sparse.dense_size);
+  w.write_u64(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    fl::write_index_varint(w, indices[i]);
+    w.write_f32(msg.sparse.values[i % msg.sparse.values.size()]);
+  }
+  return w.take();
+}
+
+TEST(Messages, SparseUploadRejectsDuplicateIndices) {
+  const auto payload = sparse_upload_with_indices({0, 7, 7, 1209});
+  EXPECT_THROW(decode_payload<GradientUploadMsg>(payload),
+               util::SerializeError);
+}
+
+TEST(Messages, SparseUploadRejectsNonMonotonicIndices) {
+  const auto payload = sparse_upload_with_indices({0, 600, 7, 1209});
+  EXPECT_THROW(decode_payload<GradientUploadMsg>(payload),
+               util::SerializeError);
+}
+
+TEST(Messages, SparseUploadRejectsOutOfRangeIndex) {
+  const auto payload = sparse_upload_with_indices({0, 7, 600, 1210});
+  EXPECT_THROW(decode_payload<GradientUploadMsg>(payload),
+               util::SerializeError);
+}
+
+TEST(Messages, SparseUploadRejectsHugeEntryCountClaims) {
+  // Entry count must be guarded against remaining()/8 before allocation.
+  GradientUploadMsg msg = sample_sparse_upload();
+  util::ByteWriter w;
+  w.write_u64(msg.round);
+  w.write_u32(msg.worker);
+  w.write_u64(msg.samples);
+  w.write_u8(msg.ground_truth_attack);
+  w.write_u8(msg.codec);
+  w.write_u64(msg.sparse.dense_size);
+  w.write_u64(0xFFFFFFFFFFFFull);  // entry count claim, no data
   const auto payload = w.take();
   EXPECT_THROW(decode_payload<GradientUploadMsg>(payload),
                util::SerializeError);

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fl/compression.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 
@@ -132,6 +133,148 @@ TEST(SerializeFuzz, NearMaxReadRequestThrows) {
   r.read_u8();  // cursor > 0 so cursor + n wraps if computed naively
   EXPECT_THROW(r.read_bytes(std::numeric_limits<std::size_t>::max() - 4),
                SerializeError);
+}
+
+// --- sparse codec frames (fl::SparseVector wire layout) ------------------
+
+/// A random valid sparse vector over a dense size in [1, 4096].
+std::vector<std::uint8_t> sample_sparse(util::Rng& rng) {
+  const auto dense_size =
+      1 + static_cast<std::size_t>(rng.uniform(0.0, 4096.0));
+  std::vector<float> dense(dense_size);
+  for (auto& x : dense) x = static_cast<float>(rng.gaussian());
+  const double keep = rng.uniform(0.05, 1.0);
+  const fl::SparseVector s = fl::topk_compress(dense, keep);
+  ByteWriter w;
+  s.encode(w);
+  return w.take();
+}
+
+void consume_sparse(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  (void)fl::SparseVector::decode(r);
+  if (!r.exhausted()) {
+    throw SerializeError("trailing bytes");
+  }
+}
+
+TEST(SerializeFuzz, SparseValidRecordsRoundTrip) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    EXPECT_NO_THROW(consume_sparse(sample_sparse(rng)));
+  }
+}
+
+TEST(SerializeFuzz, SparseEveryTruncationThrows) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto bytes = sample_sparse(rng);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_THROW(consume_sparse(std::span(bytes).first(len)),
+                   SerializeError)
+          << "trial " << trial << " prefix " << len << "/" << bytes.size();
+    }
+  }
+}
+
+TEST(SerializeFuzz, SparseRandomCorruptionNeverCrashes) {
+  // Corrupted counts, indices (duplicate / out-of-range / non-monotonic
+  // after bit flips), and varint continuation bits must all land in
+  // SerializeError or a still-well-formed decode — never UB. The ASan /
+  // UBSan lanes give this test its teeth.
+  util::Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto bytes = sample_sparse(rng);
+    const int flips = 1 + static_cast<int>(rng.uniform(0.0, 8.0));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(bytes.size())));
+      bytes[pos] = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+    }
+    try {
+      consume_sparse(bytes);
+    } catch (const SerializeError&) {
+    }
+  }
+}
+
+TEST(SerializeFuzz, SparseRandomGarbageNeverCrashes) {
+  util::Rng rng(8);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> garbage(
+        static_cast<std::size_t>(rng.uniform(0.0, 120.0)));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+    }
+    try {
+      consume_sparse(garbage);
+    } catch (const SerializeError&) {
+    }
+  }
+}
+
+/// Hand-writes a sparse payload with the given explicit indices.
+std::vector<std::uint8_t> sparse_with_indices(
+    std::uint64_t dense_size, const std::vector<std::uint32_t>& indices) {
+  ByteWriter w;
+  w.write_u64(dense_size);
+  w.write_u64(indices.size());
+  for (const std::uint32_t idx : indices) {
+    fl::write_index_varint(w, idx);
+    w.write_f32(1.0f);
+  }
+  return w.take();
+}
+
+TEST(SerializeFuzz, SparseDuplicateIndicesThrow) {
+  EXPECT_THROW(consume_sparse(sparse_with_indices(100, {3, 7, 7, 50})),
+               SerializeError);
+}
+
+TEST(SerializeFuzz, SparseNonMonotonicIndicesThrow) {
+  EXPECT_THROW(consume_sparse(sparse_with_indices(100, {3, 50, 7, 80})),
+               SerializeError);
+}
+
+TEST(SerializeFuzz, SparseOutOfRangeIndexThrows) {
+  EXPECT_THROW(consume_sparse(sparse_with_indices(100, {3, 7, 100})),
+               SerializeError);
+}
+
+TEST(SerializeFuzz, SparseHugeEntryCountClaimThrows) {
+  // Count must be guarded against remaining bytes before any allocation.
+  ByteWriter w;
+  w.write_u64(1ull << 60);  // dense_size
+  w.write_u64(1ull << 59);  // entry count claim, no data behind it
+  const auto bytes = w.take();
+  EXPECT_THROW(consume_sparse(bytes), SerializeError);
+}
+
+TEST(SerializeFuzz, SparseOverlongVarintIndexThrows) {
+  // 6 continuation bytes: longer than any valid u32 LEB128 encoding.
+  ByteWriter w;
+  w.write_u64(100);
+  w.write_u64(1);
+  for (int i = 0; i < 6; ++i) w.write_u8(0x80);
+  w.write_u8(0x01);
+  w.write_f32(1.0f);
+  const auto bytes = w.take();
+  EXPECT_THROW(consume_sparse(bytes), SerializeError);
+}
+
+TEST(SerializeFuzz, SparseVarintOverflowThrows) {
+  // 5-byte varint whose top chunk exceeds the 4 bits a u32 has left.
+  ByteWriter w;
+  w.write_u64(std::numeric_limits<std::uint32_t>::max());
+  w.write_u64(1);
+  w.write_u8(0xFF);
+  w.write_u8(0xFF);
+  w.write_u8(0xFF);
+  w.write_u8(0xFF);
+  w.write_u8(0x1F);  // chunk 0x1F > 0x0F: bit 36 territory
+  w.write_f32(1.0f);
+  const auto bytes = w.take();
+  EXPECT_THROW(consume_sparse(bytes), SerializeError);
 }
 
 }  // namespace

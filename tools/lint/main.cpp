@@ -1,7 +1,7 @@
 // fifl-lint CLI.
 //
 //   fifl-lint [--root DIR] [--cxx PATH] [--no-headers] [--json FILE]
-//             [--list-waivers] [--quiet]
+//             [--list-waivers] [--audit-waivers] [--quiet]
 //
 // Scans src/, tests/, bench/, examples/ under --root (default: cwd) and
 // prints findings as `file:line: rule-id: message`.  Exit codes:
@@ -13,7 +13,10 @@
 // used to syntax-check a generated one-include TU per header; the ctest
 // wiring passes CMAKE_CXX_COMPILER.  --list-waivers prints the waiver audit
 // (file, rule, justification, whether the waiver still matches a finding)
-// and exits 0 — the follow-up audit hook named in ROADMAP.md.
+// and exits 0.  --audit-waivers prints the same list but exits 1 when any
+// waiver is unjustified (no `-- reason`) or stale (no matching finding) —
+// the CI gate (ctest -L lint) that keeps new code from accreting silent
+// exemptions, closing the ROADMAP follow-up.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,7 +28,7 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--root DIR] [--cxx PATH] [--no-headers] [--json FILE]"
-               " [--list-waivers] [--quiet]\n";
+               " [--list-waivers] [--audit-waivers] [--quiet]\n";
   return 2;
 }
 
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
   cfg.root = std::filesystem::current_path();
   std::string json_path;
   bool list_waivers = false;
+  bool audit_waivers = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -63,6 +67,8 @@ int main(int argc, char** argv) {
       cfg.check_headers = false;
     } else if (arg == "--list-waivers") {
       list_waivers = true;
+    } else if (arg == "--audit-waivers") {
+      audit_waivers = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -89,16 +95,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (list_waivers) {
+  if (list_waivers || audit_waivers) {
+    std::size_t bad = 0;
     for (const auto& w : report.waivers) {
+      const bool unjustified = w.justification.empty();
+      if (unjustified || !w.used) ++bad;
       std::cout << w.file << ":" << w.line << ": allow(" << w.rule << ")"
                 << (w.used ? "" : " [no matching finding]") << " -- "
-                << (w.justification.empty() ? "(UNJUSTIFIED)"
-                                            : w.justification)
-                << "\n";
+                << (unjustified ? "(UNJUSTIFIED)" : w.justification) << "\n";
     }
-    std::cout << report.waivers.size() << " waiver(s)\n";
-    return 0;
+    std::cout << report.waivers.size() << " waiver(s)";
+    if (audit_waivers) std::cout << ", " << bad << " failing audit";
+    std::cout << "\n";
+    return audit_waivers && bad > 0 ? 1 : 0;
   }
 
   if (!quiet) {
