@@ -5,10 +5,18 @@
 //   histogram observe      ~ tens of ns (binary search + 4 atomics)
 //   ScopedTimer            ~ 2 steady_clock reads
 //   disabled trace check   ~ 1 branch (the FIFL_TRACE_OUT-unset case)
+//   wire-span emit         ~ 2 clock reads + 1 locked vector append
+//   disabled tracer check  ~ 1 branch (the FIFL_TRACE_DIR-unset case:
+//                            no allocation, no clock read — the guard
+//                            skips even building the SpanRecord)
+//   flight-ring note       ~ 1 fetch_add + 7 relaxed stores (wait-free)
 #include <benchmark/benchmark.h>
 
+#include "net/tracing.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace {
@@ -89,6 +97,56 @@ void BM_TraceDisabledCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceDisabledCheck);
+
+void BM_WireSpanEmit(benchmark::State& state) {
+  // One send-span through the real producer path: two trace-clock reads
+  // bracketing the (here empty) work, span-id allocation, and the locked
+  // append into a memory-only SpanBuffer — the per-message cost a traced
+  // cluster run pays on every data-plane send.
+  SpanBuffer buffer;
+  const fifl::net::NodeTracer tracer{&buffer, nullptr, 3};
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    const TraceContext ctx{fifl::net::round_trace_id(round),
+                           fifl::net::next_span_id(tracer.node), 0};
+    const std::uint64_t t0 = fifl::net::trace_now_us();
+    tracer.span(SpanKind::kSend, "gradient_upload", round, t0,
+                fifl::net::trace_now_us() - t0, ctx, 7);
+    ++round;
+  }
+  benchmark::DoNotOptimize(buffer.size());
+}
+BENCHMARK(BM_WireSpanEmit);
+
+void BM_WireSpanDisabledCheck(benchmark::State& state) {
+  // The FIFL_TRACE_DIR-unset path every producer site pays: a cached
+  // null pointer check, nothing else. No SpanRecord is built, no span id
+  // is allocated, and crucially no clock is read — the guard sits before
+  // both trace_now_us() calls, so an untraced run's timing behaviour is
+  // exactly the pre-tracing binary's.
+  const fifl::net::NodeTracer tracer{};
+  if (tracer.tracing()) state.SkipWithError("tracer must start disabled");
+  std::uint64_t skipped = 0;
+  for (auto _ : state) {
+    if (!tracer.tracing()) ++skipped;
+    benchmark::DoNotOptimize(skipped);
+  }
+}
+BENCHMARK(BM_WireSpanDisabledCheck);
+
+void BM_FlightRingNote(benchmark::State& state) {
+  // The wait-free flight-recorder append (slot claim + relaxed stores);
+  // runs contended at 4 threads to show writers never block each other.
+  static FlightRing ring;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ring.note(FlightEventKind::kSend, 3, 2, i, i);
+    ++i;
+  }
+  benchmark::DoNotOptimize(ring.total_noted());
+}
+BENCHMARK(BM_FlightRingNote);
+BENCHMARK(BM_FlightRingNote)->Threads(4);
 
 void BM_TraceSerialize(benchmark::State& state) {
   // Serialization cost of one round's trace at N workers (memory-only

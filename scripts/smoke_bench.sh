@@ -49,7 +49,10 @@ FIFL_BENCH_OUTDIR="$OUTDIR" \
   > "$OUTDIR/micro.log"
 
 echo "== ext_net_cluster (FIFL_BENCH_ROUNDS=$ROUNDS, outdir $BENCH_OUTDIR) =="
+# Wire tracing on: every node streams node_<n>.trace.jsonl into the
+# scratch dir, which fifl-tracecat must merge and validate below.
 FIFL_BENCH_ROUNDS="$ROUNDS" FIFL_BENCH_OUTDIR="$BENCH_OUTDIR" \
+  FIFL_TRACE_DIR="$OUTDIR/wire_trace" \
   "$BIN_DIR/ext_net_cluster" > "$OUTDIR/ext_net_cluster.log"
 
 echo "== micro_codec (outdir $BENCH_OUTDIR) =="
@@ -79,6 +82,21 @@ TRACE_LINES="$(wc -l < "$OUTDIR/trace.jsonl")"
 [ "$TRACE_LINES" -eq "$ROUNDS" ] || \
   fail "expected $ROUNDS trace records, got $TRACE_LINES"
 
+# Merged-timeline gate: the traced ext_net_cluster run must merge into
+# schema-valid Chrome trace JSON with cross-node flows in every round.
+TRACECAT="$BIN_DIR/../tools/trace/fifl-tracecat"
+if [ -x "$TRACECAT" ]; then
+  echo "== fifl-tracecat (merge + validate) =="
+  ls "$OUTDIR/wire_trace"/node_*.trace.jsonl > /dev/null 2>&1 || \
+    fail "traced cluster run left no node_*.trace.jsonl files"
+  "$TRACECAT" "$OUTDIR/wire_trace" -o "$OUTDIR/wire_trace/merged.json" || \
+    fail "fifl-tracecat merge failed"
+  "$TRACECAT" --validate "$OUTDIR/wire_trace/merged.json" \
+    --min-flows-per-round 1 || fail "fifl-tracecat --validate failed"
+else
+  echo "smoke_bench: fifl-tracecat not built, merge gate skipped"
+fi
+
 if command -v python3 > /dev/null 2>&1; then
   python3 - "$OUTDIR" "$ROUNDS" "$BENCH_OUTDIR" <<'EOF'
 import json, sys, pathlib
@@ -102,6 +120,17 @@ per_type = [k for k in net["metrics"]["counters"]
             if k.startswith("net.bytes_tx.")]
 assert "net.bytes_tx.gradient_upload" in per_type, \
     f"per-type byte counters missing from metrics snapshot: {per_type}"
+assert "net.bytes_rx.gradient_upload" in net["metrics"]["counters"], \
+    "per-type rx byte counters missing from metrics snapshot"
+hists = net["metrics"]["histograms"]
+for phase in ("broadcast", "collect", "assess"):
+    h = hists.get(f"net.phase.{phase}_ms")
+    assert h and h["count"] > 0, f"net.phase.{phase}_ms histogram missing"
+    for q in ("p50", "p90", "p99"):
+        assert q in h, f"net.phase.{phase}_ms missing {q}"
+handle = [k for k in hists if k.startswith("net.handle_ms.")]
+assert handle and any(hists[k]["count"] > 0 for k in handle), \
+    f"per-message-type handle histograms missing: {handle}"
 
 comp = json.loads((benchdir / "BENCH_ext_net_compression.json").read_text())
 assert comp["table"]["rows"] == 3, "codec sweep should have 3 legs"
@@ -135,6 +164,8 @@ if [ -x "$EXAMPLES_DIR/polycentric_cluster" ]; then
     fail "expected $ROUNDS net trace records, got $NET_LINES"
   grep -q '"net":{"bytes_tx"' "$OUTDIR/net_trace.jsonl" || \
     fail "net trace records missing the \"net\" block"
+  grep -q '"bytes_rx_by_type"' "$OUTDIR/net_trace.jsonl" || \
+    fail "net trace records missing bytes_rx_by_type"
 else
   echo "smoke_bench: polycentric_cluster not built, net smoke skipped"
 fi

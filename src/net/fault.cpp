@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "obs/flight_recorder.hpp"
 #include "util/logging.hpp"
 #include "util/serialize.hpp"
 
@@ -44,7 +45,9 @@ std::uint64_t stream_seed(std::uint64_t seed, NodeKey from, NodeKey to,
 }  // namespace
 
 bool FaultSchedule::empty() const noexcept {
-  if (!partitions.empty() || !crashes.empty()) return false;
+  if (!partitions.empty() || !crashes.empty() || !byzantine.empty()) {
+    return false;
+  }
   return std::none_of(links.begin(), links.end(),
                       [](const LinkFaults& lf) { return lf.any(); });
 }
@@ -57,6 +60,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kReorder: return "reorder";
     case FaultKind::kPartition: return "partition";
     case FaultKind::kCrash: return "crash";
+    case FaultKind::kByzantine: return "byzantine";
   }
   return "unknown";
 }
@@ -75,8 +79,9 @@ class FaultyEndpoint : public Endpoint {
   NodeKey address() const noexcept override { return inner_->address(); }
 
   void send(NodeKey to, MessageType type,
-            std::span<const std::uint8_t> payload) override {
-    transport_->faulty_send(inner_, address(), to, type, payload);
+            std::span<const std::uint8_t> payload,
+            const obs::TraceContext* trace) override {
+    transport_->faulty_send(inner_, address(), to, type, payload, trace);
   }
 
   std::optional<Envelope> recv(std::chrono::milliseconds timeout) override {
@@ -155,6 +160,11 @@ void FaultyTransport::record(FaultKind kind, NodeKey from, NodeKey to,
                              MessageType type, std::uint64_t seq,
                              std::uint64_t delay_ms) {
   NetMetrics::global().faults_injected->inc();
+  if (obs::FlightRing* ring = obs::FlightRegistry::global().ring(from)) {
+    ring->note(obs::FlightEventKind::kFault, to,
+               static_cast<std::uint8_t>(type), 0,
+               static_cast<std::uint64_t>(kind));
+  }
   util::log_debug() << "fault: " << fault_kind_name(kind) << " "
                     << message_type_name(type) << " " << from << " -> " << to
                     << " seq " << seq;
@@ -165,6 +175,7 @@ void FaultyTransport::record(FaultKind kind, NodeKey from, NodeKey to,
 void FaultyTransport::defer(const std::shared_ptr<Endpoint>& via, NodeKey to,
                             MessageType type,
                             std::span<const std::uint8_t> payload,
+                            const obs::TraceContext* trace,
                             std::chrono::milliseconds delay) {
   {
     std::lock_guard lock(delay_mutex_);
@@ -172,7 +183,9 @@ void FaultyTransport::defer(const std::shared_ptr<Endpoint>& via, NodeKey to,
       delay_queue_.push_back(
           Deferred{std::chrono::steady_clock::now() + delay,
                    next_deferred_id_++, via, to, type,
-                   std::vector<std::uint8_t>(payload.begin(), payload.end())});
+                   std::vector<std::uint8_t>(payload.begin(), payload.end()),
+                   trace != nullptr,
+                   trace != nullptr ? *trace : obs::TraceContext{}});
     }
   }
   delay_cv_.notify_all();
@@ -216,7 +229,8 @@ void FaultyTransport::delivery_loop() {
     lock.unlock();
     for (const Deferred& d : due) {
       try {
-        d.via->send(d.to, d.type, d.payload);
+        d.via->send(d.to, d.type, d.payload,
+                    d.has_trace ? &d.trace : nullptr);
       } catch (const std::exception& e) {
         // A deferred message to a torn-down peer just disappears, like a
         // packet to a dead host.
@@ -229,7 +243,8 @@ void FaultyTransport::delivery_loop() {
 
 void FaultyTransport::faulty_send(const std::shared_ptr<Endpoint>& via,
                                   NodeKey from, NodeKey to, MessageType type,
-                                  std::span<const std::uint8_t> payload) {
+                                  std::span<const std::uint8_t> payload,
+                                  const obs::TraceContext* trace) {
   {
     std::lock_guard lock(mutex_);
     if (crashed_.count(from) != 0) return;  // dead processes send nothing
@@ -238,6 +253,27 @@ void FaultyTransport::faulty_send(const std::shared_ptr<Endpoint>& via,
   bool deliver_now = true;
   bool duplicate = false;
   std::chrono::milliseconds deferred_delay{0};
+
+  // Byzantine servers corrupt every slice they publish — deterministic
+  // (no RNG draws), so the lead's divergence check trips identically on
+  // every run of the same schedule.
+  std::vector<std::uint8_t> corrupted;
+  if (type == MessageType::kSliceAggregate &&
+      std::find(schedule_.byzantine.begin(), schedule_.byzantine.end(),
+                from) != schedule_.byzantine.end()) {
+    SliceAggregateMsg slice = decode_payload<SliceAggregateMsg>(payload);
+    if (!slice.values.empty()) slice.values[0] += 1.0f;
+    corrupted = encode_payload(slice);
+    payload = corrupted;
+    std::uint64_t seq = 0;
+    {
+      std::lock_guard lock(mutex_);
+      const auto it = streams_.find(
+          std::make_tuple(from, to, static_cast<std::uint8_t>(type)));
+      if (it != streams_.end()) seq = it->second.seq;
+    }
+    record(FaultKind::kByzantine, from, to, type, seq);
+  }
 
   if (is_data_plane(type)) {
     const LinkFaults* link = nullptr;
@@ -312,11 +348,11 @@ void FaultyTransport::faulty_send(const std::shared_ptr<Endpoint>& via,
 
   if (deliver_now) {
     if (deferred_delay.count() > 0) {
-      defer(via, to, type, payload, deferred_delay);
+      defer(via, to, type, payload, trace, deferred_delay);
     } else {
-      via->send(to, type, payload);
+      via->send(to, type, payload, trace);
     }
-    if (duplicate) via->send(to, type, payload);
+    if (duplicate) via->send(to, type, payload, trace);
   }
 
   // Crash triggers count every GradientUpload the node ATTEMPTED, whether

@@ -87,6 +87,11 @@ struct FaultSchedule {
   std::vector<LinkFaults> links;
   std::vector<LinkPartition> partitions;
   std::vector<NodeCrash> crashes;
+  /// Byzantine servers: every SliceAggregate these nodes send has its
+  /// first value perturbed (deterministically, no RNG draws), so the
+  /// lead's replica cross-check observes a divergent engine — the forced
+  /// flight-recorder postmortem scenario.
+  std::vector<NodeKey> byzantine;
 
   /// True when no fault can ever fire (the decorator becomes a pass-through
   /// and a run must reproduce the fault-free run bit for bit).
@@ -100,6 +105,7 @@ enum class FaultKind : std::uint8_t {
   kReorder = 3,
   kPartition = 4,
   kCrash = 5,
+  kByzantine = 6,
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -140,12 +146,13 @@ class FaultyTransport : public Transport {
   /// delivery (possibly zero, one, or two sends, possibly deferred).
   void faulty_send(const std::shared_ptr<Endpoint>& via, NodeKey from,
                    NodeKey to, MessageType type,
-                   std::span<const std::uint8_t> payload);
+                   std::span<const std::uint8_t> payload,
+                   const obs::TraceContext* trace);
   void record(FaultKind kind, NodeKey from, NodeKey to, MessageType type,
               std::uint64_t seq, std::uint64_t delay_ms = 0);
   void defer(const std::shared_ptr<Endpoint>& via, NodeKey to,
              MessageType type, std::span<const std::uint8_t> payload,
-             std::chrono::milliseconds delay);
+             const obs::TraceContext* trace, std::chrono::milliseconds delay);
   void delivery_loop();
 
   struct StreamState {
@@ -160,6 +167,8 @@ class FaultyTransport : public Transport {
     NodeKey to = 0;
     MessageType type = MessageType::kHeartbeat;
     std::vector<std::uint8_t> payload;
+    bool has_trace = false;
+    obs::TraceContext trace;
   };
 
   FaultSchedule schedule_;

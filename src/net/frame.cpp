@@ -27,6 +27,11 @@ std::uint32_t load_u32le(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
+std::uint64_t load_u64le(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_u32le(p)) |
+         (static_cast<std::uint64_t>(load_u32le(p + 4)) << 32);
+}
+
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
@@ -39,26 +44,33 @@ std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
 }
 
 std::vector<std::uint8_t> encode_frame(std::uint8_t type, std::uint32_t from,
-                                       std::span<const std::uint8_t> payload) {
+                                       std::span<const std::uint8_t> payload,
+                                       const obs::TraceContext* trace) {
   if (payload.size() > kMaxPayload) {
     throw FrameError("encode_frame: payload exceeds kMaxPayload (" +
                      std::to_string(payload.size()) + " bytes)");
   }
+  const bool traced = trace != nullptr && trace->valid();
   util::ByteWriter writer;
   writer.write_u32(kFrameMagic);
   writer.write_u8(kFrameVersion);
   writer.write_u8(type);
-  writer.write_u8(0);  // flags
-  writer.write_u8(0);
+  writer.write_u8(traced ? static_cast<std::uint8_t>(kFrameFlagTrace) : 0);
+  writer.write_u8(0);  // flags, high byte (reserved)
   writer.write_u32(from);
   writer.write_u32(static_cast<std::uint32_t>(payload.size()));
   writer.write_u32(0);  // CRC placeholder
+  if (traced) {
+    writer.write_u64(trace->trace_id);
+    writer.write_u64(trace->span_id);
+    writer.write_u64(trace->parent_span_id);
+  }
   writer.write_bytes(payload);
   std::vector<std::uint8_t> out = writer.take();
-  // CRC over [version .. header end) + payload, skipping magic and the
-  // CRC field itself.
+  // CRC over [version .. header end) + extension + payload, skipping
+  // magic and the CRC field itself.
   std::uint32_t crc = crc32(std::span(out).subspan(4, 12));
-  crc = crc32(payload, crc);
+  crc = crc32(std::span(out).subspan(kFrameHeaderSize), crc);
   out[16] = static_cast<std::uint8_t>(crc & 0xFFu);
   out[17] = static_cast<std::uint8_t>((crc >> 8) & 0xFFu);
   out[18] = static_cast<std::uint8_t>((crc >> 16) & 0xFFu);
@@ -86,26 +98,37 @@ std::optional<Frame> FrameDecoder::next() {
   if (h[4] != kFrameVersion) {
     throw FrameError("frame: unsupported version " + std::to_string(h[4]));
   }
-  if (h[6] != 0 || h[7] != 0) {
+  const std::uint16_t flags = static_cast<std::uint16_t>(
+      h[6] | (static_cast<std::uint16_t>(h[7]) << 8));
+  if ((flags & ~kFrameFlagTrace) != 0) {
     throw FrameError("frame: nonzero reserved flags");
   }
+  const bool traced = (flags & kFrameFlagTrace) != 0;
+  const std::size_t ext = traced ? kTraceExtSize : 0;
   const std::uint32_t length = load_u32le(h + 12);
   if (length > kMaxPayload) {
     throw FrameError("frame: payload length " + std::to_string(length) +
                      " exceeds limit");
   }
-  if (buffered() < kFrameHeaderSize + length) return std::nullopt;
+  if (buffered() < kFrameHeaderSize + ext + length) return std::nullopt;
   const std::uint32_t stored_crc = load_u32le(h + 16);
   std::uint32_t crc = crc32(std::span(h + 4, 12));
-  crc = crc32(std::span(h + kFrameHeaderSize, length), crc);
+  crc = crc32(std::span(h + kFrameHeaderSize, ext + length), crc);
   if (crc != stored_crc) {
     throw FrameError("frame: CRC mismatch");
   }
   Frame frame;
   frame.type = h[5];
   frame.from = load_u32le(h + 8);
-  frame.payload.assign(h + kFrameHeaderSize, h + kFrameHeaderSize + length);
-  consumed_ += kFrameHeaderSize + length;
+  if (traced) {
+    frame.has_trace = true;
+    frame.trace.trace_id = load_u64le(h + kFrameHeaderSize);
+    frame.trace.span_id = load_u64le(h + kFrameHeaderSize + 8);
+    frame.trace.parent_span_id = load_u64le(h + kFrameHeaderSize + 16);
+  }
+  const std::uint8_t* body = h + kFrameHeaderSize + ext;
+  frame.payload.assign(body, body + length);
+  consumed_ += kFrameHeaderSize + ext + length;
   return frame;
 }
 

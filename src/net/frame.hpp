@@ -6,19 +6,25 @@
 //   0       4     magic 0x54454E46 ("FNET", little-endian)
 //   4       1     version (kFrameVersion)
 //   5       1     message type (net::MessageType)
-//   6       2     flags (reserved, must be 0)
+//   6       2     flags (bit 0 = trace extension present; rest reserved 0)
 //   8       4     sender node key
 //   12      4     payload length (bounded by kMaxPayload)
-//   16      4     CRC32 (IEEE) over bytes [4, 16) + payload
-//   20      len   payload (a util::ByteWriter-encoded message body)
+//   16      4     CRC32 (IEEE) over bytes [4, 16) + extension + payload
+//   20      24    trace extension, only when flags bit 0 is set:
+//                 trace_id / span_id / parent_span_id as three u64 LE
+//   20|44   len   payload (a util::ByteWriter-encoded message body)
 //
+// The length field counts payload bytes only, so a frame without the
+// trace extension is byte-identical to the pre-tracing wire format, and
+// a peer that negotiated tracing off in Join never sees the flag bit.
 // The CRC covers everything after the magic, so any single corrupted byte
-// in header fields or payload is detected; a corrupted magic fails the
-// magic check itself. Decoding is incremental (FrameDecoder::feed) and
-// every malformed input throws FrameError — a SerializeError subclass, so
-// one catch handles both framing and payload decode failures. A decoder
-// that has thrown is poisoned: the stream has lost sync and the caller is
-// expected to drop the connection, mirroring what the TCP transport does.
+// in header fields, extension, or payload is detected; a corrupted magic
+// fails the magic check itself. Decoding is incremental
+// (FrameDecoder::feed) and every malformed input throws FrameError — a
+// SerializeError subclass, so one catch handles both framing and payload
+// decode failures. A decoder that has thrown is poisoned: the stream has
+// lost sync and the caller is expected to drop the connection, mirroring
+// what the TCP transport does.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "util/serialize.hpp"
 
 namespace fifl::net {
@@ -33,6 +40,9 @@ namespace fifl::net {
 inline constexpr std::uint32_t kFrameMagic = 0x54454E46u;  // "FNET"
 inline constexpr std::uint8_t kFrameVersion = 1;
 inline constexpr std::size_t kFrameHeaderSize = 20;
+/// Flag bit 0: the 24-byte trace-context extension follows the header.
+inline constexpr std::uint16_t kFrameFlagTrace = 0x0001u;
+inline constexpr std::size_t kTraceExtSize = 24;
 /// Upper bound on a single payload; anything larger is a corrupt length
 /// field, not a real message (a LeNet gradient is ~250 KB).
 inline constexpr std::uint32_t kMaxPayload = 1u << 28;
@@ -50,11 +60,18 @@ struct Frame {
   std::uint8_t type = 0;
   std::uint32_t from = 0;
   std::vector<std::uint8_t> payload;
+  /// Trace context from the optional frame extension; has_trace mirrors
+  /// flag bit 0 (trace fields are zero when absent).
+  bool has_trace = false;
+  obs::TraceContext trace;
 };
 
-/// Serializes one frame (header + payload) ready for the wire.
+/// Serializes one frame (header [+ trace extension] + payload) ready for
+/// the wire. `trace` == nullptr (or an invalid context) produces the
+/// legacy layout bit-for-bit — tracing off never changes a wire byte.
 std::vector<std::uint8_t> encode_frame(std::uint8_t type, std::uint32_t from,
-                                       std::span<const std::uint8_t> payload);
+                                       std::span<const std::uint8_t> payload,
+                                       const obs::TraceContext* trace = nullptr);
 
 /// Incremental frame parser over an arbitrary chunking of the byte stream.
 class FrameDecoder {

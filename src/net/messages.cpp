@@ -54,6 +54,10 @@ void JoinMsg::encode(util::ByteWriter& w) const {
   w.write_u32(node);
   w.write_u8(static_cast<std::uint8_t>(role));
   w.write_u32(codecs);
+  if (features != 0) {  // legacy layout stays byte-identical otherwise
+    w.write_u32(features);
+    w.write_u64(clock_us);
+  }
 }
 
 JoinMsg JoinMsg::decode(util::ByteReader& r) {
@@ -63,6 +67,10 @@ JoinMsg JoinMsg::decode(util::ByteReader& r) {
   m.codecs = r.read_u32();
   if (!fl::codec_in(m.codecs, fl::Codec::kDense)) {
     throw util::SerializeError("join: codec mask must include dense");
+  }
+  if (r.remaining() >= 12) {  // optional feature/clock extension
+    m.features = r.read_u32();
+    m.clock_us = r.read_u64();
   }
   return m;
 }
@@ -76,6 +84,10 @@ void JoinAckMsg::encode(util::ByteWriter& w) const {
   w.write_u8(upload_codec);
   w.write_u8(broadcast_codec);
   w.write_f64(keep_fraction);
+  if (features != 0) {  // legacy layout stays byte-identical otherwise
+    w.write_u32(features);
+    w.write_u64(clock_us);
+  }
 }
 
 JoinAckMsg JoinAckMsg::decode(util::ByteReader& r) {
@@ -94,6 +106,10 @@ JoinAckMsg JoinAckMsg::decode(util::ByteReader& r) {
   m.keep_fraction = r.read_f64();
   if (!(m.keep_fraction > 0.0) || m.keep_fraction > 1.0) {
     throw util::SerializeError("join_ack: keep_fraction outside (0,1]");
+  }
+  if (r.remaining() >= 12) {  // optional feature/clock extension
+    m.features = r.read_u32();
+    m.clock_us = r.read_u64();
   }
   return m;
 }

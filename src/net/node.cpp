@@ -9,6 +9,7 @@
 #include "chain/sha256.hpp"
 #include "core/round_common.hpp"
 #include "nn/checkpoint.hpp"
+#include "obs/flight_recorder.hpp"
 #include "util/logging.hpp"
 
 namespace fifl::net {
@@ -74,6 +75,71 @@ struct CounterSnapshot {
 /// per-round RTT ping tokens (which are round numbers).
 constexpr std::uint64_t kLivenessTokenBase = 1ull << 63;
 
+/// Sends one message under a fresh child span when tracing is on; the
+/// disabled path is the plain send plus one pointer check. `parent_span`
+/// links the send into the causal tree (0 = root of the round's tree).
+template <typename Msg>
+void traced_send(Endpoint& endpoint, const NodeTracer& tracer, NodeKey to,
+                 MessageType type, const Msg& msg, std::uint64_t round,
+                 std::uint64_t parent_span = 0) {
+  if (!tracer.tracing()) {
+    endpoint.send_msg(to, type, msg);
+    return;
+  }
+  const obs::TraceContext ctx{round_trace_id(round),
+                              next_span_id(tracer.node), parent_span};
+  const std::uint64_t t0 = trace_now_us();
+  endpoint.send_msg(to, type, msg, &ctx);
+  tracer.span(obs::SpanKind::kSend, message_type_name(type), round, t0,
+              trace_now_us() - t0, ctx, to);
+  tracer.note(obs::FlightEventKind::kSend, to,
+              static_cast<std::uint8_t>(type), round);
+}
+
+/// Recv-side bookkeeping for one handled envelope: the per-type
+/// handle-time histogram always, a recv + handle span pair (and a
+/// flight-ring note) when the envelope carried a trace context.
+void note_handled(const NodeTracer& tracer, const Envelope& env,
+                  std::chrono::steady_clock::time_point start) {
+  const double ms = elapsed_ms(start);
+  if (obs::Histogram* h = NetMetrics::global().handle_for(
+          static_cast<std::uint8_t>(env.type))) {
+    h->observe(ms);
+  }
+  if (!tracer.tracing() || !env.has_trace) return;
+  const std::uint64_t round = env.trace.trace_id - 1;
+  const std::uint64_t dur = static_cast<std::uint64_t>(ms * 1000.0);
+  const std::uint64_t end = trace_now_us();
+  const obs::TraceContext recv_ctx{env.trace.trace_id,
+                                   next_span_id(tracer.node),
+                                   env.trace.span_id};
+  tracer.span(obs::SpanKind::kRecv, message_type_name(env.type), round,
+              end - dur, 0, recv_ctx, env.from);
+  const obs::TraceContext handle_ctx{env.trace.trace_id,
+                                     next_span_id(tracer.node),
+                                     recv_ctx.span_id};
+  tracer.span(obs::SpanKind::kHandle, message_type_name(env.type), round,
+              end - dur, dur, handle_ctx, env.from);
+  tracer.note(obs::FlightEventKind::kRecv, env.from,
+              static_cast<std::uint8_t>(env.type), round);
+}
+
+/// Lead round-phase bookkeeping: the phase histogram always, a phase
+/// span (+ flight note) when tracing.
+void note_phase(const NodeTracer& tracer, obs::Histogram* hist,
+                const char* name, std::uint64_t round,
+                std::chrono::steady_clock::time_point start) {
+  const double ms = elapsed_ms(start);
+  hist->observe(ms);
+  if (!tracer.tracing()) return;
+  const std::uint64_t dur = static_cast<std::uint64_t>(ms * 1000.0);
+  const obs::TraceContext ctx{round_trace_id(round),
+                              next_span_id(tracer.node), 0};
+  tracer.span(obs::SpanKind::kPhase, name, round, trace_now_us() - dur, dur,
+              ctx);
+  tracer.note(obs::FlightEventKind::kPhase, obs::kNoFlightPeer, 0, round);
+}
+
 }  // namespace
 
 std::vector<NodeKey> Topology::server_keys() const {
@@ -132,6 +198,7 @@ WorkerNode::WorkerNode(std::unique_ptr<fl::Worker> worker,
     throw std::invalid_argument(
         "WorkerNode: codec mask must include kDense (negotiation fallback)");
   }
+  tracer_ = NodeTracer::for_node(endpoint_->address());
 }
 
 void WorkerNode::request_stop() {
@@ -141,9 +208,17 @@ void WorkerNode::request_stop() {
 
 void WorkerNode::run() {
   const NodeKey lead = topology_.lead_key();
-  endpoint_->send_msg(
-      lead, MessageType::kJoin,
-      JoinMsg{endpoint_->address(), NodeRole::kWorker, supported_codecs_});
+  JoinMsg join{endpoint_->address(), NodeRole::kWorker, supported_codecs_};
+  std::uint64_t join_sent_us = 0;
+  if (tracer_.tracing()) {
+    // Advertise the trace feature and start the clock-sync handshake:
+    // the JoinAck answers with the lead's clock, and half the measured
+    // round trip estimates the one-way delay.
+    join.features = kFeatureTrace;
+    join_sent_us = trace_now_us();
+    join.clock_us = join_sent_us;
+  }
+  traced_send(*endpoint_, tracer_, lead, MessageType::kJoin, join, 0);
   const auto join_deadline = std::chrono::steady_clock::now() + timeouts_.join;
   bool acked = false;
   while (!acked && !stop_.load(std::memory_order_relaxed)) {
@@ -157,9 +232,18 @@ void WorkerNode::run() {
     auto env = endpoint_->recv(left);
     if (!env) continue;
     if (env->type == MessageType::kJoinAck) {
+      const auto handle_start = std::chrono::steady_clock::now();
       const auto ack = decode_payload<JoinAckMsg>(env->payload);
       upload_codec_ = static_cast<fl::Codec>(ack.upload_codec);
       keep_fraction_ = ack.keep_fraction;
+      if (tracer_.tracing() && (ack.features & kFeatureTrace) != 0) {
+        const std::uint64_t t1 = trace_now_us();
+        const std::int64_t rtt = static_cast<std::int64_t>(t1 - join_sent_us);
+        const std::int64_t skew = static_cast<std::int64_t>(ack.clock_us) +
+                                  rtt / 2 - static_cast<std::int64_t>(t1);
+        tracer_.clock(skew, rtt);
+      }
+      note_handled(tracer_, *env, handle_start);
       acked = true;
     }
   }
@@ -195,7 +279,9 @@ void WorkerNode::run() {
     last_traffic = std::chrono::steady_clock::now();
     switch (env->type) {
       case MessageType::kModelBroadcast:
-        handle_broadcast(decode_payload<ModelBroadcastMsg>(env->payload));
+        handle_broadcast(decode_payload<ModelBroadcastMsg>(env->payload),
+                         env->has_trace ? env->trace.span_id : 0);
+        note_handled(tracer_, *env, last_traffic);
         break;
       case MessageType::kAssessmentResult: {
         const auto msg = decode_payload<AssessmentResultMsg>(env->payload);
@@ -204,6 +290,7 @@ void WorkerNode::run() {
             observed_rewards_.push_back(wa.reward);
           }
         }
+        note_handled(tracer_, *env, last_traffic);
         break;
       }
       case MessageType::kHeartbeat: {
@@ -227,7 +314,8 @@ void WorkerNode::run() {
   }
 }
 
-void WorkerNode::handle_broadcast(const ModelBroadcastMsg& msg) {
+void WorkerNode::handle_broadcast(const ModelBroadcastMsg& msg,
+                                  std::uint64_t parent_span) {
   // Materialize θ_t: a dense broadcast replaces the local replica, a
   // delta patches it — but only against the exact baseline the lead
   // encoded it from. A mismatched baseline (the previous broadcast never
@@ -270,7 +358,8 @@ void WorkerNode::handle_broadcast(const ModelBroadcastMsg& msg) {
   }
   for (NodeKey server : topology_.server_keys()) {
     try {
-      endpoint_->send_msg(server, MessageType::kGradientUpload, out);
+      traced_send(*endpoint_, tracer_, server, MessageType::kGradientUpload,
+                  out, msg.round, parent_span);
     } catch (const std::exception& e) {
       // One unreachable server must not kill the worker: the lead's
       // quorum path absorbs the missing upload.
@@ -310,6 +399,7 @@ ServerNode::ServerNode(ServerNodeConfig config,
   if (config_.server_index >= topology_.servers) {
     throw std::invalid_argument("ServerNode: server index out of range");
   }
+  tracer_ = NodeTracer::for_node(endpoint_->address());
 }
 
 void ServerNode::request_stop() {
@@ -331,6 +421,7 @@ void ServerNode::note_worker_traffic(NodeKey from) {
 }
 
 void ServerNode::handle_control(const Envelope& envelope) {
+  const auto handle_start = std::chrono::steady_clock::now();
   note_worker_traffic(envelope.from);
   switch (envelope.type) {
     case MessageType::kJoin: {
@@ -367,7 +458,14 @@ void ServerNode::handle_control(const Envelope& envelope) {
         } else {
           ++joined_servers_;
         }
-        endpoint_->send_msg(envelope.from, MessageType::kJoinAck, ack);
+        if (tracer_.tracing() && (join.features & kFeatureTrace) != 0) {
+          // Both sides advertised tracing: answer with this (reference)
+          // clock so the joiner can estimate its skew from the RTT.
+          ack.features = kFeatureTrace;
+          ack.clock_us = trace_now_us();
+        }
+        traced_send(*endpoint_, tracer_, envelope.from, MessageType::kJoinAck,
+                    ack, 0, envelope.has_trace ? envelope.trace.span_id : 0);
       }
       break;
     }
@@ -408,6 +506,7 @@ void ServerNode::handle_control(const Envelope& envelope) {
     default:
       break;
   }
+  note_handled(tracer_, envelope, handle_start);
 }
 
 void ServerNode::lead_handle_upload(
@@ -472,6 +571,7 @@ void ServerNode::collect_uploads(
         // checkpoint instead of a delta against θ it may have lost.
         acked_round_.erase(i);
         metrics.dropped_workers->inc();
+        tracer_.note(obs::FlightEventKind::kDeadWorker, i, 0, round);
         util::log_warn() << "net: lead declared worker " << i
                          << " dead (silent beyond the liveness window)";
       }
@@ -490,8 +590,10 @@ void ServerNode::collect_uploads(
     auto env = endpoint_->recv(std::min(left, config_.timeouts.heartbeat));
     if (!env) continue;  // wake up for the liveness scan regardless
     if (env->type == MessageType::kGradientUpload) {
+      const auto handle_start = std::chrono::steady_clock::now();
       lead_handle_upload(decode_payload<GradientUploadMsg>(env->payload),
                          round, &slots);
+      note_handled(tracer_, *env, handle_start);
     } else {
       handle_control(*env);
     }
@@ -500,8 +602,14 @@ void ServerNode::collect_uploads(
 
 void ServerNode::run_follower() {
   const NodeKey lead = topology_.lead_key();
-  endpoint_->send_msg(lead, MessageType::kJoin,
-                      JoinMsg{endpoint_->address(), NodeRole::kServer});
+  JoinMsg join{endpoint_->address(), NodeRole::kServer};
+  std::uint64_t join_sent_us = 0;
+  if (tracer_.tracing()) {
+    join.features = kFeatureTrace;
+    join_sent_us = trace_now_us();
+    join.clock_us = join_sent_us;
+  }
+  traced_send(*endpoint_, tracer_, lead, MessageType::kJoin, join, 0);
   const auto join_deadline = std::chrono::steady_clock::now() + config_.timeouts.join;
   std::uint64_t rounds = 0;
   bool acked = false;
@@ -516,7 +624,17 @@ void ServerNode::run_follower() {
     auto env = endpoint_->recv(left);
     if (!env) continue;
     if (env->type == MessageType::kJoinAck) {
-      rounds = decode_payload<JoinAckMsg>(env->payload).rounds;
+      const auto handle_start = std::chrono::steady_clock::now();
+      const auto ack = decode_payload<JoinAckMsg>(env->payload);
+      rounds = ack.rounds;
+      if (tracer_.tracing() && (ack.features & kFeatureTrace) != 0) {
+        const std::uint64_t t1 = trace_now_us();
+        const std::int64_t rtt = static_cast<std::int64_t>(t1 - join_sent_us);
+        const std::int64_t skew = static_cast<std::int64_t>(ack.clock_us) +
+                                  rtt / 2 - static_cast<std::int64_t>(t1);
+        tracer_.clock(skew, rtt);
+      }
+      note_handled(tracer_, *env, handle_start);
       acked = true;
     } else {
       handle_control(*env);
@@ -554,6 +672,7 @@ void ServerNode::run_follower() {
       } else {
         NetMetrics::global().late_uploads->inc();
       }
+      note_handled(tracer_, *env, last_traffic);
     } else {
       handle_control(*env);
     }
@@ -659,7 +778,8 @@ void ServerNode::process_summary(const RoundSummaryMsg& summary) {
     out.complete = 0;
   }
   try {
-    endpoint_->send_msg(lead, MessageType::kSliceAggregate, out);
+    traced_send(*endpoint_, tracer_, lead, MessageType::kSliceAggregate, out,
+                r);
   } catch (const std::exception& e) {
     util::log_warn() << "net: server " << endpoint_->address()
                      << " failed to send slice for round " << r << ": "
@@ -732,6 +852,9 @@ void ServerNode::run_lead() {
   obs::RoundTraceRecorder* recorder =
       trace_recorder_ ? trace_recorder_ : &obs::RoundTraceRecorder::global();
 
+  // The lead's clock is the merged timeline's reference: skew 0.
+  if (tracer_.tracing()) tracer_.clock(0, 0);
+
   auto& metrics = NetMetrics::global();
   const std::size_t quorum_min = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::ceil(config_.quorum.min_fraction *
@@ -767,14 +890,16 @@ void ServerNode::run_lead() {
       if (dead_workers_.count(i) != 0) continue;
       last_seen_[i] = train_start;
       try {
-        endpoint_->send_msg(topology_.worker_key(i),
-                            MessageType::kModelBroadcast,
-                            broadcast_for(i, broadcast, theta, delta_cache));
+        traced_send(*endpoint_, tracer_, topology_.worker_key(i),
+                    MessageType::kModelBroadcast,
+                    broadcast_for(i, broadcast, theta, delta_cache), r);
       } catch (const std::exception& e) {
         util::log_warn() << "net: broadcast to worker " << i
                          << " failed: " << e.what();
       }
     }
+    note_phase(tracer_, metrics.phase_broadcast_ms, "broadcast", r,
+               train_start);
     const bool any_delta_peer = std::any_of(
         peer_broadcast_codec_.begin(), peer_broadcast_codec_.end(),
         [](const auto& kv) { return kv.second == fl::Codec::kDelta; });
@@ -787,11 +912,12 @@ void ServerNode::run_lead() {
     }
 
     // Collect uploads (the networked analogue of local_train + channel).
+    const auto collect_start = std::chrono::steady_clock::now();
     std::map<std::uint32_t, GradientUploadMsg> slots;
-    collect_uploads(r, slots,
-                    std::chrono::steady_clock::now() + config_.timeouts.phase);
+    collect_uploads(r, slots, collect_start + config_.timeouts.phase);
     if (stop_.load(std::memory_order_relaxed)) return;
     const double collect_ms = elapsed_ms(train_start);
+    note_phase(tracer_, metrics.phase_collect_ms, "collect", r, collect_start);
 
     // Quorum gate: proceed on a partial roster, abort below the floor.
     const std::size_t counted = slots.size();
@@ -799,6 +925,11 @@ void ServerNode::run_lead() {
         topology_.workers - std::min<std::size_t>(dead_workers_.size(),
                                                   topology_.workers);
     if (counted < quorum_min) {
+      // Abort path: capture the last K events of every node before the
+      // exception unwinds the cluster.
+      tracer_.note(obs::FlightEventKind::kQuorumAbort, obs::kNoFlightPeer, 0,
+                   r, counted);
+      obs::FlightRegistry::global().dump("quorum_abort");
       throw std::runtime_error(
           "lead: round " + std::to_string(r) + " below quorum (" +
           std::to_string(counted) + " of " + std::to_string(topology_.workers) +
@@ -806,6 +937,8 @@ void ServerNode::run_lead() {
     }
     if (counted < topology_.workers) {
       metrics.rounds_degraded->inc();
+      tracer_.note(obs::FlightEventKind::kDegradedRound, obs::kNoFlightPeer, 0,
+                   r, counted);
       util::log_warn() << "net: round " << r << " degraded: " << counted
                        << " of " << topology_.workers << " uploads counted";
     }
@@ -817,10 +950,11 @@ void ServerNode::run_lead() {
     summary.degraded = counted < topology_.workers ? 1 : 0;
     summary.counted.reserve(counted);
     for (const auto& [worker, msg] : slots) summary.counted.push_back(worker);
+    const auto assess_start = std::chrono::steady_clock::now();
     for (std::uint32_t j = 1; j < topology_.servers; ++j) {
       try {
-        endpoint_->send_msg(topology_.server_key(j), MessageType::kRoundSummary,
-                            summary);
+        traced_send(*endpoint_, tracer_, topology_.server_key(j),
+                    MessageType::kRoundSummary, summary, r);
       } catch (const std::exception& e) {
         util::log_warn() << "net: summary to server " << j
                          << " failed: " << e.what();
@@ -851,8 +985,10 @@ void ServerNode::run_lead() {
       auto env = endpoint_->recv(left);
       if (!env) continue;
       if (env->type == MessageType::kGradientUpload) {
+        const auto handle_start = std::chrono::steady_clock::now();
         lead_handle_upload(decode_payload<GradientUploadMsg>(env->payload), r,
                            nullptr);
+        note_handled(tracer_, *env, handle_start);
       } else {
         handle_control(*env);
       }
@@ -878,6 +1014,14 @@ void ServerNode::run_lead() {
       if (slice.offset != engine_->plan().offset(j) ||
           slice.values.size() != own.size() ||
           !std::equal(own.begin(), own.end(), slice.values.begin())) {
+        // Byzantine (or broken-replica) divergence: dump every node's
+        // recent events before aborting, so the postmortem shows what
+        // each replica saw leading up to the mismatched slice.
+        tracer_.note(obs::FlightEventKind::kDivergence,
+                     topology_.server_key(j),
+                     static_cast<std::uint8_t>(MessageType::kSliceAggregate),
+                     r);
+        obs::FlightRegistry::global().dump("byzantine_divergence");
         throw std::runtime_error("lead: server " + std::to_string(j) +
                                  " diverged from the replicated engine on round " +
                                  std::to_string(r));
@@ -913,13 +1057,14 @@ void ServerNode::run_lead() {
     for (std::uint32_t i = 0; i < topology_.workers; ++i) {
       if (dead_workers_.count(i) != 0) continue;
       try {
-        endpoint_->send_msg(topology_.worker_key(i),
-                            MessageType::kAssessmentResult, assessment);
+        traced_send(*endpoint_, tracer_, topology_.worker_key(i),
+                    MessageType::kAssessmentResult, assessment, r);
       } catch (const std::exception& e) {
         util::log_warn() << "net: assessment to worker " << i
                          << " failed: " << e.what();
       }
     }
+    note_phase(tracer_, metrics.phase_assess_ms, "assess", r, assess_start);
 
     // Round bookkeeping: result row, trace, callback.
     NetRoundResult result;

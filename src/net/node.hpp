@@ -68,6 +68,7 @@
 
 #include "core/fifl.hpp"
 #include "fl/simulator.hpp"
+#include "net/tracing.hpp"
 #include "net/transport.hpp"
 #include "obs/trace.hpp"
 
@@ -170,13 +171,20 @@ class WorkerNode {
   }
 
  private:
-  void handle_broadcast(const ModelBroadcastMsg& msg);
+  /// `parent_span` is the wire span id of the broadcast that triggered
+  /// the training step (0 when it arrived untraced), so the resulting
+  /// uploads nest under it in the merged timeline.
+  void handle_broadcast(const ModelBroadcastMsg& msg,
+                        std::uint64_t parent_span);
 
   std::unique_ptr<fl::Worker> worker_;
   std::unique_ptr<Endpoint> endpoint_;
   Topology topology_;
   NodeTimeouts timeouts_;
   std::uint32_t supported_codecs_;
+  /// Resolved once at construction; null members when FIFL_TRACE_DIR is
+  /// unset, so every producer site pays one branch on the disabled path.
+  NodeTracer tracer_;
   std::atomic<bool> stop_{false};
   std::vector<double> observed_rewards_;
   std::map<std::uint64_t, std::chrono::steady_clock::time_point> ping_sent_;
@@ -251,6 +259,8 @@ class ServerNode {
   std::unique_ptr<nn::Sequential> global_model_;
   std::unique_ptr<Endpoint> endpoint_;
   Topology topology_;
+  /// See WorkerNode::tracer_.
+  NodeTracer tracer_;
   std::atomic<bool> stop_{false};
   bool leave_received_ = false;
   RoundCallback round_callback_;

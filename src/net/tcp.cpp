@@ -12,6 +12,7 @@
 #include <string>
 
 #include "net/frame.hpp"
+#include "obs/flight_recorder.hpp"
 #include "util/logging.hpp"
 
 namespace fifl::net {
@@ -122,7 +123,8 @@ void TcpEndpoint::reader_loop(int fd) {
         }
         inbox_.push(Envelope{frame->from,
                              static_cast<MessageType>(frame->type),
-                             std::move(frame->payload)});
+                             std::move(frame->payload), frame->has_trace,
+                             frame->trace});
       }
     } catch (const FrameError& e) {
       // Corrupt stream: there is no way to resync a length-prefixed
@@ -156,12 +158,13 @@ int TcpEndpoint::connect_to(std::uint16_t port) {
 }
 
 void TcpEndpoint::send(NodeKey to, MessageType type,
-                       std::span<const std::uint8_t> payload) {
+                       std::span<const std::uint8_t> payload,
+                       const obs::TraceContext* trace) {
   if (closing_.load()) {
     throw std::runtime_error("tcp: endpoint closed");
   }
   const std::vector<std::uint8_t> wire =
-      encode_frame(static_cast<std::uint8_t>(type), address_, payload);
+      encode_frame(static_cast<std::uint8_t>(type), address_, payload, trace);
   PeerConn* peer;
   {
     std::lock_guard lock(peers_mutex_);
@@ -191,6 +194,13 @@ void TcpEndpoint::send(NodeKey to, MessageType type,
       }
       if (attempt >= retry.max_attempts || closing_.load()) {
         metrics.send_failures->inc();
+        if (obs::FlightRing* ring =
+                obs::FlightRegistry::global().ring(address_)) {
+          ring->note(obs::FlightEventKind::kRetryExhausted, to,
+                     static_cast<std::uint8_t>(type), 0,
+                     static_cast<std::uint64_t>(attempt));
+        }
+        obs::FlightRegistry::global().dump("send_retry_exhaustion");
         throw;
       }
       metrics.send_retries->inc();

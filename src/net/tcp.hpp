@@ -67,7 +67,8 @@ class TcpEndpoint : public Endpoint {
   std::uint16_t port() const noexcept { return port_; }
 
   void send(NodeKey to, MessageType type,
-            std::span<const std::uint8_t> payload) override;
+            std::span<const std::uint8_t> payload,
+            const obs::TraceContext* trace = nullptr) override;
   std::optional<Envelope> recv(std::chrono::milliseconds timeout) override;
   void close() override;
 

@@ -1,0 +1,62 @@
+#include "net/tracing.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace fifl::net {
+
+std::uint64_t trace_now_us() {
+  // Span timestamps never reach deterministic output — they exist only
+  // in FIFL_TRACE_DIR artifacts, and every producer checks the tracer
+  // first, so the disabled path performs no clock read at all.
+  // fifl-lint: allow(nondet-source) -- span timestamps land only in trace artifacts, never in engine state
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+std::uint64_t next_span_id(std::uint32_t node) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t seq =
+      counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  return ((static_cast<std::uint64_t>(node) + 1) << 40) |
+         (seq & ((1ull << 40) - 1));
+}
+
+NodeTracer NodeTracer::for_node(std::uint32_t node) {
+  NodeTracer t;
+  t.node = node;
+  t.spans = obs::TraceDir::global().node_buffer(node);
+  t.flight = obs::FlightRegistry::global().ring(node);
+  return t;
+}
+
+void NodeTracer::span(obs::SpanKind kind, const char* name,
+                      std::uint64_t round, std::uint64_t ts_us,
+                      std::uint64_t dur_us, const obs::TraceContext& ctx,
+                      std::uint32_t peer) const {
+  if (spans == nullptr) return;
+  obs::SpanRecord rec;
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = ctx.span_id;
+  rec.parent_span_id = ctx.parent_span_id;
+  rec.node = node;
+  rec.peer = peer;
+  rec.kind = kind;
+  rec.name = name;
+  rec.round = round;
+  rec.ts_us = ts_us;
+  rec.dur_us = dur_us;
+  spans->record(rec);
+}
+
+void NodeTracer::clock(std::int64_t skew_us, std::int64_t rtt_us) const {
+  if (spans == nullptr) return;
+  obs::ClockSyncRecord rec;
+  rec.node = node;
+  rec.skew_us = skew_us;
+  rec.rtt_us = rtt_us;
+  spans->record_clock(rec);
+}
+
+}  // namespace fifl::net

@@ -1,0 +1,65 @@
+// Glue between fifl::net and the obs tracing layer: the monotonic
+// trace clock, deterministic span-id allocation, and the per-node
+// tracer handle nodes cache at startup.
+//
+// Determinism contract (DESIGN.md "Determinism invariants"): nothing
+// here draws from the seeded RNG or feeds a value back into engine
+// state — span ids come from node-scoped counters, trace ids from the
+// logical round clock, and timestamps only ever land in trace/postmortem
+// artifacts. Tracing enabled or disabled therefore cannot change a
+// hash, reputation, or reward.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/span.hpp"
+
+namespace fifl::net {
+
+/// Monotonic microseconds for span timestamps (node-local epoch; the
+/// Join handshake's ClockSyncRecord aligns epochs across nodes).
+std::uint64_t trace_now_us();
+
+/// Allocates a wire-unique span id: the node key in the high bits, a
+/// process-wide counter in the low 40. No RNG draws, so tracing cannot
+/// perturb any seeded stream; ids stay below 2^53 for node keys < 2^13,
+/// which keeps them exact through double-typed JSON parsers.
+std::uint64_t next_span_id(std::uint32_t node);
+
+/// The trace id of a round's causal tree (0 is reserved for "no trace").
+inline std::uint64_t round_trace_id(std::uint64_t round) { return round + 1; }
+
+/// Per-node tracing handle, resolved once at node startup. Both pointers
+/// are nullptr when FIFL_TRACE_DIR is unset, so every producer site pays
+/// exactly one branch on the disabled path — no allocation, no clock
+/// read.
+struct NodeTracer {
+  obs::SpanBuffer* spans = nullptr;
+  obs::FlightRing* flight = nullptr;
+  std::uint32_t node = 0;
+
+  static NodeTracer for_node(std::uint32_t node);
+
+  bool tracing() const noexcept { return spans != nullptr; }
+
+  /// Emit one completed span (no-op when tracing is off).
+  void span(obs::SpanKind kind, const char* name, std::uint64_t round,
+            std::uint64_t ts_us, std::uint64_t dur_us,
+            const obs::TraceContext& ctx,
+            std::uint32_t peer = obs::kNoPeer) const;
+
+  /// Record this node's Join-handshake clock-sync estimate (no-op when
+  /// tracing is off). The lead records skew 0 — it is the reference
+  /// timeline every other node aligns to.
+  void clock(std::int64_t skew_us, std::int64_t rtt_us) const;
+
+  /// Note a flight-recorder event (no-op when the ring is off).
+  void note(obs::FlightEventKind kind, std::uint32_t peer,
+            std::uint8_t msg_type, std::uint64_t round,
+            std::uint64_t detail = 0) const {
+    if (flight != nullptr) flight->note(kind, peer, msg_type, round, detail);
+  }
+};
+
+}  // namespace fifl::net

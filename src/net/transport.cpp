@@ -23,6 +23,15 @@ NetMetrics& NetMetrics::global() {
     m.msgs_rx = &reg.counter("net.msgs_rx");
     m.frame_errors = &reg.counter("net.frame_errors");
     m.rtt_ms = &reg.histogram("net.rtt_ms");
+    for (std::size_t i = 0; i < kMessageTypeCount; ++i) {
+      const char* name =
+          message_type_name(static_cast<MessageType>(i + 1));
+      m.handle_ms_type[i] =
+          &reg.histogram(std::string("net.handle_ms.") + name);
+    }
+    m.phase_broadcast_ms = &reg.histogram("net.phase.broadcast_ms");
+    m.phase_collect_ms = &reg.histogram("net.phase.collect_ms");
+    m.phase_assess_ms = &reg.histogram("net.phase.assess_ms");
     m.send_retries = &reg.counter("net.send_retries");
     m.send_failures = &reg.counter("net.send_failures");
     m.late_uploads = &reg.counter("net.late_uploads");
@@ -76,11 +85,12 @@ class LoopbackEndpoint : public Endpoint {
   NodeKey address() const noexcept override { return address_; }
 
   void send(NodeKey to, MessageType type,
-            std::span<const std::uint8_t> payload) override {
+            std::span<const std::uint8_t> payload,
+            const obs::TraceContext* trace) override {
     // Round-trip through the real wire format so loopback tests cover the
     // same encode/decode path TCP uses; the frame layer is not mocked out.
     const std::vector<std::uint8_t> wire =
-        encode_frame(static_cast<std::uint8_t>(type), address_, payload);
+        encode_frame(static_cast<std::uint8_t>(type), address_, payload, trace);
     auto& metrics = NetMetrics::global();
     FrameDecoder decoder;
     decoder.feed(wire);
@@ -100,7 +110,8 @@ class LoopbackEndpoint : public Endpoint {
     if (obs::Counter* c = metrics.tx_for(raw)) c->inc(wire.size());
     if (obs::Counter* c = metrics.rx_for(raw)) c->inc(wire.size());
     inbox->push(Envelope{frame->from, static_cast<MessageType>(frame->type),
-                         std::move(frame->payload)});
+                         std::move(frame->payload), frame->has_trace,
+                         frame->trace});
   }
 
   std::optional<Envelope> recv(std::chrono::milliseconds timeout) override {

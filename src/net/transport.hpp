@@ -31,6 +31,7 @@
 
 #include "net/messages.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace fifl::net {
 
@@ -41,6 +42,10 @@ struct Envelope {
   NodeKey from = 0;
   MessageType type = MessageType::kHeartbeat;
   std::vector<std::uint8_t> payload;
+  /// Trace context carried by the frame's optional extension (has_trace
+  /// false on messages from non-tracing peers).
+  bool has_trace = false;
+  obs::TraceContext trace;
 };
 
 class Endpoint {
@@ -49,9 +54,12 @@ class Endpoint {
 
   virtual NodeKey address() const noexcept = 0;
 
-  /// Frames and delivers one message. Thread-safe.
+  /// Frames and delivers one message. Thread-safe. `trace` (nullable)
+  /// rides in the frame's trace extension; passing nullptr — the
+  /// tracing-disabled path — produces the legacy wire bytes.
   virtual void send(NodeKey to, MessageType type,
-                    std::span<const std::uint8_t> payload) = 0;
+                    std::span<const std::uint8_t> payload,
+                    const obs::TraceContext* trace = nullptr) = 0;
 
   /// Blocks up to `timeout` for the next inbound message; nullopt on
   /// timeout or after close().
@@ -62,8 +70,9 @@ class Endpoint {
 
   /// Convenience: encode a message struct and send it.
   template <typename Msg>
-  void send_msg(NodeKey to, MessageType type, const Msg& msg) {
-    send(to, type, encode_payload(msg));
+  void send_msg(NodeKey to, MessageType type, const Msg& msg,
+                const obs::TraceContext* trace = nullptr) {
+    send(to, type, encode_payload(msg), trace);
   }
 };
 
@@ -90,6 +99,13 @@ struct NetMetrics {
   obs::Counter* msgs_rx;
   obs::Counter* frame_errors;
   obs::Histogram* rtt_ms;
+  /// Per-message-type handler latency (net.handle_ms.<type_name>) and
+  /// lead round-phase latencies — deterministic fixed buckets, exported
+  /// with p50/p90/p99 into every BENCH_*.json metrics snapshot.
+  std::array<obs::Histogram*, kMessageTypeCount> handle_ms_type;
+  obs::Histogram* phase_broadcast_ms;
+  obs::Histogram* phase_collect_ms;
+  obs::Histogram* phase_assess_ms;
   // Fault-tolerance / degradation counters.
   obs::Counter* send_retries;     // TCP sends that needed a backoff retry
   obs::Counter* send_failures;    // sends abandoned after the retry budget
@@ -111,6 +127,11 @@ struct NetMetrics {
   obs::Counter* rx_for(std::uint8_t raw_type) noexcept {
     return raw_type >= 1 && raw_type <= kMessageTypeCount
                ? bytes_rx_type[raw_type - 1]
+               : nullptr;
+  }
+  obs::Histogram* handle_for(std::uint8_t raw_type) noexcept {
+    return raw_type >= 1 && raw_type <= kMessageTypeCount
+               ? handle_ms_type[raw_type - 1]
                : nullptr;
   }
 

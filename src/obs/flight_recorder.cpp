@@ -1,0 +1,171 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace fifl::obs {
+
+const char* flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kSend: return "send";
+    case FlightEventKind::kRecv: return "recv";
+    case FlightEventKind::kHandle: return "handle";
+    case FlightEventKind::kPhase: return "phase";
+    case FlightEventKind::kFault: return "fault";
+    case FlightEventKind::kWarn: return "warn";
+    case FlightEventKind::kDrop: return "drop";
+    case FlightEventKind::kDeadWorker: return "dead_worker";
+    case FlightEventKind::kDegradedRound: return "degraded_round";
+    case FlightEventKind::kDivergence: return "divergence";
+    case FlightEventKind::kQuorumAbort: return "quorum_abort";
+    case FlightEventKind::kRetryExhausted: return "retry_exhausted";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint64_t flight_now_us() {
+  // Timestamps only ever reach postmortem artifacts, never deterministic
+  // output (obs layer, R2-allowlisted).
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void FlightRing::note(FlightEventKind kind, std::uint32_t peer,
+                      std::uint8_t msg_type, std::uint64_t round,
+                      std::uint64_t detail) {
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[(seq - 1) & (kCapacity - 1)];
+  // Invalidate the slot first so a concurrent snapshot never pairs the
+  // old payload with the new sequence number, then publish seq last.
+  slot.seq.store(0, std::memory_order_release);
+  slot.ts_us.store(flight_now_us(), std::memory_order_relaxed);
+  slot.round.store(round, std::memory_order_relaxed);
+  slot.detail.store(detail, std::memory_order_relaxed);
+  slot.peer.store(peer, std::memory_order_relaxed);
+  slot.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  slot.msg_type.store(msg_type, std::memory_order_relaxed);
+  slot.seq.store(seq, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRing::snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(kCapacity);
+  for (const Slot& slot : slots_) {
+    const std::uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before == 0) continue;  // empty or mid-write
+    FlightEvent ev;
+    ev.seq = seq_before;
+    ev.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+    ev.round = slot.round.load(std::memory_order_relaxed);
+    ev.detail = slot.detail.load(std::memory_order_relaxed);
+    ev.peer = slot.peer.load(std::memory_order_relaxed);
+    ev.kind =
+        static_cast<FlightEventKind>(slot.kind.load(std::memory_order_relaxed));
+    ev.msg_type = slot.msg_type.load(std::memory_order_relaxed);
+    if (slot.seq.load(std::memory_order_acquire) != seq_before) continue;
+    out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+FlightRegistry::FlightRegistry() {
+  const char* dir = std::getenv("FIFL_TRACE_DIR");
+  if (dir != nullptr && dir[0] != '\0') configure(dir);
+}
+
+FlightRegistry& FlightRegistry::global() {
+  // Leaked like MetricsRegistry::global(): rings may be poked from
+  // detached threads during process teardown.
+  static FlightRegistry* instance = new FlightRegistry();
+  return *instance;
+}
+
+bool FlightRegistry::enabled() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return !dir_.empty();
+}
+
+void FlightRegistry::configure(const std::string& dir) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  dir_ = dir;
+  rings_.clear();
+  dumps_ = 0;
+  if (!dir_.empty()) std::filesystem::create_directories(dir_);
+}
+
+FlightRing* FlightRegistry::ring(std::uint32_t node) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (dir_.empty()) return nullptr;
+  auto it = rings_.find(node);
+  if (it == rings_.end()) {
+    it = rings_.emplace(node, std::make_unique<FlightRing>()).first;
+  }
+  return it->second.get();
+}
+
+std::string FlightRegistry::dump(const std::string& reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (dir_.empty() || dumps_ >= kMaxDumps) return "";
+  ++dumps_;
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("postmortem").value(reason);
+  w.key("dump_seq").value(static_cast<std::uint64_t>(dumps_));
+  w.key("ring_capacity").value(static_cast<std::uint64_t>(FlightRing::kCapacity));
+  w.key("nodes").begin_array();
+  for (const auto& [node, ring] : rings_) {
+    w.begin_object();
+    w.key("node").value(static_cast<std::uint64_t>(node));
+    w.key("total_noted").value(ring->total_noted());
+    w.key("events").begin_array();
+    for (const FlightEvent& ev : ring->snapshot()) {
+      w.begin_object();
+      w.key("seq").value(ev.seq);
+      w.key("ts_us").value(ev.ts_us);
+      w.key("round").value(ev.round);
+      w.key("kind").value(flight_event_kind_name(ev.kind));
+      if (ev.peer != kNoFlightPeer) {
+        w.key("peer").value(static_cast<std::uint64_t>(ev.peer));
+      }
+      if (ev.msg_type != 0) {
+        w.key("msg_type").value(static_cast<std::uint64_t>(ev.msg_type));
+      }
+      w.key("detail").value(ev.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  const std::string path = dir_ + "/postmortem_" + std::to_string(dumps_) +
+                           "_" + reason + ".json";
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) return "";
+  out << w.str() << '\n';
+  return path;
+}
+
+std::size_t FlightRegistry::dump_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dumps_;
+}
+
+}  // namespace fifl::obs

@@ -1,0 +1,126 @@
+// Flight recorder: a fixed-size lock-free ring of recent net/obs events
+// per node, dumped to a postmortem JSON file when a run dies in one of
+// the ways the chaos soak exercises — Byzantine divergence, below-quorum
+// abort, send-retry exhaustion. The dump turns "assertion text" into a
+// replayable last-K-events timeline across every involved node.
+//
+// Recording is wait-free: note() claims a slot with one fetch_add and
+// fills it with relaxed atomic stores (the slot sequence number is
+// written last, release), so writers never block each other or the
+// consensus path. snapshot() is a seqlock-style reader: it accepts a
+// slot only when the sequence number is unchanged across the field
+// reads, so torn slots are skipped, never misreported.
+//
+// Gating matches the span layer: FlightRegistry is enabled iff
+// FIFL_TRACE_DIR is set (postmortems land next to the per-node span
+// files). ring() returns nullptr when disabled, so the producer path
+// costs one pointer check. Dump filenames are derived from a process
+// counter, not wall time, so artifact names are deterministic.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fifl::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  kSend = 0,
+  kRecv = 1,
+  kHandle = 2,
+  kPhase = 3,
+  kFault = 4,
+  kWarn = 5,
+  kDrop = 6,
+  kDeadWorker = 7,
+  kDegradedRound = 8,
+  kDivergence = 9,
+  kQuorumAbort = 10,
+  kRetryExhausted = 11,
+};
+
+const char* flight_event_kind_name(FlightEventKind kind);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;    // global order within this ring (1-based)
+  std::uint64_t ts_us = 0;  // monotonic microseconds, node-local epoch
+  std::uint64_t round = 0;
+  FlightEventKind kind = FlightEventKind::kWarn;
+  std::uint32_t peer = 0;     // remote node, or kNoFlightPeer
+  std::uint8_t msg_type = 0;  // raw MessageType tag, 0 when n/a
+  std::uint64_t detail = 0;   // kind-specific (bytes, attempt count, ...)
+};
+
+inline constexpr std::uint32_t kNoFlightPeer = 0xFFFFFFFFu;
+
+class FlightRing {
+ public:
+  /// Power of two; the postmortem carries at most this many events per
+  /// node (the "last K").
+  static constexpr std::size_t kCapacity = 256;
+
+  void note(FlightEventKind kind, std::uint32_t peer, std::uint8_t msg_type,
+            std::uint64_t round, std::uint64_t detail);
+
+  /// Consistent slots in oldest-to-newest order. Safe to call while
+  /// writers are active; in-flight slots are skipped.
+  std::vector<FlightEvent> snapshot() const;
+
+  std::uint64_t total_noted() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // 0 = never written
+    std::atomic<std::uint64_t> ts_us{0};
+    std::atomic<std::uint64_t> round{0};
+    std::atomic<std::uint64_t> detail{0};
+    std::atomic<std::uint32_t> peer{0};
+    std::atomic<std::uint8_t> kind{0};
+    std::atomic<std::uint8_t> msg_type{0};
+  };
+
+  std::atomic<std::uint64_t> head_{0};
+  std::array<Slot, kCapacity> slots_;
+};
+
+/// Process-global registry of per-node flight rings + the postmortem
+/// dumper. Enabled iff FIFL_TRACE_DIR is set (or configure() is called).
+class FlightRegistry {
+ public:
+  static FlightRegistry& global();
+
+  bool enabled() const;
+  /// Point postmortems at `dir` ("" disables). Drops existing rings;
+  /// test setup only.
+  void configure(const std::string& dir);
+
+  /// The ring for one node, created on first use; nullptr when disabled.
+  /// Valid until the next configure().
+  FlightRing* ring(std::uint32_t node);
+
+  /// Write <dir>/postmortem_<seq>_<reason>.json with the last-K events
+  /// of every node ring. Returns the path, or "" when disabled or the
+  /// per-process dump cap (kMaxDumps) is reached.
+  std::string dump(const std::string& reason);
+
+  std::size_t dump_count() const;
+
+  static constexpr std::size_t kMaxDumps = 8;
+
+ private:
+  FlightRegistry();
+
+  mutable std::mutex mutex_;
+  std::string dir_;
+  std::map<std::uint32_t, std::unique_ptr<FlightRing>> rings_;
+  std::size_t dumps_ = 0;
+};
+
+}  // namespace fifl::obs

@@ -92,6 +92,27 @@ void Histogram::reset() noexcept {
              std::memory_order_relaxed);
 }
 
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += counts[b];
+    if (static_cast<double>(cum) < rank) continue;
+    // Interpolate linearly inside bucket b; edge buckets borrow the
+    // observed min/max so the estimate never leaves the data range.
+    const double lo = b == 0 ? min : bounds[b - 1];
+    const double hi = b < bounds.size() ? bounds[b] : max;
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(counts[b]);
+    return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min, max);
+  }
+  return max;
+}
+
 std::vector<double> Histogram::default_latency_bounds_ms() {
   return {0.001, 0.005, 0.01, 0.05, 0.1,  0.5,   1.0,    5.0,
           10.0,  50.0,  100.0, 500.0, 1000.0, 5000.0, 60000.0};
@@ -116,6 +137,9 @@ std::string MetricsSnapshot::to_json() const {
     w.key("min").value(h.min);
     w.key("max").value(h.max);
     w.key("mean").value(h.mean());
+    w.key("p50").value(h.quantile(0.50));
+    w.key("p90").value(h.quantile(0.90));
+    w.key("p99").value(h.quantile(0.99));
     w.key("buckets").begin_array();
     for (std::size_t b = 0; b < h.counts.size(); ++b) {
       w.begin_object();

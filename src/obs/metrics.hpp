@@ -78,6 +78,11 @@ class Histogram {
     double mean() const noexcept {
       return count ? sum / static_cast<double>(count) : 0.0;
     }
+    /// Deterministic bucket-interpolated quantile (q in [0,1]): walks the
+    /// fixed buckets and interpolates linearly inside the target bucket,
+    /// clamped to [min, max]. 0 for an empty histogram. Identical inputs
+    /// give identical outputs — safe to export into BENCH_*.json.
+    double quantile(double q) const noexcept;
   };
   Snapshot snapshot() const;
   std::uint64_t count() const noexcept {

@@ -1,0 +1,209 @@
+#include "obs/span.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace fifl::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kSend: return "send";
+    case SpanKind::kRecv: return "recv";
+    case SpanKind::kHandle: return "handle";
+    case SpanKind::kPhase: return "phase";
+  }
+  return "unknown";
+}
+
+namespace {
+
+SpanKind span_kind_from_name(const std::string& name) {
+  if (name == "send") return SpanKind::kSend;
+  if (name == "recv") return SpanKind::kRecv;
+  if (name == "handle") return SpanKind::kHandle;
+  if (name == "phase") return SpanKind::kPhase;
+  throw std::runtime_error("span record: unknown kind '" + name + "'");
+}
+
+std::uint64_t as_u64(const JsonValue& v) {
+  const double d = v.as_number();
+  if (!(d >= 0.0)) throw std::runtime_error("span record: negative id/field");
+  return static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+std::string SpanRecord::to_jsonl() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("t").value("span");
+  w.key("trace").value(trace_id);
+  w.key("span").value(span_id);
+  w.key("parent").value(parent_span_id);
+  w.key("node").value(static_cast<std::uint64_t>(node));
+  if (peer != kNoPeer) w.key("peer").value(static_cast<std::uint64_t>(peer));
+  w.key("kind").value(span_kind_name(kind));
+  w.key("name").value(name);
+  w.key("round").value(round);
+  w.key("ts_us").value(ts_us);
+  w.key("dur_us").value(dur_us);
+  w.end_object();
+  return w.take();
+}
+
+SpanRecord SpanRecord::from_jsonl(std::string_view line) {
+  const JsonValue v = json_parse(line);
+  if (const JsonValue* t = v.find("t"); !t || t->as_string() != "span") {
+    throw std::runtime_error("span record: missing \"t\":\"span\"");
+  }
+  SpanRecord r;
+  r.trace_id = as_u64(v.at("trace"));
+  r.span_id = as_u64(v.at("span"));
+  r.parent_span_id = as_u64(v.at("parent"));
+  r.node = static_cast<std::uint32_t>(as_u64(v.at("node")));
+  if (const JsonValue* peer = v.find("peer")) {
+    r.peer = static_cast<std::uint32_t>(as_u64(*peer));
+  }
+  r.kind = span_kind_from_name(v.at("kind").as_string());
+  r.name = v.at("name").as_string();
+  r.round = as_u64(v.at("round"));
+  r.ts_us = as_u64(v.at("ts_us"));
+  r.dur_us = as_u64(v.at("dur_us"));
+  return r;
+}
+
+std::string ClockSyncRecord::to_jsonl() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("t").value("clock");
+  w.key("node").value(static_cast<std::uint64_t>(node));
+  w.key("skew_us").value(static_cast<std::int64_t>(skew_us));
+  w.key("rtt_us").value(static_cast<std::int64_t>(rtt_us));
+  w.end_object();
+  return w.take();
+}
+
+ClockSyncRecord ClockSyncRecord::from_jsonl(std::string_view line) {
+  const JsonValue v = json_parse(line);
+  if (const JsonValue* t = v.find("t"); !t || t->as_string() != "clock") {
+    throw std::runtime_error("clock record: missing \"t\":\"clock\"");
+  }
+  ClockSyncRecord r;
+  r.node = static_cast<std::uint32_t>(as_u64(v.at("node")));
+  r.skew_us = static_cast<std::int64_t>(v.at("skew_us").as_number());
+  r.rtt_us = static_cast<std::int64_t>(v.at("rtt_us").as_number());
+  return r;
+}
+
+SpanBuffer::SpanBuffer(const std::string& path) {
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("SpanBuffer: cannot open trace file: " + path);
+  }
+}
+
+void SpanBuffer::record(const SpanRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(record);
+  if (out_.is_open()) {
+    out_ << record.to_jsonl() << '\n';
+    out_.flush();
+  }
+}
+
+void SpanBuffer::record_clock(const ClockSyncRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  clocks_.push_back(record);
+  if (out_.is_open()) {
+    out_ << record.to_jsonl() << '\n';
+    out_.flush();
+  }
+}
+
+std::size_t SpanBuffer::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::vector<SpanRecord> SpanBuffer::drain() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out = std::move(records_);
+  records_.clear();
+  return out;
+}
+
+std::vector<ClockSyncRecord> SpanBuffer::drain_clocks() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ClockSyncRecord> out = std::move(clocks_);
+  clocks_.clear();
+  return out;
+}
+
+TraceDir::TraceDir() {
+  const char* dir = std::getenv("FIFL_TRACE_DIR");
+  if (dir != nullptr && dir[0] != '\0') configure(dir);
+}
+
+TraceDir& TraceDir::global() {
+  // Leaked like MetricsRegistry::global(): nodes may record spans from
+  // detached threads during process teardown.
+  static TraceDir* instance = new TraceDir();
+  return *instance;
+}
+
+bool TraceDir::enabled() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return !dir_.empty();
+}
+
+std::string TraceDir::dir() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dir_;
+}
+
+void TraceDir::configure(const std::string& dir) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  dir_ = dir;
+  buffers_.clear();
+  if (!dir_.empty()) std::filesystem::create_directories(dir_);
+}
+
+SpanBuffer* TraceDir::node_buffer(std::uint32_t node) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (dir_.empty()) return nullptr;
+  auto it = buffers_.find(node);
+  if (it == buffers_.end()) {
+    const std::string path =
+        dir_ + "/node_" + std::to_string(node) + ".trace.jsonl";
+    it = buffers_.emplace(node, std::make_unique<SpanBuffer>(path)).first;
+  }
+  return it->second.get();
+}
+
+NodeTraceFile read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_trace_file: cannot open: " + path);
+  }
+  NodeTraceFile out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const JsonValue v = json_parse(line);
+    const std::string& tag = v.at("t").as_string();
+    if (tag == "span") {
+      out.spans.push_back(SpanRecord::from_jsonl(line));
+    } else if (tag == "clock") {
+      out.clocks.push_back(ClockSyncRecord::from_jsonl(line));
+    } else {
+      throw std::runtime_error("read_trace_file: unknown record type '" +
+                               tag + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace fifl::obs

@@ -1,0 +1,146 @@
+// Distributed-tracing primitives: a compact trace context carried on
+// every wire message, per-node span records (send / recv / handle /
+// round-phase) streamed as JSONL, and the process-global trace sink
+// keyed off FIFL_TRACE_DIR.
+//
+// Wiring: fifl::net nodes cache a SpanBuffer* at startup (nullptr when
+// FIFL_TRACE_DIR is unset), so the disabled path costs exactly one
+// pointer check per site — no allocation, no clock read. Span ids are
+// allocated from node-scoped counters, never from the seeded RNG, so
+// tracing on or off cannot perturb any deterministic stream
+// (DESIGN.md "Determinism invariants").
+//
+// JSONL schema (one object per line, per-node file node_<n>.trace.jsonl):
+//   {"t":"span","trace":1,"span":1099511627777,"parent":0,"node":8,
+//    "peer":3,"kind":"send","name":"model_broadcast","round":0,
+//    "ts_us":123456,"dur_us":17}
+//   {"t":"clock","node":3,"skew_us":-42,"rtt_us":120}
+// Ids stay below 2^53 by construction so they survive a double-typed
+// JSON parser. The "clock" record carries the Join-handshake skew
+// estimate fifl-tracecat uses to align node timelines.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fifl::obs {
+
+/// Trace context propagated on the wire (frame extension, 24 bytes).
+/// trace_id 0 means "no context" — the frame travels without the
+/// extension and recv sides start a fresh local span.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  bool valid() const noexcept { return trace_id != 0; }
+  bool operator==(const TraceContext&) const = default;
+};
+
+enum class SpanKind : std::uint8_t {
+  kSend = 0,
+  kRecv = 1,
+  kHandle = 2,
+  kPhase = 3,
+};
+
+const char* span_kind_name(SpanKind kind);
+
+/// Sentinel for spans with no remote peer (round-phase spans).
+inline constexpr std::uint32_t kNoPeer = 0xFFFFFFFFu;
+
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint32_t node = 0;
+  std::uint32_t peer = kNoPeer;
+  SpanKind kind = SpanKind::kPhase;
+  std::string name;        // message-type or phase name
+  std::uint64_t round = 0; // logical round clock
+  std::uint64_t ts_us = 0; // monotonic microseconds, node-local epoch
+  std::uint64_t dur_us = 0;
+
+  /// One JSONL line (no trailing newline).
+  std::string to_jsonl() const;
+  /// Inverse of to_jsonl(); throws std::runtime_error on malformed input.
+  static SpanRecord from_jsonl(std::string_view line);
+};
+
+/// Clock-skew estimate from the Join handshake: add skew_us to this
+/// node's ts_us values to land on the lead's timeline.
+struct ClockSyncRecord {
+  std::uint32_t node = 0;
+  std::int64_t skew_us = 0;
+  std::int64_t rtt_us = 0;
+
+  std::string to_jsonl() const;
+  static ClockSyncRecord from_jsonl(std::string_view line);
+};
+
+/// Thread-safe per-node span sink. With a path, every record streams to
+/// the JSONL file (flushed per record so a crashed node keeps its
+/// trace); memory-only otherwise (tests, benches).
+class SpanBuffer {
+ public:
+  SpanBuffer() = default;
+  /// Throws std::runtime_error when the path cannot be opened.
+  explicit SpanBuffer(const std::string& path);
+
+  void record(const SpanRecord& record);
+  void record_clock(const ClockSyncRecord& record);
+
+  std::size_t size() const;
+  /// In-memory records in append order; clears the buffer.
+  std::vector<SpanRecord> drain();
+  std::vector<ClockSyncRecord> drain_clocks();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+  std::vector<ClockSyncRecord> clocks_;
+  std::ofstream out_;  // open iff constructed with a path
+};
+
+/// Process-global trace directory, configured from FIFL_TRACE_DIR.
+/// Disabled (node_buffer() == nullptr) when the variable is unset, so
+/// producers pay one branch and nothing else.
+class TraceDir {
+ public:
+  static TraceDir& global();
+
+  bool enabled() const;
+  /// Point the sink at `dir` ("" disables). Creates the directory.
+  /// Existing node buffers are dropped; intended for test setup, not
+  /// mid-run reconfiguration.
+  void configure(const std::string& dir);
+  std::string dir() const;
+
+  /// The span sink for one node, created on first use as
+  /// <dir>/node_<n>.trace.jsonl. nullptr when disabled. The pointer
+  /// stays valid until the next configure().
+  SpanBuffer* node_buffer(std::uint32_t node);
+
+ private:
+  TraceDir();
+
+  mutable std::mutex mutex_;
+  std::string dir_;
+  std::map<std::uint32_t, std::unique_ptr<SpanBuffer>> buffers_;
+};
+
+/// Parses a per-node trace file back into spans + clock records
+/// (fifl-tracecat's reader; also the test round-trip path).
+struct NodeTraceFile {
+  std::vector<SpanRecord> spans;
+  std::vector<ClockSyncRecord> clocks;
+};
+NodeTraceFile read_trace_file(const std::string& path);
+
+}  // namespace fifl::obs

@@ -169,5 +169,78 @@ TEST(Frame, RejectsOversizedPayloadAtEncode) {
       FrameError);
 }
 
+TEST(Frame, TraceContextRoundTrips) {
+  util::Rng rng(29);
+  const auto payload = random_payload(rng, 96);
+  const obs::TraceContext ctx{7, (9ull << 40) | 123, (1ull << 40) | 7};
+  const auto wire = encode_frame(4, 8, payload, &ctx);
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + kTraceExtSize + payload.size());
+
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, 4);
+  EXPECT_EQ(frame->from, 8u);
+  EXPECT_TRUE(frame->has_trace);
+  EXPECT_EQ(frame->trace, ctx);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Frame, UntracedWireBytesAreLegacyIdentical) {
+  // Sending with trace == nullptr must produce byte-for-byte the frame an
+  // old peer expects: no flag bit, no extension, same CRC.
+  util::Rng rng(31);
+  const auto payload = random_payload(rng, 64);
+  const auto legacy = encode_frame(5, 3, payload);
+  const auto untraced = encode_frame(5, 3, payload, nullptr);
+  EXPECT_EQ(legacy, untraced);
+
+  FrameDecoder decoder;
+  decoder.feed(untraced);
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_FALSE(frame->has_trace);
+  EXPECT_EQ(frame->trace, obs::TraceContext{});
+}
+
+TEST(Frame, TracedFrameSurvivesChunkingAndFlipRejection) {
+  util::Rng rng(37);
+  const auto payload = random_payload(rng, 40);
+  const obs::TraceContext ctx{2, 99, 0};
+  const auto wire = encode_frame(6, 1, payload, &ctx);
+
+  // Byte-at-a-time feed must still deliver exactly one traced frame.
+  FrameDecoder slow;
+  std::vector<Frame> decoded;
+  for (const std::uint8_t b : wire) {
+    slow.feed(std::span(&b, 1));
+    while (auto f = slow.next()) decoded.push_back(std::move(*f));
+  }
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_TRUE(decoded[0].has_trace);
+  EXPECT_EQ(decoded[0].trace, ctx);
+
+  // The extension rides inside the CRC: every single-bit flip in the
+  // trace bytes must be rejected, never mis-delivered as a clean frame.
+  for (std::size_t pos = kFrameHeaderSize;
+       pos < kFrameHeaderSize + kTraceExtSize; ++pos) {
+    auto corrupted = wire;
+    corrupted[pos] = static_cast<std::uint8_t>(corrupted[pos] ^ 0x10);
+    FrameDecoder decoder;
+    decoder.feed(corrupted);
+    EXPECT_THROW(decoder.next(), FrameError) << "flip at byte " << pos;
+  }
+}
+
+TEST(Frame, UnknownFlagBitsAreRejected) {
+  auto wire = encode_frame(3, 2, std::vector<std::uint8_t>(8, 0x5a));
+  wire[6] = 0x02;  // flags low byte: an undefined bit
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_THROW(decoder.next(), FrameError);
+}
+
 }  // namespace
 }  // namespace fifl::net

@@ -59,6 +59,75 @@ TEST(Messages, JoinAckRoundTrip) {
   expect_all_truncations_throw(msg);
 }
 
+/// Truncation property for a payload carrying the optional trailing
+/// feature extension: every strict prefix throws EXCEPT the exact
+/// legacy boundary (payload minus the 12-byte extension), which must
+/// decode as a legacy message — that prefix IS the legacy wire format.
+template <typename Msg>
+void expect_extension_truncations_throw(const Msg& msg) {
+  const auto payload = encode_payload(msg);
+  constexpr std::size_t kExtension = 12;  // u32 features + u64 clock_us
+  ASSERT_GT(payload.size(), kExtension);
+  const std::size_t boundary = payload.size() - kExtension;
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    if (len == boundary) {
+      const auto legacy =
+          decode_payload<Msg>(std::span(payload).first(len));
+      EXPECT_EQ(legacy.features, 0u);
+      EXPECT_EQ(legacy.clock_us, 0u);
+      continue;
+    }
+    EXPECT_THROW(decode_payload<Msg>(std::span(payload).first(len)),
+                 util::SerializeError)
+        << "prefix length " << len << " of " << payload.size();
+  }
+}
+
+TEST(Messages, JoinTraceFeatureExtensionRoundTrips) {
+  JoinMsg msg{17, NodeRole::kWorker, fl::kAllCodecs};
+  msg.features = kFeatureTrace;
+  msg.clock_us = 123456789ull;
+  const auto back = decode_payload<JoinMsg>(encode_payload(msg));
+  EXPECT_EQ(back.features, kFeatureTrace);
+  EXPECT_EQ(back.clock_us, 123456789ull);
+  expect_extension_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, JoinWithoutFeaturesStaysLegacyByteIdentical) {
+  // features == 0 must encode exactly the pre-extension payload, so a
+  // tracing-aware node joining a legacy lead (or vice versa) still
+  // parses — the extension is negotiated, not assumed.
+  const JoinMsg legacy{17, NodeRole::kWorker, fl::kAllCodecs};
+  JoinMsg extended = legacy;
+  extended.features = 0;
+  extended.clock_us = 999;  // must NOT be encoded when features == 0
+  EXPECT_EQ(encode_payload(legacy), encode_payload(extended));
+  const auto back = decode_payload<JoinMsg>(encode_payload(legacy));
+  EXPECT_EQ(back.features, 0u);
+  EXPECT_EQ(back.clock_us, 0u);
+}
+
+TEST(Messages, JoinAckTraceFeatureExtensionRoundTrips) {
+  JoinAckMsg msg{3, 8, 2, 1210, 25};
+  msg.features = kFeatureTrace;
+  msg.clock_us = 42424242ull;
+  const auto back = decode_payload<JoinAckMsg>(encode_payload(msg));
+  EXPECT_EQ(back.features, kFeatureTrace);
+  EXPECT_EQ(back.clock_us, 42424242ull);
+  expect_extension_truncations_throw(msg);
+}
+
+TEST(Messages, JoinAckWithoutFeaturesStaysLegacyByteIdentical) {
+  const JoinAckMsg legacy{3, 8, 2, 1210, 25};
+  JoinAckMsg extended = legacy;
+  extended.clock_us = 7;  // ignored: features == 0
+  EXPECT_EQ(encode_payload(legacy), encode_payload(extended));
+  const auto back = decode_payload<JoinAckMsg>(encode_payload(legacy));
+  EXPECT_EQ(back.features, 0u);
+  EXPECT_EQ(back.clock_us, 0u);
+}
+
 TEST(Messages, LeaveRoundTrip) {
   const LeaveMsg msg{9, "training complete"};
   const auto back = decode_payload<LeaveMsg>(encode_payload(msg));

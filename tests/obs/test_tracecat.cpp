@@ -1,0 +1,150 @@
+// fifl-tracecat against a real cluster run: trace an M=2/N=8 loopback
+// round loop, merge the per-node streams with the actual binary, and
+// require the merged timeline to pass `--validate --min-flows-per-round 1`
+// — the same schema gate scripts/smoke_bench.sh runs in CI. A negative
+// case pins that --validate actually rejects malformed input.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fifl.hpp"
+#include "data/synthetic.hpp"
+#include "fl/simulator.hpp"
+#include "net/cluster.hpp"
+#include "nn/models.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+
+namespace fifl::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kWorkers = 8;
+constexpr std::size_t kServers = 2;
+constexpr std::size_t kRounds = 3;
+
+/// Runs the tool and reduces the wait status to an exit code.
+int run_tracecat(const std::string& args) {
+  const std::string cmd = std::string(FIFL_TRACECAT_BIN) + " " + args;
+  const int status = std::system(cmd.c_str());
+  return status == -1 ? -1 : WEXITSTATUS(status);
+}
+
+void run_traced_cluster() {
+  auto spec = data::mnist_like(kWorkers * 120, 21);
+  spec.image_size = 8;
+  spec.noise = 0.5;
+  const auto split = data::make_synthetic_split(spec, 200);
+
+  std::vector<fl::BehaviourPtr> behaviours;
+  for (std::size_t i = 0; i + 2 < kWorkers; ++i) {
+    behaviours.push_back(std::make_unique<fl::HonestBehaviour>());
+  }
+  behaviours.push_back(std::make_unique<fl::SignFlipBehaviour>(6.0));
+  behaviours.push_back(std::make_unique<fl::SignFlipBehaviour>(10.0));
+  util::Rng rng(3);
+  auto setups = fl::make_worker_setups(split.train, std::move(behaviours), rng);
+
+  net::ClusterConfig cfg;
+  cfg.sim.seed = 42;
+  cfg.sim.batch_size = 64;
+  cfg.fifl.servers = kServers;
+  cfg.rounds = kRounds;
+  cfg.timeouts.join = std::chrono::milliseconds(30000);
+  cfg.timeouts.phase = std::chrono::milliseconds(2500);
+  cfg.timeouts.heartbeat = std::chrono::milliseconds(150);
+  cfg.timeouts.liveness = std::chrono::milliseconds(1000);
+  cfg.quorum.min_fraction = 0.5;
+  cfg.transport_override = std::make_shared<net::LoopbackTransport>();
+
+  auto factory = [](util::Rng& r) {
+    auto model = std::make_unique<nn::Sequential>();
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(64, 16, r);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::Linear>(16, 10, r);
+    return model;
+  };
+  net::Cluster cluster(cfg, factory, std::move(setups), split.test);
+  ASSERT_EQ(cluster.run().size(), kRounds);
+}
+
+TEST(Tracecat, MergesAndValidatesClusterRun) {
+  const std::string dir = ::testing::TempDir() + "fifl_tracecat_test";
+  fs::remove_all(dir);
+  TraceDir::global().configure(dir);
+  FlightRegistry::global().configure(dir);
+  run_traced_cluster();
+  TraceDir::global().configure("");
+  FlightRegistry::global().configure("");
+
+  const std::string merged = dir + "/merged.json";
+  ASSERT_EQ(run_tracecat(dir + " -o " + merged), 0);
+  ASSERT_TRUE(fs::exists(merged));
+
+  // The merged timeline is schema-valid Chrome trace JSON with at least
+  // one cross-node flow in every round.
+  EXPECT_EQ(run_tracecat("--validate " + merged + " --min-flows-per-round 1"),
+            0);
+
+  // Spot-check the document shape: complete spans from every node plus
+  // paired flow events.
+  std::ifstream in(merged);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const JsonValue doc = json_parse(text);
+  std::set<double> pids;
+  std::size_t complete = 0, flow_starts = 0, flow_ends = 0;
+  for (const auto& ev : doc.at("traceEvents").array) {
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "X") {
+      ++complete;
+      pids.insert(ev.at("pid").as_number());
+    } else if (ph == "s") {
+      ++flow_starts;
+    } else if (ph == "f") {
+      ++flow_ends;
+    }
+  }
+  EXPECT_GT(complete, 0u);
+  EXPECT_EQ(pids.size(), kWorkers + kServers);
+  EXPECT_GT(flow_starts, 0u);
+  EXPECT_EQ(flow_starts, flow_ends);
+
+  fs::remove_all(dir);
+}
+
+TEST(Tracecat, ValidateRejectsMalformedTimeline) {
+  const std::string dir = ::testing::TempDir() + "fifl_tracecat_bad_test";
+  fs::create_directories(dir);
+
+  {
+    std::ofstream out(dir + "/not_json.json");
+    out << "this is not a trace\n";
+  }
+  EXPECT_NE(run_tracecat("--validate " + dir + "/not_json.json"), 0);
+
+  // Valid JSON, invalid schema: a flow start with no matching finish.
+  {
+    std::ofstream out(dir + "/dangling_flow.json");
+    out << R"({"traceEvents":[{"ph":"s","id":7,"name":"msg","cat":"flow",)"
+        << R"("ts":0,"pid":0,"tid":0}]})" << "\n";
+  }
+  EXPECT_NE(run_tracecat("--validate " + dir + "/dangling_flow.json"), 0);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fifl::obs

@@ -1,0 +1,396 @@
+// fifl-tracecat: merges the per-node trace streams a cluster run leaves
+// under FIFL_TRACE_DIR (node_<n>.trace.jsonl, see obs/span.hpp) into one
+// Chrome trace-event / Perfetto JSON timeline, and validates merged
+// timelines for CI.
+//
+//   fifl-tracecat <trace_dir> [-o merged.json]
+//   fifl-tracecat --validate <merged.json> [--min-flows-per-round N]
+//
+// Merge semantics:
+//   - every span becomes a complete ("ph":"X") event with pid = tid =
+//     the node key, cat = the span kind, and args carrying the trace /
+//     span / parent ids and the logical round;
+//   - timestamps are shifted onto the lead's timeline using each node's
+//     ClockSyncRecord skew estimate from the Join handshake, so one
+//     node's spans line up with the peers it talked to;
+//   - a recv span whose parent id matches a send span on a DIFFERENT
+//     node produces a cross-node flow arrow ("ph":"s" at the send,
+//     "ph":"f" at the recv), id = the wire span id.
+//
+// --validate parses a merged file and enforces the event schema (known
+// ph, required fields per ph, matched s/f pairs); with
+// --min-flows-per-round it additionally requires that many cross-node
+// flows for every round that appears in the timeline — the loopback
+// keystone gate. Exit code 0 = valid.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using fifl::obs::ClockSyncRecord;
+using fifl::obs::JsonValue;
+using fifl::obs::JsonWriter;
+using fifl::obs::SpanKind;
+using fifl::obs::SpanRecord;
+
+struct NodeStream {
+  std::uint32_t node = 0;
+  std::vector<SpanRecord> spans;
+  std::int64_t skew_us = 0;
+};
+
+/// node_<n>.trace.jsonl -> n; nullopt for anything else in the directory
+/// (postmortems, stray files).
+std::optional<std::uint32_t> node_of(const std::string& filename) {
+  const std::string prefix = "node_";
+  const std::string suffix = ".trace.jsonl";
+  if (filename.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits = filename.substr(
+      prefix.size(), filename.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return std::nullopt;
+  std::uint32_t node = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    node = node * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return node;
+}
+
+std::vector<NodeStream> load_streams(const std::string& dir) {
+  std::vector<std::pair<std::uint32_t, fs::path>> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (auto node = node_of(entry.path().filename().string())) {
+      files.emplace_back(*node, entry.path());
+    }
+  }
+  // Deterministic merge order regardless of directory iteration order.
+  std::sort(files.begin(), files.end());
+  std::vector<NodeStream> streams;
+  streams.reserve(files.size());
+  for (const auto& [node, path] : files) {
+    const fifl::obs::NodeTraceFile file =
+        fifl::obs::read_trace_file(path.string());
+    NodeStream s;
+    s.node = node;
+    s.spans = file.spans;
+    for (const ClockSyncRecord& clock : file.clocks) {
+      if (clock.node == node) s.skew_us = clock.skew_us;
+    }
+    streams.push_back(std::move(s));
+  }
+  return streams;
+}
+
+/// Node-local monotonic ts -> the lead's timeline, clamped at 0 (Chrome
+/// trace viewers reject negative timestamps).
+std::uint64_t aligned_ts(std::uint64_t ts_us, std::int64_t skew_us) {
+  const std::int64_t shifted = static_cast<std::int64_t>(ts_us) + skew_us;
+  return shifted > 0 ? static_cast<std::uint64_t>(shifted) : 0;
+}
+
+void write_span_event(JsonWriter& w, const SpanRecord& span,
+                      std::int64_t skew_us) {
+  w.begin_object()
+      .key("name").value(span.name)
+      .key("cat").value(fifl::obs::span_kind_name(span.kind))
+      .key("ph").value("X")
+      .key("ts").value(aligned_ts(span.ts_us, skew_us))
+      .key("dur").value(span.dur_us)
+      .key("pid").value(static_cast<std::uint64_t>(span.node))
+      .key("tid").value(static_cast<std::uint64_t>(span.node))
+      .key("args").begin_object()
+      .key("trace").value(span.trace_id)
+      .key("span").value(span.span_id)
+      .key("parent").value(span.parent_span_id)
+      .key("round").value(span.round);
+  if (span.peer != fifl::obs::kNoPeer) {
+    w.key("peer").value(static_cast<std::uint64_t>(span.peer));
+  }
+  w.end_object().end_object();
+}
+
+void write_flow_event(JsonWriter& w, const char* ph, const SpanRecord& span,
+                      std::int64_t skew_us, std::uint64_t id) {
+  w.begin_object()
+      .key("name").value(span.name)
+      .key("cat").value("net_flow")
+      .key("ph").value(ph);
+  if (ph[0] == 'f') w.key("bp").value("e");
+  w.key("id").value(id)
+      .key("ts").value(aligned_ts(span.ts_us, skew_us))
+      .key("pid").value(static_cast<std::uint64_t>(span.node))
+      .key("tid").value(static_cast<std::uint64_t>(span.node))
+      .key("args").begin_object()
+      .key("round").value(span.round)
+      .end_object()
+      .end_object();
+}
+
+int merge_command(const std::string& dir, const std::string& out_path) {
+  const std::vector<NodeStream> streams = load_streams(dir);
+  if (streams.empty()) {
+    std::cerr << "fifl-tracecat: no node_<n>.trace.jsonl files under " << dir
+              << "\n";
+    return 1;
+  }
+
+  // Index send spans by wire span id for cross-node flow matching.
+  struct SendRef {
+    const SpanRecord* span = nullptr;
+    std::int64_t skew_us = 0;
+  };
+  std::map<std::uint64_t, SendRef> sends;
+  for (const NodeStream& s : streams) {
+    for (const SpanRecord& span : s.spans) {
+      if (span.kind == SpanKind::kSend) {
+        sends[span.span_id] = SendRef{&span, s.skew_us};
+      }
+    }
+  }
+
+  JsonWriter w;
+  w.begin_object().key("traceEvents").begin_array();
+  for (const NodeStream& s : streams) {
+    w.begin_object()
+        .key("name").value("process_name")
+        .key("ph").value("M")
+        .key("pid").value(static_cast<std::uint64_t>(s.node))
+        .key("args").begin_object()
+        .key("name").value("node " + std::to_string(s.node))
+        .end_object()
+        .end_object();
+  }
+  std::size_t span_count = 0;
+  std::size_t flow_count = 0;
+  for (const NodeStream& s : streams) {
+    for (const SpanRecord& span : s.spans) {
+      write_span_event(w, span, s.skew_us);
+      ++span_count;
+      if (span.kind != SpanKind::kRecv || span.parent_span_id == 0) continue;
+      const auto it = sends.find(span.parent_span_id);
+      if (it == sends.end() || it->second.span->node == span.node) continue;
+      write_flow_event(w, "s", *it->second.span, it->second.skew_us,
+                       span.parent_span_id);
+      write_flow_event(w, "f", span, s.skew_us, span.parent_span_id);
+      ++flow_count;
+    }
+  }
+  w.end_array().key("displayTimeUnit").value("ms").end_object();
+
+  if (out_path.empty()) {
+    std::cout << w.str() << "\n";
+  } else {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "fifl-tracecat: cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << w.str() << "\n";
+  }
+  std::cerr << "fifl-tracecat: merged " << streams.size() << " nodes, "
+            << span_count << " spans, " << flow_count << " cross-node flows\n";
+  return 0;
+}
+
+const JsonValue* number_field(const JsonValue& event, const char* key) {
+  const JsonValue* v = event.find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v : nullptr;
+}
+
+bool string_field(const JsonValue& event, const char* key) {
+  const JsonValue* v = event.find(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kString;
+}
+
+int validate_command(const std::string& path,
+                     std::uint64_t min_flows_per_round) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "fifl-tracecat: cannot read " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue doc;
+  try {
+    doc = fifl::obs::json_parse(buffer.str());
+  } catch (const std::exception& e) {
+    std::cerr << "fifl-tracecat: " << path << ": parse error: " << e.what()
+              << "\n";
+    return 1;
+  }
+
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    std::cerr << "fifl-tracecat: " << path
+              << ": missing top-level traceEvents array\n";
+    return 1;
+  }
+
+  auto fail = [&](std::size_t i, const std::string& why) {
+    std::cerr << "fifl-tracecat: " << path << ": event " << i << ": " << why
+              << "\n";
+    return 1;
+  };
+
+  std::size_t spans = 0;
+  std::map<double, std::size_t> flow_starts;   // id -> count
+  std::map<double, std::size_t> flow_finishes;
+  std::map<double, std::uint64_t> flows_by_round;
+  std::map<double, bool> rounds_seen;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    if (e.kind != JsonValue::Kind::kObject) return fail(i, "not an object");
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString) {
+      return fail(i, "missing ph");
+    }
+    const std::string& kind = ph->string;
+    if (kind == "M") {
+      if (!string_field(e, "name") || number_field(e, "pid") == nullptr) {
+        return fail(i, "metadata event needs name + pid");
+      }
+      continue;
+    }
+    if (kind != "X" && kind != "s" && kind != "f") {
+      return fail(i, "unknown ph \"" + kind + "\"");
+    }
+    if (!string_field(e, "name") || !string_field(e, "cat")) {
+      return fail(i, "needs name + cat");
+    }
+    const JsonValue* ts = number_field(e, "ts");
+    if (ts == nullptr || ts->number < 0) return fail(i, "needs ts >= 0");
+    if (number_field(e, "pid") == nullptr ||
+        number_field(e, "tid") == nullptr) {
+      return fail(i, "needs numeric pid + tid");
+    }
+    const JsonValue* args = e.find("args");
+    if (args == nullptr || args->kind != JsonValue::Kind::kObject) {
+      return fail(i, "needs args object");
+    }
+    const JsonValue* round = number_field(*args, "round");
+    if (round == nullptr) return fail(i, "args needs round");
+    if (kind == "X") {
+      const JsonValue* dur = number_field(e, "dur");
+      if (dur == nullptr || dur->number < 0) return fail(i, "needs dur >= 0");
+      if (number_field(*args, "trace") == nullptr ||
+          number_field(*args, "span") == nullptr ||
+          number_field(*args, "parent") == nullptr) {
+        return fail(i, "args needs trace + span + parent");
+      }
+      rounds_seen[round->number] = true;
+      ++spans;
+      continue;
+    }
+    const JsonValue* id = number_field(e, "id");
+    if (id == nullptr) return fail(i, "flow event needs id");
+    if (kind == "s") {
+      ++flow_starts[id->number];
+      ++flows_by_round[round->number];
+    } else {
+      const JsonValue* bp = e.find("bp");
+      if (bp == nullptr || bp->kind != JsonValue::Kind::kString ||
+          bp->string != "e") {
+        return fail(i, "flow finish needs bp:\"e\"");
+      }
+      ++flow_finishes[id->number];
+    }
+  }
+
+  for (const auto& [id, n] : flow_starts) {
+    if (flow_finishes[id] != n) {
+      std::cerr << "fifl-tracecat: " << path << ": flow id " << id
+                << " has " << n << " starts but " << flow_finishes[id]
+                << " finishes\n";
+      return 1;
+    }
+  }
+  for (const auto& [id, n] : flow_finishes) {
+    if (flow_starts.find(id) == flow_starts.end()) {
+      std::cerr << "fifl-tracecat: " << path << ": flow id " << id
+                << " finishes without a start\n";
+      return 1;
+    }
+  }
+  if (min_flows_per_round > 0) {
+    for (const auto& [round, seen] : rounds_seen) {
+      (void)seen;
+      if (flows_by_round[round] < min_flows_per_round) {
+        std::cerr << "fifl-tracecat: " << path << ": round " << round
+                  << " has " << flows_by_round[round]
+                  << " cross-node flows, need " << min_flows_per_round << "\n";
+        return 1;
+      }
+    }
+  }
+
+  std::size_t flow_pairs = 0;
+  for (const auto& [id, n] : flow_starts) {
+    (void)id;
+    flow_pairs += n;
+  }
+  std::cout << "fifl-tracecat: ok: " << events->array.size() << " events, "
+            << spans << " spans, " << flow_pairs << " flow pairs, "
+            << rounds_seen.size() << " rounds\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: fifl-tracecat <trace_dir> [-o merged.json]\n"
+               "       fifl-tracecat --validate <merged.json> "
+               "[--min-flows-per-round N]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+
+  try {
+    if (args[0] == "--validate") {
+      if (args.size() < 2) return usage();
+      std::uint64_t min_flows = 0;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--min-flows-per-round" && i + 1 < args.size()) {
+          min_flows = std::stoull(args[++i]);
+        } else {
+          return usage();
+        }
+      }
+      return validate_command(args[1], min_flows);
+    }
+    std::string out_path;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "-o" && i + 1 < args.size()) {
+        out_path = args[++i];
+      } else {
+        return usage();
+      }
+    }
+    return merge_command(args[0], out_path);
+  } catch (const std::exception& e) {
+    std::cerr << "fifl-tracecat: " << e.what() << "\n";
+    return 1;
+  }
+}
