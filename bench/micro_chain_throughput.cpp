@@ -4,7 +4,10 @@
 // relative to model training.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "chain/ledger.hpp"
+#include "chain/replicated.hpp"
 
 namespace {
 
@@ -66,6 +69,84 @@ void BM_VerifyChain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VerifyChain)->Arg(10)->Arg(100);
+
+void BM_QuorumSeal(benchmark::State& state) {
+  // Full replicated-commit cycle for one round's block: append + seal on
+  // every replica, executor proposes, both followers recompute and vote,
+  // executor records votes to quorum. Time-per-iteration is the quorum-
+  // seal latency; items/sec is audit records per second through the
+  // whole protocol (M=3 servers, 4 records per worker).
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::uint32_t servers = 3;
+  constexpr std::uint64_t seed = 0x51f7;
+  struct Replica {
+    KeyRegistry registry;
+    Ledger ledger;
+    ReplicatedLedger repl;
+    Replica(std::uint32_t w, std::uint32_t idx)
+        : registry(ReplicatedLedger::make_registry(seed, w, servers)),
+          ledger(&registry),
+          repl(&ledger, seed, w, servers, static_cast<NodeId>(w + idx)) {}
+  };
+  Replica lead(workers, 0), f1(workers, 1), f2(workers, 2);
+  const auto publisher = static_cast<NodeId>(workers);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    for (Ledger* ledger : {&lead.ledger, &f1.ledger, &f2.ledger}) {
+      for (std::uint32_t w = 0; w < workers; ++w) {
+        const auto id = static_cast<NodeId>(w);
+        ledger->append(RecordKind::kDetection, round, id, publisher, 1.0);
+        ledger->append(RecordKind::kReputation, round, id, publisher, 0.5);
+        ledger->append(RecordKind::kContribution, round, id, publisher, 0.1);
+        ledger->append(RecordKind::kReward, round, id, publisher, 0.1);
+      }
+      ledger->seal_block();
+    }
+    const SealedBlockHeader& sealed = lead.repl.propose(round);
+    const auto& records = lead.ledger.block(round).records;
+    for (Replica* follower : {&f1, &f2}) {
+      const auto vote = follower->repl.verify_and_vote(
+          sealed.header, sealed.executor_sig, records);
+      lead.repl.record_vote(round, sealed.header.block_hash, *vote);
+    }
+    if (!lead.repl.committed(round)) state.SkipWithError("commit failed");
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * workers));
+}
+BENCHMARK(BM_QuorumSeal)->Arg(10)->Arg(100);
+
+void BM_AuditProveAndVerify(benchmark::State& state) {
+  // Worker-side audit proof round trip against a committed chain:
+  // server-side prove() (Merkle path + signed header chain) plus the
+  // worker's verify_audit_proof against an independently derived PKI.
+  constexpr std::uint32_t workers = 10;
+  constexpr std::uint32_t servers = 1;  // single server: propose == commit
+  constexpr std::uint64_t seed = 0x51f7;
+  KeyRegistry registry = ReplicatedLedger::make_registry(seed, workers, servers);
+  Ledger ledger(&registry);
+  ReplicatedLedger lead(&ledger, seed, workers, servers,
+                        static_cast<NodeId>(workers));
+  const auto blocks = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      ledger.append(RecordKind::kReputation, b, static_cast<NodeId>(w),
+                    static_cast<NodeId>(workers), 0.5);
+    }
+    ledger.seal_block();
+    lead.propose(b);  // M=1: the executor's own seal is the quorum
+  }
+  const KeyRegistry verifier_pki =
+      ReplicatedLedger::make_registry(seed, workers, servers);
+  for (auto _ : state) {
+    const AuditProofBundle bundle =
+        lead.prove(RecordKind::kReputation, blocks / 2, NodeId{3});
+    benchmark::DoNotOptimize(
+        verify_audit_proof(bundle, verifier_pki, workers, servers));
+  }
+}
+BENCHMARK(BM_AuditProveAndVerify)->Arg(16)->Arg(128);
 
 void BM_MerkleProveAndVerify(benchmark::State& state) {
   const auto leaves_n = static_cast<std::size_t>(state.range(0));

@@ -9,13 +9,19 @@
 //   cmake -B build && cmake --build build
 //   ./build/examples/polycentric_cluster [--rounds=10] [--workers=8]
 //                                        [--servers=2] [--loopback=0]
+//                                        [--ledger=0]
 //
 // Prints per-round accuracy, fairness, and the reward each worker
 // received, then the wire totals (bytes/messages/round-trip times).
+// With --ledger=1 the audit chain is replicated across the servers
+// (quorum-sealed blocks) and every worker audits its own reputation
+// record each round via Merkle proof; the per-worker verification
+// tallies print at the end.
 // Set FIFL_TRACE_OUT=trace.jsonl to capture the round traces — networked
 // runs add a "net" block with per-round transport counters.
 #include <cstdio>
 
+#include "chain/replicated.hpp"
 #include "data/synthetic.hpp"
 #include "net/cluster.hpp"
 #include "nn/models.hpp"
@@ -29,6 +35,7 @@ int main(int argc, char** argv) {
   const auto n_workers = static_cast<std::size_t>(args.get_int("workers", 8));
   const auto n_servers = static_cast<std::size_t>(args.get_int("servers", 2));
   const bool loopback = args.get_int("loopback", 0) != 0;
+  const bool ledger = args.get_int("ledger", 0) != 0;
 
   // Synthetic MNIST-like shards; the last two workers attack.
   auto spec = data::mnist_like(n_workers * 120, /*seed=*/21);
@@ -62,11 +69,13 @@ int main(int argc, char** argv) {
   cfg.rounds = rounds;
   cfg.transport =
       loopback ? net::TransportKind::kLoopback : net::TransportKind::kTcp;
+  cfg.replicate_ledger = ledger;
 
   std::printf(
       "polycentric cluster: %zu workers (last two sign-flip), %zu servers, "
-      "%zu rounds over %s\n\n",
-      n_workers, n_servers, rounds, loopback ? "loopback" : "localhost TCP");
+      "%zu rounds over %s%s\n\n",
+      n_workers, n_servers, rounds, loopback ? "loopback" : "localhost TCP",
+      ledger ? ", replicated ledger on" : "");
 
   // An evaluation replica the round callback loads each new θ into; the
   // lead only ships parameters, never a model object.
@@ -95,6 +104,19 @@ int main(int argc, char** argv) {
   const fl::Evaluation final_eval = cluster.final_evaluation();
   std::printf("\nfinal model: accuracy %.3f, loss %.3f\n", final_eval.accuracy,
               final_eval.loss);
+
+  if (ledger) {
+    const chain::ReplicatedLedger* lead = cluster.lead().replicated_ledger();
+    std::printf("ledger: %zu blocks committed by quorum %zu of %zu servers\n",
+                lead->committed_count(), lead->quorum(), n_servers);
+    for (std::size_t i = 0; i < cluster.worker_count(); ++i) {
+      std::size_t ok = 0;
+      const auto& outcomes = cluster.worker_node(i).audit_outcomes();
+      for (const auto& o : outcomes) ok += o.verified ? 1u : 0u;
+      std::printf("worker %zu audits: %zu/%zu proofs verified\n", i, ok,
+                  outcomes.size());
+    }
+  }
 
   const net::NetMetrics& nm = net::NetMetrics::global();
   std::printf("wire totals: %llu msgs / %llu bytes sent, %llu received, "

@@ -5,8 +5,10 @@
 #   address    full ctest suite under ASan (heap/stack/UAF bugs anywhere)
 #   undefined  full ctest suite under UBSan (signed overflow, misaligned
 #              loads, invalid enum casts in the codec paths)
-#   thread     ctest -L net under TSan (the net stack is all threads and
-#              condition variables; single-threaded suites add nothing)
+#   thread     ctest -L "net|chain" under TSan (the net stack is all
+#              threads and condition variables, and the chain suites
+#              cover the replicated-ledger commit protocol those threads
+#              drive; other single-threaded suites add nothing)
 #   matrix     all three lanes in sequence (address, undefined, thread)
 #
 # Usage: scripts/ci_sanitize.sh [lane]
@@ -43,8 +45,8 @@ run_lane() {
   # per-test timeouts up rather than loosening them for everyone.
   case "$sanitizer" in
     thread)
-      echo "== ctest -L net (thread) =="
-      ctest --test-dir "$build_dir" -L net --output-on-failure \
+      echo '== ctest -L "net|chain" (thread) =='
+      ctest --test-dir "$build_dir" -L "net|chain" --output-on-failure \
         --timeout 1200 -j 2
       ;;
     address|undefined)

@@ -27,7 +27,7 @@ ROUNDS="${FIFL_BENCH_ROUNDS:-3}"
 BENCH_OUTDIR="${FIFL_BENCH_OUTDIR:-$BIN_DIR/bench_out}"
 
 for bin in fig11_reputation micro_metrics_overhead ext_net_cluster \
-           micro_codec; do
+           micro_codec micro_chain_throughput; do
   if [ ! -x "$BIN_DIR/$bin" ]; then
     echo "smoke_bench: missing binary $BIN_DIR/$bin" >&2
     exit 1
@@ -60,6 +60,14 @@ FIFL_BENCH_OUTDIR="$BENCH_OUTDIR" \
   "$BIN_DIR/micro_codec" --benchmark_min_time=0.01 \
   > "$OUTDIR/micro_codec.log"
 
+echo "== micro_chain_throughput (outdir $BENCH_OUTDIR) =="
+# Audit-chain baseline: records/sec through the quorum-seal protocol and
+# the audit-proof round-trip latency accumulate next to the bandwidth
+# numbers.
+FIFL_BENCH_OUTDIR="$BENCH_OUTDIR" \
+  "$BIN_DIR/micro_chain_throughput" --benchmark_min_time=0.01 \
+  > "$OUTDIR/micro_chain.log"
+
 fail() {
   echo "smoke_bench: $1" >&2
   exit 1
@@ -70,7 +78,7 @@ for json in BENCH_fig11_reputation.json BENCH_micro_metrics_overhead.json; do
 done
 # The bandwidth baselines must land in the persistent outdir.
 for json in BENCH_ext_net_cluster.json BENCH_ext_net_compression.json \
-            BENCH_micro_codec.json; do
+            BENCH_micro_codec.json BENCH_micro_chain_throughput.json; do
   [ -s "$BENCH_OUTDIR/$json" ] || fail "$json missing or empty"
 done
 [ -s "$BENCH_OUTDIR/ext_net_compression.csv" ] || \
@@ -114,6 +122,17 @@ assert micro["benchmarks"], "micro bench json has no benchmark entries"
 
 codec = json.loads((benchdir / "BENCH_micro_codec.json").read_text())
 assert codec["benchmarks"], "micro_codec json has no benchmark entries"
+
+chain = json.loads((benchdir / "BENCH_micro_chain_throughput.json").read_text())
+seal = [b for b in chain["benchmarks"] if b["name"].startswith("BM_QuorumSeal")]
+assert seal, "micro_chain_throughput json has no BM_QuorumSeal entries"
+for b in seal:
+    assert b.get("items_per_second", 0) > 0, \
+        f"{b['name']} missing records/sec (items_per_second)"
+    assert b.get("real_time", 0) > 0, f"{b['name']} missing seal latency"
+assert any(b["name"].startswith("BM_AuditProveAndVerify")
+           for b in chain["benchmarks"]), \
+    "micro_chain_throughput json has no BM_AuditProveAndVerify entries"
 
 net = json.loads((benchdir / "BENCH_ext_net_cluster.json").read_text())
 per_type = [k for k in net["metrics"]["counters"]

@@ -32,9 +32,12 @@ class MerkleTree {
   static bool verify(const Digest& leaf, const MerkleProof& proof,
                      const Digest& root);
 
- private:
+  /// The interior-node combinator, H(left || right). Public so tests and
+  /// external verifiers can pin the exact tree shape (e.g. the odd-width
+  /// duplicate-last-node rule) without reimplementing it.
   static Digest hash_pair(const Digest& left, const Digest& right);
 
+ private:
   std::vector<std::vector<Digest>> levels_;  // levels_[0] = leaves
   Digest root_{};
   std::size_t leaves_ = 0;

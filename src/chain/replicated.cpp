@@ -1,0 +1,259 @@
+#include "chain/replicated.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace fifl::chain {
+
+namespace {
+// Consensus telemetry next to the sealing counters: how many blocks ever
+// reached a quorum certificate, and how many follower endorsements were
+// folded in.
+struct ReplMetrics {
+  obs::Counter& committed =
+      obs::MetricsRegistry::global().counter("chain.blocks_committed");
+  obs::Counter& votes =
+      obs::MetricsRegistry::global().counter("chain.votes_recorded");
+  static ReplMetrics& get() {
+    static ReplMetrics m;
+    return m;
+  }
+};
+}  // namespace
+
+std::string BlockHeader::canonical_payload() const {
+  std::ostringstream os;
+  os << "blockheader|" << index << '|' << to_hex(previous_hash) << '|'
+     << to_hex(merkle_root) << '|' << to_hex(block_hash);
+  return os.str();
+}
+
+Digest BlockHeader::compute_hash() const {
+  Sha256 h;
+  std::ostringstream os;
+  os << index << '|';
+  h.update(os.str());
+  h.update(std::span<const std::uint8_t>(previous_hash.data(),
+                                         previous_hash.size()));
+  h.update(std::span<const std::uint8_t>(merkle_root.data(),
+                                         merkle_root.size()));
+  return h.finish();
+}
+
+BlockHeader header_of(const Block& block) {
+  BlockHeader h;
+  h.index = block.index;
+  h.previous_hash = block.previous_hash;
+  h.merkle_root = block.merkle_root;
+  h.block_hash = block.block_hash;
+  return h;
+}
+
+ReplicatedLedger::ReplicatedLedger(const Ledger* ledger,
+                                   std::uint64_t key_seed,
+                                   std::uint32_t workers,
+                                   std::uint32_t servers, NodeId self)
+    : ledger_(ledger), registry_(make_registry(key_seed, workers, servers)),
+      workers_(workers), servers_(servers), self_(self) {
+  if (!ledger_) throw std::invalid_argument("ReplicatedLedger: null ledger");
+  if (servers_ == 0) {
+    throw std::invalid_argument("ReplicatedLedger: servers must be >= 1");
+  }
+  if (!is_server_id(self_)) {
+    throw std::invalid_argument(
+        "ReplicatedLedger: self must be a server id (workers..workers+M-1)");
+  }
+}
+
+KeyRegistry ReplicatedLedger::make_registry(std::uint64_t seed,
+                                            std::uint32_t workers,
+                                            std::uint32_t servers) {
+  // Workers 0..N-1 (record subjects can sign nothing, but the engine
+  // registers them, so mirror it), the publisher N, and the servers
+  // N..N+M-1 — the publisher and the lead share id N by construction.
+  KeyRegistry registry(seed);
+  for (NodeId n = 0; n < workers + servers; ++n) registry.register_node(n);
+  registry.register_node(workers);  // publisher; no-op when M >= 1
+  return registry;
+}
+
+const SealedBlockHeader& ReplicatedLedger::propose(std::uint64_t block_index) {
+  const Block& block = ledger_->block(static_cast<std::size_t>(block_index));
+  if (sealed_.size() <= block_index) {
+    sealed_.resize(static_cast<std::size_t>(block_index) + 1);
+    committed_.resize(static_cast<std::size_t>(block_index) + 1, false);
+  }
+  SealedBlockHeader& entry = sealed_[static_cast<std::size_t>(block_index)];
+  entry.header = header_of(block);
+  entry.executor_sig = registry_.sign(self_, entry.header.canonical_payload());
+  entry.votes.clear();
+  if (quorum() <= 1) {
+    committed_[static_cast<std::size_t>(block_index)] = true;
+    ReplMetrics::get().committed.inc();
+  }
+  return entry;
+}
+
+std::optional<Signature> ReplicatedLedger::verify_and_vote(
+    const BlockHeader& header, const Signature& executor_sig,
+    const std::vector<AuditRecord>& records) {
+  const Block& local =
+      ledger_->block(static_cast<std::size_t>(header.index));
+  // Field-by-field recompute check: the proposed header must equal the
+  // header this replica sealed on its own, and the proposed records must
+  // be digest-identical to the local block's. Any difference means the
+  // executor's chain and ours have forked.
+  if (header_of(local) != header) return std::nullopt;
+  if (records.size() != local.records.size()) return std::nullopt;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].digest() != local.records[i].digest()) return std::nullopt;
+  }
+  if (!is_server_id(executor_sig.signer) ||
+      !registry_.verify(executor_sig, header.canonical_payload())) {
+    return std::nullopt;
+  }
+  const Signature vote = registry_.sign(self_, header.canonical_payload());
+  if (sealed_.size() <= header.index) {
+    sealed_.resize(static_cast<std::size_t>(header.index) + 1);
+    committed_.resize(static_cast<std::size_t>(header.index) + 1, false);
+  }
+  // The follower's endorsed view: the header it checked, the executor's
+  // certificate seed, and its own vote.
+  SealedBlockHeader& entry = sealed_[static_cast<std::size_t>(header.index)];
+  entry.header = header;
+  entry.executor_sig = executor_sig;
+  entry.votes.assign(1, vote);
+  ReplMetrics::get().votes.inc();
+  return vote;
+}
+
+bool ReplicatedLedger::record_vote(std::uint64_t block_index,
+                                   const Digest& block_hash,
+                                   const Signature& vote) {
+  if (block_index >= sealed_.size()) return false;
+  SealedBlockHeader& entry = sealed_[static_cast<std::size_t>(block_index)];
+  if (entry.header.block_hash != block_hash) {
+    // A verifying replica can only vote for the hash it recomputed; a
+    // contradicting hash means its chain forked from ours.
+    throw std::runtime_error(
+        "ReplicatedLedger: vote for block " + std::to_string(block_index) +
+        " carries a contradicting block hash (ledger fork)");
+  }
+  if (!is_server_id(vote.signer) || vote.signer == entry.executor_sig.signer) {
+    return false;
+  }
+  if (std::any_of(entry.votes.begin(), entry.votes.end(),
+                  [&](const Signature& v) { return v.signer == vote.signer; })) {
+    return false;  // duplicate (a redelivered vote), not an error
+  }
+  if (!registry_.verify(vote, entry.header.canonical_payload())) return false;
+  entry.votes.push_back(vote);
+  ReplMetrics::get().votes.inc();
+  if (!committed_[static_cast<std::size_t>(block_index)] &&
+      1 + entry.votes.size() >= quorum()) {
+    committed_[static_cast<std::size_t>(block_index)] = true;
+    ReplMetrics::get().committed.inc();
+  }
+  return true;
+}
+
+bool ReplicatedLedger::committed(std::uint64_t block_index) const {
+  return block_index < committed_.size() &&
+         committed_[static_cast<std::size_t>(block_index)];
+}
+
+std::size_t ReplicatedLedger::committed_count() const {
+  std::size_t n = 0;
+  while (n < committed_.size() && committed_[n]) ++n;
+  return n;
+}
+
+const SealedBlockHeader* ReplicatedLedger::sealed(
+    std::uint64_t block_index) const {
+  if (block_index >= sealed_.size()) return nullptr;
+  return &sealed_[static_cast<std::size_t>(block_index)];
+}
+
+AuditProofBundle ReplicatedLedger::prove(RecordKind kind, std::uint64_t round,
+                                         NodeId subject) const {
+  AuditProofBundle bundle;
+  const std::size_t tip = committed_count();
+  // Newest matching record within the committed prefix.
+  for (std::size_t b = tip; b-- > 0;) {
+    const Block& block = ledger_->block(b);
+    for (std::size_t i = block.records.size(); i-- > 0;) {
+      const AuditRecord& rec = block.records[i];
+      if (rec.kind == kind && rec.round == round && rec.subject == subject) {
+        bundle.found = true;
+        bundle.record = rec;
+        bundle.block_index = b;
+        bundle.record_index = i;
+        bundle.proof = ledger_->prove_record(b, i);
+        break;
+      }
+    }
+    if (bundle.found) break;
+  }
+  if (!bundle.found) return bundle;
+  bundle.headers.reserve(tip);
+  for (std::size_t b = 0; b < tip; ++b) bundle.headers.push_back(sealed_[b]);
+  return bundle;
+}
+
+bool verify_audit_proof(const AuditProofBundle& bundle,
+                        const KeyRegistry& registry, std::uint32_t workers,
+                        std::uint32_t servers) {
+  if (!bundle.found || servers == 0) return false;
+  if (bundle.headers.empty() ||
+      bundle.block_index >= bundle.headers.size()) {
+    return false;
+  }
+  const std::size_t quorum = servers / 2 + 1;
+  const auto is_server = [&](NodeId node) {
+    return node >= workers && node < workers + servers;
+  };
+
+  // 1. Every header is internally consistent, hash-linked to its
+  //    predecessor, and carries a verifying quorum certificate.
+  Digest prev{};
+  prev.fill(0);
+  for (std::size_t i = 0; i < bundle.headers.size(); ++i) {
+    const SealedBlockHeader& sealed = bundle.headers[i];
+    const BlockHeader& h = sealed.header;
+    if (h.index != i) return false;
+    if (h.previous_hash != prev) return false;
+    if (h.compute_hash() != h.block_hash) return false;
+    const std::string payload = h.canonical_payload();
+    if (!is_server(sealed.executor_sig.signer) ||
+        !registry.verify(sealed.executor_sig, payload)) {
+      return false;
+    }
+    std::vector<NodeId> signers{sealed.executor_sig.signer};
+    for (const Signature& vote : sealed.votes) {
+      if (!is_server(vote.signer)) return false;
+      if (std::find(signers.begin(), signers.end(), vote.signer) !=
+          signers.end()) {
+        return false;  // a signer may certify a block once
+      }
+      if (!registry.verify(vote, payload)) return false;
+      signers.push_back(vote.signer);
+    }
+    if (signers.size() < quorum) return false;
+    prev = h.block_hash;
+  }
+
+  // 2. The record is genuine and committed under its block's Merkle root.
+  if (!registry.verify(bundle.record.signature,
+                       bundle.record.canonical_payload())) {
+    return false;
+  }
+  const Digest& root =
+      bundle.headers[static_cast<std::size_t>(bundle.block_index)]
+          .header.merkle_root;
+  return MerkleTree::verify(bundle.record.digest(), bundle.proof, root);
+}
+
+}  // namespace fifl::chain

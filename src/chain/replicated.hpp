@@ -1,0 +1,168 @@
+// Replicated audit ledger (Sec. 4/4.5 trust story, made multi-server).
+//
+// Every server runs an identical deterministic FiflEngine replica, so each
+// round every replica seals the *same* block into its local Ledger. This
+// layer turns that replication into an explicit commit protocol:
+//
+//   executor   the round's lead server signs the sealed block's header and
+//              proposes it to the followers (net::BlockProposalMsg)
+//   follower   recomputes the header from its own replica's block — any
+//              field mismatch is Byzantine divergence (a "ledger fork"),
+//              a match yields a signed BlockVote back to the executor
+//   commit     the executor's signature plus follower votes form a quorum
+//              certificate (majority of the M servers); only committed
+//              blocks are served to auditors
+//
+// Workers audit without trusting any single server: an AuditProofBundle
+// carries one record, its Merkle inclusion proof, and the *signed* header
+// chain up to the tip. verify_audit_proof() recomputes every block hash
+// from header fields alone, walks the hash links, and checks the executor
+// signature + vote quorum on each header against an independently derived
+// KeyRegistry replica — so a server that forges a record must also forge a
+// majority of server keys to produce a verifying bundle.
+//
+// Identity layout matches fifl::net: worker i signs as NodeId i, server j
+// as NodeId workers + j (the lead, j = 0, coincides with the engine's task
+// publisher id). Keys are derived deterministically from (seed, node), so
+// make_registry() on any node reproduces the federation's PKI.
+//
+// Thread model: one ReplicatedLedger belongs to one server's event-loop
+// thread; no internal locking.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chain/ledger.hpp"
+
+namespace fifl::chain {
+
+/// The consensus view of one sealed block: everything needed to recompute
+/// and chain-link its hash, nothing that depends on holding the records.
+struct BlockHeader {
+  std::uint64_t index = 0;
+  Digest previous_hash{};
+  Digest merkle_root{};
+  Digest block_hash{};
+
+  /// Canonical byte string the executor and voters sign.
+  std::string canonical_payload() const;
+  /// Recomputes the hash from (index, previous_hash, merkle_root) —
+  /// byte-identical to Block::compute_hash, so a header's block_hash is
+  /// checkable without the records.
+  Digest compute_hash() const;
+
+  bool operator==(const BlockHeader&) const = default;
+};
+
+/// Header view of a sealed ledger block.
+BlockHeader header_of(const Block& block);
+
+/// A header plus its quorum certificate: the executor's signature and the
+/// follower votes, all over canonical_payload().
+struct SealedBlockHeader {
+  BlockHeader header;
+  Signature executor_sig;
+  std::vector<Signature> votes;
+};
+
+/// Everything a worker needs to verify one of its own records offline:
+/// the record, its Merkle path into block `block_index`, and the signed
+/// header chain from genesis to the committed tip.
+struct AuditProofBundle {
+  bool found = false;
+  AuditRecord record;
+  std::uint64_t block_index = 0;
+  std::uint64_t record_index = 0;
+  MerkleProof proof;
+  std::vector<SealedBlockHeader> headers;
+};
+
+class ReplicatedLedger {
+ public:
+  /// Wraps (not owns) the server's local ledger. `self` is this node's
+  /// signing identity (workers + server_index in the net layout).
+  ReplicatedLedger(const Ledger* ledger, std::uint64_t key_seed,
+                   std::uint32_t workers, std::uint32_t servers, NodeId self);
+
+  /// The federation PKI replica: node ids 0..workers+servers-1 plus the
+  /// publisher (id == workers), all keyed from `seed`. Workers build one
+  /// of these locally to verify proofs against no server's say-so.
+  static KeyRegistry make_registry(std::uint64_t seed, std::uint32_t workers,
+                                   std::uint32_t servers);
+
+  /// Votes needed for a commit, the executor's own included: a strict
+  /// majority of the M servers.
+  std::size_t quorum() const noexcept { return servers_ / 2 + 1; }
+
+  NodeId self() const noexcept { return self_; }
+  std::uint32_t workers() const noexcept { return workers_; }
+  std::uint32_t servers() const noexcept { return servers_; }
+  const KeyRegistry& registry() const noexcept { return registry_; }
+
+  /// Executor: signs sealed block `block_index` of the local ledger and
+  /// stages it for vote collection. With quorum() == 1 (M = 1) the block
+  /// commits immediately. Throws std::out_of_range on an unsealed index.
+  const SealedBlockHeader& propose(std::uint64_t block_index);
+
+  /// Follower: checks the proposed header (and the proposed records) field
+  /// by field against this replica's own sealed block. A match records the
+  /// header as endorsed and returns this node's vote; any mismatch —
+  /// including a bad executor signature — returns nullopt: the chain has
+  /// forked and the caller must abort. Throws std::out_of_range when the
+  /// local replica has not sealed `header.index` yet.
+  std::optional<Signature> verify_and_vote(
+      const BlockHeader& header, const Signature& executor_sig,
+      const std::vector<AuditRecord>& records);
+
+  /// Executor: folds one follower vote into the pending certificate.
+  /// Returns false (and changes nothing) for votes that do not verify,
+  /// duplicate a recorded signer, name a non-server signer, or reference
+  /// an unproposed block; throws std::runtime_error when the vote's
+  /// block_hash contradicts the proposed header (a forked follower).
+  bool record_vote(std::uint64_t block_index, const Digest& block_hash,
+                   const Signature& vote);
+
+  /// True once `block_index` holds a full quorum certificate.
+  bool committed(std::uint64_t block_index) const;
+  /// Committed blocks form a prefix (votes for block k only arrive after
+  /// every replica sealed k, in order); this is the prefix length.
+  std::size_t committed_count() const;
+  /// The quorum certificate for a proposed block (committed or pending);
+  /// nullptr when never proposed. Followers hold their endorsed view here
+  /// (their own vote only).
+  const SealedBlockHeader* sealed(std::uint64_t block_index) const;
+
+  /// Builds the audit bundle for the newest committed record matching
+  /// (kind, round, subject). found == false when no such record exists in
+  /// the committed prefix. The header chain always spans the whole
+  /// committed prefix, pinning the tip.
+  AuditProofBundle prove(RecordKind kind, std::uint64_t round,
+                         NodeId subject) const;
+
+ private:
+  bool is_server_id(NodeId node) const noexcept {
+    return node >= workers_ && node < workers_ + servers_;
+  }
+
+  const Ledger* ledger_;
+  KeyRegistry registry_;
+  std::uint32_t workers_;
+  std::uint32_t servers_;
+  NodeId self_;
+  /// Proposed/endorsed headers by block index; contiguous from 0 in
+  /// practice (one proposal per round, in round order).
+  std::vector<SealedBlockHeader> sealed_;
+  std::vector<bool> committed_;
+};
+
+/// Full offline verification of an audit bundle against an independent
+/// registry replica: record signature, Merkle inclusion, recomputed block
+/// hashes, hash-chain links, executor signatures and vote quorums on every
+/// header. Trusts nothing in the bundle itself.
+bool verify_audit_proof(const AuditProofBundle& bundle,
+                        const KeyRegistry& registry, std::uint32_t workers,
+                        std::uint32_t servers);
+
+}  // namespace fifl::chain

@@ -64,6 +64,8 @@ Cluster::Cluster(ClusterConfig config, const fl::ModelFactory& factory,
     sc.timeouts = config_.timeouts;
     sc.quorum = config_.quorum;
     sc.compression = config_.compression;
+    sc.replicate_ledger = config_.replicate_ledger;
+    sc.ledger_key_seed = config_.fifl.key_seed;
     // Every server gets an identical engine replica (deterministic state
     // machine); only the lead owns θ.
     auto engine = std::make_unique<core::FiflEngine>(config_.fifl, n,
@@ -79,7 +81,8 @@ Cluster::Cluster(ClusterConfig config, const fl::ModelFactory& factory,
                                      : config_.worker_codecs[i];
     worker_nodes_.push_back(std::make_unique<WorkerNode>(
         std::move(init.workers[i]), std::move(worker_eps[i]), topology,
-        config_.timeouts, codecs));
+        config_.timeouts, codecs,
+        WorkerAuditConfig{config_.replicate_ledger, config_.fifl.key_seed}));
   }
 }
 

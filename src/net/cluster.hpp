@@ -40,6 +40,11 @@ struct ClusterConfig {
   /// one from `transport` — the hook chaos tests use to wrap loopback or
   /// TCP in a FaultyTransport and inspect its fault log after run().
   std::shared_ptr<Transport> transport_override;
+  /// Replicate the audit ledger: the lead proposes each sealed block,
+  /// followers endorse it with signed votes, blocks commit on quorum, and
+  /// workers verify Merkle inclusion proofs of their own records against
+  /// an independently derived key registry (seeded from fifl.key_seed).
+  bool replicate_ledger = false;
 };
 
 class Cluster {
@@ -75,6 +80,9 @@ class Cluster {
     return *worker_nodes_.at(i);
   }
   const ServerNode& lead() const { return *server_nodes_.at(0); }
+  const ServerNode& server_node(std::size_t j) const {
+    return *server_nodes_.at(j);
+  }
 
  private:
   ClusterConfig config_;

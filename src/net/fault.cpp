@@ -19,6 +19,10 @@ bool is_data_plane(MessageType type) noexcept {
     case MessageType::kSliceAggregate:
     case MessageType::kAssessmentResult:
     case MessageType::kRoundSummary:
+    case MessageType::kBlockProposal:
+    case MessageType::kBlockVote:
+    case MessageType::kAuditQuery:
+    case MessageType::kAuditProof:
       return true;
     default:
       return false;
@@ -355,19 +359,30 @@ void FaultyTransport::faulty_send(const std::shared_ptr<Endpoint>& via,
     if (duplicate) via->send(to, type, payload, trace);
   }
 
-  // Crash triggers count every GradientUpload the node ATTEMPTED, whether
-  // or not a fault ate it, and flip only after this send so the k-th
-  // upload itself still goes out — the process died right after write().
-  if (type == MessageType::kGradientUpload) {
+  // Crash triggers count every message of the trigger type the node
+  // ATTEMPTED, whether or not a fault ate it, and flip only after this
+  // send so the k-th message itself still goes out — the process died
+  // right after write().
+  {
     std::lock_guard lock(mutex_);
-    const std::uint64_t sent = ++uploads_sent_[from];
-    for (const NodeCrash& crash : schedule_.crashes) {
-      if (crash.node == from && sent == crash.after_uploads &&
-          crashed_.insert(from).second) {
-        NetMetrics::global().faults_injected->inc();
-        util::log_debug() << "fault: crash node " << from << " after " << sent
-                          << " uploads";
-        log_.push_back(FaultEvent{FaultKind::kCrash, from, from, type, sent});
+    const bool counted = std::any_of(
+        schedule_.crashes.begin(), schedule_.crashes.end(),
+        [&](const NodeCrash& crash) {
+          return crash.node == from && crash.after_type == type;
+        });
+    if (counted) {
+      const std::uint64_t sent =
+          ++sends_by_type_[{from, static_cast<std::uint8_t>(type)}];
+      for (const NodeCrash& crash : schedule_.crashes) {
+        if (crash.node == from && crash.after_type == type &&
+            sent == crash.after_uploads && crashed_.insert(from).second) {
+          NetMetrics::global().faults_injected->inc();
+          util::log_debug() << "fault: crash node " << from << " after "
+                            << sent << " " << message_type_name(type)
+                            << " sends";
+          log_.push_back(
+              FaultEvent{FaultKind::kCrash, from, from, type, sent});
+        }
       }
     }
   }

@@ -74,12 +74,15 @@ struct LinkPartition {
   std::uint64_t last_round = 0;
 };
 
-/// `node` dies immediately after sending its `after_uploads`-th
-/// GradientUpload: subsequent sends vanish and recv() goes silent, so the
-/// node's event loop exits through its idle timeout like a dead process.
+/// `node` dies immediately after sending its `after_uploads`-th message
+/// of `after_type` (default GradientUpload — the mid-round worker death;
+/// kBlockProposal models an executor crashing mid-proposal): subsequent
+/// sends vanish and recv() goes silent, so the node's event loop exits
+/// through its idle timeout like a dead process.
 struct NodeCrash {
   NodeKey node = 0;
   std::uint64_t after_uploads = 0;
+  MessageType after_type = MessageType::kGradientUpload;
 };
 
 struct FaultSchedule {
@@ -174,10 +177,11 @@ class FaultyTransport : public Transport {
   FaultSchedule schedule_;
   std::unique_ptr<Transport> inner_;
 
-  mutable std::mutex mutex_;  // guards streams_, log_, uploads_sent_, crashed_
+  mutable std::mutex mutex_;  // guards streams_, log_, sends_by_type_, crashed_
   std::map<std::tuple<NodeKey, NodeKey, std::uint8_t>, StreamState> streams_;
   std::vector<FaultEvent> log_;
-  std::map<NodeKey, std::uint64_t> uploads_sent_;
+  /// Per-(node, message-type) attempted-send counts for crash triggers.
+  std::map<std::pair<NodeKey, std::uint8_t>, std::uint64_t> sends_by_type_;
   std::set<NodeKey> crashed_;
 
   std::mutex delay_mutex_;

@@ -13,6 +13,10 @@ const char* message_type_name(MessageType type) {
     case MessageType::kSliceAggregate: return "slice_aggregate";
     case MessageType::kAssessmentResult: return "assessment_result";
     case MessageType::kRoundSummary: return "round_summary";
+    case MessageType::kBlockProposal: return "block_proposal";
+    case MessageType::kBlockVote: return "block_vote";
+    case MessageType::kAuditQuery: return "audit_query";
+    case MessageType::kAuditProof: return "audit_proof";
   }
   return "unknown";
 }
@@ -273,6 +277,228 @@ chain::AuditRecord decode_audit_record(util::ByteReader& r) {
   const auto tag = r.read_bytes(rec.signature.tag.size());
   std::copy(tag.begin(), tag.end(), rec.signature.tag.begin());
   return rec;
+}
+
+void encode_digest(util::ByteWriter& w, const chain::Digest& digest) {
+  w.write_bytes(digest);
+}
+
+chain::Digest decode_digest(util::ByteReader& r) {
+  chain::Digest digest{};
+  const auto bytes = r.read_bytes(digest.size());
+  std::copy(bytes.begin(), bytes.end(), digest.begin());
+  return digest;
+}
+
+void encode_signature(util::ByteWriter& w, const chain::Signature& sig) {
+  w.write_u32(sig.signer);
+  encode_digest(w, sig.tag);
+}
+
+chain::Signature decode_signature(util::ByteReader& r) {
+  chain::Signature sig;
+  sig.signer = r.read_u32();
+  sig.tag = decode_digest(r);
+  return sig;
+}
+
+void encode_sealed_header(util::ByteWriter& w,
+                          const chain::SealedBlockHeader& sealed) {
+  w.write_u64(sealed.header.index);
+  encode_digest(w, sealed.header.previous_hash);
+  encode_digest(w, sealed.header.merkle_root);
+  encode_digest(w, sealed.header.block_hash);
+  encode_signature(w, sealed.executor_sig);
+  w.write_u64(sealed.votes.size());
+  for (const chain::Signature& vote : sealed.votes) {
+    encode_signature(w, vote);
+  }
+}
+
+chain::SealedBlockHeader decode_sealed_header(util::ByteReader& r) {
+  constexpr std::uint64_t kSignatureBytes = 4 + 32;
+  chain::SealedBlockHeader sealed;
+  sealed.header.index = r.read_u64();
+  sealed.header.previous_hash = decode_digest(r);
+  sealed.header.merkle_root = decode_digest(r);
+  sealed.header.block_hash = decode_digest(r);
+  sealed.executor_sig = decode_signature(r);
+  const std::uint64_t n_votes = r.read_u64();
+  if (n_votes > r.remaining() / kSignatureBytes) {
+    throw util::SerializeError("sealed header: vote count exceeds payload");
+  }
+  sealed.votes.reserve(static_cast<std::size_t>(n_votes));
+  for (std::uint64_t i = 0; i < n_votes; ++i) {
+    sealed.votes.push_back(decode_signature(r));
+  }
+  return sealed;
+}
+
+chain::BlockHeader BlockProposalMsg::header() const {
+  chain::BlockHeader h;
+  h.index = block_index;
+  h.previous_hash = previous_hash;
+  h.merkle_root = merkle_root;
+  h.block_hash = block_hash;
+  return h;
+}
+
+void BlockProposalMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u64(block_index);
+  encode_digest(w, previous_hash);
+  encode_digest(w, merkle_root);
+  encode_digest(w, block_hash);
+  encode_signature(w, executor_sig);
+  w.write_u64(records.size());
+  for (const chain::AuditRecord& rec : records) {
+    encode_audit_record(w, rec);
+  }
+}
+
+BlockProposalMsg BlockProposalMsg::decode(util::ByteReader& r) {
+  constexpr std::uint64_t kRecordBytes = 1 + 8 + 4 + 4 + 8 + 4 + 32;
+  BlockProposalMsg m;
+  m.round = r.read_u64();
+  m.block_index = r.read_u64();
+  m.previous_hash = decode_digest(r);
+  m.merkle_root = decode_digest(r);
+  m.block_hash = decode_digest(r);
+  m.executor_sig = decode_signature(r);
+  const std::uint64_t n_records = r.read_u64();
+  if (n_records > r.remaining() / kRecordBytes) {
+    throw util::SerializeError("block_proposal: record count exceeds payload");
+  }
+  m.records.reserve(static_cast<std::size_t>(n_records));
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    m.records.push_back(decode_audit_record(r));
+  }
+  return m;
+}
+
+void BlockVoteMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u64(block_index);
+  encode_digest(w, block_hash);
+  encode_signature(w, vote);
+}
+
+BlockVoteMsg BlockVoteMsg::decode(util::ByteReader& r) {
+  BlockVoteMsg m;
+  m.round = r.read_u64();
+  m.block_index = r.read_u64();
+  m.block_hash = decode_digest(r);
+  m.vote = decode_signature(r);
+  return m;
+}
+
+void AuditQueryMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u32(worker);
+  w.write_u64(token);
+  w.write_u8(kind);
+}
+
+AuditQueryMsg AuditQueryMsg::decode(util::ByteReader& r) {
+  AuditQueryMsg m;
+  m.round = r.read_u64();
+  m.worker = r.read_u32();
+  m.token = r.read_u64();
+  m.kind = r.read_u8();
+  if (m.kind >
+      static_cast<std::uint8_t>(chain::RecordKind::kServerSelection)) {
+    throw util::SerializeError("audit_query: invalid record kind " +
+                               std::to_string(m.kind));
+  }
+  return m;
+}
+
+chain::AuditProofBundle AuditProofMsg::bundle() const {
+  chain::AuditProofBundle b;
+  b.found = found != 0;
+  b.record = record;
+  b.block_index = block_index;
+  b.record_index = record_index;
+  b.proof = proof;
+  b.headers = headers;
+  return b;
+}
+
+AuditProofMsg AuditProofMsg::from_bundle(
+    std::uint64_t round, std::uint32_t worker, std::uint64_t token,
+    const chain::AuditProofBundle& bundle) {
+  AuditProofMsg m;
+  m.round = round;
+  m.worker = worker;
+  m.token = token;
+  m.found = bundle.found ? 1 : 0;
+  if (bundle.found) {
+    m.record = bundle.record;
+    m.block_index = bundle.block_index;
+    m.record_index = bundle.record_index;
+    m.proof = bundle.proof;
+    m.headers = bundle.headers;
+  }
+  return m;
+}
+
+void AuditProofMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u32(worker);
+  w.write_u64(token);
+  w.write_u8(found);
+  if (found == 0) return;  // a miss carries no proof material at all
+  encode_audit_record(w, record);
+  w.write_u64(block_index);
+  w.write_u64(record_index);
+  w.write_u64(proof.size());
+  for (const chain::MerkleProofStep& step : proof) {
+    encode_digest(w, step.sibling);
+    w.write_u8(step.sibling_on_left ? 1 : 0);
+  }
+  w.write_u64(headers.size());
+  for (const chain::SealedBlockHeader& sealed : headers) {
+    encode_sealed_header(w, sealed);
+  }
+}
+
+AuditProofMsg AuditProofMsg::decode(util::ByteReader& r) {
+  constexpr std::uint64_t kProofStepBytes = 32 + 1;
+  // index + 3 digests + executor signature + vote count.
+  constexpr std::uint64_t kHeaderBytes = 8 + 3 * 32 + (4 + 32) + 8;
+  AuditProofMsg m;
+  m.round = r.read_u64();
+  m.worker = r.read_u32();
+  m.token = r.read_u64();
+  m.found = decode_flag(r, "audit_proof");
+  if (m.found == 0) return m;
+  m.record = decode_audit_record(r);
+  m.block_index = r.read_u64();
+  m.record_index = r.read_u64();
+  const std::uint64_t n_steps = r.read_u64();
+  if (n_steps > r.remaining() / kProofStepBytes) {
+    throw util::SerializeError("audit_proof: proof length exceeds payload");
+  }
+  m.proof.reserve(static_cast<std::size_t>(n_steps));
+  for (std::uint64_t i = 0; i < n_steps; ++i) {
+    chain::MerkleProofStep step;
+    step.sibling = decode_digest(r);
+    step.sibling_on_left = decode_flag(r, "audit_proof") != 0;
+    m.proof.push_back(step);
+  }
+  const std::uint64_t n_headers = r.read_u64();
+  if (n_headers > r.remaining() / kHeaderBytes) {
+    throw util::SerializeError("audit_proof: header count exceeds payload");
+  }
+  m.headers.reserve(static_cast<std::size_t>(n_headers));
+  for (std::uint64_t i = 0; i < n_headers; ++i) {
+    m.headers.push_back(decode_sealed_header(r));
+  }
+  if (m.block_index >= n_headers) {
+    throw util::SerializeError(
+        "audit_proof: block index outside the header chain");
+  }
+  return m;
 }
 
 void AssessmentResultMsg::encode(util::ByteWriter& w) const {

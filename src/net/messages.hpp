@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "chain/ledger.hpp"
+#include "chain/replicated.hpp"
 #include "fl/compression.hpp"
 #include "util/serialize.hpp"
 
@@ -41,13 +42,28 @@ enum class MessageType : std::uint8_t {
   kSliceAggregate = 7,
   kAssessmentResult = 8,
   kRoundSummary = 9,
+  // Replicated-ledger plane (chain/replicated.hpp): block commit protocol
+  // between servers, audit proofs served to workers.
+  kBlockProposal = 10,
+  kBlockVote = 11,
+  kAuditQuery = 12,
+  kAuditProof = 13,
 };
 
 const char* message_type_name(MessageType type);
 
-/// Number of (contiguous) MessageType enumerators, tags 1..kMessageTypeCount
-/// — sized for the per-type byte counters (net.bytes_tx.<type>).
-inline constexpr std::size_t kMessageTypeCount = 9;
+/// The highest-tagged enumerator. Tags are contiguous from kJoin = 1, so
+/// the per-type byte-counter arrays are sized by the enum itself — adding
+/// a message type resizes them automatically instead of silently
+/// truncating the new type's counters.
+inline constexpr MessageType kLastMessageType = MessageType::kAuditProof;
+inline constexpr std::size_t kMessageTypeCount =
+    static_cast<std::size_t>(kLastMessageType);
+static_assert(static_cast<std::size_t>(MessageType::kJoin) == 1 &&
+                  kMessageTypeCount ==
+                      static_cast<std::size_t>(kLastMessageType),
+              "MessageType tags must stay contiguous from 1; point "
+              "kLastMessageType at the final enumerator");
 
 enum class NodeRole : std::uint8_t { kWorker = 0, kServer = 1 };
 
@@ -213,10 +229,91 @@ struct AssessmentResultMsg {
   static AssessmentResultMsg decode(util::ByteReader& r);
 };
 
+/// Replicated-ledger commit protocol (see chain/replicated.hpp): the
+/// round's executor proposes the block it sealed — header fields, its
+/// signature over the header, and the records — so every follower can
+/// recompute the block from its own replica state and detect a fork
+/// field by field. All four ledger messages lead with the round number so
+/// FaultyTransport's round-windowed partitions apply to them unchanged.
+struct BlockProposalMsg {
+  std::uint64_t round = 0;
+  std::uint64_t block_index = 0;
+  chain::Digest previous_hash{};
+  chain::Digest merkle_root{};
+  chain::Digest block_hash{};
+  chain::Signature executor_sig;
+  std::vector<chain::AuditRecord> records;
+
+  chain::BlockHeader header() const;
+
+  void encode(util::ByteWriter& w) const;
+  static BlockProposalMsg decode(util::ByteReader& r);
+};
+
+/// A follower's signed endorsement of one proposed block: it recomputed
+/// the identical header from its own deterministic replica.
+struct BlockVoteMsg {
+  std::uint64_t round = 0;
+  std::uint64_t block_index = 0;
+  chain::Digest block_hash{};
+  chain::Signature vote;
+
+  void encode(util::ByteWriter& w) const;
+  static BlockVoteMsg decode(util::ByteReader& r);
+};
+
+/// Worker -> lead: "prove my (kind) record for round `round` is on the
+/// committed chain". `token` is echoed in the answer so the worker can
+/// pair responses with outstanding queries.
+struct AuditQueryMsg {
+  std::uint64_t round = 0;
+  std::uint32_t worker = 0;
+  std::uint64_t token = 0;
+  std::uint8_t kind = 0;  // chain::RecordKind tag
+
+  void encode(util::ByteWriter& w) const;
+  static AuditQueryMsg decode(util::ByteReader& r);
+};
+
+/// Lead -> worker: the full chain::AuditProofBundle — record, Merkle
+/// inclusion path, and the quorum-certified header chain — which the
+/// worker verifies against its own KeyRegistry replica
+/// (chain::verify_audit_proof), trusting no single server. found == 0
+/// means no committed record matched and every other field is empty.
+struct AuditProofMsg {
+  std::uint64_t round = 0;
+  std::uint32_t worker = 0;
+  std::uint64_t token = 0;
+  std::uint8_t found = 0;
+  chain::AuditRecord record;
+  std::uint64_t block_index = 0;
+  std::uint64_t record_index = 0;
+  chain::MerkleProof proof;
+  std::vector<chain::SealedBlockHeader> headers;
+
+  chain::AuditProofBundle bundle() const;
+  static AuditProofMsg from_bundle(std::uint64_t round, std::uint32_t worker,
+                                   std::uint64_t token,
+                                   const chain::AuditProofBundle& bundle);
+
+  void encode(util::ByteWriter& w) const;
+  static AuditProofMsg decode(util::ByteReader& r);
+};
+
 /// chain::AuditRecord wire codec, shared by AssessmentResultMsg and any
 /// future ledger-sync message.
 void encode_audit_record(util::ByteWriter& w, const chain::AuditRecord& rec);
 chain::AuditRecord decode_audit_record(util::ByteReader& r);
+
+/// chain::Digest / chain::Signature / chain::SealedBlockHeader wire
+/// codecs for the replicated-ledger messages.
+void encode_digest(util::ByteWriter& w, const chain::Digest& digest);
+chain::Digest decode_digest(util::ByteReader& r);
+void encode_signature(util::ByteWriter& w, const chain::Signature& sig);
+chain::Signature decode_signature(util::ByteReader& r);
+void encode_sealed_header(util::ByteWriter& w,
+                          const chain::SealedBlockHeader& sealed);
+chain::SealedBlockHeader decode_sealed_header(util::ByteReader& r);
 
 /// Encodes `msg` into a frame payload (ByteWriter buffer).
 template <typename Msg>

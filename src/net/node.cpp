@@ -187,10 +187,11 @@ std::string parameter_hash(std::span<const float> params) {
 
 WorkerNode::WorkerNode(std::unique_ptr<fl::Worker> worker,
                        std::unique_ptr<Endpoint> endpoint, Topology topology,
-                       NodeTimeouts timeouts, std::uint32_t supported_codecs)
+                       NodeTimeouts timeouts, std::uint32_t supported_codecs,
+                       WorkerAuditConfig audit)
     : worker_(std::move(worker)), endpoint_(std::move(endpoint)),
       topology_(topology), timeouts_(timeouts),
-      supported_codecs_(supported_codecs) {
+      supported_codecs_(supported_codecs), audit_(audit) {
   if (!worker_ || !endpoint_) {
     throw std::invalid_argument("WorkerNode: null worker or endpoint");
   }
@@ -236,6 +237,7 @@ void WorkerNode::run() {
       const auto ack = decode_payload<JoinAckMsg>(env->payload);
       upload_codec_ = static_cast<fl::Codec>(ack.upload_codec);
       keep_fraction_ = ack.keep_fraction;
+      total_rounds_ = ack.rounds;
       if (tracer_.tracing() && (ack.features & kFeatureTrace) != 0) {
         const std::uint64_t t1 = trace_now_us();
         const std::int64_t rtt = static_cast<std::int64_t>(t1 - join_sent_us);
@@ -288,6 +290,55 @@ void WorkerNode::run() {
         for (const WorkerAssessment& wa : msg.workers) {
           if (wa.worker == endpoint_->address()) {
             observed_rewards_.push_back(wa.reward);
+          }
+        }
+        // Audit the round that just closed: ask the lead for a Merkle
+        // inclusion proof of this worker's reputation record. The final
+        // round is skipped — the lead tears the federation down right
+        // after the last assessment, so the reply window only exists
+        // while another round is being driven.
+        if (audit_.enabled && msg.round + 1 < total_rounds_) {
+          try {
+            traced_send(*endpoint_, tracer_, lead, MessageType::kAuditQuery,
+                        AuditQueryMsg{
+                            msg.round, endpoint_->address(), msg.round,
+                            static_cast<std::uint8_t>(
+                                chain::RecordKind::kReputation)},
+                        msg.round,
+                        env->has_trace ? env->trace.span_id : 0);
+          } catch (const std::exception& e) {
+            util::log_warn() << "net: worker " << endpoint_->address()
+                             << " audit query for round " << msg.round
+                             << " failed: " << e.what();
+          }
+        }
+        note_handled(tracer_, *env, last_traffic);
+        break;
+      }
+      case MessageType::kAuditProof: {
+        const auto msg = decode_payload<AuditProofMsg>(env->payload);
+        if (audit_.enabled && msg.worker == endpoint_->address()) {
+          if (!audit_registry_) {
+            // Independent PKI replica: derived from the shared seed, never
+            // received over the wire, so a lying server cannot also hand
+            // the worker the keys that would make the lie check out.
+            audit_registry_.emplace(chain::ReplicatedLedger::make_registry(
+                audit_.key_seed, topology_.workers, topology_.servers));
+          }
+          const chain::AuditProofBundle bundle = msg.bundle();
+          const bool verified =
+              msg.found != 0 &&
+              bundle.record.subject == endpoint_->address() &&
+              bundle.record.round == msg.token &&
+              bundle.record.kind == chain::RecordKind::kReputation &&
+              chain::verify_audit_proof(bundle, *audit_registry_,
+                                        topology_.workers,
+                                        topology_.servers);
+          audit_outcomes_.push_back({msg.token, verified});
+          if (!verified) {
+            util::log_warn() << "net: worker " << endpoint_->address()
+                             << " audit proof for round " << msg.token
+                             << " FAILED verification";
           }
         }
         note_handled(tracer_, *env, last_traffic);
@@ -399,6 +450,11 @@ ServerNode::ServerNode(ServerNodeConfig config,
   if (config_.server_index >= topology_.servers) {
     throw std::invalid_argument("ServerNode: server index out of range");
   }
+  if (config_.replicate_ledger) {
+    replicated_ = std::make_unique<chain::ReplicatedLedger>(
+        &engine_->ledger(), config_.ledger_key_seed, topology_.workers,
+        topology_.servers, topology_.server_key(config_.server_index));
+  }
   tracer_ = NodeTracer::for_node(endpoint_->address());
 }
 
@@ -497,6 +553,41 @@ void ServerNode::handle_control(const Envelope& envelope) {
       if (!is_lead()) {
         auto summary = decode_payload<RoundSummaryMsg>(envelope.payload);
         pending_summaries_[summary.round] = std::move(summary);
+      }
+      break;
+    }
+    case MessageType::kBlockProposal: {
+      if (!is_lead() && replicated_) {
+        auto proposal = decode_payload<BlockProposalMsg>(envelope.payload);
+        // Buffer only: voting waits until this replica has sealed the
+        // block itself (run_follower drains after each summary).
+        pending_proposals_[proposal.block_index] = std::move(proposal);
+      }
+      break;
+    }
+    case MessageType::kBlockVote: {
+      if (is_lead() && replicated_) {
+        lead_handle_vote(decode_payload<BlockVoteMsg>(envelope.payload));
+      }
+      break;
+    }
+    case MessageType::kAuditQuery: {
+      if (is_lead() && replicated_) {
+        const auto query = decode_payload<AuditQueryMsg>(envelope.payload);
+        const chain::AuditProofBundle bundle = replicated_->prove(
+            static_cast<chain::RecordKind>(query.kind), query.round,
+            query.worker);
+        try {
+          traced_send(*endpoint_, tracer_, envelope.from,
+                      MessageType::kAuditProof,
+                      AuditProofMsg::from_bundle(query.round, query.worker,
+                                                 query.token, bundle),
+                      query.round,
+                      envelope.has_trace ? envelope.trace.span_id : 0);
+        } catch (const std::exception& e) {
+          util::log_warn() << "net: audit proof to node " << envelope.from
+                           << " failed: " << e.what();
+        }
       }
       break;
     }
@@ -701,6 +792,105 @@ void ServerNode::run_follower() {
       pending_uploads_.erase(pending_uploads_.begin(),
                              pending_uploads_.upper_bound(summary.round));
       next_round = summary.round + 1;
+    }
+    // Every block this replica has now sealed can be checked against the
+    // lead's proposal and endorsed (or exposed as a fork).
+    if (replicated_) follower_vote_on_proposals();
+  }
+}
+
+void ServerNode::follower_vote_on_proposals() {
+  const NodeKey lead = topology_.lead_key();
+  while (!pending_proposals_.empty()) {
+    const auto it = pending_proposals_.begin();
+    if (diverged_) {
+      // A diverged replica skipped engine rounds; it can no longer attest
+      // blocks it never sealed. Dropping the proposal (instead of voting
+      // no) keeps the fault crash-shaped: the lead counts a missing vote,
+      // not a contradiction.
+      pending_proposals_.erase(it);
+      continue;
+    }
+    if (it->first >= engine_->ledger().block_count()) break;  // not sealed yet
+    const BlockProposalMsg proposal = std::move(it->second);
+    pending_proposals_.erase(it);
+    const std::optional<chain::Signature> vote = replicated_->verify_and_vote(
+        proposal.header(), proposal.executor_sig, proposal.records);
+    if (!vote) {
+      // The lead proposed a block this replica's deterministic ledger did
+      // not produce: a fork, by construction the strongest Byzantine
+      // signal the protocol can emit. Capture everyone's recent events
+      // before unwinding.
+      tracer_.note(obs::FlightEventKind::kLedgerFork, lead,
+                   static_cast<std::uint8_t>(MessageType::kBlockProposal),
+                   proposal.round);
+      obs::FlightRegistry::global().dump("ledger_fork");
+      throw std::runtime_error(
+          "server " + std::to_string(endpoint_->address()) +
+          ": proposed block " + std::to_string(proposal.block_index) +
+          " contradicts the local replica ledger (fork)");
+    }
+    BlockVoteMsg out;
+    out.round = proposal.round;
+    out.block_index = proposal.block_index;
+    out.block_hash = proposal.block_hash;
+    out.vote = *vote;
+    try {
+      traced_send(*endpoint_, tracer_, lead, MessageType::kBlockVote, out,
+                  proposal.round);
+    } catch (const std::exception& e) {
+      util::log_warn() << "net: server " << endpoint_->address()
+                       << " failed to send block vote for round "
+                       << proposal.round << ": " << e.what();
+    }
+  }
+}
+
+void ServerNode::lead_handle_vote(const BlockVoteMsg& msg) {
+  try {
+    replicated_->record_vote(msg.block_index, msg.block_hash, msg.vote);
+  } catch (const std::exception& e) {
+    // A validly signed vote for a *different* block hash at this index:
+    // some replica sealed a contradicting history.
+    tracer_.note(obs::FlightEventKind::kLedgerFork, msg.vote.signer,
+                 static_cast<std::uint8_t>(MessageType::kBlockVote),
+                 msg.round);
+    obs::FlightRegistry::global().dump("ledger_fork");
+    throw std::runtime_error("lead: block vote for round " +
+                             std::to_string(msg.round) +
+                             " exposes a ledger fork: " + e.what());
+  }
+}
+
+void ServerNode::await_ledger_commit(std::uint64_t r) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.timeouts.phase;
+  while (!replicated_->committed(r) &&
+         !stop_.load(std::memory_order_relaxed)) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      const chain::SealedBlockHeader* sealed = replicated_->sealed(r);
+      const std::uint64_t votes =
+          sealed ? 1 + sealed->votes.size() : 0;  // executor counts itself
+      tracer_.note(obs::FlightEventKind::kQuorumAbort, obs::kNoFlightPeer,
+                   static_cast<std::uint8_t>(MessageType::kBlockVote), r,
+                   votes);
+      obs::FlightRegistry::global().dump("quorum_abort");
+      throw std::runtime_error(
+          "lead: round " + std::to_string(r) + " ledger commit below quorum (" +
+          std::to_string(votes) + " of " +
+          std::to_string(replicated_->quorum()) + " endorsements)");
+    }
+    auto env = endpoint_->recv(left);
+    if (!env) continue;
+    if (env->type == MessageType::kGradientUpload) {
+      const auto handle_start = std::chrono::steady_clock::now();
+      lead_handle_upload(decode_payload<GradientUploadMsg>(env->payload), r,
+                         nullptr);
+      note_handled(tracer_, *env, handle_start);
+    } else {
+      handle_control(*env);
     }
   }
 }
@@ -970,6 +1160,30 @@ void ServerNode::run_lead() {
     // Full pipeline on the lead's replica.
     const core::RoundReport report = engine_->process_round(uploads);
 
+    if (replicated_) {
+      // The engine just sealed block r; propose it. Followers re-derive
+      // the same block from their own replica state and answer with
+      // signed endorsements — the lead never ships a bare "trust me".
+      const chain::SealedBlockHeader& sealed = replicated_->propose(r);
+      BlockProposalMsg proposal;
+      proposal.round = r;
+      proposal.block_index = sealed.header.index;
+      proposal.previous_hash = sealed.header.previous_hash;
+      proposal.merkle_root = sealed.header.merkle_root;
+      proposal.block_hash = sealed.header.block_hash;
+      proposal.executor_sig = sealed.executor_sig;
+      proposal.records = engine_->ledger().block(r).records;
+      for (std::uint32_t j = 1; j < topology_.servers; ++j) {
+        try {
+          traced_send(*endpoint_, tracer_, topology_.server_key(j),
+                      MessageType::kBlockProposal, proposal, r);
+        } catch (const std::exception& e) {
+          util::log_warn() << "net: block proposal to server " << j
+                           << " failed: " << e.what();
+        }
+      }
+    }
+
     // Gather the follower slices and check every complete one bitwise
     // against this replica's result: divergence on a complete slice means
     // the deterministic-replica invariant broke, which would silently
@@ -1028,6 +1242,17 @@ void ServerNode::run_lead() {
       }
     }
     pending_slices_.erase(r);
+
+    if (replicated_ && !replicated_->committed(r)) {
+      // Block r must reach endorsement quorum before the round's effects
+      // (θ update, assessment) are published — a below-quorum ledger means
+      // the audit trail is no longer replicated enough to be trusted.
+      const auto commit_start = std::chrono::steady_clock::now();
+      await_ledger_commit(r);
+      if (stop_.load(std::memory_order_relaxed)) return;
+      note_phase(tracer_, metrics.phase_ledger_commit_ms, "ledger_commit", r,
+                 commit_start);
+    }
 
     // θ ← θ − η·G̃ — identical float ops to Simulator::apply_round because
     // the engine's aggregation loop is the simulator's (and the follower

@@ -149,6 +149,22 @@ struct NetRoundResult {
 /// fingerprint both runtimes are compared on).
 std::string parameter_hash(std::span<const float> params);
 
+/// Worker-side audit configuration: when enabled, the worker queries the
+/// lead for a Merkle proof of its own reputation record after every
+/// assessment (except the final round's, whose answer would race the
+/// Leave) and verifies the returned bundle against its own KeyRegistry
+/// replica — built from `key_seed`, trusting no server.
+struct WorkerAuditConfig {
+  bool enabled = false;
+  std::uint64_t key_seed = 0;
+};
+
+/// One worker-side audit round trip and its local verdict.
+struct WorkerAuditOutcome {
+  std::uint64_t round = 0;
+  bool verified = false;
+};
+
 class WorkerNode {
  public:
   /// `supported_codecs` is the capability mask advertised in the JoinMsg
@@ -156,7 +172,8 @@ class WorkerNode {
   WorkerNode(std::unique_ptr<fl::Worker> worker,
              std::unique_ptr<Endpoint> endpoint, Topology topology,
              NodeTimeouts timeouts,
-             std::uint32_t supported_codecs = fl::kAllCodecs);
+             std::uint32_t supported_codecs = fl::kAllCodecs,
+             WorkerAuditConfig audit = {});
 
   /// Event loop: join, then train on every ModelBroadcast until Leave.
   /// Runs on the caller's thread (the cluster gives each node one).
@@ -168,6 +185,12 @@ class WorkerNode {
   /// incentive actually delivered to the node).
   const std::vector<double>& observed_rewards() const noexcept {
     return observed_rewards_;
+  }
+
+  /// Locally verified AuditProof round trips (audit-enabled runs only),
+  /// in answer-arrival order.
+  const std::vector<WorkerAuditOutcome>& audit_outcomes() const noexcept {
+    return audit_outcomes_;
   }
 
  private:
@@ -182,6 +205,12 @@ class WorkerNode {
   Topology topology_;
   NodeTimeouts timeouts_;
   std::uint32_t supported_codecs_;
+  WorkerAuditConfig audit_;
+  /// Lazily built PKI replica for verifying audit proofs; rounds learned
+  /// from the JoinAck gate the final-round query.
+  std::optional<chain::KeyRegistry> audit_registry_;
+  std::uint64_t total_rounds_ = 0;
+  std::vector<WorkerAuditOutcome> audit_outcomes_;
   /// Resolved once at construction; null members when FIFL_TRACE_DIR is
   /// unset, so every producer site pays one branch on the disabled path.
   NodeTracer tracer_;
@@ -205,6 +234,15 @@ struct ServerNodeConfig {
   NodeTimeouts timeouts;
   QuorumConfig quorum;
   CompressionPolicy compression;  // lead only: negotiation preferences
+  /// Replicated audit ledger (chain/replicated.hpp): the lead proposes
+  /// every sealed block to the followers and only proceeds on a signature
+  /// quorum; followers recompute each proposed block and vote. Off by
+  /// default — the message flow (and its latency) is additive, the engine
+  /// inputs are untouched, so enabling it preserves bit-for-bit parity
+  /// with the Simulator.
+  bool replicate_ledger = false;
+  /// Key seed for the ledger PKI replica (FiflConfig::key_seed).
+  std::uint64_t ledger_key_seed = 0;
 };
 
 class ServerNode {
@@ -235,6 +273,11 @@ class ServerNode {
   }
   const core::FiflEngine& engine() const noexcept { return *engine_; }
   nn::Sequential* global_model() noexcept { return global_model_.get(); }
+  /// The replicated-ledger state (nullptr unless replicate_ledger): the
+  /// lead holds quorum certificates, followers their endorsed headers.
+  const chain::ReplicatedLedger* replicated_ledger() const noexcept {
+    return replicated_.get();
+  }
 
  private:
   void run_lead();
@@ -253,6 +296,15 @@ class ServerNode {
   void process_summary(const RoundSummaryMsg& summary);
   void handle_control(const Envelope& envelope);
   void note_worker_traffic(NodeKey from);
+  /// Lead: verifies + folds one follower vote; a contradicting block hash
+  /// is a ledger fork (postmortem dump + throw).
+  void lead_handle_vote(const BlockVoteMsg& msg);
+  /// Follower: recomputes every buffered proposal the local ledger has
+  /// sealed and answers with a signed vote; a mismatch is a ledger fork.
+  void follower_vote_on_proposals();
+  /// Lead: drains votes until block `r` commits or the phase deadline
+  /// passes (deterministic abort).
+  void await_ledger_commit(std::uint64_t r);
 
   ServerNodeConfig config_;
   std::unique_ptr<core::FiflEngine> engine_;
@@ -285,6 +337,11 @@ class ServerNode {
   /// replica has permanently lost sync with the lead's counted sequence.
   std::map<std::uint64_t, RoundSummaryMsg> pending_summaries_;
   bool diverged_ = false;
+  /// Replicated-ledger state (null unless config_.replicate_ledger).
+  std::unique_ptr<chain::ReplicatedLedger> replicated_;
+  /// Follower only: block proposals buffered until the local replica has
+  /// sealed the corresponding block, keyed by block index.
+  std::map<std::uint64_t, BlockProposalMsg> pending_proposals_;
   /// Lead only: per-worker negotiated broadcast codec (absent = kDense),
   /// the latest round each worker acknowledged holding θ for (from round
   /// pings and uploads; erased when the worker is declared dead so a

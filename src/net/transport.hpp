@@ -106,6 +106,8 @@ struct NetMetrics {
   obs::Histogram* phase_broadcast_ms;
   obs::Histogram* phase_collect_ms;
   obs::Histogram* phase_assess_ms;
+  /// Replicated-ledger commit wait on the lead (propose -> vote quorum).
+  obs::Histogram* phase_ledger_commit_ms;
   // Fault-tolerance / degradation counters.
   obs::Counter* send_retries;     // TCP sends that needed a backoff retry
   obs::Counter* send_failures;    // sends abandoned after the retry budget

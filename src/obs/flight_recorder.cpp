@@ -24,6 +24,7 @@ const char* flight_event_kind_name(FlightEventKind kind) {
     case FlightEventKind::kDivergence: return "divergence";
     case FlightEventKind::kQuorumAbort: return "quorum_abort";
     case FlightEventKind::kRetryExhausted: return "retry_exhausted";
+    case FlightEventKind::kLedgerFork: return "ledger_fork";
   }
   return "unknown";
 }

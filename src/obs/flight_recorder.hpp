@@ -42,6 +42,7 @@ enum class FlightEventKind : std::uint8_t {
   kDivergence = 9,
   kQuorumAbort = 10,
   kRetryExhausted = 11,
+  kLedgerFork = 12,
 };
 
 const char* flight_event_kind_name(FlightEventKind kind);

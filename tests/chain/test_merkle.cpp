@@ -85,6 +85,39 @@ TEST(Merkle, ProofAgainstWrongRootFails) {
 TEST(Merkle, ProveOutOfRangeThrows) {
   MerkleTree tree(make_leaves(3));
   EXPECT_THROW((void)tree.prove(3), std::out_of_range);
+  EXPECT_THROW((void)MerkleTree(make_leaves(0)).prove(0), std::out_of_range);
+}
+
+TEST(Merkle, OddLeafCountDuplicatesLastNode) {
+  // The odd-width rule pairs a trailing node with itself (Bitcoin-style),
+  // so a 3-leaf root is exactly H(H(l0,l1), H(l2,l2)) — pinned here so a
+  // reimplementation cannot silently switch to promote-odd-node trees,
+  // which would fork every sealed block hash.
+  const auto leaves = make_leaves(3);
+  const Digest expected = MerkleTree::hash_pair(
+      MerkleTree::hash_pair(leaves[0], leaves[1]),
+      MerkleTree::hash_pair(leaves[2], leaves[2]));
+  EXPECT_EQ(MerkleTree(leaves).root(), expected);
+}
+
+TEST(Merkle, SingleLeafProofIsEmptyAndExact) {
+  const auto leaves = make_leaves(1);
+  MerkleTree tree(leaves);
+  const MerkleProof proof = tree.prove(0);
+  EXPECT_TRUE(proof.empty());
+  EXPECT_TRUE(MerkleTree::verify(leaves[0], proof, tree.root()));
+  EXPECT_FALSE(MerkleTree::verify(sha256("other"), proof, tree.root()));
+}
+
+TEST(Merkle, FlippedSiblingDirectionFailsProof) {
+  // The left/right position of each sibling is part of what the proof
+  // commits to: flipping one direction bit must not verify.
+  const auto leaves = make_leaves(8);
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(3);
+  ASSERT_FALSE(proof.empty());
+  proof[0].sibling_on_left = !proof[0].sibling_on_left;
+  EXPECT_FALSE(MerkleTree::verify(leaves[3], proof, tree.root()));
 }
 
 TEST(Merkle, ProofLengthIsLogarithmic) {

@@ -56,6 +56,20 @@ TEST_F(PersistenceTest, TamperedValueRejectedOnImport) {
   EXPECT_THROW((void)import_ledger(bytes, &registry_), std::runtime_error);
 }
 
+TEST_F(PersistenceTest, OneBitRecordTamperRejectedAfterReload) {
+  // The weakest possible tamper — a single flipped bit in one record's
+  // value mantissa — must still be caught on import: the record digest
+  // changes, so the block's Merkle root (and signature check) no longer
+  // match. Every byte of the value field is swept to rule out a check
+  // that only covers part of the encoding.
+  for (std::size_t off = 41; off < 49; ++off) {
+    auto bytes = export_ledger(ledger_);
+    bytes[off] ^= 0x01;
+    EXPECT_THROW((void)import_ledger(bytes, &registry_), std::runtime_error)
+        << "value byte offset " << off;
+  }
+}
+
 TEST_F(PersistenceTest, WrongRegistryRejected) {
   KeyRegistry other(9999);
   for (NodeId n = 0; n < 4; ++n) other.register_node(n);

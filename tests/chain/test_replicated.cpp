@@ -1,0 +1,302 @@
+// Unit tests for the replicated-ledger commit protocol and the worker-side
+// audit-proof verifier, exercised without any network: three ledger
+// replicas appended and sealed identically (the deterministic-engine
+// contract), one ReplicatedLedger per server identity on top.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "chain/ledger.hpp"
+#include "chain/replicated.hpp"
+
+namespace fifl::chain {
+namespace {
+
+constexpr std::uint32_t kWorkers = 4;
+constexpr std::uint32_t kServers = 3;
+constexpr std::uint64_t kSeed = 0x51f7u;
+constexpr NodeId kPublisher = kWorkers;  // engine's executor id == lead
+
+/// One server replica: its own PKI derivation, its own ledger, fed the
+/// same deterministic record stream as every other replica.
+struct Replica {
+  KeyRegistry registry;
+  Ledger ledger;
+  ReplicatedLedger repl;
+
+  explicit Replica(std::uint32_t server_index)
+      : registry(ReplicatedLedger::make_registry(kSeed, kWorkers, kServers)),
+        ledger(&registry),
+        repl(&ledger, kSeed, kWorkers, kServers, kWorkers + server_index) {}
+};
+
+void append_round(Ledger& ledger, std::uint64_t round) {
+  for (NodeId w = 0; w < kWorkers; ++w) {
+    ledger.append(RecordKind::kReputation, round, w, kPublisher,
+                  0.5 + 0.01 * static_cast<double>(round + w));
+    ledger.append(RecordKind::kReward, round, w, kPublisher,
+                  0.1 * static_cast<double>(w));
+  }
+  ledger.seal_block();
+}
+
+/// Runs the full propose -> vote -> commit cycle for `round` across the
+/// replicas, asserting it commits on the lead.
+void commit_round(Replica& lead, Replica& f1, Replica& f2,
+                  std::uint64_t round) {
+  append_round(lead.ledger, round);
+  append_round(f1.ledger, round);
+  append_round(f2.ledger, round);
+  const SealedBlockHeader& sealed = lead.repl.propose(round);
+  const auto& records = lead.ledger.block(round).records;
+  for (Replica* follower : {&f1, &f2}) {
+    const auto vote = follower->repl.verify_and_vote(
+        sealed.header, sealed.executor_sig, records);
+    ASSERT_TRUE(vote.has_value());
+    lead.repl.record_vote(round, sealed.header.block_hash, *vote);
+  }
+  ASSERT_TRUE(lead.repl.committed(round));
+}
+
+TEST(ReplicatedLedger, RegistriesFromSameSeedAreInterchangeable) {
+  const KeyRegistry a = ReplicatedLedger::make_registry(kSeed, kWorkers, kServers);
+  const KeyRegistry b = ReplicatedLedger::make_registry(kSeed, kWorkers, kServers);
+  const Signature sig = a.sign(kWorkers + 1, "payload");
+  EXPECT_TRUE(b.verify(sig, "payload"));
+  EXPECT_FALSE(b.verify(sig, "payload2"));
+  // Every federation identity is registered: workers, publisher, servers.
+  for (NodeId n = 0; n < kWorkers + kServers; ++n) {
+    EXPECT_TRUE(a.is_registered(n)) << "node " << n;
+  }
+}
+
+TEST(ReplicatedLedger, QuorumIsStrictServerMajority) {
+  Replica lead(0);
+  EXPECT_EQ(lead.repl.quorum(), 2u);  // M=3: executor + 1 follower
+}
+
+TEST(ReplicatedLedger, ProposeVoteCommitReachesQuorum) {
+  Replica lead(0), f1(1), f2(2);
+  append_round(lead.ledger, 0);
+  append_round(f1.ledger, 0);
+  append_round(f2.ledger, 0);
+
+  const SealedBlockHeader& sealed = lead.repl.propose(0);
+  EXPECT_EQ(sealed.header, header_of(lead.ledger.block(0)));
+  EXPECT_EQ(sealed.header.block_hash, sealed.header.compute_hash());
+  EXPECT_FALSE(lead.repl.committed(0));  // 1 of 2 endorsements so far
+
+  const auto vote = f1.repl.verify_and_vote(
+      sealed.header, sealed.executor_sig, lead.ledger.block(0).records);
+  ASSERT_TRUE(vote.has_value());
+  EXPECT_EQ(vote->signer, kWorkers + 1);
+  EXPECT_TRUE(lead.repl.record_vote(0, sealed.header.block_hash, *vote));
+  EXPECT_TRUE(lead.repl.committed(0));
+  EXPECT_EQ(lead.repl.committed_count(), 1u);
+
+  // The second vote still folds into the certificate.
+  const auto vote2 = f2.repl.verify_and_vote(
+      sealed.header, sealed.executor_sig, lead.ledger.block(0).records);
+  ASSERT_TRUE(vote2.has_value());
+  EXPECT_TRUE(lead.repl.record_vote(0, sealed.header.block_hash, *vote2));
+  EXPECT_EQ(lead.repl.sealed(0)->votes.size(), 2u);
+}
+
+TEST(ReplicatedLedger, SingleServerCommitsImmediately) {
+  KeyRegistry registry = ReplicatedLedger::make_registry(kSeed, kWorkers, 1);
+  Ledger ledger(&registry);
+  ReplicatedLedger repl(&ledger, kSeed, kWorkers, 1, kWorkers);
+  append_round(ledger, 0);
+  repl.propose(0);
+  EXPECT_TRUE(repl.committed(0));
+}
+
+TEST(ReplicatedLedger, ProposeUnsealedBlockThrows) {
+  Replica lead(0);
+  EXPECT_THROW(lead.repl.propose(0), std::out_of_range);
+}
+
+TEST(ReplicatedLedger, VoteRejectionsChangeNothing) {
+  Replica lead(0), f1(1);
+  append_round(lead.ledger, 0);
+  append_round(f1.ledger, 0);
+  const SealedBlockHeader& sealed = lead.repl.propose(0);
+  const auto vote = f1.repl.verify_and_vote(
+      sealed.header, sealed.executor_sig, lead.ledger.block(0).records);
+  ASSERT_TRUE(vote.has_value());
+
+  // Unproposed block index.
+  EXPECT_FALSE(lead.repl.record_vote(7, sealed.header.block_hash, *vote));
+  // Non-server signer.
+  Signature worker_sig = lead.registry.sign(0, sealed.header.canonical_payload());
+  EXPECT_FALSE(
+      lead.repl.record_vote(0, sealed.header.block_hash, worker_sig));
+  // Executor voting for itself is not a second endorsement.
+  Signature self_sig =
+      lead.registry.sign(kPublisher, sealed.header.canonical_payload());
+  EXPECT_FALSE(lead.repl.record_vote(0, sealed.header.block_hash, self_sig));
+  // Tampered tag fails signature verification.
+  Signature bad = *vote;
+  bad.tag[0] ^= 0x01;
+  EXPECT_FALSE(lead.repl.record_vote(0, sealed.header.block_hash, bad));
+  EXPECT_FALSE(lead.repl.committed(0));
+
+  // The genuine vote still lands, exactly once.
+  EXPECT_TRUE(lead.repl.record_vote(0, sealed.header.block_hash, *vote));
+  EXPECT_FALSE(lead.repl.record_vote(0, sealed.header.block_hash, *vote));
+  EXPECT_TRUE(lead.repl.committed(0));
+}
+
+TEST(ReplicatedLedger, ContradictingVoteHashThrowsFork) {
+  Replica lead(0), f1(1);
+  append_round(lead.ledger, 0);
+  append_round(f1.ledger, 0);
+  const SealedBlockHeader& sealed = lead.repl.propose(0);
+  const auto vote = f1.repl.verify_and_vote(
+      sealed.header, sealed.executor_sig, lead.ledger.block(0).records);
+  ASSERT_TRUE(vote.has_value());
+  Digest other = sealed.header.block_hash;
+  other[5] ^= 0xFF;
+  EXPECT_THROW(lead.repl.record_vote(0, other, *vote), std::runtime_error);
+}
+
+TEST(ReplicatedLedger, FollowerRefusesForkedProposal) {
+  Replica lead(0), f1(1);
+  append_round(lead.ledger, 0);
+  // The follower's replica sealed a *different* round 0 (one record value
+  // differs): every header field derived from the records now disagrees.
+  f1.ledger.append(RecordKind::kReputation, 0, 0, kPublisher, 0.999);
+  f1.ledger.seal_block();
+  const SealedBlockHeader& sealed = lead.repl.propose(0);
+  EXPECT_EQ(f1.repl.verify_and_vote(sealed.header, sealed.executor_sig,
+                                    lead.ledger.block(0).records),
+            std::nullopt);
+}
+
+TEST(ReplicatedLedger, FollowerRefusesTamperedRecords) {
+  Replica lead(0), f1(1);
+  append_round(lead.ledger, 0);
+  append_round(f1.ledger, 0);
+  const SealedBlockHeader& sealed = lead.repl.propose(0);
+  auto records = lead.ledger.block(0).records;
+  records[2].value += 1e-9;  // any perturbation breaks the digest match
+  EXPECT_EQ(f1.repl.verify_and_vote(sealed.header, sealed.executor_sig,
+                                    records),
+            std::nullopt);
+}
+
+TEST(ReplicatedLedger, FollowerRefusesBadExecutorSignature) {
+  Replica lead(0), f1(1);
+  append_round(lead.ledger, 0);
+  append_round(f1.ledger, 0);
+  const SealedBlockHeader& sealed = lead.repl.propose(0);
+  Signature forged = sealed.executor_sig;
+  forged.tag[3] ^= 0x80;
+  EXPECT_EQ(f1.repl.verify_and_vote(sealed.header, forged,
+                                    lead.ledger.block(0).records),
+            std::nullopt);
+}
+
+TEST(ReplicatedLedger, AuditProofVerifiesAgainstIndependentRegistry) {
+  Replica lead(0), f1(1), f2(2);
+  for (std::uint64_t r = 0; r < 3; ++r) commit_round(lead, f1, f2, r);
+
+  for (NodeId w = 0; w < kWorkers; ++w) {
+    const AuditProofBundle bundle =
+        lead.repl.prove(RecordKind::kReputation, 1, w);
+    ASSERT_TRUE(bundle.found) << "worker " << w;
+    EXPECT_EQ(bundle.record.subject, w);
+    EXPECT_EQ(bundle.record.round, 1u);
+    EXPECT_EQ(bundle.headers.size(), 3u);  // chain pins the committed tip
+    // The verifier's registry is a fresh derivation — nothing shared with
+    // the prover beyond the public seed.
+    const KeyRegistry verifier_pki =
+        ReplicatedLedger::make_registry(kSeed, kWorkers, kServers);
+    EXPECT_TRUE(
+        verify_audit_proof(bundle, verifier_pki, kWorkers, kServers));
+  }
+}
+
+TEST(ReplicatedLedger, ProveOnlyServesCommittedBlocks) {
+  Replica lead(0), f1(1), f2(2);
+  commit_round(lead, f1, f2, 0);
+  // Round 1 sealed + proposed but never endorsed: not committed.
+  append_round(lead.ledger, 1);
+  lead.repl.propose(1);
+  EXPECT_FALSE(lead.repl.prove(RecordKind::kReputation, 1, 0).found);
+  const AuditProofBundle bundle =
+      lead.repl.prove(RecordKind::kReputation, 0, 0);
+  ASSERT_TRUE(bundle.found);
+  EXPECT_EQ(bundle.headers.size(), 1u);
+}
+
+TEST(ReplicatedLedger, TamperedBundlesFailVerification) {
+  Replica lead(0), f1(1), f2(2);
+  for (std::uint64_t r = 0; r < 2; ++r) commit_round(lead, f1, f2, r);
+  const KeyRegistry pki =
+      ReplicatedLedger::make_registry(kSeed, kWorkers, kServers);
+  const AuditProofBundle good = lead.repl.prove(RecordKind::kReward, 1, 2);
+  ASSERT_TRUE(good.found);
+  ASSERT_TRUE(verify_audit_proof(good, pki, kWorkers, kServers));
+
+  {  // Forged record value: Merkle inclusion breaks.
+    AuditProofBundle bad = good;
+    bad.record.value *= 2.0;
+    EXPECT_FALSE(verify_audit_proof(bad, pki, kWorkers, kServers));
+  }
+  {  // Dropped vote: the block's certificate falls below quorum.
+    AuditProofBundle bad = good;
+    bad.headers[bad.block_index].votes.clear();
+    EXPECT_FALSE(verify_audit_proof(bad, pki, kWorkers, kServers));
+  }
+  {  // Duplicated voter padding the certificate does not count twice.
+    AuditProofBundle bad = good;
+    auto& votes = bad.headers[bad.block_index].votes;
+    votes = {votes[0], votes[0]};
+    EXPECT_FALSE(verify_audit_proof(bad, pki, kWorkers, kServers));
+  }
+  {  // Rewritten header field: the recomputed block hash disagrees.
+    AuditProofBundle bad = good;
+    bad.headers[1].header.merkle_root[0] ^= 0x01;
+    EXPECT_FALSE(verify_audit_proof(bad, pki, kWorkers, kServers));
+  }
+  {  // Severed hash link between consecutive headers.
+    AuditProofBundle bad = good;
+    bad.headers[1].header.previous_hash[0] ^= 0x01;
+    EXPECT_FALSE(verify_audit_proof(bad, pki, kWorkers, kServers));
+  }
+  {  // Truncated chain hiding the block the record claims to live in.
+    AuditProofBundle bad = good;
+    bad.block_index = 5;
+    EXPECT_FALSE(verify_audit_proof(bad, pki, kWorkers, kServers));
+  }
+  {  // Worker-signed "executor" signature: wrong identity class.
+    AuditProofBundle bad = good;
+    bad.headers[bad.block_index].executor_sig = pki.sign(
+        0, bad.headers[bad.block_index].header.canonical_payload());
+    EXPECT_FALSE(verify_audit_proof(bad, pki, kWorkers, kServers));
+  }
+  {  // A not-found bundle never verifies.
+    AuditProofBundle missing =
+        lead.repl.prove(RecordKind::kReward, 9, 2);
+    EXPECT_FALSE(missing.found);
+    EXPECT_FALSE(verify_audit_proof(missing, pki, kWorkers, kServers));
+  }
+}
+
+TEST(ReplicatedLedger, ProofIndependentOfWhichServerProves) {
+  // Any server holding the certificates could serve the proof; here the
+  // lead's bundle is checked against a follower's endorsed view of the
+  // same block (their headers must be byte-equal).
+  Replica lead(0), f1(1), f2(2);
+  commit_round(lead, f1, f2, 0);
+  const SealedBlockHeader* lead_view = lead.repl.sealed(0);
+  const SealedBlockHeader* follower_view = f1.repl.sealed(0);
+  ASSERT_NE(lead_view, nullptr);
+  ASSERT_NE(follower_view, nullptr);
+  EXPECT_EQ(lead_view->header, follower_view->header);
+  EXPECT_EQ(lead_view->executor_sig, follower_view->executor_sig);
+}
+
+}  // namespace
+}  // namespace fifl::chain

@@ -1,0 +1,228 @@
+// Quorum sealing under faults. Two scenarios:
+//
+//  1. An M=3 cluster where one follower's entire data plane into the lead
+//     (votes included) is dropped and the other follower's is randomly
+//     reordered: every block must still commit — identically on all
+//     survivors, hash-for-hash against the in-process engine's ledger —
+//     because the executor plus one follower is exactly the quorum.
+//
+//  2. An M=2 cluster whose executor crashes immediately after sending its
+//     first BlockProposal: the commit can never reach quorum and the run
+//     must abort deterministically through the flight-recorder postmortem
+//     path, with no forked tip — the follower endorsed exactly the header
+//     the dead executor proposed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "chain/replicated.hpp"
+#include "core/fifl.hpp"
+#include "data/synthetic.hpp"
+#include "fl/simulator.hpp"
+#include "net/cluster.hpp"
+#include "net/fault.hpp"
+#include "nn/models.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace fifl::net {
+namespace {
+
+constexpr std::size_t kWorkers = 4;
+constexpr std::size_t kRounds = 3;
+constexpr std::uint64_t kSeed = 42;
+constexpr NodeKey kLeadKey = kWorkers;
+
+fl::ModelFactory mlp_factory() {
+  return [](util::Rng& rng) {
+    auto model = std::make_unique<nn::Sequential>();
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(64, 16, rng);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::Linear>(16, 10, rng);
+    return model;
+  };
+}
+
+data::TrainTestSplit make_split() {
+  auto spec = data::mnist_like(kWorkers * 120, 21);
+  spec.image_size = 8;
+  spec.noise = 0.5;
+  return data::make_synthetic_split(spec, 200);
+}
+
+std::vector<fl::WorkerSetup> make_setups(const data::TrainTestSplit& split) {
+  std::vector<fl::BehaviourPtr> b;
+  for (int i = 0; i < 3; ++i) {
+    b.push_back(std::make_unique<fl::HonestBehaviour>());
+  }
+  b.push_back(std::make_unique<fl::SignFlipBehaviour>(8.0));
+  util::Rng rng(3);
+  return fl::make_worker_setups(split.train, std::move(b), rng);
+}
+
+fl::SimulatorConfig sim_config() {
+  fl::SimulatorConfig cfg;
+  cfg.seed = kSeed;
+  cfg.batch_size = 64;
+  return cfg;
+}
+
+core::FiflConfig fifl_config(std::size_t servers) {
+  core::FiflConfig cfg;
+  cfg.servers = servers;
+  return cfg;
+}
+
+std::vector<chain::Digest> reference_block_hashes(std::size_t servers) {
+  const auto split = make_split();
+  fl::Simulator sim(sim_config(), mlp_factory(), make_setups(split),
+                    split.test);
+  core::FiflEngine engine(fifl_config(servers), sim.worker_count(),
+                          sim.parameter_count());
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    const auto uploads = sim.collect_uploads();
+    const auto report = engine.process_round(uploads);
+    sim.apply_round(uploads, report.detection.accepted);
+  }
+  std::vector<chain::Digest> hashes;
+  for (std::size_t b = 0; b < engine.ledger().block_count(); ++b) {
+    hashes.push_back(engine.ledger().block(b).block_hash);
+  }
+  return hashes;
+}
+
+ClusterConfig cluster_config(std::size_t servers,
+                             std::shared_ptr<Transport> transport) {
+  ClusterConfig cfg;
+  cfg.sim = sim_config();
+  cfg.fifl = fifl_config(servers);
+  cfg.rounds = kRounds;
+  cfg.timeouts.join = std::chrono::milliseconds(30000);
+  cfg.timeouts.phase = std::chrono::milliseconds(2500);
+  cfg.timeouts.heartbeat = std::chrono::milliseconds(150);
+  cfg.timeouts.liveness = std::chrono::milliseconds(1500);
+  cfg.transport_override = std::move(transport);
+  cfg.replicate_ledger = true;
+  return cfg;
+}
+
+TEST(LedgerFaults, CommitsOnSurvivorsWhenVotesDropAndReorder) {
+  constexpr std::size_t kServers = 3;  // quorum 2: executor + one follower
+  const auto reference = reference_block_hashes(kServers);
+
+  // Follower 2's data plane into the lead vanishes entirely (votes and
+  // slices alike); follower 1's is randomly held back so votes arrive
+  // out of order with its slices.
+  FaultSchedule schedule;
+  schedule.seed = 0xB10C;
+  schedule.links.push_back(LinkFaults{
+      .from = kLeadKey + 2, .to = kLeadKey, .drop_prob = 1.0});
+  schedule.links.push_back(LinkFaults{
+      .from = kLeadKey + 1, .to = kLeadKey, .reorder_prob = 0.5});
+  auto faulty = std::make_shared<FaultyTransport>(
+      std::make_unique<LoopbackTransport>(), schedule);
+
+  const auto split = make_split();
+  Cluster cluster(cluster_config(kServers, faulty), mlp_factory(),
+                  make_setups(split), split.test);
+  const auto& results = cluster.run();
+  ASSERT_EQ(results.size(), kRounds);
+
+  const chain::ReplicatedLedger* lead = cluster.lead().replicated_ledger();
+  ASSERT_NE(lead, nullptr);
+  ASSERT_EQ(lead->committed_count(), kRounds);
+  for (std::uint64_t b = 0; b < kRounds; ++b) {
+    const chain::SealedBlockHeader* sealed = lead->sealed(b);
+    ASSERT_NE(sealed, nullptr);
+    EXPECT_EQ(sealed->header.block_hash, reference[b]) << "block " << b;
+    // The certificate carries exactly the reachable follower's vote.
+    ASSERT_EQ(sealed->votes.size(), 1u) << "block " << b;
+    EXPECT_EQ(sealed->votes[0].signer, kLeadKey + 1);
+    // Identical commit on every survivor: both followers endorsed the
+    // same header, whether or not their votes reached the lead.
+    for (std::size_t j = 1; j < kServers; ++j) {
+      const chain::SealedBlockHeader* endorsed =
+          cluster.server_node(j).replicated_ledger()->sealed(b);
+      ASSERT_NE(endorsed, nullptr) << "server " << j << " block " << b;
+      EXPECT_EQ(endorsed->header, sealed->header)
+          << "server " << j << " block " << b;
+    }
+  }
+
+  // The dropped votes are in the deterministic fault log.
+  bool dropped_vote = false;
+  for (const FaultEvent& e : faulty->fault_log()) {
+    if (e.kind == FaultKind::kDrop && e.type == MessageType::kBlockVote) {
+      dropped_vote = true;
+    }
+  }
+  EXPECT_TRUE(dropped_vote);
+}
+
+TEST(LedgerFaults, ExecutorCrashMidProposalAbortsWithoutFork) {
+  constexpr std::size_t kServers = 2;
+  const std::string dir = ::testing::TempDir() + "fifl_ledger_crash_trace";
+  std::filesystem::remove_all(dir);
+  obs::FlightRegistry::global().configure(dir);
+
+  // The executor dies the moment its first BlockProposal leaves: the
+  // proposal is delivered, every later send vanishes and its recv goes
+  // silent — so the follower's vote can never land and the commit must
+  // abort on the lead's own deadline.
+  FaultSchedule schedule;
+  schedule.seed = 0xDEAD;
+  schedule.crashes.push_back(NodeCrash{
+      .node = kLeadKey,
+      .after_uploads = 1,
+      .after_type = MessageType::kBlockProposal});
+  auto faulty = std::make_shared<FaultyTransport>(
+      std::make_unique<LoopbackTransport>(), schedule);
+
+  const auto split = make_split();
+  ClusterConfig cfg = cluster_config(kServers, faulty);
+  cfg.rounds = 1;
+  Cluster cluster(cfg, mlp_factory(), make_setups(split), split.test);
+  try {
+    cluster.run();
+    FAIL() << "expected the ledger-commit abort to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ledger commit below quorum"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_TRUE(faulty->crashed(kLeadKey));
+
+  // No forked tip: block 0 was never committed, and the follower's
+  // endorsed header is exactly the header the dead executor proposed —
+  // both replicas sealed the same chain, the protocol just (correctly)
+  // refused to call it committed.
+  const chain::ReplicatedLedger* lead = cluster.lead().replicated_ledger();
+  const chain::ReplicatedLedger* follower =
+      cluster.server_node(1).replicated_ledger();
+  ASSERT_NE(lead, nullptr);
+  ASSERT_NE(follower, nullptr);
+  EXPECT_FALSE(lead->committed(0));
+  EXPECT_EQ(lead->committed_count(), 0u);
+  const chain::SealedBlockHeader* proposed = lead->sealed(0);
+  const chain::SealedBlockHeader* endorsed = follower->sealed(0);
+  ASSERT_NE(proposed, nullptr);
+  ASSERT_NE(endorsed, nullptr);
+  EXPECT_EQ(endorsed->header, proposed->header);
+
+  // The abort wrote a postmortem naming the quorum failure.
+  EXPECT_EQ(obs::FlightRegistry::global().dump_count(), 1u);
+  bool saw_postmortem = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().find("quorum_abort") !=
+        std::string::npos) {
+      saw_postmortem = true;
+    }
+  }
+  EXPECT_TRUE(saw_postmortem);
+  obs::FlightRegistry::global().configure("");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fifl::net

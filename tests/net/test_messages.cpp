@@ -321,7 +321,15 @@ TEST(Messages, MessageTypeTableIsTotalAndDistinct) {
       {MessageType::kSliceAggregate, "slice_aggregate"},
       {MessageType::kAssessmentResult, "assessment_result"},
       {MessageType::kRoundSummary, "round_summary"},
+      {MessageType::kBlockProposal, "block_proposal"},
+      {MessageType::kBlockVote, "block_vote"},
+      {MessageType::kAuditQuery, "audit_query"},
+      {MessageType::kAuditProof, "audit_proof"},
   };
+  // The derived count (last enumerator) and this table must agree; a new
+  // enumerator without a table row fails here, a stale kMessageTypeCount
+  // can no longer exist (it is not hand-maintained).
+  EXPECT_EQ(std::size(table), kMessageTypeCount);
   std::set<std::uint8_t> tags;
   for (const auto& [type, name] : table) {
     EXPECT_STREQ(message_type_name(type), name);
@@ -509,6 +517,197 @@ TEST(Messages, SparseUploadRejectsOutOfRangeIndex) {
   const auto payload = sparse_upload_with_indices({0, 7, 600, 1210});
   EXPECT_THROW(decode_payload<GradientUploadMsg>(payload),
                util::SerializeError);
+}
+
+chain::Digest patterned_digest(std::uint8_t fill) {
+  chain::Digest d{};
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    d[i] = static_cast<std::uint8_t>(fill + i);
+  }
+  return d;
+}
+
+chain::SealedBlockHeader sample_sealed_header(std::uint64_t index) {
+  chain::KeyRegistry registry(0xabcdu);
+  for (chain::NodeId node : {8u, 9u, 10u}) registry.register_node(node);
+  chain::SealedBlockHeader sealed;
+  sealed.header.index = index;
+  sealed.header.previous_hash = patterned_digest(0x10);
+  sealed.header.merkle_root = patterned_digest(0x40);
+  sealed.header.block_hash = sealed.header.compute_hash();
+  sealed.executor_sig =
+      registry.sign(8, sealed.header.canonical_payload());
+  sealed.votes.push_back(
+      registry.sign(9, sealed.header.canonical_payload()));
+  sealed.votes.push_back(
+      registry.sign(10, sealed.header.canonical_payload()));
+  return sealed;
+}
+
+TEST(Messages, BlockProposalRoundTrip) {
+  const chain::SealedBlockHeader sealed = sample_sealed_header(5);
+  BlockProposalMsg msg;
+  msg.round = 5;
+  msg.block_index = sealed.header.index;
+  msg.previous_hash = sealed.header.previous_hash;
+  msg.merkle_root = sealed.header.merkle_root;
+  msg.block_hash = sealed.header.block_hash;
+  msg.executor_sig = sealed.executor_sig;
+  msg.records = sample_assessment().records;
+  ASSERT_EQ(msg.records.size(), 2u);
+  const auto back = decode_payload<BlockProposalMsg>(encode_payload(msg));
+  EXPECT_EQ(back.round, 5u);
+  EXPECT_EQ(back.header(), msg.header());
+  EXPECT_EQ(back.executor_sig, msg.executor_sig);
+  ASSERT_EQ(back.records.size(), 2u);
+  EXPECT_EQ(back.records[0].signature, msg.records[0].signature);
+  EXPECT_EQ(back.records[1].digest(), msg.records[1].digest());
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, BlockProposalRecordCountGuardRejectsHugeClaims) {
+  BlockProposalMsg msg;
+  msg.round = 1;
+  msg.block_index = 1;
+  auto payload = encode_payload(msg);
+  // The record count is the trailing u64 (the empty-records encoding).
+  for (std::size_t k = 1; k <= 6; ++k) payload[payload.size() - k] = 0xff;
+  EXPECT_THROW(decode_payload<BlockProposalMsg>(payload),
+               util::SerializeError);
+}
+
+TEST(Messages, BlockVoteRoundTrip) {
+  const chain::SealedBlockHeader sealed = sample_sealed_header(3);
+  BlockVoteMsg msg;
+  msg.round = 3;
+  msg.block_index = 3;
+  msg.block_hash = sealed.header.block_hash;
+  msg.vote = sealed.votes[0];
+  const auto back = decode_payload<BlockVoteMsg>(encode_payload(msg));
+  EXPECT_EQ(back.round, 3u);
+  EXPECT_EQ(back.block_index, 3u);
+  EXPECT_EQ(back.block_hash, msg.block_hash);
+  EXPECT_EQ(back.vote, msg.vote);
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, AuditQueryRoundTrip) {
+  const AuditQueryMsg msg{
+      7, 4, 99, static_cast<std::uint8_t>(chain::RecordKind::kReputation)};
+  const auto back = decode_payload<AuditQueryMsg>(encode_payload(msg));
+  EXPECT_EQ(back.round, 7u);
+  EXPECT_EQ(back.worker, 4u);
+  EXPECT_EQ(back.token, 99u);
+  EXPECT_EQ(back.kind,
+            static_cast<std::uint8_t>(chain::RecordKind::kReputation));
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, AuditQueryRejectsUnknownRecordKind) {
+  util::ByteWriter w;
+  w.write_u64(7);
+  w.write_u32(4);
+  w.write_u64(99);
+  w.write_u8(200);  // not a chain::RecordKind
+  const auto payload = w.take();
+  EXPECT_THROW(decode_payload<AuditQueryMsg>(payload), util::SerializeError);
+}
+
+AuditProofMsg sample_audit_proof() {
+  AuditProofMsg msg;
+  msg.round = 4;
+  msg.worker = 0;
+  msg.token = 4;
+  msg.found = 1;
+  msg.record = sample_assessment().records.at(0);
+  msg.block_index = 1;
+  msg.record_index = 0;
+  msg.proof.push_back({patterned_digest(0x60), true});
+  msg.proof.push_back({patterned_digest(0x70), false});  // sibling_on_left
+  msg.headers.push_back(sample_sealed_header(0));
+  msg.headers.push_back(sample_sealed_header(1));
+  return msg;
+}
+
+TEST(Messages, AuditProofRoundTrip) {
+  const AuditProofMsg msg = sample_audit_proof();
+  const auto back = decode_payload<AuditProofMsg>(encode_payload(msg));
+  EXPECT_EQ(back.round, 4u);
+  EXPECT_EQ(back.worker, 0u);
+  EXPECT_EQ(back.token, 4u);
+  EXPECT_EQ(back.found, 1);
+  EXPECT_EQ(back.record.digest(), msg.record.digest());
+  EXPECT_EQ(back.block_index, 1u);
+  EXPECT_EQ(back.record_index, 0u);
+  ASSERT_EQ(back.proof.size(), 2u);
+  EXPECT_EQ(back.proof[0].sibling, msg.proof[0].sibling);
+  EXPECT_EQ(back.proof[0].sibling_on_left, true);
+  EXPECT_EQ(back.proof[1].sibling_on_left, false);
+  ASSERT_EQ(back.headers.size(), 2u);
+  EXPECT_EQ(back.headers[1].header, msg.headers[1].header);
+  EXPECT_EQ(back.headers[1].executor_sig, msg.headers[1].executor_sig);
+  EXPECT_EQ(back.headers[1].votes, msg.headers[1].votes);
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, AuditProofNotFoundIsMinimal) {
+  // found == 0 carries no record, proof, or headers at all — the
+  // negative answer cannot smuggle unverified bytes.
+  AuditProofMsg msg;
+  msg.round = 2;
+  msg.worker = 6;
+  msg.token = 11;
+  msg.found = 0;
+  const auto payload = encode_payload(msg);
+  EXPECT_EQ(payload.size(), 8u + 4u + 8u + 1u);
+  const auto back = decode_payload<AuditProofMsg>(payload);
+  EXPECT_EQ(back.found, 0);
+  EXPECT_TRUE(back.proof.empty());
+  EXPECT_TRUE(back.headers.empty());
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, AuditProofRejectsBlockIndexBeyondHeaders) {
+  AuditProofMsg msg = sample_audit_proof();
+  msg.block_index = 2;  // headers.size() == 2, valid indices are 0..1
+  EXPECT_THROW(decode_payload<AuditProofMsg>(encode_payload(msg)),
+               util::SerializeError);
+}
+
+TEST(Messages, LedgerMessageCorruptionNeverCrashes) {
+  // Random byte flips over the two structurally rich ledger payloads must
+  // land in SerializeError or a still-well-formed decode — never UB or a
+  // huge allocation (the sanitizer lanes give this its teeth).
+  util::Rng rng(11);
+  const auto proof_payload = encode_payload(sample_audit_proof());
+  BlockProposalMsg proposal;
+  proposal.round = 5;
+  proposal.block_index = 5;
+  proposal.executor_sig = sample_sealed_header(5).executor_sig;
+  proposal.records = sample_assessment().records;
+  const auto proposal_payload = encode_payload(proposal);
+  for (int trial = 0; trial < 400; ++trial) {
+    auto bytes = trial % 2 == 0 ? proof_payload : proposal_payload;
+    const int flips = 1 + static_cast<int>(rng.uniform(0.0, 8.0));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(bytes.size())));
+      bytes[pos] = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+    }
+    try {
+      if (trial % 2 == 0) {
+        (void)decode_payload<AuditProofMsg>(bytes);
+      } else {
+        (void)decode_payload<BlockProposalMsg>(bytes);
+      }
+    } catch (const util::SerializeError&) {
+    }
+  }
 }
 
 TEST(Messages, SparseUploadRejectsHugeEntryCountClaims) {

@@ -1,0 +1,199 @@
+// Keystone for the replicated audit ledger: with replication enabled, the
+// M=2/N=8 loopback cluster must (a) commit every round's block with hashes
+// bit-identical to the in-process Simulator+FiflEngine ledger on the same
+// seed, (b) hold only validly signed BlockVotes in every quorum
+// certificate, and (c) answer every worker's AuditQuery with a proof that
+// verifies against the worker's own independently derived key registry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chain/replicated.hpp"
+#include "core/fifl.hpp"
+#include "data/synthetic.hpp"
+#include "fl/simulator.hpp"
+#include "net/cluster.hpp"
+#include "nn/models.hpp"
+
+namespace fifl::net {
+namespace {
+
+constexpr std::size_t kWorkers = 8;
+constexpr std::size_t kServers = 2;
+constexpr std::size_t kRounds = 6;
+constexpr std::uint64_t kSeed = 42;
+
+fl::ModelFactory mlp_factory() {
+  return [](util::Rng& rng) {
+    auto model = std::make_unique<nn::Sequential>();
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(64, 16, rng);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::Linear>(16, 10, rng);
+    return model;
+  };
+}
+
+data::TrainTestSplit make_split() {
+  auto spec = data::mnist_like(kWorkers * 120, 21);
+  spec.image_size = 8;
+  spec.noise = 0.5;
+  return data::make_synthetic_split(spec, 200);
+}
+
+std::vector<fl::BehaviourPtr> mixed_behaviours() {
+  std::vector<fl::BehaviourPtr> b;
+  for (int i = 0; i < 6; ++i) {
+    b.push_back(std::make_unique<fl::HonestBehaviour>());
+  }
+  b.push_back(std::make_unique<fl::SignFlipBehaviour>(6.0));
+  b.push_back(std::make_unique<fl::SignFlipBehaviour>(10.0));
+  return b;
+}
+
+std::vector<fl::WorkerSetup> make_setups(const data::TrainTestSplit& split) {
+  util::Rng rng(3);
+  return fl::make_worker_setups(split.train, mixed_behaviours(), rng);
+}
+
+fl::SimulatorConfig sim_config() {
+  fl::SimulatorConfig cfg;
+  cfg.seed = kSeed;
+  cfg.batch_size = 64;
+  return cfg;
+}
+
+core::FiflConfig fifl_config() {
+  core::FiflConfig cfg;
+  cfg.servers = kServers;
+  return cfg;
+}
+
+struct ReferenceChain {
+  std::vector<std::string> model_hashes;
+  std::vector<chain::Digest> block_hashes;
+  std::vector<chain::Digest> merkle_roots;
+};
+
+/// The ground truth chain: the exact engine loop the Simulator drives,
+/// with the sealed ledger captured block by block.
+ReferenceChain reference_run() {
+  const auto split = make_split();
+  fl::Simulator sim(sim_config(), mlp_factory(), make_setups(split),
+                    split.test);
+  core::FiflEngine engine(fifl_config(), sim.worker_count(),
+                          sim.parameter_count());
+  ReferenceChain ref;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    const auto uploads = sim.collect_uploads();
+    const auto report = engine.process_round(uploads);
+    sim.apply_round(uploads, report.detection.accepted);
+    ref.model_hashes.push_back(
+        parameter_hash(sim.global_model().flatten_parameters()));
+  }
+  EXPECT_EQ(engine.ledger().block_count(), kRounds);
+  for (std::size_t b = 0; b < engine.ledger().block_count(); ++b) {
+    ref.block_hashes.push_back(engine.ledger().block(b).block_hash);
+    ref.merkle_roots.push_back(engine.ledger().block(b).merkle_root);
+  }
+  return ref;
+}
+
+ClusterConfig cluster_config() {
+  ClusterConfig cfg;
+  cfg.sim = sim_config();
+  cfg.fifl = fifl_config();
+  cfg.rounds = kRounds;
+  cfg.transport = TransportKind::kLoopback;
+  cfg.timeouts.join = std::chrono::milliseconds(30000);
+  cfg.timeouts.phase = std::chrono::milliseconds(30000);
+  cfg.replicate_ledger = true;
+  return cfg;
+}
+
+TEST(ReplicatedLedgerCluster, CommittedChainMatchesEngineBitForBit) {
+  const ReferenceChain reference = reference_run();
+  const auto split = make_split();
+  Cluster cluster(cluster_config(), mlp_factory(), make_setups(split),
+                  split.test);
+  const auto& results = cluster.run();
+
+  // Replication is additive: the training outcome itself is untouched.
+  ASSERT_EQ(results.size(), kRounds);
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    EXPECT_EQ(results[r].model_hash, reference.model_hashes[r])
+        << "round " << r;
+  }
+
+  const chain::ReplicatedLedger* lead = cluster.lead().replicated_ledger();
+  const chain::ReplicatedLedger* follower =
+      cluster.server_node(1).replicated_ledger();
+  ASSERT_NE(lead, nullptr);
+  ASSERT_NE(follower, nullptr);
+  ASSERT_EQ(lead->committed_count(), kRounds);
+
+  const chain::KeyRegistry pki = chain::ReplicatedLedger::make_registry(
+      fifl_config().key_seed, kWorkers, kServers);
+  for (std::uint64_t b = 0; b < kRounds; ++b) {
+    ASSERT_TRUE(lead->committed(b)) << "block " << b;
+    const chain::SealedBlockHeader* sealed = lead->sealed(b);
+    ASSERT_NE(sealed, nullptr) << "block " << b;
+
+    // (a) Chain parity: the networked commit protocol sealed exactly the
+    // blocks the in-process engine sealed, hash for hash.
+    EXPECT_EQ(sealed->header.block_hash, reference.block_hashes[b])
+        << "block " << b;
+    EXPECT_EQ(sealed->header.merkle_root, reference.merkle_roots[b])
+        << "block " << b;
+    EXPECT_EQ(sealed->header.compute_hash(), sealed->header.block_hash);
+
+    // (b) Certificate validity: executor signature plus a quorum of
+    // distinct, correctly signed follower votes.
+    const std::string payload = sealed->header.canonical_payload();
+    EXPECT_EQ(sealed->executor_sig.signer, kWorkers);  // lead's identity
+    EXPECT_TRUE(pki.verify(sealed->executor_sig, payload)) << "block " << b;
+    ASSERT_GE(1 + sealed->votes.size(), lead->quorum()) << "block " << b;
+    std::set<chain::NodeId> signers{sealed->executor_sig.signer};
+    for (const chain::Signature& vote : sealed->votes) {
+      EXPECT_TRUE(pki.verify(vote, payload))
+          << "block " << b << " vote by " << vote.signer;
+      EXPECT_GE(vote.signer, kWorkers) << "non-server voter";
+      EXPECT_LT(vote.signer, kWorkers + kServers) << "non-server voter";
+      EXPECT_TRUE(signers.insert(vote.signer).second) << "duplicate voter";
+    }
+
+    // No forked tip: the follower's endorsed view of every block is the
+    // same header the lead committed.
+    const chain::SealedBlockHeader* endorsed = follower->sealed(b);
+    ASSERT_NE(endorsed, nullptr) << "block " << b;
+    EXPECT_EQ(endorsed->header, sealed->header) << "block " << b;
+  }
+
+  // (c) Worker-side audit round trip: every worker queried every round
+  // except the last and verified each proof against its own registry.
+  for (std::size_t i = 0; i < cluster.worker_count(); ++i) {
+    const auto& outcomes = cluster.worker_node(i).audit_outcomes();
+    ASSERT_EQ(outcomes.size(), kRounds - 1) << "worker " << i;
+    for (std::size_t r = 0; r < outcomes.size(); ++r) {
+      EXPECT_EQ(outcomes[r].round, r) << "worker " << i;
+      EXPECT_TRUE(outcomes[r].verified)
+          << "worker " << i << " round " << r;
+    }
+  }
+}
+
+TEST(ReplicatedLedgerCluster, ReplicationOffLeavesNodesBare) {
+  ClusterConfig cfg = cluster_config();
+  cfg.replicate_ledger = false;
+  cfg.rounds = 1;
+  const auto split = make_split();
+  Cluster cluster(cfg, mlp_factory(), make_setups(split), split.test);
+  cluster.run();
+  EXPECT_EQ(cluster.lead().replicated_ledger(), nullptr);
+  for (std::size_t i = 0; i < cluster.worker_count(); ++i) {
+    EXPECT_TRUE(cluster.worker_node(i).audit_outcomes().empty());
+  }
+}
+
+}  // namespace
+}  // namespace fifl::net
