@@ -8,6 +8,7 @@
 
 #include "chain/ledger.hpp"
 #include "chain/replicated.hpp"
+#include "net/messages.hpp"
 
 namespace {
 
@@ -147,6 +148,49 @@ void BM_AuditProveAndVerify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AuditProveAndVerify)->Arg(16)->Arg(128);
+
+void BM_AuditProofBytes(benchmark::State& state) {
+  // Wire cost of one audit proof at a given chain length, full versus
+  // header-cached: a worker that has verified all but the newest header
+  // receives headers [tip-1, tip) instead of the whole genesis-anchored
+  // chain. The counters record both encoded payload sizes so the smoke
+  // gate can assert the cache actually shrinks the message.
+  constexpr std::uint32_t workers = 10;
+  constexpr std::uint32_t servers = 1;  // single server: propose == commit
+  constexpr std::uint64_t seed = 0x51f7;
+  KeyRegistry registry = ReplicatedLedger::make_registry(seed, workers, servers);
+  Ledger ledger(&registry);
+  ReplicatedLedger lead(&ledger, seed, workers, servers,
+                        static_cast<NodeId>(workers));
+  const auto blocks = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      ledger.append(RecordKind::kReputation, b, static_cast<NodeId>(w),
+                    static_cast<NodeId>(workers), 0.5);
+    }
+    ledger.seal_block();
+    lead.propose(b);
+  }
+  const std::uint64_t round = blocks - 1;
+  std::size_t full_bytes = 0;
+  std::size_t cached_bytes = 0;
+  for (auto _ : state) {
+    const auto full = fifl::net::AuditProofMsg::from_bundle(
+        round, 3, round, lead.prove(RecordKind::kReputation, round, NodeId{3}));
+    const auto cached = fifl::net::AuditProofMsg::from_bundle(
+        round, 3, round,
+        lead.prove(RecordKind::kReputation, round, NodeId{3}, blocks - 1));
+    full_bytes = fifl::net::encode_payload(full).size();
+    cached_bytes = fifl::net::encode_payload(cached).size();
+    benchmark::DoNotOptimize(full_bytes);
+    benchmark::DoNotOptimize(cached_bytes);
+  }
+  state.counters["full_bytes"] =
+      benchmark::Counter(static_cast<double>(full_bytes));
+  state.counters["cached_bytes"] =
+      benchmark::Counter(static_cast<double>(cached_bytes));
+}
+BENCHMARK(BM_AuditProofBytes)->Arg(16)->Arg(128);
 
 void BM_MerkleProveAndVerify(benchmark::State& state) {
   const auto leaves_n = static_cast<std::size_t>(state.range(0));

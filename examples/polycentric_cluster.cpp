@@ -9,7 +9,8 @@
 //   cmake -B build && cmake --build build
 //   ./build/examples/polycentric_cluster [--rounds=10] [--workers=8]
 //                                        [--servers=2] [--loopback=0]
-//                                        [--ledger=0]
+//                                        [--ledger=0] [--rotate-executor=0]
+//                                        [--failover=0]
 //
 // Prints per-round accuracy, fairness, and the reward each worker
 // received, then the wire totals (bytes/messages/round-trip times).
@@ -17,6 +18,11 @@
 // (quorum-sealed blocks) and every worker audits its own reputation
 // record each round via Merkle proof; the per-worker verification
 // tallies print at the end.
+// With --ledger=1 --rotate-executor=1 the executor role walks the server
+// ring round-robin, each RoundSummary naming its successor and handing
+// off the committed chain head; --failover=1 additionally arms the
+// reputation-ranked re-election and rejoin-by-replay machinery (both
+// imply --ledger=1 since elections and handoffs ride the quorum chain).
 // Set FIFL_TRACE_OUT=trace.jsonl to capture the round traces — networked
 // runs add a "net" block with per-round transport counters.
 #include <cstdio>
@@ -35,7 +41,11 @@ int main(int argc, char** argv) {
   const auto n_workers = static_cast<std::size_t>(args.get_int("workers", 8));
   const auto n_servers = static_cast<std::size_t>(args.get_int("servers", 2));
   const bool loopback = args.get_int("loopback", 0) != 0;
-  const bool ledger = args.get_int("ledger", 0) != 0;
+  const bool rotate = args.get_int("rotate-executor", 0) != 0;
+  const bool failover = args.get_int("failover", 0) != 0;
+  // Rotation and failover both ride the replicated chain (the handoff IS
+  // the committed head), so either one switches the ledger on.
+  const bool ledger = args.get_int("ledger", 0) != 0 || rotate || failover;
 
   // Synthetic MNIST-like shards; the last two workers attack.
   auto spec = data::mnist_like(n_workers * 120, /*seed=*/21);
@@ -70,12 +80,16 @@ int main(int argc, char** argv) {
   cfg.transport =
       loopback ? net::TransportKind::kLoopback : net::TransportKind::kTcp;
   cfg.replicate_ledger = ledger;
+  cfg.rotate_executor = rotate;
+  cfg.failover = failover;
 
   std::printf(
       "polycentric cluster: %zu workers (last two sign-flip), %zu servers, "
-      "%zu rounds over %s%s\n\n",
+      "%zu rounds over %s%s%s%s\n\n",
       n_workers, n_servers, rounds, loopback ? "loopback" : "localhost TCP",
-      ledger ? ", replicated ledger on" : "");
+      ledger ? ", replicated ledger on" : "",
+      rotate ? ", executor rotation on" : "",
+      failover ? ", failover armed" : "");
 
   // An evaluation replica the round callback loads each new θ into; the
   // lead only ships parameters, never a model object.
@@ -119,6 +133,11 @@ int main(int argc, char** argv) {
   }
 
   const net::NetMetrics& nm = net::NetMetrics::global();
+  if (rotate || failover) {
+    std::printf("failover: %llu view changes, %llu server rejoins\n",
+                static_cast<unsigned long long>(nm.view_changes->value()),
+                static_cast<unsigned long long>(nm.server_rejoins->value()));
+  }
   std::printf("wire totals: %llu msgs / %llu bytes sent, %llu received, "
               "%llu frame errors, %llu rtt samples\n",
               static_cast<unsigned long long>(nm.msgs_tx->value()),

@@ -8,7 +8,10 @@
 #   thread     ctest -L "net|chain" under TSan (the net stack is all
 #              threads and condition variables, and the chain suites
 #              cover the replicated-ledger commit protocol those threads
-#              drive; other single-threaded suites add nothing)
+#              drive; the net label also pulls in the lead-failover
+#              suite — election, executor rotation, rejoin-by-replay —
+#              whose cross-thread handoffs are exactly what TSan is for;
+#              other single-threaded suites add nothing)
 #   matrix     all three lanes in sequence (address, undefined, thread)
 #
 # Usage: scripts/ci_sanitize.sh [lane]

@@ -133,6 +133,15 @@ for b in seal:
 assert any(b["name"].startswith("BM_AuditProveAndVerify")
            for b in chain["benchmarks"]), \
     "micro_chain_throughput json has no BM_AuditProveAndVerify entries"
+proof = [b for b in chain["benchmarks"]
+         if b["name"].startswith("BM_AuditProofBytes")]
+assert proof, "micro_chain_throughput json has no BM_AuditProofBytes entries"
+for b in proof:
+    full = b.get("full_bytes", 0)
+    cached = b.get("cached_bytes", 0)
+    assert full > 0 and cached > 0, f"{b['name']} missing proof byte counters"
+    assert cached < full, \
+        f"{b['name']}: cached proof ({cached}B) not smaller than full ({full}B)"
 
 net = json.loads((benchdir / "BENCH_ext_net_cluster.json").read_text())
 per_type = [k for k in net["metrics"]["counters"]

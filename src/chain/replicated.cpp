@@ -87,9 +87,33 @@ const SealedBlockHeader& ReplicatedLedger::propose(std::uint64_t block_index) {
     committed_.resize(static_cast<std::size_t>(block_index) + 1, false);
   }
   SealedBlockHeader& entry = sealed_[static_cast<std::size_t>(block_index)];
-  entry.header = header_of(block);
+  const BlockHeader header = header_of(block);
+  // A takeover executor re-proposing a block this replica already holds
+  // committed must not destroy the quorum certificate: until the re-votes
+  // arrive the entry would otherwise carry a single signature, and a
+  // ChainSync served from that window would (rightly) be rejected as
+  // below quorum by the adopter. Carry the old endorsements over — the
+  // previous executor's signature becomes an ordinary vote (it signs the
+  // same canonical payload) and any prior vote by this node is absorbed
+  // into its new executor signature.
+  std::vector<Signature> carried;
+  if (committed_[static_cast<std::size_t>(block_index)] &&
+      entry.header == header) {
+    carried = std::move(entry.votes);
+    if (entry.executor_sig.signer != self_) {
+      carried.push_back(entry.executor_sig);
+    }
+  }
+  entry.header = header;
   entry.executor_sig = registry_.sign(self_, entry.header.canonical_payload());
   entry.votes.clear();
+  for (const Signature& sig : carried) {
+    if (sig.signer == self_) continue;
+    const bool dup = std::any_of(
+        entry.votes.begin(), entry.votes.end(),
+        [&](const Signature& v) { return v.signer == sig.signer; });
+    if (!dup) entry.votes.push_back(sig);
+  }
   if (quorum() <= 1) {
     committed_[static_cast<std::size_t>(block_index)] = true;
     ReplMetrics::get().committed.inc();
@@ -127,6 +151,15 @@ std::optional<Signature> ReplicatedLedger::verify_and_vote(
   entry.executor_sig = executor_sig;
   entry.votes.assign(1, vote);
   ReplMetrics::get().votes.inc();
+  // The executor's signature plus this vote may already be a quorum
+  // certificate (M <= 3): mark the block committed locally so followers
+  // can serve audit proofs and ChainSync without waiting to observe the
+  // other followers' votes.
+  if (!committed_[static_cast<std::size_t>(header.index)] &&
+      1 + entry.votes.size() >= quorum()) {
+    committed_[static_cast<std::size_t>(header.index)] = true;
+    ReplMetrics::get().committed.inc();
+  }
   return vote;
 }
 
@@ -179,6 +212,12 @@ const SealedBlockHeader* ReplicatedLedger::sealed(
 
 AuditProofBundle ReplicatedLedger::prove(RecordKind kind, std::uint64_t round,
                                          NodeId subject) const {
+  return prove(kind, round, subject, 0);
+}
+
+AuditProofBundle ReplicatedLedger::prove(RecordKind kind, std::uint64_t round,
+                                         NodeId subject,
+                                         std::uint64_t from_header) const {
   AuditProofBundle bundle;
   const std::size_t tip = committed_count();
   // Newest matching record within the committed prefix.
@@ -198,15 +237,78 @@ AuditProofBundle ReplicatedLedger::prove(RecordKind kind, std::uint64_t round,
     if (bundle.found) break;
   }
   if (!bundle.found) return bundle;
-  bundle.headers.reserve(tip);
-  for (std::size_t b = 0; b < tip; ++b) bundle.headers.push_back(sealed_[b]);
+  // Ship only the headers the auditor has not verified yet; it splices
+  // its cached prefix back in before verification.
+  const std::size_t from =
+      std::min(static_cast<std::size_t>(from_header), tip);
+  bundle.headers_from = from;
+  bundle.headers.reserve(tip - from);
+  for (std::size_t b = from; b < tip; ++b) {
+    bundle.headers.push_back(sealed_[b]);
+  }
   return bundle;
+}
+
+void ReplicatedLedger::adopt_committed(const SealedBlockHeader& sealed) {
+  const std::uint64_t index = sealed.header.index;
+  // The certificate must be self-consistent and carry a genuine quorum.
+  if (sealed.header.compute_hash() != sealed.header.block_hash) {
+    throw std::runtime_error(
+        "ReplicatedLedger: adopted header's hash does not recompute (block " +
+        std::to_string(index) + ")");
+  }
+  const std::string payload = sealed.header.canonical_payload();
+  if (!is_server_id(sealed.executor_sig.signer) ||
+      !registry_.verify(sealed.executor_sig, payload)) {
+    throw std::runtime_error(
+        "ReplicatedLedger: adopted block " + std::to_string(index) +
+        " has an invalid executor signature");
+  }
+  std::vector<NodeId> signers{sealed.executor_sig.signer};
+  for (const Signature& vote : sealed.votes) {
+    if (!is_server_id(vote.signer) ||
+        std::find(signers.begin(), signers.end(), vote.signer) !=
+            signers.end() ||
+        !registry_.verify(vote, payload)) {
+      throw std::runtime_error(
+          "ReplicatedLedger: adopted block " + std::to_string(index) +
+          " carries an invalid vote");
+    }
+    signers.push_back(vote.signer);
+  }
+  if (signers.size() < quorum()) {
+    throw std::runtime_error(
+        "ReplicatedLedger: adopted block " + std::to_string(index) +
+        " is below quorum (" + std::to_string(signers.size()) + " of " +
+        std::to_string(quorum()) + ")");
+  }
+  // The replayed local block must be the very block the quorum certified;
+  // a mismatch means the sync peer served a fork.
+  const Block& local = ledger_->block(static_cast<std::size_t>(index));
+  if (header_of(local) != sealed.header) {
+    throw std::runtime_error(
+        "ReplicatedLedger: adopted block " + std::to_string(index) +
+        " contradicts the replayed local ledger (fork)");
+  }
+  if (sealed_.size() <= index) {
+    sealed_.resize(static_cast<std::size_t>(index) + 1);
+    committed_.resize(static_cast<std::size_t>(index) + 1, false);
+  }
+  sealed_[static_cast<std::size_t>(index)] = sealed;
+  if (!committed_[static_cast<std::size_t>(index)]) {
+    committed_[static_cast<std::size_t>(index)] = true;
+    ReplMetrics::get().committed.inc();
+  }
 }
 
 bool verify_audit_proof(const AuditProofBundle& bundle,
                         const KeyRegistry& registry, std::uint32_t workers,
                         std::uint32_t servers) {
   if (!bundle.found || servers == 0) return false;
+  // Only genesis-anchored chains verify: a cached bundle (headers_from
+  // != 0) must have its elided prefix spliced back in by the auditor
+  // before it reaches this check.
+  if (bundle.headers_from != 0) return false;
   if (bundle.headers.empty() ||
       bundle.block_index >= bundle.headers.size()) {
     return false;

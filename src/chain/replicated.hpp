@@ -76,6 +76,11 @@ struct AuditProofBundle {
   std::uint64_t block_index = 0;
   std::uint64_t record_index = 0;
   MerkleProof proof;
+  /// Absolute chain index of headers[0]. Nonzero means the server elided
+  /// the prefix the auditor already verified (proof caching); the auditor
+  /// must splice its cached headers back in before verify_audit_proof,
+  /// which only accepts genesis-anchored bundles (headers_from == 0).
+  std::uint64_t headers_from = 0;
   std::vector<SealedBlockHeader> headers;
 };
 
@@ -140,6 +145,21 @@ class ReplicatedLedger {
   /// committed prefix, pinning the tip.
   AuditProofBundle prove(RecordKind kind, std::uint64_t round,
                          NodeId subject) const;
+
+  /// Proof-caching variant: ships only headers [from_header, tip) —
+  /// clamped to the committed prefix — and records the elision in
+  /// bundle.headers_from. With from_header == 0 it is exactly prove().
+  AuditProofBundle prove(RecordKind kind, std::uint64_t round, NodeId subject,
+                         std::uint64_t from_header) const;
+
+  /// Rejoin path: installs a committed block's quorum certificate that
+  /// arrived over ChainSync instead of through propose/vote. The local
+  /// ledger must already hold the replayed block at `sealed.header.index`;
+  /// the certificate is verified in full (recomputed hash, executor
+  /// signature, distinct-signer vote quorum, match against the local
+  /// block) and any failure throws std::runtime_error — the sync peer
+  /// served a fork or a forged certificate.
+  void adopt_committed(const SealedBlockHeader& sealed);
 
  private:
   bool is_server_id(NodeId node) const noexcept {

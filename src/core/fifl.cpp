@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "obs/scoped_timer.hpp"
 #include "util/logging.hpp"
@@ -93,6 +94,65 @@ std::vector<chain::NodeId> FiflEngine::effective_members(
     member = best;
   }
   return effective;
+}
+
+void FiflEngine::catch_up_block(std::span<const chain::AuditRecord> records) {
+  if (records.empty()) {
+    throw std::invalid_argument("catch_up_block: empty block");
+  }
+  if (!config_.record_to_ledger) {
+    throw std::logic_error("catch_up_block: engine is not recording");
+  }
+  if (records.front().round != round_) {
+    throw std::runtime_error(
+        "catch_up_block: block is for round " +
+        std::to_string(records.front().round) + ", engine expects round " +
+        std::to_string(round_));
+  }
+
+  // Degraded rounds seal detection-only blocks (value -1, no kReputation
+  // rows) and skip re-selection, exactly like process_round's early return.
+  bool has_reputation = false;
+  std::vector<double> rewards(workers_, 0.0);
+  for (const auto& rec : records) {
+    switch (rec.kind) {
+      case chain::RecordKind::kDetection: {
+        const Event event = rec.value > 0.5    ? Event::kPositive
+                            : rec.value < -0.5 ? Event::kUncertain
+                                               : Event::kNegative;
+        reputation_.record(rec.subject, event);
+        break;
+      }
+      case chain::RecordKind::kReputation:
+        has_reputation = true;
+        break;
+      case chain::RecordKind::kReward:
+        if (rec.subject < workers_) rewards[rec.subject] = rec.value;
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& rec : records) {
+    if (rec.kind != chain::RecordKind::kReputation) continue;
+    if (reputation_.reputation(rec.subject) != rec.value) {
+      throw std::runtime_error(
+          "catch_up_block: replayed reputation for worker " +
+          std::to_string(rec.subject) +
+          " diverges from the recorded value (forked history)");
+    }
+  }
+  cumulative_.add_round(rewards);
+
+  for (const auto& rec : records) {
+    ledger_.append(rec.kind, rec.round, rec.subject, rec.executor, rec.value);
+  }
+  ledger_.seal_block();
+
+  if (has_reputation && config_.reselect_servers) {
+    members_ = selector_.select_by_reputation(reputation_, workers_);
+  }
+  ++round_;
 }
 
 RoundReport FiflEngine::process_round(std::span<const fl::Upload> uploads) {

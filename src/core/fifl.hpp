@@ -84,6 +84,19 @@ class FiflEngine {
   /// equal workers()).
   RoundReport process_round(std::span<const fl::Upload> uploads);
 
+  /// Rejoin-by-replay: re-applies one committed block's records to rebuild
+  /// the state a live replica would hold — reputation events, cumulative
+  /// rewards, the sealed block itself (re-appended through the local
+  /// KeyRegistry, so deterministic signatures make the block byte-identical
+  /// to the original), and the next round's server re-selection. The block
+  /// must be the engine's next round; recorded kReputation values are
+  /// cross-checked against the replayed state and any divergence throws
+  /// std::runtime_error (the sync peer served a forked history).
+  void catch_up_block(std::span<const chain::AuditRecord> records);
+
+  /// Rounds processed so far (== ledger block count when recording).
+  std::uint64_t round() const noexcept { return round_; }
+
   ReputationModule& reputation() noexcept { return reputation_; }
   const ReputationModule& reputation() const noexcept { return reputation_; }
   const chain::Ledger& ledger() const noexcept { return ledger_; }

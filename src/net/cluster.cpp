@@ -1,10 +1,12 @@
 #include "net/cluster.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
 #include <thread>
 
 #include "net/tcp.hpp"
+#include "nn/checkpoint.hpp"
 #include "util/logging.hpp"
 
 namespace fifl::net {
@@ -21,6 +23,11 @@ Cluster::Cluster(ClusterConfig config, const fl::ModelFactory& factory,
   if (!config_.worker_codecs.empty() && config_.worker_codecs.size() != n) {
     throw std::invalid_argument(
         "Cluster: worker_codecs must be empty or one mask per worker");
+  }
+  if ((config_.rotate_executor || config_.failover) &&
+      !config_.replicate_ledger) {
+    throw std::invalid_argument(
+        "Cluster: rotation/failover requires replicate_ledger");
   }
 
   // Same deterministic construction as the in-process Simulator: this is
@@ -56,6 +63,15 @@ Cluster::Cluster(ClusterConfig config, const fl::ModelFactory& factory,
     server_eps.push_back(transport_->open(topology.server_key(j)));
   }
 
+  // Rotation/failover: every server may become the executor, so every
+  // server needs its own θ replica — byte-copied from the lead's initial
+  // model, so all replicas start bit-identical.
+  const bool theta_everywhere = config_.rotate_executor || config_.failover;
+  std::vector<std::uint8_t> theta_bytes;
+  if (theta_everywhere) {
+    theta_bytes = nn::checkpoint_bytes(*init.global_model, "cluster-init");
+  }
+
   for (std::uint32_t j = 0; j < m; ++j) {
     ServerNodeConfig sc;
     sc.server_index = j;
@@ -66,14 +82,23 @@ Cluster::Cluster(ClusterConfig config, const fl::ModelFactory& factory,
     sc.compression = config_.compression;
     sc.replicate_ledger = config_.replicate_ledger;
     sc.ledger_key_seed = config_.fifl.key_seed;
+    sc.rotate_executor = config_.rotate_executor;
+    sc.failover = config_.failover;
     // Every server gets an identical engine replica (deterministic state
-    // machine); only the lead owns θ.
+    // machine); only the lead owns θ unless the executor role can move.
     auto engine = std::make_unique<core::FiflEngine>(config_.fifl, n,
                                                      init.param_count);
+    std::unique_ptr<nn::Sequential> model;
+    if (j == 0) {
+      model = std::move(init.global_model);
+    } else if (theta_everywhere) {
+      util::Rng dummy(0);  // parameters are overwritten by the restore
+      model = factory(dummy);
+      nn::restore_checkpoint(*model, theta_bytes);
+    }
     server_nodes_.push_back(std::make_unique<ServerNode>(
-        sc, std::move(engine),
-        j == 0 ? std::move(init.global_model) : nullptr,
-        std::move(server_eps[j]), topology));
+        sc, std::move(engine), std::move(model), std::move(server_eps[j]),
+        topology));
   }
   for (std::uint32_t i = 0; i < n; ++i) {
     const std::uint32_t codecs = config_.worker_codecs.empty()
@@ -92,11 +117,13 @@ Cluster::~Cluster() {
 }
 
 void Cluster::set_trace_recorder(obs::RoundTraceRecorder* recorder) {
-  server_nodes_.at(0)->set_trace_recorder(recorder);
+  // Any server can drive rounds under rotation/failover; wiring every one
+  // is harmless otherwise (followers never record round traces).
+  for (auto& node : server_nodes_) node->set_trace_recorder(recorder);
 }
 
 void Cluster::set_round_callback(ServerNode::RoundCallback callback) {
-  server_nodes_.at(0)->set_round_callback(std::move(callback));
+  for (auto& node : server_nodes_) node->set_round_callback(callback);
 }
 
 const std::vector<NetRoundResult>& Cluster::run() {
@@ -146,13 +173,46 @@ const std::vector<NetRoundResult>& Cluster::run() {
   for (std::exception_ptr& failure : failures) {
     if (failure) std::rethrow_exception(failure);
   }
+  if (config_.rotate_executor || config_.failover) {
+    // The executor role moved at runtime: each server holds the results
+    // of the rounds it drove. Merge in round order; a re-driven round
+    // (its first executor crashed after finishing it) appears twice with
+    // bit-identical content, so first writer wins.
+    merged_results_.clear();
+    for (auto& node : server_nodes_) {
+      for (const NetRoundResult& row : node->results()) {
+        merged_results_.push_back(row);
+      }
+    }
+    std::stable_sort(merged_results_.begin(), merged_results_.end(),
+                     [](const NetRoundResult& a, const NetRoundResult& b) {
+                       return a.round < b.round;
+                     });
+    merged_results_.erase(
+        std::unique(merged_results_.begin(), merged_results_.end(),
+                    [](const NetRoundResult& a, const NetRoundResult& b) {
+                      return a.round == b.round;
+                    }),
+        merged_results_.end());
+    util::log_info() << "net: cluster finished " << merged_results_.size()
+                     << " rounds";
+    return merged_results_;
+  }
   util::log_info() << "net: cluster finished "
                    << server_nodes_.at(0)->results().size() << " rounds";
   return server_nodes_.at(0)->results();
 }
 
 fl::Evaluation Cluster::final_evaluation() {
-  nn::Sequential* model = server_nodes_.at(0)->global_model();
+  // The freshest θ replica is the cluster's final model (the lead's
+  // unless rotation/failover moved the executor role).
+  ServerNode* best = server_nodes_.at(0).get();
+  for (auto& node : server_nodes_) {
+    if (node->global_model() && node->theta_rounds() > best->theta_rounds()) {
+      best = node.get();
+    }
+  }
+  nn::Sequential* model = best->global_model();
   if (!model) throw std::logic_error("Cluster: lead has no model");
   return fl::evaluate_model(*model, test_set_, config_.sim.eval_batch_size);
 }

@@ -45,6 +45,14 @@ struct ClusterConfig {
   /// workers verify Merkle inclusion proofs of their own records against
   /// an independently derived key registry (seeded from fifl.key_seed).
   bool replicate_ledger = false;
+  /// Executor rotation: every server holds a θ replica and each
+  /// RoundSummary hands the executor role to the next live server
+  /// (chain-head handoff). Requires replicate_ledger.
+  bool rotate_executor = false;
+  /// Lead failover: followers elect a replacement executor when the
+  /// current one goes silent, and crashed servers rejoin by replaying the
+  /// committed chain. Requires replicate_ledger.
+  bool failover = false;
 };
 
 class Cluster {
@@ -59,11 +67,15 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  /// Runs every node to completion and returns the lead's per-round
-  /// results. Rethrows the first node failure (after stopping the rest).
+  /// Runs every node to completion and returns the per-round results —
+  /// the lead's under a fixed executor, merged across every server (in
+  /// round order, first writer wins on a re-driven round) under
+  /// rotation/failover. Rethrows the first node failure (after stopping
+  /// the rest).
   const std::vector<NetRoundResult>& run();
 
-  /// Test loss/accuracy of the final global model (lead's θ).
+  /// Test loss/accuracy of the final global model: the θ replica that
+  /// advanced the furthest (the lead's, unless the executor role moved).
   fl::Evaluation final_evaluation();
 
   /// Per-round traces land here when set before run() (defaults to the
@@ -90,6 +102,8 @@ class Cluster {
   std::shared_ptr<Transport> transport_;
   std::vector<std::unique_ptr<WorkerNode>> worker_nodes_;
   std::vector<std::unique_ptr<ServerNode>> server_nodes_;
+  /// Rotation/failover only: round results merged across all servers.
+  std::vector<NetRoundResult> merged_results_;
   bool ran_ = false;
 };
 

@@ -23,6 +23,10 @@ bool is_data_plane(MessageType type) noexcept {
     case MessageType::kBlockVote:
     case MessageType::kAuditQuery:
     case MessageType::kAuditProof:
+    case MessageType::kViewChange:
+    case MessageType::kViewChangeVote:
+    case MessageType::kChainSyncRequest:
+    case MessageType::kChainSyncResponse:
       return true;
     default:
       return false;
@@ -65,6 +69,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kPartition: return "partition";
     case FaultKind::kCrash: return "crash";
     case FaultKind::kByzantine: return "byzantine";
+    case FaultKind::kCrashRecover: return "crash_recover";
   }
   return "unknown";
 }
@@ -90,14 +95,38 @@ class FaultyEndpoint : public Endpoint {
 
   std::optional<Envelope> recv(std::chrono::milliseconds timeout) override {
     if (!transport_->crashed(address())) return inner_->recv(timeout);
-    // A crashed process neither reads nor answers: burn the caller's
-    // timeout in small slices (so close() still unblocks promptly) and
-    // report silence. The node's event loop then exits through its idle
-    // path, exactly like a peer observing a dead process.
+    const std::uint64_t recover = transport_->recover_round(address());
     const auto deadline = std::chrono::steady_clock::now() + timeout;
-    while (std::chrono::steady_clock::now() < deadline) {
-      if (closed_.load(std::memory_order_acquire)) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (recover == 0) {
+      // Crash-stop: a dead process neither reads nor answers — burn the
+      // caller's timeout in small slices (so close() still unblocks
+      // promptly) and report silence. The node's event loop then exits
+      // through its idle path, exactly like a peer observing a dead
+      // process.
+      while (std::chrono::steady_clock::now() < deadline) {
+        if (closed_.load(std::memory_order_acquire)) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      return std::nullopt;
+    }
+    // Crash-recover: everything that arrives while the node is down is
+    // popped and discarded (the dead process read nothing), until the
+    // first data-plane message whose payload round reaches recover_round —
+    // the restarted process's first observed traffic — which revives the
+    // node AND is delivered to it.
+    while (!closed_.load(std::memory_order_acquire)) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) break;
+      auto env = inner_->recv(
+          std::min(left, std::chrono::milliseconds(10)));
+      if (!env) continue;
+      if (is_data_plane(env->type) && env->payload.size() >= 8 &&
+          payload_round(env->payload) >= recover) {
+        transport_->revive(address(), env->type,
+                           payload_round(env->payload));
+        return env;
+      }
     }
     return std::nullopt;
   }
@@ -160,6 +189,36 @@ bool FaultyTransport::crashed(NodeKey node) const {
   return crashed_.count(node) != 0;
 }
 
+std::uint64_t FaultyTransport::recover_round(NodeKey node) const {
+  std::lock_guard lock(mutex_);
+  if (crashed_.count(node) == 0) return 0;
+  for (const NodeCrash& crash : schedule_.crashes) {
+    if (crash.node == node && crash.recover_round != 0) {
+      return crash.recover_round;
+    }
+  }
+  return 0;
+}
+
+void FaultyTransport::revive(NodeKey node, MessageType type,
+                             std::uint64_t round) {
+  {
+    std::lock_guard lock(mutex_);
+    if (crashed_.erase(node) == 0) return;  // already revived
+  }
+  NetMetrics::global().faults_injected->inc();
+  if (obs::FlightRing* ring = obs::FlightRegistry::global().ring(node)) {
+    ring->note(obs::FlightEventKind::kFault, node,
+               static_cast<std::uint8_t>(type), round,
+               static_cast<std::uint64_t>(FaultKind::kCrashRecover));
+  }
+  util::log_info() << "fault: node " << node << " recovered on round "
+                   << round << " " << message_type_name(type);
+  std::lock_guard lock(mutex_);
+  log_.push_back(
+      FaultEvent{FaultKind::kCrashRecover, node, node, type, round});
+}
+
 void FaultyTransport::record(FaultKind kind, NodeKey from, NodeKey to,
                              MessageType type, std::uint64_t seq,
                              std::uint64_t delay_ms) {
@@ -209,12 +268,22 @@ void FaultyTransport::delivery_loop() {
         [](const Deferred& a, const Deferred& b) {
           return std::tie(a.due, a.id) < std::tie(b.due, b.id);
         });
-    if (delay_cv_.wait_until(lock, earliest->due, [this, &earliest] {
-          return shutdown_ || !delay_queue_.empty() ||
-                 std::chrono::steady_clock::now() >= earliest->due;
-        })) {
-      if (shutdown_) return;
-    }
+    // Sleep until the earliest entry is due, waking early only for
+    // shutdown or a newly deferred message (which may be due sooner).
+    // The predicate must NOT be "queue non-empty" — that is trivially
+    // true while anything is pending, which turns the wait into a hot
+    // spin on delay_mutex_ that starves the sender threads calling
+    // defer() and with them every heartbeat those nodes owe.
+    // Copy the deadline out of the queue entry: wait_until holds its
+    // time argument by reference across unlock/relock cycles, and a
+    // concurrent defer() can reallocate delay_queue_ and dangle the
+    // iterator while we sleep.
+    const auto due_at = earliest->due;
+    const std::uint64_t gen = next_deferred_id_;
+    delay_cv_.wait_until(lock, due_at, [this, gen] {
+      return shutdown_ || next_deferred_id_ != gen;
+    });
+    if (shutdown_) return;
     // Re-scan after the wait: the queue may have gained an earlier entry.
     std::vector<Deferred> due;
     const auto now = std::chrono::steady_clock::now();

@@ -14,6 +14,12 @@
 //              is discarded (the round is read from the message payload)
 //   crash      a node stops sending AND receiving forever after its k-th
 //              GradientUpload — the mid-round process-death scenario
+//   crash-recover  as crash, but with NodeCrash::recover_round set the
+//              node comes back: messages that arrive while it is down are
+//              discarded (a dead process reads nothing), and the first
+//              data-plane message whose payload round reaches
+//              recover_round revives it and is delivered — the restarted
+//              process rejoining mid-federation
 //
 // Determinism: probabilistic decisions draw from a private RNG stream per
 // (from, to, message-type) triple, keyed by the schedule seed, and every
@@ -83,6 +89,12 @@ struct NodeCrash {
   NodeKey node = 0;
   std::uint64_t after_uploads = 0;
   MessageType after_type = MessageType::kGradientUpload;
+  /// 0 = crash-stop (never returns). Nonzero = crash-recover: the node is
+  /// silent while every inbound payload round is below `recover_round`,
+  /// then revives on (and receives) the first data-plane message whose
+  /// round reaches it. Everything that arrived in between was discarded,
+  /// like traffic to a host that was down.
+  std::uint64_t recover_round = 0;
 };
 
 struct FaultSchedule {
@@ -109,6 +121,7 @@ enum class FaultKind : std::uint8_t {
   kPartition = 4,
   kCrash = 5,
   kByzantine = 6,
+  kCrashRecover = 7,
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -141,6 +154,11 @@ class FaultyTransport : public Transport {
   std::vector<FaultEvent> fault_log() const;
   std::size_t fault_count() const;
   bool crashed(NodeKey node) const;
+  /// The crash-recover round for a currently crashed node (0 = crash-stop).
+  std::uint64_t recover_round(NodeKey node) const;
+  /// Flips a crash-recover node back to live and logs kCrashRecover; the
+  /// triggering message (round `round`, type `type`) is then delivered.
+  void revive(NodeKey node, MessageType type, std::uint64_t round);
 
  private:
   friend class FaultyEndpoint;

@@ -1,5 +1,8 @@
 #include "net/messages.hpp"
 
+#include <limits>
+#include <sstream>
+
 namespace fifl::net {
 
 const char* message_type_name(MessageType type) {
@@ -17,6 +20,10 @@ const char* message_type_name(MessageType type) {
     case MessageType::kBlockVote: return "block_vote";
     case MessageType::kAuditQuery: return "audit_query";
     case MessageType::kAuditProof: return "audit_proof";
+    case MessageType::kViewChange: return "view_change";
+    case MessageType::kViewChangeVote: return "view_change_vote";
+    case MessageType::kChainSyncRequest: return "chain_sync_request";
+    case MessageType::kChainSyncResponse: return "chain_sync_response";
   }
   return "unknown";
 }
@@ -216,6 +223,7 @@ GradientUploadMsg GradientUploadMsg::decode(util::ByteReader& r) {
 void RoundSummaryMsg::encode(util::ByteWriter& w) const {
   w.write_u64(round);
   w.write_u8(degraded);
+  w.write_u32(next_executor);
   w.write_u64(counted.size());
   for (std::uint32_t worker : counted) w.write_u32(worker);
 }
@@ -224,6 +232,7 @@ RoundSummaryMsg RoundSummaryMsg::decode(util::ByteReader& r) {
   RoundSummaryMsg m;
   m.round = r.read_u64();
   m.degraded = decode_flag(r, "round_summary");
+  m.next_executor = r.read_u32();
   const std::uint64_t n = r.read_u64();
   if (n > r.remaining() / 4) {
     throw util::SerializeError("round_summary: counted size exceeds payload");
@@ -397,6 +406,7 @@ void AuditQueryMsg::encode(util::ByteWriter& w) const {
   w.write_u32(worker);
   w.write_u64(token);
   w.write_u8(kind);
+  w.write_u64(last_verified_index);
 }
 
 AuditQueryMsg AuditQueryMsg::decode(util::ByteReader& r) {
@@ -410,6 +420,7 @@ AuditQueryMsg AuditQueryMsg::decode(util::ByteReader& r) {
     throw util::SerializeError("audit_query: invalid record kind " +
                                std::to_string(m.kind));
   }
+  m.last_verified_index = r.read_u64();
   return m;
 }
 
@@ -420,6 +431,7 @@ chain::AuditProofBundle AuditProofMsg::bundle() const {
   b.block_index = block_index;
   b.record_index = record_index;
   b.proof = proof;
+  b.headers_from = headers_from;
   b.headers = headers;
   return b;
 }
@@ -437,6 +449,7 @@ AuditProofMsg AuditProofMsg::from_bundle(
     m.block_index = bundle.block_index;
     m.record_index = bundle.record_index;
     m.proof = bundle.proof;
+    m.headers_from = bundle.headers_from;
     m.headers = bundle.headers;
   }
   return m;
@@ -456,6 +469,7 @@ void AuditProofMsg::encode(util::ByteWriter& w) const {
     encode_digest(w, step.sibling);
     w.write_u8(step.sibling_on_left ? 1 : 0);
   }
+  w.write_u64(headers_from);
   w.write_u64(headers.size());
   for (const chain::SealedBlockHeader& sealed : headers) {
     encode_sealed_header(w, sealed);
@@ -486,6 +500,7 @@ AuditProofMsg AuditProofMsg::decode(util::ByteReader& r) {
     step.sibling_on_left = decode_flag(r, "audit_proof") != 0;
     m.proof.push_back(step);
   }
+  m.headers_from = r.read_u64();
   const std::uint64_t n_headers = r.read_u64();
   if (n_headers > r.remaining() / kHeaderBytes) {
     throw util::SerializeError("audit_proof: header count exceeds payload");
@@ -494,7 +509,11 @@ AuditProofMsg AuditProofMsg::decode(util::ByteReader& r) {
   for (std::uint64_t i = 0; i < n_headers; ++i) {
     m.headers.push_back(decode_sealed_header(r));
   }
-  if (m.block_index >= n_headers) {
+  // The shipped headers cover chain indices [headers_from, headers_from +
+  // n_headers); the proved block must lie under the implied tip (its
+  // header is either shipped here or already in the querier's cache).
+  if (m.headers_from > std::numeric_limits<std::uint64_t>::max() - n_headers ||
+      m.block_index >= m.headers_from + n_headers) {
     throw util::SerializeError(
         "audit_proof: block index outside the header chain");
   }
@@ -554,6 +573,140 @@ AssessmentResultMsg AssessmentResultMsg::decode(util::ByteReader& r) {
   for (std::uint64_t i = 0; i < n_records; ++i) {
     m.records.push_back(decode_audit_record(r));
   }
+  return m;
+}
+
+std::string ViewChangeMsg::canonical_payload() const {
+  std::ostringstream os;
+  os << "viewchange|" << round << '|' << view << '|' << proposer_index << '|'
+     << dead_index << '|' << committed_count << '|' << chain::to_hex(head);
+  return os.str();
+}
+
+void ViewChangeMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u64(view);
+  w.write_u32(proposer_index);
+  w.write_u32(dead_index);
+  w.write_u64(committed_count);
+  encode_digest(w, head);
+  encode_signature(w, sig);
+}
+
+ViewChangeMsg ViewChangeMsg::decode(util::ByteReader& r) {
+  ViewChangeMsg m;
+  m.round = r.read_u64();
+  m.view = r.read_u64();
+  m.proposer_index = r.read_u32();
+  m.dead_index = r.read_u32();
+  m.committed_count = r.read_u64();
+  m.head = decode_digest(r);
+  m.sig = decode_signature(r);
+  return m;
+}
+
+std::string ViewChangeVoteMsg::canonical_payload() const {
+  std::ostringstream os;
+  os << "viewchangevote|" << round << '|' << view << '|' << proposer_index
+     << '|' << voter_index << '|' << static_cast<unsigned>(granted) << '|'
+     << committed_count << '|' << chain::to_hex(head);
+  return os.str();
+}
+
+void ViewChangeVoteMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u64(view);
+  w.write_u32(proposer_index);
+  w.write_u32(voter_index);
+  w.write_u8(granted);
+  w.write_u64(committed_count);
+  encode_digest(w, head);
+  encode_signature(w, sig);
+}
+
+ViewChangeVoteMsg ViewChangeVoteMsg::decode(util::ByteReader& r) {
+  ViewChangeVoteMsg m;
+  m.round = r.read_u64();
+  m.view = r.read_u64();
+  m.proposer_index = r.read_u32();
+  m.voter_index = r.read_u32();
+  m.granted = decode_flag(r, "view_change_vote");
+  m.committed_count = r.read_u64();
+  m.head = decode_digest(r);
+  m.sig = decode_signature(r);
+  return m;
+}
+
+void ChainSyncRequestMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u32(server_index);
+  w.write_u64(from_block);
+}
+
+ChainSyncRequestMsg ChainSyncRequestMsg::decode(util::ByteReader& r) {
+  ChainSyncRequestMsg m;
+  m.round = r.read_u64();
+  m.server_index = r.read_u32();
+  m.from_block = r.read_u64();
+  return m;
+}
+
+void ChainSyncResponseMsg::encode(util::ByteWriter& w) const {
+  w.write_u64(round);
+  w.write_u64(from_block);
+  w.write_u8(ok);
+  if (ok == 0) return;  // a refusal carries no chain material
+  w.write_u64(blocks.size());
+  for (const SyncedBlock& block : blocks) {
+    encode_sealed_header(w, block.sealed);
+    w.write_u64(block.records.size());
+    for (const chain::AuditRecord& rec : block.records) {
+      encode_audit_record(w, rec);
+    }
+  }
+  w.write_u64(theta_round);
+  w.write_u64(theta.size());
+  w.write_bytes(theta);
+}
+
+ChainSyncResponseMsg ChainSyncResponseMsg::decode(util::ByteReader& r) {
+  // Per-entry minimum encoded sizes, used to reject corrupted counts
+  // before any allocation sized by them.
+  constexpr std::uint64_t kRecordBytes = 1 + 8 + 4 + 4 + 8 + 4 + 32;
+  // index + 3 digests + executor signature + vote count + record count.
+  constexpr std::uint64_t kBlockBytes = 8 + 3 * 32 + (4 + 32) + 8 + 8;
+  ChainSyncResponseMsg m;
+  m.round = r.read_u64();
+  m.from_block = r.read_u64();
+  m.ok = decode_flag(r, "chain_sync_response");
+  if (m.ok == 0) return m;
+  const std::uint64_t n_blocks = r.read_u64();
+  if (n_blocks > r.remaining() / kBlockBytes) {
+    throw util::SerializeError(
+        "chain_sync_response: block count exceeds payload");
+  }
+  m.blocks.reserve(static_cast<std::size_t>(n_blocks));
+  for (std::uint64_t b = 0; b < n_blocks; ++b) {
+    SyncedBlock block;
+    block.sealed = decode_sealed_header(r);
+    const std::uint64_t n_records = r.read_u64();
+    if (n_records > r.remaining() / kRecordBytes) {
+      throw util::SerializeError(
+          "chain_sync_response: record count exceeds payload");
+    }
+    block.records.reserve(static_cast<std::size_t>(n_records));
+    for (std::uint64_t i = 0; i < n_records; ++i) {
+      block.records.push_back(decode_audit_record(r));
+    }
+    m.blocks.push_back(std::move(block));
+  }
+  m.theta_round = r.read_u64();
+  const std::uint64_t theta_len = r.read_u64();
+  if (theta_len > r.remaining()) {
+    throw util::SerializeError(
+        "chain_sync_response: checkpoint length exceeds payload");
+  }
+  m.theta = r.read_bytes(static_cast<std::size_t>(theta_len));
   return m;
 }
 

@@ -48,6 +48,12 @@ enum class MessageType : std::uint8_t {
   kBlockVote = 11,
   kAuditQuery = 12,
   kAuditProof = 13,
+  // View-change plane: lead-failover election between servers plus the
+  // crashed-server rejoin catch-up (committed blocks + θ checkpoint).
+  kViewChange = 14,
+  kViewChangeVote = 15,
+  kChainSyncRequest = 16,
+  kChainSyncResponse = 17,
 };
 
 const char* message_type_name(MessageType type);
@@ -56,7 +62,7 @@ const char* message_type_name(MessageType type);
 /// the per-type byte-counter arrays are sized by the enum itself — adding
 /// a message type resizes them automatically instead of silently
 /// truncating the new type's counters.
-inline constexpr MessageType kLastMessageType = MessageType::kAuditProof;
+inline constexpr MessageType kLastMessageType = MessageType::kChainSyncResponse;
 inline constexpr std::size_t kMessageTypeCount =
     static_cast<std::size_t>(kLastMessageType);
 static_assert(static_cast<std::size_t>(MessageType::kJoin) == 1 &&
@@ -181,6 +187,11 @@ struct GradientUploadMsg {
 struct RoundSummaryMsg {
   std::uint64_t round = 0;
   std::uint8_t degraded = 0;  // counted < workers (quorum round)
+  /// Executor-rotation token handoff: the server index that drives the
+  /// NEXT round. Without rotation the executor names itself, so the field
+  /// is also the authoritative "who is the lead right now" signal a
+  /// rejoining server re-homes on.
+  std::uint32_t next_executor = 0;
   std::vector<std::uint32_t> counted;
 
   void encode(util::ByteWriter& w) const;
@@ -270,6 +281,10 @@ struct AuditQueryMsg {
   std::uint32_t worker = 0;
   std::uint64_t token = 0;
   std::uint8_t kind = 0;  // chain::RecordKind tag
+  /// Proof caching: the worker has already verified committed headers
+  /// [0, last_verified_index), so the server ships only headers from that
+  /// index to the tip (O(1) per-round proof bytes instead of O(rounds)).
+  std::uint64_t last_verified_index = 0;
 
   void encode(util::ByteWriter& w) const;
   static AuditQueryMsg decode(util::ByteReader& r);
@@ -289,6 +304,12 @@ struct AuditProofMsg {
   std::uint64_t block_index = 0;
   std::uint64_t record_index = 0;
   chain::MerkleProof proof;
+  /// Absolute chain index of headers[0] — nonzero when the server served
+  /// a cached query (AuditQueryMsg::last_verified_index) and elided the
+  /// prefix the worker already verified. The worker splices its cache back
+  /// in before verify_audit_proof, which only accepts genesis-anchored
+  /// bundles.
+  std::uint64_t headers_from = 0;
   std::vector<chain::SealedBlockHeader> headers;
 
   chain::AuditProofBundle bundle() const;
@@ -298,6 +319,85 @@ struct AuditProofMsg {
 
   void encode(util::ByteWriter& w) const;
   static AuditProofMsg decode(util::ByteReader& r);
+};
+
+/// Server -> servers: "the executor for view `view - 1` is dead; I am the
+/// highest-reputation survivor, here is my committed chain head, elect
+/// me". Signed over canonical_payload() with the proposer's ledger key so
+/// a worker or transport cannot forge an election. `round` is the round
+/// the proposer will drive after takeover (its engine's next round).
+struct ViewChangeMsg {
+  std::uint64_t round = 0;
+  std::uint64_t view = 0;
+  std::uint32_t proposer_index = 0;  // server index of the proposer
+  std::uint32_t dead_index = 0;      // server index the proposer suspects dead
+  std::uint64_t committed_count = 0; // proposer's committed-prefix length
+  chain::Digest head{};              // hash of the last committed block (zero when none)
+  chain::Signature sig;
+
+  /// Canonical byte string the proposer signs and voters countersign.
+  std::string canonical_payload() const;
+
+  void encode(util::ByteWriter& w) const;
+  static ViewChangeMsg decode(util::ByteReader& r);
+};
+
+/// Server -> proposer: signed grant/nack of one ViewChange. A nack
+/// carries the voter's own committed head so a behind proposer can
+/// ChainSync from the voter before re-proposing.
+struct ViewChangeVoteMsg {
+  std::uint64_t round = 0;
+  std::uint64_t view = 0;
+  std::uint32_t proposer_index = 0;
+  std::uint32_t voter_index = 0;
+  std::uint8_t granted = 0;
+  std::uint64_t committed_count = 0;  // the voter's committed-prefix length
+  chain::Digest head{};               // the voter's committed chain head
+  chain::Signature sig;
+
+  std::string canonical_payload() const;
+
+  void encode(util::ByteWriter& w) const;
+  static ViewChangeVoteMsg decode(util::ByteReader& r);
+};
+
+/// Rejoining (or behind) server -> any live server: "ship me the
+/// committed blocks from `from_block` so I can replay my replica up to
+/// your tip". `round` is the requester's next engine round (== from_block
+/// for an in-sync replica).
+struct ChainSyncRequestMsg {
+  std::uint64_t round = 0;
+  std::uint32_t server_index = 0;  // the requester
+  std::uint64_t from_block = 0;
+
+  void encode(util::ByteWriter& w) const;
+  static ChainSyncRequestMsg decode(util::ByteReader& r);
+};
+
+/// One committed block as served by ChainSync: the quorum certificate and
+/// the full record list, enough for the receiver to replay the block into
+/// its own engine and verify the recomputed chain bit for bit.
+struct SyncedBlock {
+  chain::SealedBlockHeader sealed;
+  std::vector<chain::AuditRecord> records;
+};
+
+/// Server -> requester: committed blocks [from_block, from_block + n) plus
+/// the responder's θ checkpoint at `theta_round` (the replica cannot
+/// rebuild θ from audit records alone — the aggregated gradients are not
+/// on the chain). ok == 0 means the responder could not serve a
+/// consistent snapshot (its θ and committed prefix were mid-round);
+/// the requester retries on the next round summary.
+struct ChainSyncResponseMsg {
+  std::uint64_t round = 0;
+  std::uint64_t from_block = 0;
+  std::uint8_t ok = 0;
+  std::vector<SyncedBlock> blocks;
+  std::uint64_t theta_round = 0;       // rounds applied to the shipped θ
+  std::vector<std::uint8_t> theta;     // nn::checkpoint bytes
+
+  void encode(util::ByteWriter& w) const;
+  static ChainSyncResponseMsg decode(util::ByteReader& r);
 };
 
 /// chain::AuditRecord wire codec, shared by AssessmentResultMsg and any

@@ -124,7 +124,7 @@ void note_handled(const NodeTracer& tracer, const Envelope& env,
               static_cast<std::uint8_t>(env.type), round);
 }
 
-/// Lead round-phase bookkeeping: the phase histogram always, a phase
+/// Executor round-phase bookkeeping: the phase histogram always, a phase
 /// span (+ flight note) when tracing.
 void note_phase(const NodeTracer& tracer, obs::Histogram* hist,
                 const char* name, std::uint64_t round,
@@ -207,8 +207,46 @@ void WorkerNode::request_stop() {
   endpoint_->close();
 }
 
+void WorkerNode::send_audit_query(std::uint64_t round, std::uint32_t server,
+                                  std::uint64_t parent_span) {
+  AuditQueryMsg query;
+  query.round = round;
+  query.worker = endpoint_->address();
+  query.token = round;
+  query.kind = static_cast<std::uint8_t>(chain::RecordKind::kReputation);
+  // Proof caching: the server only ships the committed headers this
+  // worker has not verified yet.
+  query.last_verified_index = verified_headers_.size();
+  try {
+    traced_send(*endpoint_, tracer_, topology_.server_key(server),
+                MessageType::kAuditQuery, query, round, parent_span);
+  } catch (const std::exception& e) {
+    util::log_warn() << "net: worker " << endpoint_->address()
+                     << " audit query for round " << round
+                     << " to server " << server << " failed: " << e.what();
+  }
+}
+
+void WorkerNode::retry_audit() {
+  if (!pending_audit_) return;
+  if (pending_audit_->tried >= topology_.servers) {
+    util::log_warn() << "net: worker " << endpoint_->address()
+                     << " audit query for round " << pending_audit_->round
+                     << " unanswered by every server, giving up";
+    pending_audit_.reset();
+    return;
+  }
+  // The last server never answered (crashed, or mid-election): any server
+  // holds the committed prefix, so round-robin to the next one.
+  pending_audit_->cursor = (pending_audit_->cursor + 1) % topology_.servers;
+  ++pending_audit_->tried;
+  pending_audit_->deadline =
+      std::chrono::steady_clock::now() + timeouts_.liveness;
+  send_audit_query(pending_audit_->round, pending_audit_->cursor, 0);
+}
+
 void WorkerNode::run() {
-  const NodeKey lead = topology_.lead_key();
+  current_lead_ = topology_.lead_key();
   JoinMsg join{endpoint_->address(), NodeRole::kWorker, supported_codecs_};
   std::uint64_t join_sent_us = 0;
   if (tracer_.tracing()) {
@@ -219,7 +257,7 @@ void WorkerNode::run() {
     join_sent_us = trace_now_us();
     join.clock_us = join_sent_us;
   }
-  traced_send(*endpoint_, tracer_, lead, MessageType::kJoin, join, 0);
+  traced_send(*endpoint_, tracer_, current_lead_, MessageType::kJoin, join, 0);
   const auto join_deadline = std::chrono::steady_clock::now() + timeouts_.join;
   bool acked = false;
   while (!acked && !stop_.load(std::memory_order_relaxed)) {
@@ -251,15 +289,24 @@ void WorkerNode::run() {
   }
 
   // Event loop with a liveness side-channel: wake at the heartbeat
-  // interval, ping the lead so it can tell "slow" from "dead", and exit
-  // once nothing has been heard for a whole phase (the federation went
-  // away, or this node was partitioned off for good).
+  // interval, ping the current lead so it can tell "slow" from "dead",
+  // and exit once nothing has been heard for four phases — long enough to
+  // sit out an executor election (detection plus backoff plus votes), not
+  // so long a dissolved federation strands the process.
   std::uint64_t liveness_token = kLivenessTokenBase;
   auto last_traffic = std::chrono::steady_clock::now();
   auto last_heartbeat = last_traffic;
+  // Set when a Leave arrives while an audit is still in flight: under
+  // executor rotation the final rounds can close within milliseconds,
+  // so the Leave (sent by the last executor) may overtake a proof still
+  // travelling on another server's link. Linger until the pending audit
+  // resolves — retry_audit keeps round-robining and gives up once every
+  // server has stayed silent — bounded by this backstop deadline.
+  std::optional<std::chrono::steady_clock::time_point> leave_deadline;
   while (!stop_.load(std::memory_order_relaxed)) {
     const auto now = std::chrono::steady_clock::now();
-    if (now - last_traffic > timeouts_.phase) {
+    if (leave_deadline && (!pending_audit_ || now >= *leave_deadline)) break;
+    if (now - last_traffic > 4 * timeouts_.phase) {
       // Idle timeout without a Leave: the federation went away.
       util::log_warn() << "net: worker " << endpoint_->address()
                        << " timed out waiting for traffic, exiting";
@@ -269,48 +316,52 @@ void WorkerNode::run() {
       last_heartbeat = now;
       try {
         endpoint_->send_msg(
-            lead, MessageType::kHeartbeat,
+            current_lead_, MessageType::kHeartbeat,
             HeartbeatMsg{endpoint_->address(), liveness_token++, 0});
       } catch (const std::exception& e) {
         util::log_debug() << "net: worker " << endpoint_->address()
                           << " heartbeat failed: " << e.what();
       }
     }
+    if (pending_audit_ && now >= pending_audit_->deadline) retry_audit();
     auto env = endpoint_->recv(timeouts_.heartbeat);
     if (!env) continue;
     last_traffic = std::chrono::steady_clock::now();
     switch (env->type) {
       case MessageType::kModelBroadcast:
+        // Whoever fans out θ is the executor: re-home liveness traffic.
+        if (env->from >= topology_.workers) current_lead_ = env->from;
         handle_broadcast(decode_payload<ModelBroadcastMsg>(env->payload),
                          env->has_trace ? env->trace.span_id : 0);
         note_handled(tracer_, *env, last_traffic);
         break;
       case MessageType::kAssessmentResult: {
+        if (env->from >= topology_.workers) current_lead_ = env->from;
         const auto msg = decode_payload<AssessmentResultMsg>(env->payload);
         for (const WorkerAssessment& wa : msg.workers) {
           if (wa.worker == endpoint_->address()) {
             observed_rewards_.push_back(wa.reward);
           }
         }
-        // Audit the round that just closed: ask the lead for a Merkle
-        // inclusion proof of this worker's reputation record. The final
-        // round is skipped — the lead tears the federation down right
-        // after the last assessment, so the reply window only exists
-        // while another round is being driven.
+        // Audit the round that just closed: ask for a Merkle inclusion
+        // proof of this worker's reputation record. The final round is
+        // skipped — the executor tears the federation down right after
+        // the last assessment, so the reply window only exists while
+        // another round is being driven. First try aims at the current
+        // lead; retry_audit round-robins to the other servers (any of
+        // them holds the committed prefix) if it stays silent.
         if (audit_.enabled && msg.round + 1 < total_rounds_) {
-          try {
-            traced_send(*endpoint_, tracer_, lead, MessageType::kAuditQuery,
-                        AuditQueryMsg{
-                            msg.round, endpoint_->address(), msg.round,
-                            static_cast<std::uint8_t>(
-                                chain::RecordKind::kReputation)},
-                        msg.round,
-                        env->has_trace ? env->trace.span_id : 0);
-          } catch (const std::exception& e) {
-            util::log_warn() << "net: worker " << endpoint_->address()
-                             << " audit query for round " << msg.round
-                             << " failed: " << e.what();
-          }
+          const std::uint32_t lead_index =
+              current_lead_ >= topology_.workers
+                  ? static_cast<std::uint32_t>(current_lead_ -
+                                               topology_.workers)
+                  : 0;
+          pending_audit_ = PendingAudit{
+              msg.round,
+              std::chrono::steady_clock::now() + timeouts_.liveness, 1,
+              lead_index};
+          send_audit_query(msg.round, lead_index,
+                           env->has_trace ? env->trace.span_id : 0);
         }
         note_handled(tracer_, *env, last_traffic);
         break;
@@ -325,7 +376,21 @@ void WorkerNode::run() {
             audit_registry_.emplace(chain::ReplicatedLedger::make_registry(
                 audit_.key_seed, topology_.workers, topology_.servers));
           }
-          const chain::AuditProofBundle bundle = msg.bundle();
+          chain::AuditProofBundle bundle = msg.bundle();
+          if (bundle.headers_from != 0 &&
+              bundle.headers_from <= verified_headers_.size()) {
+            // Cached-proof splice: the server elided the prefix this
+            // worker already verified; rebuild the genesis-anchored chain
+            // from the local cache before verification.
+            std::vector<chain::SealedBlockHeader> full(
+                verified_headers_.begin(),
+                verified_headers_.begin() +
+                    static_cast<std::ptrdiff_t>(bundle.headers_from));
+            full.insert(full.end(), bundle.headers.begin(),
+                        bundle.headers.end());
+            bundle.headers = std::move(full);
+            bundle.headers_from = 0;
+          }
           const bool verified =
               msg.found != 0 &&
               bundle.record.subject == endpoint_->address() &&
@@ -335,10 +400,16 @@ void WorkerNode::run() {
                                         topology_.workers,
                                         topology_.servers);
           audit_outcomes_.push_back({msg.token, verified});
+          if (verified && bundle.headers.size() > verified_headers_.size()) {
+            verified_headers_ = bundle.headers;
+          }
           if (!verified) {
             util::log_warn() << "net: worker " << endpoint_->address()
                              << " audit proof for round " << msg.token
                              << " FAILED verification";
+          }
+          if (pending_audit_ && pending_audit_->round == msg.token) {
+            pending_audit_.reset();
           }
         }
         note_handled(tracer_, *env, last_traffic);
@@ -358,7 +429,10 @@ void WorkerNode::run() {
         break;
       }
       case MessageType::kLeave:
-        return;
+        if (!pending_audit_) return;
+        leave_deadline =
+            now + timeouts_.liveness * (topology_.servers + 1);
+        break;
       default:
         break;  // stray control traffic
     }
@@ -367,6 +441,29 @@ void WorkerNode::run() {
 
 void WorkerNode::handle_broadcast(const ModelBroadcastMsg& msg,
                                   std::uint64_t parent_span) {
+  // Duplicate broadcast (a re-elected executor re-driving the round):
+  // re-send the cached upload instead of retraining — retraining would
+  // advance the local RNG and fork this worker off the deterministic
+  // reference sequence.
+  if (has_trained_ && msg.round < last_trained_round_) return;  // stale
+  if (has_trained_ && msg.round == last_trained_round_) {
+    for (NodeKey server : topology_.server_keys()) {
+      try {
+        traced_send(*endpoint_, tracer_, server, MessageType::kGradientUpload,
+                    cached_upload_, msg.round, parent_span);
+      } catch (const std::exception& e) {
+        util::log_warn() << "net: worker " << endpoint_->address()
+                         << " failed to re-upload to server " << server
+                         << ": " << e.what();
+      }
+    }
+    try {
+      endpoint_->send_msg(current_lead_, MessageType::kHeartbeat,
+                          HeartbeatMsg{endpoint_->address(), msg.round, 0});
+    } catch (const std::exception&) {
+    }
+    return;
+  }
   // Materialize θ_t: a dense broadcast replaces the local replica, a
   // delta patches it — but only against the exact baseline the lead
   // encoded it from. A mismatched baseline (the previous broadcast never
@@ -407,6 +504,9 @@ void WorkerNode::handle_broadcast(const ModelBroadcastMsg& msg,
     out.gradient.assign(upload.gradient.flat().begin(),
                         upload.gradient.flat().end());
   }
+  has_trained_ = true;
+  last_trained_round_ = msg.round;
+  cached_upload_ = out;
   for (NodeKey server : topology_.server_keys()) {
     try {
       traced_send(*endpoint_, tracer_, server, MessageType::kGradientUpload,
@@ -422,7 +522,7 @@ void WorkerNode::handle_broadcast(const ModelBroadcastMsg& msg,
   // Ping the lead once per round; the echo feeds net.rtt_ms.
   ping_sent_[msg.round] = std::chrono::steady_clock::now();
   try {
-    endpoint_->send_msg(topology_.lead_key(), MessageType::kHeartbeat,
+    endpoint_->send_msg(current_lead_, MessageType::kHeartbeat,
                         HeartbeatMsg{endpoint_->address(), msg.round, 0});
   } catch (const std::exception&) {
     ping_sent_.erase(msg.round);
@@ -443,12 +543,21 @@ ServerNode::ServerNode(ServerNodeConfig config,
   if (!engine_ || !endpoint_) {
     throw std::invalid_argument("ServerNode: null engine or endpoint");
   }
-  if (is_lead() != (global_model_ != nullptr)) {
-    throw std::invalid_argument(
-        "ServerNode: exactly the lead owns the global model");
-  }
   if (config_.server_index >= topology_.servers) {
     throw std::invalid_argument("ServerNode: server index out of range");
+  }
+  if ((config_.rotate_executor || config_.failover) &&
+      !config_.replicate_ledger) {
+    throw std::invalid_argument(
+        "ServerNode: rotation/failover requires replicate_ledger");
+  }
+  if (is_lead() && !global_model_) {
+    throw std::invalid_argument(
+        "ServerNode: the bootstrap lead owns the global model");
+  }
+  if ((config_.rotate_executor || config_.failover) && !global_model_) {
+    throw std::invalid_argument(
+        "ServerNode: rotation/failover needs a global model on every server");
   }
   if (config_.replicate_ledger) {
     replicated_ = std::make_unique<chain::ReplicatedLedger>(
@@ -465,14 +574,25 @@ void ServerNode::request_stop() {
 
 void ServerNode::run() {
   if (is_lead()) {
-    run_lead();
+    await_federation();
+    // The bootstrap lead's clock is the merged timeline's reference.
+    if (tracer_.tracing()) tracer_.clock(0, 0);
   } else {
-    run_follower();
+    join_federation();
+  }
+  // Role dispatcher: rotation, elections, and demotions move the executor
+  // role at runtime; each sub-loop returns whenever the role flips.
+  while (!done_ && !stop_.load(std::memory_order_relaxed)) {
+    if (is_executor()) {
+      run_executor();
+    } else {
+      run_follower();
+    }
   }
 }
 
 void ServerNode::note_worker_traffic(NodeKey from) {
-  if (!is_lead() || from >= topology_.workers) return;
+  if (from >= topology_.workers) return;
   last_seen_[from] = std::chrono::steady_clock::now();
 }
 
@@ -530,7 +650,7 @@ void ServerNode::handle_control(const Envelope& envelope) {
       if (hb.echo == 0) {
         // A worker's per-round RTT ping doubles as a broadcast ack: tokens
         // below kLivenessTokenBase are the round number whose θ it holds.
-        if (is_lead() && envelope.from < topology_.workers &&
+        if (envelope.from < topology_.workers &&
             hb.token < kLivenessTokenBase) {
           note_broadcast_ack(envelope.from, hb.token);
         }
@@ -550,33 +670,44 @@ void ServerNode::handle_control(const Envelope& envelope) {
       break;
     }
     case MessageType::kRoundSummary: {
-      if (!is_lead()) {
-        auto summary = decode_payload<RoundSummaryMsg>(envelope.payload);
-        pending_summaries_[summary.round] = std::move(summary);
-      }
+      // Buffer even while holding the executor role: during a rotation
+      // handoff the successor can finish its whole round before this node
+      // leaves its own round's tail (slice wait, commit wait, assessment
+      // fan-out), and dropping that summary here would silently diverge
+      // this replica. The follower drain discards stale rounds anyway.
+      auto summary = decode_payload<RoundSummaryMsg>(envelope.payload);
+      summary_sender_[summary.round] = envelope.from;
+      pending_summaries_[summary.round] = std::move(summary);
       break;
     }
     case MessageType::kBlockProposal: {
-      if (!is_lead() && replicated_) {
+      if (replicated_) {
         auto proposal = decode_payload<BlockProposalMsg>(envelope.payload);
-        // Buffer only: voting waits until this replica has sealed the
-        // block itself (run_follower drains after each summary).
+        // Buffer only (executor role included — see kRoundSummary):
+        // voting waits until this replica has sealed the block itself
+        // (run_follower drains after each summary).
         pending_proposals_[proposal.block_index] = std::move(proposal);
       }
       break;
     }
     case MessageType::kBlockVote: {
-      if (is_lead() && replicated_) {
-        lead_handle_vote(decode_payload<BlockVoteMsg>(envelope.payload));
+      if (replicated_) {
+        apply_block_vote(decode_payload<BlockVoteMsg>(envelope.payload));
       }
       break;
     }
     case MessageType::kAuditQuery: {
-      if (is_lead() && replicated_) {
+      // Any server answers from its committed prefix — a worker whose
+      // first query hit a crashed lead retries against the followers. A
+      // replica that has not committed the queried round yet (diverged,
+      // or simply behind across a handoff) stays silent instead of
+      // proving: the worker's retry finds a server that can.
+      if (replicated_) {
         const auto query = decode_payload<AuditQueryMsg>(envelope.payload);
+        if (!replicated_->committed(query.round)) break;
         const chain::AuditProofBundle bundle = replicated_->prove(
             static_cast<chain::RecordKind>(query.kind), query.round,
-            query.worker);
+            query.worker, query.last_verified_index);
         try {
           traced_send(*endpoint_, tracer_, envelope.from,
                       MessageType::kAuditProof,
@@ -591,6 +722,30 @@ void ServerNode::handle_control(const Envelope& envelope) {
       }
       break;
     }
+    case MessageType::kViewChange: {
+      if (config_.failover && replicated_) {
+        handle_view_change(decode_payload<ViewChangeMsg>(envelope.payload));
+      }
+      break;
+    }
+    case MessageType::kViewChangeVote: {
+      if (config_.failover && replicated_) {
+        election_votes_.push_back(
+            decode_payload<ViewChangeVoteMsg>(envelope.payload));
+      }
+      break;
+    }
+    case MessageType::kChainSyncRequest: {
+      if (replicated_) {
+        serve_chain_sync(decode_payload<ChainSyncRequestMsg>(envelope.payload),
+                         envelope.from);
+      }
+      break;
+    }
+    case MessageType::kChainSyncResponse:
+      // Stray or late response: the requester's blocking wait already
+      // moved on, and an unsolicited sync must not mutate the replica.
+      break;
     case MessageType::kLeave:
       leave_received_ = true;
       break;
@@ -663,7 +818,8 @@ void ServerNode::collect_uploads(
         acked_round_.erase(i);
         metrics.dropped_workers->inc();
         tracer_.note(obs::FlightEventKind::kDeadWorker, i, 0, round);
-        util::log_warn() << "net: lead declared worker " << i
+        util::log_warn() << "net: server " << endpoint_->address()
+                         << " declared worker " << i
                          << " dead (silent beyond the liveness window)";
       }
     }
@@ -691,338 +847,9 @@ void ServerNode::collect_uploads(
   }
 }
 
-void ServerNode::run_follower() {
-  const NodeKey lead = topology_.lead_key();
-  JoinMsg join{endpoint_->address(), NodeRole::kServer};
-  std::uint64_t join_sent_us = 0;
-  if (tracer_.tracing()) {
-    join.features = kFeatureTrace;
-    join_sent_us = trace_now_us();
-    join.clock_us = join_sent_us;
-  }
-  traced_send(*endpoint_, tracer_, lead, MessageType::kJoin, join, 0);
-  const auto join_deadline = std::chrono::steady_clock::now() + config_.timeouts.join;
-  std::uint64_t rounds = 0;
-  bool acked = false;
-  while (!acked && !stop_.load(std::memory_order_relaxed)) {
-    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-        join_deadline - std::chrono::steady_clock::now());
-    if (left.count() <= 0) {
-      throw std::runtime_error("ServerNode " +
-                               std::to_string(endpoint_->address()) +
-                               ": join timed out");
-    }
-    auto env = endpoint_->recv(left);
-    if (!env) continue;
-    if (env->type == MessageType::kJoinAck) {
-      const auto handle_start = std::chrono::steady_clock::now();
-      const auto ack = decode_payload<JoinAckMsg>(env->payload);
-      rounds = ack.rounds;
-      if (tracer_.tracing() && (ack.features & kFeatureTrace) != 0) {
-        const std::uint64_t t1 = trace_now_us();
-        const std::int64_t rtt = static_cast<std::int64_t>(t1 - join_sent_us);
-        const std::int64_t skew = static_cast<std::int64_t>(ack.clock_us) +
-                                  rtt / 2 - static_cast<std::int64_t>(t1);
-        tracer_.clock(skew, rtt);
-      }
-      note_handled(tracer_, *env, handle_start);
-      acked = true;
-    } else {
-      handle_control(*env);
-    }
-  }
-
-  // Event-driven replica: buffer uploads by round, run the engine only
-  // when the lead's RoundSummary names the counted set for the next round
-  // in sequence. `rounds` (from the JoinAck) bounds nothing here — the
-  // loop ends on Leave or on a full phase of silence, whichever the
-  // failure mode produces.
-  (void)rounds;
-  std::uint64_t next_round = 0;
-  // A degraded round legitimately silences this link for a full phase
-  // (the lead waiting out its collect deadline) and, when our slice was
-  // lost, a second one (the lead's slice wait) — so only three phases of
-  // unbroken silence mean the lead is actually gone.
-  auto last_traffic = std::chrono::steady_clock::now();
-  while (!leave_received_ && !stop_.load(std::memory_order_relaxed)) {
-    auto env = endpoint_->recv(config_.timeouts.phase);
-    if (!env) {
-      if (std::chrono::steady_clock::now() - last_traffic <
-          3 * config_.timeouts.phase) {
-        continue;
-      }
-      util::log_warn() << "net: server " << endpoint_->address()
-                       << " timed out waiting for traffic, exiting";
-      break;
-    }
-    last_traffic = std::chrono::steady_clock::now();
-    if (env->type == MessageType::kGradientUpload) {
-      auto msg = decode_payload<GradientUploadMsg>(env->payload);
-      if (msg.round >= next_round) {
-        pending_uploads_[msg.round][msg.worker] = std::move(msg);
-      } else {
-        NetMetrics::global().late_uploads->inc();
-      }
-      note_handled(tracer_, *env, last_traffic);
-    } else {
-      handle_control(*env);
-    }
-    // Run every round whose summary has arrived, strictly in order.
-    while (!pending_summaries_.empty() && !leave_received_ &&
-           !stop_.load(std::memory_order_relaxed)) {
-      auto it = pending_summaries_.begin();
-      if (it->first < next_round) {  // stale duplicate
-        pending_summaries_.erase(it);
-        continue;
-      }
-      if (it->first > next_round) {
-        // A summary went missing: this replica skipped a round of engine
-        // state and can never rejoin the lead's deterministic sequence.
-        if (!diverged_) {
-          diverged_ = true;
-          util::log_warn() << "net: server " << endpoint_->address()
-                           << " missed summary for round " << next_round
-                           << ", replica diverged";
-        }
-        next_round = it->first;
-      }
-      const RoundSummaryMsg summary = std::move(it->second);
-      pending_summaries_.erase(it);
-      process_summary(summary);
-      pending_uploads_.erase(pending_uploads_.begin(),
-                             pending_uploads_.upper_bound(summary.round));
-      next_round = summary.round + 1;
-    }
-    // Every block this replica has now sealed can be checked against the
-    // lead's proposal and endorsed (or exposed as a fork).
-    if (replicated_) follower_vote_on_proposals();
-  }
-}
-
-void ServerNode::follower_vote_on_proposals() {
-  const NodeKey lead = topology_.lead_key();
-  while (!pending_proposals_.empty()) {
-    const auto it = pending_proposals_.begin();
-    if (diverged_) {
-      // A diverged replica skipped engine rounds; it can no longer attest
-      // blocks it never sealed. Dropping the proposal (instead of voting
-      // no) keeps the fault crash-shaped: the lead counts a missing vote,
-      // not a contradiction.
-      pending_proposals_.erase(it);
-      continue;
-    }
-    if (it->first >= engine_->ledger().block_count()) break;  // not sealed yet
-    const BlockProposalMsg proposal = std::move(it->second);
-    pending_proposals_.erase(it);
-    const std::optional<chain::Signature> vote = replicated_->verify_and_vote(
-        proposal.header(), proposal.executor_sig, proposal.records);
-    if (!vote) {
-      // The lead proposed a block this replica's deterministic ledger did
-      // not produce: a fork, by construction the strongest Byzantine
-      // signal the protocol can emit. Capture everyone's recent events
-      // before unwinding.
-      tracer_.note(obs::FlightEventKind::kLedgerFork, lead,
-                   static_cast<std::uint8_t>(MessageType::kBlockProposal),
-                   proposal.round);
-      obs::FlightRegistry::global().dump("ledger_fork");
-      throw std::runtime_error(
-          "server " + std::to_string(endpoint_->address()) +
-          ": proposed block " + std::to_string(proposal.block_index) +
-          " contradicts the local replica ledger (fork)");
-    }
-    BlockVoteMsg out;
-    out.round = proposal.round;
-    out.block_index = proposal.block_index;
-    out.block_hash = proposal.block_hash;
-    out.vote = *vote;
-    try {
-      traced_send(*endpoint_, tracer_, lead, MessageType::kBlockVote, out,
-                  proposal.round);
-    } catch (const std::exception& e) {
-      util::log_warn() << "net: server " << endpoint_->address()
-                       << " failed to send block vote for round "
-                       << proposal.round << ": " << e.what();
-    }
-  }
-}
-
-void ServerNode::lead_handle_vote(const BlockVoteMsg& msg) {
-  try {
-    replicated_->record_vote(msg.block_index, msg.block_hash, msg.vote);
-  } catch (const std::exception& e) {
-    // A validly signed vote for a *different* block hash at this index:
-    // some replica sealed a contradicting history.
-    tracer_.note(obs::FlightEventKind::kLedgerFork, msg.vote.signer,
-                 static_cast<std::uint8_t>(MessageType::kBlockVote),
-                 msg.round);
-    obs::FlightRegistry::global().dump("ledger_fork");
-    throw std::runtime_error("lead: block vote for round " +
-                             std::to_string(msg.round) +
-                             " exposes a ledger fork: " + e.what());
-  }
-}
-
-void ServerNode::await_ledger_commit(std::uint64_t r) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + config_.timeouts.phase;
-  while (!replicated_->committed(r) &&
-         !stop_.load(std::memory_order_relaxed)) {
-    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-        deadline - std::chrono::steady_clock::now());
-    if (left.count() <= 0) {
-      const chain::SealedBlockHeader* sealed = replicated_->sealed(r);
-      const std::uint64_t votes =
-          sealed ? 1 + sealed->votes.size() : 0;  // executor counts itself
-      tracer_.note(obs::FlightEventKind::kQuorumAbort, obs::kNoFlightPeer,
-                   static_cast<std::uint8_t>(MessageType::kBlockVote), r,
-                   votes);
-      obs::FlightRegistry::global().dump("quorum_abort");
-      throw std::runtime_error(
-          "lead: round " + std::to_string(r) + " ledger commit below quorum (" +
-          std::to_string(votes) + " of " +
-          std::to_string(replicated_->quorum()) + " endorsements)");
-    }
-    auto env = endpoint_->recv(left);
-    if (!env) continue;
-    if (env->type == MessageType::kGradientUpload) {
-      const auto handle_start = std::chrono::steady_clock::now();
-      lead_handle_upload(decode_payload<GradientUploadMsg>(env->payload), r,
-                         nullptr);
-      note_handled(tracer_, *env, handle_start);
-    } else {
-      handle_control(*env);
-    }
-  }
-}
-
-void ServerNode::process_summary(const RoundSummaryMsg& summary) {
-  const NodeKey lead = topology_.lead_key();
-  const std::uint64_t r = summary.round;
-  const std::uint32_t j = config_.server_index;
-
-  bool complete = !diverged_;
-  if (complete) {
-    // Grace-wait for counted uploads that are still in flight behind the
-    // summary (the lead saw them; this replica's copies may be delayed).
-    const auto deadline =
-        std::chrono::steady_clock::now() + config_.timeouts.phase;
-    while (!leave_received_ && !stop_.load(std::memory_order_relaxed)) {
-      const auto& slots = pending_uploads_[r];
-      const bool missing =
-          std::any_of(summary.counted.begin(), summary.counted.end(),
-                      [&](std::uint32_t w) { return slots.count(w) == 0; });
-      if (!missing) break;
-      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-          deadline - std::chrono::steady_clock::now());
-      if (left.count() <= 0) {
-        complete = false;
-        break;
-      }
-      auto env = endpoint_->recv(left);
-      if (!env) continue;
-      if (env->type == MessageType::kGradientUpload) {
-        auto msg = decode_payload<GradientUploadMsg>(env->payload);
-        if (msg.round >= r) {
-          pending_uploads_[msg.round][msg.worker] = std::move(msg);
-        }
-      } else {
-        handle_control(*env);  // later summaries buffer for the run loop
-      }
-    }
-    if (leave_received_ || stop_.load(std::memory_order_relaxed)) return;
-  }
-
-  SliceAggregateMsg out;
-  out.round = r;
-  out.server_index = j;
-  out.offset = engine_->plan().offset(j);
-  if (complete) {
-    // Feed the engine exactly the lead's counted set; uploads this
-    // replica received beyond it are discarded, workers not listed become
-    // absent (uncertain) — byte-identical inputs to the lead's.
-    auto& slots = pending_uploads_[r];
-    std::vector<GradientUploadMsg> msgs;
-    msgs.reserve(summary.counted.size());
-    for (std::uint32_t w : summary.counted) msgs.push_back(std::move(slots[w]));
-    const std::vector<fl::Upload> uploads =
-        canonicalize_uploads(msgs, topology_.workers);
-    const core::RoundReport report = engine_->process_round(uploads);
-
-    // This replica's slice of the aggregated gradient — the paper's
-    // polycentric server->lead traffic (Sec. 3.2).
-    const std::span<const float> slice =
-        engine_->plan().slice(report.global_gradient, j);
-    out.complete = 1;
-    out.values.assign(slice.begin(), slice.end());
-  } else {
-    // A counted upload never reached this replica, so it cannot reproduce
-    // the lead's engine inputs. Its state is now permanently behind; it
-    // answers every future round instantly with an empty incomplete slice
-    // and lets the lead count the gap.
-    if (!diverged_) {
-      diverged_ = true;
-      util::log_warn() << "net: server " << endpoint_->address()
-                       << " lacks counted uploads for round " << r
-                       << ", replica diverged";
-    }
-    out.complete = 0;
-  }
-  try {
-    traced_send(*endpoint_, tracer_, lead, MessageType::kSliceAggregate, out,
-                r);
-  } catch (const std::exception& e) {
-    util::log_warn() << "net: server " << endpoint_->address()
-                     << " failed to send slice for round " << r << ": "
-                     << e.what();
-  }
-}
-
-void ServerNode::note_broadcast_ack(NodeKey worker, std::uint64_t round) {
-  const auto [it, inserted] = acked_round_.try_emplace(worker, round);
-  if (!inserted && it->second < round) it->second = round;
-}
-
-const ModelBroadcastMsg& ServerNode::broadcast_for(
-    std::uint32_t worker, const ModelBroadcastMsg& dense,
-    std::span<const float> theta,
-    std::map<std::uint64_t, std::optional<ModelBroadcastMsg>>& delta_cache) {
-  const auto codec_it = peer_broadcast_codec_.find(worker);
-  if (codec_it == peer_broadcast_codec_.end() ||
-      codec_it->second != fl::Codec::kDelta) {
-    return dense;
-  }
-  const auto ack_it = acked_round_.find(worker);
-  if (ack_it == acked_round_.end()) return dense;  // never acked: re-base
-  const std::uint64_t base = ack_it->second;
-  auto cache_it = delta_cache.find(base);
-  if (cache_it == delta_cache.end()) {
-    // First worker basing on `base` this round: build (or decline) the
-    // delta once and cache the decision for the rest of the roster.
-    std::optional<ModelBroadcastMsg> built;
-    const auto hist_it = broadcast_history_.find(base);
-    if (hist_it != broadcast_history_.end() &&
-        hist_it->second.size() == theta.size()) {
-      fl::SparseVector delta = fl::delta_compress(hist_it->second, theta);
-      // Break-even on parameter payload: 5-9 bytes per sparse entry
-      // (varint index + f32) against 4 per dense param.
-      if (!config_.compression.delta_dense_fallback ||
-          delta.wire_bytes() < theta.size() * sizeof(float)) {
-        ModelBroadcastMsg msg;
-        msg.round = dense.round;
-        msg.codec = static_cast<std::uint8_t>(fl::Codec::kDelta);
-        msg.base_round = base;
-        msg.delta = std::move(delta);
-        built = std::move(msg);
-      }
-    }
-    cache_it = delta_cache.emplace(base, std::move(built)).first;
-  }
-  return cache_it->second ? *cache_it->second : dense;
-}
-
-void ServerNode::run_lead() {
-  // Phase 0: wait for the full federation to join.
-  const auto join_deadline = std::chrono::steady_clock::now() + config_.timeouts.join;
+void ServerNode::await_federation() {
+  const auto join_deadline =
+      std::chrono::steady_clock::now() + config_.timeouts.join;
   while ((joined_workers_ < topology_.workers ||
           joined_servers_ + 1 < topology_.servers) &&
          !stop_.load(std::memory_order_relaxed)) {
@@ -1038,20 +865,64 @@ void ServerNode::run_lead() {
     auto env = endpoint_->recv(left);
     if (env) handle_control(*env);
   }
+}
 
+void ServerNode::join_federation() {
+  const NodeKey lead = topology_.lead_key();
+  JoinMsg join{endpoint_->address(), NodeRole::kServer};
+  std::uint64_t join_sent_us = 0;
+  if (tracer_.tracing()) {
+    join.features = kFeatureTrace;
+    join_sent_us = trace_now_us();
+    join.clock_us = join_sent_us;
+  }
+  traced_send(*endpoint_, tracer_, lead, MessageType::kJoin, join, 0);
+  const auto join_deadline =
+      std::chrono::steady_clock::now() + config_.timeouts.join;
+  bool acked = false;
+  while (!acked && !stop_.load(std::memory_order_relaxed)) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        join_deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      throw std::runtime_error("ServerNode " +
+                               std::to_string(endpoint_->address()) +
+                               ": join timed out");
+    }
+    auto env = endpoint_->recv(left);
+    if (!env) continue;
+    if (env->type == MessageType::kJoinAck) {
+      const auto handle_start = std::chrono::steady_clock::now();
+      const auto ack = decode_payload<JoinAckMsg>(env->payload);
+      // A follower that may be elected executor must know when the run
+      // ends; the JoinAck carries the lead's round budget.
+      if (config_.rounds == 0) config_.rounds = ack.rounds;
+      if (tracer_.tracing() && (ack.features & kFeatureTrace) != 0) {
+        const std::uint64_t t1 = trace_now_us();
+        const std::int64_t rtt = static_cast<std::int64_t>(t1 - join_sent_us);
+        const std::int64_t skew = static_cast<std::int64_t>(ack.clock_us) +
+                                  rtt / 2 - static_cast<std::int64_t>(t1);
+        tracer_.clock(skew, rtt);
+      }
+      note_handled(tracer_, *env, handle_start);
+      acked = true;
+    } else {
+      handle_control(*env);
+    }
+  }
+}
+
+void ServerNode::run_executor() {
   obs::RoundTraceRecorder* recorder =
       trace_recorder_ ? trace_recorder_ : &obs::RoundTraceRecorder::global();
-
-  // The lead's clock is the merged timeline's reference: skew 0.
-  if (tracer_.tracing()) tracer_.clock(0, 0);
-
   auto& metrics = NetMetrics::global();
   const std::size_t quorum_min = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::ceil(config_.quorum.min_fraction *
                                             topology_.workers)));
+  const std::uint32_t self = config_.server_index;
 
-  for (std::uint64_t r = 0; r < config_.rounds; ++r) {
-    if (stop_.load(std::memory_order_relaxed)) return;
+  while (next_round_ < config_.rounds &&
+         !stop_.load(std::memory_order_relaxed)) {
+    const std::uint64_t r = next_round_;
     const CounterSnapshot net_before = CounterSnapshot::take();
     const auto train_start = std::chrono::steady_clock::now();
 
@@ -1069,16 +940,24 @@ void ServerNode::run_lead() {
     // Broadcast θ_t to the live roster; every live worker's liveness
     // window restarts here so a long collect cannot starve it. Workers
     // that negotiated kDelta get a sparse update against the last θ they
-    // acknowledged when that beats the dense checkpoint.
+    // acknowledged when that beats the dense checkpoint. Workers whose
+    // upload for r is already buffered (this executor took over a round
+    // the old one had broadcast) are skipped — they trained this round
+    // and a duplicate broadcast would only cost a cached re-upload.
     ModelBroadcastMsg broadcast;
     broadcast.round = r;
     broadcast.checkpoint =
         nn::checkpoint_bytes(*global_model_, "round-" + std::to_string(r));
     const std::vector<float> theta = global_model_->flatten_parameters();
     std::map<std::uint64_t, std::optional<ModelBroadcastMsg>> delta_cache;
+    const auto redriven = pending_uploads_.find(r);
     for (std::uint32_t i = 0; i < topology_.workers; ++i) {
       if (dead_workers_.count(i) != 0) continue;
       last_seen_[i] = train_start;
+      if (redriven != pending_uploads_.end() &&
+          redriven->second.count(i) != 0) {
+        continue;
+      }
       try {
         traced_send(*endpoint_, tracer_, topology_.worker_key(i),
                     MessageType::kModelBroadcast,
@@ -1115,6 +994,29 @@ void ServerNode::run_lead() {
         topology_.workers - std::min<std::size_t>(dead_workers_.size(),
                                                   topology_.workers);
     if (counted < quorum_min) {
+      if (config_.failover) {
+        // Losing the worker quorum under failover means *this* server is
+        // likely the partitioned side, not the workers: demote to
+        // follower instead of killing the run, give the uploads back to
+        // the buffer (a successor re-drives r from them), and forget
+        // every liveness judgment made while partitioned. The mute keeps
+        // a truly isolated ex-executor from proposing elections into the
+        // void; any received envelope lifts it.
+        util::log_warn() << "net: server " << endpoint_->address()
+                         << " lost the worker quorum for round " << r << " ("
+                         << counted << " of " << topology_.workers
+                         << "), stepping down as executor";
+        for (auto& [worker, msg] : slots) {
+          pending_uploads_[r][worker] = std::move(msg);
+        }
+        dead_workers_.clear();
+        revive_pending_.clear();
+        last_seen_.clear();
+        acked_round_.clear();
+        executor_index_ = kUnknownExecutor;
+        election_muted_ = true;
+        return;
+      }
       // Abort path: capture the last K events of every node before the
       // exception unwinds the cluster.
       tracer_.note(obs::FlightEventKind::kQuorumAbort, obs::kNoFlightPeer, 0,
@@ -1134,22 +1036,22 @@ void ServerNode::run_lead() {
     }
 
     // Publish the counted set so every follower replica feeds its engine
-    // the same inputs this one is about to see.
+    // the same inputs this one is about to see. The summary also names
+    // the next round's executor: under rotation the next live server,
+    // otherwise this one (the field doubles as the "who is the lead right
+    // now" signal rejoining nodes re-home on).
+    const std::uint32_t next_executor =
+        (config_.rotate_executor && r + 1 < config_.rounds)
+            ? next_live_server(self)
+            : self;
     RoundSummaryMsg summary;
     summary.round = r;
     summary.degraded = counted < topology_.workers ? 1 : 0;
+    summary.next_executor = next_executor;
     summary.counted.reserve(counted);
     for (const auto& [worker, msg] : slots) summary.counted.push_back(worker);
     const auto assess_start = std::chrono::steady_clock::now();
-    for (std::uint32_t j = 1; j < topology_.servers; ++j) {
-      try {
-        traced_send(*endpoint_, tracer_, topology_.server_key(j),
-                    MessageType::kRoundSummary, summary, r);
-      } catch (const std::exception& e) {
-        util::log_warn() << "net: summary to server " << j
-                         << " failed: " << e.what();
-      }
-    }
+    send_to_other_servers(MessageType::kRoundSummary, summary, r);
 
     std::vector<GradientUploadMsg> msgs;
     msgs.reserve(slots.size());
@@ -1157,13 +1059,13 @@ void ServerNode::run_lead() {
     const std::vector<fl::Upload> uploads =
         canonicalize_uploads(msgs, topology_.workers);
 
-    // Full pipeline on the lead's replica.
+    // Full pipeline on the executor's replica.
     const core::RoundReport report = engine_->process_round(uploads);
 
     if (replicated_) {
       // The engine just sealed block r; propose it. Followers re-derive
       // the same block from their own replica state and answer with
-      // signed endorsements — the lead never ships a bare "trust me".
+      // signed endorsements — the executor never ships a bare "trust me".
       const chain::SealedBlockHeader& sealed = replicated_->propose(r);
       BlockProposalMsg proposal;
       proposal.round = r;
@@ -1173,25 +1075,20 @@ void ServerNode::run_lead() {
       proposal.block_hash = sealed.header.block_hash;
       proposal.executor_sig = sealed.executor_sig;
       proposal.records = engine_->ledger().block(r).records;
-      for (std::uint32_t j = 1; j < topology_.servers; ++j) {
-        try {
-          traced_send(*endpoint_, tracer_, topology_.server_key(j),
-                      MessageType::kBlockProposal, proposal, r);
-        } catch (const std::exception& e) {
-          util::log_warn() << "net: block proposal to server " << j
-                           << " failed: " << e.what();
-        }
-      }
+      send_to_other_servers(MessageType::kBlockProposal, proposal, r);
+      drain_pending_votes(r);
     }
 
     // Gather the follower slices and check every complete one bitwise
     // against this replica's result: divergence on a complete slice means
     // the deterministic-replica invariant broke, which would silently
     // fork the federation. A missing or incomplete slice is a tolerated
-    // crash-fault gap (net.slice_gaps), not divergence.
+    // crash-fault gap (net.slice_gaps), not divergence; known-dead
+    // servers are not waited for and not counted as gaps.
     const auto slice_deadline =
         std::chrono::steady_clock::now() + config_.timeouts.phase;
-    while (pending_slices_[r].size() + 1 < topology_.servers &&
+    while (pending_slices_[r].size() + 1 + dead_servers_.size() <
+               topology_.servers &&
            !stop_.load(std::memory_order_relaxed)) {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
           slice_deadline - std::chrono::steady_clock::now());
@@ -1207,7 +1104,8 @@ void ServerNode::run_lead() {
         handle_control(*env);
       }
     }
-    for (std::uint32_t j = 1; j < topology_.servers; ++j) {
+    for (std::uint32_t j = 0; j < topology_.servers; ++j) {
+      if (j == self || dead_servers_.count(j) != 0) continue;
       const auto slice_it = pending_slices_[r].find(j);
       if (slice_it == pending_slices_[r].end()) {
         metrics.slice_gaps->inc();
@@ -1248,7 +1146,7 @@ void ServerNode::run_lead() {
       // (θ update, assessment) are published — a below-quorum ledger means
       // the audit trail is no longer replicated enough to be trusted.
       const auto commit_start = std::chrono::steady_clock::now();
-      await_ledger_commit(r);
+      if (!await_ledger_commit(r)) return;  // demoted: a successor re-drives r
       if (stop_.load(std::memory_order_relaxed)) return;
       note_phase(tracer_, metrics.phase_ledger_commit_ms, "ledger_commit", r,
                  commit_start);
@@ -1259,6 +1157,7 @@ void ServerNode::run_lead() {
     // slices were just proven bitwise equal).
     fl::apply_gradient_step(*global_model_, report.global_gradient,
                             config_.global_learning_rate);
+    theta_round_ = r + 1;
 
     // Publish the assessment + this round's sealed audit records.
     AssessmentResultMsg assessment;
@@ -1328,7 +1227,22 @@ void ServerNode::run_lead() {
       round_callback_(result, global_model_->flatten_parameters());
     }
     results_.push_back(std::move(result));
+
+    next_round_ = r + 1;
+
+    // Rotation handoff: the summary already named the successor; this
+    // node rejoins the round loop as a follower and the successor assumes
+    // the role once it holds block r committed (chain-head handoff).
+    if (next_executor != self) {
+      executor_index_ = next_executor;
+      util::log_info() << "net: server " << endpoint_->address()
+                       << " hands the executor role to server "
+                       << next_executor << " for round " << r + 1;
+      return;
+    }
   }
+  if (stop_.load(std::memory_order_relaxed)) return;
+  done_ = true;
 
   // Dissolve the federation (dead workers already exited on their own).
   for (std::uint32_t i = 0; i < topology_.workers; ++i) {
@@ -1340,12 +1254,878 @@ void ServerNode::run_lead() {
       // A worker that already dropped its connection is fine to skip.
     }
   }
-  for (std::uint32_t j = 1; j < topology_.servers; ++j) {
+  for (std::uint32_t j = 0; j < topology_.servers; ++j) {
+    if (j == config_.server_index) continue;
     try {
       endpoint_->send_msg(topology_.server_key(j), MessageType::kLeave,
                           LeaveMsg{endpoint_->address(), "training complete"});
     } catch (const std::exception&) {
     }
+  }
+}
+
+void ServerNode::run_follower() {
+  auto& metrics = NetMetrics::global();
+  // A degraded round legitimately silences this link for a full phase
+  // (the executor waiting out its collect deadline) and, when our slice
+  // was lost, a second one (the slice wait) — so only three phases of
+  // unbroken silence mean the federation is actually gone. Under failover
+  // the budget stretches to eight: a crashed-and-recovering server hears
+  // nothing until the transport revives it.
+  const auto silence_budget =
+      (config_.failover ? 8 : 3) * config_.timeouts.phase;
+  // Executor-progress deadline: a summary or proposal should arrive at
+  // least once per round; two phases plus a liveness window absorb the
+  // slowest degraded round without false-firing the election.
+  const auto progress_budget =
+      2 * config_.timeouts.phase + config_.timeouts.liveness;
+  // With a runtime executor role the follower must wake often enough to
+  // run the progress check; without one the old one-phase nap is cheaper.
+  const auto recv_wait = (config_.failover || config_.rotate_executor)
+                             ? config_.timeouts.heartbeat
+                             : config_.timeouts.phase;
+  auto last_traffic = std::chrono::steady_clock::now();
+  auto last_progress = last_traffic;
+  while (!leave_received_ && !stop_.load(std::memory_order_relaxed)) {
+    if (is_executor()) return;  // elected (or handed off) mid-drain
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_traffic > silence_budget) {
+      util::log_warn() << "net: server " << endpoint_->address()
+                       << " timed out waiting for traffic, exiting";
+      done_ = true;
+      return;
+    }
+    if (config_.failover && replicated_ && !election_muted_ &&
+        now - last_progress > progress_budget) {
+      if (run_election()) return;
+      last_progress = std::chrono::steady_clock::now();
+    }
+    auto env = endpoint_->recv(recv_wait);
+    if (!env) continue;
+    last_traffic = std::chrono::steady_clock::now();
+    if (election_muted_) {
+      // The federation is talking to us again: the demotion-era silence
+      // is over, re-arm the election clock from scratch.
+      election_muted_ = false;
+      last_progress = last_traffic;
+    }
+    if (env->type == MessageType::kGradientUpload) {
+      auto msg = decode_payload<GradientUploadMsg>(env->payload);
+      if (msg.round >= next_round_) {
+        pending_uploads_[msg.round][msg.worker] = std::move(msg);
+      } else {
+        metrics.late_uploads->inc();
+      }
+      note_handled(tracer_, *env, last_traffic);
+    } else {
+      if (env->type == MessageType::kRoundSummary ||
+          env->type == MessageType::kBlockProposal) {
+        last_progress = last_traffic;  // the executor is making progress
+      }
+      handle_control(*env);
+    }
+    // Run every round whose summary has arrived, strictly in order.
+    while (!pending_summaries_.empty() && !leave_received_ &&
+           !stop_.load(std::memory_order_relaxed)) {
+      auto it = pending_summaries_.begin();
+      if (it->first < next_round_) {  // stale duplicate
+        summary_sender_.erase(it->first);
+        pending_summaries_.erase(it);
+        continue;
+      }
+      if (it->first > next_round_) {
+        // A summary went missing. With failover the replica heals itself:
+        // replay the committed blocks it skipped from whoever sent the
+        // newer summary (the live executor). Without it the replica can
+        // never rejoin the deterministic sequence.
+        if (config_.failover && replicated_ && !diverged_) {
+          const auto sender = summary_sender_.find(it->first);
+          const NodeKey target = sender != summary_sender_.end()
+                                     ? sender->second
+                                     : topology_.lead_key();
+          if (!request_chain_sync(target)) break;  // rate-limited / timeout
+          continue;  // the sync may have advanced next_round_
+        }
+        if (!diverged_) {
+          diverged_ = true;
+          util::log_warn() << "net: server " << endpoint_->address()
+                           << " missed summary for round " << next_round_
+                           << ", replica diverged";
+        }
+        next_round_ = it->first;
+      }
+      const RoundSummaryMsg summary = std::move(it->second);
+      const auto sender = summary_sender_.find(summary.round);
+      const NodeKey executor = sender != summary_sender_.end()
+                                   ? sender->second
+                                   : topology_.lead_key();
+      summary_sender_.erase(summary.round);
+      pending_summaries_.erase(summary.round);
+      process_summary(summary, executor);
+      pending_uploads_.erase(pending_uploads_.begin(),
+                             pending_uploads_.upper_bound(summary.round));
+      next_round_ = summary.round + 1;
+      last_progress = std::chrono::steady_clock::now();
+      // Every block this replica has now sealed can be checked against
+      // the executor's proposal and endorsed (or exposed as a fork).
+      if (replicated_) follower_vote_on_proposals();
+      if (summary.next_executor == config_.server_index && !diverged_ &&
+          next_round_ < config_.rounds) {
+        // Chain-head handoff: assume the role only once block r is
+        // committed locally, so the chain cannot fork across a rotation.
+        // A failed wait leaves the executor unknown; the election (or the
+        // old executor re-driving) resolves it.
+        if (replicated_ && await_handoff_commit(summary.round)) {
+          util::log_info() << "net: server " << endpoint_->address()
+                           << " takes the executor role for round "
+                           << next_round_ << " (rotation handoff)";
+          executor_index_ = config_.server_index;
+          return;
+        }
+        executor_index_ = kUnknownExecutor;
+        continue;
+      }
+      if (summary.next_executor < topology_.servers) {
+        executor_index_ = summary.next_executor;
+      }
+    }
+    if (replicated_) follower_vote_on_proposals();
+  }
+  if (leave_received_) done_ = true;
+}
+
+void ServerNode::follower_vote_on_proposals() {
+  while (!pending_proposals_.empty()) {
+    const auto it = pending_proposals_.begin();
+    if (diverged_) {
+      // A diverged replica skipped engine rounds; it can no longer attest
+      // blocks it never sealed. Dropping the proposal (instead of voting
+      // no) keeps the fault crash-shaped: the executor counts a missing
+      // vote, not a contradiction.
+      pending_proposals_.erase(it);
+      continue;
+    }
+    if (replicated_->committed(it->first)) {
+      // A re-proposal of a block this replica already holds committed (a
+      // takeover executor rebuilding its certificate): answer with a
+      // fresh vote signed over the proposed header, without touching the
+      // committed local entry. Skipping instead would starve the new
+      // executor's certificate forever — its propose() cleared the votes.
+      const BlockProposalMsg proposal = std::move(it->second);
+      pending_proposals_.erase(it);
+      const chain::SealedBlockHeader* own =
+          replicated_->sealed(proposal.block_index);
+      if (own != nullptr && own->header.block_hash == proposal.block_hash) {
+        BlockVoteMsg out;
+        out.round = proposal.round;
+        out.block_index = proposal.block_index;
+        out.block_hash = proposal.block_hash;
+        out.vote = replicated_->registry().sign(
+            replicated_->self(), proposal.header().canonical_payload());
+        send_to_other_servers(MessageType::kBlockVote, out, proposal.round);
+      }
+      continue;
+    }
+    if (it->first >= engine_->ledger().block_count()) break;  // not sealed yet
+    const BlockProposalMsg proposal = std::move(it->second);
+    pending_proposals_.erase(it);
+    const std::optional<chain::Signature> vote = replicated_->verify_and_vote(
+        proposal.header(), proposal.executor_sig, proposal.records);
+    if (!vote) {
+      // The executor proposed a block this replica's deterministic ledger
+      // did not produce: a fork, by construction the strongest Byzantine
+      // signal the protocol can emit. Capture everyone's recent events
+      // before unwinding.
+      tracer_.note(obs::FlightEventKind::kLedgerFork,
+                   proposal.executor_sig.signer,
+                   static_cast<std::uint8_t>(MessageType::kBlockProposal),
+                   proposal.round);
+      obs::FlightRegistry::global().dump("ledger_fork");
+      throw std::runtime_error(
+          "server " + std::to_string(endpoint_->address()) +
+          ": proposed block " + std::to_string(proposal.block_index) +
+          " contradicts the local replica ledger (fork)");
+    }
+    BlockVoteMsg out;
+    out.round = proposal.round;
+    out.block_index = proposal.block_index;
+    out.block_hash = proposal.block_hash;
+    out.vote = *vote;
+    // Votes go to every server, not just the executor: each replica folds
+    // the whole federation's endorsements into its own certificate, so
+    // any survivor can serve proofs and chain syncs.
+    send_to_other_servers(MessageType::kBlockVote, out, proposal.round);
+    drain_pending_votes(proposal.block_index);
+  }
+}
+
+void ServerNode::apply_block_vote(const BlockVoteMsg& msg) {
+  const chain::SealedBlockHeader* entry = replicated_->sealed(msg.block_index);
+  if (entry == nullptr || entry->header.block_hash == chain::Digest{}) {
+    // The vote raced ahead of this replica's own endorsement/proposal:
+    // park it until the entry exists.
+    pending_votes_[msg.block_index].push_back(msg);
+    return;
+  }
+  try {
+    replicated_->record_vote(msg.block_index, msg.block_hash, msg.vote);
+  } catch (const std::exception& e) {
+    // A validly signed vote for a *different* block hash at this index:
+    // some replica sealed a contradicting history.
+    tracer_.note(obs::FlightEventKind::kLedgerFork, msg.vote.signer,
+                 static_cast<std::uint8_t>(MessageType::kBlockVote),
+                 msg.round);
+    obs::FlightRegistry::global().dump("ledger_fork");
+    throw std::runtime_error("server " + std::to_string(endpoint_->address()) +
+                             ": block vote for round " +
+                             std::to_string(msg.round) +
+                             " exposes a ledger fork: " + e.what());
+  }
+}
+
+void ServerNode::drain_pending_votes(std::uint64_t block_index) {
+  const auto it = pending_votes_.find(block_index);
+  if (it == pending_votes_.end()) return;
+  std::vector<BlockVoteMsg> votes = std::move(it->second);
+  pending_votes_.erase(it);
+  for (const BlockVoteMsg& vote : votes) apply_block_vote(vote);
+}
+
+bool ServerNode::await_ledger_commit(std::uint64_t r) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.timeouts.phase;
+  while (!replicated_->committed(r) &&
+         !stop_.load(std::memory_order_relaxed)) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      const chain::SealedBlockHeader* sealed = replicated_->sealed(r);
+      const std::uint64_t votes =
+          sealed ? 1 + sealed->votes.size() : 0;  // executor counts itself
+      if (config_.failover) {
+        // No votes arrived within the phase: this executor is the cut-off
+        // side (crashed transport, partition) — the followers already hold
+        // the round summary and will elect a successor to re-drive r.
+        // Step down instead of killing the run. The engine here is one
+        // round ahead of the committed chain (block r sealed but
+        // unendorsed), so mark the replica diverged: rejoin-by-replay
+        // heals it if connectivity returns. Mirrors the worker-quorum
+        // demote above, including forgetting partition-tainted liveness
+        // judgments and muting elections until an envelope proves the
+        // network is back.
+        util::log_warn() << "net: server " << endpoint_->address()
+                         << " ledger commit for round " << r
+                         << " below quorum (" << votes << " of "
+                         << replicated_->quorum()
+                         << " endorsements), stepping down as executor";
+        diverged_ = true;
+        dead_workers_.clear();
+        revive_pending_.clear();
+        last_seen_.clear();
+        acked_round_.clear();
+        executor_index_ = kUnknownExecutor;
+        election_muted_ = true;
+        return false;
+      }
+      tracer_.note(obs::FlightEventKind::kQuorumAbort, obs::kNoFlightPeer,
+                   static_cast<std::uint8_t>(MessageType::kBlockVote), r,
+                   votes);
+      obs::FlightRegistry::global().dump("quorum_abort");
+      throw std::runtime_error(
+          "server " + std::to_string(endpoint_->address()) + ": round " +
+          std::to_string(r) + " ledger commit below quorum (" +
+          std::to_string(votes) + " of " +
+          std::to_string(replicated_->quorum()) + " endorsements)");
+    }
+    auto env = endpoint_->recv(left);
+    if (!env) continue;
+    if (env->type == MessageType::kGradientUpload) {
+      const auto handle_start = std::chrono::steady_clock::now();
+      lead_handle_upload(decode_payload<GradientUploadMsg>(env->payload), r,
+                         nullptr);
+      note_handled(tracer_, *env, handle_start);
+    } else {
+      handle_control(*env);
+    }
+  }
+  return true;
+}
+
+void ServerNode::process_summary(const RoundSummaryMsg& summary,
+                                 NodeKey executor) {
+  const std::uint64_t r = summary.round;
+  const std::uint32_t j = config_.server_index;
+
+  bool complete = !diverged_;
+  if (complete) {
+    // Grace-wait for counted uploads that are still in flight behind the
+    // summary (the executor saw them; this replica's copies may be
+    // delayed).
+    const auto deadline =
+        std::chrono::steady_clock::now() + config_.timeouts.phase;
+    while (!leave_received_ && !stop_.load(std::memory_order_relaxed)) {
+      const auto& slots = pending_uploads_[r];
+      const bool missing =
+          std::any_of(summary.counted.begin(), summary.counted.end(),
+                      [&](std::uint32_t w) { return slots.count(w) == 0; });
+      if (!missing) break;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        complete = false;
+        break;
+      }
+      auto env = endpoint_->recv(left);
+      if (!env) continue;
+      if (env->type == MessageType::kGradientUpload) {
+        auto msg = decode_payload<GradientUploadMsg>(env->payload);
+        if (msg.round >= r) {
+          pending_uploads_[msg.round][msg.worker] = std::move(msg);
+        }
+      } else {
+        handle_control(*env);  // later summaries buffer for the run loop
+      }
+    }
+    if (leave_received_ || stop_.load(std::memory_order_relaxed)) return;
+  }
+
+  SliceAggregateMsg out;
+  out.round = r;
+  out.server_index = j;
+  out.offset = engine_->plan().offset(j);
+  if (complete) {
+    // Feed the engine exactly the executor's counted set; uploads this
+    // replica received beyond it are discarded, workers not listed become
+    // absent (uncertain) — byte-identical inputs to the executor's.
+    auto& slots = pending_uploads_[r];
+    std::vector<GradientUploadMsg> msgs;
+    msgs.reserve(summary.counted.size());
+    for (std::uint32_t w : summary.counted) msgs.push_back(std::move(slots[w]));
+    const std::vector<fl::Upload> uploads =
+        canonicalize_uploads(msgs, topology_.workers);
+    const core::RoundReport report = engine_->process_round(uploads);
+
+    // This replica's slice of the aggregated gradient — the paper's
+    // polycentric server->lead traffic (Sec. 3.2).
+    const std::span<const float> slice =
+        engine_->plan().slice(report.global_gradient, j);
+    out.complete = 1;
+    out.values.assign(slice.begin(), slice.end());
+
+    // θ replica (rotation/failover): the same gradient step the executor
+    // applies — bit-identical float ops, so any server can take over the
+    // executor role with the executor's exact parameters.
+    if (global_model_) {
+      fl::apply_gradient_step(*global_model_, report.global_gradient,
+                              config_.global_learning_rate);
+      theta_round_ = r + 1;
+    }
+  } else {
+    // A counted upload never reached this replica, so it cannot reproduce
+    // the executor's engine inputs. Its state is now behind; it answers
+    // with an empty incomplete slice and lets the executor count the gap
+    // (with failover on, the next summary triggers rejoin-by-replay).
+    if (!diverged_) {
+      diverged_ = true;
+      util::log_warn() << "net: server " << endpoint_->address()
+                       << " lacks counted uploads for round " << r
+                       << ", replica diverged";
+    }
+    out.complete = 0;
+  }
+  try {
+    traced_send(*endpoint_, tracer_, executor, MessageType::kSliceAggregate,
+                out, r);
+  } catch (const std::exception& e) {
+    util::log_warn() << "net: server " << endpoint_->address()
+                     << " failed to send slice for round " << r << ": "
+                     << e.what();
+  }
+}
+
+void ServerNode::note_broadcast_ack(NodeKey worker, std::uint64_t round) {
+  const auto [it, inserted] = acked_round_.try_emplace(worker, round);
+  if (!inserted && it->second < round) it->second = round;
+}
+
+const ModelBroadcastMsg& ServerNode::broadcast_for(
+    std::uint32_t worker, const ModelBroadcastMsg& dense,
+    std::span<const float> theta,
+    std::map<std::uint64_t, std::optional<ModelBroadcastMsg>>& delta_cache) {
+  const auto codec_it = peer_broadcast_codec_.find(worker);
+  if (codec_it == peer_broadcast_codec_.end() ||
+      codec_it->second != fl::Codec::kDelta) {
+    return dense;
+  }
+  const auto ack_it = acked_round_.find(worker);
+  if (ack_it == acked_round_.end()) return dense;  // never acked: re-base
+  const std::uint64_t base = ack_it->second;
+  auto cache_it = delta_cache.find(base);
+  if (cache_it == delta_cache.end()) {
+    // First worker basing on `base` this round: build (or decline) the
+    // delta once and cache the decision for the rest of the roster.
+    std::optional<ModelBroadcastMsg> built;
+    const auto hist_it = broadcast_history_.find(base);
+    if (hist_it != broadcast_history_.end() &&
+        hist_it->second.size() == theta.size()) {
+      fl::SparseVector delta = fl::delta_compress(hist_it->second, theta);
+      // Break-even on parameter payload: 5-9 bytes per sparse entry
+      // (varint index + f32) against 4 per dense param.
+      if (!config_.compression.delta_dense_fallback ||
+          delta.wire_bytes() < theta.size() * sizeof(float)) {
+        ModelBroadcastMsg msg;
+        msg.round = dense.round;
+        msg.codec = static_cast<std::uint8_t>(fl::Codec::kDelta);
+        msg.base_round = base;
+        msg.delta = std::move(delta);
+        built = std::move(msg);
+      }
+    }
+    cache_it = delta_cache.emplace(base, std::move(built)).first;
+  }
+  return cache_it->second ? *cache_it->second : dense;
+}
+
+template <typename Msg>
+void ServerNode::send_to_other_servers(MessageType type, const Msg& msg,
+                                       std::uint64_t round) {
+  for (std::uint32_t j = 0; j < topology_.servers; ++j) {
+    if (j == config_.server_index) continue;
+    try {
+      traced_send(*endpoint_, tracer_, topology_.server_key(j), type, msg,
+                  round);
+    } catch (const std::exception& e) {
+      util::log_warn() << "net: server " << endpoint_->address()
+                       << " failed to send " << message_type_name(type)
+                       << " to server " << j << ": " << e.what();
+    }
+  }
+}
+
+std::uint32_t ServerNode::next_live_server(std::uint32_t self) const {
+  for (std::uint32_t step = 1; step <= topology_.servers; ++step) {
+    const std::uint32_t j = (self + step) % topology_.servers;
+    if (j == self) break;
+    if (dead_servers_.count(j) == 0) return j;
+  }
+  return self;
+}
+
+chain::Digest ServerNode::committed_head() const {
+  const std::size_t tip = replicated_->committed_count();
+  if (tip == 0) return chain::Digest{};
+  return replicated_->sealed(tip - 1)->header.block_hash;
+}
+
+void ServerNode::handle_view_change(const ViewChangeMsg& msg) {
+  if (msg.proposer_index >= topology_.servers ||
+      msg.proposer_index == config_.server_index) {
+    return;
+  }
+  if (msg.sig.signer != topology_.server_key(msg.proposer_index) ||
+      !replicated_->registry().verify(msg.sig, msg.canonical_payload())) {
+    util::log_warn() << "net: server " << endpoint_->address()
+                     << " rejects a view change with a bad signature from "
+                        "server "
+                     << msg.proposer_index;
+    return;
+  }
+  // One grant per view, and never a grant for a view this node itself is
+  // campaigning in — two same-view candidates granting each other would
+  // elect two executors.
+  if (msg.view <= granted_view_ || msg.view == proposed_view_) return;
+  const std::uint64_t own_count = replicated_->committed_count();
+  // Grant iff the proposer's committed chain subsumes ours: strictly
+  // longer, or equal length with the identical head. An executor never
+  // grants — it is, by definition, alive and making progress.
+  const bool granted =
+      !is_executor() && (msg.committed_count > own_count ||
+                         (msg.committed_count == own_count &&
+                          msg.head == committed_head()));
+  ViewChangeVoteMsg vote;
+  vote.round = msg.round;
+  vote.view = msg.view;
+  vote.proposer_index = msg.proposer_index;
+  vote.voter_index = config_.server_index;
+  vote.granted = granted ? 1 : 0;
+  vote.committed_count = own_count;
+  vote.head = committed_head();
+  vote.sig =
+      replicated_->registry().sign(replicated_->self(), vote.canonical_payload());
+  try {
+    traced_send(*endpoint_, tracer_,
+                topology_.server_key(msg.proposer_index),
+                MessageType::kViewChangeVote, vote, msg.round);
+  } catch (const std::exception& e) {
+    util::log_warn() << "net: server " << endpoint_->address()
+                     << " failed to answer a view change: " << e.what();
+  }
+  if (!granted) return;
+  granted_view_ = msg.view;
+  view_ = std::max(view_, msg.view);
+  // dead_index == proposer_index is the proposer saying "I do not know
+  // who died" (it was demoted, not watching) — nothing to record then.
+  if (msg.dead_index < topology_.servers &&
+      msg.dead_index != config_.server_index &&
+      msg.dead_index != msg.proposer_index) {
+    dead_servers_.insert(msg.dead_index);
+  }
+  executor_index_ = msg.proposer_index;
+  util::log_info() << "net: server " << endpoint_->address()
+                   << " granted view " << msg.view << " to server "
+                   << msg.proposer_index;
+}
+
+bool ServerNode::run_election() {
+  auto& metrics = NetMetrics::global();
+  const std::uint32_t self = config_.server_index;
+  // Whoever we were waiting on is the casualty. A demoted ex-executor
+  // (executor_index_ == kUnknownExecutor) does not know who is in charge,
+  // so it reports itself — the sentinel grantors ignore.
+  const std::uint32_t dead =
+      executor_index_ == kUnknownExecutor ? self : executor_index_;
+  if (dead != self) dead_servers_.insert(dead);
+  executor_index_ = kUnknownExecutor;
+  view_ = std::max(view_, granted_view_) + 1;
+
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t j = 0; j < topology_.servers; ++j) {
+    if (dead_servers_.count(j) == 0) candidates.push_back(j);
+  }
+  // Reputation-ranked backoff (Sec. 4.2 put to work): the most reputable
+  // live server proposes first; ties break toward the lower index. Every
+  // replica computes the same ranking from its replicated reputation
+  // state, so the backoff slots rarely collide.
+  const auto rep_of = [this](std::uint32_t j) {
+    const auto& members = engine_->server_members();
+    return j < members.size()
+               ? engine_->reputation().reputation(members[j])
+               : 0.0;
+  };
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     const double ra = rep_of(a), rb = rep_of(b);
+                     if (ra != rb) return ra > rb;
+                     return a < b;
+                   });
+  std::size_t rank = 0;
+  while (rank < candidates.size() && candidates[rank] != self) ++rank;
+  const auto backoff = rank * config_.timeouts.liveness;
+  const auto started = std::chrono::steady_clock::now();
+  const auto deadline = started + 2 * config_.timeouts.phase;
+  bool proposed = false;
+  std::size_t grants = 0;
+  election_votes_.clear();
+  util::log_warn() << "net: server " << endpoint_->address()
+                   << " starts an election for view " << view_
+                   << " (executor " << dead << " silent, rank " << rank
+                   << ")";
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // A better-ranked candidate won while we were waiting our slot (the
+    // grant re-homed executor_index_ via handle_view_change).
+    if (executor_index_ != kUnknownExecutor) return is_executor();
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      tracer_.note(obs::FlightEventKind::kQuorumAbort, obs::kNoFlightPeer,
+                   static_cast<std::uint8_t>(MessageType::kViewChange),
+                   next_round_, grants);
+      obs::FlightRegistry::global().dump("view_change_abort");
+      throw std::runtime_error(
+          "server " + std::to_string(endpoint_->address()) +
+          ": view change for round " + std::to_string(next_round_) +
+          " below quorum (" + std::to_string(grants) + " of " +
+          std::to_string(replicated_->quorum()) + " grants)");
+    }
+    if (!proposed && now - started >= backoff) {
+      proposed = true;
+      proposed_view_ = view_;
+      grants = 1;  // our own
+      ViewChangeMsg msg;
+      msg.round = next_round_;
+      msg.view = view_;
+      msg.proposer_index = self;
+      msg.dead_index = dead;
+      msg.committed_count = replicated_->committed_count();
+      msg.head = committed_head();
+      msg.sig = replicated_->registry().sign(replicated_->self(),
+                                             msg.canonical_payload());
+      send_to_other_servers(MessageType::kViewChange, msg, next_round_);
+    }
+    // Fold in the grant/nack replies handle_control parked for us.
+    std::vector<ViewChangeVoteMsg> votes;
+    votes.swap(election_votes_);
+    for (const ViewChangeVoteMsg& vote : votes) {
+      if (!proposed || vote.view != view_ || vote.proposer_index != self ||
+          vote.voter_index >= topology_.servers ||
+          vote.voter_index == self ||
+          vote.sig.signer != topology_.server_key(vote.voter_index) ||
+          !replicated_->registry().verify(vote.sig,
+                                          vote.canonical_payload())) {
+        continue;
+      }
+      if (vote.granted != 0) {
+        ++grants;
+        continue;
+      }
+      if (vote.committed_count > replicated_->committed_count()) {
+        // The nack carries a longer committed chain: we are behind, not
+        // them. Sync up, then re-campaign in a fresh view.
+        if (request_chain_sync(topology_.server_key(vote.voter_index))) {
+          view_ = std::max(view_, granted_view_) + 1;
+          proposed = false;
+          grants = 0;
+        }
+      }
+    }
+    if (proposed && grants >= replicated_->quorum()) {
+      metrics.view_changes->inc();
+      metrics.election_ms->observe(elapsed_ms(started));
+      tracer_.note(obs::FlightEventKind::kViewChange,
+                   topology_.server_key(dead),
+                   static_cast<std::uint8_t>(MessageType::kViewChange),
+                   next_round_, view_);
+      util::log_warn() << "net: server " << endpoint_->address()
+                       << " won the election for view " << view_ << " with "
+                       << grants << " grants, taking over as executor";
+      executor_index_ = self;
+      // Re-propose every block past the committed tip: the dead executor
+      // may have sealed (and this replica endorsed) blocks whose quorum
+      // certificate it never finished assembling. propose() re-signs and
+      // restarts vote collection; the followers answer through the
+      // committed-re-vote path if they already hold the block committed.
+      const std::uint64_t blocks = engine_->ledger().block_count();
+      if (blocks > 0) {
+        for (std::uint64_t b = std::min<std::uint64_t>(
+                 replicated_->committed_count(), blocks - 1);
+             b < blocks; ++b) {
+          const chain::SealedBlockHeader& entry = replicated_->propose(b);
+          BlockProposalMsg proposal;
+          proposal.round = b;
+          proposal.block_index = entry.header.index;
+          proposal.previous_hash = entry.header.previous_hash;
+          proposal.merkle_root = entry.header.merkle_root;
+          proposal.block_hash = entry.header.block_hash;
+          proposal.executor_sig = entry.executor_sig;
+          proposal.records = engine_->ledger().block(b).records;
+          send_to_other_servers(MessageType::kBlockProposal, proposal, b);
+          drain_pending_votes(b);
+        }
+      }
+      next_round_ = engine_->round();
+      return true;
+    }
+    auto env = endpoint_->recv(config_.timeouts.heartbeat);
+    if (!env) continue;
+    if (env->type == MessageType::kGradientUpload) {
+      auto msg = decode_payload<GradientUploadMsg>(env->payload);
+      if (msg.round >= next_round_) {
+        pending_uploads_[msg.round][msg.worker] = std::move(msg);
+      } else {
+        metrics.late_uploads->inc();
+      }
+      note_handled(tracer_, *env, std::chrono::steady_clock::now());
+      continue;
+    }
+    handle_control(*env);
+    if (env->type == MessageType::kRoundSummary &&
+        env->from >= topology_.workers) {
+      // The "dead" executor spoke: it was slow, not gone. Stand down and
+      // let run_follower process the summary.
+      executor_index_ = env->from - topology_.workers;
+      return false;
+    }
+  }
+  return false;
+}
+
+bool ServerNode::await_handoff_commit(std::uint64_t r) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.timeouts.phase;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (replicated_->committed(r)) return true;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      util::log_warn() << "net: server " << endpoint_->address()
+                       << " handoff for round " << r
+                       << " timed out waiting for the block to commit";
+      return false;
+    }
+    auto env = endpoint_->recv(std::min(
+        left, std::chrono::duration_cast<std::chrono::milliseconds>(
+                  config_.timeouts.heartbeat)));
+    if (env) {
+      if (env->type == MessageType::kGradientUpload) {
+        auto msg = decode_payload<GradientUploadMsg>(env->payload);
+        if (msg.round >= next_round_) {
+          pending_uploads_[msg.round][msg.worker] = std::move(msg);
+        }
+        note_handled(tracer_, *env, std::chrono::steady_clock::now());
+      } else {
+        handle_control(*env);
+      }
+    }
+    follower_vote_on_proposals();
+  }
+  return false;
+}
+
+bool ServerNode::request_chain_sync(NodeKey target) {
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_sync_request_ < config_.timeouts.phase) return false;
+  last_sync_request_ = now;
+  ChainSyncRequestMsg req;
+  req.round = next_round_;
+  req.server_index = config_.server_index;
+  // The committed prefix, not the engine's block count: the engine may
+  // hold sealed-but-uncertified blocks whose certificates the dead
+  // executor never finished — re-fetching those heals the cert gap too.
+  req.from_block = replicated_->committed_count();
+  try {
+    traced_send(*endpoint_, tracer_, target, MessageType::kChainSyncRequest,
+                req, next_round_);
+  } catch (const std::exception& e) {
+    util::log_warn() << "net: server " << endpoint_->address()
+                     << " failed to request a chain sync: " << e.what();
+    return false;
+  }
+  const auto deadline = now + config_.timeouts.phase;
+  auto next_resend = now + config_.timeouts.heartbeat;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const auto tick = std::chrono::steady_clock::now();
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - tick);
+    if (left.count() <= 0) {
+      util::log_warn() << "net: server " << endpoint_->address()
+                       << " chain sync from node " << target << " timed out";
+      return false;
+    }
+    if (tick >= next_resend) {
+      // Re-fire the request at heartbeat cadence: over a lossy transport
+      // (or one that was still swallowing this node's sends when the
+      // first copy went out) a single datagram can vanish, and waiting
+      // out the whole phase for it strands the rejoin. Serving is
+      // idempotent and stray duplicate responses are dropped upstream.
+      next_resend = tick + config_.timeouts.heartbeat;
+      try {
+        traced_send(*endpoint_, tracer_, target,
+                    MessageType::kChainSyncRequest, req, next_round_);
+      } catch (const std::exception&) {
+      }
+    }
+    auto env = endpoint_->recv(std::min<std::chrono::milliseconds>(
+        left, std::chrono::duration_cast<std::chrono::milliseconds>(
+                  config_.timeouts.heartbeat)));
+    if (!env) continue;
+    // Inbound traffic is the strongest signal the link just healed (a
+    // recovering node's first delivered message marks the instant its
+    // transport came back): pull the next re-send forward so the sync
+    // lands while the cluster is still running, not a heartbeat later.
+    next_resend = std::min(next_resend, std::chrono::steady_clock::now() +
+                                            std::chrono::milliseconds(1));
+    if (env->type == MessageType::kChainSyncResponse) {
+      auto resp = decode_payload<ChainSyncResponseMsg>(env->payload);
+      note_handled(tracer_, *env, std::chrono::steady_clock::now());
+      return apply_chain_sync(resp);
+    }
+    if (env->type == MessageType::kGradientUpload) {
+      auto msg = decode_payload<GradientUploadMsg>(env->payload);
+      if (msg.round >= next_round_) {
+        pending_uploads_[msg.round][msg.worker] = std::move(msg);
+      }
+      note_handled(tracer_, *env, std::chrono::steady_clock::now());
+      continue;
+    }
+    handle_control(*env);
+  }
+  return false;
+}
+
+bool ServerNode::apply_chain_sync(const ChainSyncResponseMsg& resp) {
+  if (resp.ok == 0) return false;
+  auto& metrics = NetMetrics::global();
+  const std::size_t committed_before = replicated_->committed_count();
+  std::uint64_t replayed = 0;
+  for (const SyncedBlock& sb : resp.blocks) {
+    const std::uint64_t idx = sb.sealed.header.index;
+    const std::uint64_t have = engine_->ledger().block_count();
+    if (idx > have) {
+      throw std::runtime_error("server " +
+                               std::to_string(endpoint_->address()) +
+                               ": chain sync skipped block " +
+                               std::to_string(have));
+    }
+    if (idx == have) {
+      // Rejoin-by-replay: re-run the committed records through the local
+      // engine — reputation events, rewards, re-selection, and a re-sealed
+      // byte-identical block (adopt_committed verifies the match).
+      engine_->catch_up_block(sb.records);
+      ++replayed;
+    }
+    replicated_->adopt_committed(sb.sealed);
+  }
+  if (global_model_ && resp.theta_round > theta_round_) {
+    nn::restore_checkpoint(*global_model_, resp.theta);
+    theta_round_ = resp.theta_round;
+  }
+  next_round_ = std::max(next_round_, engine_->round());
+  pending_proposals_.erase(
+      pending_proposals_.begin(),
+      pending_proposals_.lower_bound(replicated_->committed_count()));
+  pending_votes_.erase(
+      pending_votes_.begin(),
+      pending_votes_.lower_bound(replicated_->committed_count()));
+  if (replayed > 0) {
+    diverged_ = false;  // the replica is bit-identical again
+    pending_uploads_.erase(pending_uploads_.begin(),
+                           pending_uploads_.lower_bound(next_round_));
+    metrics.server_rejoins->inc();
+    tracer_.note(obs::FlightEventKind::kServerRejoin, obs::kNoFlightPeer,
+                 static_cast<std::uint8_t>(MessageType::kChainSyncResponse),
+                 next_round_, replayed);
+    util::log_info() << "net: server " << endpoint_->address()
+                     << " replayed " << replayed
+                     << " committed block(s), resuming at round "
+                     << next_round_;
+  }
+  return replayed > 0 || replicated_->committed_count() > committed_before;
+}
+
+void ServerNode::serve_chain_sync(const ChainSyncRequestMsg& req,
+                                  NodeKey from) {
+  ChainSyncResponseMsg resp;
+  resp.round = req.round;
+  resp.from_block = req.from_block;
+  const std::uint64_t tip = replicated_->committed_count();
+  // Only a replica sitting exactly on a round boundary can serve: its θ
+  // checkpoint then corresponds to the committed prefix, so the rejoiner
+  // lands in a consistent (blocks, θ) state.
+  const bool can_serve = global_model_ != nullptr && !diverged_ &&
+                         theta_round_ == tip && req.from_block <= tip;
+  if (can_serve) {
+    resp.ok = 1;
+    for (std::uint64_t b = req.from_block; b < tip; ++b) {
+      const chain::SealedBlockHeader* entry = replicated_->sealed(b);
+      if (entry == nullptr) {  // should not happen below the committed tip
+        resp.ok = 0;
+        resp.blocks.clear();
+        break;
+      }
+      resp.blocks.push_back(
+          SyncedBlock{*entry, engine_->ledger().block(b).records});
+    }
+    if (resp.ok == 1) {
+      resp.theta_round = theta_round_;
+      resp.theta = nn::checkpoint_bytes(*global_model_, "chain-sync");
+    }
+  }
+  try {
+    traced_send(*endpoint_, tracer_, from, MessageType::kChainSyncResponse,
+                resp, req.round);
+  } catch (const std::exception& e) {
+    util::log_warn() << "net: server " << endpoint_->address()
+                     << " failed to serve a chain sync: " << e.what();
   }
 }
 

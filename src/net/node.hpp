@@ -54,6 +54,24 @@
 //     history of broadcast θ snapshots and falls back to a dense
 //     checkpoint when no usable baseline exists (round 0, rejoins,
 //     pruned history) or the delta would not actually be smaller.
+//
+// Lead failover (ServerNodeConfig::failover, requires replicate_ledger):
+//   - Every server can hold a θ replica and drive rounds; "the lead" is
+//     just the current executor. Followers watch executor progress
+//     (summaries/proposals); past the progress deadline they run a
+//     reputation-ranked election (ViewChange/ViewChangeVote) — the
+//     highest-reputation live server proposes first, carrying its
+//     committed chain head; a quorum of grants makes it the executor, and
+//     it re-proposes the chain tip and re-drives the interrupted round
+//     from the uploads every server already holds.
+//   - Executor rotation (rotate_executor): each RoundSummary names the
+//     next round's executor; the handoff completes only once the named
+//     successor holds the summary's block committed locally (chain-head
+//     handoff), so the chain never forks across a rotation.
+//   - A crashed server that comes back replays the committed blocks it
+//     missed (ChainSyncRequest/Response: quorum certificates + records +
+//     a θ checkpoint), rebuilds its deterministic engine replica
+//     bit-identically, and resumes voting (net.server_rejoins).
 #pragma once
 
 #include <atomic>
@@ -199,6 +217,14 @@ class WorkerNode {
   /// uploads nest under it in the merged timeline.
   void handle_broadcast(const ModelBroadcastMsg& msg,
                         std::uint64_t parent_span);
+  /// Sends one audit query (with the proof-cache watermark) to server
+  /// `server`; failures are logged, the retry timer handles the rest.
+  void send_audit_query(std::uint64_t round, std::uint32_t server,
+                        std::uint64_t parent_span);
+  /// Fallback path: re-aims the pending audit query at the next server
+  /// (round-robin) after a liveness window without an answer; gives up
+  /// once every server was tried.
+  void retry_audit();
 
   std::unique_ptr<fl::Worker> worker_;
   std::unique_ptr<Endpoint> endpoint_;
@@ -225,6 +251,31 @@ class WorkerNode {
   std::vector<float> params_;
   std::uint64_t params_round_ = 0;
   bool has_params_ = false;
+  /// The server this worker currently treats as the lead: heartbeats,
+  /// per-round pings and first-try audit queries aim here. Re-homed on
+  /// every broadcast/assessment from a server, so a re-elected or rotated
+  /// executor picks the roster up at its first fan-out.
+  NodeKey current_lead_ = 0;
+  /// Highest round trained so far and the upload it produced. A duplicate
+  /// broadcast (a re-elected executor re-driving the round) re-sends the
+  /// cached upload instead of retraining — retraining would advance the
+  /// local RNG and fork this worker off the deterministic reference
+  /// sequence.
+  bool has_trained_ = false;
+  std::uint64_t last_trained_round_ = 0;
+  GradientUploadMsg cached_upload_;
+  /// Audit-proof cache: committed headers [0, size) this worker already
+  /// verified; AuditQueryMsg::last_verified_index lets servers ship only
+  /// the suffix.
+  std::vector<chain::SealedBlockHeader> verified_headers_;
+  /// The one in-flight audit round trip and its retry state.
+  struct PendingAudit {
+    std::uint64_t round = 0;
+    std::chrono::steady_clock::time_point deadline;
+    std::uint32_t tried = 0;   // servers queried so far
+    std::uint32_t cursor = 0;  // server index queried last
+  };
+  std::optional<PendingAudit> pending_audit_;
 };
 
 struct ServerNodeConfig {
@@ -243,13 +294,23 @@ struct ServerNodeConfig {
   bool replicate_ledger = false;
   /// Key seed for the ledger PKI replica (FiflConfig::key_seed).
   std::uint64_t ledger_key_seed = 0;
+  /// Executor rotation: each RoundSummary names the next live server
+  /// (round-robin) as the next round's executor; the handoff completes
+  /// only once the successor holds the summary's block committed locally.
+  /// Requires replicate_ledger and a θ replica on every server.
+  bool rotate_executor = false;
+  /// Lead failover: followers detect a silent executor, elect the
+  /// highest-reputation live server by signed quorum vote, and a crashed
+  /// server rejoins by replaying the committed blocks it missed. Requires
+  /// replicate_ledger and a θ replica on every server.
+  bool failover = false;
 };
 
 class ServerNode {
  public:
-  /// Non-lead constructor: an engine replica and an endpoint.
-  /// `global_model` must be non-null iff server_index == 0; the lead owns
-  /// θ and drives the round loop.
+  /// `global_model` must be non-null for server 0 (the bootstrap lead) and
+  /// for every server when rotation/failover is on (any server may become
+  /// the executor); a plain follower may run θ-less.
   ServerNode(ServerNodeConfig config, std::unique_ptr<core::FiflEngine> engine,
              std::unique_ptr<nn::Sequential> global_model,
              std::unique_ptr<Endpoint> endpoint, Topology topology);
@@ -267,20 +328,39 @@ class ServerNode {
   void run();
   void request_stop();
 
+  /// The bootstrap lead (server 0): runs the join gate and drives round 0.
   bool is_lead() const noexcept { return config_.server_index == 0; }
+  /// True while this server is the round executor (rotation and elections
+  /// move the role at runtime; without them it stays on server 0).
+  bool is_executor() const noexcept {
+    return executor_index_ == config_.server_index;
+  }
   const std::vector<NetRoundResult>& results() const noexcept {
     return results_;
   }
   const core::FiflEngine& engine() const noexcept { return *engine_; }
   nn::Sequential* global_model() noexcept { return global_model_.get(); }
-  /// The replicated-ledger state (nullptr unless replicate_ledger): the
-  /// lead holds quorum certificates, followers their endorsed headers.
+  /// Rounds applied to this server's θ replica (0 for θ-less followers);
+  /// the freshest replica is the cluster's final model.
+  std::uint64_t theta_rounds() const noexcept { return theta_round_; }
+  /// The replicated-ledger state (nullptr unless replicate_ledger):
+  /// executors hold quorum certificates, followers their endorsed headers
+  /// plus every broadcast vote they observed.
   const chain::ReplicatedLedger* replicated_ledger() const noexcept {
     return replicated_.get();
   }
 
  private:
-  void run_lead();
+  /// Sentinel executor index: the previous executor retired or was
+  /// demoted and no successor is known yet — the next RoundSummary or
+  /// election resolves it.
+  static constexpr std::uint32_t kUnknownExecutor = 0xffffffffu;
+
+  /// Server 0's join gate: waits for the full federation.
+  void await_federation();
+  /// Follower join handshake with the bootstrap lead.
+  void join_federation();
+  void run_executor();
   void run_follower();
   /// Lead: waits until every live worker has a slot or the deadline
   /// passes, echoing heartbeats, buffering slices, and pruning the roster
@@ -292,19 +372,60 @@ class ServerNode {
   /// dead worker. `slots` is null outside the collect window.
   void lead_handle_upload(GradientUploadMsg msg, std::uint64_t round,
                           std::map<std::uint32_t, GradientUploadMsg>* slots);
-  /// Follower: runs (or refuses) one round against the lead's counted set.
-  void process_summary(const RoundSummaryMsg& summary);
+  /// Follower: runs (or refuses) one round against the executor's counted
+  /// set; the slice answer goes back to `executor`.
+  void process_summary(const RoundSummaryMsg& summary, NodeKey executor);
   void handle_control(const Envelope& envelope);
   void note_worker_traffic(NodeKey from);
-  /// Lead: verifies + folds one follower vote; a contradicting block hash
-  /// is a ledger fork (postmortem dump + throw).
-  void lead_handle_vote(const BlockVoteMsg& msg);
+  /// Any server: verifies + folds one broadcast vote into the local
+  /// certificate; votes racing ahead of this replica's own endorsement
+  /// are parked in pending_votes_. A contradicting block hash is a ledger
+  /// fork (postmortem dump + throw).
+  void apply_block_vote(const BlockVoteMsg& msg);
+  /// Replays the votes parked for `block_index` once the entry exists.
+  void drain_pending_votes(std::uint64_t block_index);
   /// Follower: recomputes every buffered proposal the local ledger has
-  /// sealed and answers with a signed vote; a mismatch is a ledger fork.
+  /// sealed and answers with a signed vote to every server; a mismatch is
+  /// a ledger fork.
   void follower_vote_on_proposals();
-  /// Lead: drains votes until block `r` commits or the phase deadline
-  /// passes (deterministic abort).
-  void await_ledger_commit(std::uint64_t r);
+  /// Executor: drains votes until block `r` commits or the phase deadline
+  /// passes. Returns false when the deadline hit and failover demoted this
+  /// node to follower (the caller must abandon the round); without
+  /// failover the deadline is a deterministic abort.
+  bool await_ledger_commit(std::uint64_t r);
+  /// Fan-out helper: sends `msg` to every other server (dead ones
+  /// included — their inboxes are cheap and liveness is their problem).
+  template <typename Msg>
+  void send_to_other_servers(MessageType type, const Msg& msg,
+                             std::uint64_t round);
+  /// The next live server after `self` in index order (rotation target);
+  /// `self` when every other server is dead.
+  std::uint32_t next_live_server(std::uint32_t self) const;
+  /// Hash of the last committed block (zero digest when none).
+  chain::Digest committed_head() const;
+  /// Voter side of the election: verify the proposal signature, grant iff
+  /// the proposer's committed chain is at least ours (nack carries our
+  /// head so a behind proposer can sync), re-home on the granted winner.
+  void handle_view_change(const ViewChangeMsg& msg);
+  /// Follower side of a failed executor: reputation-ranked backoff, the
+  /// signed proposal fan-out, grant counting, takeover (true) or standing
+  /// down for a better candidate (false). Throws with a
+  /// "view_change_abort" postmortem when no quorum forms in time.
+  bool run_election();
+  /// Rotation handoff: waits (≤ one phase) until block `r` is committed
+  /// locally before assuming the executor role named in the summary.
+  bool await_handoff_commit(std::uint64_t r);
+  /// Rejoin-by-replay client: one ChainSyncRequest to `target` (rate
+  /// limited to one per phase) and the blocking wait for its response.
+  /// True when the local replica advanced.
+  bool request_chain_sync(NodeKey target);
+  /// Applies one sync response: catch_up_block for blocks the engine is
+  /// missing, adopt_committed for every shipped certificate, θ checkpoint
+  /// restore, and the rejoin bookkeeping.
+  bool apply_chain_sync(const ChainSyncResponseMsg& resp);
+  /// Serves a ChainSyncRequest when this replica sits exactly on a round
+  /// boundary (θ rounds == committed prefix); answers ok == 0 otherwise.
+  void serve_chain_sync(const ChainSyncRequestMsg& req, NodeKey from);
 
   ServerNodeConfig config_;
   std::unique_ptr<core::FiflEngine> engine_;
@@ -333,10 +454,42 @@ class ServerNode {
   std::map<NodeKey, std::chrono::steady_clock::time_point> last_seen_;
   std::set<NodeKey> dead_workers_;
   std::set<NodeKey> revive_pending_;
-  /// Follower only: lead summaries not yet processed, and whether this
-  /// replica has permanently lost sync with the lead's counted sequence.
+  /// Follower only: executor summaries not yet processed (plus who sent
+  /// each, the ChainSync target for gaps), and whether this replica has
+  /// permanently lost sync with the executor's counted sequence (failover
+  /// off; with failover on a gap triggers rejoin-by-replay instead).
   std::map<std::uint64_t, RoundSummaryMsg> pending_summaries_;
+  std::map<std::uint64_t, NodeKey> summary_sender_;
   bool diverged_ = false;
+  /// --- Failover state ---------------------------------------------------
+  /// Which server currently drives rounds (kUnknownExecutor after a
+  /// demotion/failed handoff), the view-change epoch, the highest view
+  /// this node granted, and the servers known dead (skipped by rotation
+  /// and elections; a rejoiner resumes voting but is not rotated back in).
+  std::uint32_t executor_index_ = 0;
+  std::uint64_t view_ = 0;
+  std::uint64_t granted_view_ = 0;
+  /// Highest view this node itself proposed; never granted to others (two
+  /// same-view candidates granting each other would elect two executors).
+  std::uint64_t proposed_view_ = 0;
+  std::set<std::uint32_t> dead_servers_;
+  /// Next round this replica expects (followers) or drives (executor).
+  std::uint64_t next_round_ = 0;
+  /// Rounds applied to the local θ replica.
+  std::uint64_t theta_round_ = 0;
+  /// All rounds driven and Leave fanned out — the run() dispatcher stops.
+  bool done_ = false;
+  /// A demoted ex-executor stays out of elections until it hears from the
+  /// federation again (losing the worker quorum means *we* were the
+  /// partitioned side; proposing into the void would abort the run).
+  bool election_muted_ = false;
+  /// Grant/nack replies to this node's own ViewChange proposal.
+  std::vector<ViewChangeVoteMsg> election_votes_;
+  /// Broadcast votes that raced ahead of this replica's own endorsement,
+  /// parked by block index.
+  std::map<std::uint64_t, std::vector<BlockVoteMsg>> pending_votes_;
+  /// Rate limiter for ChainSyncRequest retries.
+  std::chrono::steady_clock::time_point last_sync_request_{};
   /// Replicated-ledger state (null unless config_.replicate_ledger).
   std::unique_ptr<chain::ReplicatedLedger> replicated_;
   /// Follower only: block proposals buffered until the local replica has

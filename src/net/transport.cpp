@@ -42,6 +42,9 @@ NetMetrics& NetMetrics::global() {
     m.rounds_degraded = &reg.counter("net.rounds_degraded");
     m.slice_gaps = &reg.counter("net.slice_gaps");
     m.faults_injected = &reg.counter("net.faults_injected");
+    m.view_changes = &reg.counter("net.view_changes");
+    m.server_rejoins = &reg.counter("net.server_rejoins");
+    m.election_ms = &reg.histogram("net.election_ms");
     return m;
   }();
   return metrics;

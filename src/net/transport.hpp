@@ -118,6 +118,10 @@ struct NetMetrics {
   obs::Counter* rounds_degraded;  // lead rounds that ran below full roster
   obs::Counter* slice_gaps;       // follower slices missing or incomplete
   obs::Counter* faults_injected;  // FaultyTransport events (tests/chaos)
+  // Lead-failover counters and election latency.
+  obs::Counter* view_changes;     // successful executor takeovers
+  obs::Counter* server_rejoins;   // crashed servers resynced via ChainSync
+  obs::Histogram* election_ms;    // lead-silence detection -> takeover
 
   /// Per-type counter for a raw frame tag; nullptr for tags outside the
   /// MessageType range (a peer speaking a newer protocol).

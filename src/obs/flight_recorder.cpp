@@ -25,6 +25,8 @@ const char* flight_event_kind_name(FlightEventKind kind) {
     case FlightEventKind::kQuorumAbort: return "quorum_abort";
     case FlightEventKind::kRetryExhausted: return "retry_exhausted";
     case FlightEventKind::kLedgerFork: return "ledger_fork";
+    case FlightEventKind::kViewChange: return "view_change";
+    case FlightEventKind::kServerRejoin: return "server_rejoin";
   }
   return "unknown";
 }

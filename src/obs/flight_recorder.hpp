@@ -43,6 +43,8 @@ enum class FlightEventKind : std::uint8_t {
   kQuorumAbort = 10,
   kRetryExhausted = 11,
   kLedgerFork = 12,
+  kViewChange = 13,
+  kServerRejoin = 14,
 };
 
 const char* flight_event_kind_name(FlightEventKind kind);

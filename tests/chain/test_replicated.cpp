@@ -298,5 +298,129 @@ TEST(ReplicatedLedger, ProofIndependentOfWhichServerProves) {
   EXPECT_EQ(lead_view->executor_sig, follower_view->executor_sig);
 }
 
+TEST(ReplicatedLedger, FollowerSelfCommitsOnObservedQuorum) {
+  // A follower that holds the executor's signature plus enough broadcast
+  // votes commits locally without ever talking to the executor again —
+  // the property lead failover rests on (any survivor holds the
+  // certificate).
+  Replica lead(0), f1(1), f2(2);
+  append_round(lead.ledger, 0);
+  append_round(f1.ledger, 0);
+  append_round(f2.ledger, 0);
+  const SealedBlockHeader& sealed = lead.repl.propose(0);
+  const auto& records = lead.ledger.block(0).records;
+  // M=3, quorum 2: executor signature + own vote is already a quorum.
+  const auto vote1 =
+      f1.repl.verify_and_vote(sealed.header, sealed.executor_sig, records);
+  ASSERT_TRUE(vote1.has_value());
+  EXPECT_TRUE(f1.repl.committed(0));
+  // And the other follower's broadcast vote still folds in.
+  const auto vote2 =
+      f2.repl.verify_and_vote(sealed.header, sealed.executor_sig, records);
+  ASSERT_TRUE(vote2.has_value());
+  EXPECT_TRUE(f1.repl.record_vote(0, sealed.header.block_hash, *vote2));
+  EXPECT_EQ(f1.repl.sealed(0)->votes.size(), 2u);
+}
+
+TEST(ReplicatedLedger, CachedProofSplicesBackToGenesisAnchor) {
+  // prove(from_header) ships only the suffix; the auditor splices its
+  // cached prefix back in and the spliced bundle verifies exactly like a
+  // full one. The unspliced (headers_from != 0) bundle must be rejected.
+  Replica lead(0), f1(1), f2(2);
+  for (std::uint64_t r = 0; r < 4; ++r) commit_round(lead, f1, f2, r);
+  const KeyRegistry pki =
+      ReplicatedLedger::make_registry(kSeed, kWorkers, kServers);
+
+  const AuditProofBundle full = lead.repl.prove(RecordKind::kReward, 3, 1);
+  ASSERT_TRUE(full.found);
+  ASSERT_EQ(full.headers.size(), 4u);
+
+  AuditProofBundle cached = lead.repl.prove(RecordKind::kReward, 3, 1, 2);
+  ASSERT_TRUE(cached.found);
+  EXPECT_EQ(cached.headers_from, 2u);
+  ASSERT_EQ(cached.headers.size(), 2u);  // only the suffix travels
+  EXPECT_FALSE(verify_audit_proof(cached, pki, kWorkers, kServers));
+
+  cached.headers.insert(cached.headers.begin(), full.headers.begin(),
+                        full.headers.begin() + 2);
+  cached.headers_from = 0;
+  EXPECT_TRUE(verify_audit_proof(cached, pki, kWorkers, kServers));
+
+  // A from_header beyond the tip clamps instead of underflowing.
+  const AuditProofBundle clamped =
+      lead.repl.prove(RecordKind::kReward, 3, 1, 99);
+  ASSERT_TRUE(clamped.found);
+  EXPECT_EQ(clamped.headers_from, 4u);
+  EXPECT_TRUE(clamped.headers.empty());
+}
+
+TEST(ReplicatedLedger, AdoptCommittedInstallsVerifiedCertificates) {
+  // The rejoin path: f2 missed the vote exchange for rounds 0-1 but holds
+  // the replayed blocks in its local ledger; adopting the lead's
+  // certificates commits them without re-voting.
+  Replica lead(0), f1(1), f2(2);
+  for (std::uint64_t r = 0; r < 2; ++r) {
+    append_round(lead.ledger, r);
+    append_round(f1.ledger, r);
+    append_round(f2.ledger, r);
+    const SealedBlockHeader& sealed = lead.repl.propose(r);
+    const auto vote = f1.repl.verify_and_vote(
+        sealed.header, sealed.executor_sig, lead.ledger.block(r).records);
+    ASSERT_TRUE(vote.has_value());
+    lead.repl.record_vote(r, sealed.header.block_hash, *vote);
+  }
+  ASSERT_EQ(lead.repl.committed_count(), 2u);
+  EXPECT_EQ(f2.repl.committed_count(), 0u);
+
+  for (std::uint64_t r = 0; r < 2; ++r) {
+    f2.repl.adopt_committed(*lead.repl.sealed(r));
+  }
+  EXPECT_EQ(f2.repl.committed_count(), 2u);
+  EXPECT_EQ(f2.repl.sealed(1)->header, lead.repl.sealed(1)->header);
+  // Idempotent: re-adopting the same certificate changes nothing.
+  f2.repl.adopt_committed(*lead.repl.sealed(1));
+  EXPECT_EQ(f2.repl.committed_count(), 2u);
+}
+
+TEST(ReplicatedLedger, AdoptCommittedRejectsForgedCertificates) {
+  Replica lead(0), f1(1), f2(2);
+  commit_round(lead, f1, f2, 0);
+  const SealedBlockHeader good = *lead.repl.sealed(0);
+
+  Replica late(2);
+  append_round(late.ledger, 0);
+  {  // Below-quorum certificate.
+    SealedBlockHeader bad = good;
+    bad.votes.clear();
+    EXPECT_THROW(late.repl.adopt_committed(bad), std::runtime_error);
+  }
+  {  // Tampered vote signature.
+    SealedBlockHeader bad = good;
+    bad.votes[0].tag[0] ^= 0x01;
+    EXPECT_THROW(late.repl.adopt_committed(bad), std::runtime_error);
+  }
+  {  // Duplicate voters padding a fake quorum.
+    SealedBlockHeader bad = good;
+    bad.votes = {bad.executor_sig};
+    EXPECT_THROW(late.repl.adopt_committed(bad), std::runtime_error);
+  }
+  EXPECT_EQ(late.repl.committed_count(), 0u);
+}
+
+TEST(ReplicatedLedger, AdoptCommittedRejectsForkedLocalBlock) {
+  // The certificate is genuine but this replica's local block differs —
+  // the sync peer and we disagree on history, which must never be papered
+  // over by an adopted certificate.
+  Replica lead(0), f1(1), f2(2);
+  commit_round(lead, f1, f2, 0);
+
+  Replica forked(2);
+  forked.ledger.append(RecordKind::kReputation, 0, 0, kPublisher, 0.999);
+  forked.ledger.seal_block();
+  EXPECT_THROW(forked.repl.adopt_committed(*lead.repl.sealed(0)),
+               std::runtime_error);
+  EXPECT_EQ(forked.repl.committed_count(), 0u);
+}
+
 }  // namespace
 }  // namespace fifl::chain

@@ -70,9 +70,9 @@ fl::SimulatorConfig sim_config() {
   return cfg;
 }
 
-core::FiflConfig fifl_config() {
+core::FiflConfig fifl_config(std::size_t servers = kServers) {
   core::FiflConfig cfg;
-  cfg.servers = kServers;
+  cfg.servers = servers;
   // Windowed SLM (no time decay): uncertain events from absent workers
   // move R_i immediately, so the decay under faults is observable and
   // exactly reproducible from the event counts alone.
@@ -93,11 +93,12 @@ struct ReferenceRound {
 /// does not advance) and enter the engine as non-arrived uploads — the
 /// exact state a partitioned or crashed WorkerNode is in.
 std::vector<ReferenceRound> reference_run(
-    const std::vector<std::vector<int>>& masks) {
+    const std::vector<std::vector<int>>& masks,
+    std::size_t servers = kServers) {
   const auto split = make_split();
   fl::Simulator sim(sim_config(), mlp_factory(), make_setups(split),
                     split.test);
-  core::FiflEngine engine(fifl_config(), sim.worker_count(),
+  core::FiflEngine engine(fifl_config(servers), sim.worker_count(),
                           sim.parameter_count());
   std::vector<ReferenceRound> rounds;
   for (std::size_t r = 0; r < kRounds; ++r) {
@@ -276,6 +277,62 @@ TEST(ChaosSoak, SeededFaultScheduleDegradesButReplaysExactly) {
     derived.resize(kWorkers);
     EXPECT_EQ(derived, results[r].reputations) << "round " << r;
   }
+}
+
+TEST(ChaosSoak, LeadCrashUnderLinkChaosFailsOverAndReplaysExactly) {
+  // The failover leg: an M=3 quorum cluster where every server-bound
+  // message is delayed some of the time AND the lead crash-stops right
+  // after round 2's broadcast fan-out. The survivors elect a replacement
+  // executor, re-drive round 2 from the buffered uploads, and the whole
+  // run — every counted set, reputation, reward, and θ hash — must still
+  // replay the all-present Simulator reference bit for bit.
+  constexpr std::size_t kSoakServers = 3;
+  FaultSchedule schedule;
+  schedule.seed = 0x50AC;
+  for (std::size_t j = 0; j < kSoakServers; ++j) {
+    schedule.links.push_back(
+        LinkFaults{.from = kAnyNode,
+                   .to = static_cast<NodeKey>(kWorkers + j),
+                   .delay_prob = 0.5,
+                   .delay_min = std::chrono::milliseconds(2),
+                   .delay_max = std::chrono::milliseconds(20)});
+  }
+  schedule.crashes.push_back(
+      NodeCrash{.node = kLeadKey,
+                .after_uploads = 3 * kWorkers,
+                .after_type = MessageType::kModelBroadcast});
+
+  const auto reference = reference_run(all_present_masks(), kSoakServers);
+
+  NetMetrics& m = NetMetrics::global();
+  const std::uint64_t vc_before = m.view_changes->value();
+
+  auto faulty = std::make_shared<FaultyTransport>(
+      std::make_unique<LoopbackTransport>(), schedule);
+  const auto split = make_split();
+  ClusterConfig cfg = cluster_config(faulty);
+  cfg.fifl = fifl_config(kSoakServers);
+  cfg.replicate_ledger = true;
+  cfg.failover = true;
+  Cluster cluster(cfg, mlp_factory(), make_setups(split), split.test);
+  const auto& results = cluster.run();
+
+  expect_bitwise_equal(results, reference);
+  for (const auto& row : results) {
+    EXPECT_EQ(row.counted, kWorkers) << "round " << row.round;
+  }
+  EXPECT_TRUE(faulty->crashed(kLeadKey));
+  EXPECT_GE(m.view_changes->value(), vc_before + 1);
+
+  const auto log = faulty->fault_log();
+  auto saw = [&log](FaultKind kind) {
+    for (const auto& e : log) {
+      if (e.kind == kind) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(saw(FaultKind::kDelay));
+  EXPECT_TRUE(saw(FaultKind::kCrash));
 }
 
 }  // namespace

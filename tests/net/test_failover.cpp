@@ -1,0 +1,520 @@
+// Lead failover, executor rotation, and rejoin-by-replay. The keystone:
+// an M=3/N=8 cluster under rotation whose bootstrap lead crashes right
+// after a broadcast fan-out and rejoins two rounds later must elect a
+// replacement executor, never fork, and finish with the committed chain
+// and every per-round model hash bit-identical to the unfaulted
+// in-process Simulator+FiflEngine run on the same seed.
+//
+// The satellites around it crash the executor in every other round phase
+// (mid-fan-out, collect, assessment, commit), push the survivor set below
+// the election quorum (deterministic abort + "view_change_abort"
+// postmortem), and race a view change against a worker whose entire data
+// plane is delayed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "chain/replicated.hpp"
+#include "core/fifl.hpp"
+#include "data/synthetic.hpp"
+#include "fl/simulator.hpp"
+#include "net/cluster.hpp"
+#include "net/fault.hpp"
+#include "nn/models.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace fifl::net {
+namespace {
+
+constexpr std::size_t kWorkers = 8;
+constexpr std::size_t kServers = 3;  // quorum 2 (executor + one grant)
+constexpr std::size_t kRounds = 6;
+constexpr std::uint64_t kSeed = 42;
+constexpr NodeKey kLeadKey = kWorkers;  // server j lives at key kWorkers + j
+
+fl::ModelFactory mlp_factory() {
+  return [](util::Rng& rng) {
+    auto model = std::make_unique<nn::Sequential>();
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(64, 16, rng);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::Linear>(16, 10, rng);
+    return model;
+  };
+}
+
+data::TrainTestSplit make_split() {
+  auto spec = data::mnist_like(kWorkers * 120, 21);
+  spec.image_size = 8;
+  spec.noise = 0.5;
+  return data::make_synthetic_split(spec, 200);
+}
+
+std::vector<fl::BehaviourPtr> mixed_behaviours() {
+  std::vector<fl::BehaviourPtr> b;
+  for (int i = 0; i < 6; ++i) {
+    b.push_back(std::make_unique<fl::HonestBehaviour>());
+  }
+  b.push_back(std::make_unique<fl::SignFlipBehaviour>(6.0));
+  b.push_back(std::make_unique<fl::SignFlipBehaviour>(10.0));
+  return b;
+}
+
+std::vector<fl::WorkerSetup> make_setups(const data::TrainTestSplit& split) {
+  util::Rng rng(3);
+  return fl::make_worker_setups(split.train, mixed_behaviours(), rng);
+}
+
+fl::SimulatorConfig sim_config() {
+  fl::SimulatorConfig cfg;
+  cfg.seed = kSeed;
+  cfg.batch_size = 64;
+  return cfg;
+}
+
+core::FiflConfig fifl_config() {
+  core::FiflConfig cfg;
+  cfg.servers = kServers;
+  return cfg;
+}
+
+struct ReferenceChain {
+  std::vector<std::string> model_hashes;
+  std::vector<chain::Digest> block_hashes;
+};
+
+/// The unfaulted ground truth: the exact engine loop the Simulator
+/// drives, capturing θ and the sealed chain round by round. Failover and
+/// rotation are pure control-plane mechanisms, so every faulted run below
+/// must land on these hashes bit for bit.
+ReferenceChain reference_run() {
+  const auto split = make_split();
+  fl::Simulator sim(sim_config(), mlp_factory(), make_setups(split),
+                    split.test);
+  core::FiflEngine engine(fifl_config(), sim.worker_count(),
+                          sim.parameter_count());
+  ReferenceChain ref;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    const auto uploads = sim.collect_uploads();
+    const auto report = engine.process_round(uploads);
+    sim.apply_round(uploads, report.detection.accepted);
+    ref.model_hashes.push_back(
+        parameter_hash(sim.global_model().flatten_parameters()));
+  }
+  for (std::size_t b = 0; b < engine.ledger().block_count(); ++b) {
+    ref.block_hashes.push_back(engine.ledger().block(b).block_hash);
+  }
+  return ref;
+}
+
+ClusterConfig cluster_config(std::shared_ptr<Transport> transport) {
+  ClusterConfig cfg;
+  cfg.sim = sim_config();
+  cfg.fifl = fifl_config();
+  cfg.rounds = kRounds;
+  cfg.timeouts.join = std::chrono::milliseconds(30000);
+  cfg.timeouts.phase = std::chrono::milliseconds(2500);
+  cfg.timeouts.heartbeat = std::chrono::milliseconds(150);
+  cfg.timeouts.liveness = std::chrono::milliseconds(1000);
+  cfg.transport_override = std::move(transport);
+  cfg.replicate_ledger = true;
+  cfg.failover = true;
+  return cfg;
+}
+
+std::shared_ptr<FaultyTransport> crash_transport(FaultSchedule schedule) {
+  return std::make_shared<FaultyTransport>(
+      std::make_unique<LoopbackTransport>(), std::move(schedule));
+}
+
+/// Every result row's model hash must equal the reference at its round,
+/// and exactly `expected_rounds` must be present.
+void expect_rounds_match(const std::vector<NetRoundResult>& results,
+                         const ReferenceChain& reference,
+                         const std::set<std::uint64_t>& expected_rounds) {
+  std::set<std::uint64_t> seen;
+  for (const NetRoundResult& row : results) {
+    EXPECT_TRUE(seen.insert(row.round).second)
+        << "round " << row.round << " reported twice";
+    ASSERT_LT(row.round, reference.model_hashes.size());
+    EXPECT_EQ(row.model_hash, reference.model_hashes[row.round])
+        << "round " << row.round;
+  }
+  EXPECT_EQ(seen, expected_rounds);
+}
+
+std::set<std::uint64_t> all_rounds() {
+  std::set<std::uint64_t> rounds;
+  for (std::uint64_t r = 0; r < kRounds; ++r) rounds.insert(r);
+  return rounds;
+}
+
+bool ring_has(std::uint32_t node, obs::FlightEventKind kind) {
+  obs::FlightRing* ring = obs::FlightRegistry::global().ring(node);
+  if (ring == nullptr) return false;
+  for (const obs::FlightEvent& e : ring->snapshot()) {
+    if (e.kind == kind) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Keystone: lead crashes after a rotation-era broadcast fan-out, a new
+// executor is elected, the dead server rejoins by ledger replay two
+// rounds later, and the run is bit-identical to the unfaulted reference.
+// ---------------------------------------------------------------------------
+
+TEST(Failover, ElectionAndRejoinUnderRotationMatchReferenceBitForBit) {
+  const ReferenceChain reference = reference_run();
+  const std::string dir = ::testing::TempDir() + "fifl_failover_keystone";
+  std::filesystem::remove_all(dir);
+  obs::FlightRegistry::global().configure(dir);
+  auto& metrics = NetMetrics::global();
+  const std::uint64_t vc_before = metrics.view_changes->value();
+  const std::uint64_t rj_before = metrics.server_rejoins->value();
+  const std::size_t dumps_before = obs::FlightRegistry::global().dump_count();
+
+  // Under rotation server 0 drives rounds 0 and 3 — 8 broadcasts each.
+  // The 16th broadcast completes round 3's fan-out, so the crash lands in
+  // the collect phase of a round every worker already trained; the node
+  // stays dark until the first round-5 message (a worker upload) revives
+  // it, two full rounds later.
+  FaultSchedule schedule;
+  schedule.seed = 0xFA11;
+  schedule.crashes.push_back(NodeCrash{.node = kLeadKey,
+                                       .after_uploads = 2 * kWorkers,
+                                       .after_type =
+                                           MessageType::kModelBroadcast,
+                                       .recover_round = 5});
+  auto faulty = crash_transport(schedule);
+
+  const auto split = make_split();
+  ClusterConfig cfg = cluster_config(faulty);
+  cfg.rotate_executor = true;
+  Cluster cluster(cfg, mlp_factory(), make_setups(split), split.test);
+  const auto& results = cluster.run();
+
+  // (a) Training outcome: every round present exactly once across the
+  // merged per-server results, every θ hash bit-identical to the
+  // reference — the re-driven round and the handoffs changed nothing.
+  expect_rounds_match(results, reference, all_rounds());
+
+  // (b) The chain never forked: every server — the rejoiner included —
+  // holds all six blocks committed, hash-for-hash the reference chain.
+  ASSERT_EQ(reference.block_hashes.size(), kRounds);
+  for (std::size_t j = 0; j < kServers; ++j) {
+    const chain::ReplicatedLedger* repl =
+        cluster.server_node(j).replicated_ledger();
+    ASSERT_NE(repl, nullptr) << "server " << j;
+    ASSERT_EQ(repl->committed_count(), kRounds) << "server " << j;
+    for (std::uint64_t b = 0; b < kRounds; ++b) {
+      const chain::SealedBlockHeader* sealed = repl->sealed(b);
+      ASSERT_NE(sealed, nullptr) << "server " << j << " block " << b;
+      EXPECT_EQ(sealed->header.block_hash, reference.block_hashes[b])
+          << "server " << j << " block " << b;
+    }
+  }
+
+  // (c) The failover machinery actually fired: at least one election won,
+  // the crashed server replayed its way back, and both left flight events
+  // (the winner's kViewChange, the rejoiner's kServerRejoin on key 8).
+  EXPECT_TRUE(faulty->crashed(kLeadKey) == false)  // revived at round 5
+      << "the lead should have been revived by a round-5 message";
+  EXPECT_GE(metrics.view_changes->value(), vc_before + 1);
+  EXPECT_GE(metrics.server_rejoins->value(), rj_before + 1);
+  EXPECT_TRUE(ring_has(kLeadKey + 1, obs::FlightEventKind::kViewChange) ||
+              ring_has(kLeadKey + 2, obs::FlightEventKind::kViewChange));
+  EXPECT_TRUE(ring_has(kLeadKey, obs::FlightEventKind::kServerRejoin));
+
+  // (d) Clean failover is postmortem-free.
+  EXPECT_EQ(obs::FlightRegistry::global().dump_count(), dumps_before);
+
+  // (e) Worker-side audit proofs kept verifying across the view change:
+  // queries that hit the dead lead were retried against the followers.
+  // Outcomes record arrival order, and a retried round-r proof can land
+  // after round r+1's (the retry waits out the liveness window while the
+  // next round's query hits a live server directly), so assert the set of
+  // audited rounds, not their order.
+  for (std::size_t i = 0; i < cluster.worker_count(); ++i) {
+    const auto& outcomes = cluster.worker_node(i).audit_outcomes();
+    ASSERT_EQ(outcomes.size(), kRounds - 1) << "worker " << i;
+    std::set<std::uint64_t> audited;
+    for (const auto& o : outcomes) {
+      EXPECT_TRUE(audited.insert(o.round).second)
+          << "worker " << i << " audited round " << o.round << " twice";
+      EXPECT_TRUE(o.verified) << "worker " << i << " round " << o.round;
+    }
+    std::set<std::uint64_t> expected;
+    for (std::uint64_t r = 0; r + 1 < kRounds; ++r) expected.insert(r);
+    EXPECT_EQ(audited, expected) << "worker " << i;
+  }
+
+  obs::FlightRegistry::global().configure("");
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Lead death in each round phase (fixed-executor failover, crash-stop).
+// ---------------------------------------------------------------------------
+
+TEST(Failover, LeadCrashMidBroadcastFanOutIsReDriven) {
+  const ReferenceChain reference = reference_run();
+  auto& metrics = NetMetrics::global();
+  const std::uint64_t vc_before = metrics.view_changes->value();
+
+  // Dies after the 3rd broadcast of round 2: part of the roster holds
+  // round-2 θ, the rest never saw it. The elected executor re-drives the
+  // round — cached uploads from the workers that trained, a fresh
+  // broadcast to the ones that did not.
+  FaultSchedule schedule;
+  schedule.seed = 0xFA12;
+  schedule.crashes.push_back(
+      NodeCrash{.node = kLeadKey,
+                .after_uploads = 2 * kWorkers + 3,
+                .after_type = MessageType::kModelBroadcast});
+  auto faulty = crash_transport(schedule);
+
+  const auto split = make_split();
+  Cluster cluster(cluster_config(faulty), mlp_factory(), make_setups(split),
+                  split.test);
+  const auto& results = cluster.run();
+
+  expect_rounds_match(results, reference, all_rounds());
+  EXPECT_TRUE(faulty->crashed(kLeadKey));
+  EXPECT_GE(metrics.view_changes->value(), vc_before + 1);
+}
+
+TEST(Failover, LeadCrashDuringCollectIsReDriven) {
+  const ReferenceChain reference = reference_run();
+  auto& metrics = NetMetrics::global();
+  const std::uint64_t vc_before = metrics.view_changes->value();
+
+  // Dies immediately after round 2's full fan-out, i.e. at the start of
+  // its collect window: every worker trained round 2 and uploaded to
+  // every server, so the new executor re-drives the round entirely from
+  // buffered uploads without a single re-broadcast.
+  FaultSchedule schedule;
+  schedule.seed = 0xFA13;
+  schedule.crashes.push_back(
+      NodeCrash{.node = kLeadKey,
+                .after_uploads = 3 * kWorkers,
+                .after_type = MessageType::kModelBroadcast});
+  auto faulty = crash_transport(schedule);
+
+  const auto split = make_split();
+  Cluster cluster(cluster_config(faulty), mlp_factory(), make_setups(split),
+                  split.test);
+  const auto& results = cluster.run();
+
+  expect_rounds_match(results, reference, all_rounds());
+  EXPECT_TRUE(faulty->crashed(kLeadKey));
+  EXPECT_GE(metrics.view_changes->value(), vc_before + 1);
+}
+
+TEST(Failover, LeadCrashMidAssessmentFanOutKeepsEveryClosedRow) {
+  const ReferenceChain reference = reference_run();
+  auto& metrics = NetMetrics::global();
+  const std::uint64_t vc_before = metrics.view_changes->value();
+
+  // Dies after the 3rd assessment of round 1 — block 1 is already
+  // committed on every replica and θ already advanced, so the round is
+  // closed. A transport crash silences the process's sockets but not its
+  // thread: the ex-lead still appends rounds 0–1 to its local results
+  // before the missing worker quorum demotes it, and the merged
+  // per-server results therefore cover every round. Each row must match
+  // the reference bit for bit.
+  FaultSchedule schedule;
+  schedule.seed = 0xFA14;
+  schedule.crashes.push_back(
+      NodeCrash{.node = kLeadKey,
+                .after_uploads = kWorkers + 3,
+                .after_type = MessageType::kAssessmentResult});
+  auto faulty = crash_transport(schedule);
+
+  const auto split = make_split();
+  Cluster cluster(cluster_config(faulty), mlp_factory(), make_setups(split),
+                  split.test);
+  const auto& results = cluster.run();
+
+  expect_rounds_match(results, reference, all_rounds());
+  EXPECT_TRUE(faulty->crashed(kLeadKey));
+  EXPECT_GE(metrics.view_changes->value(), vc_before + 1);
+
+  // The survivors' chains still carry all six committed blocks: closing
+  // the round on-chain and reporting its row are different things.
+  for (std::size_t j = 1; j < kServers; ++j) {
+    const chain::ReplicatedLedger* repl =
+        cluster.server_node(j).replicated_ledger();
+    ASSERT_NE(repl, nullptr);
+    ASSERT_EQ(repl->committed_count(), kRounds) << "server " << j;
+    for (std::uint64_t b = 0; b < kRounds; ++b) {
+      EXPECT_EQ(repl->sealed(b)->header.block_hash, reference.block_hashes[b])
+          << "server " << j << " block " << b;
+    }
+  }
+}
+
+TEST(Failover, LeadCrashMidProposalElectsSuccessorWithoutFork) {
+  const ReferenceChain reference = reference_run();
+  auto& metrics = NetMetrics::global();
+  const std::uint64_t vc_before = metrics.view_changes->value();
+  const std::string dir = ::testing::TempDir() + "fifl_failover_proposal";
+  std::filesystem::remove_all(dir);
+  obs::FlightRegistry::global().configure(dir);
+  const std::size_t dumps_before = obs::FlightRegistry::global().dump_count();
+
+  // Dies after its 3rd BlockProposal send: round 0 fanned out to both
+  // followers, round 1's proposal reached only server 1. Server 2 seals
+  // block 1 locally but cannot endorse it (no proposal), and server 1's
+  // broadcast vote is parked against it. The election winner re-proposes
+  // the tip, both followers vote (the committed-re-vote path included),
+  // and the chain commits identically everywhere — no fork.
+  FaultSchedule schedule;
+  schedule.seed = 0xFA15;
+  schedule.crashes.push_back(
+      NodeCrash{.node = kLeadKey,
+                .after_uploads = 3,
+                .after_type = MessageType::kBlockProposal});
+  auto faulty = crash_transport(schedule);
+
+  const auto split = make_split();
+  Cluster cluster(cluster_config(faulty), mlp_factory(), make_setups(split),
+                  split.test);
+  const auto& results = cluster.run();
+
+  // The crashed lead hears no endorsements, so its commit-wait for block
+  // 1 times out and it steps down before θ advances or the row is
+  // appended — round 1's row comes from nobody (the successor resumes at
+  // round 2, where the replicas already stand), and only it is missing.
+  expect_rounds_match(results, reference, {0, 2, 3, 4, 5});
+  EXPECT_TRUE(faulty->crashed(kLeadKey));
+  EXPECT_GE(metrics.view_changes->value(), vc_before + 1);
+  EXPECT_EQ(obs::FlightRegistry::global().dump_count(), dumps_before);
+
+  for (std::size_t j = 1; j < kServers; ++j) {
+    const chain::ReplicatedLedger* repl =
+        cluster.server_node(j).replicated_ledger();
+    ASSERT_NE(repl, nullptr);
+    ASSERT_EQ(repl->committed_count(), kRounds) << "server " << j;
+    for (std::uint64_t b = 0; b < kRounds; ++b) {
+      EXPECT_EQ(repl->sealed(b)->header.block_hash, reference.block_hashes[b])
+          << "server " << j << " block " << b;
+    }
+  }
+  obs::FlightRegistry::global().configure("");
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Below-quorum survivor set: deterministic abort, not a hang or a fork.
+// ---------------------------------------------------------------------------
+
+TEST(Failover, SimultaneousLeadAndFollowerDeathAbortsBelowQuorum) {
+  const std::string dir = ::testing::TempDir() + "fifl_failover_quorum";
+  std::filesystem::remove_all(dir);
+  obs::FlightRegistry::global().configure(dir);
+  const std::size_t dumps_before = obs::FlightRegistry::global().dump_count();
+
+  // Server 2 dies after its round-1 slice; the lead dies after round 2's
+  // broadcast fan-out. The lone survivor campaigns but can only ever
+  // gather its own grant — one short of the M/2+1 quorum — and must abort
+  // deterministically through the view_change_abort postmortem.
+  FaultSchedule schedule;
+  schedule.seed = 0xFA16;
+  schedule.crashes.push_back(
+      NodeCrash{.node = kLeadKey,
+                .after_uploads = 3 * kWorkers,
+                .after_type = MessageType::kModelBroadcast});
+  schedule.crashes.push_back(
+      NodeCrash{.node = kLeadKey + 2,
+                .after_uploads = 2,
+                .after_type = MessageType::kSliceAggregate});
+  auto faulty = crash_transport(schedule);
+
+  const auto split = make_split();
+  Cluster cluster(cluster_config(faulty), mlp_factory(), make_setups(split),
+                  split.test);
+  try {
+    cluster.run();
+    FAIL() << "expected the below-quorum election to abort the run";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("view change"), std::string::npos) << what;
+    EXPECT_NE(what.find("below quorum"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(faulty->crashed(kLeadKey));
+  EXPECT_TRUE(faulty->crashed(kLeadKey + 2));
+
+  EXPECT_EQ(obs::FlightRegistry::global().dump_count(), dumps_before + 1);
+  bool saw_postmortem = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().find("view_change_abort") !=
+        std::string::npos) {
+      saw_postmortem = true;
+    }
+  }
+  EXPECT_TRUE(saw_postmortem);
+  obs::FlightRegistry::global().configure("");
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// View change racing a slow worker's data plane.
+// ---------------------------------------------------------------------------
+
+TEST(Failover, ViewChangeRacingDelayedWorkerUploadsStaysBitIdentical) {
+  const ReferenceChain reference = reference_run();
+  const std::string dir = ::testing::TempDir() + "fifl_failover_race";
+  std::filesystem::remove_all(dir);
+  obs::FlightRegistry::global().configure(dir);
+  auto& metrics = NetMetrics::global();
+  const std::uint64_t vc_before = metrics.view_changes->value();
+  const std::size_t dumps_before = obs::FlightRegistry::global().dump_count();
+
+  // Worker 3's entire data plane lags by up to 1.5 s (under the phase
+  // deadline, so its uploads always count — late, duplicated across the
+  // takeover, but never lost) while the lead crash-stops right after
+  // round 1's fan-out. The election and the laggard's in-flight round-1
+  // uploads race; the outcome must still be the reference bit for bit.
+  FaultSchedule schedule;
+  schedule.seed = 0xFA17;
+  schedule.links.push_back(LinkFaults{.from = 3,
+                                      .to = kAnyNode,
+                                      .delay_prob = 1.0,
+                                      .delay_min = std::chrono::milliseconds(500),
+                                      .delay_max =
+                                          std::chrono::milliseconds(1500)});
+  schedule.crashes.push_back(
+      NodeCrash{.node = kLeadKey,
+                .after_uploads = 2 * kWorkers,
+                .after_type = MessageType::kModelBroadcast});
+  auto faulty = crash_transport(schedule);
+
+  const auto split = make_split();
+  Cluster cluster(cluster_config(faulty), mlp_factory(), make_setups(split),
+                  split.test);
+  const auto& results = cluster.run();
+
+  expect_rounds_match(results, reference, all_rounds());
+  EXPECT_TRUE(faulty->crashed(kLeadKey));
+  EXPECT_GE(metrics.view_changes->value(), vc_before + 1);
+  EXPECT_EQ(obs::FlightRegistry::global().dump_count(), dumps_before);
+
+  bool delayed_upload = false;
+  for (const FaultEvent& e : faulty->fault_log()) {
+    if (e.kind == FaultKind::kDelay && e.from == 3 &&
+        e.type == MessageType::kGradientUpload) {
+      delayed_upload = true;
+    }
+  }
+  EXPECT_TRUE(delayed_upload);
+  obs::FlightRegistry::global().configure("");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fifl::net

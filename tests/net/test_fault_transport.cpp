@@ -172,6 +172,51 @@ TEST(FaultTransport, CrashSilencesNodeAfterKthUpload) {
   EXPECT_EQ(log[0].seq, 2u);
 }
 
+TEST(FaultTransport, CrashRecoverRevivesOnFirstMessageAtRecoverRound) {
+  FaultSchedule schedule;
+  schedule.seed = 23;
+  schedule.crashes.push_back(
+      NodeCrash{.node = 1, .after_uploads = 1, .recover_round = 3});
+
+  auto transport = make_faulty(schedule);
+  auto a = transport.open(1);
+  auto b = transport.open(2);
+
+  a->send_msg(2, MessageType::kGradientUpload, upload_for(0, 1));
+  ASSERT_TRUE(b->recv(std::chrono::milliseconds(2000)).has_value());
+  EXPECT_TRUE(transport.crashed(1));
+  EXPECT_EQ(transport.recover_round(1), 3u);
+
+  // Down: outbound vanishes, and inbound data below the recovery round is
+  // discarded — a dead process reads nothing.
+  a->send_msg(2, MessageType::kGradientUpload, upload_for(1, 1));
+  EXPECT_FALSE(b->recv(std::chrono::milliseconds(100)).has_value());
+  b->send_msg(1, MessageType::kGradientUpload, upload_for(1, 2));
+  b->send_msg(1, MessageType::kGradientUpload, upload_for(2, 2));
+  EXPECT_FALSE(a->recv(std::chrono::milliseconds(100)).has_value());
+  EXPECT_TRUE(transport.crashed(1));
+
+  // The first data-plane message whose payload round reaches
+  // recover_round revives the node AND is delivered to it.
+  b->send_msg(1, MessageType::kGradientUpload, upload_for(3, 2));
+  auto env = a->recv(std::chrono::milliseconds(2000));
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(decode_payload<GradientUploadMsg>(env->payload).round, 3u);
+  EXPECT_FALSE(transport.crashed(1));
+
+  // Back to life in both directions.
+  a->send_msg(2, MessageType::kGradientUpload, upload_for(3, 1));
+  ASSERT_TRUE(b->recv(std::chrono::milliseconds(2000)).has_value());
+
+  // The log holds the crash and the recovery, nothing for the discarded
+  // messages (a down host drops traffic without a per-message event).
+  const auto log = transport.fault_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(log[0].from, 1u);
+  EXPECT_EQ(log[1].kind, FaultKind::kCrashRecover);
+}
+
 // The determinism contract: the same seed + schedule + per-link message
 // sequence produces the identical fault log and the identical multiset of
 // delivered rounds, run after run.

@@ -217,10 +217,12 @@ TEST(Messages, RoundSummaryRoundTrip) {
   RoundSummaryMsg msg;
   msg.round = 12;
   msg.degraded = 1;
+  msg.next_executor = 2;
   msg.counted = {0, 2, 3, 7};
   const auto back = decode_payload<RoundSummaryMsg>(encode_payload(msg));
   EXPECT_EQ(back.round, 12u);
   EXPECT_EQ(back.degraded, 1u);
+  EXPECT_EQ(back.next_executor, 2u);
   EXPECT_EQ(back.counted, msg.counted);
   expect_all_truncations_throw(msg);
   expect_rejects_trailing_bytes(msg);
@@ -231,10 +233,10 @@ TEST(Messages, RoundSummaryCountGuardRejectsHugeClaims) {
   msg.round = 1;
   msg.counted = {4, 5};
   auto payload = encode_payload(msg);
-  // Rewrite the count (bytes 9..16, after round + degraded flag) to claim
-  // far more entries than the payload carries.
-  payload[9] = 0xff;
-  payload[10] = 0xff;
+  // Rewrite the count (bytes 13..20, after round + degraded flag +
+  // next_executor) to claim far more entries than the payload carries.
+  payload[13] = 0xff;
+  payload[14] = 0xff;
   EXPECT_THROW(decode_payload<RoundSummaryMsg>(payload),
                util::SerializeError);
 }
@@ -325,6 +327,10 @@ TEST(Messages, MessageTypeTableIsTotalAndDistinct) {
       {MessageType::kBlockVote, "block_vote"},
       {MessageType::kAuditQuery, "audit_query"},
       {MessageType::kAuditProof, "audit_proof"},
+      {MessageType::kViewChange, "view_change"},
+      {MessageType::kViewChangeVote, "view_change_vote"},
+      {MessageType::kChainSyncRequest, "chain_sync_request"},
+      {MessageType::kChainSyncResponse, "chain_sync_response"},
   };
   // The derived count (last enumerator) and this table must agree; a new
   // enumerator without a table row fails here, a stale kMessageTypeCount
@@ -595,13 +601,15 @@ TEST(Messages, BlockVoteRoundTrip) {
 
 TEST(Messages, AuditQueryRoundTrip) {
   const AuditQueryMsg msg{
-      7, 4, 99, static_cast<std::uint8_t>(chain::RecordKind::kReputation)};
+      7, 4, 99, static_cast<std::uint8_t>(chain::RecordKind::kReputation),
+      3};
   const auto back = decode_payload<AuditQueryMsg>(encode_payload(msg));
   EXPECT_EQ(back.round, 7u);
   EXPECT_EQ(back.worker, 4u);
   EXPECT_EQ(back.token, 99u);
   EXPECT_EQ(back.kind,
             static_cast<std::uint8_t>(chain::RecordKind::kReputation));
+  EXPECT_EQ(back.last_verified_index, 3u);
   expect_all_truncations_throw(msg);
   expect_rejects_trailing_bytes(msg);
 }
@@ -724,6 +732,165 @@ TEST(Messages, SparseUploadRejectsHugeEntryCountClaims) {
   const auto payload = w.take();
   EXPECT_THROW(decode_payload<GradientUploadMsg>(payload),
                util::SerializeError);
+}
+
+TEST(Messages, ViewChangeRoundTrip) {
+  chain::KeyRegistry registry(0xabcdu);
+  registry.register_node(9);
+  ViewChangeMsg msg;
+  msg.round = 3;
+  msg.view = 2;
+  msg.proposer_index = 1;
+  msg.dead_index = 0;
+  msg.committed_count = 3;
+  msg.head = patterned_digest(0x20);
+  msg.sig = registry.sign(9, msg.canonical_payload());
+  const auto back = decode_payload<ViewChangeMsg>(encode_payload(msg));
+  EXPECT_EQ(back.round, 3u);
+  EXPECT_EQ(back.view, 2u);
+  EXPECT_EQ(back.proposer_index, 1u);
+  EXPECT_EQ(back.dead_index, 0u);
+  EXPECT_EQ(back.committed_count, 3u);
+  EXPECT_EQ(back.head, msg.head);
+  EXPECT_EQ(back.sig, msg.sig);
+  // The signature must survive the wire: the voter verifies the decoded
+  // canonical payload, not the encoder's.
+  EXPECT_TRUE(registry.verify(back.sig, back.canonical_payload()));
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, ViewChangeVoteRoundTrip) {
+  chain::KeyRegistry registry(0xabcdu);
+  registry.register_node(10);
+  ViewChangeVoteMsg msg;
+  msg.round = 3;
+  msg.view = 2;
+  msg.proposer_index = 1;
+  msg.voter_index = 2;
+  msg.granted = 1;
+  msg.committed_count = 3;
+  msg.head = patterned_digest(0x30);
+  msg.sig = registry.sign(10, msg.canonical_payload());
+  const auto back = decode_payload<ViewChangeVoteMsg>(encode_payload(msg));
+  EXPECT_EQ(back.view, 2u);
+  EXPECT_EQ(back.proposer_index, 1u);
+  EXPECT_EQ(back.voter_index, 2u);
+  EXPECT_EQ(back.granted, 1u);
+  EXPECT_EQ(back.committed_count, 3u);
+  EXPECT_EQ(back.head, msg.head);
+  EXPECT_TRUE(registry.verify(back.sig, back.canonical_payload()));
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, ChainSyncRequestRoundTrip) {
+  const ChainSyncRequestMsg msg{5, 2, 3};
+  const auto back = decode_payload<ChainSyncRequestMsg>(encode_payload(msg));
+  EXPECT_EQ(back.round, 5u);
+  EXPECT_EQ(back.server_index, 2u);
+  EXPECT_EQ(back.from_block, 3u);
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+ChainSyncResponseMsg sample_chain_sync_response() {
+  ChainSyncResponseMsg msg;
+  msg.round = 5;
+  msg.from_block = 3;
+  msg.ok = 1;
+  for (std::uint64_t b = 3; b < 5; ++b) {
+    SyncedBlock block;
+    block.sealed = sample_sealed_header(b);
+    block.records = sample_assessment().records;
+    msg.blocks.push_back(std::move(block));
+  }
+  msg.theta_round = 5;
+  msg.theta = {0xde, 0xad, 0xbe, 0xef, 0x01};
+  return msg;
+}
+
+TEST(Messages, ChainSyncResponseRoundTrip) {
+  const ChainSyncResponseMsg msg = sample_chain_sync_response();
+  const auto back = decode_payload<ChainSyncResponseMsg>(encode_payload(msg));
+  EXPECT_EQ(back.round, 5u);
+  EXPECT_EQ(back.from_block, 3u);
+  EXPECT_EQ(back.ok, 1u);
+  ASSERT_EQ(back.blocks.size(), 2u);
+  EXPECT_EQ(back.blocks[0].sealed.header, msg.blocks[0].sealed.header);
+  EXPECT_EQ(back.blocks[0].sealed.executor_sig,
+            msg.blocks[0].sealed.executor_sig);
+  EXPECT_EQ(back.blocks[0].sealed.votes, msg.blocks[0].sealed.votes);
+  ASSERT_EQ(back.blocks[1].records.size(), msg.blocks[1].records.size());
+  EXPECT_EQ(back.blocks[1].records[0].digest(),
+            msg.blocks[1].records[0].digest());
+  EXPECT_EQ(back.theta_round, 5u);
+  EXPECT_EQ(back.theta, msg.theta);
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, ChainSyncResponseRefusalIsMinimal) {
+  // ok == 0 carries no chain material at all — a refusing server cannot
+  // smuggle unverified blocks or a bogus checkpoint.
+  ChainSyncResponseMsg msg;
+  msg.round = 9;
+  msg.from_block = 2;
+  msg.ok = 0;
+  const auto payload = encode_payload(msg);
+  EXPECT_EQ(payload.size(), 8u + 8u + 1u);
+  const auto back = decode_payload<ChainSyncResponseMsg>(payload);
+  EXPECT_EQ(back.ok, 0u);
+  EXPECT_TRUE(back.blocks.empty());
+  EXPECT_TRUE(back.theta.empty());
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
+}
+
+TEST(Messages, ChainSyncResponseRejectsHugeCountClaims) {
+  // Block / record / checkpoint counts must all be guarded against
+  // remaining() before any allocation sized by them.
+  util::ByteWriter w;
+  w.write_u64(5);   // round
+  w.write_u64(0);   // from_block
+  w.write_u8(1);    // ok
+  w.write_u64(0xFFFFFFFFFFFFull);  // block count claim, no data
+  const auto payload = w.take();
+  EXPECT_THROW(decode_payload<ChainSyncResponseMsg>(payload),
+               util::SerializeError);
+}
+
+TEST(Messages, ChainSyncResponseCorruptionNeverCrashes) {
+  // Same property the other ledger payloads pin: random byte flips land
+  // in SerializeError or a well-formed decode, never UB or a huge
+  // allocation.
+  util::Rng rng(17);
+  const auto payload = encode_payload(sample_chain_sync_response());
+  for (int trial = 0; trial < 400; ++trial) {
+    auto bytes = payload;
+    const int flips = 1 + static_cast<int>(rng.uniform(0.0, 8.0));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(bytes.size())));
+      bytes[pos] = static_cast<std::uint8_t>(rng.uniform(0.0, 256.0));
+    }
+    try {
+      (void)decode_payload<ChainSyncResponseMsg>(bytes);
+    } catch (const util::SerializeError&) {
+    }
+  }
+}
+
+TEST(Messages, AuditProofCachedBundleCarriesHeadersFrom) {
+  // A cached proof ships only the header suffix; headers_from records the
+  // elision so the worker can splice its verified prefix back in.
+  AuditProofMsg msg = sample_audit_proof();
+  msg.headers_from = 4;
+  const auto back = decode_payload<AuditProofMsg>(encode_payload(msg));
+  EXPECT_EQ(back.headers_from, 4u);
+  EXPECT_EQ(back.bundle().headers_from, 4u);
+  expect_all_truncations_throw(msg);
+  expect_rejects_trailing_bytes(msg);
 }
 
 }  // namespace
