@@ -5,13 +5,17 @@
 #   address    full ctest suite under ASan (heap/stack/UAF bugs anywhere)
 #   undefined  full ctest suite under UBSan (signed overflow, misaligned
 #              loads, invalid enum casts in the codec paths)
-#   thread     ctest -L "net|chain" under TSan (the net stack is all
+#   thread     ctest -L "net|chain|obs" under TSan (the net stack is all
 #              threads and condition variables, and the chain suites
 #              cover the replicated-ledger commit protocol those threads
 #              drive; the net label also pulls in the lead-failover
 #              suite — election, executor rotation, rejoin-by-replay —
 #              whose cross-thread handoffs are exactly what TSan is for;
-#              other single-threaded suites add nothing)
+#              the obs label covers the metrics/span/flight-recorder
+#              sinks that every net thread writes into, i.e. the mutexes
+#              the R6-R9 lint rules and the Clang thread-safety
+#              annotations now document; other single-threaded suites
+#              add nothing)
 #   matrix     all three lanes in sequence (address, undefined, thread)
 #
 # Usage: scripts/ci_sanitize.sh [lane]
@@ -48,8 +52,8 @@ run_lane() {
   # per-test timeouts up rather than loosening them for everyone.
   case "$sanitizer" in
     thread)
-      echo '== ctest -L "net|chain" (thread) =='
-      ctest --test-dir "$build_dir" -L "net|chain" --output-on-failure \
+      echo '== ctest -L "net|chain|obs" (thread) =='
+      ctest --test-dir "$build_dir" -L "net|chain|obs" --output-on-failure \
         --timeout 1200 -j 2
       ;;
     address|undefined)

@@ -168,7 +168,7 @@ std::unique_ptr<Endpoint> FaultyTransport::open(NodeKey address) {
 std::vector<FaultEvent> FaultyTransport::fault_log() const {
   std::vector<FaultEvent> log;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     log = log_;
   }
   std::sort(log.begin(), log.end(),
@@ -180,17 +180,17 @@ std::vector<FaultEvent> FaultyTransport::fault_log() const {
 }
 
 std::size_t FaultyTransport::fault_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return log_.size();
 }
 
 bool FaultyTransport::crashed(NodeKey node) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return crashed_.count(node) != 0;
 }
 
 std::uint64_t FaultyTransport::recover_round(NodeKey node) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (crashed_.count(node) == 0) return 0;
   for (const NodeCrash& crash : schedule_.crashes) {
     if (crash.node == node && crash.recover_round != 0) {
@@ -203,7 +203,7 @@ std::uint64_t FaultyTransport::recover_round(NodeKey node) const {
 void FaultyTransport::revive(NodeKey node, MessageType type,
                              std::uint64_t round) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (crashed_.erase(node) == 0) return;  // already revived
   }
   NetMetrics::global().faults_injected->inc();
@@ -214,7 +214,7 @@ void FaultyTransport::revive(NodeKey node, MessageType type,
   }
   util::log_info() << "fault: node " << node << " recovered on round "
                    << round << " " << message_type_name(type);
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   log_.push_back(
       FaultEvent{FaultKind::kCrashRecover, node, node, type, round});
 }
@@ -231,7 +231,7 @@ void FaultyTransport::record(FaultKind kind, NodeKey from, NodeKey to,
   util::log_debug() << "fault: " << fault_kind_name(kind) << " "
                     << message_type_name(type) << " " << from << " -> " << to
                     << " seq " << seq;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   log_.push_back(FaultEvent{kind, from, to, type, seq, delay_ms});
 }
 
@@ -319,7 +319,7 @@ void FaultyTransport::faulty_send(const std::shared_ptr<Endpoint>& via,
                                   std::span<const std::uint8_t> payload,
                                   const obs::TraceContext* trace) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (crashed_.count(from) != 0) return;  // dead processes send nothing
   }
 
@@ -340,7 +340,7 @@ void FaultyTransport::faulty_send(const std::shared_ptr<Endpoint>& via,
     payload = corrupted;
     std::uint64_t seq = 0;
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       const auto it = streams_.find(
           std::make_tuple(from, to, static_cast<std::uint8_t>(type)));
       if (it != streams_.end()) seq = it->second.seq;
@@ -361,7 +361,7 @@ void FaultyTransport::faulty_send(const std::shared_ptr<Endpoint>& via,
     double d_drop = 1.0, d_dup = 1.0, d_delay = 1.0, d_reorder = 1.0;
     double d_amount = 0.0;
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       auto [it, fresh] = streams_.try_emplace(
           std::make_tuple(from, to, static_cast<std::uint8_t>(type)));
       if (fresh) {
@@ -433,7 +433,7 @@ void FaultyTransport::faulty_send(const std::shared_ptr<Endpoint>& via,
   // send so the k-th message itself still goes out — the process died
   // right after write().
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     const bool counted = std::any_of(
         schedule_.crashes.begin(), schedule_.crashes.end(),
         [&](const NodeCrash& crash) {

@@ -42,6 +42,7 @@
 
 #include "net/transport.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fifl::net {
 
@@ -195,15 +196,21 @@ class FaultyTransport : public Transport {
   FaultSchedule schedule_;
   std::unique_ptr<Transport> inner_;
 
-  mutable std::mutex mutex_;  // guards streams_, log_, sends_by_type_, crashed_
-  std::map<std::tuple<NodeKey, NodeKey, std::uint8_t>, StreamState> streams_;
-  std::vector<FaultEvent> log_;
+  // lock-order: fault_state; guards streams_, log_, sends_by_type_, crashed_
+  mutable util::Mutex mutex_;
+  std::map<std::tuple<NodeKey, NodeKey, std::uint8_t>, StreamState> streams_
+      FIFL_GUARDED_BY(mutex_);
+  std::vector<FaultEvent> log_ FIFL_GUARDED_BY(mutex_);
   /// Per-(node, message-type) attempted-send counts for crash triggers.
-  std::map<std::pair<NodeKey, std::uint8_t>, std::uint64_t> sends_by_type_;
-  std::set<NodeKey> crashed_;
+  std::map<std::pair<NodeKey, std::uint8_t>, std::uint64_t> sends_by_type_
+      FIFL_GUARDED_BY(mutex_);
+  std::set<NodeKey> crashed_ FIFL_GUARDED_BY(mutex_);
 
+  // CV-paired, so std::mutex (std::unique_lock is invisible to Clang TSA);
+  // checked by fifl-lint R7/R8 instead.
+  // lock-order: fault_delay; guards delay_queue_, next_deferred_id_, shutdown_
   std::mutex delay_mutex_;
-  std::condition_variable delay_cv_;
+  std::condition_variable delay_cv_;  // lock-order: fault_delay
   std::vector<Deferred> delay_queue_;
   std::uint64_t next_deferred_id_ = 0;
   bool shutdown_ = false;

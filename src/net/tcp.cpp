@@ -39,7 +39,7 @@ void send_all(int fd, const std::uint8_t* data, std::size_t len) {
 
 std::unique_ptr<Endpoint> TcpTransport::open(NodeKey address) {
   auto endpoint = std::make_unique<TcpEndpoint>(this, address);
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!ports_.emplace(address, endpoint->port()).second) {
     throw std::runtime_error("tcp: node " + std::to_string(address) +
                              " already open");
@@ -52,7 +52,7 @@ std::uint16_t TcpTransport::port_of(NodeKey address) const {
 }
 
 std::uint16_t TcpTransport::lookup(NodeKey address) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = ports_.find(address);
   if (it == ports_.end()) {
     throw std::runtime_error("tcp: no endpoint open for node " +
@@ -99,7 +99,7 @@ void TcpEndpoint::accept_loop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    std::lock_guard lock(readers_mutex_);
+    util::MutexLock lock(readers_mutex_);
     reader_fds_.push_back(fd);
     readers_.emplace_back([this, fd] { reader_loop(fd); });
   }
@@ -167,24 +167,29 @@ void TcpEndpoint::send(NodeKey to, MessageType type,
       encode_frame(static_cast<std::uint8_t>(type), address_, payload, trace);
   PeerConn* peer;
   {
-    std::lock_guard lock(peers_mutex_);
+    util::MutexLock lock(peers_mutex_);
     auto& slot = peers_[to];
     if (!slot) slot = std::make_unique<PeerConn>();
     peer = slot.get();
   }
   const TcpRetryPolicy retry = transport_->retry_policy();
   auto& metrics = NetMetrics::global();
-  std::lock_guard lock(peer->mutex);
+  util::MutexLock lock(peer->mutex);
   // Bounded exponential backoff: a peer may have dropped the connection
   // after an idle period, a decode error on an earlier stream, or a
-  // restart mid-round. Holding the peer mutex across the sleep is fine —
-  // it only stalls other senders to the same unreachable peer.
+  // restart mid-round. Holding the peer mutex across the connect, the
+  // write and the backoff sleep is deliberate: tcp_peer_conn is a leaf
+  // per-peer lock, so blocking under it only stalls other senders to the
+  // same (already unreachable) peer, and releasing it mid-retry would
+  // interleave two senders' frames on one stream.
   std::chrono::milliseconds delay = retry.base_delay;
   for (int attempt = 1;; ++attempt) {
     try {
       if (peer->fd < 0) {
+        // fifl-lint: allow(blocking-under-lock) -- deliberate: reconnect under the per-peer leaf lock; see the backoff comment above
         peer->fd = connect_to(transport_->lookup(to));
       }
+      // fifl-lint: allow(blocking-under-lock) -- deliberate: the per-peer lock serializes writers so frames never interleave on the stream
       send_all(peer->fd, wire.data(), wire.size());
       break;
     } catch (const std::exception&) {
@@ -204,6 +209,7 @@ void TcpEndpoint::send(NodeKey to, MessageType type,
         throw;
       }
       metrics.send_retries->inc();
+      // fifl-lint: allow(blocking-under-lock) -- deliberate: backoff sleep under the per-peer leaf lock only stalls senders to the same dead peer
       std::this_thread::sleep_for(delay);
       delay *= 2;
     }
@@ -229,22 +235,28 @@ void TcpEndpoint::close() {
     ::close(listen_fd_);
   }
   {
-    std::lock_guard lock(readers_mutex_);
+    util::MutexLock lock(readers_mutex_);
     for (int fd : reader_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept thread is gone, so nothing appends to readers_ anymore.
+  // Move the vectors out under the lock and join outside it: joining a
+  // reader while holding readers_mutex_ would block every late-arriving
+  // connection (and trips R9 blocking-under-lock for exactly that reason).
+  std::vector<std::thread> readers;
+  std::vector<int> reader_fds;
   {
-    std::lock_guard lock(readers_mutex_);
-    for (auto& t : readers_) {
-      if (t.joinable()) t.join();
-    }
-    for (int fd : reader_fds_) ::close(fd);
-    readers_.clear();
-    reader_fds_.clear();
+    util::MutexLock lock(readers_mutex_);
+    readers.swap(readers_);
+    reader_fds.swap(reader_fds_);
   }
-  std::lock_guard lock(peers_mutex_);
+  for (auto& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  for (int fd : reader_fds) ::close(fd);
+  util::MutexLock lock(peers_mutex_);
   for (auto& [key, peer] : peers_) {
-    std::lock_guard peer_lock(peer->mutex);
+    util::MutexLock peer_lock(peer->mutex);
     if (peer->fd >= 0) {
       ::close(peer->fd);
       peer->fd = -1;

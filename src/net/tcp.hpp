@@ -53,8 +53,9 @@ class TcpTransport : public Transport {
   friend class TcpEndpoint;
   std::uint16_t lookup(NodeKey address) const;
 
-  mutable std::mutex mutex_;
-  std::map<NodeKey, std::uint16_t> ports_;
+  // lock-order: tcp_ports; guards ports_
+  mutable util::Mutex mutex_;
+  std::map<NodeKey, std::uint16_t> ports_ FIFL_GUARDED_BY(mutex_);
   TcpRetryPolicy retry_;
 };
 
@@ -74,8 +75,14 @@ class TcpEndpoint : public Endpoint {
 
  private:
   struct PeerConn {
-    std::mutex mutex;
-    int fd = -1;
+    // `fd` is left off the lint `guards` list on purpose: R8 matches field
+    // names lexically and `fd` collides with the socket locals in tcp.cpp;
+    // the TSA attribute below carries the contract instead. The `before`
+    // edge documents send() calling transport_->lookup() (tcp_ports) while
+    // holding the peer lock — interprocedural, so R6 cannot observe it.
+    // lock-order: tcp_peer_conn before tcp_ports
+    util::Mutex mutex;
+    int fd FIFL_GUARDED_BY(mutex) = -1;
   };
 
   void accept_loop();
@@ -90,12 +97,15 @@ class TcpEndpoint : public Endpoint {
   std::atomic<bool> closing_{false};
   std::thread accept_thread_;
 
-  std::mutex readers_mutex_;
-  std::vector<std::thread> readers_;
-  std::vector<int> reader_fds_;
+  // lock-order: tcp_readers; guards readers_, reader_fds_
+  util::Mutex readers_mutex_;
+  std::vector<std::thread> readers_ FIFL_GUARDED_BY(readers_mutex_);
+  std::vector<int> reader_fds_ FIFL_GUARDED_BY(readers_mutex_);
 
-  std::mutex peers_mutex_;
-  std::map<NodeKey, std::unique_ptr<PeerConn>> peers_;
+  // lock-order: tcp_peers before tcp_peer_conn; guards peers_
+  util::Mutex peers_mutex_;
+  std::map<NodeKey, std::unique_ptr<PeerConn>> peers_
+      FIFL_GUARDED_BY(peers_mutex_);
 };
 
 }  // namespace fifl::net

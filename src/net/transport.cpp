@@ -133,7 +133,7 @@ class LoopbackEndpoint : public Endpoint {
 }  // namespace
 
 std::shared_ptr<Inbox> LoopbackTransport::inbox_for(NodeKey address) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(inboxes_mutex_);
   const auto it = inboxes_.find(address);
   if (it == inboxes_.end()) {
     throw std::runtime_error("loopback: no endpoint open for node " +
@@ -145,7 +145,7 @@ std::shared_ptr<Inbox> LoopbackTransport::inbox_for(NodeKey address) {
 std::unique_ptr<Endpoint> LoopbackTransport::open(NodeKey address) {
   auto inbox = std::make_shared<Inbox>();
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(inboxes_mutex_);
     if (!inboxes_.emplace(address, inbox).second) {
       throw std::runtime_error("loopback: node " + std::to_string(address) +
                                " already open");

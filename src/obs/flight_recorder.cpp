@@ -99,12 +99,12 @@ FlightRegistry& FlightRegistry::global() {
 }
 
 bool FlightRegistry::enabled() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return !dir_.empty();
 }
 
 void FlightRegistry::configure(const std::string& dir) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   dir_ = dir;
   rings_.clear();
   dumps_ = 0;
@@ -112,7 +112,7 @@ void FlightRegistry::configure(const std::string& dir) {
 }
 
 FlightRing* FlightRegistry::ring(std::uint32_t node) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (dir_.empty()) return nullptr;
   auto it = rings_.find(node);
   if (it == rings_.end()) {
@@ -122,7 +122,7 @@ FlightRing* FlightRegistry::ring(std::uint32_t node) {
 }
 
 std::string FlightRegistry::dump(const std::string& reason) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (dir_.empty() || dumps_ >= kMaxDumps) return "";
   ++dumps_;
 
@@ -167,7 +167,7 @@ std::string FlightRegistry::dump(const std::string& reason) {
 }
 
 std::size_t FlightRegistry::dump_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return dumps_;
 }
 

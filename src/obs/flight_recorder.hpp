@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace fifl::obs {
 
 enum class FlightEventKind : std::uint8_t {
@@ -120,10 +122,12 @@ class FlightRegistry {
  private:
   FlightRegistry();
 
-  mutable std::mutex mutex_;
-  std::string dir_;
-  std::map<std::uint32_t, std::unique_ptr<FlightRing>> rings_;
-  std::size_t dumps_ = 0;
+  // lock-order: flight_registry; guards dir_, rings_, dumps_
+  mutable util::Mutex mutex_;
+  std::string dir_ FIFL_GUARDED_BY(mutex_);
+  std::map<std::uint32_t, std::unique_ptr<FlightRing>> rings_
+      FIFL_GUARDED_BY(mutex_);
+  std::size_t dumps_ FIFL_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace fifl::obs

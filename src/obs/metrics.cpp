@@ -185,7 +185,7 @@ std::string MetricsSnapshot::to_csv() const {
 // --- MetricsRegistry ------------------------------------------------------
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   return *counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -193,7 +193,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
@@ -202,7 +202,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const double> bounds) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   std::vector<double> b = bounds.empty()
@@ -215,7 +215,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -233,7 +233,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -23,6 +23,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace fifl::obs {
 
 class Counter {
@@ -138,10 +140,16 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mutex_;  // guards the maps, not the instruments
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The maps are guarded, not the instruments they own: returned
+  // references are written lock-free through their atomics.
+  // lock-order: metrics_registry; guards counters_, gauges_, histograms_
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      FIFL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      FIFL_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      FIFL_GUARDED_BY(mutex_);
 };
 
 }  // namespace fifl::obs

@@ -106,7 +106,7 @@ SpanBuffer::SpanBuffer(const std::string& path) {
 }
 
 void SpanBuffer::record(const SpanRecord& record) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   records_.push_back(record);
   if (out_.is_open()) {
     out_ << record.to_jsonl() << '\n';
@@ -115,7 +115,7 @@ void SpanBuffer::record(const SpanRecord& record) {
 }
 
 void SpanBuffer::record_clock(const ClockSyncRecord& record) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   clocks_.push_back(record);
   if (out_.is_open()) {
     out_ << record.to_jsonl() << '\n';
@@ -124,19 +124,19 @@ void SpanBuffer::record_clock(const ClockSyncRecord& record) {
 }
 
 std::size_t SpanBuffer::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return records_.size();
 }
 
 std::vector<SpanRecord> SpanBuffer::drain() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<SpanRecord> out = std::move(records_);
   records_.clear();
   return out;
 }
 
 std::vector<ClockSyncRecord> SpanBuffer::drain_clocks() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<ClockSyncRecord> out = std::move(clocks_);
   clocks_.clear();
   return out;
@@ -155,24 +155,24 @@ TraceDir& TraceDir::global() {
 }
 
 bool TraceDir::enabled() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(dir_mutex_);
   return !dir_.empty();
 }
 
 std::string TraceDir::dir() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(dir_mutex_);
   return dir_;
 }
 
 void TraceDir::configure(const std::string& dir) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(dir_mutex_);
   dir_ = dir;
   buffers_.clear();
   if (!dir_.empty()) std::filesystem::create_directories(dir_);
 }
 
 SpanBuffer* TraceDir::node_buffer(std::uint32_t node) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(dir_mutex_);
   if (dir_.empty()) return nullptr;
   auto it = buffers_.find(node);
   if (it == buffers_.end()) {

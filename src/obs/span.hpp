@@ -29,6 +29,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace fifl::obs {
 
 /// Trace context propagated on the wire (frame extension, 24 bytes).
@@ -102,10 +104,14 @@ class SpanBuffer {
   std::vector<ClockSyncRecord> drain_clocks();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<SpanRecord> records_;
-  std::vector<ClockSyncRecord> clocks_;
-  std::ofstream out_;  // open iff constructed with a path
+  // `out_` is left off the lint `guards` list: the constructor opens it
+  // before the buffer is shared, which R8's lexical tracking cannot tell
+  // apart from a race; the TSA attribute still carries the contract.
+  // lock-order: span_buffer; guards records_, clocks_
+  mutable util::Mutex mutex_;
+  std::vector<SpanRecord> records_ FIFL_GUARDED_BY(mutex_);
+  std::vector<ClockSyncRecord> clocks_ FIFL_GUARDED_BY(mutex_);
+  std::ofstream out_ FIFL_GUARDED_BY(mutex_);  // open iff path-constructed
 };
 
 /// Process-global trace directory, configured from FIFL_TRACE_DIR.
@@ -130,9 +136,11 @@ class TraceDir {
  private:
   TraceDir();
 
-  mutable std::mutex mutex_;
-  std::string dir_;
-  std::map<std::uint32_t, std::unique_ptr<SpanBuffer>> buffers_;
+  // lock-order: trace_dir; guards dir_, buffers_
+  mutable util::Mutex dir_mutex_;
+  std::string dir_ FIFL_GUARDED_BY(dir_mutex_);
+  std::map<std::uint32_t, std::unique_ptr<SpanBuffer>> buffers_
+      FIFL_GUARDED_BY(dir_mutex_);
 };
 
 /// Parses a per-node trace file back into spans + clock records

@@ -159,7 +159,7 @@ RoundTraceRecorder::RoundTraceRecorder(const std::string& path) {
 
 void RoundTraceRecorder::record(const RoundTrace& trace) {
   if (!enabled_) return;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   traces_.push_back(trace);
   if (to_stdout_) {
     std::cout << trace.to_jsonl() << '\n' << std::flush;
@@ -169,7 +169,7 @@ void RoundTraceRecorder::record(const RoundTrace& trace) {
 }
 
 std::size_t RoundTraceRecorder::size() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return traces_.size();
 }
 

@@ -30,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace fifl::obs {
 
 struct WorkerTrace {
@@ -108,7 +110,11 @@ class RoundTraceRecorder {
   std::size_t size() const;
   /// In-memory traces, in record order. Not synchronized with concurrent
   /// record() calls — read after the run.
-  const std::vector<RoundTrace>& traces() const noexcept { return traces_; }
+  const std::vector<RoundTrace>& traces() const noexcept
+      FIFL_NO_THREAD_SAFETY_ANALYSIS {
+    // fifl-lint: allow(guarded-by) -- documented read-after-run accessor: callers read the traces once producers have stopped
+    return traces_;
+  }
 
   /// Parses a JSONL trace file back into records (round-trip path).
   static std::vector<RoundTrace> read_jsonl_file(const std::string& path);
@@ -121,11 +127,14 @@ class RoundTraceRecorder {
   struct DisabledTag {};
   explicit RoundTraceRecorder(DisabledTag) : enabled_(false) {}
 
-  bool enabled_ = true;
-  bool to_stdout_ = false;
-  mutable std::mutex mutex_;
-  std::vector<RoundTrace> traces_;
-  std::ofstream out_;  // open iff constructed with a non-empty file path
+  bool enabled_ = true;       // set in the ctor, immutable afterwards
+  bool to_stdout_ = false;    // likewise
+  // `out_` stays off the lint `guards` list (opened in the ctor before
+  // the recorder is shared); see SpanBuffer for the same pattern.
+  // lock-order: round_trace; guards traces_
+  mutable util::Mutex mutex_;
+  std::vector<RoundTrace> traces_ FIFL_GUARDED_BY(mutex_);
+  std::ofstream out_ FIFL_GUARDED_BY(mutex_);  // open iff path-constructed
 };
 
 }  // namespace fifl::obs

@@ -8,11 +8,14 @@
 #include <mutex>
 
 #include "util/config.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fifl::util {
 
 namespace {
-std::mutex g_sink_mutex;
+// Serializes whole log lines onto the shared stderr sink; leaf lock
+// with no data members of its own.
+Mutex g_sink_mutex;  // lock-order: log_sink
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -64,7 +67,7 @@ void log_line(LogLevel level, const std::string& message) {
   char prefix[64];
   std::snprintf(prefix, sizeof prefix, "[%10.4f t%02u %-5s] ", seconds,
                 thread_log_id(), level_name(level));
-  std::lock_guard lock(g_sink_mutex);
+  const MutexLock lock(g_sink_mutex);
   std::cerr << prefix << message << '\n';
 }
 

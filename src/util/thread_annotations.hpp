@@ -1,0 +1,81 @@
+// Clang Thread Safety Analysis annotations plus a minimally annotated
+// mutex wrapper, so the locking discipline documented by fifl-lint's
+// `// lock-order:` / `// guards` comments is also verified by a real
+// compiler front end where one is available.
+//
+// Under Clang, `scripts/ci_static.sh` compiles the annotated net/obs TUs
+// with -Werror=thread-safety and the attributes below become hard errors
+// on any guarded-field access outside its lock. Under GCC (the default
+// toolchain here) every macro expands to nothing and `util::Mutex` is a
+// zero-overhead shim over std::mutex — fifl-lint R6-R9 covers that path.
+//
+// Convention (see DESIGN.md "Concurrency discipline"):
+//   - plain mutexes use util::Mutex + util::MutexLock so TSA can see them
+//     (libstdc++'s std::mutex / std::lock_guard carry no capability
+//     attributes);
+//   - mutexes paired with a std::condition_variable stay std::mutex,
+//     because std::unique_lock is invisible to TSA; those are checked by
+//     fifl-lint only (R7 predicate rule + R8 guarded-by).
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FIFL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define FIFL_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+#define FIFL_CAPABILITY(x) FIFL_THREAD_ANNOTATION(capability(x))
+#define FIFL_SCOPED_CAPABILITY FIFL_THREAD_ANNOTATION(scoped_lockable)
+#define FIFL_GUARDED_BY(x) FIFL_THREAD_ANNOTATION(guarded_by(x))
+#define FIFL_PT_GUARDED_BY(x) FIFL_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FIFL_ACQUIRED_BEFORE(...) \
+  FIFL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define FIFL_ACQUIRED_AFTER(...) \
+  FIFL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define FIFL_REQUIRES(...) \
+  FIFL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FIFL_ACQUIRE(...) \
+  FIFL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FIFL_RELEASE(...) \
+  FIFL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FIFL_TRY_ACQUIRE(...) \
+  FIFL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define FIFL_EXCLUDES(...) FIFL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FIFL_RETURN_CAPABILITY(x) FIFL_THREAD_ANNOTATION(lock_returned(x))
+#define FIFL_NO_THREAD_SAFETY_ANALYSIS \
+  FIFL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace fifl::util {
+
+// std::mutex with capability attributes. Same size, same semantics; exists
+// only because libstdc++'s std::mutex is opaque to -Wthread-safety.
+class FIFL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FIFL_ACQUIRE() { mu_.lock(); }
+  void unlock() FIFL_RELEASE() { mu_.unlock(); }
+  bool try_lock() FIFL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock for util::Mutex, annotated as a scoped capability (the
+// std::lock_guard idiom, visible to TSA).
+class FIFL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FIFL_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FIFL_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace fifl::util

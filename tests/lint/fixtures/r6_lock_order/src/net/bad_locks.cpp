@@ -1,0 +1,28 @@
+// Fixture: violates exactly R6 (lock-order), twice. `c_` carries no
+// lock-order annotation, and shutdown() acquires beta before alpha even
+// though alpha is declared to come first. update() is the clean path.
+#include <mutex>
+
+namespace fixture {
+
+class Registry {
+ public:
+  void update() {
+    std::lock_guard<std::mutex> outer(a_);
+    std::lock_guard<std::mutex> inner(b_);  // matches the declared order
+  }
+
+  void shutdown() {
+    std::lock_guard<std::mutex> outer(b_);
+    std::lock_guard<std::mutex> inner(a_);  // contradicts alpha-before-beta
+  }
+
+  void touch() { std::lock_guard<std::mutex> lock(c_); }
+
+ private:
+  std::mutex a_;  // lock-order: alpha before beta
+  std::mutex b_;  // lock-order: beta
+  std::mutex c_;  // deliberately unannotated
+};
+
+}  // namespace fixture

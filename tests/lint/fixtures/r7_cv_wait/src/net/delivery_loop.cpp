@@ -1,0 +1,35 @@
+// Fixture: violates exactly R7 (cv-wait-predicate). run_bad() mirrors
+// the PR 8 hot-spin regression: wait_for without a predicate returns on
+// spurious wakeups and timeouts alike, so the caller re-spins at full
+// speed instead of sleeping until work arrives. run_good() is the fixed
+// form and must not fire.
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace fixture {
+
+class DeliveryLoop {
+ public:
+  void run_bad() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (queue_.empty() && !shutdown_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(10));  // no predicate
+    }
+  }
+
+  void run_good() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+  }
+
+ private:
+  // CV-paired mutex, so std::mutex by convention (see DESIGN.md).
+  std::mutex mutex_;  // lock-order: delivery; guards queue_, shutdown_
+  std::condition_variable cv_;  // lock-order: delivery
+  std::deque<int> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace fixture

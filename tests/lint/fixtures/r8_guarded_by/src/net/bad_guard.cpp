@@ -1,0 +1,24 @@
+// Fixture: violates exactly R8 (guarded-by). `hits_` is declared in the
+// mutex's guards list but bump_unlocked() touches it without holding the
+// lock; bump() is the clean locked path.
+#include <mutex>
+
+namespace fixture {
+
+class Stats {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++hits_;
+  }
+
+  void bump_unlocked() {
+    ++hits_;  // missing the lock on purpose
+  }
+
+ private:
+  std::mutex mutex_;  // lock-order: stats; guards hits_
+  long hits_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: violates exactly R9 (blocking-under-lock). flush_bad()
+// sleeps while still holding the registry lock; flush_good() releases
+// the lock first and must not fire.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+class Flusher {
+ public:
+  void flush_bad() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_ = 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));  // under lock
+  }
+
+  void flush_good() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_ = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+ private:
+  std::mutex mutex_;  // lock-order: flusher; guards pending_
+  int pending_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Fixture: a blocking-under-lock waiver whose `-- justification` was
+// dropped (the tcp.cpp reconnect-backoff shape). The waiver still
+// suppresses R9, but the missing justification is its own finding and
+// --audit-waivers must flag it.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+class Backoff {
+ public:
+  void retry() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++attempts_;
+    // fifl-lint: allow(blocking-under-lock)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+ private:
+  std::mutex mutex_;  // lock-order: backoff; guards attempts_
+  int attempts_ = 0;
+};
+
+}  // namespace fixture

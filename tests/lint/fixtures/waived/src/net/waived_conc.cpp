@@ -1,0 +1,35 @@
+// Fixture: one violation of each concurrency rule (R6-R9), every one
+// carrying a justified waiver, so fifl-lint must still exit 0 and
+// --list-waivers must surface all four.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+class WaivedStation {
+ public:
+  void pump() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // fifl-lint: allow(cv-wait-predicate) -- fixture: single wakeup at shutdown, a spurious wakeup is harmless
+    cv_.wait(lock);
+    // fifl-lint: allow(blocking-under-lock) -- fixture: the sleep models slow teardown and nothing contends this lock
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  int peek() const {
+    // fifl-lint: allow(guarded-by) -- fixture: racy advisory read, staleness is tolerated
+    return depth_;
+  }
+
+ private:
+  // CV-paired mutex, so std::mutex by convention (see DESIGN.md).
+  std::mutex mutex_;  // lock-order: waived_station; guards depth_
+  std::condition_variable cv_;  // lock-order: waived_station
+  int depth_ = 0;
+  // fifl-lint: allow(lock-order) -- fixture: scratch mutex local to one method, no ordering to declare
+  std::mutex scratch_;
+};
+
+}  // namespace fixture

@@ -112,6 +112,52 @@ TEST(FiflLint, R5HeaderHygieneFires) {
       << run.output;
 }
 
+TEST(FiflLint, R6LockOrderFires) {
+  const LintRun run = run_lint(fixture("r6_lock_order") + " --no-headers");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(rule_ids(run.output),
+            (std::multiset<std::string>{"lock-order", "lock-order"}))
+      << run.output;
+  // Both failure modes: the order inversion and the unannotated mutex.
+  EXPECT_NE(run.output.find("contradicts the declared order"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'c_' has no"), std::string::npos) << run.output;
+}
+
+TEST(FiflLint, R7CvWaitPredicateFires) {
+  const LintRun run = run_lint(fixture("r7_cv_wait") + " --no-headers");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(rule_ids(run.output),
+            (std::multiset<std::string>{"cv-wait-predicate"}))
+      << run.output;
+  // The regression fixture mirrors the PR 8 delivery-loop hot-spin: the
+  // predicate-less wait_for fires, the predicated wait does not.
+  EXPECT_NE(run.output.find("delivery_loop.cpp:18"), std::string::npos)
+      << run.output;
+}
+
+TEST(FiflLint, R8GuardedByFires) {
+  const LintRun run = run_lint(fixture("r8_guarded_by") + " --no-headers");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(rule_ids(run.output), (std::multiset<std::string>{"guarded-by"}))
+      << run.output;
+  // The locked path is clean; only the unlocked access fires.
+  EXPECT_NE(run.output.find("'hits_' is guarded by 'stats'"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(FiflLint, R9BlockingUnderLockFires) {
+  const LintRun run = run_lint(fixture("r9_blocking") + " --no-headers");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(rule_ids(run.output),
+            (std::multiset<std::string>{"blocking-under-lock"}))
+      << run.output;
+  EXPECT_NE(run.output.find("while holding 'flusher'"), std::string::npos)
+      << run.output;
+}
+
 TEST(FiflLint, JustifiedWaiversSuppressFindings) {
   const LintRun run = run_lint(fixture("waived") + " --no-headers");
   EXPECT_EQ(run.exit_code, 0) << run.output;
@@ -127,7 +173,11 @@ TEST(FiflLint, ListWaiversAuditsAllWaivers) {
   EXPECT_NE(run.output.find("allow(unordered-iter)"), std::string::npos);
   EXPECT_NE(run.output.find("allow(nondet-source)"), std::string::npos);
   EXPECT_NE(run.output.find("allow(fp-order)"), std::string::npos);
-  EXPECT_NE(run.output.find("3 waiver(s)"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("allow(lock-order)"), std::string::npos);
+  EXPECT_NE(run.output.find("allow(cv-wait-predicate)"), std::string::npos);
+  EXPECT_NE(run.output.find("allow(guarded-by)"), std::string::npos);
+  EXPECT_NE(run.output.find("allow(blocking-under-lock)"), std::string::npos);
+  EXPECT_NE(run.output.find("7 waiver(s)"), std::string::npos) << run.output;
 }
 
 TEST(FiflLint, AuditWaiversPassesOnJustifiedUsedWaivers) {
@@ -144,7 +194,12 @@ TEST(FiflLint, AuditWaiversFailsOnUnjustifiedWaiver) {
   EXPECT_EQ(run.exit_code, 1) << run.output;
   EXPECT_NE(run.output.find("(UNJUSTIFIED)"), std::string::npos)
       << run.output;
-  EXPECT_NE(run.output.find("1 failing audit"), std::string::npos)
+  // Both the classic R1 waiver and the satellite concurrency case: an R9
+  // waiver whose justification was dropped is flagged, not silently kept.
+  EXPECT_NE(run.output.find("allow(blocking-under-lock) -- (UNJUSTIFIED)"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("2 failing audit"), std::string::npos)
       << run.output;
 }
 
@@ -152,7 +207,8 @@ TEST(FiflLint, UnjustifiedWaiverIsAFinding) {
   const LintRun run = run_lint(fixture("unjustified") + " --no-headers");
   EXPECT_EQ(run.exit_code, 1) << run.output;
   EXPECT_EQ(rule_ids(run.output),
-            (std::multiset<std::string>{"waiver-justification"}))
+            (std::multiset<std::string>{"waiver-justification",
+                                        "waiver-justification"}))
       << run.output;
 }
 
@@ -173,6 +229,34 @@ TEST(FiflLint, JsonReportCarriesFindings) {
   EXPECT_NE(json.find("\"tool\":\"fifl-lint\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"active_findings\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"unordered-iter\":1"), std::string::npos) << json;
+}
+
+TEST(FiflLint, JsonReportCarriesPerRuleTotals) {
+  const std::string json_path =
+      ::testing::TempDir() + "/fifl_lint_rules_report.json";
+  const LintRun run = run_lint(fixture("r6_lock_order") +
+                               " --no-headers --json " + json_path);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  FILE* f = std::fopen(json_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string json;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) json.append(buf, n);
+  std::fclose(f);
+  std::remove(json_path.c_str());
+  // The "rules" object covers the full rule set, zeroes included, split
+  // into active vs waived.
+  EXPECT_NE(json.find("\"rules\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lock-order\":{\"active\":2,\"waived\":0}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"cv-wait-predicate\":{\"active\":0,\"waived\":0}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"blocking-under-lock\":{\"active\":0,\"waived\":0}"),
+            std::string::npos)
+      << json;
 }
 
 TEST(FiflLint, UnknownFlagExitsWithUsageError) {

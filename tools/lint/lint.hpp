@@ -19,6 +19,21 @@
 //   R5 header-hygiene    every .hpp must compile stand-alone (checked by
 //                        generating a one-include TU per header).
 //
+// The concurrency rules (tools/lint/concurrency.cpp) extend the same idea
+// to lock discipline — races and deadlocks are just nondeterminism with
+// worse failure modes:
+//
+//   R6 lock-order            every mutex/condition_variable declaration
+//                            carries `// lock-order: <name> [before ...]`;
+//                            the observed acquisition graph must respect
+//                            the declared hierarchy and contain no cycles.
+//   R7 cv-wait-predicate     cv wait/wait_for/wait_until must use the
+//                            predicate overload.
+//   R8 guarded-by            fields in a mutex's `// guards a_, b_` list
+//                            are only touched while that mutex is held.
+//   R9 blocking-under-lock   sleeps, joins and socket I/O never run under
+//                            a held lock.
+//
 // Findings print as `file:line: rule-id: message`; a JSON report mirroring
 // the fifl::obs bench-output shape is emitted with --json.  Violations can
 // be waived in place with
@@ -95,6 +110,12 @@ struct Config {
   std::string msg_enum = "src/net/messages.hpp";
   std::string msg_impl = "src/net/messages.cpp";
   std::string msg_test = "tests/net/test_messages.cpp";
+  // R6-R9 scope: the deterministic service substrate. Tests/bench spin up
+  // ad-hoc threads with ad-hoc locking; the discipline applies to src/.
+  std::vector<std::string> lock_paths = {"src/"};
+  // Files exempt from R6-R9 (prefix match). The annotation shim wraps a
+  // std::mutex by definition and cannot name its own level.
+  std::vector<std::string> lock_exclude = {"src/util/thread_annotations.hpp"};
 };
 
 struct Report {
@@ -125,6 +146,14 @@ void rule_fp_order(const SourceFile& f, const Config& cfg,
 void rule_msgtype_coverage(const Config& cfg, std::vector<Finding>& out);
 void rule_header_hygiene(const std::vector<SourceFile>& files,
                          const Config& cfg, Report& report);
+// R6-R9 share one cross-TU pass (declarations, lock-scope tracking and the
+// acquisition graph are common infrastructure).
+void rule_concurrency(const std::vector<SourceFile>& files, const Config& cfg,
+                      std::vector<Finding>& out);
+
+// Every rule id the linter can emit, in rule order (R1..R9 plus the waiver
+// audit); the JSON report carries a count for each, including zeroes.
+const std::vector<std::string>& all_rule_ids();
 
 // Run everything over the tree. Returns the full report.
 Report run(const Config& cfg);

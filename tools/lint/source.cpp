@@ -77,7 +77,11 @@ SourceFile load_source(const std::filesystem::path& abs,
               code[i] = c;  // malformed; treat literally
               break;
             }
-            raw_delim = ")" + src.substr(i + 2, open - (i + 2)) + "\"";
+            // Built piecewise: `")" + substr + "\""` trips gcc 12's
+            // -Wrestrict false positive (GCC PR 105651) under -Werror.
+            raw_delim.assign(1, ')');
+            raw_delim.append(src, i + 2, open - (i + 2));
+            raw_delim.push_back('"');
             code[i] = 'R';
             code[i + 1] = '"';
             state = LexState::kRawString;
@@ -207,6 +211,7 @@ Report run(const Config& cfg) {
     for (Waiver& w : collect_waivers(f)) report.waivers.push_back(w);
   }
   rule_msgtype_coverage(cfg, report.findings);
+  rule_concurrency(files, cfg, report.findings);
   if (cfg.check_headers && !cfg.cxx.empty())
     rule_header_hygiene(files, cfg, report);
 
@@ -269,6 +274,15 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+const std::vector<std::string>& all_rule_ids() {
+  static const std::vector<std::string> ids = {
+      "unordered-iter",     "nondet-source",  "fp-order",
+      "msgtype-coverage",   "header-hygiene", "lock-order",
+      "cv-wait-predicate",  "guarded-by",     "blocking-under-lock",
+      "waiver-justification"};
+  return ids;
+}
+
 std::string to_json(const Report& report, const Config& cfg) {
   std::ostringstream os;
   os << "{\"tool\":\"fifl-lint\",\"root\":\""
@@ -282,6 +296,21 @@ std::string to_json(const Report& report, const Config& cfg) {
     if (!first) os << ",";
     first = false;
     os << "\"" << json_escape(rule) << "\":" << n;
+  }
+  // Per-rule totals over the full rule set (zeroes included), split into
+  // active vs waived so dashboards can graph waiver debt per rule.
+  os << "},\"rules\":{";
+  first = true;
+  for (const std::string& rule : all_rule_ids()) {
+    std::size_t active = 0, waived = 0;
+    for (const Finding& f : report.findings) {
+      if (f.rule != rule) continue;
+      if (f.waived) ++waived; else ++active;
+    }
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(rule) << "\":{\"active\":" << active
+       << ",\"waived\":" << waived << "}";
   }
   os << "},\"findings\":[";
   first = true;
